@@ -1,0 +1,252 @@
+//! Shared harness for the baseline systems.
+//!
+//! The paper positions InteGrade against Condor and SETI@home/BOINC (§2).
+//! To measure those comparisons, each baseline is implemented at the level
+//! of its *scheduling semantics* — matchmaking, eviction policy, pull-based
+//! work distribution — over the same node traces and job streams the
+//! InteGrade grid runs, producing the same metrics. The baselines use a
+//! plain time-stepped loop (they are comparators, not the system under
+//! reproduction; their protocol plumbing is not what the experiments
+//! measure).
+
+use integrade_core::asct::{JobKind, JobSpec};
+use integrade_core::ncc::WeeklySchedule;
+use integrade_core::types::ResourceVector;
+use integrade_simnet::time::{SimDuration, SimTime};
+use integrade_usage::sample::{UsageSample, Weekday};
+use serde::{Deserialize, Serialize};
+
+/// A machine visible to a baseline scheduler.
+#[derive(Debug, Clone)]
+pub struct BaselineNode {
+    /// Hardware capacity.
+    pub resources: ResourceVector,
+    /// Owner usage trace (5-minute samples, cycled).
+    pub trace: Vec<UsageSample>,
+    /// Owner load below this counts as idle/available.
+    pub idle_threshold: f64,
+    /// Condor: this machine is partially reserved for parallel jobs
+    /// (\[Wri01\] — InteGrade's §2 critique is that such reservation "might
+    /// not be feasible ... if the node is used by an employee").
+    pub reserved_for_parallel: bool,
+    /// BOINC: the times the volunteer allows computation; `None` = always.
+    /// (The paper's §2 critique of SETI@home: "the necessary intervention
+    /// of the client machines to specify when the application can run".)
+    pub allowed_windows: Option<WeeklySchedule>,
+}
+
+impl BaselineNode {
+    /// A desktop with the given trace and defaults everywhere else.
+    pub fn desktop(trace: Vec<UsageSample>) -> Self {
+        BaselineNode {
+            resources: ResourceVector::desktop(),
+            trace,
+            idle_threshold: 0.15,
+            reserved_for_parallel: false,
+            allowed_windows: None,
+        }
+    }
+
+    /// The owner sample at a virtual time.
+    pub fn owner_at(&self, now: SimTime) -> UsageSample {
+        if self.trace.is_empty() {
+            return UsageSample::idle();
+        }
+        let slot = (now.as_micros() / SimDuration::from_mins(5).as_micros()) as usize;
+        self.trace[slot % self.trace.len()]
+    }
+
+    /// Whether the machine is usable by the baseline at `now`: owner idle
+    /// and, for BOINC-style systems, inside the allowed window.
+    pub fn available_at(&self, now: SimTime) -> bool {
+        let owner = self.owner_at(now);
+        if !owner.is_idle(self.idle_threshold) {
+            return false;
+        }
+        match &self.allowed_windows {
+            None => true,
+            Some(schedule) => {
+                let (day, offset) = now.day_and_offset();
+                let weekday = Weekday::from_day_number(day);
+                schedule.allows(weekday, (offset.as_micros() / 60_000_000) as u32)
+            }
+        }
+    }
+}
+
+/// Why a job ended (or not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaselineJobState {
+    /// Still waiting or running at the horizon.
+    Incomplete,
+    /// Finished.
+    Completed,
+    /// The system cannot run this job class at all (e.g. BSP on BOINC).
+    Unsupported,
+}
+
+/// Per-job outcome record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineJobRecord {
+    /// Job name from the spec.
+    pub name: String,
+    /// Final state.
+    pub state: BaselineJobState,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Completion time, when completed.
+    pub completed_at: Option<SimTime>,
+    /// Evictions suffered.
+    pub evictions: u64,
+    /// Work lost to evictions, MIPS-s.
+    pub wasted_work_mips_s: u64,
+}
+
+impl BaselineJobRecord {
+    /// Submission-to-completion span.
+    pub fn makespan(&self) -> Option<SimDuration> {
+        self.completed_at.map(|c| c - self.submitted_at)
+    }
+}
+
+/// Aggregate outcome of one baseline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// System label.
+    pub system: String,
+    /// Per-job records.
+    pub jobs: Vec<BaselineJobRecord>,
+}
+
+impl BaselineReport {
+    /// Completed job count.
+    pub fn completed(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.state == BaselineJobState::Completed)
+            .count()
+    }
+
+    /// Jobs the system could not run at all.
+    pub fn unsupported(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.state == BaselineJobState::Unsupported)
+            .count()
+    }
+
+    /// Total evictions.
+    pub fn total_evictions(&self) -> u64 {
+        self.jobs.iter().map(|j| j.evictions).sum()
+    }
+
+    /// Total wasted work, MIPS-s.
+    pub fn total_wasted_work(&self) -> u64 {
+        self.jobs.iter().map(|j| j.wasted_work_mips_s).sum()
+    }
+
+    /// Mean makespan over completed jobs, seconds.
+    pub fn mean_makespan_s(&self) -> f64 {
+        let spans: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.makespan().map(|d| d.as_secs_f64()))
+            .collect();
+        if spans.is_empty() {
+            0.0
+        } else {
+            spans.iter().sum::<f64>() / spans.len() as f64
+        }
+    }
+}
+
+/// A baseline engine: consumes nodes + submissions, produces a report.
+pub trait BaselineSystem {
+    /// The system's display name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the workload to the horizon.
+    fn run(
+        &mut self,
+        nodes: &[BaselineNode],
+        submissions: &[(SimTime, JobSpec)],
+        horizon: SimTime,
+    ) -> BaselineReport;
+}
+
+/// Expands a job spec into independent work units (tasks), one per part,
+/// for systems that schedule parts independently. BSP jobs return `None` —
+/// the caller decides whether the system supports gangs.
+pub fn independent_tasks(spec: &JobSpec) -> Option<Vec<u64>> {
+    match &spec.kind {
+        JobKind::Sequential { work_mips_s } => Some(vec![*work_mips_s]),
+        JobKind::BagOfTasks { task_work_mips_s } => Some(task_work_mips_s.clone()),
+        JobKind::Bsp { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_follows_trace_and_windows() {
+        let mut trace = vec![UsageSample::idle(); 288];
+        trace[12 * 12] = UsageSample::new(0.9, 0.5, 0.0, 0.0); // busy at noon
+        let mut node = BaselineNode::desktop(trace);
+        assert!(node.available_at(SimTime::from_secs(0)));
+        assert!(!node.available_at(SimTime::from_secs(12 * 3600)));
+        // Restrict to nights only.
+        node.allowed_windows = Some(WeeklySchedule::outside_work_hours(8, 20));
+        assert!(!node.available_at(SimTime::from_secs(10 * 3600))); // idle but blocked
+        assert!(node.available_at(SimTime::from_secs(22 * 3600)));
+    }
+
+    #[test]
+    fn empty_trace_means_idle() {
+        let node = BaselineNode::desktop(vec![]);
+        assert!(node.available_at(SimTime::from_secs(999)));
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let report = BaselineReport {
+            system: "test".into(),
+            jobs: vec![
+                BaselineJobRecord {
+                    name: "a".into(),
+                    state: BaselineJobState::Completed,
+                    submitted_at: SimTime::ZERO,
+                    completed_at: Some(SimTime::from_secs(100)),
+                    evictions: 2,
+                    wasted_work_mips_s: 50,
+                },
+                BaselineJobRecord {
+                    name: "b".into(),
+                    state: BaselineJobState::Unsupported,
+                    submitted_at: SimTime::ZERO,
+                    completed_at: None,
+                    evictions: 0,
+                    wasted_work_mips_s: 0,
+                },
+            ],
+        };
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.unsupported(), 1);
+        assert_eq!(report.total_evictions(), 2);
+        assert_eq!(report.mean_makespan_s(), 100.0);
+    }
+
+    #[test]
+    fn tasks_expand_by_kind() {
+        assert_eq!(
+            independent_tasks(&JobSpec::sequential("s", 10)),
+            Some(vec![10])
+        );
+        assert_eq!(
+            independent_tasks(&JobSpec::bag_of_tasks("b", 3, 5)),
+            Some(vec![5, 5, 5])
+        );
+        assert_eq!(independent_tasks(&JobSpec::bsp("p", 2, 2, 2, 2)), None);
+    }
+}

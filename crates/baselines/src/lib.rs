@@ -1,0 +1,43 @@
+//! # integrade-baselines
+//!
+//! The comparison systems from the paper's Related Work (§2), implemented
+//! at the level of their scheduling semantics over the same node traces and
+//! job streams the InteGrade grid runs:
+//!
+//! * [`condor`] — opportunistic ClassAd-style matchmaking, whole-machine
+//!   execution, owner-return eviction, optional re-link checkpointing, and
+//!   parallel jobs restricted to partially-reserved nodes.
+//! * [`boinc`] — pull-based volunteer computing with owner-set windows,
+//!   result redundancy + quorum, local checkpointing, deadlines, and no
+//!   inter-node communication (BSP unsupported).
+//! * [`naive`] — random placement with no protections (control).
+//! * [`harness`] — the shared node/report types and the
+//!   [`harness::BaselineSystem`] trait.
+//!
+//! # Examples
+//!
+//! ```
+//! use integrade_baselines::condor::{CondorConfig, CondorSim};
+//! use integrade_baselines::harness::{BaselineNode, BaselineSystem};
+//! use integrade_core::asct::JobSpec;
+//! use integrade_simnet::time::SimTime;
+//!
+//! let nodes = vec![BaselineNode::desktop(vec![]); 2];
+//! let jobs = vec![(SimTime::ZERO, JobSpec::sequential("s", 1_000_000))];
+//! let report = CondorSim::new(CondorConfig::default())
+//!     .run(&nodes, &jobs, SimTime::from_secs(4 * 3600));
+//! assert_eq!(report.completed(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boinc;
+pub mod condor;
+pub mod harness;
+pub mod naive;
+
+pub use boinc::{BoincConfig, BoincSim};
+pub use condor::{CondorConfig, CondorSim};
+pub use harness::{BaselineJobRecord, BaselineJobState, BaselineNode, BaselineReport, BaselineSystem};
+pub use naive::NaiveSim;

@@ -1,0 +1,244 @@
+//! Naive placement baseline (control).
+//!
+//! Places queued tasks on uniformly random available machines each cycle,
+//! with no matchmaking requirements, no checkpointing and no gang support:
+//! eviction loses all progress, and BSP jobs run only if the random draw
+//! happens to keep every process alive simultaneously (it restarts the
+//! whole gang otherwise). This is the floor every real system should beat.
+
+use crate::harness::{
+    independent_tasks, BaselineJobRecord, BaselineJobState, BaselineNode, BaselineReport,
+    BaselineSystem,
+};
+use integrade_core::asct::{JobKind, JobSpec};
+use integrade_simnet::rng::DetRng;
+use integrade_simnet::time::{SimDuration, SimTime};
+
+/// The random-placement control system.
+#[derive(Debug)]
+pub struct NaiveSim {
+    tick: SimDuration,
+    seed: u64,
+}
+
+impl NaiveSim {
+    /// Creates the engine.
+    pub fn new(seed: u64) -> Self {
+        NaiveSim {
+            tick: SimDuration::from_mins(5),
+            seed,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Task {
+    job: usize,
+    work: f64,
+    done: f64,
+    running_on: Option<usize>,
+}
+
+#[derive(Debug)]
+struct Gang {
+    job: usize,
+    procs: usize,
+    work_per_proc: f64,
+    done: f64,
+    running_on: Vec<usize>,
+}
+
+impl BaselineSystem for NaiveSim {
+    fn name(&self) -> &'static str {
+        "naive-random"
+    }
+
+    fn run(
+        &mut self,
+        nodes: &[BaselineNode],
+        submissions: &[(SimTime, JobSpec)],
+        horizon: SimTime,
+    ) -> BaselineReport {
+        let mut rng = DetRng::with_stream(self.seed, 0x6E61_6976);
+        let mut records: Vec<BaselineJobRecord> = submissions
+            .iter()
+            .map(|(at, spec)| BaselineJobRecord {
+                name: spec.name.clone(),
+                state: BaselineJobState::Incomplete,
+                submitted_at: *at,
+                completed_at: None,
+                evictions: 0,
+                wasted_work_mips_s: 0,
+            })
+            .collect();
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut gangs: Vec<Gang> = Vec::new();
+        let mut tasks_left = vec![0usize; submissions.len()];
+        let mut submitted = vec![false; submissions.len()];
+        let mut busy = vec![false; nodes.len()];
+
+        let steps = horizon.as_micros() / self.tick.as_micros();
+        for step in 0..=steps {
+            let now = SimTime::from_micros(step * self.tick.as_micros());
+            for (j, (at, spec)) in submissions.iter().enumerate() {
+                if submitted[j] || *at > now {
+                    continue;
+                }
+                submitted[j] = true;
+                match independent_tasks(spec) {
+                    Some(works) => {
+                        tasks_left[j] = works.len();
+                        tasks.extend(works.into_iter().map(|work| Task {
+                            job: j,
+                            work: work as f64,
+                            done: 0.0,
+                            running_on: None,
+                        }));
+                    }
+                    None => {
+                        let JobKind::Bsp {
+                            procs,
+                            supersteps,
+                            work_per_superstep_mips_s,
+                            ..
+                        } = &spec.kind
+                        else {
+                            unreachable!()
+                        };
+                        gangs.push(Gang {
+                            job: j,
+                            procs: *procs,
+                            work_per_proc: (*supersteps * *work_per_superstep_mips_s) as f64,
+                            done: 0.0,
+                            running_on: Vec::new(),
+                        });
+                    }
+                }
+            }
+
+            let dt = self.tick.as_secs_f64();
+            for task in &mut tasks {
+                let Some(i) = task.running_on else { continue };
+                if !nodes[i].available_at(now) {
+                    records[task.job].evictions += 1;
+                    records[task.job].wasted_work_mips_s += task.done as u64;
+                    task.done = 0.0;
+                    task.running_on = None;
+                    busy[i] = false;
+                    continue;
+                }
+                task.done += nodes[i].resources.cpu_mips as f64 * dt;
+                if task.done >= task.work {
+                    busy[i] = false;
+                    task.running_on = None;
+                    task.work = 0.0;
+                    tasks_left[task.job] -= 1;
+                    if tasks_left[task.job] == 0 {
+                        records[task.job].state = BaselineJobState::Completed;
+                        records[task.job].completed_at = Some(now);
+                    }
+                }
+            }
+            tasks.retain(|t| t.work > 0.0);
+
+            for gang in &mut gangs {
+                if gang.running_on.is_empty() {
+                    continue;
+                }
+                // Any member lost → whole gang restarts from zero.
+                if gang.running_on.iter().any(|&i| !nodes[i].available_at(now)) {
+                    records[gang.job].evictions += 1;
+                    records[gang.job].wasted_work_mips_s +=
+                        (gang.done * gang.procs as f64) as u64;
+                    gang.done = 0.0;
+                    for &i in &gang.running_on {
+                        busy[i] = false;
+                    }
+                    gang.running_on.clear();
+                    continue;
+                }
+                let min_mips = gang
+                    .running_on
+                    .iter()
+                    .map(|&i| nodes[i].resources.cpu_mips)
+                    .min()
+                    .unwrap_or(0) as f64;
+                gang.done += min_mips * dt;
+                if gang.done >= gang.work_per_proc {
+                    for &i in &gang.running_on {
+                        busy[i] = false;
+                    }
+                    gang.running_on.clear();
+                    records[gang.job].state = BaselineJobState::Completed;
+                    records[gang.job].completed_at = Some(now);
+                    gang.work_per_proc = 0.0;
+                }
+            }
+            gangs.retain(|g| g.work_per_proc > 0.0);
+
+            // Random placement.
+            let mut free: Vec<usize> = (0..nodes.len())
+                .filter(|&i| !busy[i] && nodes[i].available_at(now))
+                .collect();
+            rng.shuffle(&mut free);
+            for task in &mut tasks {
+                if task.running_on.is_some() {
+                    continue;
+                }
+                if let Some(i) = free.pop() {
+                    busy[i] = true;
+                    task.running_on = Some(i);
+                }
+            }
+            for gang in &mut gangs {
+                if !gang.running_on.is_empty() || free.len() < gang.procs {
+                    continue;
+                }
+                gang.running_on = free.split_off(free.len() - gang.procs);
+                for &i in &gang.running_on {
+                    busy[i] = true;
+                }
+            }
+        }
+        BaselineReport {
+            system: self.name().to_owned(),
+            jobs: records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_on_idle_pool() {
+        let nodes: Vec<BaselineNode> = (0..4).map(|_| BaselineNode::desktop(vec![])).collect();
+        let report = NaiveSim::new(1).run(
+            &nodes,
+            &[(SimTime::ZERO, JobSpec::bag_of_tasks("bag", 4, 500 * 600))],
+            SimTime::from_secs(4 * 3600),
+        );
+        assert_eq!(report.completed(), 1);
+    }
+
+    #[test]
+    fn gang_runs_when_enough_nodes() {
+        let nodes: Vec<BaselineNode> = (0..4).map(|_| BaselineNode::desktop(vec![])).collect();
+        let report = NaiveSim::new(2).run(
+            &nodes,
+            &[(SimTime::ZERO, JobSpec::bsp("par", 3, 10, 5000, 100))],
+            SimTime::from_secs(4 * 3600),
+        );
+        assert_eq!(report.completed(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let nodes: Vec<BaselineNode> = (0..4).map(|_| BaselineNode::desktop(vec![])).collect();
+        let submissions = vec![(SimTime::ZERO, JobSpec::bag_of_tasks("bag", 6, 500 * 1200))];
+        let a = NaiveSim::new(7).run(&nodes, &submissions, SimTime::from_secs(3600 * 6));
+        let b = NaiveSim::new(7).run(&nodes, &submissions, SimTime::from_secs(3600 * 6));
+        assert_eq!(a.jobs[0].completed_at, b.jobs[0].completed_at);
+    }
+}

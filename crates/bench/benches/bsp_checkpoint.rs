@@ -1,0 +1,48 @@
+//! E7 micro-benchmarks: BSP superstep throughput and checkpoint/restore
+//! cost as a function of application state size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use integrade_bsp::apps::Stencil1d;
+use integrade_bsp::checkpoint::{checkpoint, restore};
+use integrade_bsp::runtime::BspRuntime;
+use std::hint::black_box;
+
+fn job(cells: usize, procs: usize) -> BspRuntime<Stencil1d> {
+    let initial: Vec<f64> = (0..cells).map(|i| (i % 10) as f64).collect();
+    BspRuntime::new(Stencil1d::partition(&initial, procs, u64::MAX / 2, 0.0, 1.0))
+}
+
+fn bench_superstep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp_superstep");
+    for &cells in &[64usize, 1024, 8192] {
+        let mut rt = job(cells, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| {
+                rt.step();
+                black_box(rt.superstep())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp_checkpoint");
+    for &cells in &[64usize, 1024, 8192] {
+        let mut rt = job(cells, 8);
+        for _ in 0..3 {
+            rt.step();
+        }
+        group.bench_with_input(BenchmarkId::new("take", cells), &cells, |b, _| {
+            b.iter(|| checkpoint(black_box(&rt)))
+        });
+        let snap = checkpoint(&rt);
+        group.bench_with_input(BenchmarkId::new("restore", cells), &cells, |b, _| {
+            b.iter(|| restore::<Stencil1d>(black_box(&snap)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_superstep, bench_checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E3 micro-benchmarks: clustering and training costs of the LUPA pipeline.
+//! These bound how often a node can afford to retrain its pattern model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use integrade_simnet::rng::DetRng;
+use integrade_usage::kmeans::{fit, KMeansConfig};
+use integrade_usage::patterns::{LupaConfig, LupaModel};
+use integrade_usage::sample::{DayPeriod, SampleWindow, SamplingConfig};
+use integrade_workload::desktop::{generate_trace, Archetype, TraceConfig};
+use std::hint::black_box;
+
+fn day_curves(days: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = DetRng::new(seed);
+    let weeks = days.div_ceil(7);
+    let trace = generate_trace(
+        Archetype::OfficeWorker,
+        &TraceConfig {
+            weeks,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let mut window = SampleWindow::new(SamplingConfig::default());
+    for &s in &trace {
+        window.push(s);
+    }
+    window
+        .take_completed()
+        .into_iter()
+        .take(days)
+        .map(|p| integrade_usage::series::resample(&p.load_curve(), 96))
+        .collect()
+}
+
+fn periods(days: usize, seed: u64) -> Vec<DayPeriod> {
+    let mut rng = DetRng::new(seed);
+    let weeks = days.div_ceil(7);
+    let trace = generate_trace(
+        Archetype::OfficeWorker,
+        &TraceConfig {
+            weeks,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let mut window = SampleWindow::new(SamplingConfig::default());
+    for &s in &trace {
+        window.push(s);
+    }
+    window.take_completed().into_iter().take(days).collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_fit_k3");
+    for &days in &[28usize, 90] {
+        let data = day_curves(days, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(days), &days, |b, _| {
+            b.iter(|| fit(black_box(&data), KMeansConfig::new(3, 11)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lupa_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lupa_train");
+    group.sample_size(20);
+    for &days in &[28usize, 56] {
+        let data = periods(days, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(days), &days, |b, _| {
+            b.iter(|| LupaModel::train(black_box(&data), LupaConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_lupa_train);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E1 macro-benchmark: cost of simulating the Information Update Protocol
+//! over a whole cluster — bounds how large an experiment the harness can
+//! afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use integrade_core::grid::{GridBuilder, GridConfig, NodeSetup};
+use integrade_simnet::time::SimTime;
+use std::hint::black_box;
+
+fn run_grid(nodes: usize, sim_minutes: u64) -> u64 {
+    let config = GridConfig {
+        gupa_warmup_days: 0,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..nodes).map(|_| NodeSetup::idle_desktop()).collect());
+    let mut grid = builder.build();
+    grid.run_until(SimTime::from_secs(sim_minutes * 60));
+    grid.report().net.messages
+}
+
+fn bench_update_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_update_protocol_10min");
+    group.sample_size(10);
+    for &nodes in &[10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| black_box(run_grid(n, 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_protocol);
+criterion_main!(benches);

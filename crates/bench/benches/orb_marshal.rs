@@ -1,0 +1,101 @@
+//! E10 micro-benchmarks: CDR marshalling, GIOP framing and full
+//! request→dispatch→reply cycles through the object adapter — the costs the
+//! paper's "very small memory footprint CORBA" (UIC-CORBA) pitch is about.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use integrade_core::protocol::StatusUpdate;
+use integrade_core::types::{NodeId, NodeStatus};
+use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrReader};
+use integrade_orb::giop::Message;
+use integrade_orb::ior::{Endpoint, ObjectKey};
+use integrade_orb::orb::{Incoming, Orb};
+use integrade_orb::servant::{Servant, ServerException};
+use std::hint::black_box;
+
+fn sample_update() -> StatusUpdate {
+    StatusUpdate {
+        node: NodeId(42),
+        seq: 1234,
+        status: NodeStatus {
+            free_cpu_fraction: 0.31,
+            free_ram_mb: 128,
+            owner_active: false,
+            exporting: true,
+            running_parts: 2,
+        },
+        checkpoints: vec![],
+    }
+}
+
+fn bench_cdr(c: &mut Criterion) {
+    let update = sample_update();
+    c.bench_function("cdr_encode_status_update", |b| {
+        b.iter(|| black_box(&update).to_cdr_bytes())
+    });
+    let bytes = update.to_cdr_bytes();
+    c.bench_function("cdr_decode_status_update", |b| {
+        b.iter(|| StatusUpdate::from_cdr_bytes(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_giop(c: &mut Criterion) {
+    let update = sample_update();
+    let msg = Message::Request {
+        request_id: 7,
+        response_expected: false,
+        object_key: ObjectKey::new("integrade/grm"),
+        operation: "update_status".into(),
+        body: update.to_cdr_bytes(),
+    };
+    c.bench_function("giop_frame_encode", |b| b.iter(|| black_box(&msg).to_wire()));
+    let wire = msg.to_wire();
+    c.bench_function("giop_frame_decode", |b| {
+        b.iter(|| Message::from_wire(black_box(&wire)).unwrap())
+    });
+}
+
+struct Sink {
+    received: u64,
+}
+
+impl Servant for Sink {
+    fn type_id(&self) -> &'static str {
+        "IDL:bench/Sink:1.0"
+    }
+    fn dispatch(&mut self, op: &str, args: &mut CdrReader<'_>) -> Result<Vec<u8>, ServerException> {
+        match op {
+            "update_status" => {
+                let update = StatusUpdate::decode(args)?;
+                self.received += update.seq;
+                Ok(Vec::new())
+            }
+            other => Err(ServerException::BadOperation(other.to_owned())),
+        }
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    c.bench_function("orb_request_dispatch_reply_cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut server = Orb::new(Endpoint::new(1, 0));
+                let ior = server.activate(ObjectKey::new("sink"), Box::new(Sink { received: 0 }));
+                let mut client = Orb::new(Endpoint::new(2, 0));
+                let update = sample_update();
+                let (_, wire) =
+                    client.make_request(&ior, "update_status", |w| update.encode(w));
+                (server, client, wire)
+            },
+            |(mut server, mut client, wire)| {
+                let Incoming::ReplyToSend(reply) = server.handle_wire(&wire).unwrap() else {
+                    panic!()
+                };
+                client.handle_wire(&reply).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_cdr, bench_giop, bench_dispatch);
+criterion_main!(benches);

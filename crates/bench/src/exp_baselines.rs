@@ -1,0 +1,201 @@
+//! E11: InteGrade vs Condor-style vs BOINC-style vs naive on identical
+//! desktop traces and workloads.
+
+use crate::table::{f2, Table};
+use integrade_baselines::{
+    BaselineNode, BaselineSystem, BoincConfig, BoincSim, CondorConfig, CondorSim, NaiveSim,
+};
+use integrade_core::asct::JobSpec;
+use integrade_core::grid::{GridBuilder, GridConfig, NodeSetup};
+use integrade_core::scheduler::Strategy;
+use integrade_simnet::rng::DetRng;
+use integrade_simnet::time::{SimDuration, SimTime};
+use integrade_usage::sample::UsageSample;
+use integrade_workload::desktop::{generate_trace, Archetype, TraceConfig};
+
+fn population(n: usize) -> Vec<Vec<UsageSample>> {
+    let cfg = TraceConfig::default();
+    let mut rng = DetRng::new(1111);
+    (0..n)
+        .map(|i| {
+            let archetype = match i % 3 {
+                0 => Archetype::OfficeWorker,
+                1 => Archetype::LabMachine,
+                _ => Archetype::Spare,
+            };
+            generate_trace(archetype, &cfg, &mut rng.fork(i as u64))
+        })
+        .collect()
+}
+
+fn workload() -> Vec<(SimTime, JobSpec)> {
+    let mut jobs = Vec::new();
+    for i in 0..8u64 {
+        jobs.push((
+            SimTime::ZERO + SimDuration::from_hours(1 + 2 * i),
+            JobSpec::sequential(&format!("seq{i}"), 300_000),
+        ));
+    }
+    for i in 0..3u64 {
+        jobs.push((
+            SimTime::ZERO + SimDuration::from_hours(2 + 5 * i),
+            JobSpec::bag_of_tasks(&format!("bag{i}"), 6, 120_000),
+        ));
+    }
+    for i in 0..3u64 {
+        jobs.push((
+            SimTime::ZERO + SimDuration::from_hours(4 + 6 * i),
+            JobSpec::bsp(&format!("bsp{i}"), 3, 40, 2_000, 8_192),
+        ));
+    }
+    jobs
+}
+
+/// E11: the headline comparison table.
+pub fn e11() -> Table {
+    let mut table = Table::new(
+        "E11: systems comparison — 12 nodes, 14 jobs (8 seq + 3 bag + 3 BSP), 60 h",
+        &[
+            "system",
+            "completed",
+            "unsupported",
+            "evictions",
+            "wasted_mips_s",
+            "mean_makespan_h",
+            "owner_slowdown",
+        ],
+    );
+    let traces = population(12);
+    let jobs = workload();
+    let horizon = SimTime::ZERO + SimDuration::from_hours(60);
+
+    // InteGrade (pattern-aware, full protocol simulation).
+    {
+        let config = GridConfig {
+            strategy: Strategy::PatternAware,
+            gupa_warmup_days: 14,
+            seed: 99,
+            ..Default::default()
+        };
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster(
+            traces
+                .iter()
+                .map(|t| NodeSetup {
+                    trace: t.clone(),
+                    ..NodeSetup::idle_desktop()
+                })
+                .collect(),
+        );
+        let mut grid = builder.build();
+        for (at, spec) in &jobs {
+            grid.submit_at(spec.clone(), *at);
+        }
+        grid.run_until(horizon);
+        let report = grid.report();
+        table.push_row(vec![
+            "integrade".into(),
+            report.completed().to_string(),
+            "0".into(),
+            report.total_evictions().to_string(),
+            report.total_wasted_work().to_string(),
+            f2(report.mean_makespan_s() / 3600.0),
+            f2(report.qos.mean_slowdown()),
+        ]);
+    }
+
+    // Baselines. Note the fairness caveat recorded in EXPERIMENTS.md:
+    // Condor uses the whole idle machine while InteGrade caps itself at the
+    // NCC fraction, so makespans are not directly comparable across rows —
+    // capability and waste columns are.
+    let nodes: Vec<BaselineNode> = traces.iter().cloned().map(BaselineNode::desktop).collect();
+    let mut reserved_nodes = nodes.clone();
+    for node in reserved_nodes.iter_mut().take(3) {
+        node.reserved_for_parallel = true;
+        node.trace.clear();
+    }
+    let runs: Vec<(Box<dyn BaselineSystem>, &Vec<BaselineNode>)> = vec![
+        (Box::new(CondorSim::new(CondorConfig::default())), &nodes),
+        (
+            Box::new(CondorSim::new(CondorConfig {
+                checkpointing: true,
+                ..Default::default()
+            })),
+            &nodes,
+        ),
+        (
+            Box::new(CondorSim::new(CondorConfig {
+                checkpointing: true,
+                ..Default::default()
+            })),
+            &reserved_nodes,
+        ),
+        (Box::new(BoincSim::new(BoincConfig::default())), &nodes),
+        (Box::new(NaiveSim::new(5)), &nodes),
+    ];
+    let labels = [
+        "condor",
+        "condor+ckpt",
+        "condor+ckpt+3res",
+        "boinc",
+        "naive-random",
+    ];
+    for ((mut system, node_set), label) in runs.into_iter().zip(labels) {
+        let report = system.run(node_set, &jobs, horizon);
+        table.push_row(vec![
+            label.into(),
+            report.completed().to_string(),
+            report.unsupported().to_string(),
+            report.total_evictions().to_string(),
+            report.total_wasted_work().to_string(),
+            f2(report.mean_makespan_s() / 3600.0),
+            // Condor/BOINC run only while the owner is idle → slowdown 1.0
+            // by construction; naive may co-run but our model evicts, so
+            // it is also 1.0. Recorded for the column's completeness.
+            f2(1.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_capability_shape_holds() {
+        let table = e11();
+        let row_of = |name: &str| {
+            (0..table.rows.len())
+                .find(|&r| table.cell(r, "system") == Some(name))
+                .unwrap_or_else(|| panic!("row {name}"))
+        };
+        let integrade = row_of("integrade");
+        let condor = row_of("condor");
+        let condor_res = row_of("condor+ckpt+3res");
+        let boinc = row_of("boinc");
+        let naive = row_of("naive-random");
+
+        // InteGrade runs everything, including the 3 BSP jobs, unreserved.
+        assert_eq!(table.cell_f64(integrade, "unsupported"), Some(0.0));
+        assert!(table.cell_f64(integrade, "completed").unwrap() >= 13.0);
+
+        // BOINC cannot run the parallel jobs at all (§2).
+        assert_eq!(table.cell_f64(boinc, "unsupported"), Some(3.0));
+
+        // Condor without reservation can't either; with 3 reserved nodes it
+        // can (at the cost of withdrawing those machines).
+        assert_eq!(table.cell_f64(condor, "unsupported"), Some(3.0));
+        assert_eq!(table.cell_f64(condor_res, "unsupported"), Some(0.0));
+
+        // The naive control wastes at least as much as checkpointed Condor.
+        let ckpt = row_of("condor+ckpt");
+        assert!(
+            table.cell_f64(naive, "wasted_mips_s").unwrap()
+                >= table.cell_f64(ckpt, "wasted_mips_s").unwrap()
+        );
+
+        // InteGrade never slows owners.
+        assert_eq!(table.cell_f64(integrade, "owner_slowdown"), Some(1.0));
+    }
+}

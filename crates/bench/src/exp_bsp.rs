@@ -1,0 +1,213 @@
+//! E7: BSP superstep checkpointing — overhead vs protection.
+
+use crate::table::{f2, Table};
+use integrade_bsp::apps::Stencil1d;
+use integrade_bsp::checkpoint::{checkpoint, restore, CheckpointPolicy};
+use integrade_bsp::runtime::BspRuntime;
+use integrade_simnet::rng::DetRng;
+
+fn job(cells: usize, procs: usize, iterations: u64) -> BspRuntime<Stencil1d> {
+    let initial: Vec<f64> = (0..cells).map(|i| (i % 10) as f64 / 10.0).collect();
+    BspRuntime::new(Stencil1d::partition(&initial, procs, iterations, 0.0, 1.0))
+}
+
+/// E7: checkpoint frequency vs (bytes written, work lost under failures).
+///
+/// Runs the stencil app to completion while injecting node reclaims at a
+/// fixed mean interval; each reclaim rolls the job back to its last global
+/// checkpoint. Reports checkpoint volume and re-executed supersteps per
+/// policy — the trade-off the paper's §3 discussion anticipates.
+pub fn e7() -> Table {
+    let mut table = Table::new(
+        "E7: BSP checkpoint interval vs overhead and lost work (stencil, 8 procs, 200 supersteps, reclaim ~ every 37 supersteps)",
+        &[
+            "ckpt_every",
+            "checkpoints",
+            "ckpt_bytes_total",
+            "reclaims",
+            "resteps",
+            "resteps_pct",
+            "completed",
+        ],
+    );
+    let total_supersteps = 200u64;
+    let mean_failure_gap = 37.0;
+
+    for &every in &[0usize, 1, 2, 5, 10, 25] {
+        let policy = if every == 0 {
+            CheckpointPolicy::disabled()
+        } else {
+            CheckpointPolicy::every(every)
+        };
+        let mut rng = DetRng::new(4242); // same failure schedule per policy
+        let mut rt = job(64, 8, total_supersteps);
+        let mut baseline = checkpoint(&rt); // superstep 0 snapshot
+        let mut checkpoints = 0u64;
+        let mut ckpt_bytes = 0u64;
+        let mut reclaims = 0u64;
+        let mut executed = 0u64;
+        let mut next_failure = rng.exponential(mean_failure_gap).ceil() as u64;
+        let budget = 40 * total_supersteps; // give hopeless configs a bound
+        let completed = loop {
+            if rt.is_halted() {
+                break true;
+            }
+            if executed >= budget {
+                break false;
+            }
+            rt.step();
+            executed += 1;
+            if policy.due_at(rt.superstep()) {
+                baseline = checkpoint(&rt);
+                checkpoints += 1;
+                ckpt_bytes += baseline.size_bytes() as u64;
+            }
+            if executed >= next_failure {
+                // A node is reclaimed: roll back to the last checkpoint.
+                reclaims += 1;
+                rt = restore(&baseline).expect("valid checkpoint");
+                next_failure = executed + rng.exponential(mean_failure_gap).ceil() as u64;
+            }
+        };
+        let resteps = executed.saturating_sub(rt.superstep() as u64);
+        table.push_row(vec![
+            if every == 0 { "none".into() } else { every.to_string() },
+            checkpoints.to_string(),
+            ckpt_bytes.to_string(),
+            reclaims.to_string(),
+            resteps.to_string(),
+            f2(100.0 * resteps as f64 / executed.max(1) as f64),
+            completed.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E7b: checkpoint size scales with problem state, not superstep count.
+pub fn e7_size() -> Table {
+    let mut table = Table::new(
+        "E7b: global checkpoint size vs problem size (CDR-marshalled)",
+        &["cells", "procs", "ckpt_bytes", "bytes_per_cell"],
+    );
+    for &(cells, procs) in &[(32usize, 4usize), (128, 8), (512, 8), (2048, 16)] {
+        let mut rt = job(cells, procs, 50);
+        for _ in 0..3 {
+            rt.step();
+        }
+        let snap = checkpoint(&rt);
+        let bytes = snap.size_bytes();
+        table.push_row(vec![
+            cells.to_string(),
+            procs.to_string(),
+            bytes.to_string(),
+            f2(bytes as f64 / cells as f64),
+        ]);
+    }
+    table
+}
+
+/// E7c: crash recovery in the full grid — the checkpoint *repository* at
+/// work. Nodes crash and reboot on a fixed schedule while a batch of
+/// sequential jobs runs; the sweep varies the checkpoint interval the LRMs
+/// apply (0 = none). With checkpoints, the GRM's repository (fed by status
+/// updates) restores most progress after each crash.
+pub fn e7c() -> Table {
+    use integrade_core::asct::JobSpec;
+    use integrade_core::grid::{GridBuilder, GridConfig, NodeSetup};
+    use integrade_core::types::NodeId;
+    use integrade_simnet::time::{SimDuration, SimTime};
+
+    let mut table = Table::new(
+        "E7c: grid crash recovery — 6 nodes, 8 one-hour jobs, a crash every 2 h (reboot after 30 min)",
+        &["ckpt_interval_mips_s", "completed", "evictions", "mean_makespan_h"],
+    );
+    for &interval in &[0.0f64, 90_000.0, 30_000.0] {
+        let config = GridConfig {
+            gupa_warmup_days: 0,
+            sequential_checkpoint_mips_s: interval,
+            seed: 777,
+            ..Default::default()
+        };
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster((0..6).map(|_| NodeSetup::idle_desktop()).collect());
+        let mut grid = builder.build();
+        for i in 0..8u64 {
+            // ~1 h at the 150-MIPS grid share.
+            grid.submit_at(
+                JobSpec::sequential(&format!("job{i}"), 540_000),
+                SimTime::ZERO + SimDuration::from_mins(5 + i * 10),
+            );
+        }
+        // Crash schedule: node (k mod 6) dies at 2h, 4h, ..., reboots 30
+        // minutes later.
+        for k in 0..6u64 {
+            let down_at = SimTime::ZERO + SimDuration::from_hours(2 * (k + 1));
+            grid.run_until(down_at);
+            let victim = NodeId((k % 6) as u32);
+            grid.crash_node(victim);
+            grid.run_until(down_at + SimDuration::from_mins(30));
+            grid.restore_node(victim);
+        }
+        grid.run_until(SimTime::ZERO + SimDuration::from_hours(30));
+        let report = grid.report();
+        table.push_row(vec![
+            if interval == 0.0 { "none".into() } else { format!("{interval:.0}") },
+            report.completed().to_string(),
+            report.total_evictions().to_string(),
+            f2(report.mean_makespan_s() / 3600.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7c_repository_recovery_beats_restart() {
+        let table = e7c();
+        // Everything completes regardless (crashes are transient), but
+        // finer checkpoints shorten recovery.
+        for row in 0..table.rows.len() {
+            assert_eq!(table.cell_f64(row, "completed"), Some(8.0), "row {row}");
+        }
+        let none = table.cell_f64(0, "mean_makespan_h").unwrap();
+        let fine = table.cell_f64(2, "mean_makespan_h").unwrap();
+        assert!(
+            fine <= none,
+            "checkpointed recovery must not be slower ({fine} vs {none})"
+        );
+    }
+
+    #[test]
+    fn e7_more_frequent_checkpoints_lose_less_work() {
+        let table = e7();
+        // Row 0 = no checkpointing (restart from 0 every reclaim).
+        let resteps_none = table.cell_f64(0, "resteps").unwrap();
+        let resteps_every5 = table.cell_f64(3, "resteps").unwrap();
+        let resteps_every1 = table.cell_f64(1, "resteps").unwrap();
+        assert!(resteps_every5 < resteps_none, "{resteps_every5} < {resteps_none}");
+        assert!(resteps_every1 <= resteps_every5);
+        // But checkpoint volume moves the other way.
+        let bytes_every1 = table.cell_f64(1, "ckpt_bytes_total").unwrap();
+        let bytes_every10 = table.cell_f64(4, "ckpt_bytes_total").unwrap();
+        assert!(bytes_every1 > bytes_every10);
+        // With checkpointing the job always completes under churn; this is
+        // the paper's progress guarantee.
+        for row in 1..table.rows.len() {
+            assert_eq!(table.cell(row, "completed"), Some("true"), "row {row}");
+        }
+    }
+
+    #[test]
+    fn e7b_size_scales_linearly_with_state() {
+        let table = e7_size();
+        let small = table.cell_f64(0, "ckpt_bytes").unwrap();
+        let large = table.cell_f64(3, "ckpt_bytes").unwrap();
+        assert!(large > 20.0 * small, "2048 cells >> 32 cells: {large} vs {small}");
+        // Per-cell cost roughly constant (8-byte f64 + framing).
+        let per_cell = table.cell_f64(3, "bytes_per_cell").unwrap();
+        assert!((8.0..40.0).contains(&per_cell), "{per_cell}");
+    }
+}

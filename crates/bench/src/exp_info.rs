@@ -1,0 +1,330 @@
+//! F1 (architecture), E1 (Information Update Protocol cost) and
+//! E2 (staleness vs negotiation repair).
+
+use crate::table::{f2, Table};
+use integrade_core::asct::JobSpec;
+use integrade_core::grid::{Grid, GridBuilder, GridConfig, NodeSetup};
+use integrade_core::scheduler::Strategy;
+use integrade_simnet::rng::DetRng;
+use integrade_simnet::time::{SimDuration, SimTime};
+
+fn idle_grid(nodes: usize, update_period: SimDuration, delta: bool) -> Grid {
+    let mut config = GridConfig {
+        gupa_warmup_days: 0,
+        ..Default::default()
+    };
+    config.lrm.update_period = update_period;
+    config.lrm.delta_suppression = delta;
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..nodes).map(|_| NodeSetup::idle_desktop()).collect());
+    builder.build()
+}
+
+/// F1: instantiate Figure 1 and inventory its components.
+pub fn f1() -> Table {
+    let mut grid = idle_grid(8, SimDuration::from_secs(30), false);
+    let job = grid.submit(JobSpec::sequential("f1-probe", 1500));
+    grid.run_until(SimTime::from_secs(900));
+    let record = grid.job_record(job).expect("probe job");
+    let report = grid.report();
+
+    let mut table = Table::new(
+        "F1: Figure-1 architecture instantiated (8 providers + cluster manager)",
+        &["component", "instantiated", "evidence"],
+    );
+    let mut row = |c: &str, n: String, e: String| table.push_row(vec![c.into(), n, e]);
+    row(
+        "LRM (per node)",
+        format!("{}", grid.node_count()),
+        format!("{} status updates accepted by the GRM", report.updates.accepted),
+    );
+    row(
+        "GRM + Trader",
+        "1".into(),
+        format!("{} trader queries during scheduling", report.trader_queries),
+    );
+    row(
+        "LUPA collection",
+        format!("{}", grid.node_count()),
+        "5-minute sampling into day periods".into(),
+    );
+    row(
+        "GUPA",
+        "1".into(),
+        format!("{} trained node models", report.gupa_models),
+    );
+    row(
+        "NCC policies",
+        format!("{}", grid.node_count()),
+        format!("{} cap violations (must be 0)", report.qos.cap_violations),
+    );
+    row(
+        "ASCT",
+        "1".into(),
+        format!("probe job {} in {}", record.state, record.makespan().map(|d| d.to_string()).unwrap_or_default()),
+    );
+    row(
+        "Protocols over GIOP",
+        "2".into(),
+        format!("{} wire messages, {} bytes", report.net.messages, report.net.bytes),
+    );
+    table
+}
+
+/// E1: update-protocol cost vs cluster size, period and delta-suppression.
+pub fn e1() -> Table {
+    let mut table = Table::new(
+        "E1: Information Update Protocol cost (1 virtual hour, idle cluster)",
+        &[
+            "nodes",
+            "period_s",
+            "delta",
+            "updates",
+            "wire_msgs",
+            "wire_bytes",
+            "bytes/node/min",
+        ],
+    );
+    for &nodes in &[10usize, 50, 100, 200] {
+        for &(period, delta) in &[(10u64, false), (30, false), (60, false), (30, true)] {
+            let mut grid = idle_grid(nodes, SimDuration::from_secs(period), delta);
+            grid.run_until(SimTime::from_secs(3600));
+            let report = grid.report();
+            let per_node_min = report.net.bytes as f64 / nodes as f64 / 60.0;
+            table.push_row(vec![
+                nodes.to_string(),
+                period.to_string(),
+                delta.to_string(),
+                report.updates.accepted.to_string(),
+                report.net.messages.to_string(),
+                report.net.bytes.to_string(),
+                f2(per_node_min),
+            ]);
+        }
+    }
+    table
+}
+
+/// E2: the GRM's hint is stale; direct negotiation repairs it. Vary the
+/// update period and measure refusals per successful placement on a
+/// churning population.
+pub fn e2() -> Table {
+    let mut table = Table::new(
+        "E2: scheduling with stale hints — negotiation repairs (churny lab nodes)",
+        &[
+            "update_period_s",
+            "jobs",
+            "completed",
+            "refusals",
+            "refusals/job",
+            "mean_wait_s",
+        ],
+    );
+    // Fast churn: each node alternates 10 minutes busy / 10 minutes idle
+    // with a random phase, so a status snapshot older than a few minutes is
+    // frequently wrong — exactly the staleness the direct negotiation step
+    // exists to repair.
+    let mut rng = DetRng::new(99);
+    let square_wave = |phase: usize| -> Vec<integrade_usage::sample::UsageSample> {
+        use integrade_usage::sample::UsageSample;
+        (0..288 * 7)
+            .map(|slot| {
+                if ((slot + phase) / 2).is_multiple_of(2) {
+                    UsageSample::new(0.9, 0.5, 0.0, 0.0)
+                } else {
+                    UsageSample::idle()
+                }
+            })
+            .collect()
+    };
+    for &period in &[10u64, 60, 300, 900] {
+        let mut config = GridConfig {
+            gupa_warmup_days: 0,
+            strategy: Strategy::AvailabilityOnly,
+            seed: 7,
+            ..Default::default()
+        };
+        config.lrm.update_period = SimDuration::from_secs(period);
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster(
+            (0..16)
+                .map(|_| NodeSetup {
+                    trace: square_wave(rng.index(4)),
+                    ..NodeSetup::idle_desktop()
+                })
+                .collect(),
+        );
+        let mut grid = builder.build();
+        let jobs = 48;
+        for i in 0..jobs {
+            grid.submit_at(
+                JobSpec::sequential(&format!("job{i}"), 30_000),
+                SimTime::ZERO + SimDuration::from_mins(10 * i + 3),
+            );
+        }
+        grid.run_until(SimTime::ZERO + SimDuration::from_hours(16));
+        let report = grid.report();
+        let refusals: u64 = report.records.iter().map(|r| r.negotiation_refusals).sum();
+        let waits: Vec<f64> = report
+            .records
+            .iter()
+            .filter_map(|r| r.wait_time().map(|d| d.as_secs_f64()))
+            .collect();
+        let mean_wait = if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<f64>() / waits.len() as f64
+        };
+        table.push_row(vec![
+            period.to_string(),
+            jobs.to_string(),
+            report.completed().to_string(),
+            refusals.to_string(),
+            f2(refusals as f64 / jobs as f64),
+            f2(mean_wait),
+        ]);
+    }
+    table
+}
+
+/// E2b ablation: the same churny workload at 900-s staleness, with the §4
+/// next-candidate failover enabled vs disabled. Without it, refusals send
+/// the job back to a fresh query that re-picks the same stale head of the
+/// ranked list — a livelock this reproduction hit before implementing the
+/// paper's step.
+pub fn e2b() -> Table {
+    let mut table = Table::new(
+        "E2b: ablation — next-candidate failover on refusal (900-s updates, churny nodes)",
+        &["failover", "completed", "failed", "refusals", "mean_wait_s"],
+    );
+    let mut rng = DetRng::new(99);
+    let square_wave = |phase: usize| -> Vec<integrade_usage::sample::UsageSample> {
+        use integrade_usage::sample::UsageSample;
+        (0..288 * 7)
+            .map(|slot| {
+                if ((slot + phase) / 2).is_multiple_of(2) {
+                    UsageSample::new(0.9, 0.5, 0.0, 0.0)
+                } else {
+                    UsageSample::idle()
+                }
+            })
+            .collect()
+    };
+    let phases: Vec<usize> = (0..16).map(|_| rng.index(4)).collect();
+    for &failover in &[true, false] {
+        let mut config = GridConfig {
+            gupa_warmup_days: 0,
+            strategy: Strategy::AvailabilityOnly,
+            seed: 7,
+            candidate_failover: failover,
+            max_attempts: 60,
+            ..Default::default()
+        };
+        config.lrm.update_period = SimDuration::from_secs(900);
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster(
+            phases
+                .iter()
+                .map(|&p| NodeSetup {
+                    trace: square_wave(p),
+                    ..NodeSetup::idle_desktop()
+                })
+                .collect(),
+        );
+        let mut grid = builder.build();
+        let jobs = 48;
+        for i in 0..jobs {
+            grid.submit_at(
+                JobSpec::sequential(&format!("job{i}"), 30_000),
+                SimTime::ZERO + SimDuration::from_mins(10 * i + 3),
+            );
+        }
+        grid.run_until(SimTime::ZERO + SimDuration::from_hours(16));
+        let report = grid.report();
+        let refusals: u64 = report.records.iter().map(|r| r.negotiation_refusals).sum();
+        let waits: Vec<f64> = report
+            .records
+            .iter()
+            .filter_map(|r| r.wait_time().map(|d| d.as_secs_f64()))
+            .collect();
+        let mean_wait = if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<f64>() / waits.len() as f64
+        };
+        table.push_row(vec![
+            failover.to_string(),
+            report.completed().to_string(),
+            report.failed().to_string(),
+            refusals.to_string(),
+            f2(mean_wait),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_shows_all_components() {
+        let table = f1();
+        assert_eq!(table.rows.len(), 7);
+        // NCC invariant encoded in the table itself.
+        assert!(table.cell(4, "evidence").unwrap().starts_with("0 cap violations"));
+    }
+
+    #[test]
+    fn e1_cost_scales_with_nodes_and_period() {
+        let table = e1();
+        // messages grow with node count at fixed period (rows 1 and 5 are
+        // 10-node/30s and 50-node/30s).
+        let msgs_10 = table.cell_f64(1, "wire_msgs").unwrap();
+        let msgs_50 = table.cell_f64(5, "wire_msgs").unwrap();
+        assert!(msgs_50 > 4.0 * msgs_10);
+        // Shorter period costs more than longer at fixed size.
+        let msgs_10s = table.cell_f64(0, "wire_msgs").unwrap();
+        let msgs_60s = table.cell_f64(2, "wire_msgs").unwrap();
+        assert!(msgs_10s > 4.0 * msgs_60s);
+        // Delta suppression slashes idle-cluster traffic.
+        let updates_plain = table.cell_f64(1, "updates").unwrap();
+        let updates_delta = table.cell_f64(3, "updates").unwrap();
+        assert!(updates_delta * 10.0 < updates_plain);
+    }
+
+    #[test]
+    fn e2b_failover_is_load_bearing() {
+        let table = e2b();
+        assert!(table.cell_f64(0, "completed").unwrap() >= 40.0);
+        // Without the paper's failover step the job keeps re-querying into
+        // the same stale head-of-list: far more refusals and a wait that
+        // jumps from ~10 ms to minutes.
+        let wait_with = table.cell_f64(0, "mean_wait_s").unwrap();
+        let wait_without = table.cell_f64(1, "mean_wait_s").unwrap();
+        assert!(
+            wait_without > 100.0 * wait_with.max(0.001),
+            "{wait_without} vs {wait_with}"
+        );
+        assert!(
+            table.cell_f64(1, "refusals").unwrap() > table.cell_f64(0, "refusals").unwrap()
+        );
+    }
+
+    #[test]
+    fn e2_staleness_increases_refusals() {
+        let table = e2();
+        let fresh = table.cell_f64(0, "refusals/job").unwrap();
+        let stale = table.cell_f64(3, "refusals/job").unwrap();
+        assert!(
+            stale > fresh,
+            "staler hints → more refusals ({fresh} vs {stale})"
+        );
+        // Negotiation still gets jobs through despite the stale hints —
+        // the protocol's whole point.
+        for row in 0..table.rows.len() {
+            let done = table.cell_f64(row, "completed").unwrap();
+            assert!(done >= 40.0, "row {row}: completed={done}");
+        }
+    }
+}

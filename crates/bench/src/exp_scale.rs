@@ -1,0 +1,180 @@
+//! E9 (hierarchy scalability) and E10 (middleware wire costs).
+
+use crate::table::{f2, Table};
+use integrade_core::hierarchy::{ClusterHierarchy, ClusterSummary, FlatDirectory, WideAreaRequest};
+use integrade_core::protocol::{LaunchRequest, ReserveRequest, StatusUpdate};
+use integrade_core::types::{JobId, NodeId, NodeStatus};
+use integrade_orb::cdr::CdrEncode;
+use integrade_orb::giop::Message;
+use integrade_orb::ior::ObjectKey;
+
+fn leaf_summary() -> ClusterSummary {
+    ClusterSummary {
+        nodes: 64,
+        exporting_nodes: 40,
+        max_cpu_mips: 1000,
+        max_free_ram_mb: 256,
+        ..Default::default()
+    }
+}
+
+/// E9: per-manager message load, hierarchy vs flat directory, as the grid
+/// grows.
+pub fn e9() -> Table {
+    let mut table = Table::new(
+        "E9: wide-area scalability — one summary update per leaf cluster",
+        &[
+            "fanout",
+            "depth",
+            "clusters",
+            "hier_total_msgs",
+            "hier_msgs_per_cluster",
+            "flat_root_msgs",
+            "route_hops",
+        ],
+    );
+    for &(fanout, depth) in &[(2usize, 2usize), (4, 2), (4, 3), (8, 2), (8, 3), (16, 2)] {
+        let (mut hierarchy, leaves) = ClusterHierarchy::uniform(fanout, depth);
+        for &leaf in &leaves {
+            hierarchy.update_summary(leaf, leaf_summary()).unwrap();
+        }
+        let hier_msgs = hierarchy.stats().update_messages;
+        let mut flat = FlatDirectory::new();
+        for (i, _) in leaves.iter().enumerate() {
+            flat.update_summary(integrade_core::types::ClusterId(i as u32), leaf_summary());
+        }
+        // Route a request from the first leaf that only the last leaf's
+        // numbers admit — worst-case traversal.
+        let mut hierarchy2 = hierarchy.clone();
+        let special = ClusterSummary {
+            exporting_nodes: 1000,
+            ..leaf_summary()
+        };
+        hierarchy2.update_summary(*leaves.last().unwrap(), special).unwrap();
+        let request = WideAreaRequest {
+            nodes: 500,
+            min_cpu_mips: 500,
+            min_ram_mb: 64,
+        };
+        let hops = hierarchy2
+            .route_request(leaves[0], &request)
+            .unwrap()
+            .map(|(_, h)| h)
+            .unwrap_or(0);
+        table.push_row(vec![
+            fanout.to_string(),
+            depth.to_string(),
+            hierarchy.len().to_string(),
+            hier_msgs.to_string(),
+            f2(hier_msgs as f64 / leaves.len() as f64),
+            flat.root_messages.to_string(),
+            hops.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E10: wire sizes of the middleware's protocol messages — the "lightweight
+/// ORB" claim made concrete.
+pub fn e10() -> Table {
+    let mut table = Table::new(
+        "E10: protocol message wire sizes (CDR body + 12-byte GIOP header)",
+        &["message", "body_bytes", "wire_bytes", "overhead_pct"],
+    );
+    let mut push = |name: &str, body: Vec<u8>, operation: &str| {
+        let msg = Message::Request {
+            request_id: 1,
+            response_expected: true,
+            object_key: ObjectKey::new("integrade/lrm"),
+            operation: operation.to_owned(),
+            body: body.clone(),
+        };
+        let wire = msg.wire_size();
+        table.push_row(vec![
+            name.to_owned(),
+            body.len().to_string(),
+            wire.to_string(),
+            f2(100.0 * (wire - body.len()) as f64 / wire as f64),
+        ]);
+    };
+    push(
+        "StatusUpdate",
+        StatusUpdate {
+            node: NodeId(42),
+            seq: 1234,
+            status: NodeStatus {
+                free_cpu_fraction: 0.3,
+                free_ram_mb: 128,
+                owner_active: false,
+                exporting: true,
+                running_parts: 1,
+            },
+            checkpoints: vec![],
+        }
+        .to_cdr_bytes(),
+        "update_status",
+    );
+    push(
+        "ReserveRequest",
+        ReserveRequest {
+            job: JobId(7),
+            part: 3,
+            ram_mb: 64,
+            min_cpu_fraction: 0.1,
+            duration_hint_s: 600,
+        }
+        .to_cdr_bytes(),
+        "reserve",
+    );
+    push(
+        "LaunchRequest",
+        LaunchRequest {
+            reservation: 99,
+            job: JobId(7),
+            part: 3,
+            work_mips_s: 1_000_000,
+        }
+        .to_cdr_bytes(),
+        "launch",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_hierarchy_bounds_per_cluster_load() {
+        let table = e9();
+        for row in 0..table.rows.len() {
+            let depth = table.cell_f64(row, "depth").unwrap();
+            let per_cluster = table.cell_f64(row, "hier_msgs_per_cluster").unwrap();
+            // Per-leaf update cost = its depth; never the cluster count.
+            assert!(
+                (per_cluster - depth).abs() < 1e-9,
+                "row {row}: {per_cluster} vs depth {depth}"
+            );
+            // The flat root absorbs one message per cluster (linear).
+            let flat = table.cell_f64(row, "flat_root_msgs").unwrap();
+            let clusters = table.cell_f64(row, "clusters").unwrap();
+            // Leaves only: fanout^depth.
+            assert!(flat < clusters);
+        }
+        // Routing stays within 2×depth hops.
+        for row in 0..table.rows.len() {
+            let depth = table.cell_f64(row, "depth").unwrap();
+            let hops = table.cell_f64(row, "route_hops").unwrap();
+            assert!(hops <= 2.0 * depth, "{hops} <= 2×{depth}");
+        }
+    }
+
+    #[test]
+    fn e10_messages_are_small() {
+        let table = e10();
+        for row in 0..table.rows.len() {
+            let wire = table.cell_f64(row, "wire_bytes").unwrap();
+            assert!(wire < 128.0, "protocol messages are tens of bytes: {wire}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! E5 (scheduling-strategy comparison) and E8 (virtual-topology requests).
+
+use crate::table::{f2, Table};
+use integrade_bsp::cost::BspMachine;
+use integrade_core::asct::{GroupRequest, JobSpec, TopologyRequest};
+use integrade_core::grid::{GridBuilder, GridConfig, NodeSetup};
+use integrade_core::scheduler::{place_blind, place_groups, worst_path, CandidateNode, Strategy};
+use integrade_core::types::{NodeId, NodeStatus, ResourceVector};
+use integrade_simnet::rng::DetRng;
+use integrade_simnet::time::{SimDuration, SimTime};
+use integrade_simnet::topology::{LinkSpec, Topology};
+use integrade_workload::desktop::{generate_trace, Archetype, TraceConfig};
+
+/// E5: job outcomes under the three ranking strategies on a mixed
+/// (office/lab/spare) population.
+pub fn e5() -> Table {
+    let mut table = Table::new(
+        "E5: scheduling strategies on a mixed desktop population (24 nodes, 36 jobs, 2 days)",
+        &[
+            "strategy",
+            "completed",
+            "evictions",
+            "wasted_mips_s",
+            "mean_makespan_s",
+            "refusals",
+        ],
+    );
+    for strategy in [Strategy::Random, Strategy::AvailabilityOnly, Strategy::PatternAware] {
+        let config = GridConfig {
+            strategy,
+            gupa_warmup_days: 14,
+            seed: 1234,
+            ..Default::default()
+        };
+        let trace_cfg = TraceConfig::default();
+        let mut builder = GridBuilder::new(config);
+        let mut rng = DetRng::new(555);
+        let mut nodes = Vec::new();
+        for i in 0..24u64 {
+            let archetype = match i % 3 {
+                0 => Archetype::OfficeWorker,
+                1 => Archetype::LabMachine,
+                _ => Archetype::Spare,
+            };
+            nodes.push(NodeSetup {
+                trace: generate_trace(archetype, &trace_cfg, &mut rng.fork(i)),
+                ..NodeSetup::idle_desktop()
+            });
+        }
+        builder.add_cluster(nodes);
+        let mut grid = builder.build();
+        // 36 one-hour-ish jobs submitted through two working days.
+        for i in 0..36u64 {
+            grid.submit_at(
+                JobSpec::sequential(&format!("job{i}"), 450_000),
+                SimTime::ZERO + SimDuration::from_mins(20 + i * 75),
+            );
+        }
+        grid.run_until(SimTime::ZERO + SimDuration::from_days(3));
+        let report = grid.report();
+        let refusals: u64 = report.records.iter().map(|r| r.negotiation_refusals).sum();
+        table.push_row(vec![
+            strategy.to_string(),
+            report.completed().to_string(),
+            report.total_evictions().to_string(),
+            report.total_wasted_work().to_string(),
+            f2(report.mean_makespan_s()),
+            refusals.to_string(),
+        ]);
+    }
+    table
+}
+
+fn campus_candidates(
+    clusters: usize,
+    per_cluster: usize,
+    intra: LinkSpec,
+    inter: LinkSpec,
+) -> (Topology, Vec<CandidateNode>) {
+    let (topo, groups) = Topology::campus(clusters, per_cluster, intra, inter);
+    let mut candidates = Vec::new();
+    let mut id = 0u32;
+    for (_, hosts) in &groups {
+        for &host in hosts {
+            candidates.push(CandidateNode {
+                node: NodeId(id),
+                host,
+                status: NodeStatus {
+                    free_cpu_fraction: 0.3,
+                    free_ram_mb: 128,
+                    owner_active: false,
+                    exporting: true,
+                    running_parts: 0,
+                },
+                resources: ResourceVector {
+                    cpu_mips: 700,
+                    ram_mb: 256,
+                    disk_mb: 10_000,
+                },
+                predicted_idle_prob: None,
+            });
+            id += 1;
+        }
+    }
+    (topo, candidates)
+}
+
+/// E8: the paper's §3 virtual-topology request, topology-aware vs blind.
+pub fn e8() -> Table {
+    let mut table = Table::new(
+        "E8: '2 groups x 50 nodes, 100 Mbps intra / 10 Mbps inter' (paper sect. 3 request)",
+        &[
+            "placement",
+            "satisfied",
+            "worst_path_mbps",
+            "bsp_step_ms",
+            "slowdown_vs_aware",
+        ],
+    );
+    let (mut topo, candidates) =
+        campus_candidates(2, 60, LinkSpec::lan_100mbps(), LinkSpec::lan_10mbps());
+    let request = TopologyRequest::paper_example();
+    let message_bytes = 64 * 1024;
+    let work_units = 1_000_000u64; // per superstep
+
+    // Topology-aware placement.
+    let placement = place_groups(&mut topo, &candidates, &request).expect("satisfiable");
+    // The BSP step time is governed by the worst *intra-group* path —
+    // groups communicate internally every superstep.
+    let aware_path = placement.worst_intra;
+    let aware_machine = BspMachine::from_placement(aware_path, 700, message_bytes);
+    let aware_step = aware_machine.superstep_seconds(work_units, 8);
+
+    // Blind placement: top-100 by rank straddles the 10 Mbps core.
+    let blind = place_blind(&candidates[10..], 100).expect("enough nodes");
+    let blind_path = worst_path(&mut topo, &blind).expect("connected");
+    let blind_machine = BspMachine::from_placement(blind_path, 700, message_bytes);
+    let blind_step = blind_machine.superstep_seconds(work_units, 8);
+
+    table.push_row(vec![
+        "topology-aware".into(),
+        "true".into(),
+        f2(aware_path.bottleneck_bps as f64 / 1e6),
+        f2(aware_step * 1e3),
+        f2(1.0),
+    ]);
+    table.push_row(vec![
+        "blind-top-rank".into(),
+        "n/a".into(),
+        f2(blind_path.bottleneck_bps as f64 / 1e6),
+        f2(blind_step * 1e3),
+        f2(blind_step / aware_step),
+    ]);
+    table
+}
+
+/// E8b: request satisfiability across inter-cluster bandwidth floors.
+pub fn e8_sweep() -> Table {
+    let mut table = Table::new(
+        "E8b: inter-group bandwidth floor sweep (campus core = 10 Mbps)",
+        &["min_inter_mbps", "satisfied", "error"],
+    );
+    for &floor_mbps in &[1u64, 5, 10, 50, 100] {
+        let (mut topo, candidates) =
+            campus_candidates(2, 60, LinkSpec::lan_100mbps(), LinkSpec::lan_10mbps());
+        let request = TopologyRequest {
+            groups: vec![
+                GroupRequest {
+                    nodes: 50,
+                    min_intra_bps: 100_000_000,
+                },
+                GroupRequest {
+                    nodes: 50,
+                    min_intra_bps: 100_000_000,
+                },
+            ],
+            min_inter_bps: floor_mbps * 1_000_000,
+        };
+        match place_groups(&mut topo, &candidates, &request) {
+            Ok(_) => table.push_row(vec![floor_mbps.to_string(), "true".into(), "-".into()]),
+            Err(e) => table.push_row(vec![floor_mbps.to_string(), "false".into(), e.to_string()]),
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_pattern_aware_wins_on_evictions() {
+        let table = e5();
+        let evictions = |row: usize| table.cell_f64(row, "evictions").unwrap();
+        let completed = |row: usize| table.cell_f64(row, "completed").unwrap();
+        // Rows: 0=random, 1=availability, 2=pattern-aware.
+        assert!(
+            evictions(2) <= evictions(0),
+            "pattern-aware ({}) <= random ({})",
+            evictions(2),
+            evictions(0)
+        );
+        assert!(completed(2) >= completed(0));
+        // Everyone should finish most of the work on this light load.
+        assert!(completed(1) >= 30.0);
+    }
+
+    #[test]
+    fn e8_blind_placement_pays_the_core_penalty() {
+        let table = e8();
+        assert_eq!(table.cell(0, "satisfied"), Some("true"));
+        assert!(table.cell_f64(0, "worst_path_mbps").unwrap() >= 100.0);
+        assert!(table.cell_f64(1, "worst_path_mbps").unwrap() <= 10.0);
+        let slowdown = table.cell_f64(1, "slowdown_vs_aware").unwrap();
+        assert!(slowdown > 3.0, "10x bandwidth gap must show: {slowdown}");
+    }
+
+    #[test]
+    fn e8b_feasibility_boundary_at_core_bandwidth() {
+        let table = e8_sweep();
+        assert_eq!(table.cell(0, "satisfied"), Some("true")); // 1 Mbps floor
+        assert_eq!(table.cell(2, "satisfied"), Some("true")); // 10 Mbps floor
+        assert_eq!(table.cell(3, "satisfied"), Some("false")); // 50 Mbps floor
+        assert!(table.cell(3, "error").unwrap().contains("bandwidth"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # integrade-bench
+//!
+//! The experiment harness that regenerates every table in EXPERIMENTS.md.
+//! The InteGrade paper contains no quantitative evaluation (its single
+//! figure is the architecture diagram), so the experiment suite is
+//! *claim-driven*: every prose claim becomes a measurable table — see
+//! DESIGN.md §5 for the full index.
+//!
+//! Each experiment is a pure function returning a [`table::Table`]; the
+//! `experiments` binary prints them, and each module's tests assert the
+//! expected *shape* of its results (who wins, where the boundaries fall).
+//! Criterion micro-benchmarks for E10's marshalling/dispatch/query costs
+//! live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp_baselines;
+pub mod exp_bsp;
+pub mod exp_info;
+pub mod exp_qos;
+pub mod exp_sched;
+pub mod exp_scale;
+pub mod exp_usage;
+pub mod table;
+
+use table::Table;
+
+/// One registered experiment: `(id, description, runner)`.
+pub type ExperimentEntry = (&'static str, &'static str, fn() -> Table);
+
+/// All experiments, as `(id, description, runner)`.
+pub fn experiments() -> Vec<ExperimentEntry> {
+    vec![
+        ("f1", "Figure-1 architecture inventory", exp_info::f1 as fn() -> Table),
+        ("e1", "Information Update Protocol cost", exp_info::e1),
+        ("e2", "stale hints vs negotiation repair", exp_info::e2),
+        ("e2b", "ablation: next-candidate failover", exp_info::e2b),
+        ("e3", "behavioural-category recovery", exp_usage::e3),
+        ("e3b", "k-means archetype separation", exp_usage::e3_kmeans),
+        ("e3c", "ablation: DTW vs euclidean under time jitter", exp_usage::e3c),
+        ("e4", "idle-prediction accuracy", exp_usage::e4),
+        ("e5", "scheduling-strategy comparison", exp_sched::e5),
+        ("e6", "owner QoS under protection regimes", exp_qos::e6),
+        ("e6b", "harvest vs protection frontier", exp_qos::e6_harvest),
+        ("e7", "BSP checkpoint interval trade-off", exp_bsp::e7),
+        ("e7b", "checkpoint size scaling", exp_bsp::e7_size),
+        ("e7c", "grid crash recovery via the checkpoint repository", exp_bsp::e7c),
+        ("e8", "virtual-topology request placement", exp_sched::e8),
+        ("e8b", "inter-group bandwidth feasibility", exp_sched::e8_sweep),
+        ("e9", "hierarchy scalability", exp_scale::e9),
+        ("e10", "protocol wire sizes", exp_scale::e10),
+        ("e11", "systems comparison", exp_baselines::e11),
+    ]
+}
+
+/// Runs one experiment by id.
+pub fn run(id: &str) -> Option<Table> {
+    experiments()
+        .into_iter()
+        .find(|(eid, _, _)| *eid == id)
+        .map(|(_, _, f)| f())
+}

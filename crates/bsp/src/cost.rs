@@ -1,0 +1,190 @@
+//! The BSP cost model.
+//!
+//! Valiant's bridging model prices a superstep at `w + g·h + l`: maximum
+//! local work, the h-relation routed at gap `g`, and the barrier latency
+//! `l`. InteGrade's topology-aware scheduler uses this to score candidate
+//! placements: `g` and `l` derive from the network paths between the chosen
+//! nodes, so a placement split across a slow inter-cluster link prices out
+//! worse than one inside a fast LAN — quantifying the paper's virtual-
+//! topology requirement.
+
+use crate::runtime::BspStats;
+use integrade_simnet::time::SimDuration;
+use integrade_simnet::topology::PathQuality;
+use serde::{Deserialize, Serialize};
+
+/// Machine parameters of a (virtual) BSP computer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BspMachine {
+    /// Seconds of compute per unit of local work (1 / effective speed).
+    pub seconds_per_work_unit: f64,
+    /// Gap `g`: seconds per message of the h-relation.
+    pub g_seconds_per_message: f64,
+    /// Barrier latency `l` in seconds.
+    pub l_seconds: f64,
+}
+
+impl BspMachine {
+    /// Derives machine parameters from the *worst* network path among the
+    /// assigned nodes and the slowest node speed.
+    ///
+    /// * `worst_path` — the weakest pairwise link in the placement.
+    /// * `min_mips` — slowest node's speed in MIPS.
+    /// * `avg_message_bytes` — expected message size for `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_mips` is zero.
+    pub fn from_placement(worst_path: PathQuality, min_mips: u64, avg_message_bytes: u64) -> Self {
+        assert!(min_mips > 0, "node speed must be positive");
+        let g = worst_path.transfer_time(avg_message_bytes).as_secs_f64();
+        // A barrier is a round of small messages: 2x latency as a simple model.
+        let l = 2.0 * worst_path.latency.as_secs_f64();
+        BspMachine {
+            seconds_per_work_unit: 1.0 / (min_mips as f64 * 1e6),
+            g_seconds_per_message: g,
+            l_seconds: l,
+        }
+    }
+
+    /// Cost in seconds of one superstep with `w` work units (max over
+    /// processes) and an h-relation of `h` messages.
+    pub fn superstep_seconds(&self, w: u64, h: u64) -> f64 {
+        w as f64 * self.seconds_per_work_unit
+            + h as f64 * self.g_seconds_per_message
+            + self.l_seconds
+    }
+
+    /// Estimated runtime of a whole job from its measured statistics and a
+    /// per-superstep work figure.
+    pub fn estimate_runtime(&self, stats: &BspStats, work_per_superstep: u64) -> SimDuration {
+        let per_step = self.superstep_seconds(work_per_superstep, stats.max_h_relation);
+        SimDuration::from_secs_f64(per_step * stats.supersteps as f64)
+    }
+}
+
+/// Accumulates per-superstep costs for reporting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// (w, h, seconds) per superstep.
+    pub entries: Vec<(u64, u64, f64)>,
+}
+
+impl CostLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one superstep.
+    pub fn record(&mut self, machine: &BspMachine, w: u64, h: u64) {
+        self.entries.push((w, h, machine.superstep_seconds(w, h)));
+    }
+
+    /// Total modelled seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries.iter().map(|(_, _, s)| s).sum()
+    }
+
+    /// Fraction of total time spent in communication + barrier (the part a
+    /// bad placement inflates).
+    pub fn comm_fraction(&self, machine: &BspMachine) -> f64 {
+        let total = self.total_seconds();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let comm: f64 = self
+            .entries
+            .iter()
+            .map(|(_, h, _)| *h as f64 * machine.g_seconds_per_message + machine.l_seconds)
+            .sum();
+        comm / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use integrade_simnet::time::SimDuration;
+
+    fn lan_path() -> PathQuality {
+        PathQuality {
+            latency: SimDuration::from_micros(400),
+            bottleneck_bps: 100_000_000,
+            hops: 2,
+        }
+    }
+
+    fn wan_path() -> PathQuality {
+        PathQuality {
+            latency: SimDuration::from_millis(20),
+            bottleneck_bps: 10_000_000,
+            hops: 4,
+        }
+    }
+
+    #[test]
+    fn superstep_cost_composition() {
+        let m = BspMachine {
+            seconds_per_work_unit: 1e-6,
+            g_seconds_per_message: 1e-3,
+            l_seconds: 0.01,
+        };
+        let cost = m.superstep_seconds(1000, 10);
+        assert!((cost - (0.001 + 0.01 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wan_placement_costs_more_than_lan() {
+        let lan = BspMachine::from_placement(lan_path(), 500, 1024);
+        let wan = BspMachine::from_placement(wan_path(), 500, 1024);
+        assert!(wan.g_seconds_per_message > lan.g_seconds_per_message);
+        assert!(wan.l_seconds > lan.l_seconds);
+        assert!(wan.superstep_seconds(1000, 20) > lan.superstep_seconds(1000, 20));
+    }
+
+    #[test]
+    fn estimate_scales_with_supersteps() {
+        let m = BspMachine::from_placement(lan_path(), 500, 256);
+        let short = BspStats {
+            supersteps: 10,
+            max_h_relation: 4,
+            ..Default::default()
+        };
+        let long = BspStats {
+            supersteps: 100,
+            max_h_relation: 4,
+            ..Default::default()
+        };
+        let t_short = m.estimate_runtime(&short, 10_000);
+        let t_long = m.estimate_runtime(&long, 10_000);
+        assert_eq!(t_long.as_micros(), t_short.as_micros() * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mips_panics() {
+        BspMachine::from_placement(lan_path(), 0, 64);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_attributes() {
+        let m = BspMachine {
+            seconds_per_work_unit: 0.0,
+            g_seconds_per_message: 1.0,
+            l_seconds: 0.5,
+        };
+        let mut ledger = CostLedger::new();
+        ledger.record(&m, 0, 2); // 2.5 s, all comm
+        ledger.record(&m, 0, 0); // 0.5 s, all comm
+        assert!((ledger.total_seconds() - 3.0).abs() < 1e-12);
+        assert!((ledger.comm_fraction(&m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let m = BspMachine::from_placement(lan_path(), 100, 64);
+        assert_eq!(CostLedger::new().total_seconds(), 0.0);
+        assert_eq!(CostLedger::new().comm_fraction(&m), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # integrade-bsp
+//!
+//! Bulk Synchronous Parallel runtime with superstep checkpointing — the
+//! parallel-computation model InteGrade adopts (§3 of the paper): "InteGrade
+//! adopts BSP as the model for parallel computation; imposing frequent
+//! synchronizations among application nodes", whose barriers provide the
+//! machine-independent milestones needed to resume or migrate applications
+//! when desktop owners reclaim their machines.
+//!
+//! * [`program`] — the [`program::BspProgram`] trait and superstep context.
+//! * [`runtime`] — deterministic superstep execution with barrier semantics.
+//! * [`mod@checkpoint`] — CDR-marshalled global checkpoints, rollback recovery.
+//! * [`cost`] — Valiant's `w + g·h + l` cost model, parameterised from
+//!   network paths for topology-aware scheduling.
+//! * [`apps`] — prefix-sum, PageRank and Jacobi stencil example programs.
+//!
+//! # Examples
+//!
+//! ```
+//! use integrade_bsp::apps::PrefixSum;
+//! use integrade_bsp::runtime::BspRuntime;
+//!
+//! let mut rt = BspRuntime::new((1..=4).map(|value| PrefixSum { value }).collect::<Vec<_>>());
+//! rt.run(16);
+//! let sums: Vec<i64> = rt.procs().iter().map(|p| p.value).collect();
+//! assert_eq!(sums, vec![1, 3, 6, 10]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod checkpoint;
+pub mod cost;
+pub mod program;
+pub mod runtime;
+
+pub use checkpoint::{checkpoint, restore, CheckpointPolicy, GlobalCheckpoint, RestoreError};
+pub use cost::{BspMachine, CostLedger};
+pub use program::{BspContext, BspProgram, ProcId, StepOutcome};
+pub use runtime::{BspRuntime, BspStats, RunResult};

@@ -1,0 +1,362 @@
+//! Federation: multiple InteGrade clusters under one wide-area hierarchy.
+//!
+//! The paper's wide-area story (\[MK02\], §4): each cluster runs its own GRM;
+//! clusters arrange "in a hierarchy, allowing a single InteGrade grid to
+//! encompass millions of machines", with GRMs exchanging aggregated
+//! information and forwarding requests they cannot satisfy locally.
+//!
+//! A [`Federation`] owns one [`Grid`] per member cluster plus a
+//! [`ClusterHierarchy`]. Periodically each member's GRM view is aggregated
+//! into a [`crate::hierarchy::ClusterSummary`] and propagated up the tree; a submission whose
+//! origin cluster cannot admit it is routed to the nearest admitting
+//! cluster and executed there. Member grids advance in lock-step over the
+//! same virtual timeline.
+
+use crate::asct::{JobSpec, JobState};
+use crate::grid::Grid;
+use crate::hierarchy::{ClusterHierarchy, HierarchyError, WideAreaRequest};
+use crate::types::{ClusterId, JobId};
+use integrade_simnet::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where a federated submission ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FederatedJob {
+    /// Cluster actually executing the job.
+    pub cluster: ClusterId,
+    /// The job id within that cluster's grid.
+    pub job: JobId,
+    /// Inter-cluster hops the request travelled (0 = stayed local).
+    pub hops: u32,
+}
+
+/// Errors from federated submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FederationError {
+    /// The origin cluster is not a member.
+    UnknownCluster(ClusterId),
+    /// No cluster in the federation admits the request.
+    Unsatisfiable,
+    /// The hierarchy rejected the routing operation.
+    Hierarchy(HierarchyError),
+}
+
+impl fmt::Display for FederationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederationError::UnknownCluster(c) => write!(f, "unknown federation member {c}"),
+            FederationError::Unsatisfiable => write!(f, "no cluster admits the request"),
+            FederationError::Hierarchy(e) => write!(f, "hierarchy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+impl From<HierarchyError> for FederationError {
+    fn from(e: HierarchyError) -> Self {
+        FederationError::Hierarchy(e)
+    }
+}
+
+/// A multi-cluster InteGrade deployment.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_core::asct::JobSpec;
+/// use integrade_core::federation::Federation;
+/// use integrade_core::grid::{GridBuilder, GridConfig, NodeSetup};
+/// use integrade_core::types::ClusterId;
+/// use integrade_simnet::time::SimTime;
+///
+/// let make_grid = |n: usize| {
+///     let mut b = GridBuilder::new(GridConfig { gupa_warmup_days: 0, ..Default::default() });
+///     b.add_cluster((0..n).map(|_| NodeSetup::idle_desktop()).collect());
+///     b.build()
+/// };
+/// let mut fed = Federation::new(ClusterId(0), make_grid(2));
+/// fed.add_member(ClusterId(1), ClusterId(0), make_grid(8)).unwrap();
+/// fed.run_until(SimTime::from_secs(120)); // let update protocols populate views
+///
+/// // A 4-node request from cluster 0 (2 nodes) forwards to cluster 1.
+/// let mut spec = JobSpec::bag_of_tasks("wide", 4, 50_000);
+/// spec.requirements.min_ram_mb = 16;
+/// let placed = fed.submit(ClusterId(0), spec).unwrap();
+/// assert_eq!(placed.cluster, ClusterId(1));
+/// assert!(placed.hops > 0);
+/// ```
+pub struct Federation {
+    members: BTreeMap<ClusterId, Grid>,
+    hierarchy: ClusterHierarchy,
+}
+
+impl fmt::Debug for Federation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Federation")
+            .field("members", &self.members.keys().collect::<Vec<_>>())
+            .field("clusters", &self.hierarchy.len())
+            .finish()
+    }
+}
+
+impl Federation {
+    /// Creates a federation whose hierarchy root is `root` running `grid`.
+    pub fn new(root: ClusterId, grid: Grid) -> Self {
+        let mut members = BTreeMap::new();
+        members.insert(root, grid);
+        Federation {
+            members,
+            hierarchy: ClusterHierarchy::new(root),
+        }
+    }
+
+    /// Adds a member cluster under `parent` in the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id is taken or the parent unknown.
+    pub fn add_member(
+        &mut self,
+        id: ClusterId,
+        parent: ClusterId,
+        grid: Grid,
+    ) -> Result<(), FederationError> {
+        if self.members.contains_key(&id) {
+            return Err(FederationError::Hierarchy(HierarchyError::DuplicateCluster(id)));
+        }
+        self.hierarchy.add_cluster(id, parent)?;
+        self.members.insert(id, grid);
+        Ok(())
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the federation has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Access one member grid.
+    pub fn member(&self, id: ClusterId) -> Option<&Grid> {
+        self.members.get(&id)
+    }
+
+    /// Mutable access to one member grid.
+    pub fn member_mut(&mut self, id: ClusterId) -> Option<&mut Grid> {
+        self.members.get_mut(&id)
+    }
+
+    /// The hierarchy (for inspection and stats).
+    pub fn hierarchy(&self) -> &ClusterHierarchy {
+        &self.hierarchy
+    }
+
+    /// Propagates every member's current GRM summary up the hierarchy —
+    /// the inter-cluster Information Update Protocol round.
+    pub fn refresh_summaries(&mut self) {
+        // BTreeMap order keeps runs deterministic.
+        let summaries: Vec<(ClusterId, crate::hierarchy::ClusterSummary)> = self
+            .members
+            .iter()
+            .map(|(id, grid)| (*id, grid.cluster_summary()))
+            .collect();
+        for (id, summary) in summaries {
+            self.hierarchy
+                .update_summary(id, summary)
+                .expect("members are in the hierarchy");
+        }
+    }
+
+    fn admission_request(spec: &JobSpec) -> WideAreaRequest {
+        WideAreaRequest {
+            nodes: spec.kind.parts().min(u32::MAX as usize) as u32,
+            min_cpu_mips: spec.requirements.min_cpu_mips,
+            min_ram_mb: spec.requirements.min_ram_mb,
+        }
+    }
+
+    /// Submits a job originating at `origin`: executes locally when the
+    /// origin's summary admits it, otherwise routes through the hierarchy
+    /// to the nearest admitting cluster. Summaries are refreshed first.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the origin is unknown or nothing admits the request.
+    pub fn submit(
+        &mut self,
+        origin: ClusterId,
+        spec: JobSpec,
+    ) -> Result<FederatedJob, FederationError> {
+        if !self.members.contains_key(&origin) {
+            return Err(FederationError::UnknownCluster(origin));
+        }
+        self.refresh_summaries();
+        let request = Self::admission_request(&spec);
+        let Some((target, hops)) = self.hierarchy.route_request(origin, &request)? else {
+            return Err(FederationError::Unsatisfiable);
+        };
+        let grid = self
+            .members
+            .get_mut(&target)
+            .ok_or(FederationError::UnknownCluster(target))?;
+        let job = grid.submit(spec);
+        Ok(FederatedJob {
+            cluster: target,
+            job,
+            hops,
+        })
+    }
+
+    /// Advances every member grid to `horizon` (lock-step virtual time).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        for grid in self.members.values_mut() {
+            grid.run_until(horizon);
+        }
+    }
+
+    /// The state of a federated job.
+    pub fn job_state(&self, placed: FederatedJob) -> Option<JobState> {
+        self.members
+            .get(&placed.cluster)?
+            .job_record(placed.job)
+            .map(|r| r.state)
+    }
+
+    /// Total completed jobs across members.
+    pub fn total_completed(&self) -> usize {
+        self.members.values().map(|g| g.report().completed()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{GridBuilder, GridConfig, NodeSetup};
+    use crate::types::ResourceVector;
+
+    fn grid_of(n: usize, mips: u64) -> Grid {
+        let mut builder = GridBuilder::new(GridConfig {
+            gupa_warmup_days: 0,
+            ..Default::default()
+        });
+        builder.add_cluster(
+            (0..n)
+                .map(|_| NodeSetup {
+                    resources: ResourceVector {
+                        cpu_mips: mips,
+                        ram_mb: 256,
+                        disk_mb: 10_000,
+                    },
+                    ..NodeSetup::idle_desktop()
+                })
+                .collect(),
+        );
+        builder.build()
+    }
+
+    /// root(0): 2 slow nodes; child(1): 8 slow; child(2): 6 fast.
+    fn federation() -> Federation {
+        let mut fed = Federation::new(ClusterId(0), grid_of(2, 500));
+        fed.add_member(ClusterId(1), ClusterId(0), grid_of(8, 500)).unwrap();
+        fed.add_member(ClusterId(2), ClusterId(0), grid_of(6, 1500)).unwrap();
+        // Let the intra-cluster update protocols populate the GRM views.
+        fed.run_until(SimTime::from_secs(120));
+        fed
+    }
+
+    #[test]
+    fn local_jobs_stay_local() {
+        let mut fed = federation();
+        let placed = fed.submit(ClusterId(0), JobSpec::sequential("small", 10_000)).unwrap();
+        assert_eq!(placed.cluster, ClusterId(0));
+        assert_eq!(placed.hops, 0);
+        fed.run_until(SimTime::from_secs(3600));
+        assert_eq!(fed.job_state(placed), Some(JobState::Completed));
+    }
+
+    #[test]
+    fn oversized_jobs_forward_to_a_bigger_cluster() {
+        let mut fed = federation();
+        // 6 parts: cluster 0 has only 2 nodes worth of summary.
+        let placed = fed
+            .submit(ClusterId(0), JobSpec::bag_of_tasks("big", 6, 30_000))
+            .unwrap();
+        assert_eq!(placed.cluster, ClusterId(1), "first admitting child");
+        assert_eq!(placed.hops, 1, "root descends one edge to its child");
+        fed.run_until(SimTime::from_secs(4 * 3600));
+        assert_eq!(fed.job_state(placed), Some(JobState::Completed));
+    }
+
+    #[test]
+    fn fast_cpu_requirements_route_to_the_fast_cluster() {
+        let mut fed = federation();
+        let mut spec = JobSpec::sequential("fast-only", 50_000);
+        spec.requirements.min_cpu_mips = 1000;
+        let placed = fed.submit(ClusterId(1), spec).unwrap();
+        assert_eq!(placed.cluster, ClusterId(2), "only cluster 2 has 1500-MIPS nodes");
+        fed.run_until(SimTime::from_secs(3600));
+        assert_eq!(fed.job_state(placed), Some(JobState::Completed));
+    }
+
+    #[test]
+    fn impossible_requests_are_unsatisfiable() {
+        let mut fed = federation();
+        let mut spec = JobSpec::sequential("impossible", 1000);
+        spec.requirements.min_cpu_mips = 100_000;
+        assert_eq!(
+            fed.submit(ClusterId(0), spec).unwrap_err(),
+            FederationError::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn unknown_origin_rejected() {
+        let mut fed = federation();
+        assert_eq!(
+            fed.submit(ClusterId(9), JobSpec::sequential("x", 1)).unwrap_err(),
+            FederationError::UnknownCluster(ClusterId(9))
+        );
+    }
+
+    #[test]
+    fn duplicate_member_rejected() {
+        let mut fed = federation();
+        let err = fed.add_member(ClusterId(1), ClusterId(0), grid_of(1, 500)).unwrap_err();
+        assert!(matches!(err, FederationError::Hierarchy(_)));
+    }
+
+    #[test]
+    fn summaries_track_grid_state() {
+        let fed = federation();
+        let summary = fed.member(ClusterId(2)).unwrap().cluster_summary();
+        assert_eq!(summary.nodes, 6);
+        assert_eq!(summary.exporting_nodes, 6);
+        assert_eq!(summary.max_cpu_mips, 1500);
+        assert!(summary.max_free_ram_mb >= 64);
+    }
+
+    #[test]
+    fn hierarchy_stats_accumulate() {
+        let mut fed = federation();
+        fed.refresh_summaries();
+        let stats = fed.hierarchy().stats();
+        assert!(stats.update_messages >= 2, "children propagate to the root");
+        fed.submit(ClusterId(0), JobSpec::bag_of_tasks("big", 6, 1_000)).unwrap();
+        assert!(fed.hierarchy().stats().routing_messages > 0);
+    }
+
+    #[test]
+    fn lockstep_time_advances_all_members() {
+        let mut fed = federation();
+        fed.run_until(SimTime::from_secs(900));
+        for id in [0u32, 1, 2] {
+            let now = fed.member(ClusterId(id)).unwrap().now();
+            assert!(now >= SimTime::from_secs(899), "{id}: {now}");
+        }
+    }
+}

@@ -1,0 +1,1860 @@
+//! The runnable grid: Figure 1 assembled.
+//!
+//! [`GridBuilder`] wires the whole intra-cluster architecture into a
+//! deterministic discrete-event simulation: per-node LRMs (with NCC
+//! policies and LUPA collection), the GRM with its Trader-backed node
+//! registry, the GUPA, and the ASCT-facing submission/monitoring API. All
+//! LRM↔GRM interactions — status updates, reservation negotiation,
+//! launches, completion and eviction notices — travel as CDR-marshalled
+//! GIOP frames through the simulated network, so protocol costs are real.
+//!
+//! The execution manager (this module) plays the roles the paper assigns to
+//! the GRM and ASCT on the cluster-manager node: it runs the scheduling
+//! pipeline (trader query → GUPA prediction → strategy ranking → direct
+//! negotiation with retry) and tracks application lifecycles, including BSP
+//! gang scheduling with superstep-checkpoint rollback on eviction.
+
+use crate::asct::{JobKind, JobRecord, JobSpec, JobState};
+use crate::grm::{GrmState, NodeRegistration, UpdateStats};
+use crate::gupa::GupaState;
+use crate::lrm::{LrmConfig, LrmServant, LrmState};
+use crate::ncc::SharingPolicy;
+use crate::protocol::{
+    CancelPartReply, CancelPartRequest, LaunchReply, LaunchRequest, PartDone, PartEvicted,
+    ReserveReply, ReserveRequest, StatusUpdate, GRM_OBJECT_KEY, LRM_OBJECT_KEY, OP_CANCEL_PART,
+    OP_LAUNCH, OP_PART_DONE, OP_PART_EVICTED, OP_RESERVE, OP_UPDATE_STATUS,
+};
+use crate::qos::{QosLedger, SharingDiscipline};
+use crate::scheduler::{place_groups, rank, CandidateNode, Strategy};
+use crate::types::{JobId, NodeId, NodeRoles, Platform, ResourceVector};
+use integrade_orb::cdr::{CdrDecode, CdrEncode};
+use integrade_orb::ior::{Endpoint, Ior, ObjectKey};
+use integrade_orb::orb::{Incoming, Orb};
+use integrade_simnet::event::{run_until, EventQueue, RunOutcome, World};
+use integrade_simnet::net::{NetStats, Network};
+use integrade_simnet::rng::DetRng;
+use integrade_simnet::time::{SimDuration, SimTime};
+use integrade_simnet::topology::{ClusterTag, HostId, LinkSpec, Topology};
+use integrade_simnet::trace::TraceLog;
+use integrade_usage::patterns::LupaConfig;
+use integrade_usage::sample::{DayPeriod, SamplingConfig, UsageSample, Weekday};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Global grid configuration.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Master seed; every stochastic choice derives from it.
+    pub seed: u64,
+    /// Execution/owner-activity tick (the 5-minute sampling slot).
+    pub tick: SimDuration,
+    /// Per-node LRM configuration.
+    pub lrm: LrmConfig,
+    /// Scheduling strategy (E5's independent variable).
+    pub strategy: Strategy,
+    /// LUPA/GUPA analysis configuration.
+    pub lupa: LupaConfig,
+    /// Maximum candidates fetched per trader query.
+    pub max_candidates: usize,
+    /// Scheduling attempts before a job fails.
+    pub max_attempts: u32,
+    /// Delay before re-running the scheduling pipeline after a failure or
+    /// eviction.
+    pub reschedule_delay: SimDuration,
+    /// Horizon for GUPA idle predictions, minutes.
+    pub prediction_horizon_mins: u32,
+    /// Checkpoint interval for sequential/bag-of-tasks parts, MIPS-s
+    /// (0 = restart from scratch on eviction).
+    pub sequential_checkpoint_mips_s: f64,
+    /// Days of owner-trace history replayed into the GUPA before the run
+    /// (so pattern-aware scheduling has trained models from t = 0).
+    pub gupa_warmup_days: usize,
+    /// On a reservation refusal, immediately try the next candidate from
+    /// the ranked list (the §4 protocol). Disable only for the E2b
+    /// ablation, which shows why the paper's step is necessary.
+    pub candidate_failover: bool,
+    /// How long the GRM waits for a negotiation reply before treating the
+    /// node as unreachable.
+    pub request_timeout: SimDuration,
+    /// Silence after which a previously-reporting node is declared crashed
+    /// and its parts recovered from the checkpoint repository.
+    pub crash_silence: SimDuration,
+    /// When set, every protocol frame is sealed with this cluster key
+    /// (SipHash-2-4 MAC envelope) and unauthenticated frames are dropped —
+    /// the paper's §3 authentication investigation, enabled.
+    pub cluster_key: Option<integrade_orb::security::ClusterKey>,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            seed: 0x1A7E_67AD,
+            tick: SimDuration::from_mins(5),
+            lrm: LrmConfig::default(),
+            strategy: Strategy::AvailabilityOnly,
+            lupa: LupaConfig::default(),
+            max_candidates: 64,
+            max_attempts: 200,
+            reschedule_delay: SimDuration::from_secs(60),
+            prediction_horizon_mins: 120,
+            sequential_checkpoint_mips_s: 0.0,
+            gupa_warmup_days: 14,
+            candidate_failover: true,
+            request_timeout: SimDuration::from_secs(30),
+            crash_silence: SimDuration::from_secs(120),
+            cluster_key: None,
+        }
+    }
+}
+
+/// Per-node setup supplied to the builder.
+#[derive(Debug, Clone)]
+pub struct NodeSetup {
+    /// Hardware capacity.
+    pub resources: ResourceVector,
+    /// Software platform.
+    pub platform: Platform,
+    /// Owner sharing policy.
+    pub policy: SharingPolicy,
+    /// Figure-1 roles.
+    pub roles: NodeRoles,
+    /// Owner usage trace, one sample per 5-minute slot, cycled when
+    /// exhausted. An empty trace means always idle.
+    pub trace: Vec<UsageSample>,
+}
+
+impl NodeSetup {
+    /// An always-idle shared desktop with default policy.
+    pub fn idle_desktop() -> Self {
+        NodeSetup {
+            resources: ResourceVector::desktop(),
+            platform: Platform::linux_x86(),
+            policy: SharingPolicy::default(),
+            roles: NodeRoles::provider(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// A dedicated grid node.
+    pub fn dedicated() -> Self {
+        NodeSetup {
+            resources: ResourceVector::dedicated(),
+            platform: Platform::linux_x86(),
+            policy: SharingPolicy::dedicated(),
+            roles: NodeRoles::dedicated(),
+            trace: Vec::new(),
+        }
+    }
+}
+
+/// Builds a [`Grid`].
+#[derive(Debug)]
+pub struct GridBuilder {
+    config: GridConfig,
+    clusters: Vec<Vec<NodeSetup>>,
+    intra: LinkSpec,
+    inter: LinkSpec,
+}
+
+impl GridBuilder {
+    /// Starts a builder.
+    pub fn new(config: GridConfig) -> Self {
+        GridBuilder {
+            config,
+            clusters: Vec::new(),
+            intra: LinkSpec::lan_100mbps(),
+            inter: LinkSpec::lan_10mbps(),
+        }
+    }
+
+    /// Sets the intra-cluster and inter-cluster link characteristics
+    /// (defaults: 100 Mbps inside, 10 Mbps between — the paper's example).
+    pub fn links(&mut self, intra: LinkSpec, inter: LinkSpec) -> &mut Self {
+        self.intra = intra;
+        self.inter = inter;
+        self
+    }
+
+    /// Adds a cluster of nodes.
+    pub fn add_cluster(&mut self, nodes: Vec<NodeSetup>) -> &mut Self {
+        self.clusters.push(nodes);
+        self
+    }
+
+    /// Builds the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cluster was added.
+    pub fn build(&mut self) -> Grid {
+        assert!(
+            !self.clusters.is_empty() && self.clusters.iter().any(|c| !c.is_empty()),
+            "a grid needs at least one node"
+        );
+        // The execution tick doubles as the LUPA sampling slot: owner
+        // samples, day periods and trace indexing all assume they agree.
+        assert_eq!(
+            self.config.tick,
+            SimDuration::from_mins(self.config.lrm.sampling.interval_mins as u64),
+            "grid tick must equal the LUPA sampling interval"
+        );
+        Grid::assemble(
+            self.config.clone(),
+            std::mem::take(&mut self.clusters),
+            self.intra,
+            self.inter,
+        )
+    }
+}
+
+/// Discrete-event payloads.
+#[derive(Debug)]
+enum GridEvent {
+    /// Framed bytes arriving at a host.
+    Wire {
+        from: HostId,
+        to: HostId,
+        bytes: Vec<u8>,
+    },
+    /// Execution/owner-activity tick.
+    SlotTick,
+    /// One node's Information Update Protocol timer.
+    UpdateTick { node: usize },
+    /// Run the scheduling pipeline for a job.
+    Schedule { job: JobId },
+    /// A deferred submission.
+    Submit { spec: Box<JobSpec> },
+    /// A negotiation request has gone unanswered too long.
+    RequestTimeout { request_id: u64 },
+}
+
+/// What an in-flight GRM request is waiting for.
+#[derive(Debug)]
+enum Pending {
+    Reserve { job: JobId, part: u32, node: NodeId },
+    Launch { job: JobId, part: u32, node: NodeId },
+    CancelPart { job: JobId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PartState {
+    Unplaced,
+    Reserving,
+    Launching,
+    Running,
+    Done,
+}
+
+#[derive(Debug)]
+struct PartRuntime {
+    state: PartState,
+    node: Option<NodeId>,
+    reservation: u64,
+    /// Remaining work for sequential / bag-of-tasks parts, MIPS-s.
+    remaining: f64,
+}
+
+#[derive(Debug)]
+struct JobExec {
+    spec: JobSpec,
+    record: JobRecord,
+    parts: Vec<PartRuntime>,
+    /// Ranked candidates for the current scheduling round, consumed front
+    /// to back during negotiation.
+    candidates: Vec<CandidateNode>,
+    attempts: u32,
+    /// BSP: supersteps still to execute (rolls back to the last global
+    /// checkpoint on eviction).
+    bsp_remaining_supersteps: f64,
+    /// BSP: per-superstep work (compute + comm surcharge) of the current
+    /// placement, MIPS-s.
+    bsp_step_work: f64,
+    /// BSP gang teardown: cancel replies still outstanding.
+    pending_cancels: u32,
+    /// BSP gang teardown: smallest checkpointed progress seen, MIPS-s.
+    min_checkpoint: f64,
+    /// Reservation in-flight count for the current round.
+    pending_reservations: u32,
+    /// Next untried candidate index — on refusal the GRM "selects another
+    /// candidate node and repeats the process" (§4) without re-querying.
+    next_candidate: usize,
+    /// Gang mode: reservations granted, waiting to launch together.
+    granted: Vec<(u32, NodeId, u64)>,
+}
+
+/// End-of-run summary.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    /// Per-job monitoring records (the ASCT view).
+    pub records: Vec<JobRecord>,
+    /// Network traffic.
+    pub net: NetStats,
+    /// Information Update Protocol statistics.
+    pub updates: UpdateStats,
+    /// Trader queries run by the scheduler.
+    pub trader_queries: u64,
+    /// Owner QoS ledger.
+    pub qos: QosLedger,
+    /// Nodes with trained GUPA models.
+    pub gupa_models: usize,
+}
+
+impl GridReport {
+    /// Jobs that completed.
+    pub fn completed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.state == JobState::Completed)
+            .count()
+    }
+
+    /// Jobs that failed permanently.
+    pub fn failed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.state == JobState::Failed)
+            .count()
+    }
+
+    /// Total evictions across jobs.
+    pub fn total_evictions(&self) -> u64 {
+        self.records.iter().map(|r| r.evictions).sum()
+    }
+
+    /// Total wasted (re-executed) work, MIPS-s.
+    pub fn total_wasted_work(&self) -> u64 {
+        self.records.iter().map(|r| r.wasted_work_mips_s).sum()
+    }
+
+    /// Mean makespan of completed jobs, seconds.
+    pub fn mean_makespan_s(&self) -> f64 {
+        let spans: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.makespan().map(|d| d.as_secs_f64()))
+            .collect();
+        if spans.is_empty() {
+            0.0
+        } else {
+            spans.iter().sum::<f64>() / spans.len() as f64
+        }
+    }
+}
+
+struct GridWorld {
+    config: GridConfig,
+    net: Network,
+    orbs: BTreeMap<HostId, Orb>,
+    clock: Rc<RefCell<SimTime>>,
+    lrms: Vec<Rc<RefCell<LrmState>>>,
+    lrm_iors: Vec<Ior>,
+    node_hosts: Vec<HostId>,
+    grm: Rc<RefCell<GrmState>>,
+    grm_host: HostId,
+    grm_ior: Ior,
+    gupa: GupaState,
+    traces: Vec<Vec<UsageSample>>,
+    jobs: BTreeMap<JobId, JobExec>,
+    pending: BTreeMap<u64, Pending>,
+    next_job: u64,
+    rng: DetRng,
+    qos: QosLedger,
+    log: TraceLog,
+    slots_elapsed: u64,
+}
+
+/// The assembled, runnable grid.
+pub struct Grid {
+    world: GridWorld,
+    queue: EventQueue<GridEvent>,
+}
+
+impl std::fmt::Debug for Grid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Grid")
+            .field("nodes", &self.world.lrms.len())
+            .field("jobs", &self.world.jobs.len())
+            .field("now", &self.queue.now())
+            .finish()
+    }
+}
+
+impl Grid {
+    fn assemble(
+        config: GridConfig,
+        clusters: Vec<Vec<NodeSetup>>,
+        intra: LinkSpec,
+        inter: LinkSpec,
+    ) -> Grid {
+        // Physical topology: a core switch, per-cluster switches, the
+        // cluster-manager host on the core, nodes on their switches.
+        let mut topo = Topology::new();
+        let core = topo.add_switch("core");
+        let grm_host = topo.add_host("manager", None);
+        topo.connect(grm_host, core, intra);
+
+        let clock = Rc::new(RefCell::new(SimTime::ZERO));
+        let grm = Rc::new(RefCell::new(GrmState::new(config.seed ^ 0x6772)));
+        let mut orbs: BTreeMap<HostId, Orb> = BTreeMap::new();
+
+        let mut grm_orb = Orb::new(Endpoint::new(grm_host.0, 0));
+        let grm_ior = grm_orb.activate(
+            ObjectKey::new(GRM_OBJECT_KEY),
+            Box::new(crate::grm::GrmServant::with_clock(grm.clone(), clock.clone())),
+        );
+        orbs.insert(grm_host, grm_orb);
+
+        let mut lrms = Vec::new();
+        let mut lrm_iors = Vec::new();
+        let mut node_hosts = Vec::new();
+        let mut traces = Vec::new();
+        let mut node_index = 0u32;
+
+        for (cluster_index, nodes) in clusters.into_iter().enumerate() {
+            let tag = ClusterTag(cluster_index as u32);
+            let sw = topo.add_switch(&format!("sw{cluster_index}"));
+            topo.connect(sw, core, inter);
+            for setup in nodes {
+                let node = NodeId(node_index);
+                let host = topo.add_host(&format!("c{cluster_index}n{node_index}"), Some(tag));
+                topo.connect(host, sw, intra);
+                let lrm = Rc::new(RefCell::new(LrmState::new(
+                    node,
+                    setup.resources,
+                    setup.platform.clone(),
+                    setup.policy,
+                    setup.roles,
+                    config.lrm,
+                )));
+                let mut orb = Orb::new(Endpoint::new(host.0, 0));
+                let ior = orb.activate(
+                    ObjectKey::new(LRM_OBJECT_KEY),
+                    Box::new(LrmServant::new(lrm.clone(), clock.clone())),
+                );
+                orbs.insert(host, orb);
+                lrms.push(lrm);
+                lrm_iors.push(ior);
+                node_hosts.push(host);
+                traces.push(setup.trace);
+                node_index += 1;
+            }
+        }
+
+        // Register every node with the GRM.
+        {
+            let mut grm_state = grm.borrow_mut();
+            for (i, lrm) in lrms.iter().enumerate() {
+                let lrm_ref = lrm.borrow();
+                grm_state.register_node(NodeRegistration {
+                    node: lrm_ref.node,
+                    host: node_hosts[i],
+                    resources: lrm_ref.resources,
+                    platform: lrm_ref.platform.clone(),
+                    lrm: lrm_iors[i].clone(),
+                });
+            }
+        }
+
+        let mut world = GridWorld {
+            rng: DetRng::with_stream(config.seed, 0x4752_4944),
+            gupa: GupaState::new(config.lupa),
+            net: Network::new(topo),
+            orbs,
+            clock,
+            lrms,
+            lrm_iors,
+            node_hosts,
+            grm,
+            grm_host,
+            grm_ior,
+            traces,
+            jobs: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            next_job: 1,
+            qos: QosLedger::new(),
+            log: TraceLog::new(),
+            slots_elapsed: 0,
+            config,
+        };
+        world.warmup_gupa();
+
+        let mut queue = EventQueue::new();
+        queue.schedule_at(SimTime::ZERO, GridEvent::SlotTick);
+        let n = world.lrms.len() as u64;
+        for i in 0..world.lrms.len() {
+            let offset = world.config.lrm.update_period.as_micros() * i as u64 / n.max(1);
+            queue.schedule_at(
+                SimTime::from_micros(offset),
+                GridEvent::UpdateTick { node: i },
+            );
+        }
+        Grid { world, queue }
+    }
+
+    /// Submits a job now (before or between runs). Returns its id.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        let now = self.queue.now();
+        self.world.admit_job(spec, now, &mut self.queue)
+    }
+
+    /// Schedules a submission at a future virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn submit_at(&mut self, spec: JobSpec, at: SimTime) {
+        self.queue.schedule_at(at, GridEvent::Submit { spec: Box::new(spec) });
+    }
+
+    /// Crashes a node: it drops off the network and loses its volatile
+    /// state (running parts, reservations). The GRM notices via silence and
+    /// recovers the node's parts from the checkpoint repository.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown node.
+    pub fn crash_node(&mut self, node: NodeId) {
+        let host = self.world.node_hosts[node.0 as usize];
+        self.world.net.topology_mut().set_up(host, false).expect("known host");
+        self.world.lrms[node.0 as usize].borrow_mut().crash();
+        self.world
+            .log
+            .record(self.queue.now(), "node.crash", format!("{node}"));
+    }
+
+    /// Brings a crashed node back (reboot: empty volatile state).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown node.
+    pub fn restore_node(&mut self, node: NodeId) {
+        let host = self.world.node_hosts[node.0 as usize];
+        self.world.net.topology_mut().set_up(host, true).expect("known host");
+        self.world
+            .log
+            .record(self.queue.now(), "node.restore", format!("{node}"));
+    }
+
+    /// Injects raw bytes as if they arrived at `to` from `from` — a fault/
+    /// attack-injection hook for tests (e.g. forged frames when the cluster
+    /// key is enabled).
+    pub fn inject_frame(&mut self, from: HostId, to: HostId, bytes: Vec<u8>) {
+        self.queue
+            .schedule_after(SimDuration::from_micros(1), GridEvent::Wire { from, to, bytes });
+    }
+
+    /// The cluster-manager host id (target for injected frames).
+    pub fn manager_host(&self) -> HostId {
+        self.world.grm_host
+    }
+
+    /// Runs the grid until `horizon`. Returns the simulation outcome.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let (outcome, _) = run_until(&mut self.world, &mut self.queue, horizon, u64::MAX);
+        outcome
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The ASCT monitoring view of one job.
+    pub fn job_record(&self, job: JobId) -> Option<&JobRecord> {
+        self.world.jobs.get(&job).map(|j| &j.record)
+    }
+
+    /// The event trace (component interactions).
+    pub fn log(&self) -> &TraceLog {
+        &self.world.log
+    }
+
+    /// Direct read access to a node's LRM (inspection in tests/examples).
+    pub fn lrm(&self, node: NodeId) -> Option<std::cell::Ref<'_, LrmState>> {
+        self.world.lrms.get(node.0 as usize).map(|l| l.borrow())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.world.lrms.len()
+    }
+
+    /// This cluster's aggregated summary for the inter-cluster hierarchy
+    /// (the GRM's current — possibly stale — view).
+    pub fn cluster_summary(&self) -> crate::hierarchy::ClusterSummary {
+        self.world.grm.borrow().cluster_summary()
+    }
+
+    /// The final report.
+    pub fn report(&self) -> GridReport {
+        GridReport {
+            records: self.world.jobs.values().map(|j| j.record.clone()).collect(),
+            net: self.world.net.stats(),
+            updates: self.world.grm.borrow().update_stats(),
+            trader_queries: self.world.grm.borrow().trader_queries(),
+            qos: self.world.qos.clone(),
+            gupa_models: (0..self.world.lrms.len())
+                .filter(|&i| self.world.gupa.has_model(NodeId(i as u32)))
+                .count(),
+        }
+    }
+}
+
+impl GridWorld {
+    /// Day/weekday/minute of a virtual instant (day 0 = Monday).
+    fn wall(&self, now: SimTime) -> (u64, Weekday, u32) {
+        let (day, offset) = now.day_and_offset();
+        (day, Weekday::from_day_number(day), (offset.as_micros() / 60_000_000) as u32)
+    }
+
+    fn trace_sample(&self, node: usize, now: SimTime) -> UsageSample {
+        let trace = &self.traces[node];
+        if trace.is_empty() {
+            return UsageSample::idle();
+        }
+        let slot = (now.as_micros() / SimDuration::from_mins(5).as_micros()) as usize;
+        trace[slot % trace.len()]
+    }
+
+    /// Replays warmup days of each node's trace into the GUPA so
+    /// pattern-aware scheduling starts with trained models.
+    fn warmup_gupa(&mut self) {
+        let days = self.config.gupa_warmup_days;
+        if days == 0 {
+            return;
+        }
+        let slots_per_day = SamplingConfig::default().slots_per_day();
+        for node in 0..self.lrms.len() {
+            if self.traces[node].is_empty() {
+                continue;
+            }
+            let periods: Vec<DayPeriod> = (0..days)
+                .map(|d| DayPeriod {
+                    day: d as u64,
+                    weekday: Weekday::from_day_number(d as u64),
+                    samples: (0..slots_per_day)
+                        .map(|s| {
+                            let trace = &self.traces[node];
+                            trace[(d * slots_per_day + s) % trace.len()]
+                        })
+                        .collect(),
+                })
+                .collect();
+            self.gupa.upload(NodeId(node as u32), periods);
+        }
+    }
+
+    fn admit_job(
+        &mut self,
+        spec: JobSpec,
+        now: SimTime,
+        queue: &mut EventQueue<GridEvent>,
+    ) -> JobId {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let parts_total = spec.kind.parts();
+        let (bsp_supersteps, _) = match &spec.kind {
+            JobKind::Bsp { supersteps, .. } => (*supersteps as f64, ()),
+            _ => (0.0, ()),
+        };
+        let parts = (0..parts_total)
+            .map(|i| PartRuntime {
+                state: PartState::Unplaced,
+                node: None,
+                reservation: 0,
+                remaining: match &spec.kind {
+                    JobKind::Sequential { work_mips_s } => *work_mips_s as f64,
+                    JobKind::BagOfTasks { task_work_mips_s } => task_work_mips_s[i] as f64,
+                    JobKind::Bsp { .. } => 0.0,
+                },
+            })
+            .collect();
+        self.jobs.insert(
+            id,
+            JobExec {
+                record: JobRecord {
+                    id,
+                    name: spec.name.clone(),
+                    state: JobState::Queued,
+                    submitted_at: now,
+                    started_at: None,
+                    completed_at: None,
+                    parts_done: 0,
+                    parts_total,
+                    evictions: 0,
+                    negotiation_refusals: 0,
+                    wasted_work_mips_s: 0,
+                },
+                spec,
+                parts,
+                candidates: Vec::new(),
+                attempts: 0,
+                bsp_remaining_supersteps: bsp_supersteps,
+                bsp_step_work: 0.0,
+                pending_cancels: 0,
+                min_checkpoint: f64::INFINITY,
+                pending_reservations: 0,
+                next_candidate: 0,
+                granted: Vec::new(),
+            },
+        );
+        self.log.record(now, "asct.submit", format!("{id}"));
+        queue.schedule_at(now, GridEvent::Schedule { job: id });
+        id
+    }
+
+    /// Seals a frame under the cluster key when authentication is enabled.
+    fn protect(&self, frame: Vec<u8>) -> Vec<u8> {
+        match self.config.cluster_key {
+            Some(key) => integrade_orb::security::seal(key, &frame),
+            None => frame,
+        }
+    }
+
+    /// Verifies and strips the security envelope; `None` means the frame
+    /// must be dropped (and has been logged).
+    fn unprotect(&mut self, now: SimTime, bytes: &[u8]) -> Option<Vec<u8>> {
+        match self.config.cluster_key {
+            None => Some(bytes.to_vec()),
+            Some(key) => match integrade_orb::security::open(key, bytes) {
+                Ok(frame) => Some(frame.to_vec()),
+                Err(e) => {
+                    self.log.record(now, "auth.reject", e.to_string());
+                    None
+                }
+            },
+        }
+    }
+
+    /// Sends a framed request from the GRM to a node's LRM, registering the
+    /// pending continuation.
+    fn send_to_lrm(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        operation: &str,
+        body: impl FnOnce(&mut integrade_orb::cdr::CdrWriter),
+        pending: Pending,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        self.send_to_lrm_with_payload(now, node, operation, body, pending, 0, queue)
+    }
+
+    /// Like [`Self::send_to_lrm`], but the transfer is costed as the frame
+    /// plus `extra_bytes` of bulk payload (e.g. a migrated checkpoint).
+    #[allow(clippy::too_many_arguments)]
+    fn send_to_lrm_with_payload(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        operation: &str,
+        body: impl FnOnce(&mut integrade_orb::cdr::CdrWriter),
+        pending: Pending,
+        extra_bytes: u64,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let target = self.lrm_iors[node.0 as usize].clone();
+        let orb = self.orbs.get_mut(&self.grm_host).expect("grm orb");
+        let (request_id, bytes) = orb.make_request(&target, operation, body);
+        let bytes = self.protect(bytes);
+        self.pending.insert(request_id, pending);
+        let to = self.node_hosts[node.0 as usize];
+        match self
+            .net
+            .send(now, self.grm_host, to, bytes.len() as u64 + extra_bytes)
+        {
+            Ok(delay) => {
+                queue.schedule_after(
+                    delay,
+                    GridEvent::Wire {
+                        from: self.grm_host,
+                        to,
+                        bytes,
+                    },
+                );
+                // Crashed nodes never answer: a timeout converts silence
+                // into the failure path instead of wedging the job.
+                queue.schedule_after(
+                    self.config.request_timeout,
+                    GridEvent::RequestTimeout { request_id },
+                );
+            }
+            Err(_) => {
+                // Unreachable node: resolve as an immediate failure.
+                self.log.record(now, "net.drop", format!("to {node}"));
+                queue.schedule_after(
+                    SimDuration::from_micros(1),
+                    GridEvent::RequestTimeout { request_id },
+                );
+            }
+        }
+    }
+
+    /// Sends a oneway notification from a node's LRM to the GRM.
+    fn send_to_grm(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        operation: &str,
+        body: impl FnOnce(&mut integrade_orb::cdr::CdrWriter),
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let from = self.node_hosts[node];
+        let target = self.grm_ior.clone();
+        let orb = self.orbs.get_mut(&from).expect("lrm orb");
+        let (_, bytes) = orb.make_oneway(&target, operation, body);
+        let bytes = self.protect(bytes);
+        if let Ok(delay) = self.net.send(now, from, self.grm_host, bytes.len() as u64) {
+            queue.schedule_after(
+                delay,
+                GridEvent::Wire {
+                    from,
+                    to: self.grm_host,
+                    bytes,
+                },
+            );
+        }
+    }
+
+    fn handle_wire(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        to: HostId,
+        bytes: Vec<u8>,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        *self.clock.borrow_mut() = now;
+        let Some(frame) = self.unprotect(now, &bytes) else {
+            return;
+        };
+        let Some(orb) = self.orbs.get_mut(&to) else {
+            return;
+        };
+        match orb.handle_wire(&frame) {
+            Ok(Incoming::ReplyToSend(reply)) => {
+                let reply = self.protect(reply);
+                if let Ok(delay) = self.net.send(now, to, from, reply.len() as u64) {
+                    queue.schedule_after(
+                        delay,
+                        GridEvent::Wire {
+                            from: to,
+                            to: from,
+                            bytes: reply,
+                        },
+                    );
+                }
+            }
+            Ok(Incoming::OnewayHandled) => {}
+            Ok(Incoming::ReplyReceived { request_id, result }) => {
+                self.handle_reply(now, request_id, result, queue);
+            }
+            Err(e) => {
+                self.log.record(now, "orb.error", e.to_string());
+            }
+        }
+        // The GRM servant may have queued notifications; drain them.
+        if to == self.grm_host {
+            self.drain_grm_notifications(now, queue);
+        }
+    }
+
+    fn drain_grm_notifications(&mut self, now: SimTime, queue: &mut EventQueue<GridEvent>) {
+        let (done, evicted) = {
+            let mut grm = self.grm.borrow_mut();
+            (
+                std::mem::take(&mut grm.pending_done),
+                std::mem::take(&mut grm.pending_evictions),
+            )
+        };
+        for d in done {
+            self.on_part_done(now, &d, queue);
+        }
+        for e in evicted {
+            self.on_part_evicted(now, &e, queue);
+        }
+    }
+
+    fn on_part_done(&mut self, now: SimTime, done: &PartDone, queue: &mut EventQueue<GridEvent>) {
+        let Some(job) = self.jobs.get_mut(&done.job) else {
+            return;
+        };
+        let part = &mut job.parts[done.part as usize];
+        if part.state == PartState::Done {
+            return;
+        }
+        part.state = PartState::Done;
+        part.node = None;
+        job.record.parts_done += 1;
+        // The part's repository entry is no longer needed.
+        self.grm.borrow_mut().clear_repo_checkpoint(done.job, done.part);
+        self.log
+            .record(now, "job.part_done", format!("{} part {}", done.job, done.part));
+        if job.record.parts_done == job.record.parts_total {
+            job.record.state = JobState::Completed;
+            job.record.completed_at = Some(now);
+            self.log.record(now, "job.completed", format!("{}", done.job));
+        } else if !job.spec.kind.is_parallel() {
+            // More bag-of-tasks parts may be waiting for a node.
+            if job.parts.iter().any(|p| p.state == PartState::Unplaced) {
+                queue.schedule_after(SimDuration::from_secs(1), GridEvent::Schedule { job: done.job });
+            }
+        }
+    }
+
+    fn on_part_evicted(
+        &mut self,
+        now: SimTime,
+        evicted: &PartEvicted,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let grm_host = self.grm_host;
+        let Some(job) = self.jobs.get_mut(&evicted.job) else {
+            return;
+        };
+        if job.record.state == JobState::Completed || job.record.state == JobState::Failed {
+            return;
+        }
+        job.record.evictions += 1;
+        job.record.wasted_work_mips_s += evicted.lost_work_mips_s;
+        self.log.record(
+            now,
+            "job.evicted",
+            format!("{} part {} from {}", evicted.job, evicted.part, evicted.node),
+        );
+        let is_bsp = job.spec.kind.is_parallel();
+        if !is_bsp {
+            let part = &mut job.parts[evicted.part as usize];
+            part.remaining = (part.remaining - evicted.checkpointed_work_mips_s as f64).max(1.0);
+            part.state = PartState::Unplaced;
+            part.node = None;
+            job.record.state = JobState::Rescheduling;
+            queue.schedule_after(self.config.reschedule_delay, GridEvent::Schedule { job: evicted.job });
+            return;
+        }
+        // BSP gang teardown: cancel every other live part and collect
+        // checkpoints; the evicted part contributes its own.
+        if job.record.state == JobState::Rescheduling && job.pending_cancels > 0 {
+            // A second eviction during teardown: fold its checkpoint in.
+            job.min_checkpoint = job.min_checkpoint.min(evicted.checkpointed_work_mips_s as f64);
+            let part = &mut job.parts[evicted.part as usize];
+            part.state = PartState::Unplaced;
+            part.node = None;
+            return;
+        }
+        job.record.state = JobState::Rescheduling;
+        job.min_checkpoint = evicted.checkpointed_work_mips_s as f64;
+        {
+            let part = &mut job.parts[evicted.part as usize];
+            part.state = PartState::Unplaced;
+            part.node = None;
+        }
+        let job_id = evicted.job;
+        let mut cancels = Vec::new();
+        for (index, part) in job.parts.iter_mut().enumerate() {
+            if matches!(part.state, PartState::Running | PartState::Launching) {
+                if let Some(node) = part.node {
+                    cancels.push((index as u32, node));
+                }
+                part.state = PartState::Unplaced;
+                part.node = None;
+            }
+        }
+        job.pending_cancels = cancels.len() as u32;
+        let none_pending = cancels.is_empty();
+        let _ = grm_host;
+        for (part, node) in cancels {
+            self.send_to_lrm(
+                now,
+                node,
+                OP_CANCEL_PART,
+                move |w| CancelPartRequest { job: job_id, part }.encode(w),
+                Pending::CancelPart { job: job_id },
+                queue,
+            );
+        }
+        if none_pending {
+            self.finish_bsp_rollback(now, job_id, queue);
+        }
+    }
+
+    fn finish_bsp_rollback(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            return;
+        };
+        let step = job.bsp_step_work.max(1.0);
+        let ckpt = if job.min_checkpoint.is_finite() {
+            job.min_checkpoint
+        } else {
+            0.0
+        };
+        let steps_banked = (ckpt / step).floor();
+        job.bsp_remaining_supersteps = (job.bsp_remaining_supersteps - steps_banked).max(0.0);
+        job.min_checkpoint = f64::INFINITY;
+        self.log.record(
+            now,
+            "job.rollback",
+            format!("{job_id} banked {steps_banked} supersteps"),
+        );
+        queue.schedule_after(self.config.reschedule_delay, GridEvent::Schedule { job: job_id });
+    }
+
+    fn handle_reply(
+        &mut self,
+        now: SimTime,
+        request_id: u64,
+        result: Result<Vec<u8>, integrade_orb::orb::RemoteError>,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let Some(pending) = self.pending.remove(&request_id) else {
+            return;
+        };
+        match pending {
+            Pending::Reserve { job, part, node } => {
+                let reply = result
+                    .ok()
+                    .and_then(|b| ReserveReply::from_cdr_bytes(&b).ok())
+                    .unwrap_or_else(|| ReserveReply::refused("transport error"));
+                self.on_reserve_reply(now, job, part, node, reply, queue);
+            }
+            Pending::Launch { job, part, node } => {
+                let reply = result
+                    .ok()
+                    .and_then(|b| LaunchReply::from_cdr_bytes(&b).ok())
+                    .unwrap_or(LaunchReply {
+                        accepted: false,
+                        reason: "transport error".into(),
+                    });
+                self.on_launch_reply(now, job, part, node, reply, queue);
+            }
+            Pending::CancelPart { job } => {
+                let reply = result
+                    .ok()
+                    .and_then(|b| CancelPartReply::from_cdr_bytes(&b).ok())
+                    .unwrap_or(CancelPartReply {
+                        found: false,
+                        checkpointed_work_mips_s: 0,
+                        done_work_mips_s: 0,
+                    });
+                self.on_cancel_reply(now, job, reply, queue);
+            }
+        }
+    }
+
+    fn on_cancel_reply(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        reply: CancelPartReply,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            return;
+        };
+        if reply.found {
+            job.min_checkpoint = job.min_checkpoint.min(reply.checkpointed_work_mips_s as f64);
+            job.record.wasted_work_mips_s +=
+                reply.done_work_mips_s.saturating_sub(reply.checkpointed_work_mips_s);
+        }
+        job.pending_cancels = job.pending_cancels.saturating_sub(1);
+        if job.pending_cancels == 0 {
+            self.finish_bsp_rollback(now, job_id, queue);
+        }
+    }
+
+    /// Runs one round of the scheduling pipeline for a job.
+    fn schedule_job(&mut self, now: SimTime, job_id: JobId, queue: &mut EventQueue<GridEvent>) {
+        let Some(job) = self.jobs.get(&job_id) else {
+            return;
+        };
+        if matches!(job.record.state, JobState::Completed | JobState::Failed) {
+            return;
+        }
+        if job.pending_cancels > 0 || job.pending_reservations > 0 {
+            return; // still negotiating / tearing down
+        }
+        let unplaced: Vec<u32> = job
+            .parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.state == PartState::Unplaced)
+            .map(|(i, _)| i as u32)
+            .collect();
+        if unplaced.is_empty() {
+            return;
+        }
+        let constraint = job.spec.requirements.to_constraint();
+        let preference = job.spec.preference.to_trader_preference();
+        let is_bsp = job.spec.kind.is_parallel();
+        let topology_request = job.spec.topology.clone();
+        let strategy = self.config.strategy;
+        let spec_pref = job.spec.preference;
+
+        // 1. Trader query (the GRM's stale hint).
+        let predictions = self.predictions_for_scheduling(now);
+        let candidates = {
+            let mut grm = self.grm.borrow_mut();
+            grm.candidates(&constraint, preference, self.config.max_candidates, &predictions)
+        };
+        let candidates = match candidates {
+            Ok(c) => c,
+            Err(e) => {
+                self.log.record(now, "grm.query_error", e.to_string());
+                Vec::new()
+            }
+        };
+        // 2. Strategy ranking.
+        let ranked = rank(&candidates, strategy, spec_pref, &mut self.rng);
+        // 3. Topology-aware group placement when requested.
+        let ranked = if let Some(request) = &topology_request {
+            match place_groups(self.net.topology_mut(), &ranked, request) {
+                Ok(placement) => placement.groups.into_iter().flatten().collect(),
+                Err(e) => {
+                    self.log.record(now, "grm.topology_unsat", e.to_string());
+                    Vec::new()
+                }
+            }
+        } else {
+            ranked
+        };
+
+        let job = self.jobs.get_mut(&job_id).expect("job exists");
+        if ranked.len() < if is_bsp { job.parts.len() } else { 1 } {
+            job.attempts += 1;
+            if job.attempts >= self.config.max_attempts {
+                job.record.state = JobState::Failed;
+                self.log.record(now, "job.failed", format!("{job_id}: no candidates"));
+            } else {
+                job.record.state = JobState::Queued;
+                let backoff = self.config.reschedule_delay * (job.attempts as u64).clamp(1, 30);
+                queue.schedule_after(backoff, GridEvent::Schedule { job: job_id });
+            }
+            return;
+        }
+        job.candidates = ranked;
+        job.granted.clear();
+        job.record.state = JobState::Negotiating;
+
+        // 4. Direct negotiation: BSP reserves the whole gang up front; other
+        // kinds negotiate one node per unplaced part, round-robin over
+        // candidates.
+        let ram = job.spec.requirements.min_ram_mb.max(16);
+        let duration_hint = 600u64;
+        let mut sends: Vec<(u32, NodeId)> = Vec::new();
+        if is_bsp {
+            for (i, part) in unplaced.iter().enumerate() {
+                let candidate = &job.candidates[i];
+                sends.push((*part, candidate.node));
+            }
+        } else {
+            for (i, part) in unplaced.iter().enumerate() {
+                let candidate = &job.candidates[i % job.candidates.len()];
+                sends.push((*part, candidate.node));
+            }
+        }
+        job.pending_reservations = sends.len() as u32;
+        job.next_candidate = sends.len().min(job.candidates.len());
+        for (part, node) in &sends {
+            let p = &mut job.parts[*part as usize];
+            p.state = PartState::Reserving;
+            p.node = Some(*node);
+        }
+        let sends_owned = sends;
+        for (part, node) in sends_owned {
+            let req = ReserveRequest {
+                job: job_id,
+                part,
+                ram_mb: ram,
+                min_cpu_fraction: 0.05,
+                duration_hint_s: duration_hint,
+            };
+            self.send_to_lrm(
+                now,
+                node,
+                OP_RESERVE,
+                move |w| req.encode(w),
+                Pending::Reserve { job: job_id, part, node },
+                queue,
+            );
+        }
+    }
+
+    /// GUPA predictions for every node, used by the pattern-aware ranking.
+    fn predictions_for_scheduling(&self, now: SimTime) -> BTreeMap<NodeId, f64> {
+        if self.config.strategy != Strategy::PatternAware {
+            return BTreeMap::new();
+        }
+        let (_, weekday, minute) = self.wall(now);
+        let slots_per_day = SamplingConfig::default().slots_per_day();
+        let mut out = BTreeMap::new();
+        for (i, lrm) in self.lrms.iter().enumerate() {
+            let node = NodeId(i as u32);
+            let partial: Vec<UsageSample> = lrm.borrow().lupa_window().partial_day().to_vec();
+            if let Some(p) = self.gupa.predict_idle(
+                node,
+                weekday,
+                minute,
+                &partial,
+                slots_per_day,
+                self.config.prediction_horizon_mins,
+            ) {
+                out.insert(node, p);
+            }
+        }
+        out
+    }
+
+    fn on_reserve_reply(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part: u32,
+        node: NodeId,
+        reply: ReserveReply,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        // Phase 1: bookkeeping under the job borrow; collect any launch or
+        // failover reserve to send afterwards (sending needs `&mut self`).
+        let mut launch: Option<(LaunchRequest, f64, NodeId)> = None;
+        let mut failover: Option<(ReserveRequest, NodeId)> = None;
+        let round_done = {
+            let Some(job) = self.jobs.get_mut(&job_id) else {
+                return;
+            };
+            job.pending_reservations = job.pending_reservations.saturating_sub(1);
+            let is_bsp = job.spec.kind.is_parallel();
+            if reply.granted {
+                job.granted.push((part, node, reply.reservation));
+                if !is_bsp {
+                    // Launch immediately: independent parts need no gang.
+                    let work = job.parts[part as usize].remaining.max(1.0) as u64;
+                    job.parts[part as usize].state = PartState::Launching;
+                    job.parts[part as usize].reservation = reply.reservation;
+                    launch = Some((
+                        LaunchRequest {
+                            reservation: reply.reservation,
+                            job: job_id,
+                            part,
+                            work_mips_s: work,
+                        },
+                        self.config.sequential_checkpoint_mips_s,
+                        node,
+                    ));
+                }
+            } else {
+                job.record.negotiation_refusals += 1;
+                job.parts[part as usize].state = PartState::Unplaced;
+                job.parts[part as usize].node = None;
+                self.log.record(
+                    now,
+                    "grm.refused",
+                    format!("{job_id} part {part} by {node}: {}", reply.reason),
+                );
+                // The paper's failover: try the next candidate from this
+                // round's ranked list before giving up (BSP gangs instead
+                // retry as a unit in finish_reservation_round).
+                if self.config.candidate_failover
+                    && !is_bsp
+                    && job.next_candidate < job.candidates.len()
+                {
+                    let next = job.candidates[job.next_candidate].node;
+                    job.next_candidate += 1;
+                    job.pending_reservations += 1;
+                    job.parts[part as usize].state = PartState::Reserving;
+                    job.parts[part as usize].node = Some(next);
+                    failover = Some((
+                        ReserveRequest {
+                            job: job_id,
+                            part,
+                            ram_mb: job.spec.requirements.min_ram_mb.max(16),
+                            min_cpu_fraction: 0.05,
+                            duration_hint_s: 600,
+                        },
+                        next,
+                    ));
+                }
+            }
+            job.pending_reservations == 0
+        };
+        if let Some((req, target)) = failover {
+            let failover_part = req.part;
+            self.send_to_lrm(
+                now,
+                target,
+                OP_RESERVE,
+                move |w| req.encode(w),
+                Pending::Reserve {
+                    job: job_id,
+                    part: failover_part,
+                    node: target,
+                },
+                queue,
+            );
+        }
+        if let Some((req, ckpt, target)) = launch {
+            let launch_part = req.part;
+            self.send_to_lrm(
+                now,
+                target,
+                OP_LAUNCH,
+                move |w| (req, ckpt).encode(w),
+                Pending::Launch {
+                    job: job_id,
+                    part: launch_part,
+                    node: target,
+                },
+                queue,
+            );
+        }
+        if round_done {
+            self.finish_reservation_round(now, job_id, queue);
+        }
+    }
+
+    /// Completes one reservation round: launches a full BSP gang, or retries
+    /// refused parts.
+    fn finish_reservation_round(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        enum Outcome {
+            LaunchGang,
+            ReleaseAndMaybeRetry(Vec<(u32, NodeId, u64)>),
+            RetryStragglers,
+            Nothing,
+        }
+        let outcome = {
+            let Some(job) = self.jobs.get_mut(&job_id) else {
+                return;
+            };
+            let is_bsp = job.spec.kind.is_parallel();
+            if is_bsp {
+                if job.granted.len() == job.parts.len() {
+                    Outcome::LaunchGang
+                } else {
+                    // Release what we got and retry the whole gang.
+                    let granted = std::mem::take(&mut job.granted);
+                    for (part, _, _) in &granted {
+                        job.parts[*part as usize].state = PartState::Unplaced;
+                        job.parts[*part as usize].node = None;
+                    }
+                    job.attempts += 1;
+                    if job.attempts >= self.config.max_attempts {
+                        job.record.state = JobState::Failed;
+                        self.log.record(now, "job.failed", format!("{job_id}: gang refused"));
+                    } else {
+                        job.record.state = JobState::Queued;
+                        let backoff =
+                            self.config.reschedule_delay * (job.attempts as u64).clamp(1, 30);
+                        queue.schedule_after(backoff, GridEvent::Schedule { job: job_id });
+                    }
+                    Outcome::ReleaseAndMaybeRetry(granted)
+                }
+            } else if job.parts.iter().any(|p| p.state == PartState::Unplaced) {
+                job.attempts += 1;
+                if job.attempts >= self.config.max_attempts
+                    && job.parts.iter().all(|p| p.state == PartState::Unplaced)
+                {
+                    job.record.state = JobState::Failed;
+                    self.log.record(now, "job.failed", format!("{job_id}: refusals"));
+                    Outcome::Nothing
+                } else {
+                    Outcome::RetryStragglers
+                }
+            } else {
+                Outcome::Nothing
+            }
+        };
+        match outcome {
+            Outcome::LaunchGang => self.launch_bsp_gang(now, job_id, queue),
+            Outcome::ReleaseAndMaybeRetry(granted) => {
+                for (_, node, reservation) in granted {
+                    let target = self.lrm_iors[node.0 as usize].clone();
+                    let orb = self.orbs.get_mut(&self.grm_host).expect("grm orb");
+                    let (_, bytes) = orb.make_oneway(&target, crate::protocol::OP_CANCEL, |w| {
+                        reservation.encode(w)
+                    });
+                    let bytes = self.protect(bytes);
+                    let to = self.node_hosts[node.0 as usize];
+                    if let Ok(delay) = self.net.send(now, self.grm_host, to, bytes.len() as u64) {
+                        queue.schedule_after(
+                            delay,
+                            GridEvent::Wire {
+                                from: self.grm_host,
+                                to,
+                                bytes,
+                            },
+                        );
+                    }
+                }
+            }
+            Outcome::RetryStragglers => {
+                queue.schedule_after(
+                    self.config.reschedule_delay,
+                    GridEvent::Schedule { job: job_id },
+                );
+            }
+            Outcome::Nothing => {}
+        }
+    }
+
+    fn launch_bsp_gang(&mut self, now: SimTime, job_id: JobId, queue: &mut EventQueue<GridEvent>) {
+        let job = self.jobs.get_mut(&job_id).expect("job exists");
+        let JobKind::Bsp {
+            work_per_superstep_mips_s,
+            bytes_per_superstep,
+            checkpoint_every,
+            state_bytes,
+            ..
+        } = job.spec.kind
+        else {
+            return;
+        };
+        // Superstep surcharge from the placement's worst path (BSP cost
+        // model: w + g·h + l converted into MIPS-s at the slowest node).
+        let granted = std::mem::take(&mut job.granted);
+        let min_mips = granted
+            .iter()
+            .map(|(_, node, _)| self.lrms[node.0 as usize].borrow().resources.cpu_mips)
+            .min()
+            .unwrap_or(500);
+        let hosts: Vec<CandidateNode> = granted
+            .iter()
+            .filter_map(|(_, node, _)| {
+                job.candidates
+                    .iter()
+                    .find(|c| c.node == *node)
+                    .cloned()
+            })
+            .collect();
+        let worst = crate::scheduler::worst_path(self.net.topology_mut(), &hosts)
+            .unwrap_or_else(integrade_simnet::topology::PathQuality::loopback);
+        let comm_seconds = worst.transfer_time(bytes_per_superstep).as_secs_f64()
+            + 2.0 * worst.latency.as_secs_f64();
+        let comm_mips_s = comm_seconds * min_mips as f64;
+        let job = self.jobs.get_mut(&job_id).expect("job exists");
+        job.bsp_step_work = work_per_superstep_mips_s as f64 + comm_mips_s;
+        let work = (job.bsp_remaining_supersteps * job.bsp_step_work).max(1.0) as u64;
+        let ckpt_interval = if checkpoint_every == 0 {
+            0.0
+        } else {
+            checkpoint_every as f64 * job.bsp_step_work
+        };
+        let launches: Vec<(u32, NodeId, u64)> = granted;
+        for (part, _, reservation) in &launches {
+            job.parts[*part as usize].state = PartState::Launching;
+            job.parts[*part as usize].reservation = *reservation;
+        }
+        self.log.record(
+            now,
+            "job.gang_launch",
+            format!("{job_id} on {} nodes, step work {:.0}", launches.len(), job.bsp_step_work),
+        );
+        // A relaunch after eviction ships the migrated checkpoint state to
+        // each new node — the machine-independent snapshot the §3 model
+        // exists to make movable, costed as bulk payload on the wire.
+        let migration_bytes = if job.record.evictions > 0 { state_bytes } else { 0 };
+        for (part, node, reservation) in launches {
+            let req = LaunchRequest {
+                reservation,
+                job: job_id,
+                part,
+                work_mips_s: work,
+            };
+            self.send_to_lrm_with_payload(
+                now,
+                node,
+                OP_LAUNCH,
+                move |w| (req, ckpt_interval).encode(w),
+                Pending::Launch { job: job_id, part, node },
+                migration_bytes,
+                queue,
+            );
+        }
+    }
+
+    fn on_launch_reply(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part: u32,
+        node: NodeId,
+        reply: LaunchReply,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            return;
+        };
+        if reply.accepted {
+            job.parts[part as usize].state = PartState::Running;
+            job.attempts = 0;
+            if job.record.started_at.is_none() {
+                job.record.started_at = Some(now);
+            }
+            if job.record.state != JobState::Running {
+                job.record.state = JobState::Running;
+            }
+            self.log
+                .record(now, "job.part_started", format!("{job_id} part {part} on {node}"));
+        } else {
+            job.record.negotiation_refusals += 1;
+            job.parts[part as usize].state = PartState::Unplaced;
+            job.parts[part as usize].node = None;
+            queue.schedule_after(self.config.reschedule_delay, GridEvent::Schedule { job: job_id });
+        }
+    }
+
+    fn slot_tick(&mut self, now: SimTime, queue: &mut EventQueue<GridEvent>) {
+        *self.clock.borrow_mut() = now;
+        let (_, weekday, minute) = self.wall(now);
+        self.slots_elapsed += 1;
+        let tick = self.config.tick;
+        for i in 0..self.lrms.len() {
+            let owner = self.trace_sample(i, now);
+            let (completed, evictions, grid_running, grid_share, cap) = {
+                let mut lrm = self.lrms[i].borrow_mut();
+                // Credit the elapsed tick under the owner state that held
+                // during it *before* observing the new sample; otherwise a
+                // returning owner would retroactively erase the idle
+                // interval's progress.
+                let completed = lrm.advance(tick);
+                lrm.observe_owner(owner, weekday, minute);
+                lrm.expire_reservations(now);
+                let evictions = lrm.check_eviction();
+                (
+                    completed,
+                    evictions,
+                    !lrm.running().is_empty(),
+                    lrm.grid_share(),
+                    lrm.policy.max_cpu_fraction,
+                )
+            };
+            // Owner QoS accounting (InteGrade's user-level scheduler always
+            // yields, so usage == the capped share).
+            let grid_demand = if grid_running { 1.0 } else { 0.0 };
+            let grid_usage = if grid_running { grid_share } else { 0.0 };
+            self.qos.record(
+                owner.cpu,
+                grid_demand,
+                grid_usage,
+                cap,
+                SharingDiscipline::Yielding,
+            );
+            for done in completed {
+                let msg = PartDone {
+                    job: done.job,
+                    part: done.part,
+                    node: NodeId(i as u32),
+                };
+                self.send_to_grm(now, i, OP_PART_DONE, move |w| msg.encode(w), queue);
+            }
+            for evicted in evictions {
+                self.send_to_grm(now, i, OP_PART_EVICTED, move |w| evicted.clone().encode(w), queue);
+            }
+            // LUPA uploads (completed day periods go to the GUPA).
+            let periods = self.lrms[i].borrow_mut().take_lupa_periods();
+            if !periods.is_empty() {
+                self.gupa.upload(NodeId(i as u32), periods);
+            }
+        }
+        self.detect_crashed_nodes(now, queue);
+        queue.schedule_after(tick, GridEvent::SlotTick);
+    }
+
+    /// GRM-side crash detection: a node silent past `crash_silence` is
+    /// declared dead; parts it hosted are recovered from the checkpoint
+    /// repository as synthetic evictions ("resume the application in case
+    /// of crashes", §3).
+    fn detect_crashed_nodes(&mut self, now: SimTime, queue: &mut EventQueue<GridEvent>) {
+        if now.as_micros() < self.config.crash_silence.as_micros() {
+            return; // grace period at start-up
+        }
+        let silent = self
+            .grm
+            .borrow()
+            .silent_nodes(now, self.config.crash_silence);
+        for node in silent {
+            self.grm.borrow_mut().mark_unavailable(node);
+            self.log.record(now, "grm.node_dead", format!("{node}"));
+            // Recover every part this world placed on the dead node.
+            let mut recovered: Vec<PartEvicted> = Vec::new();
+            for (job_id, job) in &self.jobs {
+                for (index, part) in job.parts.iter().enumerate() {
+                    if part.node == Some(node)
+                        && matches!(part.state, PartState::Running | PartState::Launching)
+                    {
+                        let checkpointed =
+                            self.grm.borrow().repo_checkpoint(*job_id, index as u32);
+                        recovered.push(PartEvicted {
+                            job: *job_id,
+                            part: index as u32,
+                            node,
+                            checkpointed_work_mips_s: checkpointed,
+                            lost_work_mips_s: 0, // unknown; counted as 0
+                        });
+                    }
+                }
+            }
+            for evicted in recovered {
+                self.on_part_evicted(now, &evicted, queue);
+            }
+        }
+    }
+
+    fn update_tick(&mut self, now: SimTime, node: usize, queue: &mut EventQueue<GridEvent>) {
+        *self.clock.borrow_mut() = now;
+        let config = self.config.lrm;
+        let (update, checkpoints) = {
+            let mut lrm = self.lrms[node].borrow_mut();
+            (lrm.next_update(&config), lrm.checkpoint_reports())
+        };
+        if let Some((seq, status)) = update {
+            let msg = StatusUpdate {
+                node: NodeId(node as u32),
+                seq,
+                status,
+                checkpoints,
+            };
+            self.send_to_grm(now, node, OP_UPDATE_STATUS, move |w| msg.encode(w), queue);
+        }
+        queue.schedule_after(config.update_period, GridEvent::UpdateTick { node });
+    }
+}
+
+impl World for GridWorld {
+    type Event = GridEvent;
+
+    fn handle(&mut self, now: SimTime, event: GridEvent, queue: &mut EventQueue<GridEvent>) {
+        match event {
+            GridEvent::Wire { from, to, bytes } => self.handle_wire(now, from, to, bytes, queue),
+            GridEvent::SlotTick => self.slot_tick(now, queue),
+            GridEvent::UpdateTick { node } => self.update_tick(now, node, queue),
+            GridEvent::Schedule { job } => self.schedule_job(now, job, queue),
+            GridEvent::Submit { spec } => {
+                self.admit_job(*spec, now, queue);
+            }
+            GridEvent::RequestTimeout { request_id } => {
+                if self.pending.contains_key(&request_id) {
+                    self.log.record(now, "grm.timeout", format!("request {request_id}"));
+                    self.handle_reply(
+                        now,
+                        request_id,
+                        Err(integrade_orb::orb::RemoteError::Unreachable(
+                            integrade_orb::ior::Endpoint::new(u32::MAX, 0),
+                        )),
+                        queue,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid(strategy: Strategy) -> Grid {
+        let config = GridConfig {
+            strategy,
+            gupa_warmup_days: 0,
+            ..Default::default()
+        };
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster((0..4).map(|_| NodeSetup::idle_desktop()).collect());
+        builder.build()
+    }
+
+    #[test]
+    fn sequential_job_completes() {
+        let mut grid = small_grid(Strategy::AvailabilityOnly);
+        // 1500 MIPS-s on a 500 MIPS node at 30% cap = 10 s of CPU... but
+        // progress advances per 5-min tick, so it completes on the first
+        // tick after launch.
+        let job = grid.submit(JobSpec::sequential("hello", 1500));
+        grid.run_until(SimTime::from_secs(3600));
+        let record = grid.job_record(job).unwrap();
+        assert_eq!(record.state, JobState::Completed, "{record:?}");
+        assert!(record.makespan().unwrap() <= SimDuration::from_mins(10));
+        assert_eq!(record.parts_done, 1);
+    }
+
+    #[test]
+    fn protocol_messages_flow_through_the_network() {
+        let mut grid = small_grid(Strategy::AvailabilityOnly);
+        grid.submit(JobSpec::sequential("hello", 1500));
+        grid.run_until(SimTime::from_secs(600));
+        let report = grid.report();
+        // Info updates + reserve + launch + done at minimum.
+        assert!(report.net.messages > 10, "messages={}", report.net.messages);
+        assert!(report.updates.accepted > 0);
+        assert!(report.trader_queries >= 1);
+    }
+
+    #[test]
+    fn bag_of_tasks_distributes_across_nodes() {
+        let mut grid = small_grid(Strategy::AvailabilityOnly);
+        let job = grid.submit(JobSpec::bag_of_tasks("bag", 8, 90_000));
+        grid.run_until(SimTime::from_secs(4 * 3600));
+        let record = grid.job_record(job).unwrap();
+        assert_eq!(record.state, JobState::Completed, "{record:?}");
+        assert_eq!(record.parts_done, 8);
+    }
+
+    #[test]
+    fn bsp_job_completes_on_gang() {
+        let mut grid = small_grid(Strategy::AvailabilityOnly);
+        let job = grid.submit(JobSpec::bsp("bsp", 3, 20, 3000, 10_000));
+        grid.run_until(SimTime::from_secs(8 * 3600));
+        let record = grid.job_record(job).unwrap();
+        assert_eq!(record.state, JobState::Completed, "{record:?}");
+        assert_eq!(record.parts_done, 3);
+    }
+
+    #[test]
+    fn oversized_bsp_job_fails_cleanly() {
+        let config = GridConfig {
+            gupa_warmup_days: 0,
+            max_attempts: 4,
+            ..Default::default()
+        };
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster((0..4).map(|_| NodeSetup::idle_desktop()).collect());
+        let mut grid = builder.build();
+        let job = grid.submit(JobSpec::bsp("too-big", 10, 5, 100, 100)); // only 4 nodes
+        grid.run_until(SimTime::from_secs(4 * 3600));
+        let record = grid.job_record(job).unwrap();
+        assert_eq!(record.state, JobState::Failed);
+    }
+
+    /// A trace where the owner is busy 09:00–18:00 every weekday.
+    fn office_trace() -> Vec<UsageSample> {
+        let slots_per_day = 288;
+        let mut trace = Vec::with_capacity(slots_per_day * 7);
+        for day in 0..7u64 {
+            let weekday = Weekday::from_day_number(day);
+            for slot in 0..slots_per_day {
+                let hour = slot as f64 * 24.0 / slots_per_day as f64;
+                let busy = !weekday.is_weekend() && (9.0..18.0).contains(&hour);
+                trace.push(if busy {
+                    UsageSample::new(0.8, 0.5, 0.1, 0.05)
+                } else {
+                    UsageSample::new(0.02, 0.05, 0.0, 0.0)
+                });
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn owner_return_evicts_and_reschedules() {
+        let config = GridConfig {
+            gupa_warmup_days: 0,
+            ..Default::default()
+        };
+        let mut builder = GridBuilder::new(config);
+        // One office-hours node plus one always-idle node.
+        let office = NodeSetup {
+            trace: office_trace(),
+            ..NodeSetup::idle_desktop()
+        };
+        builder.add_cluster(vec![office, NodeSetup::idle_desktop()]);
+        let mut grid = builder.build();
+        // Start the run at Monday 08:30: the office node is idle but the
+        // owner arrives at 09:00. The preference (fastest CPU) ties, so the
+        // first-ranked node may be the office node; a long job submitted now
+        // gets evicted there and must migrate.
+        let job = grid.submit(JobSpec::sequential("long", 3_000_000)); // ~5.5h at 150 MIPS
+        grid.run_until(SimTime::from_secs(26 * 3600));
+        let record = grid.job_record(job).unwrap();
+        assert_eq!(record.state, JobState::Completed, "{record:?}");
+        let report = grid.report();
+        // The QoS invariant: the grid never exceeded the NCC caps.
+        assert_eq!(report.qos.cap_violations, 0);
+        assert_eq!(report.qos.mean_slowdown(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut grid = small_grid(Strategy::Random);
+            grid.submit(JobSpec::bag_of_tasks("bag", 6, 200_000));
+            grid.run_until(SimTime::from_secs(6 * 3600));
+            let report = grid.report();
+            (
+                report.net.messages,
+                report.records[0].state,
+                report.records[0].completed_at,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gupa_trains_during_long_runs() {
+        let config = GridConfig {
+            gupa_warmup_days: 0,
+            ..Default::default()
+        };
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster(vec![NodeSetup {
+            trace: office_trace(),
+            ..NodeSetup::idle_desktop()
+        }]);
+        let mut grid = builder.build();
+        grid.run_until(SimTime::from_secs(8 * 86_400));
+        let report = grid.report();
+        assert_eq!(report.gupa_models, 1, "a week of history trains the model");
+    }
+
+    #[test]
+    fn warmup_gives_models_at_start() {
+        let config = GridConfig {
+            gupa_warmup_days: 14,
+            strategy: Strategy::PatternAware,
+            ..Default::default()
+        };
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster(vec![
+            NodeSetup {
+                trace: office_trace(),
+                ..NodeSetup::idle_desktop()
+            },
+            NodeSetup {
+                trace: office_trace(),
+                ..NodeSetup::idle_desktop()
+            },
+        ]);
+        let mut grid = builder.build();
+        let report = grid.report();
+        assert_eq!(report.gupa_models, 2);
+        // And scheduling still works under the pattern-aware strategy.
+        let job = grid.submit(JobSpec::sequential("s", 1500));
+        grid.run_until(SimTime::from_secs(3600));
+        assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    }
+
+    #[test]
+    fn monitoring_log_orders_lifecycle() {
+        let mut grid = small_grid(Strategy::AvailabilityOnly);
+        grid.submit(JobSpec::sequential("hello", 1500));
+        grid.run_until(SimTime::from_secs(3600));
+        let log = grid.log();
+        assert!(log.happens_before("asct.submit", "job.part_started"));
+        assert!(log.happens_before("job.part_started", "job.completed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_grid_panics() {
+        GridBuilder::new(GridConfig::default()).build();
+    }
+}

@@ -1,0 +1,560 @@
+//! Global Resource Manager — the cluster manager.
+//!
+//! "LRMs send this information periodically to the GRM, which uses it for
+//! scheduling within the cluster" (§4). True to the prototype ("The GRM
+//! uses the JacORB Trader to store the information it receives from the
+//! LRMs"), the GRM here stores node status as Trading-service offers and
+//! compiles application requirements into trader constraint queries. The
+//! candidate list that comes back is a *hint*: the Resource Reservation and
+//! Execution Protocol then negotiates directly with each candidate node.
+
+use crate::protocol::{PartDone, PartEvicted, StatusUpdate, NODE_SERVICE_TYPE};
+use crate::scheduler::CandidateNode;
+use crate::types::{NodeId, NodeStatus, Platform, ResourceVector};
+use integrade_orb::any::AnyValue;
+use integrade_orb::cdr::{CdrDecode, CdrReader};
+use integrade_orb::ior::Ior;
+use integrade_orb::servant::{Servant, ServerException};
+use integrade_orb::trading::{OfferId, Trader, TraderError};
+use integrade_simnet::time::SimTime;
+use integrade_simnet::topology::HostId;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Static registration data for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRegistration {
+    /// The node id.
+    pub node: NodeId,
+    /// The simnet host it lives on.
+    pub host: HostId,
+    /// Hardware capacity.
+    pub resources: ResourceVector,
+    /// Software platform.
+    pub platform: Platform,
+    /// Reference to the node's LRM servant.
+    pub lrm: Ior,
+}
+
+/// Counters for the Information Update Protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateStats {
+    /// Updates accepted.
+    pub accepted: u64,
+    /// Updates discarded as stale (older sequence number).
+    pub stale_discarded: u64,
+    /// Updates from unregistered nodes.
+    pub unknown_node: u64,
+}
+
+/// Cluster-manager state.
+#[derive(Debug)]
+pub struct GrmState {
+    trader: Trader,
+    nodes: BTreeMap<NodeId, NodeRegistration>,
+    offers: BTreeMap<NodeId, OfferId>,
+    last_seq: BTreeMap<NodeId, u64>,
+    last_status: BTreeMap<NodeId, NodeStatus>,
+    last_heard: BTreeMap<NodeId, SimTime>,
+    /// GRM-side checkpoint repository: last reported checkpointed work per
+    /// (job, part). Survives node crashes — the recovery substrate.
+    checkpoint_repo: BTreeMap<(crate::types::JobId, u32), u64>,
+    stats: UpdateStats,
+    /// Completion notices awaiting the execution manager.
+    pub pending_done: Vec<PartDone>,
+    /// Eviction notices awaiting the execution manager.
+    pub pending_evictions: Vec<PartEvicted>,
+}
+
+fn offer_properties(
+    registration: &NodeRegistration,
+    status: &NodeStatus,
+) -> BTreeMap<String, AnyValue> {
+    [
+        ("node_id".to_owned(), AnyValue::Long(registration.node.0 as i64)),
+        (
+            "cpu_mips".to_owned(),
+            AnyValue::Long(registration.resources.cpu_mips as i64),
+        ),
+        (
+            "ram_mb".to_owned(),
+            AnyValue::Long(registration.resources.ram_mb as i64),
+        ),
+        ("os".to_owned(), AnyValue::Str(registration.platform.os.clone())),
+        ("arch".to_owned(), AnyValue::Str(registration.platform.arch.clone())),
+        ("free_cpu".to_owned(), AnyValue::Double(status.free_cpu_fraction)),
+        ("free_ram_mb".to_owned(), AnyValue::Long(status.free_ram_mb as i64)),
+        ("exporting".to_owned(), AnyValue::Bool(status.exporting)),
+        ("owner_active".to_owned(), AnyValue::Bool(status.owner_active)),
+        (
+            "running_parts".to_owned(),
+            AnyValue::Long(status.running_parts as i64),
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+impl GrmState {
+    /// Creates a GRM; `seed` drives the trader's `random` preference.
+    pub fn new(seed: u64) -> Self {
+        GrmState {
+            trader: Trader::new(seed),
+            nodes: BTreeMap::new(),
+            offers: BTreeMap::new(),
+            last_seq: BTreeMap::new(),
+            last_status: BTreeMap::new(),
+            last_heard: BTreeMap::new(),
+            checkpoint_repo: BTreeMap::new(),
+            stats: UpdateStats::default(),
+            pending_done: Vec::new(),
+            pending_evictions: Vec::new(),
+        }
+    }
+
+    /// Registers a node, exporting its initial (unavailable) offer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already registered.
+    pub fn register_node(&mut self, registration: NodeRegistration) {
+        let node = registration.node;
+        assert!(
+            !self.nodes.contains_key(&node),
+            "{node} is already registered"
+        );
+        let status = NodeStatus::unavailable();
+        let properties = offer_properties(&registration, &status);
+        let offer = self
+            .trader
+            .export(NODE_SERVICE_TYPE, registration.lrm.clone(), properties)
+            .expect("trader export is infallible");
+        self.offers.insert(node, offer);
+        self.last_status.insert(node, status);
+        self.nodes.insert(node, registration);
+    }
+
+    /// Applies a status update (Information Update Protocol receiver side).
+    /// Stale or unknown updates are counted and dropped.
+    pub fn handle_update(&mut self, update: &StatusUpdate) {
+        self.handle_update_at(update, SimTime::ZERO)
+    }
+
+    /// [`Self::handle_update`] with the receipt time recorded, enabling
+    /// dead-node detection and the checkpoint repository.
+    pub fn handle_update_at(&mut self, update: &StatusUpdate, now: SimTime) {
+        let Some(registration) = self.nodes.get(&update.node) else {
+            self.stats.unknown_node += 1;
+            return;
+        };
+        let last = self.last_seq.get(&update.node).copied().unwrap_or(0);
+        if update.seq <= last {
+            self.stats.stale_discarded += 1;
+            return;
+        }
+        self.last_seq.insert(update.node, update.seq);
+        let properties = offer_properties(registration, &update.status);
+        let offer = self.offers[&update.node];
+        match self.trader.modify(offer, properties) {
+            Ok(()) => {
+                self.stats.accepted += 1;
+                self.last_status.insert(update.node, update.status.clone());
+                self.last_heard.insert(update.node, now);
+                for report in &update.checkpoints {
+                    self.checkpoint_repo
+                        .insert((report.job, report.part), report.checkpointed_work_mips_s);
+                }
+            }
+            Err(TraderError::UnknownOffer(_)) => {
+                self.stats.unknown_node += 1;
+            }
+            Err(e) => panic!("trader modify failed unexpectedly: {e}"),
+        }
+    }
+
+    /// The GRM's current (possibly stale) view of a node.
+    pub fn node_view(&self, node: NodeId) -> Option<(&NodeRegistration, &NodeStatus)> {
+        Some((self.nodes.get(&node)?, self.last_status.get(&node)?))
+    }
+
+    /// Registered node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Update-protocol statistics.
+    pub fn update_stats(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// Trader query statistics (scheduling load).
+    pub fn trader_queries(&self) -> u64 {
+        self.trader.query_count()
+    }
+
+    /// Runs the trader query for a job: `constraint` from
+    /// [`crate::asct::JobRequirements::to_constraint`], `preference` from
+    /// [`crate::asct::SchedulingPreference::to_trader_preference`].
+    /// `predictions` maps nodes to GUPA idle forecasts, attached to the
+    /// returned candidates for the pattern-aware ranking stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constraint/preference parse failures.
+    pub fn candidates(
+        &mut self,
+        constraint: &str,
+        preference: &str,
+        max: usize,
+        predictions: &BTreeMap<NodeId, f64>,
+    ) -> Result<Vec<CandidateNode>, TraderError> {
+        let offers = self
+            .trader
+            .query(NODE_SERVICE_TYPE, constraint, preference, max)?;
+        let mut out = Vec::with_capacity(offers.len());
+        for offer in offers {
+            let Some(AnyValue::Long(node_id)) = offer.properties.get("node_id") else {
+                continue;
+            };
+            let node = NodeId(*node_id as u32);
+            let Some(registration) = self.nodes.get(&node) else {
+                continue;
+            };
+            let status = self
+                .last_status
+                .get(&node)
+                .cloned()
+                .unwrap_or_else(NodeStatus::unavailable);
+            out.push(CandidateNode {
+                node,
+                host: registration.host,
+                status,
+                resources: registration.resources,
+                predicted_idle_prob: predictions.get(&node).copied(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// The LRM reference for a node (negotiation target).
+    pub fn lrm_of(&self, node: NodeId) -> Option<&Ior> {
+        self.nodes.get(&node).map(|r| &r.lrm)
+    }
+
+    /// The repository's last reported checkpoint for a part, MIPS-s.
+    pub fn repo_checkpoint(&self, job: crate::types::JobId, part: u32) -> u64 {
+        self.checkpoint_repo.get(&(job, part)).copied().unwrap_or(0)
+    }
+
+    /// Drops a part's repository entry (on completion or job failure).
+    pub fn clear_repo_checkpoint(&mut self, job: crate::types::JobId, part: u32) {
+        self.checkpoint_repo.remove(&(job, part));
+    }
+
+    /// Nodes that have gone silent: exporting at last word but not heard
+    /// from since `now - silence`. The GRM treats them as crashed.
+    pub fn silent_nodes(&self, now: SimTime, silence: integrade_simnet::time::SimDuration) -> Vec<NodeId> {
+        self.last_heard
+            .iter()
+            .filter(|(node, &heard)| {
+                now.duration_since(heard) > silence
+                    && self
+                        .last_status
+                        .get(node)
+                        .map(|s| s.exporting || s.running_parts > 0)
+                        .unwrap_or(false)
+            })
+            .map(|(node, _)| *node)
+            .collect()
+    }
+
+    /// Marks a node as known-dead: its offer becomes unavailable so the
+    /// scheduler stops considering it until it reports again.
+    pub fn mark_unavailable(&mut self, node: NodeId) {
+        if let (Some(registration), Some(offer)) = (self.nodes.get(&node), self.offers.get(&node)) {
+            let status = NodeStatus::unavailable();
+            let properties = offer_properties(registration, &status);
+            let _ = self.trader.modify(*offer, properties);
+            self.last_status.insert(node, status);
+            self.last_heard.remove(&node);
+        }
+    }
+
+    /// Aggregates this cluster's current view into the summary the
+    /// inter-cluster hierarchy propagates (\[MK02\]).
+    pub fn cluster_summary(&self) -> crate::hierarchy::ClusterSummary {
+        let mut summary = crate::hierarchy::ClusterSummary {
+            nodes: self.nodes.len() as u32,
+            ..Default::default()
+        };
+        for (node, status) in &self.last_status {
+            if !status.exporting {
+                continue;
+            }
+            summary.exporting_nodes += 1;
+            if let Some(reg) = self.nodes.get(node) {
+                summary.max_cpu_mips = summary.max_cpu_mips.max(reg.resources.cpu_mips);
+            }
+            summary.max_free_ram_mb = summary.max_free_ram_mb.max(status.free_ram_mb);
+        }
+        summary
+    }
+}
+
+/// Remote-object wrapper for the GRM's inbound operations: status updates
+/// and completion/eviction notifications (all oneway in spirit).
+#[derive(Debug, Clone)]
+pub struct GrmServant {
+    state: Rc<RefCell<GrmState>>,
+    /// Virtual "now" injected by the simulation before each dispatch.
+    now: Rc<RefCell<SimTime>>,
+}
+
+impl GrmServant {
+    /// Wraps shared GRM state (receipt times recorded as [`SimTime::ZERO`]).
+    pub fn new(state: Rc<RefCell<GrmState>>) -> Self {
+        GrmServant {
+            state,
+            now: Rc::new(RefCell::new(SimTime::ZERO)),
+        }
+    }
+
+    /// Wraps shared GRM state with a simulation clock cell.
+    pub fn with_clock(state: Rc<RefCell<GrmState>>, now: Rc<RefCell<SimTime>>) -> Self {
+        GrmServant { state, now }
+    }
+}
+
+impl Servant for GrmServant {
+    fn type_id(&self) -> &'static str {
+        "IDL:integrade/Grm:1.0"
+    }
+
+    fn dispatch(
+        &mut self,
+        operation: &str,
+        args: &mut CdrReader<'_>,
+    ) -> Result<Vec<u8>, ServerException> {
+        use crate::protocol::{OP_PART_DONE, OP_PART_EVICTED, OP_UPDATE_STATUS};
+        match operation {
+            OP_UPDATE_STATUS => {
+                let update = StatusUpdate::decode(args)?;
+                let now = *self.now.borrow();
+                self.state.borrow_mut().handle_update_at(&update, now);
+                Ok(Vec::new())
+            }
+            OP_PART_DONE => {
+                let done = PartDone::decode(args)?;
+                self.state.borrow_mut().pending_done.push(done);
+                Ok(Vec::new())
+            }
+            OP_PART_EVICTED => {
+                let evicted = PartEvicted::decode(args)?;
+                self.state.borrow_mut().pending_evictions.push(evicted);
+                Ok(Vec::new())
+            }
+            other => Err(ServerException::BadOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asct::JobRequirements;
+    use integrade_orb::ior::{Endpoint, ObjectKey};
+
+    fn registration(node: u32, mips: u64) -> NodeRegistration {
+        NodeRegistration {
+            node: NodeId(node),
+            host: HostId(node),
+            resources: ResourceVector {
+                cpu_mips: mips,
+                ram_mb: 256,
+                disk_mb: 10_000,
+            },
+            platform: Platform::linux_x86(),
+            lrm: Ior::new(
+                "IDL:integrade/Lrm:1.0",
+                Endpoint::new(node, 0),
+                ObjectKey::new(format!("lrm{node}")),
+            ),
+        }
+    }
+
+    fn exporting_status(free_cpu: f64, free_ram: u64) -> NodeStatus {
+        NodeStatus {
+            free_cpu_fraction: free_cpu,
+            free_ram_mb: free_ram,
+            owner_active: false,
+            exporting: true,
+            running_parts: 0,
+        }
+    }
+
+    fn grm_with_nodes() -> GrmState {
+        let mut grm = GrmState::new(7);
+        for (node, mips) in [(1u32, 400u64), (2, 800), (3, 1200)] {
+            grm.register_node(registration(node, mips));
+        }
+        grm
+    }
+
+    #[test]
+    fn fresh_nodes_are_unavailable_until_first_update() {
+        let mut grm = grm_with_nodes();
+        let constraint = JobRequirements::default().to_constraint();
+        let cands = grm.candidates(&constraint, "first", 10, &BTreeMap::new()).unwrap();
+        assert!(cands.is_empty(), "no update yet → nothing exporting");
+    }
+
+    #[test]
+    fn updates_make_nodes_schedulable() {
+        let mut grm = grm_with_nodes();
+        grm.handle_update(&StatusUpdate {
+            node: NodeId(2),
+            seq: 1,
+            status: exporting_status(0.3, 128),
+            checkpoints: vec![],
+        });
+        let constraint = JobRequirements {
+            min_cpu_mips: 500,
+            min_ram_mb: 64,
+            ..Default::default()
+        }
+        .to_constraint();
+        let cands = grm.candidates(&constraint, "max cpu_mips", 10, &BTreeMap::new()).unwrap();
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].node, NodeId(2));
+        assert_eq!(cands[0].host, HostId(2));
+        assert_eq!(grm.update_stats().accepted, 1);
+    }
+
+    #[test]
+    fn stale_updates_discarded() {
+        let mut grm = grm_with_nodes();
+        grm.handle_update(&StatusUpdate {
+            node: NodeId(1),
+            seq: 5,
+            status: exporting_status(0.3, 128),
+            checkpoints: vec![],
+        });
+        // Older sequence arrives late (network reordering): must not regress.
+        grm.handle_update(&StatusUpdate {
+            node: NodeId(1),
+            seq: 3,
+            status: NodeStatus::unavailable(),
+            checkpoints: vec![],
+        });
+        assert_eq!(grm.update_stats().stale_discarded, 1);
+        let (_, status) = grm.node_view(NodeId(1)).unwrap();
+        assert!(status.exporting, "stale unavailable must not overwrite");
+    }
+
+    #[test]
+    fn unknown_node_counted() {
+        let mut grm = grm_with_nodes();
+        grm.handle_update(&StatusUpdate {
+            node: NodeId(99),
+            seq: 1,
+            status: exporting_status(0.3, 128),
+            checkpoints: vec![],
+        });
+        assert_eq!(grm.update_stats().unknown_node, 1);
+    }
+
+    #[test]
+    fn preference_orders_candidates() {
+        let mut grm = grm_with_nodes();
+        for node in 1..=3 {
+            grm.handle_update(&StatusUpdate {
+                node: NodeId(node),
+                seq: 1,
+                status: exporting_status(0.3, 128),
+            checkpoints: vec![],
+            });
+        }
+        let constraint = JobRequirements::default().to_constraint();
+        let cands = grm.candidates(&constraint, "max cpu_mips", 10, &BTreeMap::new()).unwrap();
+        let mips: Vec<u64> = cands.iter().map(|c| c.resources.cpu_mips).collect();
+        assert_eq!(mips, vec![1200, 800, 400]);
+    }
+
+    #[test]
+    fn predictions_attach_to_candidates() {
+        let mut grm = grm_with_nodes();
+        grm.handle_update(&StatusUpdate {
+            node: NodeId(1),
+            seq: 1,
+            status: exporting_status(0.3, 128),
+            checkpoints: vec![],
+        });
+        let mut predictions = BTreeMap::new();
+        predictions.insert(NodeId(1), 0.87);
+        let constraint = JobRequirements::default().to_constraint();
+        let cands = grm.candidates(&constraint, "first", 10, &predictions).unwrap();
+        assert_eq!(cands[0].predicted_idle_prob, Some(0.87));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn double_registration_panics() {
+        let mut grm = GrmState::new(1);
+        grm.register_node(registration(1, 500));
+        grm.register_node(registration(1, 500));
+    }
+
+    #[test]
+    fn servant_routes_operations() {
+        use crate::protocol::{OP_PART_DONE, OP_PART_EVICTED, OP_UPDATE_STATUS};
+        use crate::types::JobId;
+        use integrade_orb::cdr::CdrEncode;
+
+        let state = Rc::new(RefCell::new(grm_with_nodes()));
+        let mut servant = GrmServant::new(state.clone());
+
+        let update = StatusUpdate {
+            node: NodeId(1),
+            seq: 1,
+            status: exporting_status(0.3, 128),
+            checkpoints: vec![],
+        }
+        .to_cdr_bytes();
+        servant
+            .dispatch(OP_UPDATE_STATUS, &mut CdrReader::new(&update))
+            .unwrap();
+        assert_eq!(state.borrow().update_stats().accepted, 1);
+
+        let done = PartDone {
+            job: JobId(1),
+            part: 0,
+            node: NodeId(1),
+        }
+        .to_cdr_bytes();
+        servant.dispatch(OP_PART_DONE, &mut CdrReader::new(&done)).unwrap();
+        assert_eq!(state.borrow().pending_done.len(), 1);
+
+        let evicted = PartEvicted {
+            job: JobId(1),
+            part: 0,
+            node: NodeId(1),
+            checkpointed_work_mips_s: 10,
+            lost_work_mips_s: 5,
+        }
+        .to_cdr_bytes();
+        servant
+            .dispatch(OP_PART_EVICTED, &mut CdrReader::new(&evicted))
+            .unwrap();
+        assert_eq!(state.borrow().pending_evictions.len(), 1);
+    }
+
+    #[test]
+    fn lrm_reference_lookup() {
+        let grm = grm_with_nodes();
+        assert!(grm.lrm_of(NodeId(2)).is_some());
+        assert!(grm.lrm_of(NodeId(42)).is_none());
+        assert_eq!(grm.node_count(), 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Global Usage Pattern Analyzer — cluster-level pattern aggregation.
+//!
+//! "The LUPA executes in each cluster node that is a user workstation and
+//! collects data about its user usage patterns... Each node's usage pattern
+//! is periodically uploaded to the GUPA. This information is made available
+//! to the GRM, which can make better scheduling decisions due to the
+//! possibility of predicting a node's idle periods" (§4).
+//!
+//! [`GupaState`] receives completed day-periods per node, trains a
+//! [`LupaModel`] per node once enough history accumulates, and answers the
+//! GRM's question: *P(node stays idle for the next H minutes)*.
+
+use crate::types::NodeId;
+use integrade_usage::patterns::{LupaConfig, LupaModel};
+use integrade_usage::predict::{IdlePredictor, LupaPredictor, PredictionContext};
+use integrade_usage::sample::{DayPeriod, UsageSample, Weekday};
+use std::collections::BTreeMap;
+
+/// Minimum training days before a model is trusted.
+pub const MIN_TRAINING_DAYS: usize = 7;
+
+/// Cluster-level usage-pattern store.
+#[derive(Debug, Default)]
+pub struct GupaState {
+    history: BTreeMap<NodeId, Vec<DayPeriod>>,
+    models: BTreeMap<NodeId, LupaModel>,
+    config: LupaConfig,
+    uploads: u64,
+}
+
+impl GupaState {
+    /// Creates an empty GUPA with the given analysis configuration.
+    pub fn new(config: LupaConfig) -> Self {
+        GupaState {
+            history: BTreeMap::new(),
+            models: BTreeMap::new(),
+            config,
+            uploads: 0,
+        }
+    }
+
+    /// Receives a node's completed periods (the LUPA upload). Retrains the
+    /// node's model when enough history exists.
+    pub fn upload(&mut self, node: NodeId, periods: Vec<DayPeriod>) {
+        if periods.is_empty() {
+            return;
+        }
+        self.uploads += 1;
+        let history = self.history.entry(node).or_default();
+        history.extend(periods);
+        if history.len() >= MIN_TRAINING_DAYS {
+            self.models.insert(node, LupaModel::train(history, self.config));
+        }
+    }
+
+    /// Number of uploads received.
+    pub fn uploads(&self) -> u64 {
+        self.uploads
+    }
+
+    /// Whether a trusted model exists for `node`.
+    pub fn has_model(&self, node: NodeId) -> bool {
+        self.models.contains_key(&node)
+    }
+
+    /// The trained model for a node, if any.
+    pub fn model(&self, node: NodeId) -> Option<&LupaModel> {
+        self.models.get(&node)
+    }
+
+    /// Days of history held for a node.
+    pub fn history_days(&self, node: NodeId) -> usize {
+        self.history.get(&node).map(Vec::len).unwrap_or(0)
+    }
+
+    /// P(node stays idle through the next `horizon_mins`), given the day so
+    /// far. `None` when no trusted model exists — the GRM then falls back to
+    /// availability-only ranking, exactly the paper's "hint, not guarantee"
+    /// stance.
+    pub fn predict_idle(
+        &self,
+        node: NodeId,
+        weekday: Weekday,
+        minute_of_day: u32,
+        partial_day: &[UsageSample],
+        slots_per_day: usize,
+        horizon_mins: u32,
+    ) -> Option<f64> {
+        let model = self.models.get(&node)?;
+        let partial_load: Vec<f64> = partial_day.iter().map(UsageSample::load).collect();
+        let predictor = LupaPredictor::new(model);
+        Some(predictor.prob_idle_for(&PredictionContext {
+            weekday,
+            minute_of_day,
+            partial_load: &partial_load,
+            slots_per_day,
+            horizon_mins,
+        }))
+    }
+
+    /// Predictions for many nodes at once (one scheduling pass).
+    #[allow(clippy::too_many_arguments)]
+    pub fn predict_many(
+        &self,
+        nodes: &[NodeId],
+        weekday: Weekday,
+        minute_of_day: u32,
+        partials: &BTreeMap<NodeId, Vec<UsageSample>>,
+        slots_per_day: usize,
+        horizon_mins: u32,
+    ) -> BTreeMap<NodeId, f64> {
+        let empty = Vec::new();
+        nodes
+            .iter()
+            .filter_map(|&node| {
+                let partial = partials.get(&node).unwrap_or(&empty);
+                self.predict_idle(node, weekday, minute_of_day, partial, slots_per_day, horizon_mins)
+                    .map(|p| (node, p))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use integrade_usage::sample::SamplingConfig;
+
+    fn day(day_number: u64, shape: impl Fn(f64) -> f64) -> DayPeriod {
+        let cfg = SamplingConfig::new(15);
+        DayPeriod {
+            day: day_number,
+            weekday: Weekday::from_day_number(day_number),
+            samples: (0..cfg.slots_per_day())
+                .map(|slot| {
+                    let hour = slot as f64 * 24.0 / cfg.slots_per_day() as f64;
+                    let v = shape(hour).clamp(0.0, 1.0);
+                    UsageSample::new(v, v * 0.5, 0.0, 0.0)
+                })
+                .collect(),
+        }
+    }
+
+    fn office(hour: f64) -> f64 {
+        if (9.0..18.0).contains(&hour) {
+            0.85
+        } else {
+            0.02
+        }
+    }
+
+    fn gupa_with_history() -> GupaState {
+        let mut gupa = GupaState::new(LupaConfig::default());
+        let days: Vec<DayPeriod> = (0..14)
+            .map(|d| {
+                if Weekday::from_day_number(d).is_weekend() {
+                    day(d, |_| 0.02)
+                } else {
+                    day(d, office)
+                }
+            })
+            .collect();
+        gupa.upload(NodeId(1), days);
+        gupa
+    }
+
+    #[test]
+    fn no_model_until_enough_history() {
+        let mut gupa = GupaState::new(LupaConfig::default());
+        gupa.upload(NodeId(1), vec![day(0, office)]);
+        assert!(!gupa.has_model(NodeId(1)));
+        assert!(gupa
+            .predict_idle(NodeId(1), Weekday::new(0), 600, &[], 96, 60)
+            .is_none());
+        // Accumulate past the threshold.
+        gupa.upload(NodeId(1), (1..8).map(|d| day(d, office)).collect());
+        assert!(gupa.has_model(NodeId(1)));
+        assert_eq!(gupa.history_days(NodeId(1)), 8);
+    }
+
+    #[test]
+    fn empty_upload_is_ignored() {
+        let mut gupa = GupaState::new(LupaConfig::default());
+        gupa.upload(NodeId(1), vec![]);
+        assert_eq!(gupa.uploads(), 0);
+    }
+
+    #[test]
+    fn predicts_overnight_idleness() {
+        let gupa = gupa_with_history();
+        // Tuesday 20:00 after a normal office day.
+        let partial: Vec<UsageSample> = (0..80)
+            .map(|slot| {
+                let hour = slot as f64 * 0.25;
+                let v = office(hour);
+                UsageSample::new(v, v * 0.5, 0.0, 0.0)
+            })
+            .collect();
+        let p = gupa
+            .predict_idle(NodeId(1), Weekday::new(1), 20 * 60, &partial, 96, 120)
+            .unwrap();
+        assert!(p > 0.7, "overnight idle: {p}");
+    }
+
+    #[test]
+    fn predicts_morning_reclaim() {
+        let gupa = gupa_with_history();
+        // Wednesday 08:30, idle so far — owner arrives at 09:00.
+        let partial: Vec<UsageSample> = (0..34).map(|_| UsageSample::idle()).collect();
+        let p = gupa
+            .predict_idle(NodeId(1), Weekday::new(2), 8 * 60 + 30, &partial, 96, 180)
+            .unwrap();
+        assert!(p < 0.4, "owner about to return: {p}");
+    }
+
+    #[test]
+    fn predict_many_covers_modelled_nodes_only() {
+        let gupa = gupa_with_history();
+        let partials = BTreeMap::new();
+        let preds = gupa.predict_many(
+            &[NodeId(1), NodeId(2)],
+            Weekday::new(5),
+            600,
+            &partials,
+            96,
+            60,
+        );
+        assert!(preds.contains_key(&NodeId(1)));
+        assert!(!preds.contains_key(&NodeId(2)), "no model for node 2");
+    }
+}

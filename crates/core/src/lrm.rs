@@ -1,0 +1,756 @@
+//! Local Resource Manager — the per-node agent.
+//!
+//! "The LRM is executed in each cluster node, collecting information about
+//! the node status, such as memory, CPU, disk, and network usage. LRMs send
+//! this information periodically to the GRM" (§4). The LRM also executes
+//! grid applications under the owner's NCC policy: it is the "user-level
+//! scheduler" that guarantees "the access to its hardware resources is
+//! carefully controlled" (§1) — grid parts receive only the capped share,
+//! always yielding to the owner, and are evicted when the policy stops
+//! allowing export.
+
+use crate::ncc::SharingPolicy;
+use crate::protocol::{
+    LaunchReply, LaunchRequest, PartEvicted, ReserveReply, ReserveRequest, OP_CANCEL, OP_LAUNCH,
+    OP_RESERVE,
+};
+use crate::types::{JobId, NodeId, NodeRoles, NodeStatus, Platform, ResourceVector};
+use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrReader};
+use integrade_orb::servant::{Servant, ServerException};
+use integrade_simnet::time::{SimDuration, SimTime};
+use integrade_usage::sample::{SampleWindow, SamplingConfig, UsageSample, Weekday};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// LRM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrmConfig {
+    /// Period of the Information Update Protocol.
+    pub update_period: SimDuration,
+    /// Suppress updates whose status barely changed (saves GRM load at the
+    /// cost of staleness).
+    pub delta_suppression: bool,
+    /// Usage sampling configuration (feeds the LUPA).
+    pub sampling: SamplingConfig,
+}
+
+impl Default for LrmConfig {
+    fn default() -> Self {
+        LrmConfig {
+            update_period: SimDuration::from_secs(30),
+            delta_suppression: false,
+            sampling: SamplingConfig::default(),
+        }
+    }
+}
+
+/// A granted, not-yet-consumed resource reservation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// Handle returned to the GRM.
+    pub id: u64,
+    /// Job the reservation is for.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+    /// Reserved RAM.
+    pub ram_mb: u64,
+    /// Minimum CPU share promised.
+    pub min_cpu_fraction: f64,
+    /// Lease expiry: unused reservations release automatically.
+    pub expires: SimTime,
+}
+
+/// A grid application part executing on this node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningPart {
+    /// Job the part belongs to.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+    /// Total work of this launch, MIPS-seconds.
+    pub work_total: f64,
+    /// Work completed so far, MIPS-seconds.
+    pub done: f64,
+    /// Work between checkpoints, MIPS-seconds (0 = no checkpointing).
+    pub checkpoint_interval: f64,
+    /// Reserved RAM held by this part.
+    pub ram_mb: u64,
+}
+
+impl RunningPart {
+    /// Work preserved by the last checkpoint.
+    pub fn checkpointed(&self) -> f64 {
+        if self.checkpoint_interval <= 0.0 {
+            0.0
+        } else {
+            (self.done / self.checkpoint_interval).floor() * self.checkpoint_interval
+        }
+    }
+}
+
+/// A completed part, reported by [`LrmState::advance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedPart {
+    /// Job the part belongs to.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+}
+
+/// The per-node agent state.
+#[derive(Debug)]
+pub struct LrmState {
+    /// This node's id.
+    pub node: NodeId,
+    /// Hardware capacity.
+    pub resources: ResourceVector,
+    /// Software platform.
+    pub platform: Platform,
+    /// Owner's sharing policy (NCC).
+    pub policy: SharingPolicy,
+    /// Figure-1 roles of this node.
+    pub roles: NodeRoles,
+    owner: UsageSample,
+    weekday: Weekday,
+    minute_of_day: u32,
+    seq: u64,
+    next_reservation: u64,
+    reservations: Vec<Reservation>,
+    running: Vec<RunningPart>,
+    lupa_window: SampleWindow,
+    last_sent: Option<NodeStatus>,
+    /// Total grid work executed on this node, MIPS-s.
+    pub grid_work_done: f64,
+}
+
+impl LrmState {
+    /// Creates the agent for one node.
+    pub fn new(
+        node: NodeId,
+        resources: ResourceVector,
+        platform: Platform,
+        policy: SharingPolicy,
+        roles: NodeRoles,
+        config: LrmConfig,
+    ) -> Self {
+        LrmState {
+            node,
+            resources,
+            platform,
+            policy,
+            roles,
+            owner: UsageSample::idle(),
+            weekday: Weekday::new(0),
+            minute_of_day: 0,
+            seq: 0,
+            next_reservation: 1,
+            reservations: Vec::new(),
+            running: Vec::new(),
+            lupa_window: SampleWindow::new(config.sampling),
+            last_sent: None,
+            grid_work_done: 0.0,
+        }
+    }
+
+    /// Updates the owner's activity (driven from the desktop trace) and
+    /// records it in the LUPA collection window.
+    pub fn observe_owner(&mut self, sample: UsageSample, weekday: Weekday, minute_of_day: u32) {
+        self.owner = sample;
+        self.weekday = weekday;
+        self.minute_of_day = minute_of_day;
+        self.lupa_window.push(sample);
+    }
+
+    /// The owner's current load.
+    pub fn owner_load(&self) -> UsageSample {
+        self.owner
+    }
+
+    /// The LUPA sample window (for training the node's pattern model).
+    pub fn lupa_window(&self) -> &SampleWindow {
+        &self.lupa_window
+    }
+
+    /// Drains completed LUPA periods (upload to GUPA).
+    pub fn take_lupa_periods(&mut self) -> Vec<integrade_usage::sample::DayPeriod> {
+        self.lupa_window.take_completed()
+    }
+
+    /// CPU share currently available to the grid as a whole.
+    pub fn grid_share(&self) -> f64 {
+        if !self
+            .policy
+            .allows_export(self.weekday, self.minute_of_day, &self.owner)
+        {
+            return 0.0;
+        }
+        self.policy.grid_cpu_share(&self.owner)
+    }
+
+    /// RAM currently free for new grid parts, MB.
+    pub fn free_grid_ram(&self) -> u64 {
+        let granted: u64 = self
+            .reservations
+            .iter()
+            .map(|r| r.ram_mb)
+            .chain(self.running.iter().map(|p| p.ram_mb))
+            .sum();
+        self.policy
+            .grid_ram_mb(self.resources.ram_mb, &self.owner)
+            .saturating_sub(granted)
+    }
+
+    /// Builds the current status for the Information Update Protocol.
+    pub fn current_status(&self) -> NodeStatus {
+        let exporting = self
+            .policy
+            .allows_export(self.weekday, self.minute_of_day, &self.owner);
+        NodeStatus {
+            free_cpu_fraction: if exporting { self.grid_share() } else { 0.0 },
+            free_ram_mb: self.free_grid_ram(),
+            owner_active: !self.policy.is_idle(&self.owner),
+            exporting,
+            running_parts: self.running.len() as u32,
+        }
+    }
+
+    /// Checkpoint progress of the running parts (piggybacked on updates so
+    /// the GRM-side repository can drive crash recovery).
+    pub fn checkpoint_reports(&self) -> Vec<crate::protocol::CheckpointReport> {
+        self.running
+            .iter()
+            .map(|p| crate::protocol::CheckpointReport {
+                job: p.job,
+                part: p.part,
+                checkpointed_work_mips_s: p.checkpointed() as u64,
+            })
+            .collect()
+    }
+
+    /// Simulates a crash/reboot: all running parts and reservations vanish
+    /// (volatile state), the LUPA history and policy survive (disk state).
+    pub fn crash(&mut self) {
+        self.running.clear();
+        self.reservations.clear();
+    }
+
+    /// Returns the status to send, honouring delta suppression, and bumps
+    /// the sequence number when a send is due.
+    pub fn next_update(&mut self, config: &LrmConfig) -> Option<(u64, NodeStatus)> {
+        let status = self.current_status();
+        if config.delta_suppression {
+            if let Some(last) = &self.last_sent {
+                let unchanged = last.exporting == status.exporting
+                    && last.owner_active == status.owner_active
+                    && last.running_parts == status.running_parts
+                    && (last.free_cpu_fraction - status.free_cpu_fraction).abs() < 0.05
+                    && last.free_ram_mb.abs_diff(status.free_ram_mb) < 16;
+                if unchanged {
+                    return None;
+                }
+            }
+        }
+        self.seq += 1;
+        self.last_sent = Some(status.clone());
+        Some((self.seq, status))
+    }
+
+    /// Handles a reservation request — the direct-negotiation half of the
+    /// Resource Reservation and Execution Protocol. The node re-checks its
+    /// *actual* current resources; the GRM's view may be stale.
+    pub fn handle_reserve(&mut self, req: &ReserveRequest, now: SimTime) -> ReserveReply {
+        self.expire_reservations(now);
+        if !self
+            .policy
+            .allows_export(self.weekday, self.minute_of_day, &self.owner)
+        {
+            return ReserveReply::refused("node not exporting (owner active or outside window)");
+        }
+        if self.grid_share() < req.min_cpu_fraction {
+            return ReserveReply::refused("insufficient CPU share");
+        }
+        if self.free_grid_ram() < req.ram_mb {
+            return ReserveReply::refused("insufficient free memory");
+        }
+        let id = self.next_reservation;
+        self.next_reservation += 1;
+        let lease = SimDuration::from_secs(req.duration_hint_s.clamp(60, 3600));
+        self.reservations.push(Reservation {
+            id,
+            job: req.job,
+            part: req.part,
+            ram_mb: req.ram_mb,
+            min_cpu_fraction: req.min_cpu_fraction,
+            expires: now + lease,
+        });
+        ReserveReply {
+            granted: true,
+            reservation: id,
+            reason: String::new(),
+        }
+    }
+
+    /// Handles a launch under a reservation.
+    pub fn handle_launch(
+        &mut self,
+        req: &LaunchRequest,
+        checkpoint_interval_mips_s: f64,
+        now: SimTime,
+    ) -> LaunchReply {
+        self.expire_reservations(now);
+        let Some(pos) = self.reservations.iter().position(|r| r.id == req.reservation) else {
+            return LaunchReply {
+                accepted: false,
+                reason: "reservation unknown or expired".into(),
+            };
+        };
+        let reservation = self.reservations.remove(pos);
+        self.running.push(RunningPart {
+            job: req.job,
+            part: req.part,
+            work_total: req.work_mips_s as f64,
+            done: 0.0,
+            checkpoint_interval: checkpoint_interval_mips_s,
+            ram_mb: reservation.ram_mb,
+        });
+        LaunchReply {
+            accepted: true,
+            reason: String::new(),
+        }
+    }
+
+    /// Cancels a running part (BSP gang teardown), returning its progress.
+    pub fn cancel_running(&mut self, job: JobId, part: u32) -> crate::protocol::CancelPartReply {
+        use crate::protocol::CancelPartReply;
+        let Some(pos) = self
+            .running
+            .iter()
+            .position(|p| p.job == job && p.part == part)
+        else {
+            return CancelPartReply {
+                found: false,
+                checkpointed_work_mips_s: 0,
+                done_work_mips_s: 0,
+            };
+        };
+        let running = self.running.remove(pos);
+        CancelPartReply {
+            found: true,
+            checkpointed_work_mips_s: running.checkpointed() as u64,
+            done_work_mips_s: running.done as u64,
+        }
+    }
+
+    /// Cancels a reservation or a running part's reservation handle.
+    pub fn handle_cancel(&mut self, reservation: u64) -> bool {
+        let before = self.reservations.len();
+        self.reservations.retain(|r| r.id != reservation);
+        before != self.reservations.len()
+    }
+
+    /// Drops expired reservation leases.
+    pub fn expire_reservations(&mut self, now: SimTime) {
+        self.reservations.retain(|r| r.expires > now);
+    }
+
+    /// Advances all running parts by `dt`, splitting the grid CPU share
+    /// evenly among them. Returns the parts that completed.
+    pub fn advance(&mut self, dt: SimDuration) -> Vec<CompletedPart> {
+        let share = self.grid_share();
+        if self.running.is_empty() || share <= 0.0 {
+            return Vec::new();
+        }
+        let per_part = share / self.running.len() as f64;
+        let rate = self.resources.cpu_mips as f64 * per_part; // MIPS
+        let delta = rate * dt.as_secs_f64();
+        let mut completed = Vec::new();
+        for part in &mut self.running {
+            part.done = (part.done + delta).min(part.work_total);
+        }
+        self.grid_work_done += delta * self.running.len() as f64;
+        self.running.retain(|p| {
+            if p.done >= p.work_total {
+                completed.push(CompletedPart {
+                    job: p.job,
+                    part: p.part,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        completed
+    }
+
+    /// Evicts every running part if the policy no longer allows export
+    /// (the owner returned). Returns the eviction notices for the GRM.
+    pub fn check_eviction(&mut self) -> Vec<PartEvicted> {
+        if self
+            .policy
+            .allows_export(self.weekday, self.minute_of_day, &self.owner)
+        {
+            return Vec::new();
+        }
+        // Owner is back: reservations are released and parts evicted.
+        self.reservations.clear();
+        let node = self.node;
+        self.running
+            .drain(..)
+            .map(|p| {
+                let checkpointed = p.checkpointed();
+                PartEvicted {
+                    job: p.job,
+                    part: p.part,
+                    node,
+                    checkpointed_work_mips_s: checkpointed as u64,
+                    lost_work_mips_s: (p.done - checkpointed).max(0.0) as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// Currently running parts.
+    pub fn running(&self) -> &[RunningPart] {
+        &self.running
+    }
+
+    /// Currently held (unconsumed) reservations.
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.reservations
+    }
+}
+
+/// Remote-object wrapper exposing the LRM's negotiation operations.
+///
+/// Operations: [`OP_RESERVE`], [`OP_LAUNCH`] (argument tuple includes the
+/// checkpoint interval), [`OP_CANCEL`].
+#[derive(Debug, Clone)]
+pub struct LrmServant {
+    state: Rc<RefCell<LrmState>>,
+    /// Virtual "now" injected by the simulation before each dispatch.
+    now: Rc<RefCell<SimTime>>,
+}
+
+impl LrmServant {
+    /// Wraps shared LRM state. `now` is the simulation clock cell the world
+    /// updates before dispatching.
+    pub fn new(state: Rc<RefCell<LrmState>>, now: Rc<RefCell<SimTime>>) -> Self {
+        LrmServant { state, now }
+    }
+}
+
+impl Servant for LrmServant {
+    fn type_id(&self) -> &'static str {
+        "IDL:integrade/Lrm:1.0"
+    }
+
+    fn dispatch(
+        &mut self,
+        operation: &str,
+        args: &mut CdrReader<'_>,
+    ) -> Result<Vec<u8>, ServerException> {
+        let now = *self.now.borrow();
+        match operation {
+            OP_RESERVE => {
+                let req = ReserveRequest::decode(args)?;
+                let reply = self.state.borrow_mut().handle_reserve(&req, now);
+                Ok(reply.to_cdr_bytes())
+            }
+            OP_LAUNCH => {
+                let (req, ckpt_interval) = <(LaunchRequest, f64)>::decode(args)?;
+                let reply = self
+                    .state
+                    .borrow_mut()
+                    .handle_launch(&req, ckpt_interval, now);
+                Ok(reply.to_cdr_bytes())
+            }
+            OP_CANCEL => {
+                let reservation = u64::decode(args)?;
+                let ok = self.state.borrow_mut().handle_cancel(reservation);
+                Ok(ok.to_cdr_bytes())
+            }
+            crate::protocol::OP_CANCEL_PART => {
+                let req = crate::protocol::CancelPartRequest::decode(args)?;
+                let reply = self.state.borrow_mut().cancel_running(req.job, req.part);
+                Ok(reply.to_cdr_bytes())
+            }
+            other => Err(ServerException::BadOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lrm() -> LrmState {
+        LrmState::new(
+            NodeId(1),
+            ResourceVector::desktop(),
+            Platform::linux_x86(),
+            SharingPolicy::default(),
+            NodeRoles::provider(),
+            LrmConfig::default(),
+        )
+    }
+
+    fn reserve_req() -> ReserveRequest {
+        ReserveRequest {
+            job: JobId(1),
+            part: 0,
+            ram_mb: 32,
+            min_cpu_fraction: 0.1,
+            duration_hint_s: 300,
+        }
+    }
+
+    #[test]
+    fn idle_node_grants_and_launches() {
+        let mut lrm = lrm();
+        let now = SimTime::from_secs(10);
+        let reply = lrm.handle_reserve(&reserve_req(), now);
+        assert!(reply.granted, "{}", reply.reason);
+        let launch = lrm.handle_launch(
+            &LaunchRequest {
+                reservation: reply.reservation,
+                job: JobId(1),
+                part: 0,
+                work_mips_s: 1000,
+            },
+            0.0,
+            now,
+        );
+        assert!(launch.accepted);
+        assert_eq!(lrm.running().len(), 1);
+        assert!(lrm.reservations().is_empty(), "reservation consumed");
+    }
+
+    #[test]
+    fn busy_owner_refuses_reservation() {
+        let mut lrm = lrm();
+        lrm.observe_owner(UsageSample::new(0.9, 0.5, 0.0, 0.0), Weekday::new(2), 600);
+        let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
+        assert!(!reply.granted);
+        assert!(reply.reason.contains("not exporting"));
+    }
+
+    #[test]
+    fn memory_exhaustion_refuses() {
+        let mut lrm = lrm();
+        // Default policy: 50% of 256 MB = 128 MB for the grid.
+        let mut req = reserve_req();
+        req.ram_mb = 100;
+        assert!(lrm.handle_reserve(&req, SimTime::ZERO).granted);
+        let reply = lrm.handle_reserve(&req, SimTime::ZERO);
+        assert!(!reply.granted);
+        assert!(reply.reason.contains("memory"));
+    }
+
+    #[test]
+    fn reservations_expire() {
+        let mut lrm = lrm();
+        let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
+        assert!(reply.granted);
+        // Lease is clamped to >= 60 s; far future expires it.
+        let launch = lrm.handle_launch(
+            &LaunchRequest {
+                reservation: reply.reservation,
+                job: JobId(1),
+                part: 0,
+                work_mips_s: 10,
+            },
+            0.0,
+            SimTime::from_secs(7200),
+        );
+        assert!(!launch.accepted);
+        assert!(launch.reason.contains("expired"));
+    }
+
+    #[test]
+    fn advance_progresses_and_completes() {
+        let mut lrm = lrm();
+        let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
+        lrm.handle_launch(
+            &LaunchRequest {
+                reservation: reply.reservation,
+                job: JobId(1),
+                part: 0,
+                work_mips_s: 1500, // 500 MIPS * 0.3 share = 150 MIPS → 10 s
+            },
+            0.0,
+            SimTime::ZERO,
+        );
+        let done = lrm.advance(SimDuration::from_secs(5));
+        assert!(done.is_empty());
+        assert!(lrm.running()[0].done > 0.0);
+        let done = lrm.advance(SimDuration::from_secs(6));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].job, JobId(1));
+        assert!(lrm.running().is_empty());
+    }
+
+    #[test]
+    fn share_splits_among_parts() {
+        let mut lrm = lrm();
+        for part in 0..2 {
+            let mut req = reserve_req();
+            req.part = part;
+            let reply = lrm.handle_reserve(&req, SimTime::ZERO);
+            lrm.handle_launch(
+                &LaunchRequest {
+                    reservation: reply.reservation,
+                    job: JobId(1),
+                    part,
+                    work_mips_s: 10_000,
+                },
+                0.0,
+                SimTime::ZERO,
+            );
+        }
+        lrm.advance(SimDuration::from_secs(10));
+        // 500 MIPS * 0.3 / 2 parts * 10 s = 750 each.
+        for p in lrm.running() {
+            assert!((p.done - 750.0).abs() < 1e-6, "done={}", p.done);
+        }
+    }
+
+    #[test]
+    fn owner_return_evicts_with_checkpoint_accounting() {
+        let mut lrm = lrm();
+        let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
+        lrm.handle_launch(
+            &LaunchRequest {
+                reservation: reply.reservation,
+                job: JobId(1),
+                part: 0,
+                work_mips_s: 10_000,
+            },
+            300.0, // checkpoint every 300 MIPS-s
+            SimTime::ZERO,
+        );
+        lrm.advance(SimDuration::from_secs(10)); // 1500 MIPS-s done
+        lrm.observe_owner(UsageSample::new(0.9, 0.4, 0.0, 0.0), Weekday::new(1), 600);
+        let evicted = lrm.check_eviction();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].checkpointed_work_mips_s, 1500); // 5 × 300
+        assert_eq!(evicted[0].lost_work_mips_s, 0);
+        assert!(lrm.running().is_empty());
+    }
+
+    #[test]
+    fn eviction_without_checkpointing_loses_everything() {
+        let mut lrm = lrm();
+        let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
+        lrm.handle_launch(
+            &LaunchRequest {
+                reservation: reply.reservation,
+                job: JobId(1),
+                part: 0,
+                work_mips_s: 10_000,
+            },
+            0.0,
+            SimTime::ZERO,
+        );
+        lrm.advance(SimDuration::from_secs(10));
+        lrm.observe_owner(UsageSample::new(0.9, 0.4, 0.0, 0.0), Weekday::new(1), 600);
+        let evicted = lrm.check_eviction();
+        assert_eq!(evicted[0].checkpointed_work_mips_s, 0);
+        assert_eq!(evicted[0].lost_work_mips_s, 1500);
+    }
+
+    #[test]
+    fn no_eviction_while_idle() {
+        let mut lrm = lrm();
+        let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
+        lrm.handle_launch(
+            &LaunchRequest {
+                reservation: reply.reservation,
+                job: JobId(1),
+                part: 0,
+                work_mips_s: 100,
+            },
+            0.0,
+            SimTime::ZERO,
+        );
+        assert!(lrm.check_eviction().is_empty());
+        assert_eq!(lrm.running().len(), 1);
+    }
+
+    #[test]
+    fn status_reflects_policy_and_load() {
+        let mut lrm = lrm();
+        let s = lrm.current_status();
+        assert!(s.exporting);
+        assert!((s.free_cpu_fraction - 0.3).abs() < 1e-12);
+        assert_eq!(s.free_ram_mb, 128);
+        lrm.observe_owner(UsageSample::new(0.9, 0.2, 0.0, 0.0), Weekday::new(0), 60);
+        let s = lrm.current_status();
+        assert!(!s.exporting);
+        assert!(s.owner_active);
+        assert_eq!(s.free_cpu_fraction, 0.0);
+    }
+
+    #[test]
+    fn delta_suppression_skips_unchanged() {
+        let mut lrm = lrm();
+        let config = LrmConfig {
+            delta_suppression: true,
+            ..Default::default()
+        };
+        assert!(lrm.next_update(&config).is_some(), "first always sends");
+        assert!(lrm.next_update(&config).is_none(), "unchanged suppressed");
+        lrm.observe_owner(UsageSample::new(0.9, 0.1, 0.0, 0.0), Weekday::new(0), 60);
+        assert!(lrm.next_update(&config).is_some(), "change sends");
+    }
+
+    #[test]
+    fn updates_always_sent_without_suppression() {
+        let mut lrm = lrm();
+        let config = LrmConfig::default();
+        let (seq1, _) = lrm.next_update(&config).unwrap();
+        let (seq2, _) = lrm.next_update(&config).unwrap();
+        assert_eq!(seq2, seq1 + 1);
+    }
+
+    #[test]
+    fn servant_dispatch_reserve_launch() {
+        use integrade_orb::cdr::CdrEncode;
+        let state = Rc::new(RefCell::new(lrm()));
+        let now = Rc::new(RefCell::new(SimTime::ZERO));
+        let mut servant = LrmServant::new(state.clone(), now);
+
+        let args = reserve_req().to_cdr_bytes();
+        let out = servant
+            .dispatch(OP_RESERVE, &mut CdrReader::new(&args))
+            .unwrap();
+        let reply = ReserveReply::from_cdr_bytes(&out).unwrap();
+        assert!(reply.granted);
+
+        let launch = (
+            LaunchRequest {
+                reservation: reply.reservation,
+                job: JobId(1),
+                part: 0,
+                work_mips_s: 42,
+            },
+            0.0f64,
+        )
+            .to_cdr_bytes();
+        let out = servant.dispatch(OP_LAUNCH, &mut CdrReader::new(&launch)).unwrap();
+        assert!(LaunchReply::from_cdr_bytes(&out).unwrap().accepted);
+        assert_eq!(state.borrow().running().len(), 1);
+    }
+
+    #[test]
+    fn lupa_collection_accumulates() {
+        let mut lrm = lrm();
+        let slots = LrmConfig::default().sampling.slots_per_day();
+        for i in 0..slots + 1 {
+            let minute = (i * 5 % 1440) as u32;
+            lrm.observe_owner(UsageSample::idle(), Weekday::new(0), minute);
+        }
+        assert_eq!(lrm.take_lupa_periods().len(), 1);
+    }
+}

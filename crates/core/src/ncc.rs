@@ -1,0 +1,268 @@
+//! Node Control Center — the owner's sharing policy.
+//!
+//! "The NCC allows the owners of resource providing machines to set the
+//! conditions for resource sharing... periods in which they do not want
+//! their resources to be shared, the portion of resources that can be used
+//! by grid applications (e.g., 30% of the CPU and 50% of its physical
+//! memory), or definitions as to when to consider their machine idle" (§4).
+//!
+//! "The vast majority of resource providers will not be knowledgeable
+//! users, so the system must provide sensible default values" (§3) — hence
+//! [`SharingPolicy::default`].
+
+use integrade_usage::sample::{UsageSample, Weekday};
+use serde::{Deserialize, Serialize};
+
+/// A weekly schedule of hours during which exporting is allowed.
+///
+/// Hour granularity (7 × 24 flags) is enough to express "nights and
+/// weekends" style policies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeeklySchedule {
+    allowed: [[bool; 24]; 7],
+}
+
+impl Default for WeeklySchedule {
+    /// Always allowed.
+    fn default() -> Self {
+        WeeklySchedule {
+            allowed: [[true; 24]; 7],
+        }
+    }
+}
+
+impl WeeklySchedule {
+    /// Exporting allowed at every hour.
+    pub fn always() -> Self {
+        Self::default()
+    }
+
+    /// Exporting never allowed.
+    pub fn never() -> Self {
+        WeeklySchedule {
+            allowed: [[false; 24]; 7],
+        }
+    }
+
+    /// Exporting allowed only outside `start_hour..end_hour` on weekdays
+    /// (classic "not during my work hours"), and all weekend.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start_hour < end_hour <= 24`.
+    pub fn outside_work_hours(start_hour: usize, end_hour: usize) -> Self {
+        assert!(start_hour < end_hour && end_hour <= 24, "invalid hour range");
+        let mut allowed = [[true; 24]; 7];
+        for day in allowed.iter_mut().take(5) {
+            for hour in day[start_hour..end_hour].iter_mut() {
+                *hour = false;
+            }
+        }
+        WeeklySchedule { allowed }
+    }
+
+    /// Sets one hour's flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn set(&mut self, weekday: Weekday, hour: usize, allowed: bool) {
+        assert!(hour < 24, "hour out of range");
+        self.allowed[weekday.index() as usize][hour] = allowed;
+    }
+
+    /// Whether exporting is allowed at the given time.
+    pub fn allows(&self, weekday: Weekday, minute_of_day: u32) -> bool {
+        let hour = ((minute_of_day / 60) as usize).min(23);
+        self.allowed[weekday.index() as usize][hour]
+    }
+
+    /// Total allowed hours per week.
+    pub fn allowed_hours(&self) -> usize {
+        self.allowed.iter().flatten().filter(|&&a| a).count()
+    }
+}
+
+/// The owner's complete sharing policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharingPolicy {
+    /// When exporting is permitted at all.
+    pub schedule: WeeklySchedule,
+    /// Largest CPU fraction grid applications may consume.
+    pub max_cpu_fraction: f64,
+    /// Largest RAM fraction grid applications may consume.
+    pub max_ram_fraction: f64,
+    /// Owner load below this counts as "idle".
+    pub idle_threshold: f64,
+    /// If true, grid work runs only while the machine is idle; if false,
+    /// grid work may share a busy machine up to the caps.
+    pub require_idle: bool,
+}
+
+impl Default for SharingPolicy {
+    /// The paper's protective defaults for non-knowledgeable providers:
+    /// share whenever idle, capped at 30% CPU / 50% RAM even then.
+    fn default() -> Self {
+        SharingPolicy {
+            schedule: WeeklySchedule::always(),
+            max_cpu_fraction: 0.3,
+            max_ram_fraction: 0.5,
+            idle_threshold: 0.15,
+            require_idle: true,
+        }
+    }
+}
+
+impl SharingPolicy {
+    /// A dedicated node: everything available, always.
+    pub fn dedicated() -> Self {
+        SharingPolicy {
+            schedule: WeeklySchedule::always(),
+            max_cpu_fraction: 1.0,
+            max_ram_fraction: 1.0,
+            idle_threshold: 1.0,
+            require_idle: false,
+        }
+    }
+
+    /// A generous shared workstation: grid may co-run with the owner.
+    pub fn generous() -> Self {
+        SharingPolicy {
+            schedule: WeeklySchedule::always(),
+            max_cpu_fraction: 0.5,
+            max_ram_fraction: 0.5,
+            idle_threshold: 0.25,
+            require_idle: false,
+        }
+    }
+
+    /// No sharing at all.
+    pub fn never() -> Self {
+        SharingPolicy {
+            schedule: WeeklySchedule::never(),
+            max_cpu_fraction: 0.0,
+            max_ram_fraction: 0.0,
+            idle_threshold: 0.0,
+            require_idle: true,
+        }
+    }
+
+    /// Whether the machine counts as idle under this policy.
+    pub fn is_idle(&self, owner: &UsageSample) -> bool {
+        owner.is_idle(self.idle_threshold)
+    }
+
+    /// Whether exporting is allowed right now given schedule and owner load.
+    pub fn allows_export(&self, weekday: Weekday, minute_of_day: u32, owner: &UsageSample) -> bool {
+        if !self.schedule.allows(weekday, minute_of_day) {
+            return false;
+        }
+        if self.require_idle && !self.is_idle(owner) {
+            return false;
+        }
+        self.max_cpu_fraction > 0.0
+    }
+
+    /// CPU fraction the grid may use right now: the cap, further limited so
+    /// the owner's current demand is never squeezed (the user-level
+    /// scheduler always yields to the owner).
+    pub fn grid_cpu_share(&self, owner: &UsageSample) -> f64 {
+        let headroom = (1.0 - owner.cpu).max(0.0);
+        self.max_cpu_fraction.min(headroom)
+    }
+
+    /// RAM (in MB) the grid may use on a node with `total_ram_mb`, given the
+    /// owner's current residency.
+    pub fn grid_ram_mb(&self, total_ram_mb: u64, owner: &UsageSample) -> u64 {
+        let cap = (total_ram_mb as f64 * self.max_ram_fraction) as u64;
+        let owner_used = (total_ram_mb as f64 * owner.mem) as u64;
+        cap.min(total_ram_mb.saturating_sub(owner_used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle() -> UsageSample {
+        UsageSample::idle()
+    }
+
+    fn busy() -> UsageSample {
+        UsageSample::new(0.8, 0.6, 0.1, 0.1)
+    }
+
+    #[test]
+    fn default_policy_protects_owner() {
+        let p = SharingPolicy::default();
+        // Busy machine: no export under require_idle.
+        assert!(!p.allows_export(Weekday::new(2), 600, &busy()));
+        // Idle machine: export allowed, capped at 30%.
+        assert!(p.allows_export(Weekday::new(2), 600, &idle()));
+        assert!((p.grid_cpu_share(&idle()) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_windows_respected() {
+        let p = SharingPolicy {
+            schedule: WeeklySchedule::outside_work_hours(9, 18),
+            ..SharingPolicy::dedicated()
+        };
+        // Wednesday 10:00: inside work hours → blocked.
+        assert!(!p.allows_export(Weekday::new(2), 10 * 60, &idle()));
+        // Wednesday 20:00: allowed.
+        assert!(p.allows_export(Weekday::new(2), 20 * 60, &idle()));
+        // Saturday 10:00: weekend → allowed.
+        assert!(p.allows_export(Weekday::new(5), 10 * 60, &idle()));
+    }
+
+    #[test]
+    fn schedule_set_and_count() {
+        let mut s = WeeklySchedule::never();
+        assert_eq!(s.allowed_hours(), 0);
+        s.set(Weekday::new(0), 22, true);
+        assert!(s.allows(Weekday::new(0), 22 * 60 + 30));
+        assert!(!s.allows(Weekday::new(0), 21 * 60));
+        assert_eq!(s.allowed_hours(), 1);
+        assert_eq!(WeeklySchedule::always().allowed_hours(), 168);
+        assert_eq!(WeeklySchedule::outside_work_hours(9, 18).allowed_hours(), 168 - 45);
+    }
+
+    #[test]
+    fn grid_share_yields_to_owner() {
+        let p = SharingPolicy::generous(); // cap 0.5, co-run allowed
+        // Owner using 80% CPU: grid gets only the 20% headroom.
+        let owner = UsageSample::new(0.8, 0.2, 0.0, 0.0);
+        assert!((p.grid_cpu_share(&owner) - 0.2).abs() < 1e-12);
+        // Owner idle: grid gets the full cap.
+        assert!((p.grid_cpu_share(&idle()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ram_grant_respects_cap_and_residency() {
+        let p = SharingPolicy::default(); // 50% RAM cap
+        assert_eq!(p.grid_ram_mb(256, &idle()), 128);
+        // Owner occupying 90%: only 10% left regardless of cap.
+        let hog = UsageSample::new(0.0, 0.9, 0.0, 0.0);
+        assert_eq!(p.grid_ram_mb(256, &hog), 26);
+    }
+
+    #[test]
+    fn dedicated_always_exports_fully() {
+        let p = SharingPolicy::dedicated();
+        assert!(p.allows_export(Weekday::new(0), 600, &busy()));
+        assert!((p.grid_cpu_share(&idle()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_policy_blocks_everything() {
+        let p = SharingPolicy::never();
+        assert!(!p.allows_export(Weekday::new(6), 0, &idle()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hour range")]
+    fn bad_hours_panic() {
+        WeeklySchedule::outside_work_hours(18, 9);
+    }
+}

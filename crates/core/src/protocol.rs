@@ -1,0 +1,464 @@
+//! Intra-cluster protocol messages.
+//!
+//! Two protocols tie LRMs and the GRM together (§4):
+//!
+//! * **Information Update Protocol** — each LRM periodically sends its node
+//!   status to the GRM, which stores it (in the Trader) as the scheduling
+//!   hint: [`StatusUpdate`].
+//! * **Resource Reservation and Execution Protocol** — when an application
+//!   is submitted the GRM picks candidates from its (possibly stale) local
+//!   state, then *negotiates directly* with each candidate to confirm and
+//!   reserve resources, retrying on refusal: [`ReserveRequest`] /
+//!   [`ReserveReply`], then [`LaunchRequest`] / [`LaunchReply`], and
+//!   asynchronous completion/eviction notifications back to the GRM.
+//!
+//! All payloads are CDR-marshalled and travel inside GIOP frames, so every
+//! protocol interaction has a realistic wire size.
+
+use crate::types::{JobId, NodeId, NodeStatus};
+use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
+use serde::{Deserialize, Serialize};
+
+/// Operation name: LRM → GRM periodic status (oneway).
+pub const OP_UPDATE_STATUS: &str = "update_status";
+/// Operation name: GRM → LRM reservation negotiation.
+pub const OP_RESERVE: &str = "reserve";
+/// Operation name: GRM → LRM launch a part under a reservation.
+pub const OP_LAUNCH: &str = "launch";
+/// Operation name: GRM → LRM cancel a reservation or running part.
+pub const OP_CANCEL: &str = "cancel";
+/// Operation name: GRM → LRM cancel a *running* part (BSP gang teardown),
+/// returning its progress.
+pub const OP_CANCEL_PART: &str = "cancel_part";
+/// Operation name: LRM → GRM a part completed (oneway).
+pub const OP_PART_DONE: &str = "part_done";
+/// Operation name: LRM → GRM a part was evicted (oneway).
+pub const OP_PART_EVICTED: &str = "part_evicted";
+/// Object key under which every LRM servant registers.
+pub const LRM_OBJECT_KEY: &str = "integrade/lrm";
+/// Object key under which the GRM servant registers.
+pub const GRM_OBJECT_KEY: &str = "integrade/grm";
+/// Trader service type for node offers.
+pub const NODE_SERVICE_TYPE: &str = "integrade::node";
+
+/// Progress of one running part, piggybacked on status updates so the GRM
+/// holds a checkpoint repository that survives node crashes (the design the
+/// InteGrade group later published as checkpointing-based rollback
+/// recovery; here it is what makes §3's "resume the application in case of
+/// crashes" work when the crashed disk is gone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointReport {
+    /// Job the part belongs to.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+    /// Work preserved by the part's last checkpoint, MIPS-s.
+    pub checkpointed_work_mips_s: u64,
+}
+
+impl CdrEncode for CheckpointReport {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.job.encode(w);
+        self.part.encode(w);
+        self.checkpointed_work_mips_s.encode(w);
+    }
+}
+impl CdrDecode for CheckpointReport {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(CheckpointReport {
+            job: JobId::decode(r)?,
+            part: u32::decode(r)?,
+            checkpointed_work_mips_s: u64::decode(r)?,
+        })
+    }
+}
+
+/// LRM → GRM: periodic node status (the Information Update Protocol).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusUpdate {
+    /// Reporting node.
+    pub node: NodeId,
+    /// Monotonic per-node sequence number (stale updates are discarded).
+    pub seq: u64,
+    /// Current status.
+    pub status: NodeStatus,
+    /// Checkpoint progress of this node's running parts.
+    pub checkpoints: Vec<CheckpointReport>,
+}
+
+impl CdrEncode for StatusUpdate {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.node.encode(w);
+        self.seq.encode(w);
+        self.status.encode(w);
+        self.checkpoints.encode(w);
+    }
+}
+impl CdrDecode for StatusUpdate {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(StatusUpdate {
+            node: NodeId::decode(r)?,
+            seq: u64::decode(r)?,
+            status: NodeStatus::decode(r)?,
+            checkpoints: Vec::decode(r)?,
+        })
+    }
+}
+
+/// GRM → LRM: request a reservation for one part.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReserveRequest {
+    /// The job the part belongs to.
+    pub job: JobId,
+    /// Part index within the job.
+    pub part: u32,
+    /// RAM the part needs, MB.
+    pub ram_mb: u64,
+    /// Minimum useful CPU share (reservation refused below this).
+    pub min_cpu_fraction: f64,
+    /// Expected duration hint, seconds (for lease sizing).
+    pub duration_hint_s: u64,
+}
+
+impl CdrEncode for ReserveRequest {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.job.encode(w);
+        self.part.encode(w);
+        self.ram_mb.encode(w);
+        self.min_cpu_fraction.encode(w);
+        self.duration_hint_s.encode(w);
+    }
+}
+impl CdrDecode for ReserveRequest {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(ReserveRequest {
+            job: JobId::decode(r)?,
+            part: u32::decode(r)?,
+            ram_mb: u64::decode(r)?,
+            min_cpu_fraction: f64::decode(r)?,
+            duration_hint_s: u64::decode(r)?,
+        })
+    }
+}
+
+/// LRM → GRM: outcome of a reservation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReserveReply {
+    /// Whether the node accepted.
+    pub granted: bool,
+    /// Reservation handle when granted.
+    pub reservation: u64,
+    /// Refusal reason when not granted.
+    pub reason: String,
+}
+
+impl ReserveReply {
+    /// A refusal with the given reason.
+    pub fn refused(reason: &str) -> Self {
+        ReserveReply {
+            granted: false,
+            reservation: 0,
+            reason: reason.to_owned(),
+        }
+    }
+}
+
+impl CdrEncode for ReserveReply {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.granted.encode(w);
+        self.reservation.encode(w);
+        self.reason.encode(w);
+    }
+}
+impl CdrDecode for ReserveReply {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(ReserveReply {
+            granted: bool::decode(r)?,
+            reservation: u64::decode(r)?,
+            reason: String::decode(r)?,
+        })
+    }
+}
+
+/// GRM → LRM: start a part under a previously granted reservation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchRequest {
+    /// The granted reservation handle.
+    pub reservation: u64,
+    /// Job and part to run.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+    /// Work to execute, MIPS-seconds (remaining work when resuming from a
+    /// checkpoint).
+    pub work_mips_s: u64,
+}
+
+impl CdrEncode for LaunchRequest {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.reservation.encode(w);
+        self.job.encode(w);
+        self.part.encode(w);
+        self.work_mips_s.encode(w);
+    }
+}
+impl CdrDecode for LaunchRequest {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(LaunchRequest {
+            reservation: u64::decode(r)?,
+            job: JobId::decode(r)?,
+            part: u32::decode(r)?,
+            work_mips_s: u64::decode(r)?,
+        })
+    }
+}
+
+/// LRM → GRM: launch outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchReply {
+    /// Whether execution started.
+    pub accepted: bool,
+    /// Refusal reason otherwise.
+    pub reason: String,
+}
+
+impl CdrEncode for LaunchReply {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.accepted.encode(w);
+        self.reason.encode(w);
+    }
+}
+impl CdrDecode for LaunchReply {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(LaunchReply {
+            accepted: bool::decode(r)?,
+            reason: String::decode(r)?,
+        })
+    }
+}
+
+/// GRM → LRM: stop a running part (gang teardown after a sibling eviction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CancelPartRequest {
+    /// Job the part belongs to.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+}
+
+impl CdrEncode for CancelPartRequest {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.job.encode(w);
+        self.part.encode(w);
+    }
+}
+impl CdrDecode for CancelPartRequest {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(CancelPartRequest {
+            job: JobId::decode(r)?,
+            part: u32::decode(r)?,
+        })
+    }
+}
+
+/// LRM → GRM: progress of a cancelled part.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CancelPartReply {
+    /// Whether the part was found running here.
+    pub found: bool,
+    /// Work preserved by its last checkpoint, MIPS-s.
+    pub checkpointed_work_mips_s: u64,
+    /// Work executed in this launch, MIPS-s.
+    pub done_work_mips_s: u64,
+}
+
+impl CdrEncode for CancelPartReply {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.found.encode(w);
+        self.checkpointed_work_mips_s.encode(w);
+        self.done_work_mips_s.encode(w);
+    }
+}
+impl CdrDecode for CancelPartReply {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(CancelPartReply {
+            found: bool::decode(r)?,
+            checkpointed_work_mips_s: u64::decode(r)?,
+            done_work_mips_s: u64::decode(r)?,
+        })
+    }
+}
+
+/// LRM → GRM: a part finished (oneway notification).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartDone {
+    /// Job the part belongs to.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+    /// Node that ran it.
+    pub node: NodeId,
+}
+
+impl CdrEncode for PartDone {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.job.encode(w);
+        self.part.encode(w);
+        self.node.encode(w);
+    }
+}
+impl CdrDecode for PartDone {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(PartDone {
+            job: JobId::decode(r)?,
+            part: u32::decode(r)?,
+            node: NodeId::decode(r)?,
+        })
+    }
+}
+
+/// LRM → GRM: a part was evicted by the returning owner (oneway).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartEvicted {
+    /// Job the part belongs to.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+    /// Node it was evicted from.
+    pub node: NodeId,
+    /// Work completed and preserved by checkpointing, MIPS-s (0 when the
+    /// job has no checkpointing — all work is lost).
+    pub checkpointed_work_mips_s: u64,
+    /// Work lost (re-execution needed), MIPS-s.
+    pub lost_work_mips_s: u64,
+}
+
+impl CdrEncode for PartEvicted {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.job.encode(w);
+        self.part.encode(w);
+        self.node.encode(w);
+        self.checkpointed_work_mips_s.encode(w);
+        self.lost_work_mips_s.encode(w);
+    }
+}
+impl CdrDecode for PartEvicted {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(PartEvicted {
+            job: JobId::decode(r)?,
+            part: u32::decode(r)?,
+            node: NodeId::decode(r)?,
+            checkpointed_work_mips_s: u64::decode(r)?,
+            lost_work_mips_s: u64::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status() -> NodeStatus {
+        NodeStatus {
+            free_cpu_fraction: 0.3,
+            free_ram_mb: 128,
+            owner_active: false,
+            exporting: true,
+            running_parts: 1,
+        }
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        let u = StatusUpdate {
+            node: NodeId(4),
+            seq: 17,
+            status: status(),
+            checkpoints: vec![CheckpointReport {
+                job: JobId(2),
+                part: 1,
+                checkpointed_work_mips_s: 300,
+            }],
+        };
+        assert_eq!(StatusUpdate::from_cdr_bytes(&u.to_cdr_bytes()).unwrap(), u);
+
+        let rr = ReserveRequest {
+            job: JobId(2),
+            part: 3,
+            ram_mb: 64,
+            min_cpu_fraction: 0.25,
+            duration_hint_s: 600,
+        };
+        assert_eq!(ReserveRequest::from_cdr_bytes(&rr.to_cdr_bytes()).unwrap(), rr);
+
+        let rp = ReserveReply {
+            granted: true,
+            reservation: 99,
+            reason: String::new(),
+        };
+        assert_eq!(ReserveReply::from_cdr_bytes(&rp.to_cdr_bytes()).unwrap(), rp);
+
+        let lr = LaunchRequest {
+            reservation: 99,
+            job: JobId(2),
+            part: 3,
+            work_mips_s: 1000,
+        };
+        assert_eq!(LaunchRequest::from_cdr_bytes(&lr.to_cdr_bytes()).unwrap(), lr);
+
+        let lp = LaunchReply {
+            accepted: false,
+            reason: "reservation expired".into(),
+        };
+        assert_eq!(LaunchReply::from_cdr_bytes(&lp.to_cdr_bytes()).unwrap(), lp);
+
+        let pd = PartDone {
+            job: JobId(2),
+            part: 3,
+            node: NodeId(4),
+        };
+        assert_eq!(PartDone::from_cdr_bytes(&pd.to_cdr_bytes()).unwrap(), pd);
+
+        let pe = PartEvicted {
+            job: JobId(2),
+            part: 3,
+            node: NodeId(4),
+            checkpointed_work_mips_s: 500,
+            lost_work_mips_s: 120,
+        };
+        assert_eq!(PartEvicted::from_cdr_bytes(&pe.to_cdr_bytes()).unwrap(), pe);
+    }
+
+    #[test]
+    fn refusal_constructor() {
+        let r = ReserveReply::refused("owner active");
+        assert!(!r.granted);
+        assert_eq!(r.reason, "owner active");
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let bytes = StatusUpdate {
+            node: NodeId(1),
+            seq: 1,
+            status: status(),
+            checkpoints: vec![],
+        }
+        .to_cdr_bytes();
+        assert!(StatusUpdate::from_cdr_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn update_wire_size_is_modest() {
+        // The Information Update Protocol's cost per message (E1 input):
+        // should be tens of bytes, not kilobytes.
+        let bytes = StatusUpdate {
+            node: NodeId(1),
+            seq: 1,
+            status: status(),
+            checkpoints: vec![],
+        }
+        .to_cdr_bytes();
+        assert!(bytes.len() < 64, "status update is {} bytes", bytes.len());
+    }
+}

@@ -1,0 +1,212 @@
+//! Owner quality-of-service accounting.
+//!
+//! "An important requirement for InteGrade is that users who decide to
+//! share their machines with the Grid shall not perceive any drop in the
+//! quality of service provided by their applications" (§1). This module
+//! quantifies that requirement: given the owner's demand and the grid's
+//! usage in each sampling slot, it computes the *owner-perceived slowdown*
+//! — how much longer the owner's work takes than on an unshared machine —
+//! under two CPU-sharing disciplines:
+//!
+//! * **yielding** (InteGrade's user-level scheduler): grid work only ever
+//!   consumes the capped share of what the owner leaves free, so the owner
+//!   always runs at full speed (slowdown 1.0 by construction);
+//! * **proportional** (no protection, the strawman): owner and grid compete
+//!   for the CPU and share it proportionally when oversubscribed.
+
+use serde::{Deserialize, Serialize};
+
+/// How the CPU is split between owner and grid in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SharingDiscipline {
+    /// The user-level scheduler yields to the owner (InteGrade).
+    Yielding,
+    /// Owner and grid compete; an oversubscribed CPU is shared
+    /// proportionally (unprotected co-execution).
+    Proportional,
+}
+
+/// Owner slowdown in one slot: the factor by which the owner's work is
+/// stretched (1.0 = no impact).
+///
+/// `owner_demand` and `grid_demand` are CPU fractions in `[0, 1]` (grid
+/// demand is what the grid *wants* to run, before any protection).
+pub fn slot_slowdown(owner_demand: f64, grid_demand: f64, discipline: SharingDiscipline) -> f64 {
+    let owner = owner_demand.clamp(0.0, 1.0);
+    let grid = grid_demand.clamp(0.0, 1.0);
+    if owner <= 0.0 {
+        return 1.0;
+    }
+    match discipline {
+        SharingDiscipline::Yielding => 1.0,
+        SharingDiscipline::Proportional => {
+            let total = owner + grid;
+            if total <= 1.0 {
+                1.0
+            } else {
+                // Owner receives owner/total of the CPU; its work stretches
+                // by demand/received = total.
+                total
+            }
+        }
+    }
+}
+
+/// Aggregated owner-QoS statistics over a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QosLedger {
+    slowdowns: Vec<f64>,
+    /// Slots in which the grid ran anything on the node.
+    pub grid_active_slots: u64,
+    /// Slots in which the owner demanded CPU.
+    pub owner_active_slots: u64,
+    /// Slots in which grid usage exceeded the NCC cap (invariant violations;
+    /// must stay zero for InteGrade).
+    pub cap_violations: u64,
+}
+
+impl QosLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one slot. `grid_usage` is the grid's actual consumption,
+    /// checked against `cap` for the invariant count.
+    pub fn record(
+        &mut self,
+        owner_demand: f64,
+        grid_demand: f64,
+        grid_usage: f64,
+        cap: f64,
+        discipline: SharingDiscipline,
+    ) {
+        if owner_demand > 0.0 {
+            self.owner_active_slots += 1;
+            self.slowdowns
+                .push(slot_slowdown(owner_demand, grid_demand, discipline));
+        }
+        if grid_usage > 0.0 {
+            self.grid_active_slots += 1;
+        }
+        if grid_usage > cap + 1e-9 {
+            self.cap_violations += 1;
+        }
+    }
+
+    /// Mean slowdown over owner-active slots (1.0 when the owner was never
+    /// active).
+    pub fn mean_slowdown(&self) -> f64 {
+        if self.slowdowns.is_empty() {
+            return 1.0;
+        }
+        self.slowdowns.iter().sum::<f64>() / self.slowdowns.len() as f64
+    }
+
+    /// The `q`-quantile slowdown (e.g. 0.95), 1.0 when no owner activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile_slowdown(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.slowdowns.is_empty() {
+            return 1.0;
+        }
+        let mut sorted = self.slowdowns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    /// Worst observed slowdown.
+    pub fn max_slowdown(&self) -> f64 {
+        self.slowdowns.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// Number of owner-active slots recorded.
+    pub fn samples(&self) -> usize {
+        self.slowdowns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yielding_never_slows_the_owner() {
+        for owner in [0.1, 0.5, 0.9] {
+            for grid in [0.0, 0.3, 1.0] {
+                assert_eq!(slot_slowdown(owner, grid, SharingDiscipline::Yielding), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_slows_when_oversubscribed() {
+        // Owner 0.8 + grid 0.6 = 1.4× oversubscription → 1.4× slowdown.
+        let s = slot_slowdown(0.8, 0.6, SharingDiscipline::Proportional);
+        assert!((s - 1.4).abs() < 1e-12);
+        // Undersubscribed: no impact.
+        assert_eq!(slot_slowdown(0.3, 0.5, SharingDiscipline::Proportional), 1.0);
+    }
+
+    #[test]
+    fn idle_owner_never_slowed() {
+        assert_eq!(slot_slowdown(0.0, 1.0, SharingDiscipline::Proportional), 1.0);
+    }
+
+    #[test]
+    fn ledger_aggregates() {
+        let mut ledger = QosLedger::new();
+        // Owner active, grid overloading (proportional): slowdown 1.5.
+        ledger.record(0.9, 0.6, 0.6, 1.0, SharingDiscipline::Proportional);
+        // Owner active, grid yielding: slowdown 1.0.
+        ledger.record(0.9, 0.6, 0.1, 0.3, SharingDiscipline::Yielding);
+        // Owner idle, grid running.
+        ledger.record(0.0, 0.3, 0.3, 0.3, SharingDiscipline::Yielding);
+        assert_eq!(ledger.samples(), 2);
+        assert_eq!(ledger.owner_active_slots, 2);
+        assert_eq!(ledger.grid_active_slots, 3);
+        assert!((ledger.mean_slowdown() - 1.25).abs() < 1e-12);
+        assert!((ledger.max_slowdown() - 1.5).abs() < 1e-12);
+        assert_eq!(ledger.cap_violations, 0);
+    }
+
+    #[test]
+    fn cap_violations_detected() {
+        let mut ledger = QosLedger::new();
+        ledger.record(0.5, 0.5, 0.5, 0.3, SharingDiscipline::Proportional);
+        assert_eq!(ledger.cap_violations, 1);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut ledger = QosLedger::new();
+        for slowdown in [1.0, 1.1, 1.2, 1.3, 1.9] {
+            // Construct slots whose proportional slowdown equals the target:
+            // owner+grid = slowdown (when > 1).
+            let owner = 0.9f64;
+            let grid = (slowdown - owner).max(0.0);
+            ledger.record(owner, grid, 0.0, 1.0, SharingDiscipline::Proportional);
+        }
+        assert_eq!(ledger.quantile_slowdown(0.0), 1.0);
+        assert!((ledger.quantile_slowdown(1.0) - 1.9).abs() < 1e-9);
+        assert!(ledger.quantile_slowdown(0.5) <= 1.3);
+    }
+
+    #[test]
+    fn empty_ledger_is_neutral() {
+        let ledger = QosLedger::new();
+        assert_eq!(ledger.mean_slowdown(), 1.0);
+        assert_eq!(ledger.quantile_slowdown(0.95), 1.0);
+        assert_eq!(ledger.max_slowdown(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        QosLedger::new().quantile_slowdown(1.5);
+    }
+}

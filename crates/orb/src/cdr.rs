@@ -1,0 +1,616 @@
+//! CDR-style marshalling (Common Data Representation).
+//!
+//! CORBA's GIOP protocol marshals values in CDR: primitives are aligned to
+//! their natural size, strings are length-prefixed and NUL-terminated,
+//! sequences are length-prefixed. This module reproduces that encoding
+//! (big-endian flavour) so the InteGrade protocol messages have realistic
+//! wire sizes and the marshalling cost shows up in benchmarks, as it did in
+//! the paper's UIC-CORBA-based prototype.
+//!
+//! The [`CdrEncode`]/[`CdrDecode`] traits are implemented for primitives,
+//! `String`, `Vec<T>`, `Option<T>`, maps and small tuples; application types
+//! implement them by composing fields in order (classic CDR struct layout).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced when decoding malformed CDR data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdrError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes needed beyond the buffer end.
+        needed: usize,
+        /// Read position at the failure.
+        at: usize,
+    },
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A sequence length exceeded the sanity bound.
+    LengthOverflow(u64),
+    /// An enum discriminant was out of range.
+    InvalidDiscriminant {
+        /// The type being decoded.
+        type_name: &'static str,
+        /// The offending discriminant.
+        value: u32,
+    },
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdrError::UnexpectedEof { needed, at } => {
+                write!(f, "unexpected end of CDR buffer at offset {at} (needed {needed} more bytes)")
+            }
+            CdrError::InvalidUtf8 => write!(f, "CDR string was not valid UTF-8"),
+            CdrError::InvalidBool(b) => write!(f, "invalid CDR boolean byte {b:#04x}"),
+            CdrError::LengthOverflow(n) => write!(f, "CDR sequence length {n} exceeds sanity bound"),
+            CdrError::InvalidDiscriminant { type_name, value } => {
+                write!(f, "invalid discriminant {value} for {type_name}")
+            }
+            CdrError::TrailingBytes(n) => write!(f, "{n} trailing bytes after CDR value"),
+        }
+    }
+}
+
+impl std::error::Error for CdrError {}
+
+/// Upper bound on decoded sequence lengths; prevents hostile lengths from
+/// causing huge allocations.
+const MAX_SEQ_LEN: u64 = 16 * 1024 * 1024;
+
+/// CDR encoder: appends aligned big-endian values to a growable buffer.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_orb::cdr::{CdrWriter, CdrReader, CdrEncode, CdrDecode};
+///
+/// let mut w = CdrWriter::new();
+/// 42u32.encode(&mut w);
+/// "hello".to_owned().encode(&mut w);
+/// let bytes = w.into_bytes();
+///
+/// let mut r = CdrReader::new(&bytes);
+/// assert_eq!(u32::decode(&mut r).unwrap(), 42);
+/// assert_eq!(String::decode(&mut r).unwrap(), "hello");
+/// ```
+#[derive(Debug, Default)]
+pub struct CdrWriter {
+    buf: Vec<u8>,
+}
+
+impl CdrWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        CdrWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Pads with zero bytes so the next write lands on a multiple of `align`.
+    pub fn align(&mut self, align: usize) {
+        let rem = self.buf.len() % align;
+        if rem != 0 {
+            self.buf.resize(self.buf.len() + (align - rem), 0);
+        }
+    }
+
+    /// Appends raw bytes without alignment.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends an aligned big-endian u16.
+    pub fn write_u16(&mut self, v: u16) {
+        self.align(2);
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an aligned big-endian u32.
+    pub fn write_u32(&mut self, v: u32) {
+        self.align(4);
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an aligned big-endian u64.
+    pub fn write_u64(&mut self, v: u64) {
+        self.align(8);
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer and returns the encoded buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the encoded bytes without consuming.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// CDR decoder over a byte slice.
+#[derive(Debug)]
+pub struct CdrReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CdrReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        CdrReader { data, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Skips padding so the next read is aligned to `align`.
+    pub fn align(&mut self, align: usize) {
+        let rem = self.pos % align;
+        if rem != 0 {
+            self.pos = (self.pos + align - rem).min(self.data.len());
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CdrError> {
+        if self.remaining() < n {
+            return Err(CdrError::UnexpectedEof {
+                needed: n - self.remaining(),
+                at: self.pos,
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> Result<u8, CdrError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads an aligned big-endian u16.
+    pub fn read_u16(&mut self) -> Result<u16, CdrError> {
+        self.align(2);
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads an aligned big-endian u32.
+    pub fn read_u32(&mut self) -> Result<u32, CdrError> {
+        self.align(4);
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an aligned big-endian u64.
+    pub fn read_u64(&mut self) -> Result<u64, CdrError> {
+        self.align(8);
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], CdrError> {
+        self.take(n)
+    }
+
+    /// Fails with [`CdrError::TrailingBytes`] unless fully consumed.
+    pub fn finish(&self) -> Result<(), CdrError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CdrError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+/// Types that marshal themselves into CDR.
+pub trait CdrEncode {
+    /// Appends this value to the writer.
+    fn encode(&self, w: &mut CdrWriter);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_cdr_bytes(&self) -> Vec<u8> {
+        let mut w = CdrWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Types that unmarshal themselves from CDR.
+pub trait CdrDecode: Sized {
+    /// Reads one value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CdrError`] describing the first malformation encountered.
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError>;
+
+    /// Convenience: decodes a complete buffer, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or leftover bytes.
+    fn from_cdr_bytes(bytes: &[u8]) -> Result<Self, CdrError> {
+        let mut r = CdrReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+macro_rules! impl_cdr_primitive {
+    ($ty:ty, $write:ident, $read:ident) => {
+        impl CdrEncode for $ty {
+            fn encode(&self, w: &mut CdrWriter) {
+                w.$write(*self);
+            }
+        }
+        impl CdrDecode for $ty {
+            fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+                r.$read()
+            }
+        }
+    };
+}
+
+impl_cdr_primitive!(u8, write_u8, read_u8);
+impl_cdr_primitive!(u16, write_u16, read_u16);
+impl_cdr_primitive!(u32, write_u32, read_u32);
+impl_cdr_primitive!(u64, write_u64, read_u64);
+
+impl CdrEncode for i32 {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(*self as u32);
+    }
+}
+impl CdrDecode for i32 {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(r.read_u32()? as i32)
+    }
+}
+
+impl CdrEncode for i64 {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u64(*self as u64);
+    }
+}
+impl CdrDecode for i64 {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(r.read_u64()? as i64)
+    }
+}
+
+impl CdrEncode for f64 {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u64(self.to_bits());
+    }
+}
+impl CdrDecode for f64 {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(f64::from_bits(r.read_u64()?))
+    }
+}
+
+impl CdrEncode for bool {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u8(*self as u8);
+    }
+}
+impl CdrDecode for bool {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        match r.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CdrError::InvalidBool(b)),
+        }
+    }
+}
+
+impl CdrEncode for String {
+    fn encode(&self, w: &mut CdrWriter) {
+        // CDR strings: u32 length including NUL, bytes, NUL terminator.
+        w.write_u32(self.len() as u32 + 1);
+        w.write_bytes(self.as_bytes());
+        w.write_u8(0);
+    }
+}
+impl CdrDecode for String {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        let len = r.read_u32()? as u64;
+        if len == 0 || len > MAX_SEQ_LEN {
+            return Err(CdrError::LengthOverflow(len));
+        }
+        let bytes = r.read_bytes(len as usize)?;
+        let (body, nul) = bytes.split_at(bytes.len() - 1);
+        if nul != [0] {
+            return Err(CdrError::InvalidUtf8);
+        }
+        String::from_utf8(body.to_vec()).map_err(|_| CdrError::InvalidUtf8)
+    }
+}
+
+impl CdrEncode for &str {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(self.len() as u32 + 1);
+        w.write_bytes(self.as_bytes());
+        w.write_u8(0);
+    }
+}
+
+impl<T: CdrEncode> CdrEncode for Vec<T> {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(self.len() as u32);
+        for item in self {
+            item.encode(w);
+        }
+    }
+}
+impl<T: CdrDecode> CdrDecode for Vec<T> {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        let len = r.read_u32()? as u64;
+        if len > MAX_SEQ_LEN {
+            return Err(CdrError::LengthOverflow(len));
+        }
+        let mut out = Vec::with_capacity((len as usize).min(1024));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: CdrEncode> CdrEncode for Option<T> {
+    fn encode(&self, w: &mut CdrWriter) {
+        match self {
+            None => w.write_u8(0),
+            Some(v) => {
+                w.write_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+impl<T: CdrDecode> CdrDecode for Option<T> {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        match r.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(CdrError::InvalidBool(b)),
+        }
+    }
+}
+
+impl<K: CdrEncode, V: CdrEncode> CdrEncode for BTreeMap<K, V> {
+    fn encode(&self, w: &mut CdrWriter) {
+        w.write_u32(self.len() as u32);
+        for (k, v) in self {
+            k.encode(w);
+            v.encode(w);
+        }
+    }
+}
+impl<K: CdrDecode + Ord, V: CdrDecode> CdrDecode for BTreeMap<K, V> {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        let len = r.read_u32()? as u64;
+        if len > MAX_SEQ_LEN {
+            return Err(CdrError::LengthOverflow(len));
+        }
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl CdrEncode for () {
+    fn encode(&self, _w: &mut CdrWriter) {}
+}
+impl CdrDecode for () {
+    fn decode(_r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(())
+    }
+}
+
+macro_rules! impl_cdr_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: CdrEncode),+> CdrEncode for ($($name,)+) {
+            fn encode(&self, w: &mut CdrWriter) {
+                $(self.$idx.encode(w);)+
+            }
+        }
+        impl<$($name: CdrDecode),+> CdrDecode for ($($name,)+) {
+            fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_cdr_tuple!(A: 0);
+impl_cdr_tuple!(A: 0, B: 1);
+impl_cdr_tuple!(A: 0, B: 1, C: 2);
+impl_cdr_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_cdr_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: CdrEncode + CdrDecode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_cdr_bytes();
+        let back = T::from_cdr_bytes(&bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0xBEEFu16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(-42i32);
+        round_trip(i64::MIN);
+        round_trip(3.141592653589793f64);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let bytes = f64::NAN.to_cdr_bytes();
+        let back = f64::from_cdr_bytes(&bytes).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        round_trip(String::new());
+        round_trip("hello world".to_owned());
+        round_trip("ünïcødé ✓".to_owned());
+    }
+
+    #[test]
+    fn string_wire_format_matches_cdr() {
+        // "hi" -> length 3 (incl. NUL), 'h', 'i', 0.
+        let bytes = "hi".to_owned().to_cdr_bytes();
+        assert_eq!(bytes, vec![0, 0, 0, 3, b'h', b'i', 0]);
+    }
+
+    #[test]
+    fn alignment_inserts_padding() {
+        let mut w = CdrWriter::new();
+        1u8.encode(&mut w);
+        2u32.encode(&mut w); // should align to offset 4
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![1, 0, 0, 0, 0, 0, 0, 2]);
+        let mut r = CdrReader::new(&bytes);
+        assert_eq!(u8::decode(&mut r).unwrap(), 1);
+        assert_eq!(u32::decode(&mut r).unwrap(), 2);
+    }
+
+    #[test]
+    fn u64_aligns_to_eight() {
+        let mut w = CdrWriter::new();
+        1u32.encode(&mut w);
+        7u64.encode(&mut w);
+        assert_eq!(w.len(), 16);
+    }
+
+    #[test]
+    fn vec_round_trips() {
+        round_trip(Vec::<u32>::new());
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(vec!["a".to_owned(), String::new(), "c".to_owned()]);
+        round_trip(vec![vec![1u8], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn option_round_trips() {
+        round_trip(Option::<u32>::None);
+        round_trip(Some(17u32));
+        round_trip(Some("text".to_owned()));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m = BTreeMap::new();
+        m.insert("cpu".to_owned(), 95u64);
+        m.insert("mem".to_owned(), 2048u64);
+        round_trip(m);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        round_trip((1u32,));
+        round_trip((1u32, "two".to_owned()));
+        round_trip((1u8, 2u16, 3u32, 4u64, true));
+    }
+
+    #[test]
+    fn truncated_buffer_reports_eof() {
+        let bytes = 0xAABBCCDDu32.to_cdr_bytes();
+        let err = u32::from_cdr_bytes(&bytes[..3]).unwrap_err();
+        assert!(matches!(err, CdrError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = 5u32.to_cdr_bytes();
+        bytes.push(0);
+        assert_eq!(u32::from_cdr_bytes(&bytes).unwrap_err(), CdrError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn invalid_bool_detected() {
+        assert_eq!(bool::from_cdr_bytes(&[2]).unwrap_err(), CdrError::InvalidBool(2));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // Sequence claiming u32::MAX elements.
+        let bytes = u32::MAX.to_cdr_bytes();
+        let err = Vec::<u64>::from_cdr_bytes(&bytes).unwrap_err();
+        assert_eq!(err, CdrError::LengthOverflow(u32::MAX as u64));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // Valid framing, invalid UTF-8 payload (0xFF), correct NUL.
+        let bytes = vec![0, 0, 0, 2, 0xFF, 0];
+        assert_eq!(String::from_cdr_bytes(&bytes).unwrap_err(), CdrError::InvalidUtf8);
+    }
+
+    #[test]
+    fn zero_length_string_is_malformed() {
+        // CDR string length includes the NUL, so 0 is never valid.
+        let bytes = 0u32.to_cdr_bytes();
+        assert!(matches!(
+            String::from_cdr_bytes(&bytes).unwrap_err(),
+            CdrError::LengthOverflow(0)
+        ));
+    }
+
+    #[test]
+    fn error_display_is_descriptive() {
+        let e = CdrError::UnexpectedEof { needed: 4, at: 10 };
+        assert!(e.to_string().contains("offset 10"));
+    }
+}

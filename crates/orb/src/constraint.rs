@@ -1,0 +1,810 @@
+//! Trader constraint language.
+//!
+//! The OMG Trading service selects offers with a small expression language
+//! over offer properties (`"cpu_mips >= 500 and mem_mb >= 16"`). This module
+//! implements a faithful subset: boolean connectives (`and`, `or`, `not`),
+//! comparisons, arithmetic, `exist prop`, sequence membership (`x in prop`),
+//! string/number/boolean literals and parenthesised sub-expressions.
+//!
+//! Evaluation follows trader semantics: an expression that references a
+//! missing property or mixes incompatible types evaluates to *undefined*,
+//! and an offer whose constraint is undefined simply does not match (no
+//! error is surfaced to the importer).
+
+use crate::any::AnyValue;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Lexical or syntactic error in a constraint expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Number(f64),
+    Integer(i64),
+    Str(String),
+    Ident(String),
+    True,
+    False,
+    And,
+    Or,
+    Not,
+    Exist,
+    In,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push((i, Token::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((i, Token::RParen));
+                i += 1;
+            }
+            '+' => {
+                tokens.push((i, Token::Plus));
+                i += 1;
+            }
+            '-' => {
+                tokens.push((i, Token::Minus));
+                i += 1;
+            }
+            '*' => {
+                tokens.push((i, Token::Star));
+                i += 1;
+            }
+            '/' => {
+                tokens.push((i, Token::Slash));
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push((i, Token::Eq));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        at: i,
+                        message: "single '=' (use '==')".into(),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push((i, Token::Ne));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        at: i,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push((i, Token::Le));
+                    i += 2;
+                } else {
+                    tokens.push((i, Token::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push((i, Token::Ge));
+                    i += 2;
+                } else {
+                    tokens.push((i, Token::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError {
+                                at: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push((start, Token::Str(s)));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse().map_err(|_| ParseError {
+                        at: start,
+                        message: format!("bad float literal '{text}'"),
+                    })?;
+                    tokens.push((start, Token::Number(v)));
+                } else {
+                    let v = text.parse().map_err(|_| ParseError {
+                        at: start,
+                        message: format!("bad integer literal '{text}'"),
+                    })?;
+                    tokens.push((start, Token::Integer(v)));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let token = match word.to_ascii_lowercase().as_str() {
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    "exist" => Token::Exist,
+                    "in" => Token::In,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    _ => Token::Ident(word.to_owned()),
+                };
+                tokens.push((start, token));
+            }
+            other => {
+                return Err(ParseError {
+                    at: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parsed constraint expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(AnyValue),
+    /// A property reference.
+    Prop(String),
+    /// `exist prop` — true when the property is present.
+    Exist(String),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary numeric negation.
+    Neg(Box<Expr>),
+    /// `value in seq-prop` — sequence membership.
+    In(Box<Expr>, Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(at, _)| *at)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(&want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                at: self.at(),
+                message: format!("expected {what}"),
+            })
+        }
+    }
+
+    // or_expr := and_expr ('or' and_expr)*
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.peek() == Some(&Token::Or) {
+            self.pos += 1;
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // and_expr := not_expr ('and' not_expr)*
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.peek() == Some(&Token::And) {
+            self.pos += 1;
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // not_expr := 'not' not_expr | comparison
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Not) {
+            self.pos += 1;
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    // comparison := additive (cmp_op additive | 'in' additive)?
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(CmpOp::Eq),
+            Some(Token::Ne) => Some(CmpOp::Ne),
+            Some(Token::Lt) => Some(CmpOp::Lt),
+            Some(Token::Le) => Some(CmpOp::Le),
+            Some(Token::Gt) => Some(CmpOp::Gt),
+            Some(Token::Ge) => Some(CmpOp::Ge),
+            Some(Token::In) => {
+                self.pos += 1;
+                let right = self.additive()?;
+                return Ok(Expr::In(Box::new(left), Box::new(right)));
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            Ok(Expr::Cmp(op, Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    // additive := term (('+'|'-') term)*
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.term()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // term := factor (('*'|'/') factor)*
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => ArithOp::Mul,
+                Some(Token::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.factor()?;
+            left = Expr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // factor := literal | ident | 'exist' ident | '(' or_expr ')' | '-' factor
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        let at = self.at();
+        match self.bump() {
+            Some(Token::Integer(n)) => Ok(Expr::Lit(AnyValue::Long(n))),
+            Some(Token::Number(x)) => Ok(Expr::Lit(AnyValue::Double(x))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(AnyValue::Str(s))),
+            Some(Token::True) => Ok(Expr::Lit(AnyValue::Bool(true))),
+            Some(Token::False) => Ok(Expr::Lit(AnyValue::Bool(false))),
+            Some(Token::Ident(name)) => Ok(Expr::Prop(name)),
+            Some(Token::Exist) => match self.bump() {
+                Some(Token::Ident(name)) => Ok(Expr::Exist(name)),
+                _ => Err(ParseError {
+                    at,
+                    message: "'exist' must be followed by a property name".into(),
+                }),
+            },
+            Some(Token::Minus) => Ok(Expr::Neg(Box::new(self.factor()?))),
+            Some(Token::LParen) => {
+                let inner = self.or_expr()?;
+                self.expect(Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            other => Err(ParseError {
+                at,
+                message: format!("expected a value, got {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Parses a constraint expression.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first lexical or syntactic problem.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_orb::constraint::parse;
+/// let expr = parse("cpu_mips >= 500 and mem_mb >= 16").unwrap();
+/// assert!(parse("cpu_mips >= ").is_err());
+/// ```
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError {
+            at: 0,
+            message: "empty constraint".into(),
+        });
+    }
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let expr = parser.or_expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseError {
+            at: parser.at(),
+            message: "trailing tokens after expression".into(),
+        });
+    }
+    Ok(expr)
+}
+
+/// Why an expression evaluated to *undefined* for a given property map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Undefined {
+    /// A referenced property does not exist.
+    MissingProperty(String),
+    /// Operands had incompatible kinds.
+    TypeMismatch {
+        /// The operation being evaluated.
+        context: &'static str,
+        /// Kind of the left operand.
+        left: &'static str,
+        /// Kind of the right operand.
+        right: &'static str,
+    },
+    /// Division by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for Undefined {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Undefined::MissingProperty(p) => write!(f, "property '{p}' is undefined"),
+            Undefined::TypeMismatch { context, left, right } => {
+                write!(f, "type mismatch in {context}: {left} vs {right}")
+            }
+            Undefined::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+/// Evaluates `expr` against a property map, producing a value or *undefined*.
+///
+/// # Errors
+///
+/// The `Err` variant is trader-*undefined*, not a caller bug: importers
+/// treat it as "offer does not match".
+pub fn eval(expr: &Expr, props: &BTreeMap<String, AnyValue>) -> Result<AnyValue, Undefined> {
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Prop(name) => props
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Undefined::MissingProperty(name.clone())),
+        Expr::Exist(name) => Ok(AnyValue::Bool(props.contains_key(name))),
+        Expr::Not(inner) => {
+            let v = eval(inner, props)?;
+            v.as_bool().map(|b| AnyValue::Bool(!b)).ok_or(Undefined::TypeMismatch {
+                context: "not",
+                left: v.kind(),
+                right: "boolean",
+            })
+        }
+        Expr::And(a, b) => {
+            // Short-circuit: false and <undefined> is still false.
+            match eval(a, props)?.as_bool() {
+                Some(false) => Ok(AnyValue::Bool(false)),
+                Some(true) => {
+                    let rv = eval(b, props)?;
+                    rv.as_bool().map(AnyValue::Bool).ok_or(Undefined::TypeMismatch {
+                        context: "and",
+                        left: "boolean",
+                        right: rv.kind(),
+                    })
+                }
+                None => Err(Undefined::TypeMismatch {
+                    context: "and",
+                    left: "non-boolean",
+                    right: "boolean",
+                }),
+            }
+        }
+        Expr::Or(a, b) => match eval(a, props)?.as_bool() {
+            Some(true) => Ok(AnyValue::Bool(true)),
+            Some(false) => {
+                let rv = eval(b, props)?;
+                rv.as_bool().map(AnyValue::Bool).ok_or(Undefined::TypeMismatch {
+                    context: "or",
+                    left: "boolean",
+                    right: rv.kind(),
+                })
+            }
+            None => Err(Undefined::TypeMismatch {
+                context: "or",
+                left: "non-boolean",
+                right: "boolean",
+            }),
+        },
+        Expr::Cmp(op, a, b) => {
+            let av = eval(a, props)?;
+            let bv = eval(b, props)?;
+            let ord = av.partial_cmp_numeric(&bv).ok_or(Undefined::TypeMismatch {
+                context: "comparison",
+                left: av.kind(),
+                right: bv.kind(),
+            })?;
+            let result = match op {
+                CmpOp::Eq => ord == Ordering::Equal,
+                CmpOp::Ne => ord != Ordering::Equal,
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+            };
+            Ok(AnyValue::Bool(result))
+        }
+        Expr::Arith(op, a, b) => {
+            let av = eval(a, props)?;
+            let bv = eval(b, props)?;
+            let (x, y) = match (av.as_f64(), bv.as_f64()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    return Err(Undefined::TypeMismatch {
+                        context: "arithmetic",
+                        left: av.kind(),
+                        right: bv.kind(),
+                    })
+                }
+            };
+            let result = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        return Err(Undefined::DivisionByZero);
+                    }
+                    x / y
+                }
+            };
+            // Keep integers integral when both inputs were Long and the
+            // result is exact, so '==' against Long literals behaves.
+            if let (AnyValue::Long(_), AnyValue::Long(_)) = (&av, &bv) {
+                if result.fract() == 0.0 && result.abs() < i64::MAX as f64 {
+                    return Ok(AnyValue::Long(result as i64));
+                }
+            }
+            Ok(AnyValue::Double(result))
+        }
+        Expr::Neg(inner) => {
+            let v = eval(inner, props)?;
+            match v {
+                AnyValue::Long(n) => Ok(AnyValue::Long(-n)),
+                AnyValue::Double(d) => Ok(AnyValue::Double(-d)),
+                other => Err(Undefined::TypeMismatch {
+                    context: "negation",
+                    left: other.kind(),
+                    right: "number",
+                }),
+            }
+        }
+        Expr::In(needle, haystack) => {
+            let nv = eval(needle, props)?;
+            let hv = eval(haystack, props)?;
+            match hv {
+                AnyValue::Seq(items) => Ok(AnyValue::Bool(items.iter().any(|item| {
+                    item.partial_cmp_numeric(&nv) == Some(Ordering::Equal)
+                }))),
+                other => Err(Undefined::TypeMismatch {
+                    context: "in",
+                    left: nv.kind(),
+                    right: other.kind(),
+                }),
+            }
+        }
+    }
+}
+
+/// Evaluates a constraint as a match predicate: `Ok(true)` only when the
+/// expression is defined and boolean-true.
+pub fn matches(expr: &Expr, props: &BTreeMap<String, AnyValue>) -> bool {
+    matches!(eval(expr, props), Ok(AnyValue::Bool(true)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn props(pairs: &[(&str, AnyValue)]) -> BTreeMap<String, AnyValue> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    fn check(input: &str, props_map: &BTreeMap<String, AnyValue>, expected: bool) {
+        let expr = parse(input).unwrap_or_else(|e| panic!("parse '{input}': {e}"));
+        assert_eq!(matches(&expr, props_map), expected, "constraint: {input}");
+    }
+
+    #[test]
+    fn paper_style_resource_constraint() {
+        // The §3 example: ≥16 MB RAM and ≥500 MIPS CPU.
+        let node = props(&[
+            ("mem_mb", AnyValue::Long(64)),
+            ("cpu_mips", AnyValue::Long(700)),
+        ]);
+        check("mem_mb >= 16 and cpu_mips >= 500", &node, true);
+        let weak = props(&[
+            ("mem_mb", AnyValue::Long(8)),
+            ("cpu_mips", AnyValue::Long(700)),
+        ]);
+        check("mem_mb >= 16 and cpu_mips >= 500", &weak, false);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let p = props(&[("x", AnyValue::Long(5))]);
+        check("x == 5", &p, true);
+        check("x != 5", &p, false);
+        check("x < 6", &p, true);
+        check("x <= 5", &p, true);
+        check("x > 5", &p, false);
+        check("x >= 5", &p, true);
+    }
+
+    #[test]
+    fn numeric_widening_in_comparison() {
+        let p = props(&[("load", AnyValue::Double(0.25))]);
+        check("load < 1", &p, true);
+        check("load == 0.25", &p, true);
+    }
+
+    #[test]
+    fn logical_connectives_and_precedence() {
+        let p = props(&[("a", AnyValue::Bool(true)), ("b", AnyValue::Bool(false))]);
+        check("a or b and b", &p, true); // and binds tighter
+        check("(a or b) and b", &p, false);
+        check("not b", &p, true);
+        check("not a or a", &p, true);
+        check("not (a and b)", &p, true);
+    }
+
+    #[test]
+    fn arithmetic_expressions() {
+        let p = props(&[("x", AnyValue::Long(10)), ("y", AnyValue::Long(4))]);
+        check("x + y == 14", &p, true);
+        check("x - y == 6", &p, true);
+        check("x * y == 40", &p, true);
+        check("x / 2 == 5", &p, true);
+        check("x / 4 == 2.5", &p, true);
+        check("-x == 0 - 10", &p, true);
+        check("x + 2 * y == 18", &p, true); // * binds tighter than +
+    }
+
+    #[test]
+    fn division_by_zero_is_undefined() {
+        let p = props(&[("x", AnyValue::Long(1))]);
+        let e = parse("x / 0 == 1").unwrap();
+        assert_eq!(eval(&e, &p), Err(Undefined::DivisionByZero));
+        assert!(!matches(&e, &p));
+    }
+
+    #[test]
+    fn exist_predicate() {
+        let p = props(&[("gpu", AnyValue::Bool(true))]);
+        check("exist gpu", &p, true);
+        check("exist tpu", &p, false);
+        check("not exist tpu", &p, true);
+    }
+
+    #[test]
+    fn missing_property_fails_closed() {
+        let p = props(&[]);
+        check("cpu_mips >= 500", &p, false);
+        // But short-circuit can still define the result.
+        let p2 = props(&[("a", AnyValue::Bool(false))]);
+        check("a and missing > 3", &p2, false);
+        let p3 = props(&[("a", AnyValue::Bool(true))]);
+        check("a or missing > 3", &p3, true);
+    }
+
+    #[test]
+    fn string_literals_and_comparison() {
+        let p = props(&[("os", AnyValue::Str("linux".into()))]);
+        check("os == 'linux'", &p, true);
+        check("os != 'windows'", &p, true);
+        check("os < 'macos'", &p, true);
+    }
+
+    #[test]
+    fn membership_in_sequence() {
+        let p = props(&[(
+            "platforms",
+            AnyValue::Seq(vec![
+                AnyValue::Str("linux-x86".into()),
+                AnyValue::Str("solaris".into()),
+            ]),
+        )]);
+        check("'linux-x86' in platforms", &p, true);
+        check("'win32' in platforms", &p, false);
+    }
+
+    #[test]
+    fn in_on_non_sequence_is_undefined() {
+        let p = props(&[("x", AnyValue::Long(1))]);
+        let e = parse("1 in x").unwrap();
+        assert!(matches!(eval(&e, &p), Err(Undefined::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn type_mismatch_fails_closed() {
+        let p = props(&[("os", AnyValue::Str("linux".into()))]);
+        check("os > 5", &p, false);
+        check("os and true", &p, false);
+    }
+
+    #[test]
+    fn dotted_property_names() {
+        let p = props(&[("node.cpu.mips", AnyValue::Long(800))]);
+        check("node.cpu.mips >= 500", &p, true);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let p = props(&[("a", AnyValue::Bool(true))]);
+        check("a AND TRUE", &p, true);
+        check("NOT FALSE", &p, true);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        for bad in ["", "x >=", "x = 5", "(x > 1", "x ! 2", "'unterminated", "5 5", "exist 5"] {
+            let err = parse(bad);
+            assert!(err.is_err(), "should fail: {bad:?}");
+        }
+        let e = parse("cpu @ 5").unwrap_err();
+        assert_eq!(e.at, 4);
+    }
+
+    #[test]
+    fn bare_boolean_property_is_a_constraint() {
+        let p = props(&[("idle", AnyValue::Bool(true))]);
+        check("idle", &p, true);
+        let p2 = props(&[("idle", AnyValue::Bool(false))]);
+        check("idle", &p2, false);
+    }
+
+    #[test]
+    fn non_boolean_top_level_does_not_match() {
+        let p = props(&[("x", AnyValue::Long(5))]);
+        check("x + 1", &p, false);
+    }
+}

@@ -1,0 +1,359 @@
+//! The ORB core: request creation and incoming-message handling.
+//!
+//! One [`Orb`] runs per simulated host. On the client side it builds framed
+//! request messages ([`Orb::make_request`]) and interprets framed replies
+//! ([`decode_reply`]); on the server side it owns a [`Poa`] and turns
+//! incoming requests into reply frames ([`Orb::handle_wire`]). The actual
+//! byte movement is left to the caller — an in-process bus
+//! ([`crate::transport::LoopbackBus`]) or the discrete-event network in the
+//! grid simulation — so the same middleware code runs in both settings.
+
+use crate::cdr::CdrWriter;
+use crate::giop::{FrameError, Message, ReplyStatus};
+use crate::ior::{Endpoint, Ior, ObjectKey};
+use crate::servant::{Poa, Servant};
+use std::fmt;
+
+/// Failure observed by an invoking client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The servant raised its declared (user) exception.
+    User(String),
+    /// The remote ORB raised a system exception.
+    System(String),
+    /// The wire bytes could not be parsed.
+    Frame(FrameError),
+    /// The target endpoint is unreachable.
+    Unreachable(Endpoint),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::User(m) => write!(f, "remote user exception: {m}"),
+            RemoteError::System(m) => write!(f, "remote system exception: {m}"),
+            RemoteError::Frame(e) => write!(f, "invalid reply frame: {e}"),
+            RemoteError::Unreachable(ep) => write!(f, "endpoint {ep} unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RemoteError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for RemoteError {
+    fn from(e: FrameError) -> Self {
+        RemoteError::Frame(e)
+    }
+}
+
+/// What an ORB did with an incoming wire message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming {
+    /// The message was a request; these reply bytes must be sent back to the
+    /// requester.
+    ReplyToSend(Vec<u8>),
+    /// The message was a oneway request; nothing to send.
+    OnewayHandled,
+    /// The message was a reply to one of our requests; the caller correlates
+    /// it by id.
+    ReplyReceived {
+        /// Id of the originating request.
+        request_id: u64,
+        /// The operation result or failure.
+        result: Result<Vec<u8>, RemoteError>,
+    },
+}
+
+/// Decodes reply wire bytes into `(request_id, result)`.
+///
+/// # Errors
+///
+/// Fails if the bytes are not a well-formed reply frame.
+pub fn decode_reply(bytes: &[u8]) -> Result<(u64, Result<Vec<u8>, RemoteError>), RemoteError> {
+    match Message::from_wire(bytes)? {
+        Message::Reply {
+            request_id,
+            status,
+            body,
+        } => {
+            let result = match status {
+                ReplyStatus::NoException => Ok(body),
+                ReplyStatus::UserException => {
+                    Err(RemoteError::User(String::from_utf8_lossy(&body).into_owned()))
+                }
+                ReplyStatus::SystemException => {
+                    Err(RemoteError::System(String::from_utf8_lossy(&body).into_owned()))
+                }
+            };
+            Ok((request_id, result))
+        }
+        Message::Request { .. } => Err(RemoteError::Frame(FrameError::BadMessageType(0))),
+    }
+}
+
+/// Per-host object request broker.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrReader};
+/// use integrade_orb::ior::{Endpoint, ObjectKey};
+/// use integrade_orb::orb::{decode_reply, Incoming, Orb};
+/// use integrade_orb::servant::{Servant, ServerException};
+///
+/// struct Echo;
+/// impl Servant for Echo {
+///     fn type_id(&self) -> &'static str { "IDL:test/Echo:1.0" }
+///     fn dispatch(&mut self, op: &str, args: &mut CdrReader<'_>)
+///         -> Result<Vec<u8>, ServerException> {
+///         match op {
+///             "echo" => Ok(String::decode(args)?.to_cdr_bytes()),
+///             o => Err(ServerException::BadOperation(o.to_owned())),
+///         }
+///     }
+/// }
+///
+/// let mut server = Orb::new(Endpoint::new(1, 0));
+/// let ior = server.activate(ObjectKey::new("echo"), Box::new(Echo));
+///
+/// let mut client = Orb::new(Endpoint::new(2, 0));
+/// let (id, wire) = client.make_request(&ior, "echo", |w| "hi".encode(w));
+///
+/// // "Network": hand the bytes to the server, then the reply back.
+/// let Incoming::ReplyToSend(reply) = server.handle_wire(&wire).unwrap() else { panic!() };
+/// let (rid, result) = decode_reply(&reply).unwrap();
+/// assert_eq!(rid, id);
+/// assert_eq!(String::from_cdr_bytes(&result.unwrap()).unwrap(), "hi");
+/// ```
+#[derive(Debug)]
+pub struct Orb {
+    poa: Poa,
+    next_request_id: u64,
+    requests_sent: u64,
+}
+
+impl Orb {
+    /// Creates an ORB answering on `endpoint`.
+    pub fn new(endpoint: Endpoint) -> Self {
+        Orb {
+            poa: Poa::new(endpoint),
+            next_request_id: 1,
+            requests_sent: 0,
+        }
+    }
+
+    /// This ORB's endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        self.poa.endpoint()
+    }
+
+    /// The object adapter, for collocated servant access.
+    pub fn poa_mut(&mut self) -> &mut Poa {
+        &mut self.poa
+    }
+
+    /// Shared view of the object adapter.
+    pub fn poa(&self) -> &Poa {
+        &self.poa
+    }
+
+    /// Activates a servant; see [`Poa::activate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on double activation of the same key.
+    pub fn activate(&mut self, key: ObjectKey, servant: Box<dyn Servant>) -> Ior {
+        self.poa.activate(key, servant)
+    }
+
+    /// Builds a framed request for `operation` on `target`. Returns the
+    /// request id (for reply correlation) and the wire bytes to transmit.
+    pub fn make_request(
+        &mut self,
+        target: &Ior,
+        operation: &str,
+        encode_args: impl FnOnce(&mut CdrWriter),
+    ) -> (u64, Vec<u8>) {
+        self.make_request_inner(target, operation, true, encode_args)
+    }
+
+    /// Builds a framed *oneway* request (no reply will be produced).
+    pub fn make_oneway(
+        &mut self,
+        target: &Ior,
+        operation: &str,
+        encode_args: impl FnOnce(&mut CdrWriter),
+    ) -> (u64, Vec<u8>) {
+        self.make_request_inner(target, operation, false, encode_args)
+    }
+
+    fn make_request_inner(
+        &mut self,
+        target: &Ior,
+        operation: &str,
+        response_expected: bool,
+        encode_args: impl FnOnce(&mut CdrWriter),
+    ) -> (u64, Vec<u8>) {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        self.requests_sent += 1;
+        let mut w = CdrWriter::new();
+        encode_args(&mut w);
+        let msg = Message::Request {
+            request_id,
+            response_expected,
+            object_key: target.object_key.clone(),
+            operation: operation.to_owned(),
+            body: w.into_bytes(),
+        };
+        (request_id, msg.to_wire())
+    }
+
+    /// Handles incoming wire bytes: dispatches requests to local servants
+    /// and classifies replies for the caller to correlate.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bytes are not a well-formed frame.
+    pub fn handle_wire(&mut self, bytes: &[u8]) -> Result<Incoming, RemoteError> {
+        match Message::from_wire(bytes)? {
+            req @ Message::Request { .. } => match self.poa.handle_request(&req) {
+                Some(reply) => Ok(Incoming::ReplyToSend(reply.to_wire())),
+                None => Ok(Incoming::OnewayHandled),
+            },
+            Message::Reply {
+                request_id,
+                status,
+                body,
+            } => {
+                let result = match status {
+                    ReplyStatus::NoException => Ok(body),
+                    ReplyStatus::UserException => {
+                        Err(RemoteError::User(String::from_utf8_lossy(&body).into_owned()))
+                    }
+                    ReplyStatus::SystemException => {
+                        Err(RemoteError::System(String::from_utf8_lossy(&body).into_owned()))
+                    }
+                };
+                Ok(Incoming::ReplyReceived { request_id, result })
+            }
+        }
+    }
+
+    /// Total requests this ORB has issued.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdr::{CdrDecode, CdrEncode, CdrReader};
+    use crate::servant::ServerException;
+
+    struct Counter {
+        value: i64,
+    }
+
+    impl Servant for Counter {
+        fn type_id(&self) -> &'static str {
+            "IDL:test/Counter:1.0"
+        }
+        fn dispatch(
+            &mut self,
+            op: &str,
+            args: &mut CdrReader<'_>,
+        ) -> Result<Vec<u8>, ServerException> {
+            match op {
+                "add" => {
+                    self.value += i64::decode(args)?;
+                    Ok(self.value.to_cdr_bytes())
+                }
+                "boom" => Err(ServerException::User("boom".into())),
+                o => Err(ServerException::BadOperation(o.to_owned())),
+            }
+        }
+    }
+
+    fn setup() -> (Orb, Orb, Ior) {
+        let mut server = Orb::new(Endpoint::new(1, 0));
+        let ior = server.activate(ObjectKey::new("counter"), Box::new(Counter { value: 0 }));
+        let client = Orb::new(Endpoint::new(2, 0));
+        (server, client, ior)
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let (mut server, mut client, ior) = setup();
+        let (id, wire) = client.make_request(&ior, "add", |w| 7i64.encode(w));
+        let Incoming::ReplyToSend(reply) = server.handle_wire(&wire).unwrap() else {
+            panic!()
+        };
+        let Incoming::ReplyReceived { request_id, result } = client.handle_wire(&reply).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(request_id, id);
+        assert_eq!(i64::from_cdr_bytes(&result.unwrap()).unwrap(), 7);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_increasing() {
+        let (_, mut client, ior) = setup();
+        let (a, _) = client.make_request(&ior, "add", |w| 1i64.encode(w));
+        let (b, _) = client.make_request(&ior, "add", |w| 1i64.encode(w));
+        assert!(b > a);
+        assert_eq!(client.requests_sent(), 2);
+    }
+
+    #[test]
+    fn user_exception_propagates() {
+        let (mut server, mut client, ior) = setup();
+        let (_, wire) = client.make_request(&ior, "boom", |_| {});
+        let Incoming::ReplyToSend(reply) = server.handle_wire(&wire).unwrap() else {
+            panic!()
+        };
+        let Incoming::ReplyReceived { result, .. } = client.handle_wire(&reply).unwrap() else {
+            panic!()
+        };
+        assert_eq!(result.unwrap_err(), RemoteError::User("boom".into()));
+    }
+
+    #[test]
+    fn oneway_produces_no_reply_but_executes() {
+        let (mut server, mut client, ior) = setup();
+        let (_, wire) = client.make_oneway(&ior, "add", |w| 3i64.encode(w));
+        assert_eq!(server.handle_wire(&wire).unwrap(), Incoming::OnewayHandled);
+        // State changed: a follow-up add sees 3 + 4.
+        let (_, wire2) = client.make_request(&ior, "add", |w| 4i64.encode(w));
+        let Incoming::ReplyToSend(reply) = server.handle_wire(&wire2).unwrap() else {
+            panic!()
+        };
+        let (_, result) = decode_reply(&reply).unwrap();
+        assert_eq!(i64::from_cdr_bytes(&result.unwrap()).unwrap(), 7);
+    }
+
+    #[test]
+    fn garbage_bytes_are_a_frame_error() {
+        let (mut server, _, _) = setup();
+        assert!(matches!(
+            server.handle_wire(b"not a frame").unwrap_err(),
+            RemoteError::Frame(_)
+        ));
+    }
+
+    #[test]
+    fn decode_reply_rejects_requests() {
+        let (_, mut client, ior) = setup();
+        let (_, wire) = client.make_request(&ior, "add", |w| 1i64.encode(w));
+        assert!(decode_reply(&wire).is_err());
+    }
+}

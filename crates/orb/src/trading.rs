@@ -1,0 +1,572 @@
+//! Trading service (CosTrading-style).
+//!
+//! Exporters advertise *service offers* — an object reference plus a typed
+//! property list — and importers query by service type, a constraint
+//! expression (see [`crate::constraint`]) and a preference that orders the
+//! matches. In InteGrade, each LRM's periodic status update is stored as an
+//! offer of type `integrade::node`, and the GRM's scheduler is an importer:
+//! application requirements become the constraint and preferences become the
+//! preference expression — exactly the role the paper assigns to the JacORB
+//! Trader in its prototype.
+
+use crate::any::AnyValue;
+use crate::cdr::{CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
+use crate::constraint::{self, Expr, ParseError};
+use crate::ior::Ior;
+use crate::servant::{Servant, ServerException};
+use integrade_simnet::rng::DetRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Handle to an exported offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OfferId(pub u64);
+
+impl fmt::Display for OfferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "offer{}", self.0)
+    }
+}
+
+impl CdrEncode for OfferId {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.0.encode(w);
+    }
+}
+impl CdrDecode for OfferId {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(OfferId(u64::decode(r)?))
+    }
+}
+
+/// An advertised service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceOffer {
+    /// The offer's handle.
+    pub id: OfferId,
+    /// Service type name, e.g. `integrade::node`.
+    pub service_type: String,
+    /// Reference to the service's object.
+    pub reference: Ior,
+    /// Queryable properties.
+    pub properties: BTreeMap<String, AnyValue>,
+}
+
+impl CdrEncode for ServiceOffer {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.id.encode(w);
+        self.service_type.encode(w);
+        self.reference.encode(w);
+        self.properties.encode(w);
+    }
+}
+
+impl CdrDecode for ServiceOffer {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(ServiceOffer {
+            id: OfferId::decode(r)?,
+            service_type: String::decode(r)?,
+            reference: Ior::decode(r)?,
+            properties: BTreeMap::decode(r)?,
+        })
+    }
+}
+
+/// How matched offers are ordered before truncation to `max_offers`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Preference {
+    /// Highest value of the expression first; undefined sorts last.
+    Max(Expr),
+    /// Lowest value of the expression first; undefined sorts last.
+    Min(Expr),
+    /// Deterministically pseudo-random order.
+    Random,
+    /// Export order (oldest offer first).
+    First,
+}
+
+impl Preference {
+    /// Parses a preference string: `max <expr>`, `min <expr>`, `random`,
+    /// `first`, or empty (= `first`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the keyword is unknown or the expression is malformed.
+    pub fn parse(input: &str) -> Result<Preference, ParseError> {
+        let trimmed = input.trim();
+        if trimmed.is_empty() {
+            return Ok(Preference::First);
+        }
+        let (word, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((w, r)) => (w, r.trim()),
+            None => (trimmed, ""),
+        };
+        match word.to_ascii_lowercase().as_str() {
+            "first" if rest.is_empty() => Ok(Preference::First),
+            "random" if rest.is_empty() => Ok(Preference::Random),
+            "max" => Ok(Preference::Max(constraint::parse(rest)?)),
+            "min" => Ok(Preference::Min(constraint::parse(rest)?)),
+            _ => Err(ParseError {
+                at: 0,
+                message: format!("unknown preference '{word}'"),
+            }),
+        }
+    }
+}
+
+/// Errors from trader operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraderError {
+    /// The offer id is not registered.
+    UnknownOffer(OfferId),
+    /// The constraint string failed to parse.
+    BadConstraint(ParseError),
+    /// The preference string failed to parse.
+    BadPreference(ParseError),
+}
+
+impl fmt::Display for TraderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraderError::UnknownOffer(id) => write!(f, "unknown {id}"),
+            TraderError::BadConstraint(e) => write!(f, "bad constraint: {e}"),
+            TraderError::BadPreference(e) => write!(f, "bad preference: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraderError {}
+
+/// The trader: an offer store with constraint-based query.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_orb::any::AnyValue;
+/// use integrade_orb::ior::{Endpoint, Ior, ObjectKey};
+/// use integrade_orb::trading::Trader;
+/// use std::collections::BTreeMap;
+///
+/// let mut trader = Trader::new(42);
+/// let ior = Ior::new("IDL:integrade/Lrm:1.0", Endpoint::new(1, 0), ObjectKey::new("lrm"));
+/// let mut props = BTreeMap::new();
+/// props.insert("cpu_mips".to_owned(), AnyValue::Long(800));
+/// trader.export("integrade::node", ior, props).unwrap();
+///
+/// let hits = trader.query("integrade::node", "cpu_mips >= 500", "first", 10).unwrap();
+/// assert_eq!(hits.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Trader {
+    offers: BTreeMap<OfferId, ServiceOffer>,
+    next_id: u64,
+    rng: DetRng,
+    queries: u64,
+}
+
+impl Trader {
+    /// Creates a trader; `seed` drives the `random` preference ordering.
+    pub fn new(seed: u64) -> Self {
+        Trader {
+            offers: BTreeMap::new(),
+            next_id: 1,
+            rng: DetRng::with_stream(seed, 0x7261_6465 /* "rade" */),
+            queries: 0,
+        }
+    }
+
+    /// Registers an offer; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, but returns `Result` for forward compatibility
+    /// with service-type checking.
+    pub fn export(
+        &mut self,
+        service_type: &str,
+        reference: Ior,
+        properties: BTreeMap<String, AnyValue>,
+    ) -> Result<OfferId, TraderError> {
+        let id = OfferId(self.next_id);
+        self.next_id += 1;
+        self.offers.insert(
+            id,
+            ServiceOffer {
+                id,
+                service_type: service_type.to_owned(),
+                reference,
+                properties,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Removes an offer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the offer is unknown.
+    pub fn withdraw(&mut self, id: OfferId) -> Result<ServiceOffer, TraderError> {
+        self.offers.remove(&id).ok_or(TraderError::UnknownOffer(id))
+    }
+
+    /// Replaces an offer's properties (InteGrade's Information Update
+    /// Protocol refreshes node status this way).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the offer is unknown.
+    pub fn modify(
+        &mut self,
+        id: OfferId,
+        properties: BTreeMap<String, AnyValue>,
+    ) -> Result<(), TraderError> {
+        let offer = self.offers.get_mut(&id).ok_or(TraderError::UnknownOffer(id))?;
+        offer.properties = properties;
+        Ok(())
+    }
+
+    /// Looks up one offer.
+    pub fn offer(&self, id: OfferId) -> Option<&ServiceOffer> {
+        self.offers.get(&id)
+    }
+
+    /// Number of live offers.
+    pub fn offer_count(&self) -> usize {
+        self.offers.len()
+    }
+
+    /// Number of queries served.
+    pub fn query_count(&self) -> u64 {
+        self.queries
+    }
+
+    /// Finds up to `max_offers` offers of `service_type` satisfying
+    /// `constraint_str`, ordered by `preference_str`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the constraint or preference strings are malformed. Offers
+    /// whose properties make the constraint *undefined* silently do not
+    /// match (trader semantics).
+    pub fn query(
+        &mut self,
+        service_type: &str,
+        constraint_str: &str,
+        preference_str: &str,
+        max_offers: usize,
+    ) -> Result<Vec<ServiceOffer>, TraderError> {
+        let expr = constraint::parse(constraint_str).map_err(TraderError::BadConstraint)?;
+        let preference = Preference::parse(preference_str).map_err(TraderError::BadPreference)?;
+        self.queries += 1;
+
+        let mut matched: Vec<&ServiceOffer> = self
+            .offers
+            .values()
+            .filter(|o| o.service_type == service_type)
+            .filter(|o| constraint::matches(&expr, &o.properties))
+            .collect();
+
+        match &preference {
+            Preference::First => {} // BTreeMap iteration = export order by id
+            Preference::Random => {
+                let mut owned: Vec<&ServiceOffer> = std::mem::take(&mut matched);
+                self.rng.shuffle(&mut owned);
+                matched = owned;
+            }
+            Preference::Max(expr) | Preference::Min(expr) => {
+                let minimise = matches!(preference, Preference::Min(_));
+                let mut keyed: Vec<(Option<f64>, &ServiceOffer)> = matched
+                    .into_iter()
+                    .map(|o| {
+                        let key = constraint::eval(expr, &o.properties)
+                            .ok()
+                            .and_then(|v| v.as_f64());
+                        (key, o)
+                    })
+                    .collect();
+                keyed.sort_by(|(ka, oa), (kb, ob)| {
+                    match (ka, kb) {
+                        (Some(a), Some(b)) => {
+                            let ord = a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal);
+                            if minimise { ord } else { ord.reverse() }
+                        }
+                        (Some(_), None) => std::cmp::Ordering::Less, // defined first
+                        (None, Some(_)) => std::cmp::Ordering::Greater,
+                        (None, None) => std::cmp::Ordering::Equal,
+                    }
+                    .then(oa.id.cmp(&ob.id))
+                });
+                matched = keyed.into_iter().map(|(_, o)| o).collect();
+            }
+        }
+
+        Ok(matched.into_iter().take(max_offers).cloned().collect())
+    }
+}
+
+/// Remote-object wrapper around [`Trader`].
+///
+/// Operations (all CDR):
+/// * `export(service_type: String, reference: Ior, properties: Map) -> OfferId`
+/// * `withdraw(id: OfferId) -> ()`
+/// * `modify(id: OfferId, properties: Map) -> ()`
+/// * `query(service_type: String, constraint: String, preference: String, max: u32) -> Vec<ServiceOffer>`
+#[derive(Debug)]
+pub struct TraderServant {
+    trader: Trader,
+}
+
+impl TraderServant {
+    /// Wraps a fresh trader seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        TraderServant {
+            trader: Trader::new(seed),
+        }
+    }
+
+    /// Direct access for collocated callers.
+    pub fn trader(&self) -> &Trader {
+        &self.trader
+    }
+
+    /// Direct mutable access for collocated callers.
+    pub fn trader_mut(&mut self) -> &mut Trader {
+        &mut self.trader
+    }
+}
+
+impl From<TraderError> for ServerException {
+    fn from(e: TraderError) -> Self {
+        ServerException::User(e.to_string())
+    }
+}
+
+impl Servant for TraderServant {
+    fn type_id(&self) -> &'static str {
+        "IDL:omg.org/CosTrading/Lookup:1.0"
+    }
+
+    fn dispatch(
+        &mut self,
+        operation: &str,
+        args: &mut CdrReader<'_>,
+    ) -> Result<Vec<u8>, ServerException> {
+        match operation {
+            "export" => {
+                let (service_type, reference, properties) =
+                    <(String, Ior, BTreeMap<String, AnyValue>)>::decode(args)?;
+                let id = self.trader.export(&service_type, reference, properties)?;
+                Ok(id.to_cdr_bytes())
+            }
+            "withdraw" => {
+                let id = OfferId::decode(args)?;
+                self.trader.withdraw(id)?;
+                Ok(Vec::new())
+            }
+            "modify" => {
+                let (id, properties) = <(OfferId, BTreeMap<String, AnyValue>)>::decode(args)?;
+                self.trader.modify(id, properties)?;
+                Ok(Vec::new())
+            }
+            "query" => {
+                let (service_type, constraint_str, preference_str, max) =
+                    <(String, String, String, u32)>::decode(args)?;
+                let offers =
+                    self.trader
+                        .query(&service_type, &constraint_str, &preference_str, max as usize)?;
+                Ok(offers.to_cdr_bytes())
+            }
+            other => Err(ServerException::BadOperation(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ior::{Endpoint, ObjectKey};
+    use crate::transport::LoopbackBus;
+
+    fn node_ior(n: u32) -> Ior {
+        Ior::new(
+            "IDL:integrade/Lrm:1.0",
+            Endpoint::new(n, 0),
+            ObjectKey::new(format!("lrm{n}")),
+        )
+    }
+
+    fn node_props(mips: i64, mem: i64, idle: bool) -> BTreeMap<String, AnyValue> {
+        [
+            ("cpu_mips".to_owned(), AnyValue::Long(mips)),
+            ("mem_mb".to_owned(), AnyValue::Long(mem)),
+            ("idle".to_owned(), AnyValue::Bool(idle)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn seeded_trader() -> Trader {
+        let mut t = Trader::new(7);
+        t.export("integrade::node", node_ior(1), node_props(300, 32, true)).unwrap();
+        t.export("integrade::node", node_ior(2), node_props(800, 64, true)).unwrap();
+        t.export("integrade::node", node_ior(3), node_props(1200, 16, false)).unwrap();
+        t.export("other::service", node_ior(4), node_props(9999, 999, true)).unwrap();
+        t
+    }
+
+    #[test]
+    fn query_filters_by_type_and_constraint() {
+        let mut t = seeded_trader();
+        let hits = t.query("integrade::node", "cpu_mips >= 500", "first", 10).unwrap();
+        let ids: Vec<u64> = hits.iter().map(|o| o.id.0).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn preference_max_orders_descending() {
+        let mut t = seeded_trader();
+        let hits = t.query("integrade::node", "cpu_mips >= 0", "max cpu_mips", 10).unwrap();
+        let mips: Vec<i64> = hits
+            .iter()
+            .map(|o| o.properties["cpu_mips"].as_f64().unwrap() as i64)
+            .collect();
+        assert_eq!(mips, vec![1200, 800, 300]);
+    }
+
+    #[test]
+    fn preference_min_orders_ascending() {
+        let mut t = seeded_trader();
+        let hits = t.query("integrade::node", "idle == true", "min cpu_mips", 10).unwrap();
+        let ids: Vec<u64> = hits.iter().map(|o| o.id.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn preference_random_is_deterministic_per_seed() {
+        let mut a = seeded_trader();
+        let mut b = seeded_trader();
+        let ha = a.query("integrade::node", "cpu_mips >= 0", "random", 10).unwrap();
+        let hb = b.query("integrade::node", "cpu_mips >= 0", "random", 10).unwrap();
+        assert_eq!(
+            ha.iter().map(|o| o.id).collect::<Vec<_>>(),
+            hb.iter().map(|o| o.id).collect::<Vec<_>>()
+        );
+        assert_eq!(ha.len(), 3);
+    }
+
+    #[test]
+    fn max_offers_truncates() {
+        let mut t = seeded_trader();
+        let hits = t.query("integrade::node", "cpu_mips >= 0", "max cpu_mips", 1).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id.0, 3);
+    }
+
+    #[test]
+    fn undefined_preference_key_sorts_last() {
+        let mut t = seeded_trader();
+        t.export("integrade::node", node_ior(5), BTreeMap::new()).unwrap();
+        let hits = t.query("integrade::node", "true", "max cpu_mips", 10).unwrap();
+        assert_eq!(hits.last().unwrap().id.0, 5);
+    }
+
+    #[test]
+    fn modify_updates_visible_properties() {
+        let mut t = Trader::new(1);
+        let id = t.export("integrade::node", node_ior(1), node_props(100, 8, true)).unwrap();
+        assert!(t.query("integrade::node", "cpu_mips >= 500", "first", 10).unwrap().is_empty());
+        t.modify(id, node_props(900, 8, true)).unwrap();
+        assert_eq!(t.query("integrade::node", "cpu_mips >= 500", "first", 10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn withdraw_removes_offer() {
+        let mut t = seeded_trader();
+        let id = OfferId(2);
+        t.withdraw(id).unwrap();
+        assert_eq!(t.withdraw(id).unwrap_err(), TraderError::UnknownOffer(id));
+        assert_eq!(t.offer_count(), 3);
+        let hits = t.query("integrade::node", "cpu_mips >= 500", "first", 10).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn bad_constraint_and_preference_are_errors() {
+        let mut t = seeded_trader();
+        assert!(matches!(
+            t.query("integrade::node", "cpu_mips >=", "first", 10),
+            Err(TraderError::BadConstraint(_))
+        ));
+        assert!(matches!(
+            t.query("integrade::node", "true", "best cpu", 10),
+            Err(TraderError::BadPreference(_))
+        ));
+    }
+
+    #[test]
+    fn preference_parse_variants() {
+        assert_eq!(Preference::parse("").unwrap(), Preference::First);
+        assert_eq!(Preference::parse("first").unwrap(), Preference::First);
+        assert_eq!(Preference::parse("random").unwrap(), Preference::Random);
+        assert!(matches!(Preference::parse("max cpu_mips").unwrap(), Preference::Max(_)));
+        assert!(matches!(Preference::parse("min 2 * load").unwrap(), Preference::Min(_)));
+        assert!(Preference::parse("max").is_err());
+        assert!(Preference::parse("random stuff").is_err());
+    }
+
+    #[test]
+    fn servant_full_cycle_over_bus() {
+        let mut bus = LoopbackBus::new();
+        let ep = bus.add_orb(Endpoint::new(0, 1));
+        let trader_ref = bus
+            .activate(ep, ObjectKey::new("Trader"), Box::new(TraderServant::new(3)))
+            .unwrap();
+
+        // Export two node offers remotely.
+        let out = bus
+            .invoke(&trader_ref, "export", |w| {
+                ("integrade::node".to_owned(), node_ior(1), node_props(700, 32, true)).encode(w)
+            })
+            .unwrap();
+        let id1 = OfferId::from_cdr_bytes(&out).unwrap();
+        bus.invoke(&trader_ref, "export", |w| {
+            ("integrade::node".to_owned(), node_ior(2), node_props(200, 32, true)).encode(w)
+        })
+        .unwrap();
+
+        // Query remotely.
+        let out = bus
+            .invoke(&trader_ref, "query", |w| {
+                (
+                    "integrade::node".to_owned(),
+                    "cpu_mips >= 500".to_owned(),
+                    "max cpu_mips".to_owned(),
+                    10u32,
+                )
+                    .encode(w)
+            })
+            .unwrap();
+        let offers = Vec::<ServiceOffer>::from_cdr_bytes(&out).unwrap();
+        assert_eq!(offers.len(), 1);
+        assert_eq!(offers[0].id, id1);
+
+        // Withdraw remotely; second withdraw is a user exception.
+        bus.invoke(&trader_ref, "withdraw", |w| id1.encode(w)).unwrap();
+        let err = bus.invoke(&trader_ref, "withdraw", |w| id1.encode(w)).unwrap_err();
+        assert!(err.to_string().contains("unknown"), "{err}");
+    }
+
+    #[test]
+    fn offer_cdr_round_trip() {
+        let offer = ServiceOffer {
+            id: OfferId(9),
+            service_type: "integrade::node".into(),
+            reference: node_ior(9),
+            properties: node_props(500, 16, true),
+        };
+        let back = ServiceOffer::from_cdr_bytes(&offer.to_cdr_bytes()).unwrap();
+        assert_eq!(back, offer);
+    }
+}

@@ -1,0 +1,401 @@
+//! Discrete-event scheduling core.
+//!
+//! [`EventQueue`] is a priority queue of timestamped events with stable FIFO
+//! ordering among events scheduled for the same instant, plus O(log n)
+//! cancellation. [`World`] is the handler trait a simulation model
+//! implements; [`run_until`] / [`run_to_completion`] drive the loop.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+// Ordering: earliest time first, then insertion order (stable ties).
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A timestamped event queue with a monotone virtual clock.
+///
+/// The clock ([`EventQueue::now`]) advances only when events are popped, so a
+/// model can never observe time moving backwards.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_simnet::event::EventQueue;
+/// use integrade_simnet::time::{SimTime, SimDuration};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_after(SimDuration::from_secs(2), "b");
+/// q.schedule_at(SimTime::from_secs(1), "a");
+/// assert_eq!(q.pop().map(|(t, e)| (t.as_micros(), e)), Some((1_000_000, "a")));
+/// assert_eq!(q.pop().map(|(t, e)| (t.as_micros(), e)), Some((2_000_000, "b")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+    fired_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+            fired_total: 0,
+        }
+    }
+
+    /// The current virtual time (time of the most recently popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at the absolute instant `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before [`EventQueue::now`]).
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {}",
+            self.now
+        );
+        let id = EventId(self.next_seq);
+        self.heap.push(Reverse(Entry {
+            time,
+            seq: self.next_seq,
+            id,
+            payload,
+        }));
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        id
+    }
+
+    /// Schedules `payload` after the relative delay `delay`.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending. Cancelling an already-fired or unknown id is a no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot cheaply tell fired-vs-pending apart; record the tombstone
+        // and report pending only if a live entry could still exist.
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the next non-cancelled event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            self.fired_total += 1;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Purge cancelled entries from the front so the answer is accurate.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let id = entry.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of pending (possibly including lazily-cancelled) entries.
+    #[allow(clippy::len_without_is_empty)] // is_empty needs &mut (purges tombstones)
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// True when no live events remain.
+    ///
+    /// Takes `&mut self` (unlike the convention) because answering
+    /// accurately requires purging lazily-cancelled entries.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of events fired (popped and not cancelled).
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// Advances the clock to `time` without firing anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if moving backwards or past the next pending event.
+    pub fn advance_clock(&mut self, time: SimTime) {
+        assert!(time >= self.now, "clock cannot move backwards");
+        if let Some(next) = self.peek_time() {
+            assert!(
+                time <= next,
+                "cannot advance past pending event at {next}"
+            );
+        }
+        self.now = time;
+    }
+}
+
+/// A simulation model: owns state and reacts to events, scheduling follow-ups
+/// on the queue it is handed.
+pub trait World {
+    /// The event payload type.
+    type Event;
+
+    /// Handles one event at virtual time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Outcome of a bounded simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The queue drained before the horizon.
+    Drained,
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The step budget was exhausted (likely a runaway model).
+    StepBudgetExhausted,
+}
+
+/// Runs `world` until `horizon` (exclusive of events after it), the queue
+/// drains, or `max_steps` events have fired.
+///
+/// Returns the outcome and the number of events fired.
+pub fn run_until<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    horizon: SimTime,
+    max_steps: u64,
+) -> (RunOutcome, u64) {
+    let mut steps = 0;
+    loop {
+        if steps >= max_steps {
+            return (RunOutcome::StepBudgetExhausted, steps);
+        }
+        match queue.peek_time() {
+            None => return (RunOutcome::Drained, steps),
+            Some(t) if t > horizon => return (RunOutcome::HorizonReached, steps),
+            Some(_) => {
+                let (now, ev) = queue.pop().expect("peeked event must pop");
+                world.handle(now, ev, queue);
+                steps += 1;
+            }
+        }
+    }
+}
+
+/// Runs `world` until the queue drains or `max_steps` fire.
+pub fn run_to_completion<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    max_steps: u64,
+) -> (RunOutcome, u64) {
+    run_until(world, queue, SimTime::MAX, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), 3u32);
+        q.schedule_at(SimTime::from_secs(1), 1u32);
+        q.schedule_at(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10u32 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q = EventQueue::<u8>::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), 1);
+        q.schedule_at(SimTime::from_secs(2), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn advance_clock_bounded_by_next_event() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), ());
+        q.advance_clock(SimTime::from_secs(10));
+        assert_eq!(q.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance past pending event")]
+    fn advance_clock_past_event_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), ());
+        q.advance_clock(SimTime::from_secs(2));
+    }
+
+    /// A model that counts down: each event schedules the next until zero.
+    struct Countdown {
+        fired: Vec<u32>,
+    }
+    impl World for Countdown {
+        type Event = u32;
+        fn handle(&mut self, _now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+            self.fired.push(ev);
+            if ev > 0 {
+                q.schedule_after(SimDuration::from_secs(1), ev - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_to_completion_drains() {
+        let mut w = Countdown { fired: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, 5u32);
+        let (outcome, steps) = run_to_completion(&mut w, &mut q, 1000);
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(steps, 6);
+        assert_eq!(w.fired, vec![5, 4, 3, 2, 1, 0]);
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut w = Countdown { fired: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, 100u32);
+        let (outcome, _) = run_until(&mut w, &mut q, SimTime::from_secs(3), 1000);
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(w.fired, vec![100, 99, 98, 97]);
+    }
+
+    #[test]
+    fn run_until_step_budget() {
+        let mut w = Countdown { fired: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, u32::MAX);
+        let (outcome, steps) = run_to_completion(&mut w, &mut q, 10);
+        assert_eq!(outcome, RunOutcome::StepBudgetExhausted);
+        assert_eq!(steps, 10);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), ());
+        q.schedule_at(SimTime::from_secs(2), ());
+        q.cancel(a);
+        while q.pop().is_some() {}
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.fired_total(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Message-level network model on top of a [`Topology`].
+//!
+//! [`Network`] computes when a message sent now would arrive, accounting for
+//! path latency, serialisation at the bottleneck link, and per-host NIC
+//! egress queueing (a host transmits one message at a time). The caller — a
+//! discrete-event [`World`](crate::event::World) — schedules its own
+//! delivery event after the returned delay, which keeps the network model
+//! independent of the event payload type.
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{HostId, PathQuality, Topology, TopologyError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors when sending a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Routing failed (unknown host, switch endpoint or partition).
+    Route(TopologyError),
+    /// Destination host is down.
+    HostDown(HostId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Route(e) => write!(f, "routing failed: {e}"),
+            NetError::HostDown(h) => write!(f, "destination host {h} is down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Route(e) => Some(e),
+            NetError::HostDown(_) => None,
+        }
+    }
+}
+
+impl From<TopologyError> for NetError {
+    fn from(e: TopologyError) -> Self {
+        NetError::Route(e)
+    }
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages successfully scheduled for delivery.
+    pub messages: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Messages that failed to route.
+    pub failures: u64,
+}
+
+/// The network model: topology + per-host egress serialisation + statistics.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_simnet::net::Network;
+/// use integrade_simnet::topology::{Topology, LinkSpec};
+/// use integrade_simnet::time::SimTime;
+///
+/// let (topo, _, hosts) = Topology::star_cluster(2, LinkSpec::lan_100mbps());
+/// let mut net = Network::new(topo);
+/// let delay = net.send(SimTime::ZERO, hosts[0], hosts[1], 1_000).unwrap();
+/// assert!(delay.as_micros() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: Topology,
+    /// Instant at which each host's NIC becomes free to transmit.
+    egress_free: HashMap<HostId, SimTime>,
+    stats: NetStats,
+    per_host_sent: HashMap<HostId, u64>,
+}
+
+impl Network {
+    /// Wraps a topology in the message model.
+    pub fn new(topology: Topology) -> Self {
+        Network {
+            topology,
+            egress_free: HashMap::new(),
+            stats: NetStats::default(),
+            per_host_sent: HashMap::new(),
+        }
+    }
+
+    /// Shared access to the underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable access to the underlying topology (e.g. to fail hosts).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Computes the delivery delay for a message of `bytes` payload sent at
+    /// `now` from `from` to `to`, updating the sender's egress queue.
+    ///
+    /// The caller should schedule delivery at `now + returned delay`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if routing fails or the destination is down; failed sends count
+    /// in [`NetStats::failures`] and do not occupy the NIC.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        to: HostId,
+        bytes: u64,
+    ) -> Result<SimDuration, NetError> {
+        let quality = match self.topology.path_quality(from, to) {
+            Ok(q) => q,
+            Err(e) => {
+                self.stats.failures += 1;
+                return Err(e.into());
+            }
+        };
+        if !self.topology.is_up(to) {
+            self.stats.failures += 1;
+            return Err(NetError::HostDown(to));
+        }
+        let delay = self.enqueue(now, from, bytes, quality);
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        *self.per_host_sent.entry(from).or_default() += 1;
+        Ok(delay)
+    }
+
+    fn enqueue(&mut self, now: SimTime, from: HostId, bytes: u64, q: PathQuality) -> SimDuration {
+        let free = self.egress_free.get(&from).copied().unwrap_or(SimTime::ZERO);
+        let start = if free > now { free } else { now };
+        let tx_us = (bytes.saturating_mul(8) as u128 * 1_000_000
+            / q.bottleneck_bps.max(1) as u128) as u64;
+        let tx = SimDuration::from_micros(tx_us);
+        self.egress_free.insert(from, start + tx);
+        (start - now) + tx + q.latency
+    }
+
+    /// Path quality between two hosts (routing only, no queueing).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Topology::path_quality`].
+    pub fn path_quality(&mut self, from: HostId, to: HostId) -> Result<PathQuality, NetError> {
+        Ok(self.topology.path_quality(from, to)?)
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Messages sent by one host.
+    pub fn sent_by(&self, host: HostId) -> u64 {
+        self.per_host_sent.get(&host).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+
+    fn pair() -> (Network, HostId, HostId) {
+        let (topo, _, hosts) = Topology::star_cluster(2, LinkSpec::lan_100mbps());
+        (Network::new(topo), hosts[0], hosts[1])
+    }
+
+    #[test]
+    fn delay_is_latency_plus_serialisation() {
+        let (mut net, a, b) = pair();
+        // 100 Mbps, two hops of 200 µs latency; 12_500 bytes = 100_000 bits
+        // = 1000 µs at 100 Mbps.
+        let d = net.send(SimTime::ZERO, a, b, 12_500).unwrap();
+        assert_eq!(d, SimDuration::from_micros(400 + 1000));
+    }
+
+    #[test]
+    fn egress_serialises_back_to_back_sends() {
+        let (mut net, a, b) = pair();
+        let d1 = net.send(SimTime::ZERO, a, b, 12_500).unwrap();
+        let d2 = net.send(SimTime::ZERO, a, b, 12_500).unwrap();
+        // Second message waits for the first transmission (1000 µs).
+        assert_eq!(d2, d1 + SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn egress_frees_up_over_time() {
+        let (mut net, a, b) = pair();
+        net.send(SimTime::ZERO, a, b, 12_500).unwrap();
+        // Sending after the NIC is free incurs no queueing.
+        let later = SimTime::from_micros(10_000);
+        let d = net.send(later, a, b, 12_500).unwrap();
+        assert_eq!(d, SimDuration::from_micros(1400));
+    }
+
+    #[test]
+    fn distinct_senders_do_not_queue_on_each_other() {
+        let (mut net, a, b) = pair();
+        net.send(SimTime::ZERO, a, b, 1_000_000).unwrap();
+        let d = net.send(SimTime::ZERO, b, a, 12_500).unwrap();
+        assert_eq!(d, SimDuration::from_micros(1400));
+    }
+
+    #[test]
+    fn send_to_down_host_fails_and_counts() {
+        let (mut net, a, b) = pair();
+        net.topology_mut().set_up(b, false).unwrap();
+        let err = net.send(SimTime::ZERO, a, b, 100).unwrap_err();
+        assert!(matches!(err, NetError::Route(_)));
+        assert_eq!(net.stats().failures, 1);
+        assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut net, a, b) = pair();
+        net.send(SimTime::ZERO, a, b, 100).unwrap();
+        net.send(SimTime::ZERO, a, b, 200).unwrap();
+        assert_eq!(net.stats().messages, 2);
+        assert_eq!(net.stats().bytes, 300);
+        assert_eq!(net.sent_by(a), 2);
+        assert_eq!(net.sent_by(b), 0);
+    }
+
+    #[test]
+    fn zero_byte_message_still_has_latency() {
+        let (mut net, a, b) = pair();
+        let d = net.send(SimTime::ZERO, a, b, 0).unwrap();
+        assert_eq!(d, SimDuration::from_micros(400));
+    }
+}

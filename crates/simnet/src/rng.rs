@@ -1,0 +1,382 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Experiments must replay bit-for-bit across platforms and runs, so the
+//! simulator ships its own small generators instead of depending on external
+//! RNG crates whose stream definitions may change between versions:
+//!
+//! * [`SplitMix64`] — used for seeding and cheap hashing-style streams.
+//! * [`Pcg32`] — PCG-XSH-RR 64/32, the general-purpose generator.
+//!
+//! [`DetRng`] wraps `Pcg32` with the distribution helpers the rest of the
+//! workspace needs (uniform ranges, Bernoulli, exponential, normal, shuffle,
+//! weighted choice).
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014). Primarily a seed expander.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_simnet::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// PCG-XSH-RR 64/32 generator (O'Neill 2014).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg32 {
+    /// Creates a generator from a seed and stream id. Distinct stream ids
+    /// yield statistically independent sequences for the same seed.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Returns the next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64-bit output (two 32-bit draws).
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// Deterministic RNG with the distribution helpers used across the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_simnet::rng::DetRng;
+///
+/// let mut rng = DetRng::new(7);
+/// let x = rng.uniform_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// let k = rng.uniform_range(10, 20);
+/// assert!((10..20).contains(&k));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetRng {
+    pcg: Pcg32,
+    /// Cached second normal deviate from the Box–Muller transform.
+    spare_normal: Option<u64>, // bit pattern of f64 to keep Eq/serde simple
+}
+
+impl DetRng {
+    /// Creates a generator on the default stream.
+    pub fn new(seed: u64) -> Self {
+        Self::with_stream(seed, 0xDA3E_39CB_94B9_5BDB)
+    }
+
+    /// Creates a generator on an explicit stream; use one stream per
+    /// independent stochastic process so adding draws to one process does not
+    /// perturb another.
+    pub fn with_stream(seed: u64, stream: u64) -> Self {
+        let mut sm = SplitMix64::new(seed ^ stream.rotate_left(17));
+        DetRng {
+            pcg: Pcg32::new(sm.next_u64(), stream),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives a child generator; children with distinct tags are independent.
+    pub fn fork(&mut self, tag: u64) -> DetRng {
+        let seed = self.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DetRng::with_stream(seed, tag | 1)
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.pcg.next_u64()
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[lo, hi)` using Lemire rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "uniform_range requires lo < hi, got {lo}..{hi}");
+        let span = hi - lo;
+        // Rejection sampling to remove modulo bias.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// Returns a uniform `usize` index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index requires a non-empty range");
+        self.uniform_range(0, len as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Returns an exponentially distributed value with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive and finite, got {mean}"
+        );
+        let u = 1.0 - self.uniform_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Returns a normally distributed value (Box–Muller with caching).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        if let Some(bits) = self.spare_normal.take() {
+            return mean + std_dev * f64::from_bits(bits);
+        }
+        let (z0, z1) = loop {
+            let u1 = self.uniform_f64();
+            let u2 = self.uniform_f64();
+            if u1 > f64::MIN_POSITIVE {
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = std::f64::consts::TAU * u2;
+                break (r * theta.cos(), r * theta.sin());
+            }
+        };
+        self.spare_normal = Some(z1.to_bits());
+        mean + std_dev * z0
+    }
+
+    /// Returns a normal deviate clamped to `[lo, hi]`.
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+        self.normal(mean, std_dev).clamp(lo, hi)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.index(items.len())])
+        }
+    }
+
+    /// Picks an index with probability proportional to `weights[i]`.
+    ///
+    /// Returns `None` if the slice is empty or all weights are zero/negative.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.uniform_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                if target < w {
+                    return Some(i);
+                }
+                target -= w;
+            }
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // SplitMix64 implementation.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn pcg_is_deterministic_across_instances() {
+        let mut a = Pcg32::new(99, 7);
+        let mut b = Pcg32::new(99, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        let mut a = Pcg32::new(99, 1);
+        let mut b = Pcg32::new(99, 2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut rng = DetRng::new(5);
+        for _ in 0..10_000 {
+            let x = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_range_covers_and_respects_bounds() {
+        let mut rng = DetRng::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.uniform_range(10, 20);
+            assert!((10..20).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all values in range should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_range_empty_panics() {
+        DetRng::new(1).uniform_range(5, 5);
+    }
+
+    #[test]
+    fn bernoulli_frequency_tracks_p() {
+        let mut rng = DetRng::new(11);
+        let hits = (0..20_000).filter(|_| rng.bernoulli(0.3)).count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - 0.3).abs() < 0.02, "freq={freq}");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = DetRng::new(13);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut rng = DetRng::new(17);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.4, "var={var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::new(19);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+    }
+
+    #[test]
+    fn choose_weighted_prefers_heavy_weights() {
+        let mut rng = DetRng::new(23);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[rng.choose_weighted(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 9.0).abs() < 1.5, "ratio={ratio}");
+    }
+
+    #[test]
+    fn choose_weighted_degenerate_cases() {
+        let mut rng = DetRng::new(29);
+        assert_eq!(rng.choose_weighted(&[]), None);
+        assert_eq!(rng.choose_weighted(&[0.0, -1.0, f64::NAN]), None);
+        assert_eq!(rng.choose_weighted(&[0.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn choose_handles_empty_and_singleton() {
+        let mut rng = DetRng::new(31);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn forked_children_are_independent() {
+        let mut parent = DetRng::new(101);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+}

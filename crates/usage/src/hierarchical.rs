@@ -1,0 +1,264 @@
+//! Agglomerative hierarchical clustering.
+//!
+//! The paper cites Johnson & Wichern's *Applied Multivariate Statistical
+//! Analysis* \[JW83\] for its clustering stage; hierarchical agglomeration is
+//! that book's canonical method. This module implements bottom-up merging
+//! with single, complete and average linkage, producing a dendrogram that
+//! can be cut at any cluster count — useful when the number of behavioural
+//! categories is unknown, and as a cross-check on the k-means results.
+
+use crate::series::euclidean;
+use serde::{Deserialize, Serialize};
+
+/// Inter-cluster distance definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance (chains easily).
+    Single,
+    /// Maximum pairwise distance (compact clusters).
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// One merge step in the dendrogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub left: usize,
+    /// Second merged cluster id.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Id assigned to the merged cluster (`n + step`).
+    pub merged: usize,
+}
+
+/// A fitted dendrogram over `n` observations.
+///
+/// Cluster ids `0..n` are the original observations; merged clusters get ids
+/// `n, n+1, …` in merge order (scipy convention).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    /// Number of observations.
+    pub n: usize,
+    /// The `n - 1` merges, in order of increasing distance.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cuts the tree into exactly `k` clusters, returning an assignment per
+    /// observation with labels `0..k` (ordered by first appearance).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= n`.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1 && k <= self.n, "cut requires 1 <= k <= n");
+        // Apply the first n - k merges with a union-find.
+        let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for merge in self.merges.iter().take(self.n - k) {
+            let a = find(&mut parent, merge.left);
+            let b = find(&mut parent, merge.right);
+            parent[a] = merge.merged;
+            parent[b] = merge.merged;
+        }
+        // Relabel roots densely in order of first appearance.
+        let mut labels = Vec::with_capacity(self.n);
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        for i in 0..self.n {
+            let root = find(&mut parent, i);
+            let label = match seen.iter().find(|(r, _)| *r == root) {
+                Some((_, l)) => *l,
+                None => {
+                    let l = seen.len();
+                    seen.push((root, l));
+                    l
+                }
+            };
+            labels.push(label);
+        }
+        labels
+    }
+}
+
+/// Builds the dendrogram for `data` under the given linkage (naive
+/// O(n³) Lance–Williams-free implementation; fine for the hundreds of daily
+/// periods LUPA handles).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or rows have unequal lengths.
+pub fn cluster(data: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
+    assert!(!data.is_empty(), "hierarchical clustering requires data");
+    let n = data.len();
+    let dim = data[0].len();
+    for row in data {
+        assert_eq!(row.len(), dim, "all rows must share a dimension");
+    }
+    // Active clusters: (cluster id, member indices).
+    let mut active: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+
+    // Pairwise point distances, computed once.
+    let mut dist = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = euclidean(&data[i], &data[j]);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let linkage_dist = |members_a: &[usize], members_b: &[usize]| -> f64 {
+        let mut acc: f64 = match linkage {
+            Linkage::Single => f64::INFINITY,
+            Linkage::Complete => 0.0,
+            Linkage::Average => 0.0,
+        };
+        for &a in members_a {
+            for &b in members_b {
+                let d = dist[a * n + b];
+                match linkage {
+                    Linkage::Single => acc = acc.min(d),
+                    Linkage::Complete => acc = acc.max(d),
+                    Linkage::Average => acc += d,
+                }
+            }
+        }
+        if linkage == Linkage::Average {
+            acc / (members_a.len() * members_b.len()) as f64
+        } else {
+            acc
+        }
+    };
+
+    while active.len() > 1 {
+        // Find the closest active pair.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..active.len() {
+            for j in (i + 1)..active.len() {
+                let d = linkage_dist(&active[i].1, &active[j].1);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, d) = best;
+        let (right_id, right_members) = active.remove(j);
+        let (left_id, left_members) = active.remove(i);
+        let mut members = left_members;
+        members.extend(right_members);
+        merges.push(Merge {
+            left: left_id,
+            right: right_id,
+            distance: d,
+            merged: next_id,
+        });
+        active.push((next_id, members));
+        next_id += 1;
+    }
+    Dendrogram { n, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+            vec![5.0, 5.1],
+        ]
+    }
+
+    #[test]
+    fn cut_recovers_two_blobs_all_linkages() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dendro = cluster(&two_blobs(), linkage);
+            let labels = dendro.cut(2);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[0], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_eq!(labels[3], labels[5]);
+            assert_ne!(labels[0], labels[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn merge_count_is_n_minus_one() {
+        let dendro = cluster(&two_blobs(), Linkage::Average);
+        assert_eq!(dendro.merges.len(), 5);
+        assert_eq!(dendro.n, 6);
+    }
+
+    #[test]
+    fn merge_distances_start_small() {
+        let dendro = cluster(&two_blobs(), Linkage::Single);
+        // First merges are within blobs (≈0.1), last joins the blobs (≈7).
+        assert!(dendro.merges[0].distance < 0.2);
+        assert!(dendro.merges.last().unwrap().distance > 4.0);
+    }
+
+    #[test]
+    fn cut_k_one_is_single_cluster() {
+        let dendro = cluster(&two_blobs(), Linkage::Complete);
+        let labels = dendro.cut(1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn cut_k_n_is_all_singletons() {
+        let data = two_blobs();
+        let dendro = cluster(&data, Linkage::Average);
+        let labels = dendro.cut(data.len());
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), data.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cut requires")]
+    fn cut_zero_panics() {
+        cluster(&two_blobs(), Linkage::Average).cut(0);
+    }
+
+    #[test]
+    fn single_observation_dendrogram() {
+        let dendro = cluster(&[vec![1.0]], Linkage::Single);
+        assert_eq!(dendro.merges.len(), 0);
+        assert_eq!(dendro.cut(1), vec![0]);
+    }
+
+    #[test]
+    fn single_vs_complete_differ_on_chains() {
+        // A chain of points: single linkage merges the chain into one
+        // cluster early; complete linkage resists.
+        let chain: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 * 1.0]).collect();
+        let single = cluster(&chain, Linkage::Single);
+        let complete = cluster(&chain, Linkage::Complete);
+        // Last merge distance: single = 1 (adjacent), complete = full span.
+        assert!(single.merges.last().unwrap().distance <= 1.0 + 1e-9);
+        assert!(complete.merges.last().unwrap().distance >= 4.0);
+    }
+
+    #[test]
+    fn labels_are_dense_and_ordered() {
+        let dendro = cluster(&two_blobs(), Linkage::Average);
+        let labels = dendro.cut(2);
+        assert_eq!(labels[0], 0, "first observation takes label 0");
+        assert!(labels.iter().all(|&l| l < 2));
+    }
+}

@@ -1,0 +1,273 @@
+//! K-medoids clustering (PAM) with pluggable distances.
+//!
+//! Johnson & Wichern (\[JW83\], the paper's clustering citation) treat
+//! partitioning around representative observations as the robust sibling of
+//! k-means. K-medoids needs only a pairwise distance — no means — which
+//! makes it the right partner for elastic measures like dynamic time
+//! warping: two users with the same routine shifted by half an hour (lunch
+//! at 12:00 vs 12:30) produce curves that DTW sees as near-identical but
+//! Euclidean k-means pushes into different clusters.
+//!
+//! [`fit`] implements PAM's BUILD + SWAP phases over a precomputed distance
+//! matrix; [`DistanceKind`] selects Euclidean or windowed DTW.
+
+use crate::series::{dtw, euclidean};
+use serde::{Deserialize, Serialize};
+
+/// Which distance the medoid clustering uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceKind {
+    /// Plain Euclidean distance.
+    Euclidean,
+    /// Windowed dynamic time warping (Sakoe–Chiba band of the given width,
+    /// in slots) — tolerant of small time shifts.
+    Dtw {
+        /// Band half-width in slots.
+        window: usize,
+    },
+}
+
+impl DistanceKind {
+    /// Computes the distance between two curves.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            DistanceKind::Euclidean => euclidean(a, b),
+            DistanceKind::Dtw { window } => dtw(a, b, *window),
+        }
+    }
+}
+
+/// A fitted k-medoids clustering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMedoidsModel {
+    /// Indices of the medoid observations within the input data.
+    pub medoids: Vec<usize>,
+    /// Cluster index per input row.
+    pub assignments: Vec<usize>,
+    /// Total distance of points to their medoids.
+    pub total_cost: f64,
+    /// SWAP iterations executed.
+    pub iterations: usize,
+}
+
+/// Precomputes the symmetric pairwise distance matrix.
+pub fn distance_matrix(data: &[Vec<f64>], kind: DistanceKind) -> Vec<f64> {
+    let n = data.len();
+    let mut matrix = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = kind.distance(&data[i], &data[j]);
+            matrix[i * n + j] = d;
+            matrix[j * n + i] = d;
+        }
+    }
+    matrix
+}
+
+fn assignment_cost(matrix: &[f64], n: usize, medoids: &[usize]) -> (Vec<usize>, f64) {
+    let mut assignments = vec![0usize; n];
+    let mut total = 0.0;
+    for i in 0..n {
+        let (best_cluster, best_distance) = medoids
+            .iter()
+            .enumerate()
+            .map(|(c, &m)| (c, matrix[i * n + m]))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one medoid");
+        assignments[i] = best_cluster;
+        total += best_distance;
+    }
+    (assignments, total)
+}
+
+/// Fits k-medoids via PAM (BUILD greedy seeding, then SWAP until no
+/// improving swap exists or `max_iters` passes).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `k` is not in `1..=data.len()`.
+pub fn fit(data: &[Vec<f64>], k: usize, kind: DistanceKind, max_iters: usize) -> KMedoidsModel {
+    assert!(!data.is_empty(), "k-medoids requires data");
+    let n = data.len();
+    assert!(k >= 1 && k <= n, "k must be in 1..=len, got k={k} len={n}");
+    let matrix = distance_matrix(data, kind);
+
+    // BUILD: first medoid minimises total distance; each next medoid is the
+    // point that most reduces the cost.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|i| matrix[i * n + a]).sum();
+            let cb: f64 = (0..n).map(|i| matrix[i * n + b]).sum();
+            ca.total_cmp(&cb)
+        })
+        .expect("nonempty");
+    medoids.push(first);
+    while medoids.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for candidate in 0..n {
+            if medoids.contains(&candidate) {
+                continue;
+            }
+            let mut gain = 0.0;
+            for i in 0..n {
+                let current = medoids
+                    .iter()
+                    .map(|&m| matrix[i * n + m])
+                    .fold(f64::INFINITY, f64::min);
+                let with_candidate = matrix[i * n + candidate];
+                if with_candidate < current {
+                    gain += current - with_candidate;
+                }
+            }
+            if best.map(|(_, g)| gain > g).unwrap_or(true) {
+                best = Some((candidate, gain));
+            }
+        }
+        medoids.push(best.expect("k <= n leaves a candidate").0);
+    }
+
+    // SWAP: replace (medoid, non-medoid) pairs while the cost drops.
+    let (mut assignments, mut cost) = assignment_cost(&matrix, n, &medoids);
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let mut improved = false;
+        for position in 0..k {
+            for candidate in 0..n {
+                if medoids.contains(&candidate) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[position] = candidate;
+                let (trial_assignments, trial_cost) = assignment_cost(&matrix, n, &trial);
+                if trial_cost + 1e-12 < cost {
+                    medoids = trial;
+                    assignments = trial_assignments;
+                    cost = trial_cost;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    KMedoidsModel {
+        medoids,
+        assignments,
+        total_cost: cost,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shifted_dip(shift: usize, len: usize) -> Vec<f64> {
+        // Busy all day with an idle dip of 4 slots starting at `shift`.
+        let mut curve = vec![0.8; len];
+        for v in curve.iter_mut().skip(shift).take(4) {
+            *v = 0.05;
+        }
+        curve
+    }
+
+    #[test]
+    fn separates_two_plain_blobs() {
+        let data: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                if i < 5 {
+                    vec![0.0 + i as f64 * 0.01; 8]
+                } else {
+                    vec![5.0 + i as f64 * 0.01; 8]
+                }
+            })
+            .collect();
+        let model = fit(&data, 2, DistanceKind::Euclidean, 50);
+        let first = model.assignments[0];
+        assert!(model.assignments[..5].iter().all(|&a| a == first));
+        assert!(model.assignments[5..].iter().all(|&a| a != first));
+        // Medoids are actual observations from each blob.
+        assert!(model.medoids.iter().any(|&m| m < 5));
+        assert!(model.medoids.iter().any(|&m| m >= 5));
+    }
+
+    #[test]
+    fn dtw_groups_time_shifted_routines_where_euclidean_fails() {
+        // Two archetypes: "lunch dip" users at slots {10,11,12} (shifted
+        // copies of one routine) and "morning dip" users at slots {2,3}.
+        let data = vec![
+            shifted_dip(10, 24),
+            shifted_dip(11, 24),
+            shifted_dip(12, 24),
+            shifted_dip(2, 24),
+            shifted_dip(3, 24),
+        ];
+        let truth = [0, 0, 0, 1, 1];
+
+        let dtw_model = fit(&data, 2, DistanceKind::Dtw { window: 3 }, 50);
+        let agrees = |assignments: &[usize]| {
+            (0..data.len())
+                .flat_map(|i| ((i + 1)..data.len()).map(move |j| (i, j)))
+                .all(|(i, j)| (assignments[i] == assignments[j]) == (truth[i] == truth[j]))
+        };
+        assert!(
+            agrees(&dtw_model.assignments),
+            "DTW recovers shifted routines: {:?}",
+            dtw_model.assignments
+        );
+        // Euclidean sees shifted dips as disjoint; its cost for the true
+        // grouping is strictly worse relative to DTW's scale-free zero.
+        let eu = DistanceKind::Euclidean;
+        let d_shifted = eu.distance(&data[0], &data[1]);
+        let d_dtw = DistanceKind::Dtw { window: 3 }.distance(&data[0], &data[1]);
+        assert!(d_dtw < 0.1 * d_shifted, "dtw {d_dtw} << euclidean {d_shifted}");
+    }
+
+    #[test]
+    fn k_equals_n_costs_zero() {
+        let data = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let model = fit(&data, 3, DistanceKind::Euclidean, 10);
+        assert_eq!(model.total_cost, 0.0);
+        let mut sorted = model.medoids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_equals_one_picks_the_central_point() {
+        let data = vec![vec![0.0], vec![10.0], vec![4.0], vec![5.0], vec![6.0]];
+        let model = fit(&data, 1, DistanceKind::Euclidean, 10);
+        assert_eq!(model.medoids, vec![3], "5.0 minimises total distance");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn oversized_k_panics() {
+        fit(&[vec![1.0]], 2, DistanceKind::Euclidean, 10);
+    }
+
+    #[test]
+    fn deterministic_without_seeds() {
+        // PAM is deterministic by construction (no random init).
+        let data: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 4) as f64, (i / 4) as f64]).collect();
+        let a = fit(&data, 3, DistanceKind::Euclidean, 50);
+        let b = fit(&data, 3, DistanceKind::Euclidean, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![0.0, 0.0]];
+        let m = distance_matrix(&data, DistanceKind::Euclidean);
+        let n = data.len();
+        for i in 0..n {
+            assert_eq!(m[i * n + i], 0.0);
+            for j in 0..n {
+                assert_eq!(m[i * n + j], m[j * n + i]);
+            }
+        }
+    }
+}

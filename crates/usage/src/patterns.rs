@@ -1,0 +1,533 @@
+//! Behavioural usage categories — the LUPA analysis stage.
+//!
+//! "Node usage information for short time intervals is grouped in larger
+//! intervals called periods. After that, the system shall apply clustering
+//! algorithms to this data in order to extract behavioral categories. It is
+//! expected that these categories will map to common usage periods such as
+//! lunch-breaks, nights, holidays, working periods…" (§3).
+//!
+//! [`LupaModel::train`] clusters a node's daily load curves into categories
+//! (k chosen by silhouette), attaches a weekday histogram to each, and names
+//! them with shape heuristics. [`LupaModel::retrain`] implements the paper's
+//! "evolutionary process: as data is being collected and analyzed new
+//! categories can appear, others can disappear".
+
+use crate::kmeans::{select_k, KMeansModel};
+use crate::sample::{DayPeriod, Weekday};
+use crate::series::{euclidean, resample, smooth};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration for training a [`LupaModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LupaConfig {
+    /// Length daily curves are resampled to before clustering.
+    pub feature_len: usize,
+    /// Candidate category counts (inclusive).
+    pub k_min: usize,
+    /// Candidate category counts (inclusive).
+    pub k_max: usize,
+    /// Load below this is "idle" for category labelling and prediction.
+    pub idle_threshold: f64,
+    /// Seed for clustering initialisation.
+    pub seed: u64,
+}
+
+impl Default for LupaConfig {
+    fn default() -> Self {
+        LupaConfig {
+            feature_len: 96, // 15-minute resolution
+            k_min: 2,
+            k_max: 6,
+            idle_threshold: 0.15,
+            seed: 0x4C55_5041, // "LUPA"
+        }
+    }
+}
+
+/// Heuristic shape label for a category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CategoryLabel {
+    /// Idle essentially all day (weekends, holidays, spare machines).
+    MostlyIdle,
+    /// Busy during business hours, idle nights — the classic workstation.
+    OfficeHours,
+    /// Busy at night, idle by day.
+    NightActive,
+    /// Busy essentially all day (servers, simulation boxes).
+    AlwaysBusy,
+    /// No dominant shape.
+    Irregular,
+}
+
+impl fmt::Display for CategoryLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CategoryLabel::MostlyIdle => "mostly-idle",
+            CategoryLabel::OfficeHours => "office-hours",
+            CategoryLabel::NightActive => "night-active",
+            CategoryLabel::AlwaysBusy => "always-busy",
+            CategoryLabel::Irregular => "irregular",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One behavioural category extracted from a node's history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Category {
+    /// Dense id within the model.
+    pub id: usize,
+    /// Mean daily load curve (length = `feature_len`).
+    pub centroid: Vec<f64>,
+    /// Training days assigned to this category.
+    pub day_count: usize,
+    /// Distribution of those days over weekdays (Mon..Sun).
+    pub weekday_hist: [usize; 7],
+    /// Heuristic shape name.
+    pub label: CategoryLabel,
+}
+
+impl Category {
+    /// Fraction of this category's days falling on `weekday`.
+    pub fn weekday_share(&self, weekday: Weekday) -> f64 {
+        if self.day_count == 0 {
+            return 0.0;
+        }
+        self.weekday_hist[weekday.index() as usize] as f64 / self.day_count as f64
+    }
+}
+
+/// One training day retained by the model (feature-space curve).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedDay {
+    /// Weekday of the original day.
+    pub weekday: Weekday,
+    /// Resampled load curve.
+    pub features: Vec<f64>,
+    /// Assigned category id.
+    pub category: usize,
+}
+
+/// Changes observed across a retraining — the paper's category evolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionReport {
+    /// Labels present after but not before.
+    pub appeared: Vec<CategoryLabel>,
+    /// Labels present before but not after.
+    pub disappeared: Vec<CategoryLabel>,
+    /// Category count before → after.
+    pub k_before: usize,
+    /// Category count after retraining.
+    pub k_after: usize,
+}
+
+/// A node's trained usage-pattern model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LupaModel {
+    config: LupaConfig,
+    categories: Vec<Category>,
+    days: Vec<TrainedDay>,
+}
+
+fn features_of(period: &DayPeriod, feature_len: usize) -> Vec<f64> {
+    smooth(&resample(&period.load_curve(), feature_len), 1)
+}
+
+fn label_centroid(centroid: &[f64], idle_threshold: f64) -> CategoryLabel {
+    let n = centroid.len();
+    let idle_frac =
+        centroid.iter().filter(|&&v| v < idle_threshold).count() as f64 / n as f64;
+    if idle_frac > 0.85 {
+        return CategoryLabel::MostlyIdle;
+    }
+    if idle_frac < 0.15 {
+        return CategoryLabel::AlwaysBusy;
+    }
+    // Compare business hours (09:00–18:00) against night (00:00–06:00).
+    let slot = |hour: f64| ((hour / 24.0) * n as f64) as usize;
+    let mean = |lo: usize, hi: usize| -> f64 {
+        centroid[lo..hi.min(n)].iter().sum::<f64>() / (hi.min(n) - lo).max(1) as f64
+    };
+    let day_load = mean(slot(9.0), slot(18.0));
+    let night_load = mean(slot(0.0), slot(6.0));
+    if day_load > 2.0 * night_load && day_load > idle_threshold {
+        CategoryLabel::OfficeHours
+    } else if night_load > 2.0 * day_load && night_load > idle_threshold {
+        CategoryLabel::NightActive
+    } else {
+        CategoryLabel::Irregular
+    }
+}
+
+impl LupaModel {
+    /// Trains a model on a node's completed periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods` is empty or contains empty days.
+    pub fn train(periods: &[DayPeriod], config: LupaConfig) -> Self {
+        assert!(!periods.is_empty(), "LUPA training requires at least one period");
+        let features: Vec<Vec<f64>> = periods
+            .iter()
+            .map(|p| features_of(p, config.feature_len))
+            .collect();
+        let k_max = config.k_max.min(features.len());
+        let k_min = config.k_min.min(k_max);
+        let (_, model): (usize, KMeansModel) = select_k(&features, k_min..=k_max, config.seed);
+
+        let mut categories: Vec<Category> = model
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(id, centroid)| Category {
+                id,
+                centroid: centroid.clone(),
+                day_count: 0,
+                weekday_hist: [0; 7],
+                label: label_centroid(centroid, config.idle_threshold),
+            })
+            .collect();
+        let mut days = Vec::with_capacity(periods.len());
+        for (period, (&assignment, feats)) in
+            periods.iter().zip(model.assignments.iter().zip(&features))
+        {
+            categories[assignment].day_count += 1;
+            categories[assignment].weekday_hist[period.weekday.index() as usize] += 1;
+            days.push(TrainedDay {
+                weekday: period.weekday,
+                features: feats.clone(),
+                category: assignment,
+            });
+        }
+        LupaModel {
+            config,
+            categories,
+            days,
+        }
+    }
+
+    /// Retrains with additional periods appended to the history, reporting
+    /// how the category set evolved.
+    pub fn retrain(&mut self, new_periods: &[DayPeriod]) -> EvolutionReport {
+        let before: Vec<CategoryLabel> = self.categories.iter().map(|c| c.label).collect();
+        let k_before = before.len();
+        // Rebuild synthetic periods from retained feature days + new ones.
+        let mut all_features: Vec<(Weekday, Vec<f64>)> = self
+            .days
+            .iter()
+            .map(|d| (d.weekday, d.features.clone()))
+            .collect();
+        all_features.extend(
+            new_periods
+                .iter()
+                .map(|p| (p.weekday, features_of(p, self.config.feature_len))),
+        );
+        let data: Vec<Vec<f64>> = all_features.iter().map(|(_, f)| f.clone()).collect();
+        let k_max = self.config.k_max.min(data.len());
+        let k_min = self.config.k_min.min(k_max);
+        let (_, model) = select_k(&data, k_min..=k_max, self.config.seed);
+        let mut categories: Vec<Category> = model
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(id, centroid)| Category {
+                id,
+                centroid: centroid.clone(),
+                day_count: 0,
+                weekday_hist: [0; 7],
+                label: label_centroid(centroid, self.config.idle_threshold),
+            })
+            .collect();
+        let mut days = Vec::with_capacity(data.len());
+        for ((weekday, feats), &assignment) in all_features.iter().zip(&model.assignments) {
+            categories[assignment].day_count += 1;
+            categories[assignment].weekday_hist[weekday.index() as usize] += 1;
+            days.push(TrainedDay {
+                weekday: *weekday,
+                features: feats.clone(),
+                category: assignment,
+            });
+        }
+        self.categories = categories;
+        self.days = days;
+        let after: Vec<CategoryLabel> = self.categories.iter().map(|c| c.label).collect();
+        EvolutionReport {
+            appeared: after
+                .iter()
+                .filter(|l| !before.contains(l))
+                .copied()
+                .collect(),
+            disappeared: before
+                .iter()
+                .filter(|l| !after.contains(l))
+                .copied()
+                .collect(),
+            k_before,
+            k_after: after.len(),
+        }
+    }
+
+    /// The trained configuration.
+    pub fn config(&self) -> LupaConfig {
+        self.config
+    }
+
+    /// The extracted categories.
+    pub fn categories(&self) -> &[Category] {
+        &self.categories
+    }
+
+    /// The retained training days.
+    pub fn days(&self) -> &[TrainedDay] {
+        &self.days
+    }
+
+    /// Prior probability of each category on `weekday` (Laplace-smoothed).
+    pub fn weekday_prior(&self, weekday: Weekday) -> Vec<f64> {
+        let k = self.categories.len();
+        let counts: Vec<f64> = self
+            .categories
+            .iter()
+            .map(|c| c.weekday_hist[weekday.index() as usize] as f64 + 0.5)
+            .collect();
+        let total: f64 = counts.iter().sum();
+        counts.iter().map(|c| c / total).collect::<Vec<_>>()[..k].to_vec()
+    }
+
+    /// Classifies a complete feature-space day curve.
+    pub fn classify(&self, features: &[f64]) -> usize {
+        self.categories
+            .iter()
+            .map(|c| euclidean(&c.centroid, features))
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .expect("model has at least one category")
+    }
+
+    /// Posterior over categories given the day observed so far (`prefix`
+    /// feature slots) on `weekday`. Combines the weekday prior with a
+    /// distance-based likelihood on the observed prefix.
+    pub fn posterior(&self, weekday: Weekday, prefix: &[f64]) -> Vec<f64> {
+        let prior = self.weekday_prior(weekday);
+        if prefix.is_empty() {
+            return prior;
+        }
+        let len = prefix.len().min(self.config.feature_len);
+        let mut weights: Vec<f64> = self
+            .categories
+            .iter()
+            .zip(&prior)
+            .map(|(c, p)| {
+                let d = euclidean(&c.centroid[..len], &prefix[..len]);
+                // Gaussian-ish likelihood on mean per-slot deviation.
+                let per_slot = d / (len as f64).sqrt();
+                p * (-8.0 * per_slot * per_slot).exp().max(1e-12)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        weights
+    }
+
+    /// Converts a day's partial load curve (native slot resolution) into the
+    /// model's feature space prefix.
+    pub fn prefix_features(&self, partial_load: &[f64], slots_per_day: usize) -> Vec<f64> {
+        if partial_load.is_empty() {
+            return Vec::new();
+        }
+        let frac = partial_load.len() as f64 / slots_per_day as f64;
+        let target = ((self.config.feature_len as f64 * frac).round() as usize)
+            .clamp(1, self.config.feature_len);
+        smooth(&resample(partial_load, target), 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{SamplingConfig, UsageSample};
+    use integrade_simnet::rng::DetRng;
+
+    /// Builds a synthetic day with the given hourly shape + noise.
+    fn synth_day(day: u64, shape: impl Fn(f64) -> f64, rng: &mut DetRng) -> DayPeriod {
+        let cfg = SamplingConfig::new(15); // 96 slots
+        let samples = (0..cfg.slots_per_day())
+            .map(|slot| {
+                let hour = slot as f64 * 24.0 / cfg.slots_per_day() as f64;
+                let base = shape(hour).clamp(0.0, 1.0);
+                let jitter = rng.normal(0.0, 0.03);
+                UsageSample::new((base + jitter).clamp(0.0, 1.0), base * 0.5, 0.0, 0.0)
+            })
+            .collect();
+        DayPeriod {
+            day,
+            weekday: Weekday::from_day_number(day),
+            samples,
+        }
+    }
+
+    fn office(hour: f64) -> f64 {
+        if (9.0..12.0).contains(&hour) || (13.0..18.0).contains(&hour) {
+            0.8
+        } else {
+            0.03
+        }
+    }
+
+    fn idle(_hour: f64) -> f64 {
+        0.02
+    }
+
+    fn busy(_hour: f64) -> f64 {
+        0.9
+    }
+
+    /// Two weeks: office-hours weekdays, idle weekends.
+    fn two_weeks() -> Vec<DayPeriod> {
+        let mut rng = DetRng::new(42);
+        (0..14)
+            .map(|day| {
+                let weekday = Weekday::from_day_number(day);
+                if weekday.is_weekend() {
+                    synth_day(day, idle, &mut rng)
+                } else {
+                    synth_day(day, office, &mut rng)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_weekday_weekend_split() {
+        let model = LupaModel::train(&two_weeks(), LupaConfig::default());
+        assert_eq!(model.categories().len(), 2, "should find 2 categories");
+        let labels: Vec<CategoryLabel> = model.categories().iter().map(|c| c.label).collect();
+        assert!(labels.contains(&CategoryLabel::OfficeHours), "{labels:?}");
+        assert!(labels.contains(&CategoryLabel::MostlyIdle), "{labels:?}");
+        // Weekend days all fall in the mostly-idle category.
+        let idle_cat = model
+            .categories()
+            .iter()
+            .find(|c| c.label == CategoryLabel::MostlyIdle)
+            .unwrap();
+        assert_eq!(idle_cat.day_count, 4);
+        assert!(idle_cat.weekday_share(Weekday::new(5)) > 0.4);
+        assert_eq!(idle_cat.weekday_share(Weekday::new(0)), 0.0);
+    }
+
+    #[test]
+    fn weekday_prior_reflects_history() {
+        let model = LupaModel::train(&two_weeks(), LupaConfig::default());
+        let office_cat = model
+            .categories()
+            .iter()
+            .position(|c| c.label == CategoryLabel::OfficeHours)
+            .unwrap();
+        let monday = model.weekday_prior(Weekday::new(0));
+        let saturday = model.weekday_prior(Weekday::new(5));
+        assert!(monday[office_cat] > 0.7);
+        assert!(saturday[office_cat] < 0.3);
+    }
+
+    #[test]
+    fn classify_maps_day_to_right_category() {
+        let model = LupaModel::train(&two_weeks(), LupaConfig::default());
+        let mut rng = DetRng::new(7);
+        let fresh_office = synth_day(14, office, &mut rng); // a Monday
+        let feats = features_of(&fresh_office, model.config().feature_len);
+        let cat = model.classify(&feats);
+        assert_eq!(model.categories()[cat].label, CategoryLabel::OfficeHours);
+    }
+
+    #[test]
+    fn posterior_sharpens_with_evidence() {
+        let model = LupaModel::train(&two_weeks(), LupaConfig::default());
+        let office_cat = model
+            .categories()
+            .iter()
+            .position(|c| c.label == CategoryLabel::OfficeHours)
+            .unwrap();
+        // Saturday, but the morning looks busy (owner came in to work):
+        // evidence should pull probability toward office-hours vs the prior.
+        let mut rng = DetRng::new(9);
+        let busy_sat = synth_day(5, office, &mut rng);
+        let half_day: Vec<f64> = busy_sat.load_curve()[..48].to_vec(); // until noon
+        let prefix = model.prefix_features(&half_day, 96);
+        let prior = model.weekday_prior(Weekday::new(5));
+        let post = model.posterior(Weekday::new(5), &prefix);
+        assert!(
+            post[office_cat] > prior[office_cat],
+            "post={post:?} prior={prior:?}"
+        );
+    }
+
+    #[test]
+    fn posterior_is_a_distribution() {
+        let model = LupaModel::train(&two_weeks(), LupaConfig::default());
+        let post = model.posterior(Weekday::new(2), &[0.8; 20]);
+        let sum: f64 = post.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(post.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn retrain_reports_new_category() {
+        let mut model = LupaModel::train(&two_weeks(), LupaConfig::default());
+        // A new always-busy regime appears (machine converted to a server).
+        let mut rng = DetRng::new(11);
+        let busy_days: Vec<DayPeriod> = (14..24).map(|d| synth_day(d, busy, &mut rng)).collect();
+        let report = model.retrain(&busy_days);
+        assert!(
+            report.appeared.contains(&CategoryLabel::AlwaysBusy),
+            "{report:?}"
+        );
+        assert!(report.k_after >= report.k_before);
+    }
+
+    #[test]
+    fn label_heuristics() {
+        let n = 96;
+        let idle_c = vec![0.01; n];
+        assert_eq!(label_centroid(&idle_c, 0.15), CategoryLabel::MostlyIdle);
+        let busy_c = vec![0.9; n];
+        assert_eq!(label_centroid(&busy_c, 0.15), CategoryLabel::AlwaysBusy);
+        let mut office_c = vec![0.02; n];
+        for value in office_c.iter_mut().take(72).skip(36) {
+            *value = 0.8; // 09:00–18:00
+        }
+        assert_eq!(label_centroid(&office_c, 0.15), CategoryLabel::OfficeHours);
+        let mut night_c = vec![0.02; n];
+        for value in night_c.iter_mut().take(24) {
+            *value = 0.8; // 00:00–06:00
+        }
+        assert_eq!(label_centroid(&night_c, 0.15), CategoryLabel::NightActive);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one period")]
+    fn empty_training_panics() {
+        LupaModel::train(&[], LupaConfig::default());
+    }
+
+    #[test]
+    fn prefix_features_scales_with_progress() {
+        let model = LupaModel::train(&two_weeks(), LupaConfig::default());
+        assert!(model.prefix_features(&[], 96).is_empty());
+        let quarter = model.prefix_features(&[0.5; 24], 96);
+        assert_eq!(quarter.len(), 24); // 96 feature * (24/96)
+        let full = model.prefix_features(&vec![0.5; 96], 96);
+        assert_eq!(full.len(), 96);
+    }
+
+    #[test]
+    fn single_day_trains_one_category() {
+        let mut rng = DetRng::new(3);
+        let model = LupaModel::train(&[synth_day(0, office, &mut rng)], LupaConfig::default());
+        assert_eq!(model.categories().len(), 1);
+        assert_eq!(model.days().len(), 1);
+    }
+}

@@ -1,0 +1,371 @@
+//! Idle-period prediction — the output LUPA feeds to the scheduler.
+//!
+//! "When tuned properly, this mechanism can help schedulers to forecast if
+//! an idle machine will stay idle for a significant amount of time or if it
+//! is going to be busy again in a few seconds" (§1). [`LupaPredictor`]
+//! answers exactly that question from a trained [`LupaModel`]:
+//! `P(node stays idle through the next H minutes)`. [`PersistencePredictor`]
+//! is the naive last-value baseline the experiments compare against, and
+//! [`brier_score`] / [`PrecisionRecall`] quantify forecast quality.
+
+use crate::patterns::LupaModel;
+use crate::sample::Weekday;
+use serde::{Deserialize, Serialize};
+
+/// Everything a predictor may look at when asked for a forecast.
+#[derive(Debug, Clone)]
+pub struct PredictionContext<'a> {
+    /// Weekday of the day being predicted.
+    pub weekday: Weekday,
+    /// Minute-of-day at which the forecast is made (0..1440).
+    pub minute_of_day: u32,
+    /// The day's scalar load curve observed so far, at `slots_per_day`
+    /// native resolution.
+    pub partial_load: &'a [f64],
+    /// Native slots per day of `partial_load`'s resolution.
+    pub slots_per_day: usize,
+    /// Forecast horizon in minutes.
+    pub horizon_mins: u32,
+}
+
+/// A forecaster of near-term idleness.
+pub trait IdlePredictor {
+    /// Probability in `[0, 1]` that the node stays idle (load below the
+    /// model threshold) from now through the next `horizon_mins` minutes.
+    fn prob_idle_for(&self, ctx: &PredictionContext<'_>) -> f64;
+}
+
+/// Pattern-based predictor backed by a trained [`LupaModel`].
+///
+/// The forecast marginalises over behavioural categories: the posterior
+/// P(category | weekday, day-so-far) weights, per category, the fraction of
+/// its training days that stayed idle through the requested window.
+#[derive(Debug, Clone)]
+pub struct LupaPredictor<'a> {
+    model: &'a LupaModel,
+}
+
+impl<'a> LupaPredictor<'a> {
+    /// Wraps a trained model.
+    pub fn new(model: &'a LupaModel) -> Self {
+        LupaPredictor { model }
+    }
+
+    /// Feature-slot range covered by `[minute, minute + horizon)`.
+    fn window_slots(&self, minute_of_day: u32, horizon_mins: u32) -> (usize, usize) {
+        let feature_len = self.model.config().feature_len;
+        let start = (minute_of_day as usize * feature_len) / 1440;
+        let end_min = (minute_of_day + horizon_mins).min(1440) as usize;
+        let end = (end_min * feature_len).div_ceil(1440);
+        (start.min(feature_len - 1), end.clamp(start + 1, feature_len))
+    }
+}
+
+impl IdlePredictor for LupaPredictor<'_> {
+    fn prob_idle_for(&self, ctx: &PredictionContext<'_>) -> f64 {
+        let threshold = self.model.config().idle_threshold;
+        let prefix = self.model.prefix_features(ctx.partial_load, ctx.slots_per_day);
+        let posterior = self.model.posterior(ctx.weekday, &prefix);
+        let (lo, hi) = self.window_slots(ctx.minute_of_day, ctx.horizon_mins);
+
+        let mut prob = 0.0;
+        for (category, weight) in self.model.categories().iter().zip(&posterior) {
+            // Empirical: fraction of this category's training days idle
+            // through the window.
+            let days: Vec<_> = self
+                .model
+                .days()
+                .iter()
+                .filter(|d| d.category == category.id)
+                .collect();
+            let frac = if days.is_empty() {
+                // Fall back to the centroid shape.
+                if category.centroid[lo..hi].iter().all(|&v| v < threshold) {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                days.iter()
+                    .filter(|d| d.features[lo..hi].iter().all(|&v| v < threshold))
+                    .count() as f64
+                    / days.len() as f64
+            };
+            prob += weight * frac;
+        }
+        prob.clamp(0.0, 1.0)
+    }
+}
+
+/// Naive baseline: predicts the current state persists (idle stays idle,
+/// busy stays busy), with confidence decaying over the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PersistencePredictor {
+    /// Load below this counts as idle.
+    pub idle_threshold: f64,
+    /// Horizon (minutes) over which confidence halves.
+    pub half_life_mins: f64,
+}
+
+impl Default for PersistencePredictor {
+    fn default() -> Self {
+        PersistencePredictor {
+            idle_threshold: 0.15,
+            half_life_mins: 240.0,
+        }
+    }
+}
+
+impl IdlePredictor for PersistencePredictor {
+    fn prob_idle_for(&self, ctx: &PredictionContext<'_>) -> f64 {
+        let currently_idle = ctx
+            .partial_load
+            .last()
+            .map(|&v| v < self.idle_threshold)
+            .unwrap_or(true);
+        let decay = 0.5f64.powf(ctx.horizon_mins as f64 / self.half_life_mins);
+        if currently_idle {
+            0.5 + 0.5 * decay
+        } else {
+            0.5 - 0.5 * decay
+        }
+    }
+}
+
+/// Mean squared error of probabilistic forecasts against boolean outcomes
+/// (lower is better; 0.25 = uninformed coin).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn brier_score(predictions: &[f64], outcomes: &[bool]) -> f64 {
+    assert_eq!(predictions.len(), outcomes.len(), "one outcome per prediction");
+    assert!(!predictions.is_empty(), "brier score of nothing is undefined");
+    predictions
+        .iter()
+        .zip(outcomes)
+        .map(|(&p, &o)| {
+            let target = if o { 1.0 } else { 0.0 };
+            (p - target) * (p - target)
+        })
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Precision/recall of thresholded forecasts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionRecall {
+    /// Of the predicted-idle cases, the fraction actually idle.
+    pub precision: f64,
+    /// Of the actually-idle cases, the fraction predicted idle.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes precision/recall of `prediction >= threshold` against outcomes.
+/// Empty or degenerate classes yield zeros rather than NaNs.
+pub fn precision_recall(predictions: &[f64], outcomes: &[bool], threshold: f64) -> PrecisionRecall {
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut fn_ = 0u64;
+    for (&p, &o) in predictions.iter().zip(outcomes) {
+        let predicted = p >= threshold;
+        match (predicted, o) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrecisionRecall {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{LupaConfig, LupaModel};
+    use crate::sample::{DayPeriod, SamplingConfig, UsageSample, Weekday};
+    use integrade_simnet::rng::DetRng;
+
+    fn synth_day(day: u64, shape: impl Fn(f64) -> f64, rng: &mut DetRng) -> DayPeriod {
+        let cfg = SamplingConfig::new(15);
+        let samples = (0..cfg.slots_per_day())
+            .map(|slot| {
+                let hour = slot as f64 * 24.0 / cfg.slots_per_day() as f64;
+                let base = shape(hour).clamp(0.0, 1.0);
+                let jitter = rng.normal(0.0, 0.02);
+                UsageSample::new((base + jitter).clamp(0.0, 1.0), base * 0.4, 0.0, 0.0)
+            })
+            .collect();
+        DayPeriod {
+            day,
+            weekday: Weekday::from_day_number(day),
+            samples,
+        }
+    }
+
+    fn office(hour: f64) -> f64 {
+        if (9.0..18.0).contains(&hour) {
+            0.85
+        } else {
+            0.02
+        }
+    }
+
+    fn idle(_: f64) -> f64 {
+        0.02
+    }
+
+    fn trained_model() -> LupaModel {
+        let mut rng = DetRng::new(21);
+        let days: Vec<DayPeriod> = (0..21)
+            .map(|d| {
+                let wd = Weekday::from_day_number(d);
+                if wd.is_weekend() {
+                    synth_day(d, idle, &mut rng)
+                } else {
+                    synth_day(d, office, &mut rng)
+                }
+            })
+            .collect();
+        LupaModel::train(&days, LupaConfig::default())
+    }
+
+    fn ctx<'a>(
+        weekday: Weekday,
+        minute: u32,
+        partial: &'a [f64],
+        horizon: u32,
+    ) -> PredictionContext<'a> {
+        PredictionContext {
+            weekday,
+            minute_of_day: minute,
+            partial_load: partial,
+            slots_per_day: 96,
+            horizon_mins: horizon,
+        }
+    }
+
+    #[test]
+    fn weekday_evening_predicts_idle_overnight() {
+        let model = trained_model();
+        let p = LupaPredictor::new(&model);
+        // Tuesday 20:00, idle evening so far after a busy day.
+        let mut partial = vec![0.02; 36]; // 00:00–09:00 idle
+        partial.extend(vec![0.85; 36]); // 09:00–18:00 busy
+        partial.extend(vec![0.02; 8]); // 18:00–20:00 idle
+        let prob = p.prob_idle_for(&ctx(Weekday::new(1), 20 * 60, &partial, 120));
+        assert!(prob > 0.8, "evening idle should persist: {prob}");
+    }
+
+    #[test]
+    fn weekday_morning_predicts_busy_daytime() {
+        let model = trained_model();
+        let p = LupaPredictor::new(&model);
+        // Wednesday 08:30, idle so far — but the office day is about to start.
+        let partial = vec![0.02; 34];
+        let prob = p.prob_idle_for(&ctx(Weekday::new(2), 8 * 60 + 30, &partial, 180));
+        assert!(prob < 0.3, "owner arrives at 09:00: {prob}");
+    }
+
+    #[test]
+    fn weekend_predicts_idle_all_day() {
+        let model = trained_model();
+        let p = LupaPredictor::new(&model);
+        let partial = vec![0.02; 40]; // Saturday 10:00
+        let prob = p.prob_idle_for(&ctx(Weekday::new(5), 10 * 60, &partial, 240));
+        assert!(prob > 0.8, "weekend stays idle: {prob}");
+    }
+
+    #[test]
+    fn pattern_beats_persistence_at_nine_am() {
+        // The headline E4 contrast: just before the owner returns, the
+        // persistence baseline says "idle continues"; LUPA knows better.
+        let model = trained_model();
+        let lupa = LupaPredictor::new(&model);
+        let naive = PersistencePredictor::default();
+        let partial = vec![0.02; 34]; // 08:30, idle all morning
+        let c = ctx(Weekday::new(2), 8 * 60 + 30, &partial, 120);
+        let lupa_p = lupa.prob_idle_for(&c);
+        let naive_p = naive.prob_idle_for(&c);
+        assert!(naive_p > 0.6, "persistence extrapolates idleness: {naive_p}");
+        assert!(lupa_p < naive_p, "lupa={lupa_p} naive={naive_p}");
+    }
+
+    #[test]
+    fn persistence_tracks_current_state() {
+        let p = PersistencePredictor::default();
+        let busy = vec![0.9];
+        let idle_load = vec![0.05];
+        assert!(p.prob_idle_for(&ctx(Weekday::new(0), 600, &busy, 30)) < 0.5);
+        assert!(p.prob_idle_for(&ctx(Weekday::new(0), 600, &idle_load, 30)) > 0.5);
+        // Longer horizons regress toward 0.5.
+        let short = p.prob_idle_for(&ctx(Weekday::new(0), 600, &idle_load, 10));
+        let long = p.prob_idle_for(&ctx(Weekday::new(0), 600, &idle_load, 1000));
+        assert!(short > long && long >= 0.5);
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let model = trained_model();
+        let p = LupaPredictor::new(&model);
+        for minute in [0u32, 360, 720, 1080, 1380] {
+            for horizon in [5u32, 60, 480] {
+                let partial = vec![0.02; (minute as usize * 96 / 1440).max(1)];
+                let prob = p.prob_idle_for(&ctx(Weekday::new(3), minute, &partial, horizon));
+                assert!((0.0..=1.0).contains(&prob), "minute={minute} h={horizon}");
+            }
+        }
+    }
+
+    #[test]
+    fn brier_score_basics() {
+        assert_eq!(brier_score(&[1.0, 0.0], &[true, false]), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[true, false]), 1.0);
+        assert_eq!(brier_score(&[0.5, 0.5], &[true, false]), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "one outcome per prediction")]
+    fn brier_mismatched_lengths_panics() {
+        brier_score(&[0.5], &[true, false]);
+    }
+
+    #[test]
+    fn precision_recall_basics() {
+        let preds = [0.9, 0.8, 0.2, 0.7];
+        let outcomes = [true, false, true, true];
+        let pr = precision_recall(&preds, &outcomes, 0.5);
+        assert!((pr.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pr.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pr.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_degenerate() {
+        let pr = precision_recall(&[0.1, 0.2], &[false, false], 0.5);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+        assert_eq!(pr.f1, 0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Usage samples and collection configuration.
+//!
+//! The paper's LUPA collects node usage "for short time intervals (e.g., 5
+//! minutes)" and groups them "in larger intervals called periods". A
+//! [`UsageSample`] is one such measurement (CPU, memory, disk and network
+//! utilisation, each in `[0, 1]`); [`SamplingConfig`] fixes the interval and
+//! period length; [`SampleWindow`] accumulates samples into day-long periods
+//! ready for clustering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One resource-utilisation measurement, each component in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_usage::sample::UsageSample;
+///
+/// let s = UsageSample::new(0.8, 0.5, 0.1, 0.0);
+/// assert!(s.load() > 0.5); // CPU-dominated
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UsageSample {
+    /// CPU utilisation fraction.
+    pub cpu: f64,
+    /// Physical memory utilisation fraction.
+    pub mem: f64,
+    /// Disk bandwidth utilisation fraction.
+    pub disk: f64,
+    /// Network bandwidth utilisation fraction.
+    pub net: f64,
+}
+
+impl UsageSample {
+    /// Creates a sample, clamping each component into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is NaN.
+    pub fn new(cpu: f64, mem: f64, disk: f64, net: f64) -> Self {
+        for (name, v) in [("cpu", cpu), ("mem", mem), ("disk", disk), ("net", net)] {
+            assert!(!v.is_nan(), "usage component {name} is NaN");
+        }
+        UsageSample {
+            cpu: cpu.clamp(0.0, 1.0),
+            mem: mem.clamp(0.0, 1.0),
+            disk: disk.clamp(0.0, 1.0),
+            net: net.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A fully idle sample.
+    pub const fn idle() -> Self {
+        UsageSample {
+            cpu: 0.0,
+            mem: 0.0,
+            disk: 0.0,
+            net: 0.0,
+        }
+    }
+
+    /// Scalar load summary: a weighted blend dominated by CPU, which is what
+    /// owner-perceived interactivity tracks most closely.
+    pub fn load(&self) -> f64 {
+        0.6 * self.cpu + 0.2 * self.mem + 0.1 * self.disk + 0.1 * self.net
+    }
+
+    /// True when every component is below `threshold` — the default
+    /// "node is idle" test the NCC lets owners override.
+    pub fn is_idle(&self, threshold: f64) -> bool {
+        self.cpu < threshold && self.mem < threshold && self.disk < threshold && self.net < threshold
+    }
+}
+
+impl fmt::Display for UsageSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu={:.0}% mem={:.0}% disk={:.0}% net={:.0}%",
+            self.cpu * 100.0,
+            self.mem * 100.0,
+            self.disk * 100.0,
+            self.net * 100.0
+        )
+    }
+}
+
+/// How often samples are taken and how they group into periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Minutes between samples (the paper's example: 5).
+    pub interval_mins: u32,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig { interval_mins: 5 }
+    }
+}
+
+impl SamplingConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `interval_mins` is in `1..=1440` and divides a day
+    /// evenly.
+    pub fn new(interval_mins: u32) -> Self {
+        assert!(
+            (1..=1440).contains(&interval_mins) && 1440 % interval_mins == 0,
+            "sampling interval must divide 1440 minutes, got {interval_mins}"
+        );
+        SamplingConfig { interval_mins }
+    }
+
+    /// Samples collected per 24-hour period.
+    pub fn slots_per_day(&self) -> usize {
+        (1440 / self.interval_mins) as usize
+    }
+
+    /// The slot index for a minute-of-day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minute_of_day >= 1440`.
+    pub fn slot_of(&self, minute_of_day: u32) -> usize {
+        assert!(minute_of_day < 1440, "minute of day out of range");
+        (minute_of_day / self.interval_mins) as usize
+    }
+}
+
+/// Day of week, Monday = 0 … Sunday = 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Weekday(u8);
+
+impl Weekday {
+    /// Creates a weekday.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 6`.
+    pub fn new(index: u8) -> Self {
+        assert!(index <= 6, "weekday index must be 0..=6, got {index}");
+        Weekday(index)
+    }
+
+    /// The weekday of day number `day` counting from a Monday epoch.
+    pub fn from_day_number(day: u64) -> Self {
+        Weekday((day % 7) as u8)
+    }
+
+    /// Monday = 0 … Sunday = 6.
+    pub fn index(&self) -> u8 {
+        self.0
+    }
+
+    /// Saturday or Sunday.
+    pub fn is_weekend(&self) -> bool {
+        self.0 >= 5
+    }
+
+    /// Short English name.
+    pub fn name(&self) -> &'static str {
+        ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][self.0 as usize]
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One completed period: a day of samples plus its weekday.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayPeriod {
+    /// Day number since trace start.
+    pub day: u64,
+    /// Weekday of that day.
+    pub weekday: Weekday,
+    /// One sample per slot ([`SamplingConfig::slots_per_day`] of them).
+    pub samples: Vec<UsageSample>,
+}
+
+impl DayPeriod {
+    /// The scalar load curve of the day.
+    pub fn load_curve(&self) -> Vec<f64> {
+        self.samples.iter().map(UsageSample::load).collect()
+    }
+
+    /// Fraction of slots idle at `threshold`.
+    pub fn idle_fraction(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.is_idle(threshold)).count() as f64
+            / self.samples.len() as f64
+    }
+}
+
+/// Accumulates a node's samples into completed [`DayPeriod`]s — the LUPA's
+/// collection stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleWindow {
+    config: SamplingConfig,
+    current_day: u64,
+    current: Vec<UsageSample>,
+    completed: Vec<DayPeriod>,
+}
+
+impl SampleWindow {
+    /// Creates an empty window starting at day 0.
+    pub fn new(config: SamplingConfig) -> Self {
+        SampleWindow {
+            config,
+            current_day: 0,
+            current: Vec::with_capacity(config.slots_per_day()),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The sampling configuration.
+    pub fn config(&self) -> SamplingConfig {
+        self.config
+    }
+
+    /// Pushes the next sample in time order; rolls the day over when full.
+    pub fn push(&mut self, sample: UsageSample) {
+        self.current.push(sample);
+        if self.current.len() == self.config.slots_per_day() {
+            let day = self.current_day;
+            self.completed.push(DayPeriod {
+                day,
+                weekday: Weekday::from_day_number(day),
+                samples: std::mem::take(&mut self.current),
+            });
+            self.current_day += 1;
+            self.current.reserve(self.config.slots_per_day());
+        }
+    }
+
+    /// Completed periods so far.
+    pub fn completed(&self) -> &[DayPeriod] {
+        &self.completed
+    }
+
+    /// Samples accumulated toward the in-progress day.
+    pub fn partial_day(&self) -> &[UsageSample] {
+        &self.current
+    }
+
+    /// Drains and returns the completed periods (collection upload to GUPA).
+    pub fn take_completed(&mut self) -> Vec<DayPeriod> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_clamps_and_summarises() {
+        let s = UsageSample::new(1.5, -0.2, 0.5, 0.5);
+        assert_eq!(s.cpu, 1.0);
+        assert_eq!(s.mem, 0.0);
+        assert!((s.load() - (0.6 + 0.05 + 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_component_panics() {
+        UsageSample::new(f64::NAN, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn idle_test_uses_all_components() {
+        assert!(UsageSample::idle().is_idle(0.1));
+        assert!(!UsageSample::new(0.0, 0.0, 0.0, 0.5).is_idle(0.1));
+        assert!(UsageSample::new(0.05, 0.05, 0.05, 0.05).is_idle(0.1));
+    }
+
+    #[test]
+    fn config_slots_per_day() {
+        assert_eq!(SamplingConfig::default().slots_per_day(), 288);
+        assert_eq!(SamplingConfig::new(60).slots_per_day(), 24);
+        assert_eq!(SamplingConfig::new(5).slot_of(0), 0);
+        assert_eq!(SamplingConfig::new(5).slot_of(7), 1);
+        assert_eq!(SamplingConfig::new(5).slot_of(1439), 287);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide 1440")]
+    fn non_dividing_interval_panics() {
+        SamplingConfig::new(7);
+    }
+
+    #[test]
+    fn weekday_cycle_and_weekend() {
+        assert_eq!(Weekday::from_day_number(0).name(), "Mon");
+        assert_eq!(Weekday::from_day_number(6).name(), "Sun");
+        assert_eq!(Weekday::from_day_number(7).name(), "Mon");
+        assert!(Weekday::new(5).is_weekend());
+        assert!(!Weekday::new(4).is_weekend());
+    }
+
+    #[test]
+    fn window_rolls_days() {
+        let cfg = SamplingConfig::new(480); // 3 slots/day for brevity
+        let mut w = SampleWindow::new(cfg);
+        for i in 0..7 {
+            w.push(UsageSample::new(i as f64 / 10.0, 0.0, 0.0, 0.0));
+        }
+        assert_eq!(w.completed().len(), 2);
+        assert_eq!(w.partial_day().len(), 1);
+        assert_eq!(w.completed()[0].day, 0);
+        assert_eq!(w.completed()[1].day, 1);
+        assert_eq!(w.completed()[1].weekday.name(), "Tue");
+        let taken = w.take_completed();
+        assert_eq!(taken.len(), 2);
+        assert!(w.completed().is_empty());
+    }
+
+    #[test]
+    fn day_period_metrics() {
+        let day = DayPeriod {
+            day: 0,
+            weekday: Weekday::new(0),
+            samples: vec![
+                UsageSample::idle(),
+                UsageSample::new(0.9, 0.1, 0.0, 0.0),
+                UsageSample::idle(),
+                UsageSample::idle(),
+            ],
+        };
+        assert_eq!(day.idle_fraction(0.1), 0.75);
+        assert_eq!(day.load_curve().len(), 4);
+        assert!(day.load_curve()[1] > 0.5);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let s = UsageSample::new(0.25, 0.5, 0.0, 1.0);
+        assert_eq!(s.to_string(), "cpu=25% mem=50% disk=0% net=100%");
+    }
+}

@@ -1,0 +1,338 @@
+//! Synthetic desktop-usage trace generation.
+//!
+//! The paper's LUPA premise is that desktop usage has recoverable structure
+//! — "lunch-breaks, nights, holidays, working periods" (§3). With no public
+//! 2003 campus traces available, this generator synthesises per-node,
+//! multi-week traces with exactly that structure plus stochastic variation:
+//! archetypes define the deterministic skeleton (office hours with a lunch
+//! dip, lab bursts, night-owl sessions, servers, spares) and the generator
+//! adds arrival/departure jitter, random meetings, holidays and sampling
+//! noise. Experiments then test whether the analytics recover the planted
+//! categories and whether pattern-aware scheduling pays off — the paper's
+//! causal claim — on ground truth we control.
+
+use integrade_simnet::rng::DetRng;
+use integrade_usage::sample::{UsageSample, Weekday};
+use serde::{Deserialize, Serialize};
+
+/// Samples per day at the 5-minute interval.
+pub const SLOTS_PER_DAY: usize = 288;
+
+/// A node's behavioural archetype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Weekday 9–18 worker with a lunch break; idle nights and weekends.
+    OfficeWorker,
+    /// Instructional lab machine: bursty student use 10:00–22:00, lighter
+    /// on weekends.
+    LabMachine,
+    /// Busy late evening into the night (20:00–02:00), idle by day.
+    NightOwl,
+    /// Constantly loaded server; never a grid donor in practice.
+    Server,
+    /// Essentially always idle (spare/retired machine).
+    Spare,
+}
+
+impl Archetype {
+    /// All archetypes, for sweeps.
+    pub const ALL: [Archetype; 5] = [
+        Archetype::OfficeWorker,
+        Archetype::LabMachine,
+        Archetype::NightOwl,
+        Archetype::Server,
+        Archetype::Spare,
+    ];
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Archetype::OfficeWorker => "office-worker",
+            Archetype::LabMachine => "lab-machine",
+            Archetype::NightOwl => "night-owl",
+            Archetype::Server => "server",
+            Archetype::Spare => "spare",
+        }
+    }
+}
+
+/// Trace-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Weeks of trace to generate.
+    pub weeks: usize,
+    /// Standard deviation of arrival/departure jitter, minutes.
+    pub schedule_jitter_mins: f64,
+    /// Per-sample load noise (σ).
+    pub noise: f64,
+    /// Probability that a workday is a holiday/vacation day (fully idle).
+    pub holiday_prob: f64,
+    /// Probability per busy hour of a ~30-minute absence (meeting).
+    pub meeting_prob: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            weeks: 4,
+            schedule_jitter_mins: 20.0,
+            noise: 0.03,
+            holiday_prob: 0.03,
+            meeting_prob: 0.08,
+        }
+    }
+}
+
+/// One day's deterministic plan for a user.
+#[derive(Debug, Clone)]
+struct DayPlan {
+    /// (start_min, end_min, level) busy intervals within the day.
+    busy: Vec<(u32, u32, f64)>,
+}
+
+fn plan_day(archetype: Archetype, weekday: Weekday, rng: &mut DetRng, cfg: &TraceConfig) -> DayPlan {
+    let jitter = |rng: &mut DetRng, minute: f64| -> u32 {
+        (minute + rng.normal(0.0, cfg.schedule_jitter_mins)).clamp(0.0, 1439.0) as u32
+    };
+    let mut busy = Vec::new();
+    match archetype {
+        Archetype::OfficeWorker => {
+            if !weekday.is_weekend() && !rng.bernoulli(cfg.holiday_prob) {
+                let arrive = jitter(rng, 9.0 * 60.0);
+                let lunch_out = jitter(rng, 12.0 * 60.0);
+                let lunch_in = jitter(rng, 13.0 * 60.0).max(lunch_out + 15);
+                let leave = jitter(rng, 18.0 * 60.0).max(lunch_in + 30);
+                busy.push((arrive, lunch_out, 0.75));
+                busy.push((lunch_in, leave, 0.75));
+            }
+        }
+        Archetype::LabMachine => {
+            let sessions = if weekday.is_weekend() { 2 } else { 5 };
+            for _ in 0..sessions {
+                if rng.bernoulli(0.7) {
+                    let start = rng.uniform_range(10 * 60, 22 * 60) as u32;
+                    let len = rng.uniform_range(30, 150) as u32;
+                    busy.push((start, (start + len).min(1439), 0.85));
+                }
+            }
+        }
+        Archetype::NightOwl => {
+            if rng.bernoulli(0.85) {
+                let start = jitter(rng, 20.0 * 60.0);
+                busy.push((start, 1439, 0.8)); // runs past midnight; next day's
+                                               // 00:00–02:00 block is below
+            }
+            if rng.bernoulli(0.85) {
+                busy.push((0, jitter(rng, 2.0 * 60.0), 0.8));
+            }
+        }
+        Archetype::Server => {
+            busy.push((0, 1439, 0.7));
+        }
+        Archetype::Spare => {}
+    }
+    // Meetings punch idle holes into office-style busy spans.
+    if archetype == Archetype::OfficeWorker {
+        let mut holes: Vec<(u32, u32)> = Vec::new();
+        for &(start, end, _) in &busy {
+            let mut hour = start;
+            while hour + 60 <= end {
+                if rng.bernoulli(cfg.meeting_prob) {
+                    holes.push((hour, (hour + 30).min(end)));
+                }
+                hour += 60;
+            }
+        }
+        for (hole_start, hole_end) in holes {
+            let mut next = Vec::new();
+            for (start, end, level) in busy.drain(..) {
+                if hole_start > start && hole_end < end {
+                    next.push((start, hole_start, level));
+                    next.push((hole_end, end, level));
+                } else {
+                    next.push((start, end, level));
+                }
+            }
+            busy = next;
+        }
+    }
+    DayPlan { busy }
+}
+
+/// Generates a trace of `weeks * 7 * 288` five-minute samples for one node.
+///
+/// Deterministic for a given `rng` state; each node should use an
+/// independently forked generator.
+pub fn generate_trace(archetype: Archetype, cfg: &TraceConfig, rng: &mut DetRng) -> Vec<UsageSample> {
+    let days = cfg.weeks * 7;
+    let mut trace = Vec::with_capacity(days * SLOTS_PER_DAY);
+    for day in 0..days {
+        let weekday = Weekday::from_day_number(day as u64);
+        let plan = plan_day(archetype, weekday, rng, cfg);
+        for slot in 0..SLOTS_PER_DAY {
+            let minute = (slot * 5) as u32;
+            let level = plan
+                .busy
+                .iter()
+                .find(|(start, end, _)| (*start..=*end).contains(&minute))
+                .map(|(_, _, level)| *level)
+                .unwrap_or(0.0);
+            let cpu = (level + rng.normal(0.0, cfg.noise)).clamp(0.0, 1.0);
+            let mem = if level > 0.0 {
+                (0.5 + rng.normal(0.0, cfg.noise)).clamp(0.0, 1.0)
+            } else {
+                (0.08 + rng.normal(0.0, cfg.noise / 2.0)).clamp(0.0, 1.0)
+            };
+            let disk = (level * 0.15 + rng.normal(0.0, cfg.noise / 2.0)).clamp(0.0, 1.0);
+            let net = (level * 0.1 + rng.normal(0.0, cfg.noise / 2.0)).clamp(0.0, 1.0);
+            trace.push(UsageSample::new(cpu, mem, disk, net));
+        }
+    }
+    trace
+}
+
+/// Fraction of samples idle at `threshold` — used to sanity-check traces.
+pub fn idle_fraction(trace: &[UsageSample], threshold: f64) -> f64 {
+    if trace.is_empty() {
+        return 0.0;
+    }
+    trace.iter().filter(|s| s.cpu < threshold).count() as f64 / trace.len() as f64
+}
+
+/// Generates a campus population: `count` nodes per archetype in
+/// [`Archetype::ALL`] order, each with an independent RNG stream.
+pub fn generate_population(
+    per_archetype: &[(Archetype, usize)],
+    cfg: &TraceConfig,
+    seed: u64,
+) -> Vec<(Archetype, Vec<UsageSample>)> {
+    let mut master = DetRng::with_stream(seed, 0x7472_6163);
+    let mut out = Vec::new();
+    for &(archetype, count) in per_archetype {
+        for _ in 0..count {
+            let mut rng = master.fork(archetype as u64 + 1);
+            out.push((archetype, generate_trace(archetype, cfg, &mut rng)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_for(archetype: Archetype, seed: u64) -> Vec<UsageSample> {
+        let mut rng = DetRng::new(seed);
+        generate_trace(archetype, &TraceConfig::default(), &mut rng)
+    }
+
+    fn mean_cpu(trace: &[UsageSample], filter: impl Fn(usize) -> bool) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (i, s) in trace.iter().enumerate() {
+            if filter(i) {
+                sum += s.cpu;
+                n += 1;
+            }
+        }
+        sum / n.max(1) as f64
+    }
+
+    fn slot_hour(i: usize) -> f64 {
+        ((i % SLOTS_PER_DAY) * 5) as f64 / 60.0
+    }
+
+    fn slot_weekday(i: usize) -> Weekday {
+        Weekday::from_day_number((i / SLOTS_PER_DAY) as u64)
+    }
+
+    #[test]
+    fn trace_length_matches_config() {
+        let trace = trace_for(Archetype::Spare, 1);
+        assert_eq!(trace.len(), 4 * 7 * 288);
+    }
+
+    #[test]
+    fn office_worker_structure() {
+        let trace = trace_for(Archetype::OfficeWorker, 2);
+        let work = mean_cpu(&trace, |i| {
+            !slot_weekday(i).is_weekend() && (10.0..11.5).contains(&slot_hour(i))
+        });
+        let night = mean_cpu(&trace, |i| (2.0..5.0).contains(&slot_hour(i)));
+        let weekend = mean_cpu(&trace, |i| slot_weekday(i).is_weekend());
+        assert!(work > 0.5, "working hours busy: {work}");
+        assert!(night < 0.1, "nights idle: {night}");
+        assert!(weekend < 0.1, "weekends idle: {weekend}");
+        // The lunch dip exists: 12:15–12:45 is less busy than 11:00.
+        let lunch = mean_cpu(&trace, |i| {
+            !slot_weekday(i).is_weekend() && (12.25..12.75).contains(&slot_hour(i))
+        });
+        assert!(lunch < work, "lunch dip: {lunch} < {work}");
+    }
+
+    #[test]
+    fn night_owl_is_inverted() {
+        let trace = trace_for(Archetype::NightOwl, 3);
+        let night = mean_cpu(&trace, |i| {
+            slot_hour(i) >= 21.0 || slot_hour(i) < 1.5
+        });
+        let day = mean_cpu(&trace, |i| (9.0..17.0).contains(&slot_hour(i)));
+        assert!(night > 0.5, "night busy: {night}");
+        assert!(day < 0.1, "day idle: {day}");
+    }
+
+    #[test]
+    fn server_always_busy_spare_always_idle() {
+        let server = trace_for(Archetype::Server, 4);
+        assert!(idle_fraction(&server, 0.15) < 0.02);
+        let spare = trace_for(Archetype::Spare, 5);
+        assert!(idle_fraction(&spare, 0.15) > 0.95);
+    }
+
+    #[test]
+    fn lab_machine_is_intermittent() {
+        let trace = trace_for(Archetype::LabMachine, 6);
+        let idle = idle_fraction(&trace, 0.15);
+        assert!((0.3..0.95).contains(&idle), "bursty, not constant: {idle}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(trace_for(Archetype::OfficeWorker, 7), trace_for(Archetype::OfficeWorker, 7));
+        assert_ne!(trace_for(Archetype::OfficeWorker, 7), trace_for(Archetype::OfficeWorker, 8));
+    }
+
+    #[test]
+    fn population_covers_archetypes() {
+        let pop = generate_population(
+            &[(Archetype::OfficeWorker, 3), (Archetype::Spare, 2)],
+            &TraceConfig {
+                weeks: 1,
+                ..Default::default()
+            },
+            42,
+        );
+        assert_eq!(pop.len(), 5);
+        assert_eq!(pop.iter().filter(|(a, _)| *a == Archetype::OfficeWorker).count(), 3);
+        // Distinct office workers differ (independent streams).
+        assert_ne!(pop[0].1, pop[1].1);
+    }
+
+    #[test]
+    fn samples_are_well_formed() {
+        for archetype in Archetype::ALL {
+            let trace = trace_for(archetype, 9);
+            for s in &trace {
+                assert!((0.0..=1.0).contains(&s.cpu));
+                assert!((0.0..=1.0).contains(&s.mem));
+            }
+        }
+    }
+
+    #[test]
+    fn archetype_labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> =
+            Archetype::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), Archetype::ALL.len());
+    }
+}

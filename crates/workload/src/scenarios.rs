@@ -1,0 +1,220 @@
+//! Canned end-to-end scenarios used by examples, tests and experiments.
+//!
+//! Each scenario assembles the node population (archetypes → traces →
+//! [`NodeSetup`]s) and a job stream for a recognisable situation from the
+//! paper's motivation: a campus department, an overnight render farm, a
+//! financial Monte-Carlo batch.
+
+use crate::apps::{generate_stream, WorkloadConfig};
+use crate::desktop::{generate_trace, Archetype, TraceConfig};
+use integrade_core::asct::JobSpec;
+use integrade_core::grid::NodeSetup;
+use integrade_core::ncc::{SharingPolicy, WeeklySchedule};
+use integrade_core::types::{NodeRoles, Platform, ResourceVector};
+use integrade_simnet::rng::DetRng;
+use integrade_simnet::time::{SimDuration, SimTime};
+
+/// A ready-to-build grid population plus its submission stream.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Clusters of node setups (feed to `GridBuilder::add_cluster`).
+    pub clusters: Vec<Vec<NodeSetup>>,
+    /// Timed submissions (feed to `Grid::submit_at`).
+    pub submissions: Vec<(SimTime, JobSpec)>,
+    /// Suggested run horizon.
+    pub horizon: SimTime,
+}
+
+impl Scenario {
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+}
+
+fn node_from_archetype(archetype: Archetype, trace_cfg: &TraceConfig, rng: &mut DetRng) -> NodeSetup {
+    let trace = generate_trace(archetype, trace_cfg, rng);
+    let (resources, policy, roles) = match archetype {
+        Archetype::OfficeWorker => (
+            ResourceVector::desktop(),
+            SharingPolicy::default(),
+            NodeRoles {
+                user_node: true,
+                resource_provider: true,
+                ..Default::default()
+            },
+        ),
+        Archetype::LabMachine => (
+            ResourceVector::lab_machine(),
+            SharingPolicy::generous(),
+            NodeRoles::provider(),
+        ),
+        Archetype::NightOwl => (
+            ResourceVector::desktop(),
+            SharingPolicy::default(),
+            NodeRoles::provider(),
+        ),
+        Archetype::Server => (
+            ResourceVector::dedicated(),
+            SharingPolicy::default(), // busy: effectively never exports
+            NodeRoles::provider(),
+        ),
+        Archetype::Spare => (
+            ResourceVector::desktop(),
+            SharingPolicy::generous(),
+            NodeRoles::provider(),
+        ),
+    };
+    NodeSetup {
+        resources,
+        platform: Platform::linux_x86(),
+        policy,
+        roles,
+        trace,
+    }
+}
+
+/// Builds a mixed campus department: one cluster of offices, one lab
+/// cluster, and a couple of dedicated nodes, with a default job stream.
+pub fn campus_department(seed: u64) -> Scenario {
+    let trace_cfg = TraceConfig::default();
+    let mut rng = DetRng::with_stream(seed, 0x6361_6D70);
+    let offices: Vec<NodeSetup> = (0..12)
+        .map(|_| node_from_archetype(Archetype::OfficeWorker, &trace_cfg, &mut rng.fork(1)))
+        .collect();
+    let mut lab: Vec<NodeSetup> = (0..10)
+        .map(|_| node_from_archetype(Archetype::LabMachine, &trace_cfg, &mut rng.fork(2)))
+        .collect();
+    lab.push(NodeSetup::dedicated());
+    lab.push(NodeSetup::dedicated());
+    let mut workload_rng = rng.fork(3);
+    let submissions = generate_stream(
+        &WorkloadConfig::default(),
+        SimTime::from_secs(600),
+        SimDuration::from_days(2),
+        &mut workload_rng,
+    );
+    Scenario {
+        name: "campus-department",
+        clusters: vec![offices, lab],
+        submissions,
+        horizon: SimTime::ZERO + SimDuration::from_days(3),
+    }
+}
+
+/// An overnight render farm: office desktops that free up at 18:00, and a
+/// large bag-of-tasks render job submitted at 19:00 on Monday.
+pub fn render_farm_night(seed: u64, frames: usize) -> Scenario {
+    let trace_cfg = TraceConfig::default();
+    let mut rng = DetRng::with_stream(seed, 0x7265_6E64);
+    let desktops: Vec<NodeSetup> = (0..16)
+        .map(|_| node_from_archetype(Archetype::OfficeWorker, &trace_cfg, &mut rng.fork(1)))
+        .collect();
+    // One frame ≈ 20 virtual minutes of a desktop's full speed.
+    let frame_work = 500 * 60 * 20;
+    let render = JobSpec::bag_of_tasks("render-night", frames, frame_work);
+    Scenario {
+        name: "render-farm-night",
+        clusters: vec![desktops],
+        submissions: vec![(SimTime::ZERO + SimDuration::from_hours(19), render)],
+        horizon: SimTime::ZERO + SimDuration::from_days(2),
+    }
+}
+
+/// A financial Monte-Carlo batch on lab machines during exam week (lab is
+/// mostly idle), with night-time export windows on half the machines.
+pub fn monte_carlo_batch(seed: u64, simulations: usize) -> Scenario {
+    let trace_cfg = TraceConfig {
+        weeks: 2,
+        ..Default::default()
+    };
+    let mut rng = DetRng::with_stream(seed, 0x6D63_6172);
+    let lab: Vec<NodeSetup> = (0..12)
+        .map(|i| {
+            let mut node = node_from_archetype(Archetype::Spare, &trace_cfg, &mut rng.fork(1));
+            if i % 2 == 0 {
+                node.policy.schedule = WeeklySchedule::outside_work_hours(8, 20);
+            }
+            node
+        })
+        .collect();
+    let sim_work = 500 * 60 * 5; // 5 minutes of full speed each
+    let batch = JobSpec::bag_of_tasks("monte-carlo", simulations, sim_work);
+    Scenario {
+        name: "monte-carlo-batch",
+        clusters: vec![lab],
+        submissions: vec![(SimTime::ZERO + SimDuration::from_hours(1), batch)],
+        horizon: SimTime::ZERO + SimDuration::from_days(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use integrade_core::grid::{GridBuilder, GridConfig};
+
+    #[test]
+    fn campus_department_shape() {
+        let s = campus_department(1);
+        assert_eq!(s.clusters.len(), 2);
+        assert_eq!(s.node_count(), 24);
+        assert!(!s.submissions.is_empty());
+        // Dedicated nodes present in the lab cluster.
+        assert!(s.clusters[1].iter().any(|n| n.roles.dedicated));
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = campus_department(5);
+        let b = campus_department(5);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.submissions.len(), b.submissions.len());
+        for ((ta, ja), (tb, jb)) in a.submissions.iter().zip(&b.submissions) {
+            assert_eq!(ta, tb);
+            assert_eq!(ja.name, jb.name);
+        }
+    }
+
+    #[test]
+    fn render_farm_completes_overnight() {
+        let s = render_farm_night(7, 12);
+        let config = GridConfig {
+            gupa_warmup_days: 0,
+            ..Default::default()
+        };
+        let mut builder = GridBuilder::new(config);
+        for cluster in s.clusters {
+            builder.add_cluster(cluster);
+        }
+        let mut grid = builder.build();
+        for (at, spec) in s.submissions {
+            grid.submit_at(spec, at);
+        }
+        grid.run_until(s.horizon);
+        let report = grid.report();
+        assert_eq!(report.completed(), 1, "{:?}", report.records);
+        assert_eq!(report.qos.cap_violations, 0);
+    }
+
+    #[test]
+    fn monte_carlo_respects_export_windows() {
+        let s = monte_carlo_batch(9, 24);
+        let config = GridConfig {
+            gupa_warmup_days: 0,
+            ..Default::default()
+        };
+        let mut builder = GridBuilder::new(config);
+        for cluster in s.clusters {
+            builder.add_cluster(cluster);
+        }
+        let mut grid = builder.build();
+        for (at, spec) in s.submissions {
+            grid.submit_at(spec, at);
+        }
+        grid.run_until(s.horizon);
+        let report = grid.report();
+        assert_eq!(report.completed(), 1, "{:?}", report.records);
+    }
+}

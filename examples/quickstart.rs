@@ -1,0 +1,74 @@
+//! Quickstart: assemble the Figure-1 architecture and run one job.
+//!
+//! Builds a single InteGrade cluster (the paper's intra-cluster
+//! architecture: GRM + Trader on the cluster-manager node, an LRM with NCC
+//! policy and LUPA collection on every provider node), submits a sequential
+//! application through the ASCT API, and prints the component inventory and
+//! job lifecycle.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use integrade::core::asct::JobSpec;
+use integrade::core::grid::{GridBuilder, GridConfig, NodeSetup};
+use integrade::simnet::time::SimTime;
+
+fn main() {
+    // Figure 1: a cluster of shared desktops plus one dedicated node.
+    let mut nodes: Vec<NodeSetup> = (0..6).map(|_| NodeSetup::idle_desktop()).collect();
+    nodes.push(NodeSetup::dedicated());
+
+    let config = GridConfig::default();
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster(nodes);
+    let mut grid = builder.build();
+
+    println!("== InteGrade cluster (Figure 1 inventory) ==");
+    println!("cluster-manager node : GRM + Trader + GUPA (1)");
+    println!("resource providers   : {}", grid.node_count());
+    for i in 0..grid.node_count() {
+        let lrm = grid.lrm(integrade::core::types::NodeId(i as u32)).unwrap();
+        println!(
+            "  node{i}: {} MIPS, {} MB RAM, roles [{}], NCC cap {:.0}% CPU / {:.0}% RAM",
+            lrm.resources.cpu_mips,
+            lrm.resources.ram_mb,
+            lrm.roles,
+            lrm.policy.max_cpu_fraction * 100.0,
+            lrm.policy.max_ram_fraction * 100.0,
+        );
+    }
+
+    // Submit through the ASCT and run for one virtual hour.
+    println!("\n== Submitting 'hello-grid' (sequential, 150k MIPS-s) ==");
+    let job = grid.submit(JobSpec::sequential("hello-grid", 150_000));
+    grid.run_until(SimTime::from_secs(3600));
+
+    let record = grid.job_record(job).expect("job exists");
+    println!("state      : {}", record.state);
+    println!(
+        "wait       : {}",
+        record
+            .wait_time()
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into())
+    );
+    println!(
+        "makespan   : {}",
+        record
+            .makespan()
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into())
+    );
+
+    let report = grid.report();
+    println!("\n== Protocol activity ==");
+    println!("network messages     : {}", report.net.messages);
+    println!("bytes on the wire    : {}", report.net.bytes);
+    println!("status updates (GRM) : {}", report.updates.accepted);
+    println!("trader queries       : {}", report.trader_queries);
+    println!("owner cap violations : {}", report.qos.cap_violations);
+
+    println!("\n== Lifecycle trace ==");
+    for record in grid.log().records().iter().take(12) {
+        println!("  {record}");
+    }
+}

@@ -1,0 +1,56 @@
+//! # InteGrade
+//!
+//! A production-quality Rust reproduction of **"InteGrade: Object-Oriented
+//! Grid Middleware Leveraging Idle Computing Power of Desktop Machines"**
+//! (Goldchleger, Kon, Goldman & Finger, Middleware 2003).
+//!
+//! InteGrade harvests the idle cycles of shared desktop machines into a
+//! computational grid while guaranteeing that machine owners "do not
+//! perceive any drop in the quality of service". This workspace implements
+//! the complete architecture the paper describes — including the CORBA-like
+//! middleware substrate the original prototype was built on — plus the
+//! baselines it compares against and a claim-driven experiment suite (see
+//! `DESIGN.md` and `EXPERIMENTS.md`).
+//!
+//! This facade crate re-exports the member crates:
+//!
+//! * [`simnet`] — deterministic discrete-event network simulation.
+//! * [`orb`] — CDR marshalling, GIOP framing, object adapters, Naming and
+//!   Trading services (the CORBA substitute).
+//! * [`usage`] — LUPA/GUPA analytics: usage sampling, clustering,
+//!   idle-period prediction.
+//! * [`bsp`] — the BSP runtime with superstep checkpointing.
+//! * [`workload`] — synthetic desktop traces and job streams.
+//! * [`core`] — the middleware itself: LRM, GRM, LUPA/GUPA, NCC, ASCT,
+//!   the two intra-cluster protocols, scheduling, the cluster hierarchy and
+//!   the runnable [`core::grid::Grid`].
+//! * [`baselines`] — Condor-style, BOINC-style and naive comparators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use integrade::core::asct::JobSpec;
+//! use integrade::core::grid::{GridBuilder, GridConfig, NodeSetup};
+//! use integrade::simnet::time::SimTime;
+//!
+//! // A four-desktop cluster with protective default sharing policies.
+//! let mut builder = GridBuilder::new(GridConfig::default());
+//! builder.add_cluster((0..4).map(|_| NodeSetup::idle_desktop()).collect());
+//! let mut grid = builder.build();
+//!
+//! // Submit a small sequential application through the ASCT API and run.
+//! let job = grid.submit(JobSpec::sequential("hello-grid", 1500));
+//! grid.run_until(SimTime::from_secs(3600));
+//! assert_eq!(grid.job_record(job).unwrap().state.to_string(), "completed");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use integrade_baselines as baselines;
+pub use integrade_bsp as bsp;
+pub use integrade_core as core;
+pub use integrade_orb as orb;
+pub use integrade_simnet as simnet;
+pub use integrade_usage as usage;
+pub use integrade_workload as workload;

@@ -1,0 +1,162 @@
+//! E11-shaped parity test: the same desktop population and workload run on
+//! InteGrade and on the baseline systems, and the qualitative comparisons
+//! the paper makes in §2 must hold.
+
+use integrade::baselines::{
+    BaselineNode, BaselineSystem, BoincConfig, BoincSim, CondorConfig, CondorSim, NaiveSim,
+};
+use integrade::core::asct::JobSpec;
+use integrade::core::grid::{GridBuilder, GridConfig, NodeSetup};
+use integrade::simnet::rng::DetRng;
+use integrade::simnet::time::{SimDuration, SimTime};
+use integrade::usage::sample::UsageSample;
+use integrade::workload::desktop::{generate_trace, Archetype, TraceConfig};
+
+fn population(seed: u64, n: usize) -> Vec<Vec<UsageSample>> {
+    let mut rng = DetRng::new(seed);
+    let cfg = TraceConfig::default();
+    (0..n)
+        .map(|i| {
+            let archetype = match i % 3 {
+                0 => Archetype::OfficeWorker,
+                1 => Archetype::LabMachine,
+                _ => Archetype::Spare,
+            };
+            generate_trace(archetype, &cfg, &mut rng.fork(i as u64))
+        })
+        .collect()
+}
+
+fn workload() -> Vec<(SimTime, JobSpec)> {
+    let mut jobs = Vec::new();
+    for i in 0..4 {
+        jobs.push((
+            SimTime::ZERO + SimDuration::from_hours(1 + i),
+            JobSpec::sequential(&format!("seq{i}"), 200_000),
+        ));
+    }
+    jobs.push((
+        SimTime::ZERO + SimDuration::from_hours(2),
+        JobSpec::bag_of_tasks("bag", 6, 100_000),
+    ));
+    jobs.push((
+        SimTime::ZERO + SimDuration::from_hours(3),
+        JobSpec::bsp("parallel", 3, 40, 2_000, 8_192),
+    ));
+    jobs
+}
+
+#[test]
+fn integrade_runs_the_full_mix_including_parallel() {
+    let traces = population(11, 9);
+    let config = GridConfig {
+        gupa_warmup_days: 0,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster(
+        traces
+            .iter()
+            .map(|t| NodeSetup {
+                trace: t.clone(),
+                ..NodeSetup::idle_desktop()
+            })
+            .collect(),
+    );
+    let mut grid = builder.build();
+    for (at, spec) in workload() {
+        grid.submit_at(spec, at);
+    }
+    grid.run_until(SimTime::ZERO + SimDuration::from_hours(48));
+    let report = grid.report();
+    assert_eq!(report.completed(), 6, "{:?}", report.records);
+    assert_eq!(report.qos.cap_violations, 0);
+}
+
+#[test]
+fn boinc_cannot_run_the_parallel_job() {
+    let traces = population(11, 9);
+    let nodes: Vec<BaselineNode> = traces.into_iter().map(BaselineNode::desktop).collect();
+    let report = BoincSim::new(BoincConfig::default()).run(
+        &nodes,
+        &workload(),
+        SimTime::ZERO + SimDuration::from_hours(48),
+    );
+    // §2: BOINC "lacks general support for parallel applications".
+    assert_eq!(report.unsupported(), 1);
+    // But the high-throughput subset completes.
+    assert!(report.completed() >= 4, "completed={}", report.completed());
+}
+
+#[test]
+fn condor_needs_reserved_nodes_for_the_parallel_job() {
+    let traces = population(11, 9);
+    let nodes: Vec<BaselineNode> = traces.clone().into_iter().map(BaselineNode::desktop).collect();
+    let report = CondorSim::new(CondorConfig::default()).run(
+        &nodes,
+        &workload(),
+        SimTime::ZERO + SimDuration::from_hours(48),
+    );
+    // §2: without partially-reserved nodes, parallel support is unavailable.
+    assert_eq!(report.unsupported(), 1);
+
+    // Reserving three nodes fixes it — at the cost the paper criticises
+    // (those machines are withdrawn from their owners).
+    let mut nodes: Vec<BaselineNode> = traces.into_iter().map(BaselineNode::desktop).collect();
+    for node in nodes.iter_mut().take(3) {
+        node.reserved_for_parallel = true;
+        node.trace.clear(); // reserved nodes are dedicated
+    }
+    let report = CondorSim::new(CondorConfig::default()).run(
+        &nodes,
+        &workload(),
+        SimTime::ZERO + SimDuration::from_hours(48),
+    );
+    assert_eq!(report.unsupported(), 0);
+    assert_eq!(report.completed(), 6, "{:?}", report.jobs);
+}
+
+#[test]
+fn checkpointing_reduces_condor_waste() {
+    // A long job on office machines that will definitely be interrupted.
+    let traces = population(23, 4);
+    let nodes: Vec<BaselineNode> = traces.into_iter().map(BaselineNode::desktop).collect();
+    let long_job = vec![(
+        SimTime::ZERO + SimDuration::from_hours(7),
+        JobSpec::sequential("long", 500 * 3600 * 4), // 4 h at full speed
+    )];
+    let horizon = SimTime::ZERO + SimDuration::from_hours(72);
+    let plain = CondorSim::new(CondorConfig::default()).run(&nodes, &long_job, horizon);
+    let ckpt = CondorSim::new(CondorConfig {
+        checkpointing: true,
+        ..Default::default()
+    })
+    .run(&nodes, &long_job, horizon);
+    assert!(ckpt.total_wasted_work() <= plain.total_wasted_work());
+    if plain.total_evictions() > 0 {
+        assert_eq!(ckpt.total_wasted_work(), 0, "relink checkpointing saves all work");
+    }
+}
+
+#[test]
+fn naive_control_wastes_at_least_as_much_as_condor() {
+    let traces = population(31, 8);
+    let nodes: Vec<BaselineNode> = traces.into_iter().map(BaselineNode::desktop).collect();
+    let jobs: Vec<(SimTime, JobSpec)> = (0..6)
+        .map(|i| {
+            (
+                SimTime::ZERO + SimDuration::from_hours(6 + i),
+                JobSpec::sequential(&format!("j{i}"), 500 * 3600),
+            )
+        })
+        .collect();
+    let horizon = SimTime::ZERO + SimDuration::from_hours(72);
+    let condor = CondorSim::new(CondorConfig {
+        checkpointing: true,
+        ..Default::default()
+    })
+    .run(&nodes, &jobs, horizon);
+    let naive = NaiveSim::new(1).run(&nodes, &jobs, horizon);
+    assert!(condor.completed() >= naive.completed());
+    assert!(condor.total_wasted_work() <= naive.total_wasted_work());
+}

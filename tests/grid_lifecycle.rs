@@ -1,0 +1,296 @@
+//! End-to-end grid lifecycle tests spanning simnet + orb + usage + core.
+
+use integrade::core::asct::{JobSpec, JobState};
+use integrade::core::grid::{GridBuilder, GridConfig, NodeSetup};
+use integrade::core::scheduler::Strategy;
+use integrade::simnet::time::{SimDuration, SimTime};
+use integrade::usage::sample::{UsageSample, Weekday};
+use integrade::workload::desktop::{generate_trace, Archetype, TraceConfig};
+use integrade::simnet::rng::DetRng;
+
+fn office_trace() -> Vec<UsageSample> {
+    let mut trace = Vec::with_capacity(288 * 7);
+    for day in 0..7u64 {
+        let weekday = Weekday::from_day_number(day);
+        for slot in 0..288 {
+            let hour = slot as f64 / 12.0;
+            let busy = !weekday.is_weekend() && (9.0..18.0).contains(&hour);
+            trace.push(if busy {
+                UsageSample::new(0.8, 0.5, 0.05, 0.05)
+            } else {
+                UsageSample::new(0.02, 0.05, 0.0, 0.0)
+            });
+        }
+    }
+    trace
+}
+
+fn grid_with(strategy: Strategy, office_nodes: usize, idle_nodes: usize) -> integrade::core::grid::Grid {
+    let config = GridConfig {
+        strategy,
+        gupa_warmup_days: 14,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    let mut nodes = Vec::new();
+    for _ in 0..office_nodes {
+        nodes.push(NodeSetup {
+            trace: office_trace(),
+            ..NodeSetup::idle_desktop()
+        });
+    }
+    for _ in 0..idle_nodes {
+        nodes.push(NodeSetup::idle_desktop());
+    }
+    builder.add_cluster(nodes);
+    builder.build()
+}
+
+#[test]
+fn mixed_workload_completes_across_a_virtual_day() {
+    let mut grid = grid_with(Strategy::AvailabilityOnly, 2, 4);
+    let jobs = vec![
+        grid.submit(JobSpec::sequential("seq", 100_000)),
+        grid.submit(JobSpec::bag_of_tasks("bag", 6, 60_000)),
+        grid.submit(JobSpec::bsp("bsp", 3, 30, 2_000, 8_192)),
+    ];
+    grid.run_until(SimTime::ZERO + SimDuration::from_hours(24));
+    for job in jobs {
+        let record = grid.job_record(job).unwrap();
+        assert_eq!(record.state, JobState::Completed, "{record:?}");
+    }
+    let report = grid.report();
+    assert_eq!(report.completed(), 3);
+    assert_eq!(report.qos.cap_violations, 0, "NCC invariant");
+}
+
+#[test]
+fn pattern_aware_avoids_nodes_about_to_be_reclaimed() {
+    // Friday 08:30 submission: office nodes are idle *now* but reclaimed at
+    // 09:00. Pattern-aware scheduling should prefer the always-idle spares
+    // and suffer fewer evictions than availability-only over many jobs.
+    let run = |strategy: Strategy| {
+        let mut grid = grid_with(strategy, 6, 6);
+        // Advance to Friday 08:30 (day 4).
+        let submit_at = SimTime::ZERO + SimDuration::from_days(4) + SimDuration::from_mins(8 * 60 + 30);
+        for i in 0..6 {
+            grid.submit_at(
+                JobSpec::sequential(&format!("job{i}"), 400_000), // ~45 min at 150 MIPS
+                submit_at,
+            );
+        }
+        grid.run_until(submit_at + SimDuration::from_hours(16));
+        grid.report()
+    };
+    let aware = run(Strategy::PatternAware);
+    let blind = run(Strategy::AvailabilityOnly);
+    assert!(
+        aware.total_evictions() <= blind.total_evictions(),
+        "pattern-aware {} vs availability-only {}",
+        aware.total_evictions(),
+        blind.total_evictions()
+    );
+    assert_eq!(aware.completed(), 6);
+}
+
+#[test]
+fn eviction_recovery_preserves_correct_completion() {
+    let mut grid = grid_with(Strategy::AvailabilityOnly, 3, 1);
+    // Submit at Monday 08:00; office nodes evict at 09:00.
+    let submit_at = SimTime::ZERO + SimDuration::from_hours(8);
+    grid.submit_at(JobSpec::bag_of_tasks("morning-bag", 8, 200_000), submit_at);
+    grid.run_until(SimTime::ZERO + SimDuration::from_hours(36));
+    let report = grid.report();
+    assert_eq!(report.completed(), 1, "{:?}", report.records);
+    assert_eq!(report.qos.cap_violations, 0);
+    assert_eq!(report.qos.mean_slowdown(), 1.0, "owners never slowed");
+}
+
+#[test]
+fn realistic_archetype_traces_drive_the_grid() {
+    let mut rng = DetRng::new(7);
+    let trace_cfg = TraceConfig::default();
+    let config = GridConfig {
+        gupa_warmup_days: 7,
+        strategy: Strategy::PatternAware,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    let nodes: Vec<NodeSetup> = [
+        Archetype::OfficeWorker,
+        Archetype::OfficeWorker,
+        Archetype::LabMachine,
+        Archetype::NightOwl,
+        Archetype::Spare,
+        Archetype::Spare,
+    ]
+    .iter()
+    .map(|&a| NodeSetup {
+        trace: generate_trace(a, &trace_cfg, &mut rng.fork(a as u64)),
+        ..NodeSetup::idle_desktop()
+    })
+    .collect();
+    builder.add_cluster(nodes);
+    let mut grid = builder.build();
+    for i in 0..4 {
+        grid.submit_at(
+            JobSpec::sequential(&format!("work{i}"), 150_000),
+            SimTime::ZERO + SimDuration::from_hours(2 * i + 1),
+        );
+    }
+    grid.run_until(SimTime::ZERO + SimDuration::from_hours(24));
+    let report = grid.report();
+    assert_eq!(report.completed(), 4, "{:?}", report.records);
+    assert!(report.gupa_models >= 4, "models trained from warmup");
+}
+
+#[test]
+fn delta_suppression_reduces_update_traffic() {
+    let run = |suppress: bool| {
+        let mut config = GridConfig {
+            gupa_warmup_days: 0,
+            ..Default::default()
+        };
+        config.lrm.delta_suppression = suppress;
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster((0..8).map(|_| NodeSetup::idle_desktop()).collect());
+        let mut grid = builder.build();
+        grid.run_until(SimTime::ZERO + SimDuration::from_hours(2));
+        grid.report().updates.accepted
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with * 10 < without,
+        "idle nodes barely change: {with} vs {without}"
+    );
+}
+
+#[test]
+fn update_protocol_keeps_grm_fresh() {
+    let mut grid = grid_with(Strategy::AvailabilityOnly, 0, 4);
+    grid.run_until(SimTime::ZERO + SimDuration::from_mins(10));
+    let report = grid.report();
+    // 4 nodes, 30 s period, 10 min → ~80 updates.
+    assert!(report.updates.accepted >= 60, "accepted={}", report.updates.accepted);
+    assert_eq!(report.updates.stale_discarded, 0, "in-order delivery here");
+}
+
+#[test]
+fn virtual_topology_request_end_to_end() {
+    // A two-cluster grid; a BSP job requesting one 3-node group with a
+    // 100 Mbps intra floor must land entirely inside one cluster — the §3
+    // request exercised through the whole submission pipeline.
+    use integrade::core::asct::{GroupRequest, TopologyRequest};
+    let config = GridConfig {
+        gupa_warmup_days: 0,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..4).map(|_| NodeSetup::idle_desktop()).collect());
+    builder.add_cluster((0..4).map(|_| NodeSetup::idle_desktop()).collect());
+    let mut grid = builder.build();
+
+    let mut spec = JobSpec::bsp("grouped", 3, 30, 2_000, 8_192);
+    spec.topology = Some(TopologyRequest {
+        groups: vec![GroupRequest {
+            nodes: 3,
+            min_intra_bps: 100_000_000,
+        }],
+        min_inter_bps: 0,
+    });
+    let job = grid.submit(spec);
+    grid.run_until(SimTime::ZERO + SimDuration::from_hours(12));
+    let record = grid.job_record(job).unwrap();
+    assert_eq!(record.state, JobState::Completed, "{record:?}");
+    // All three parts started on nodes of one cluster: node ids 0-3 are
+    // cluster 0, 4-7 cluster 1; the log records the placements.
+    let nodes: Vec<u32> = grid
+        .log()
+        .with_category("job.part_started")
+        .map(|r| {
+            r.detail
+                .rsplit("node")
+                .next()
+                .unwrap()
+                .parse::<u32>()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(nodes.len(), 3);
+    let all_first = nodes.iter().all(|&n| n < 4);
+    let all_second = nodes.iter().all(|&n| n >= 4);
+    assert!(all_first || all_second, "gang must not straddle clusters: {nodes:?}");
+}
+
+#[test]
+fn infeasible_topology_request_fails_not_hangs() {
+    use integrade::core::asct::{GroupRequest, TopologyRequest};
+    let config = GridConfig {
+        gupa_warmup_days: 0,
+        max_attempts: 3,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..3).map(|_| NodeSetup::idle_desktop()).collect());
+    let mut grid = builder.build();
+    let mut spec = JobSpec::bsp("impossible", 3, 5, 100, 100);
+    spec.topology = Some(TopologyRequest {
+        groups: vec![GroupRequest {
+            nodes: 3,
+            min_intra_bps: 10_000_000_000, // no 10 Gbps LAN exists
+        }],
+        min_inter_bps: 0,
+    });
+    let job = grid.submit(spec);
+    grid.run_until(SimTime::ZERO + SimDuration::from_hours(2));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Failed);
+    assert!(grid.log().count("grm.topology_unsat") > 0);
+}
+
+#[test]
+fn platform_prerequisites_filter_nodes_end_to_end() {
+    use integrade::core::types::Platform;
+    let config = GridConfig {
+        gupa_warmup_days: 0,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    // Nodes 0-1 linux-x86, node 2 solaris-sparc (faster, would win the
+    // preference if eligible).
+    let mut solaris = NodeSetup::idle_desktop();
+    solaris.platform = Platform::solaris_sparc();
+    solaris.resources.cpu_mips = 2000;
+    builder.add_cluster(vec![
+        NodeSetup::idle_desktop(),
+        NodeSetup::idle_desktop(),
+        solaris,
+    ]);
+    let mut grid = builder.build();
+
+    let mut spec = JobSpec::sequential("linux-only", 30_000);
+    spec.requirements.platform = Some(Platform::linux_x86());
+    let job = grid.submit(spec);
+    grid.run_until(SimTime::from_secs(3600));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    let placements: Vec<String> = grid
+        .log()
+        .with_category("job.part_started")
+        .map(|r| r.detail.clone())
+        .collect();
+    assert!(
+        placements.iter().all(|d| !d.ends_with("node2")),
+        "the faster solaris node must be filtered by the prerequisite: {placements:?}"
+    );
+
+    // And a solaris-only job lands exactly there.
+    let mut spec = JobSpec::sequential("solaris-only", 30_000);
+    spec.requirements.platform = Some(Platform::solaris_sparc());
+    let job = grid.submit(spec);
+    grid.run_until(SimTime::from_secs(7200));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    assert!(grid
+        .log()
+        .with_category("job.part_started")
+        .any(|r| r.detail.contains("solaris-only") || r.detail.ends_with("node2")));
+}

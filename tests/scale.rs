@@ -1,0 +1,77 @@
+//! Scale smoke test: a loaded 60-node campus day runs deterministically and
+//! the protocol/QoS invariants hold at size.
+
+use integrade::core::grid::{GridBuilder, GridConfig, NodeSetup};
+use integrade::core::scheduler::Strategy;
+use integrade::simnet::rng::DetRng;
+use integrade::simnet::time::{SimDuration, SimTime};
+use integrade::workload::apps::{generate_stream, WorkloadConfig};
+use integrade::workload::desktop::{generate_trace, Archetype, TraceConfig};
+
+#[test]
+fn sixty_node_campus_day() {
+    let trace_cfg = TraceConfig {
+        weeks: 1,
+        ..Default::default()
+    };
+    let mut rng = DetRng::new(6001);
+    let config = GridConfig {
+        strategy: Strategy::PatternAware,
+        gupa_warmup_days: 7,
+        seed: 6001,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    for cluster in 0..3 {
+        let nodes: Vec<NodeSetup> = (0..20u64)
+            .map(|i| {
+                let archetype = match (cluster * 20 + i) % 4 {
+                    0 => Archetype::OfficeWorker,
+                    1 => Archetype::LabMachine,
+                    2 => Archetype::Spare,
+                    _ => Archetype::NightOwl,
+                };
+                NodeSetup {
+                    trace: generate_trace(archetype, &trace_cfg, &mut rng.fork(cluster * 100 + i)),
+                    ..NodeSetup::idle_desktop()
+                }
+            })
+            .collect();
+        builder.add_cluster(nodes);
+    }
+    let mut grid = builder.build();
+
+    let workload = WorkloadConfig {
+        mean_interarrival: SimDuration::from_mins(15),
+        ..Default::default()
+    };
+    let mut wl_rng = DetRng::new(42);
+    let submissions = generate_stream(
+        &workload,
+        SimTime::from_secs(600),
+        SimDuration::from_hours(20),
+        &mut wl_rng,
+    );
+    let total = submissions.len();
+    assert!(total >= 50, "expected a loaded day, got {total} jobs");
+    for (at, spec) in submissions {
+        grid.submit_at(spec, at);
+    }
+    grid.run_until(SimTime::ZERO + SimDuration::from_hours(40));
+
+    let report = grid.report();
+    // The campus absorbs the bulk of the load within the horizon.
+    assert!(
+        report.completed() * 10 >= total * 9,
+        "completed {}/{total}",
+        report.completed()
+    );
+    assert_eq!(report.failed(), 0, "{:?}", report.records.iter()
+        .filter(|r| r.state == integrade::core::asct::JobState::Failed)
+        .collect::<Vec<_>>());
+    // Invariants at scale.
+    assert_eq!(report.qos.cap_violations, 0);
+    assert_eq!(report.qos.mean_slowdown(), 1.0);
+    assert!(report.updates.accepted > 50_000, "updates={}", report.updates.accepted);
+    assert!(report.gupa_models >= 40, "models={}", report.gupa_models);
+}
