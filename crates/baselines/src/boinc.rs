@@ -288,7 +288,10 @@ mod tests {
         );
         assert_eq!(report.completed(), 1);
         // Redundancy 2 → roughly one duplicate per unit counted as waste.
-        assert!(report.total_wasted_work() >= 4 * work_each, "duplication is overhead");
+        assert!(
+            report.total_wasted_work() >= 4 * work_each,
+            "duplication is overhead"
+        );
     }
 
     #[test]
@@ -374,7 +377,11 @@ mod tests {
             24,
         );
         assert_eq!(report.completed(), 1);
-        assert_eq!(report.total_wasted_work(), 0, "local checkpoint preserves work");
+        assert_eq!(
+            report.total_wasted_work(),
+            0,
+            "local checkpoint preserves work"
+        );
         let makespan = report.jobs[0].makespan().unwrap();
         assert!(makespan >= SimDuration::from_mins(149), "{makespan}");
     }

@@ -84,9 +84,18 @@ impl CondorSim {
 
 fn machine_ad(node: &BaselineNode) -> BTreeMap<String, AnyValue> {
     [
-        ("cpu_mips".to_owned(), AnyValue::Long(node.resources.cpu_mips as i64)),
-        ("ram_mb".to_owned(), AnyValue::Long(node.resources.ram_mb as i64)),
-        ("reserved".to_owned(), AnyValue::Bool(node.reserved_for_parallel)),
+        (
+            "cpu_mips".to_owned(),
+            AnyValue::Long(node.resources.cpu_mips as i64),
+        ),
+        (
+            "ram_mb".to_owned(),
+            AnyValue::Long(node.resources.ram_mb as i64),
+        ),
+        (
+            "reserved".to_owned(),
+            AnyValue::Bool(node.reserved_for_parallel),
+        ),
     ]
     .into_iter()
     .collect()
@@ -396,7 +405,12 @@ mod tests {
         let nodes = vec![weak];
         let mut spec = JobSpec::sequential("picky", 1000);
         spec.requirements.min_cpu_mips = 500;
-        let report = run(CondorConfig::default(), &nodes, vec![(SimTime::ZERO, spec)], 4);
+        let report = run(
+            CondorConfig::default(),
+            &nodes,
+            vec![(SimTime::ZERO, spec)],
+            4,
+        );
         assert_eq!(report.completed(), 0, "no machine matches");
     }
 
@@ -405,7 +419,12 @@ mod tests {
         // No reserved nodes: unsupported.
         let nodes = idle_nodes(4);
         let spec = JobSpec::bsp("par", 3, 10, 1000, 100);
-        let report = run(CondorConfig::default(), &nodes, vec![(SimTime::ZERO, spec.clone())], 8);
+        let report = run(
+            CondorConfig::default(),
+            &nodes,
+            vec![(SimTime::ZERO, spec.clone())],
+            8,
+        );
         assert_eq!(report.unsupported(), 1);
 
         // With 3 reserved nodes it runs.
@@ -413,7 +432,12 @@ mod tests {
         for node in nodes.iter_mut().take(3) {
             node.reserved_for_parallel = true;
         }
-        let report = run(CondorConfig::default(), &nodes, vec![(SimTime::ZERO, spec)], 8);
+        let report = run(
+            CondorConfig::default(),
+            &nodes,
+            vec![(SimTime::ZERO, spec)],
+            8,
+        );
         assert_eq!(report.completed(), 1);
     }
 

@@ -39,5 +39,7 @@ pub mod naive;
 
 pub use boinc::{BoincConfig, BoincSim};
 pub use condor::{CondorConfig, CondorSim};
-pub use harness::{BaselineJobRecord, BaselineJobState, BaselineNode, BaselineReport, BaselineSystem};
+pub use harness::{
+    BaselineJobRecord, BaselineJobState, BaselineNode, BaselineReport, BaselineSystem,
+};
 pub use naive::NaiveSim;

@@ -148,8 +148,7 @@ impl BaselineSystem for NaiveSim {
                 // Any member lost → whole gang restarts from zero.
                 if gang.running_on.iter().any(|&i| !nodes[i].available_at(now)) {
                     records[gang.job].evictions += 1;
-                    records[gang.job].wasted_work_mips_s +=
-                        (gang.done * gang.procs as f64) as u64;
+                    records[gang.job].wasted_work_mips_s += (gang.done * gang.procs as f64) as u64;
                     gang.done = 0.0;
                     for &i in &gang.running_on {
                         busy[i] = false;

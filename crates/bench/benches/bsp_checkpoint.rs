@@ -9,7 +9,13 @@ use std::hint::black_box;
 
 fn job(cells: usize, procs: usize) -> BspRuntime<Stencil1d> {
     let initial: Vec<f64> = (0..cells).map(|i| (i % 10) as f64).collect();
-    BspRuntime::new(Stencil1d::partition(&initial, procs, u64::MAX / 2, 0.0, 1.0))
+    BspRuntime::new(Stencil1d::partition(
+        &initial,
+        procs,
+        u64::MAX / 2,
+        0.0,
+        1.0,
+    ))
 }
 
 fn bench_superstep(c: &mut Criterion) {

@@ -47,7 +47,9 @@ fn bench_giop(c: &mut Criterion) {
         operation: "update_status".into(),
         body: update.to_cdr_bytes(),
     };
-    c.bench_function("giop_frame_encode", |b| b.iter(|| black_box(&msg).to_wire()));
+    c.bench_function("giop_frame_encode", |b| {
+        b.iter(|| black_box(&msg).to_wire())
+    });
     let wire = msg.to_wire();
     c.bench_function("giop_frame_decode", |b| {
         b.iter(|| Message::from_wire(black_box(&wire)).unwrap())
@@ -82,8 +84,7 @@ fn bench_dispatch(c: &mut Criterion) {
                 let ior = server.activate(ObjectKey::new("sink"), Box::new(Sink { received: 0 }));
                 let mut client = Orb::new(Endpoint::new(2, 0));
                 let update = sample_update();
-                let (_, wire) =
-                    client.make_request(&ior, "update_status", |w| update.encode(w));
+                let (_, wire) = client.make_request(&ior, "update_status", |w| update.encode(w));
                 (server, client, wire)
             },
             |(mut server, mut client, wire)| {

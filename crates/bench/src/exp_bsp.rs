@@ -71,7 +71,11 @@ pub fn e7() -> Table {
         };
         let resteps = executed.saturating_sub(rt.superstep() as u64);
         table.push_row(vec![
-            if every == 0 { "none".into() } else { every.to_string() },
+            if every == 0 {
+                "none".into()
+            } else {
+                every.to_string()
+            },
             checkpoints.to_string(),
             ckpt_bytes.to_string(),
             reclaims.to_string(),
@@ -151,7 +155,11 @@ pub fn e7c() -> Table {
         grid.run_until(SimTime::ZERO + SimDuration::from_hours(30));
         let report = grid.report();
         table.push_row(vec![
-            if interval == 0.0 { "none".into() } else { format!("{interval:.0}") },
+            if interval == 0.0 {
+                "none".into()
+            } else {
+                format!("{interval:.0}")
+            },
             report.completed().to_string(),
             report.total_evictions().to_string(),
             f2(report.mean_makespan_s() / 3600.0),
@@ -187,7 +195,10 @@ mod tests {
         let resteps_none = table.cell_f64(0, "resteps").unwrap();
         let resteps_every5 = table.cell_f64(3, "resteps").unwrap();
         let resteps_every1 = table.cell_f64(1, "resteps").unwrap();
-        assert!(resteps_every5 < resteps_none, "{resteps_every5} < {resteps_none}");
+        assert!(
+            resteps_every5 < resteps_none,
+            "{resteps_every5} < {resteps_none}"
+        );
         assert!(resteps_every1 <= resteps_every5);
         // But checkpoint volume moves the other way.
         let bytes_every1 = table.cell_f64(1, "ckpt_bytes_total").unwrap();
@@ -205,7 +216,10 @@ mod tests {
         let table = e7_size();
         let small = table.cell_f64(0, "ckpt_bytes").unwrap();
         let large = table.cell_f64(3, "ckpt_bytes").unwrap();
-        assert!(large > 20.0 * small, "2048 cells >> 32 cells: {large} vs {small}");
+        assert!(
+            large > 20.0 * small,
+            "2048 cells >> 32 cells: {large} vs {small}"
+        );
         // Per-cell cost roughly constant (8-byte f64 + framing).
         let per_cell = table.cell_f64(3, "bytes_per_cell").unwrap();
         assert!((8.0..40.0).contains(&per_cell), "{per_cell}");

@@ -36,7 +36,10 @@ pub fn f1() -> Table {
     row(
         "LRM (per node)",
         format!("{}", grid.node_count()),
-        format!("{} status updates accepted by the GRM", report.updates.accepted),
+        format!(
+            "{} status updates accepted by the GRM",
+            report.updates.accepted
+        ),
     );
     row(
         "GRM + Trader",
@@ -61,12 +64,19 @@ pub fn f1() -> Table {
     row(
         "ASCT",
         "1".into(),
-        format!("probe job {} in {}", record.state, record.makespan().map(|d| d.to_string()).unwrap_or_default()),
+        format!(
+            "probe job {} in {}",
+            record.state,
+            record.makespan().map(|d| d.to_string()).unwrap_or_default()
+        ),
     );
     row(
         "Protocols over GIOP",
         "2".into(),
-        format!("{} wire messages, {} bytes", report.net.messages, report.net.bytes),
+        format!(
+            "{} wire messages, {} bytes",
+            report.net.messages, report.net.bytes
+        ),
     );
     table
 }
@@ -272,7 +282,10 @@ mod tests {
         let table = f1();
         assert_eq!(table.rows.len(), 7);
         // NCC invariant encoded in the table itself.
-        assert!(table.cell(4, "evidence").unwrap().starts_with("0 cap violations"));
+        assert!(table
+            .cell(4, "evidence")
+            .unwrap()
+            .starts_with("0 cap violations"));
     }
 
     #[test]
@@ -306,9 +319,7 @@ mod tests {
             wait_without > 100.0 * wait_with.max(0.001),
             "{wait_without} vs {wait_with}"
         );
-        assert!(
-            table.cell_f64(1, "refusals").unwrap() > table.cell_f64(0, "refusals").unwrap()
-        );
+        assert!(table.cell_f64(1, "refusals").unwrap() > table.cell_f64(0, "refusals").unwrap());
     }
 
     #[test]

@@ -134,7 +134,11 @@ pub fn e6_harvest() -> Table {
             },
             SharingDiscipline::Proportional,
         ),
-        ("integrade-defaults", SharingPolicy::default(), SharingDiscipline::Yielding),
+        (
+            "integrade-defaults",
+            SharingPolicy::default(),
+            SharingDiscipline::Yielding,
+        ),
         (
             "integrade-generous",
             SharingPolicy::generous(),
@@ -161,7 +165,11 @@ pub fn e6_harvest() -> Table {
             harvested += usage * slot_hours;
             ledger.record(owner.cpu, usage, usage, policy.max_cpu_fraction, discipline);
         }
-        table.push_row(vec![name.to_owned(), f3(harvested), f3(ledger.mean_slowdown())]);
+        table.push_row(vec![
+            name.to_owned(),
+            f3(harvested),
+            f3(ledger.mean_slowdown()),
+        ]);
     }
     let _ = UsageSample::idle();
     table

@@ -50,7 +50,9 @@ pub fn e9() -> Table {
             exporting_nodes: 1000,
             ..leaf_summary()
         };
-        hierarchy2.update_summary(*leaves.last().unwrap(), special).unwrap();
+        hierarchy2
+            .update_summary(*leaves.last().unwrap(), special)
+            .unwrap();
         let request = WideAreaRequest {
             nodes: 500,
             min_cpu_mips: 500,

@@ -25,7 +25,11 @@ pub fn e5() -> Table {
             "refusals",
         ],
     );
-    for strategy in [Strategy::Random, Strategy::AvailabilityOnly, Strategy::PatternAware] {
+    for strategy in [
+        Strategy::Random,
+        Strategy::AvailabilityOnly,
+        Strategy::PatternAware,
+    ] {
         let config = GridConfig {
             strategy,
             gupa_warmup_days: 14,

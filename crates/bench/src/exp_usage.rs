@@ -113,9 +113,13 @@ pub fn e3_kmeans() -> Table {
     };
     let mut data = Vec::new();
     let mut truth = Vec::new();
-    for (label, archetype) in [Archetype::OfficeWorker, Archetype::NightOwl, Archetype::Server]
-        .iter()
-        .enumerate()
+    for (label, archetype) in [
+        Archetype::OfficeWorker,
+        Archetype::NightOwl,
+        Archetype::Server,
+    ]
+    .iter()
+    .enumerate()
     {
         let mut rng = DetRng::new(label as u64 + 77);
         let trace = generate_trace(*archetype, &trace_cfg, &mut rng);
@@ -311,8 +315,7 @@ mod tests {
                 "row {row}: lupa brier {lupa} should decisively beat naive {naive}"
             );
             assert!(
-                table.cell_f64(row, "lupa_f1").unwrap()
-                    > table.cell_f64(row, "naive_f1").unwrap()
+                table.cell_f64(row, "lupa_f1").unwrap() > table.cell_f64(row, "naive_f1").unwrap()
             );
         }
         // The naive baseline degrades as the horizon grows; LUPA does not.

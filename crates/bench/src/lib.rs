@@ -19,8 +19,9 @@ pub mod exp_baselines;
 pub mod exp_bsp;
 pub mod exp_info;
 pub mod exp_qos;
-pub mod exp_sched;
 pub mod exp_scale;
+pub mod exp_sched;
+pub mod exp_trader;
 pub mod exp_usage;
 pub mod table;
 
@@ -32,24 +33,45 @@ pub type ExperimentEntry = (&'static str, &'static str, fn() -> Table);
 /// All experiments, as `(id, description, runner)`.
 pub fn experiments() -> Vec<ExperimentEntry> {
     vec![
-        ("f1", "Figure-1 architecture inventory", exp_info::f1 as fn() -> Table),
+        (
+            "f1",
+            "Figure-1 architecture inventory",
+            exp_info::f1 as fn() -> Table,
+        ),
         ("e1", "Information Update Protocol cost", exp_info::e1),
         ("e2", "stale hints vs negotiation repair", exp_info::e2),
         ("e2b", "ablation: next-candidate failover", exp_info::e2b),
         ("e3", "behavioural-category recovery", exp_usage::e3),
         ("e3b", "k-means archetype separation", exp_usage::e3_kmeans),
-        ("e3c", "ablation: DTW vs euclidean under time jitter", exp_usage::e3c),
+        (
+            "e3c",
+            "ablation: DTW vs euclidean under time jitter",
+            exp_usage::e3c,
+        ),
         ("e4", "idle-prediction accuracy", exp_usage::e4),
         ("e5", "scheduling-strategy comparison", exp_sched::e5),
         ("e6", "owner QoS under protection regimes", exp_qos::e6),
         ("e6b", "harvest vs protection frontier", exp_qos::e6_harvest),
         ("e7", "BSP checkpoint interval trade-off", exp_bsp::e7),
         ("e7b", "checkpoint size scaling", exp_bsp::e7_size),
-        ("e7c", "grid crash recovery via the checkpoint repository", exp_bsp::e7c),
+        (
+            "e7c",
+            "grid crash recovery via the checkpoint repository",
+            exp_bsp::e7c,
+        ),
         ("e8", "virtual-topology request placement", exp_sched::e8),
-        ("e8b", "inter-group bandwidth feasibility", exp_sched::e8_sweep),
+        (
+            "e8b",
+            "inter-group bandwidth feasibility",
+            exp_sched::e8_sweep,
+        ),
         ("e9", "hierarchy scalability", exp_scale::e9),
         ("e10", "protocol wire sizes", exp_scale::e10),
+        (
+            "e10b",
+            "trader query scaling: indexed vs seed scan",
+            exp_trader::e10b,
+        ),
         ("e11", "systems comparison", exp_baselines::e11),
     ]
 }

@@ -153,7 +153,10 @@ impl BspProgram for PageRank {
         if ctx.superstep() > 0 {
             let mut incoming_sum = vec![0.0; self.owned.len()];
             for &(_, (target, contribution)) in ctx.incoming() {
-                let local = self.owned.binary_search(&target).expect("delivered to owner");
+                let local = self
+                    .owned
+                    .binary_search(&target)
+                    .expect("delivered to owner");
                 incoming_sum[local] += contribution;
             }
             for (rank, inc) in self.ranks.iter_mut().zip(&incoming_sum) {
@@ -203,8 +206,17 @@ impl Stencil1d {
     /// # Panics
     ///
     /// Panics if there are fewer cells than processes or `p == 0`.
-    pub fn partition(initial: &[f64], p: usize, iterations: u64, left: f64, right: f64) -> Vec<Stencil1d> {
-        assert!(p > 0 && initial.len() >= p, "need at least one cell per process");
+    pub fn partition(
+        initial: &[f64],
+        p: usize,
+        iterations: u64,
+        left: f64,
+        right: f64,
+    ) -> Vec<Stencil1d> {
+        assert!(
+            p > 0 && initial.len() >= p,
+            "need at least one cell per process"
+        );
         let n = initial.len();
         (0..p)
             .map(|i| {
@@ -266,7 +278,11 @@ impl BspProgram for Stencil1d {
             let len = old.len();
             for i in 0..len {
                 let left = if i == 0 { self.halo.0 } else { old[i - 1] };
-                let right = if i == len - 1 { self.halo.1 } else { old[i + 1] };
+                let right = if i == len - 1 {
+                    self.halo.1
+                } else {
+                    old[i + 1]
+                };
                 self.cells[i] = 0.5 * (left + right);
             }
             self.remaining -= 1;

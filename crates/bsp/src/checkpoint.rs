@@ -181,7 +181,9 @@ impl CheckpointPolicy {
 
     /// Whether a checkpoint is due after `superstep` completed supersteps.
     pub fn due_at(&self, superstep: usize) -> bool {
-        self.every_supersteps > 0 && superstep > 0 && superstep.is_multiple_of(self.every_supersteps)
+        self.every_supersteps > 0
+            && superstep > 0
+            && superstep.is_multiple_of(self.every_supersteps)
     }
 }
 
@@ -258,7 +260,11 @@ mod tests {
         assert_eq!(resumed.superstep(), 5);
         resumed.run(100);
 
-        assert_eq!(resumed.procs(), reference.procs(), "bitwise-identical results");
+        assert_eq!(
+            resumed.procs(),
+            reference.procs(),
+            "bitwise-identical results"
+        );
         assert_eq!(resumed.superstep(), reference.superstep());
     }
 

@@ -268,7 +268,8 @@ mod tests {
                 }
                 _ => {
                     if ctx.pid() == 0 {
-                        self.total = self.value + ctx.incoming().iter().map(|(_, v)| v).sum::<u64>();
+                        self.total =
+                            self.value + ctx.incoming().iter().map(|(_, v)| v).sum::<u64>();
                     }
                     StepOutcome::Halt
                 }
@@ -277,11 +278,7 @@ mod tests {
     }
 
     fn sum_job(n: u64) -> BspRuntime<SumToZero> {
-        BspRuntime::new(
-            (0..n)
-                .map(|value| SumToZero { value, total: 0 })
-                .collect(),
-        )
+        BspRuntime::new((0..n).map(|value| SumToZero { value, total: 0 }).collect())
     }
 
     #[test]

@@ -397,7 +397,10 @@ mod tests {
             SchedulingPreference::FastestCpu.to_trader_preference(),
             "max cpu_mips"
         );
-        assert_eq!(SchedulingPreference::Random.to_trader_preference(), "random");
+        assert_eq!(
+            SchedulingPreference::Random.to_trader_preference(),
+            "random"
+        );
     }
 
     #[test]

@@ -124,7 +124,9 @@ impl Federation {
         grid: Grid,
     ) -> Result<(), FederationError> {
         if self.members.contains_key(&id) {
-            return Err(FederationError::Hierarchy(HierarchyError::DuplicateCluster(id)));
+            return Err(FederationError::Hierarchy(
+                HierarchyError::DuplicateCluster(id),
+            ));
         }
         self.hierarchy.add_cluster(id, parent)?;
         self.members.insert(id, grid);
@@ -262,8 +264,10 @@ mod tests {
     /// root(0): 2 slow nodes; child(1): 8 slow; child(2): 6 fast.
     fn federation() -> Federation {
         let mut fed = Federation::new(ClusterId(0), grid_of(2, 500));
-        fed.add_member(ClusterId(1), ClusterId(0), grid_of(8, 500)).unwrap();
-        fed.add_member(ClusterId(2), ClusterId(0), grid_of(6, 1500)).unwrap();
+        fed.add_member(ClusterId(1), ClusterId(0), grid_of(8, 500))
+            .unwrap();
+        fed.add_member(ClusterId(2), ClusterId(0), grid_of(6, 1500))
+            .unwrap();
         // Let the intra-cluster update protocols populate the GRM views.
         fed.run_until(SimTime::from_secs(120));
         fed
@@ -272,7 +276,9 @@ mod tests {
     #[test]
     fn local_jobs_stay_local() {
         let mut fed = federation();
-        let placed = fed.submit(ClusterId(0), JobSpec::sequential("small", 10_000)).unwrap();
+        let placed = fed
+            .submit(ClusterId(0), JobSpec::sequential("small", 10_000))
+            .unwrap();
         assert_eq!(placed.cluster, ClusterId(0));
         assert_eq!(placed.hops, 0);
         fed.run_until(SimTime::from_secs(3600));
@@ -298,7 +304,11 @@ mod tests {
         let mut spec = JobSpec::sequential("fast-only", 50_000);
         spec.requirements.min_cpu_mips = 1000;
         let placed = fed.submit(ClusterId(1), spec).unwrap();
-        assert_eq!(placed.cluster, ClusterId(2), "only cluster 2 has 1500-MIPS nodes");
+        assert_eq!(
+            placed.cluster,
+            ClusterId(2),
+            "only cluster 2 has 1500-MIPS nodes"
+        );
         fed.run_until(SimTime::from_secs(3600));
         assert_eq!(fed.job_state(placed), Some(JobState::Completed));
     }
@@ -318,7 +328,8 @@ mod tests {
     fn unknown_origin_rejected() {
         let mut fed = federation();
         assert_eq!(
-            fed.submit(ClusterId(9), JobSpec::sequential("x", 1)).unwrap_err(),
+            fed.submit(ClusterId(9), JobSpec::sequential("x", 1))
+                .unwrap_err(),
             FederationError::UnknownCluster(ClusterId(9))
         );
     }
@@ -326,7 +337,9 @@ mod tests {
     #[test]
     fn duplicate_member_rejected() {
         let mut fed = federation();
-        let err = fed.add_member(ClusterId(1), ClusterId(0), grid_of(1, 500)).unwrap_err();
+        let err = fed
+            .add_member(ClusterId(1), ClusterId(0), grid_of(1, 500))
+            .unwrap_err();
         assert!(matches!(err, FederationError::Hierarchy(_)));
     }
 
@@ -346,7 +359,8 @@ mod tests {
         fed.refresh_summaries();
         let stats = fed.hierarchy().stats();
         assert!(stats.update_messages >= 2, "children propagate to the root");
-        fed.submit(ClusterId(0), JobSpec::bag_of_tasks("big", 6, 1_000)).unwrap();
+        fed.submit(ClusterId(0), JobSpec::bag_of_tasks("big", 6, 1_000))
+            .unwrap();
         assert!(fed.hierarchy().stats().routing_messages > 0);
     }
 

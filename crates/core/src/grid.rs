@@ -401,7 +401,10 @@ impl Grid {
         let mut grm_orb = Orb::new(Endpoint::new(grm_host.0, 0));
         let grm_ior = grm_orb.activate(
             ObjectKey::new(GRM_OBJECT_KEY),
-            Box::new(crate::grm::GrmServant::with_clock(grm.clone(), clock.clone())),
+            Box::new(crate::grm::GrmServant::with_clock(
+                grm.clone(),
+                clock.clone(),
+            )),
         );
         orbs.insert(grm_host, grm_orb);
 
@@ -504,7 +507,12 @@ impl Grid {
     ///
     /// Panics if `at` is in the past.
     pub fn submit_at(&mut self, spec: JobSpec, at: SimTime) {
-        self.queue.schedule_at(at, GridEvent::Submit { spec: Box::new(spec) });
+        self.queue.schedule_at(
+            at,
+            GridEvent::Submit {
+                spec: Box::new(spec),
+            },
+        );
     }
 
     /// Crashes a node: it drops off the network and loses its volatile
@@ -516,7 +524,11 @@ impl Grid {
     /// Panics on an unknown node.
     pub fn crash_node(&mut self, node: NodeId) {
         let host = self.world.node_hosts[node.0 as usize];
-        self.world.net.topology_mut().set_up(host, false).expect("known host");
+        self.world
+            .net
+            .topology_mut()
+            .set_up(host, false)
+            .expect("known host");
         self.world.lrms[node.0 as usize].borrow_mut().crash();
         self.world
             .log
@@ -530,7 +542,11 @@ impl Grid {
     /// Panics on an unknown node.
     pub fn restore_node(&mut self, node: NodeId) {
         let host = self.world.node_hosts[node.0 as usize];
-        self.world.net.topology_mut().set_up(host, true).expect("known host");
+        self.world
+            .net
+            .topology_mut()
+            .set_up(host, true)
+            .expect("known host");
         self.world
             .log
             .record(self.queue.now(), "node.restore", format!("{node}"));
@@ -540,8 +556,10 @@ impl Grid {
     /// attack-injection hook for tests (e.g. forged frames when the cluster
     /// key is enabled).
     pub fn inject_frame(&mut self, from: HostId, to: HostId, bytes: Vec<u8>) {
-        self.queue
-            .schedule_after(SimDuration::from_micros(1), GridEvent::Wire { from, to, bytes });
+        self.queue.schedule_after(
+            SimDuration::from_micros(1),
+            GridEvent::Wire { from, to, bytes },
+        );
     }
 
     /// The cluster-manager host id (target for injected frames).
@@ -605,7 +623,11 @@ impl GridWorld {
     /// Day/weekday/minute of a virtual instant (day 0 = Monday).
     fn wall(&self, now: SimTime) -> (u64, Weekday, u32) {
         let (day, offset) = now.day_and_offset();
-        (day, Weekday::from_day_number(day), (offset.as_micros() / 60_000_000) as u32)
+        (
+            day,
+            Weekday::from_day_number(day),
+            (offset.as_micros() / 60_000_000) as u32,
+        )
     }
 
     fn trace_sample(&self, node: usize, now: SimTime) -> UsageSample {
@@ -888,17 +910,26 @@ impl GridWorld {
         part.node = None;
         job.record.parts_done += 1;
         // The part's repository entry is no longer needed.
-        self.grm.borrow_mut().clear_repo_checkpoint(done.job, done.part);
-        self.log
-            .record(now, "job.part_done", format!("{} part {}", done.job, done.part));
+        self.grm
+            .borrow_mut()
+            .clear_repo_checkpoint(done.job, done.part);
+        self.log.record(
+            now,
+            "job.part_done",
+            format!("{} part {}", done.job, done.part),
+        );
         if job.record.parts_done == job.record.parts_total {
             job.record.state = JobState::Completed;
             job.record.completed_at = Some(now);
-            self.log.record(now, "job.completed", format!("{}", done.job));
+            self.log
+                .record(now, "job.completed", format!("{}", done.job));
         } else if !job.spec.kind.is_parallel() {
             // More bag-of-tasks parts may be waiting for a node.
             if job.parts.iter().any(|p| p.state == PartState::Unplaced) {
-                queue.schedule_after(SimDuration::from_secs(1), GridEvent::Schedule { job: done.job });
+                queue.schedule_after(
+                    SimDuration::from_secs(1),
+                    GridEvent::Schedule { job: done.job },
+                );
             }
         }
     }
@@ -921,7 +952,10 @@ impl GridWorld {
         self.log.record(
             now,
             "job.evicted",
-            format!("{} part {} from {}", evicted.job, evicted.part, evicted.node),
+            format!(
+                "{} part {} from {}",
+                evicted.job, evicted.part, evicted.node
+            ),
         );
         let is_bsp = job.spec.kind.is_parallel();
         if !is_bsp {
@@ -930,14 +964,19 @@ impl GridWorld {
             part.state = PartState::Unplaced;
             part.node = None;
             job.record.state = JobState::Rescheduling;
-            queue.schedule_after(self.config.reschedule_delay, GridEvent::Schedule { job: evicted.job });
+            queue.schedule_after(
+                self.config.reschedule_delay,
+                GridEvent::Schedule { job: evicted.job },
+            );
             return;
         }
         // BSP gang teardown: cancel every other live part and collect
         // checkpoints; the evicted part contributes its own.
         if job.record.state == JobState::Rescheduling && job.pending_cancels > 0 {
             // A second eviction during teardown: fold its checkpoint in.
-            job.min_checkpoint = job.min_checkpoint.min(evicted.checkpointed_work_mips_s as f64);
+            job.min_checkpoint = job
+                .min_checkpoint
+                .min(evicted.checkpointed_work_mips_s as f64);
             let part = &mut job.parts[evicted.part as usize];
             part.state = PartState::Unplaced;
             part.node = None;
@@ -1002,7 +1041,10 @@ impl GridWorld {
             "job.rollback",
             format!("{job_id} banked {steps_banked} supersteps"),
         );
-        queue.schedule_after(self.config.reschedule_delay, GridEvent::Schedule { job: job_id });
+        queue.schedule_after(
+            self.config.reschedule_delay,
+            GridEvent::Schedule { job: job_id },
+        );
     }
 
     fn handle_reply(
@@ -1058,9 +1100,12 @@ impl GridWorld {
             return;
         };
         if reply.found {
-            job.min_checkpoint = job.min_checkpoint.min(reply.checkpointed_work_mips_s as f64);
-            job.record.wasted_work_mips_s +=
-                reply.done_work_mips_s.saturating_sub(reply.checkpointed_work_mips_s);
+            job.min_checkpoint = job
+                .min_checkpoint
+                .min(reply.checkpointed_work_mips_s as f64);
+            job.record.wasted_work_mips_s += reply
+                .done_work_mips_s
+                .saturating_sub(reply.checkpointed_work_mips_s);
         }
         job.pending_cancels = job.pending_cancels.saturating_sub(1);
         if job.pending_cancels == 0 {
@@ -1100,7 +1145,12 @@ impl GridWorld {
         let predictions = self.predictions_for_scheduling(now);
         let candidates = {
             let mut grm = self.grm.borrow_mut();
-            grm.candidates(&constraint, preference, self.config.max_candidates, &predictions)
+            grm.candidates(
+                &constraint,
+                preference,
+                self.config.max_candidates,
+                &predictions,
+            )
         };
         let candidates = match candidates {
             Ok(c) => c,
@@ -1129,7 +1179,8 @@ impl GridWorld {
             job.attempts += 1;
             if job.attempts >= self.config.max_attempts {
                 job.record.state = JobState::Failed;
-                self.log.record(now, "job.failed", format!("{job_id}: no candidates"));
+                self.log
+                    .record(now, "job.failed", format!("{job_id}: no candidates"));
             } else {
                 job.record.state = JobState::Queued;
                 let backoff = self.config.reschedule_delay * (job.attempts as u64).clamp(1, 30);
@@ -1179,7 +1230,11 @@ impl GridWorld {
                 node,
                 OP_RESERVE,
                 move |w| req.encode(w),
-                Pending::Reserve { job: job_id, part, node },
+                Pending::Reserve {
+                    job: job_id,
+                    part,
+                    node,
+                },
                 queue,
             );
         }
@@ -1349,7 +1404,8 @@ impl GridWorld {
                     job.attempts += 1;
                     if job.attempts >= self.config.max_attempts {
                         job.record.state = JobState::Failed;
-                        self.log.record(now, "job.failed", format!("{job_id}: gang refused"));
+                        self.log
+                            .record(now, "job.failed", format!("{job_id}: gang refused"));
                     } else {
                         job.record.state = JobState::Queued;
                         let backoff =
@@ -1364,7 +1420,8 @@ impl GridWorld {
                     && job.parts.iter().all(|p| p.state == PartState::Unplaced)
                 {
                     job.record.state = JobState::Failed;
-                    self.log.record(now, "job.failed", format!("{job_id}: refusals"));
+                    self.log
+                        .record(now, "job.failed", format!("{job_id}: refusals"));
                     Outcome::Nothing
                 } else {
                     Outcome::RetryStragglers
@@ -1428,12 +1485,7 @@ impl GridWorld {
             .unwrap_or(500);
         let hosts: Vec<CandidateNode> = granted
             .iter()
-            .filter_map(|(_, node, _)| {
-                job.candidates
-                    .iter()
-                    .find(|c| c.node == *node)
-                    .cloned()
-            })
+            .filter_map(|(_, node, _)| job.candidates.iter().find(|c| c.node == *node).cloned())
             .collect();
         let worst = crate::scheduler::worst_path(self.net.topology_mut(), &hosts)
             .unwrap_or_else(integrade_simnet::topology::PathQuality::loopback);
@@ -1456,12 +1508,20 @@ impl GridWorld {
         self.log.record(
             now,
             "job.gang_launch",
-            format!("{job_id} on {} nodes, step work {:.0}", launches.len(), job.bsp_step_work),
+            format!(
+                "{job_id} on {} nodes, step work {:.0}",
+                launches.len(),
+                job.bsp_step_work
+            ),
         );
         // A relaunch after eviction ships the migrated checkpoint state to
         // each new node — the machine-independent snapshot the §3 model
         // exists to make movable, costed as bulk payload on the wire.
-        let migration_bytes = if job.record.evictions > 0 { state_bytes } else { 0 };
+        let migration_bytes = if job.record.evictions > 0 {
+            state_bytes
+        } else {
+            0
+        };
         for (part, node, reservation) in launches {
             let req = LaunchRequest {
                 reservation,
@@ -1474,7 +1534,11 @@ impl GridWorld {
                 node,
                 OP_LAUNCH,
                 move |w| (req, ckpt_interval).encode(w),
-                Pending::Launch { job: job_id, part, node },
+                Pending::Launch {
+                    job: job_id,
+                    part,
+                    node,
+                },
                 migration_bytes,
                 queue,
             );
@@ -1502,13 +1566,19 @@ impl GridWorld {
             if job.record.state != JobState::Running {
                 job.record.state = JobState::Running;
             }
-            self.log
-                .record(now, "job.part_started", format!("{job_id} part {part} on {node}"));
+            self.log.record(
+                now,
+                "job.part_started",
+                format!("{job_id} part {part} on {node}"),
+            );
         } else {
             job.record.negotiation_refusals += 1;
             job.parts[part as usize].state = PartState::Unplaced;
             job.parts[part as usize].node = None;
-            queue.schedule_after(self.config.reschedule_delay, GridEvent::Schedule { job: job_id });
+            queue.schedule_after(
+                self.config.reschedule_delay,
+                GridEvent::Schedule { job: job_id },
+            );
         }
     }
 
@@ -1557,7 +1627,13 @@ impl GridWorld {
                 self.send_to_grm(now, i, OP_PART_DONE, move |w| msg.encode(w), queue);
             }
             for evicted in evictions {
-                self.send_to_grm(now, i, OP_PART_EVICTED, move |w| evicted.clone().encode(w), queue);
+                self.send_to_grm(
+                    now,
+                    i,
+                    OP_PART_EVICTED,
+                    move |w| evicted.clone().encode(w),
+                    queue,
+                );
             }
             // LUPA uploads (completed day periods go to the GUPA).
             let periods = self.lrms[i].borrow_mut().take_lupa_periods();
@@ -1591,8 +1667,7 @@ impl GridWorld {
                     if part.node == Some(node)
                         && matches!(part.state, PartState::Running | PartState::Launching)
                     {
-                        let checkpointed =
-                            self.grm.borrow().repo_checkpoint(*job_id, index as u32);
+                        let checkpointed = self.grm.borrow().repo_checkpoint(*job_id, index as u32);
                         recovered.push(PartEvicted {
                             job: *job_id,
                             part: index as u32,
@@ -1643,7 +1718,8 @@ impl World for GridWorld {
             }
             GridEvent::RequestTimeout { request_id } => {
                 if self.pending.contains_key(&request_id) {
-                    self.log.record(now, "grm.timeout", format!("request {request_id}"));
+                    self.log
+                        .record(now, "grm.timeout", format!("request {request_id}"));
                     self.handle_reply(
                         now,
                         request_id,

@@ -8,11 +8,12 @@
 //! candidate list that comes back is a *hint*: the Resource Reservation and
 //! Execution Protocol then negotiates directly with each candidate node.
 
-use crate::protocol::{PartDone, PartEvicted, StatusUpdate, NODE_SERVICE_TYPE};
+use crate::protocol::{node_props, PartDone, PartEvicted, StatusUpdate, NODE_SERVICE_TYPE};
 use crate::scheduler::CandidateNode;
 use crate::types::{NodeId, NodeStatus, Platform, ResourceVector};
 use integrade_orb::any::AnyValue;
 use integrade_orb::cdr::{CdrDecode, CdrReader};
+use integrade_orb::constraint::SlotId;
 use integrade_orb::ior::Ior;
 use integrade_orb::servant::{Servant, ServerException};
 use integrade_orb::trading::{OfferId, Trader, TraderError};
@@ -62,10 +63,41 @@ pub struct GrmState {
     /// (job, part). Survives node crashes — the recovery substrate.
     checkpoint_repo: BTreeMap<(crate::types::JobId, u32), u64>,
     stats: UpdateStats,
+    /// Trader slots of the five dynamic status properties, resolved once.
+    status_slots: Option<StatusSlots>,
     /// Completion notices awaiting the execution manager.
     pub pending_done: Vec<PartDone>,
     /// Eviction notices awaiting the execution manager.
     pub pending_evictions: Vec<PartEvicted>,
+}
+
+/// Trader slot ids for the properties a status update rewrites. The other
+/// five offer properties (id, capacities, platform) are fixed at
+/// registration, so the periodic update path never touches them.
+#[derive(Debug, Clone, Copy)]
+struct StatusSlots {
+    free_cpu: SlotId,
+    free_ram_mb: SlotId,
+    exporting: SlotId,
+    owner_active: SlotId,
+    running_parts: SlotId,
+}
+
+impl StatusSlots {
+    /// The update batch for [`Trader::modify_values`]: a stack array, no
+    /// heap allocation per update.
+    fn updates(self, status: &NodeStatus) -> [(SlotId, AnyValue); 5] {
+        [
+            (self.free_cpu, AnyValue::Double(status.free_cpu_fraction)),
+            (self.free_ram_mb, AnyValue::Long(status.free_ram_mb as i64)),
+            (self.exporting, AnyValue::Bool(status.exporting)),
+            (self.owner_active, AnyValue::Bool(status.owner_active)),
+            (
+                self.running_parts,
+                AnyValue::Long(status.running_parts as i64),
+            ),
+        ]
+    }
 }
 
 fn offer_properties(
@@ -73,23 +105,44 @@ fn offer_properties(
     status: &NodeStatus,
 ) -> BTreeMap<String, AnyValue> {
     [
-        ("node_id".to_owned(), AnyValue::Long(registration.node.0 as i64)),
         (
-            "cpu_mips".to_owned(),
+            node_props::NODE_ID.to_owned(),
+            AnyValue::Long(registration.node.0 as i64),
+        ),
+        (
+            node_props::CPU_MIPS.to_owned(),
             AnyValue::Long(registration.resources.cpu_mips as i64),
         ),
         (
-            "ram_mb".to_owned(),
+            node_props::RAM_MB.to_owned(),
             AnyValue::Long(registration.resources.ram_mb as i64),
         ),
-        ("os".to_owned(), AnyValue::Str(registration.platform.os.clone())),
-        ("arch".to_owned(), AnyValue::Str(registration.platform.arch.clone())),
-        ("free_cpu".to_owned(), AnyValue::Double(status.free_cpu_fraction)),
-        ("free_ram_mb".to_owned(), AnyValue::Long(status.free_ram_mb as i64)),
-        ("exporting".to_owned(), AnyValue::Bool(status.exporting)),
-        ("owner_active".to_owned(), AnyValue::Bool(status.owner_active)),
         (
-            "running_parts".to_owned(),
+            node_props::OS.to_owned(),
+            AnyValue::Str(registration.platform.os.clone()),
+        ),
+        (
+            node_props::ARCH.to_owned(),
+            AnyValue::Str(registration.platform.arch.clone()),
+        ),
+        (
+            node_props::FREE_CPU.to_owned(),
+            AnyValue::Double(status.free_cpu_fraction),
+        ),
+        (
+            node_props::FREE_RAM_MB.to_owned(),
+            AnyValue::Long(status.free_ram_mb as i64),
+        ),
+        (
+            node_props::EXPORTING.to_owned(),
+            AnyValue::Bool(status.exporting),
+        ),
+        (
+            node_props::OWNER_ACTIVE.to_owned(),
+            AnyValue::Bool(status.owner_active),
+        ),
+        (
+            node_props::RUNNING_PARTS.to_owned(),
             AnyValue::Long(status.running_parts as i64),
         ),
     ]
@@ -109,9 +162,25 @@ impl GrmState {
             last_heard: BTreeMap::new(),
             checkpoint_repo: BTreeMap::new(),
             stats: UpdateStats::default(),
+            status_slots: None,
             pending_done: Vec::new(),
             pending_evictions: Vec::new(),
         }
+    }
+
+    fn status_slots(&mut self) -> StatusSlots {
+        if let Some(slots) = self.status_slots {
+            return slots;
+        }
+        let slots = StatusSlots {
+            free_cpu: self.trader.property_slot(node_props::FREE_CPU),
+            free_ram_mb: self.trader.property_slot(node_props::FREE_RAM_MB),
+            exporting: self.trader.property_slot(node_props::EXPORTING),
+            owner_active: self.trader.property_slot(node_props::OWNER_ACTIVE),
+            running_parts: self.trader.property_slot(node_props::RUNNING_PARTS),
+        };
+        self.status_slots = Some(slots);
+        slots
     }
 
     /// Registers a node, exporting its initial (unavailable) offer.
@@ -129,7 +198,7 @@ impl GrmState {
         let properties = offer_properties(&registration, &status);
         let offer = self
             .trader
-            .export(NODE_SERVICE_TYPE, registration.lrm.clone(), properties)
+            .export(NODE_SERVICE_TYPE, &registration.lrm, properties)
             .expect("trader export is infallible");
         self.offers.insert(node, offer);
         self.last_status.insert(node, status);
@@ -145,22 +214,28 @@ impl GrmState {
     /// [`Self::handle_update`] with the receipt time recorded, enabling
     /// dead-node detection and the checkpoint repository.
     pub fn handle_update_at(&mut self, update: &StatusUpdate, now: SimTime) {
-        let Some(registration) = self.nodes.get(&update.node) else {
+        if !self.nodes.contains_key(&update.node) {
             self.stats.unknown_node += 1;
             return;
-        };
+        }
         let last = self.last_seq.get(&update.node).copied().unwrap_or(0);
         if update.seq <= last {
             self.stats.stale_discarded += 1;
             return;
         }
         self.last_seq.insert(update.node, update.seq);
-        let properties = offer_properties(registration, &update.status);
+        // Only the five dynamic properties change between updates; writing
+        // them through pre-resolved slots keeps the periodic update path
+        // free of per-node key allocation and property-map rebuilds.
+        let slots = self.status_slots();
         let offer = self.offers[&update.node];
-        match self.trader.modify(offer, properties) {
+        match self
+            .trader
+            .modify_values(offer, slots.updates(&update.status))
+        {
             Ok(()) => {
                 self.stats.accepted += 1;
-                self.last_status.insert(update.node, update.status.clone());
+                self.last_status.insert(update.node, update.status);
                 self.last_heard.insert(update.node, now);
                 for report in &update.checkpoints {
                     self.checkpoint_repo
@@ -225,7 +300,7 @@ impl GrmState {
             let status = self
                 .last_status
                 .get(&node)
-                .cloned()
+                .copied()
                 .unwrap_or_else(NodeStatus::unavailable);
             out.push(CandidateNode {
                 node,
@@ -255,7 +330,11 @@ impl GrmState {
 
     /// Nodes that have gone silent: exporting at last word but not heard
     /// from since `now - silence`. The GRM treats them as crashed.
-    pub fn silent_nodes(&self, now: SimTime, silence: integrade_simnet::time::SimDuration) -> Vec<NodeId> {
+    pub fn silent_nodes(
+        &self,
+        now: SimTime,
+        silence: integrade_simnet::time::SimDuration,
+    ) -> Vec<NodeId> {
         self.last_heard
             .iter()
             .filter(|(node, &heard)| {
@@ -273,10 +352,10 @@ impl GrmState {
     /// Marks a node as known-dead: its offer becomes unavailable so the
     /// scheduler stops considering it until it reports again.
     pub fn mark_unavailable(&mut self, node: NodeId) {
-        if let (Some(registration), Some(offer)) = (self.nodes.get(&node), self.offers.get(&node)) {
+        if let Some(&offer) = self.offers.get(&node) {
             let status = NodeStatus::unavailable();
-            let properties = offer_properties(registration, &status);
-            let _ = self.trader.modify(*offer, properties);
+            let slots = self.status_slots();
+            let _ = self.trader.modify_values(offer, slots.updates(&status));
             self.last_status.insert(node, status);
             self.last_heard.remove(&node);
         }
@@ -406,7 +485,9 @@ mod tests {
     fn fresh_nodes_are_unavailable_until_first_update() {
         let mut grm = grm_with_nodes();
         let constraint = JobRequirements::default().to_constraint();
-        let cands = grm.candidates(&constraint, "first", 10, &BTreeMap::new()).unwrap();
+        let cands = grm
+            .candidates(&constraint, "first", 10, &BTreeMap::new())
+            .unwrap();
         assert!(cands.is_empty(), "no update yet → nothing exporting");
     }
 
@@ -425,7 +506,9 @@ mod tests {
             ..Default::default()
         }
         .to_constraint();
-        let cands = grm.candidates(&constraint, "max cpu_mips", 10, &BTreeMap::new()).unwrap();
+        let cands = grm
+            .candidates(&constraint, "max cpu_mips", 10, &BTreeMap::new())
+            .unwrap();
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].node, NodeId(2));
         assert_eq!(cands[0].host, HostId(2));
@@ -473,11 +556,13 @@ mod tests {
                 node: NodeId(node),
                 seq: 1,
                 status: exporting_status(0.3, 128),
-            checkpoints: vec![],
+                checkpoints: vec![],
             });
         }
         let constraint = JobRequirements::default().to_constraint();
-        let cands = grm.candidates(&constraint, "max cpu_mips", 10, &BTreeMap::new()).unwrap();
+        let cands = grm
+            .candidates(&constraint, "max cpu_mips", 10, &BTreeMap::new())
+            .unwrap();
         let mips: Vec<u64> = cands.iter().map(|c| c.resources.cpu_mips).collect();
         assert_eq!(mips, vec![1200, 800, 400]);
     }
@@ -494,7 +579,9 @@ mod tests {
         let mut predictions = BTreeMap::new();
         predictions.insert(NodeId(1), 0.87);
         let constraint = JobRequirements::default().to_constraint();
-        let cands = grm.candidates(&constraint, "first", 10, &predictions).unwrap();
+        let cands = grm
+            .candidates(&constraint, "first", 10, &predictions)
+            .unwrap();
         assert_eq!(cands[0].predicted_idle_prob, Some(0.87));
     }
 
@@ -533,7 +620,9 @@ mod tests {
             node: NodeId(1),
         }
         .to_cdr_bytes();
-        servant.dispatch(OP_PART_DONE, &mut CdrReader::new(&done)).unwrap();
+        servant
+            .dispatch(OP_PART_DONE, &mut CdrReader::new(&done))
+            .unwrap();
         assert_eq!(state.borrow().pending_done.len(), 1);
 
         let evicted = PartEvicted {

@@ -49,7 +49,8 @@ impl GupaState {
         let history = self.history.entry(node).or_default();
         history.extend(periods);
         if history.len() >= MIN_TRAINING_DAYS {
-            self.models.insert(node, LupaModel::train(history, self.config));
+            self.models
+                .insert(node, LupaModel::train(history, self.config));
         }
     }
 
@@ -114,8 +115,15 @@ impl GupaState {
             .iter()
             .filter_map(|&node| {
                 let partial = partials.get(&node).unwrap_or(&empty);
-                self.predict_idle(node, weekday, minute_of_day, partial, slots_per_day, horizon_mins)
-                    .map(|p| (node, p))
+                self.predict_idle(
+                    node,
+                    weekday,
+                    minute_of_day,
+                    partial,
+                    slots_per_day,
+                    horizon_mins,
+                )
+                .map(|p| (node, p))
             })
             .collect()
     }

@@ -421,8 +421,10 @@ mod tests {
     #[test]
     fn aggregates_propagate_to_root() {
         let mut h = small_tree();
-        h.update_summary(ClusterId(3), summary(10, 800, 128)).unwrap();
-        h.update_summary(ClusterId(4), summary(20, 600, 256)).unwrap();
+        h.update_summary(ClusterId(3), summary(10, 800, 128))
+            .unwrap();
+        h.update_summary(ClusterId(4), summary(20, 600, 256))
+            .unwrap();
         let agg2 = h.aggregate(ClusterId(2)).unwrap();
         assert_eq!(agg2.exporting_nodes, 30);
         assert_eq!(agg2.max_cpu_mips, 800);
@@ -434,7 +436,8 @@ mod tests {
     #[test]
     fn local_requests_stay_local() {
         let mut h = small_tree();
-        h.update_summary(ClusterId(1), summary(10, 800, 128)).unwrap();
+        h.update_summary(ClusterId(1), summary(10, 800, 128))
+            .unwrap();
         let (target, hops) = h
             .route_request(ClusterId(1), &request(5, 500, 64))
             .unwrap()
@@ -447,7 +450,8 @@ mod tests {
     #[test]
     fn requests_route_to_sibling_subtree() {
         let mut h = small_tree();
-        h.update_summary(ClusterId(3), summary(50, 1000, 512)).unwrap();
+        h.update_summary(ClusterId(3), summary(50, 1000, 512))
+            .unwrap();
         let (target, hops) = h
             .route_request(ClusterId(1), &request(40, 900, 256))
             .unwrap()
@@ -461,8 +465,11 @@ mod tests {
     #[test]
     fn unsatisfiable_requests_return_none() {
         let mut h = small_tree();
-        h.update_summary(ClusterId(3), summary(10, 500, 128)).unwrap();
-        let result = h.route_request(ClusterId(1), &request(1000, 500, 64)).unwrap();
+        h.update_summary(ClusterId(3), summary(10, 500, 128))
+            .unwrap();
+        let result = h
+            .route_request(ClusterId(1), &request(1000, 500, 64))
+            .unwrap();
         assert_eq!(result, None);
     }
 
@@ -470,7 +477,8 @@ mod tests {
     fn unknown_origin_is_an_error() {
         let mut h = small_tree();
         assert_eq!(
-            h.route_request(ClusterId(99), &request(1, 1, 1)).unwrap_err(),
+            h.route_request(ClusterId(99), &request(1, 1, 1))
+                .unwrap_err(),
             HierarchyError::UnknownCluster(ClusterId(99))
         );
     }

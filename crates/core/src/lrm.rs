@@ -253,7 +253,7 @@ impl LrmState {
             }
         }
         self.seq += 1;
-        self.last_sent = Some(status.clone());
+        self.last_sent = Some(status);
         Some((self.seq, status))
     }
 
@@ -300,7 +300,11 @@ impl LrmState {
         now: SimTime,
     ) -> LaunchReply {
         self.expire_reservations(now);
-        let Some(pos) = self.reservations.iter().position(|r| r.id == req.reservation) else {
+        let Some(pos) = self
+            .reservations
+            .iter()
+            .position(|r| r.id == req.reservation)
+        else {
             return LaunchReply {
                 accepted: false,
                 reason: "reservation unknown or expired".into(),
@@ -738,7 +742,9 @@ mod tests {
             0.0f64,
         )
             .to_cdr_bytes();
-        let out = servant.dispatch(OP_LAUNCH, &mut CdrReader::new(&launch)).unwrap();
+        let out = servant
+            .dispatch(OP_LAUNCH, &mut CdrReader::new(&launch))
+            .unwrap();
         assert!(LaunchReply::from_cdr_bytes(&out).unwrap().accepted);
         assert_eq!(state.borrow().running().len(), 1);
     }

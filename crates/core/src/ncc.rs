@@ -51,7 +51,10 @@ impl WeeklySchedule {
     ///
     /// Panics unless `start_hour < end_hour <= 24`.
     pub fn outside_work_hours(start_hour: usize, end_hour: usize) -> Self {
-        assert!(start_hour < end_hour && end_hour <= 24, "invalid hour range");
+        assert!(
+            start_hour < end_hour && end_hour <= 24,
+            "invalid hour range"
+        );
         let mut allowed = [[true; 24]; 7];
         for day in allowed.iter_mut().take(5) {
             for hour in day[start_hour..end_hour].iter_mut() {
@@ -225,13 +228,16 @@ mod tests {
         assert!(!s.allows(Weekday::new(0), 21 * 60));
         assert_eq!(s.allowed_hours(), 1);
         assert_eq!(WeeklySchedule::always().allowed_hours(), 168);
-        assert_eq!(WeeklySchedule::outside_work_hours(9, 18).allowed_hours(), 168 - 45);
+        assert_eq!(
+            WeeklySchedule::outside_work_hours(9, 18).allowed_hours(),
+            168 - 45
+        );
     }
 
     #[test]
     fn grid_share_yields_to_owner() {
         let p = SharingPolicy::generous(); // cap 0.5, co-run allowed
-        // Owner using 80% CPU: grid gets only the 20% headroom.
+                                           // Owner using 80% CPU: grid gets only the 20% headroom.
         let owner = UsageSample::new(0.8, 0.2, 0.0, 0.0);
         assert!((p.grid_cpu_share(&owner) - 0.2).abs() < 1e-12);
         // Owner idle: grid gets the full cap.

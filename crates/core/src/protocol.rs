@@ -41,6 +41,36 @@ pub const GRM_OBJECT_KEY: &str = "integrade/grm";
 /// Trader service type for node offers.
 pub const NODE_SERVICE_TYPE: &str = "integrade::node";
 
+/// Property names of a node offer (the GRM's trader schema).
+///
+/// Constraint strings built by [`crate::asct`] and the offers the GRM
+/// exports must agree on these names; keeping them in one place is what
+/// lets the GRM resolve each to a trader slot once and refresh status
+/// updates through [`integrade_orb::trading::Trader::modify_values`]
+/// without per-update key allocation.
+pub mod node_props {
+    /// Long: the node id.
+    pub const NODE_ID: &str = "node_id";
+    /// Long: hardware CPU capacity, MIPS.
+    pub const CPU_MIPS: &str = "cpu_mips";
+    /// Long: hardware RAM capacity, MB.
+    pub const RAM_MB: &str = "ram_mb";
+    /// Str: operating system.
+    pub const OS: &str = "os";
+    /// Str: CPU architecture.
+    pub const ARCH: &str = "arch";
+    /// Double: fraction of CPU currently free for the grid.
+    pub const FREE_CPU: &str = "free_cpu";
+    /// Long: MB of RAM currently free for the grid.
+    pub const FREE_RAM_MB: &str = "free_ram_mb";
+    /// Bool: whether the NCC currently allows exporting.
+    pub const EXPORTING: &str = "exporting";
+    /// Bool: whether the owner is actively using the machine.
+    pub const OWNER_ACTIVE: &str = "owner_active";
+    /// Long: grid parts currently hosted.
+    pub const RUNNING_PARTS: &str = "running_parts";
+}
+
 /// Progress of one running part, piggybacked on status updates so the GRM
 /// holds a checkpoint repository that survives node crashes (the design the
 /// InteGrade group later published as checkpointing-based rollback
@@ -389,14 +419,20 @@ mod tests {
             min_cpu_fraction: 0.25,
             duration_hint_s: 600,
         };
-        assert_eq!(ReserveRequest::from_cdr_bytes(&rr.to_cdr_bytes()).unwrap(), rr);
+        assert_eq!(
+            ReserveRequest::from_cdr_bytes(&rr.to_cdr_bytes()).unwrap(),
+            rr
+        );
 
         let rp = ReserveReply {
             granted: true,
             reservation: 99,
             reason: String::new(),
         };
-        assert_eq!(ReserveReply::from_cdr_bytes(&rp.to_cdr_bytes()).unwrap(), rp);
+        assert_eq!(
+            ReserveReply::from_cdr_bytes(&rp.to_cdr_bytes()).unwrap(),
+            rp
+        );
 
         let lr = LaunchRequest {
             reservation: 99,
@@ -404,7 +440,10 @@ mod tests {
             part: 3,
             work_mips_s: 1000,
         };
-        assert_eq!(LaunchRequest::from_cdr_bytes(&lr.to_cdr_bytes()).unwrap(), lr);
+        assert_eq!(
+            LaunchRequest::from_cdr_bytes(&lr.to_cdr_bytes()).unwrap(),
+            lr
+        );
 
         let lp = LaunchReply {
             accepted: false,

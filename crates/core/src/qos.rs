@@ -149,12 +149,18 @@ mod tests {
         let s = slot_slowdown(0.8, 0.6, SharingDiscipline::Proportional);
         assert!((s - 1.4).abs() < 1e-12);
         // Undersubscribed: no impact.
-        assert_eq!(slot_slowdown(0.3, 0.5, SharingDiscipline::Proportional), 1.0);
+        assert_eq!(
+            slot_slowdown(0.3, 0.5, SharingDiscipline::Proportional),
+            1.0
+        );
     }
 
     #[test]
     fn idle_owner_never_slowed() {
-        assert_eq!(slot_slowdown(0.0, 1.0, SharingDiscipline::Proportional), 1.0);
+        assert_eq!(
+            slot_slowdown(0.0, 1.0, SharingDiscipline::Proportional),
+            1.0
+        );
     }
 
     #[test]

@@ -97,9 +97,7 @@ pub fn rank(
                 let pa = a.predicted_idle_prob.unwrap_or(0.5);
                 let pb = b.predicted_idle_prob.unwrap_or(0.5);
                 pb.total_cmp(&pa)
-                    .then(
-                        preference_key(b, preference).total_cmp(&preference_key(a, preference)),
-                    )
+                    .then(preference_key(b, preference).total_cmp(&preference_key(a, preference)))
                     .then(a.node.cmp(&b.node))
             });
         }
@@ -134,14 +132,23 @@ pub enum PlacementError {
 impl fmt::Display for PlacementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlacementError::NotEnoughNodes { requested, available } => {
-                write!(f, "requested {requested} nodes but only {available} candidates")
+            PlacementError::NotEnoughNodes {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} nodes but only {available} candidates"
+                )
             }
             PlacementError::GroupUnsatisfiable { group } => {
                 write!(f, "no cluster satisfies group {group}")
             }
             PlacementError::InterGroupBandwidth { got, needed } => {
-                write!(f, "inter-group bandwidth {got} bps below required {needed} bps")
+                write!(
+                    f,
+                    "inter-group bandwidth {got} bps below required {needed} bps"
+                )
             }
         }
     }
@@ -215,7 +222,8 @@ pub fn place_groups(
             if used_clusters.contains(&tag) || members.len() < need {
                 continue;
             }
-            let pick: Vec<CandidateNode> = members.iter().take(need).map(|c| (*c).clone()).collect();
+            let pick: Vec<CandidateNode> =
+                members.iter().take(need).map(|c| (*c).clone()).collect();
             // Verify the intra-group bandwidth floor on representative
             // pairs (adjacent + endpoints — a switched cluster is uniform).
             let mut ok = true;
@@ -250,7 +258,8 @@ pub fn place_groups(
         }
     }
 
-    let groups: Vec<Vec<CandidateNode>> = placed.into_iter().map(|g| g.expect("all placed")).collect();
+    let groups: Vec<Vec<CandidateNode>> =
+        placed.into_iter().map(|g| g.expect("all placed")).collect();
 
     // Inter-group floor between group representatives.
     let mut worst_inter = PathQuality::loopback();
@@ -355,7 +364,12 @@ mod tests {
             candidate(3, HostId(3), 600, None),
         ];
         let mut rng = DetRng::new(1);
-        let ranked = rank(&cands, Strategy::AvailabilityOnly, SchedulingPreference::FastestCpu, &mut rng);
+        let ranked = rank(
+            &cands,
+            Strategy::AvailabilityOnly,
+            SchedulingPreference::FastestCpu,
+            &mut rng,
+        );
         let order: Vec<u32> = ranked.iter().map(|c| c.node.0).collect();
         assert_eq!(order, vec![2, 3, 1]);
     }
@@ -367,10 +381,20 @@ mod tests {
             candidate(2, HostId(2), 500, Some(0.95)), // slow but solidly idle
         ];
         let mut rng = DetRng::new(1);
-        let ranked = rank(&cands, Strategy::PatternAware, SchedulingPreference::FastestCpu, &mut rng);
+        let ranked = rank(
+            &cands,
+            Strategy::PatternAware,
+            SchedulingPreference::FastestCpu,
+            &mut rng,
+        );
         assert_eq!(ranked[0].node, NodeId(2));
         // Availability-only would choose the opposite.
-        let ranked = rank(&cands, Strategy::AvailabilityOnly, SchedulingPreference::FastestCpu, &mut rng);
+        let ranked = rank(
+            &cands,
+            Strategy::AvailabilityOnly,
+            SchedulingPreference::FastestCpu,
+            &mut rng,
+        );
         assert_eq!(ranked[0].node, NodeId(1));
     }
 
@@ -381,18 +405,34 @@ mod tests {
             candidate(2, HostId(2), 900, Some(0.9)),
         ];
         let mut rng = DetRng::new(1);
-        let ranked = rank(&cands, Strategy::PatternAware, SchedulingPreference::FastestCpu, &mut rng);
+        let ranked = rank(
+            &cands,
+            Strategy::PatternAware,
+            SchedulingPreference::FastestCpu,
+            &mut rng,
+        );
         assert_eq!(ranked[0].node, NodeId(2));
     }
 
     #[test]
     fn random_is_deterministic_per_seed() {
-        let cands: Vec<CandidateNode> =
-            (0..10).map(|i| candidate(i, HostId(i), 500, None)).collect();
+        let cands: Vec<CandidateNode> = (0..10)
+            .map(|i| candidate(i, HostId(i), 500, None))
+            .collect();
         let mut a = DetRng::new(5);
         let mut b = DetRng::new(5);
-        let ra = rank(&cands, Strategy::Random, SchedulingPreference::Random, &mut a);
-        let rb = rank(&cands, Strategy::Random, SchedulingPreference::Random, &mut b);
+        let ra = rank(
+            &cands,
+            Strategy::Random,
+            SchedulingPreference::Random,
+            &mut a,
+        );
+        let rb = rank(
+            &cands,
+            Strategy::Random,
+            SchedulingPreference::Random,
+            &mut b,
+        );
         assert_eq!(
             ra.iter().map(|c| c.node).collect::<Vec<_>>(),
             rb.iter().map(|c| c.node).collect::<Vec<_>>()

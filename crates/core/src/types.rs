@@ -227,7 +227,7 @@ impl fmt::Display for NodeRoles {
 }
 
 /// Dynamic node status carried by the Information Update Protocol.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeStatus {
     /// Fraction of CPU currently free for the grid (after owner load and
     /// NCC caps).
@@ -295,7 +295,10 @@ mod tests {
         let p = Platform::linux_x86();
         assert_eq!(Platform::from_cdr_bytes(&p.to_cdr_bytes()).unwrap(), p);
         let r = ResourceVector::desktop();
-        assert_eq!(ResourceVector::from_cdr_bytes(&r.to_cdr_bytes()).unwrap(), r);
+        assert_eq!(
+            ResourceVector::from_cdr_bytes(&r.to_cdr_bytes()).unwrap(),
+            r
+        );
         let s = NodeStatus {
             free_cpu_fraction: 0.7,
             free_ram_mb: 128,

@@ -263,7 +263,10 @@ mod tests {
     #[test]
     fn invalid_tag_rejected() {
         let err = AnyValue::from_cdr_bytes(&[9]).unwrap_err();
-        assert!(matches!(err, CdrError::InvalidDiscriminant { value: 9, .. }));
+        assert!(matches!(
+            err,
+            CdrError::InvalidDiscriminant { value: 9, .. }
+        ));
     }
 
     #[test]

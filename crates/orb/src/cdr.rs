@@ -45,11 +45,16 @@ impl fmt::Display for CdrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CdrError::UnexpectedEof { needed, at } => {
-                write!(f, "unexpected end of CDR buffer at offset {at} (needed {needed} more bytes)")
+                write!(
+                    f,
+                    "unexpected end of CDR buffer at offset {at} (needed {needed} more bytes)"
+                )
             }
             CdrError::InvalidUtf8 => write!(f, "CDR string was not valid UTF-8"),
             CdrError::InvalidBool(b) => write!(f, "invalid CDR boolean byte {b:#04x}"),
-            CdrError::LengthOverflow(n) => write!(f, "CDR sequence length {n} exceeds sanity bound"),
+            CdrError::LengthOverflow(n) => {
+                write!(f, "CDR sequence length {n} exceeds sanity bound")
+            }
             CdrError::InvalidDiscriminant { type_name, value } => {
                 write!(f, "invalid discriminant {value} for {type_name}")
             }
@@ -487,7 +492,7 @@ mod tests {
         round_trip(u64::MAX);
         round_trip(-42i32);
         round_trip(i64::MIN);
-        round_trip(3.141592653589793f64);
+        round_trip(std::f64::consts::PI);
         round_trip(f64::NEG_INFINITY);
         round_trip(true);
         round_trip(false);
@@ -575,12 +580,18 @@ mod tests {
     fn trailing_bytes_detected() {
         let mut bytes = 5u32.to_cdr_bytes();
         bytes.push(0);
-        assert_eq!(u32::from_cdr_bytes(&bytes).unwrap_err(), CdrError::TrailingBytes(1));
+        assert_eq!(
+            u32::from_cdr_bytes(&bytes).unwrap_err(),
+            CdrError::TrailingBytes(1)
+        );
     }
 
     #[test]
     fn invalid_bool_detected() {
-        assert_eq!(bool::from_cdr_bytes(&[2]).unwrap_err(), CdrError::InvalidBool(2));
+        assert_eq!(
+            bool::from_cdr_bytes(&[2]).unwrap_err(),
+            CdrError::InvalidBool(2)
+        );
     }
 
     #[test]
@@ -595,7 +606,10 @@ mod tests {
     fn invalid_utf8_rejected() {
         // Valid framing, invalid UTF-8 payload (0xFF), correct NUL.
         let bytes = vec![0, 0, 0, 2, 0xFF, 0];
-        assert_eq!(String::from_cdr_bytes(&bytes).unwrap_err(), CdrError::InvalidUtf8);
+        assert_eq!(
+            String::from_cdr_bytes(&bytes).unwrap_err(),
+            CdrError::InvalidUtf8
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "constraint parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "constraint parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -490,7 +494,11 @@ impl fmt::Display for Undefined {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Undefined::MissingProperty(p) => write!(f, "property '{p}' is undefined"),
-            Undefined::TypeMismatch { context, left, right } => {
+            Undefined::TypeMismatch {
+                context,
+                left,
+                right,
+            } => {
                 write!(f, "type mismatch in {context}: {left} vs {right}")
             }
             Undefined::DivisionByZero => write!(f, "division by zero"),
@@ -514,11 +522,13 @@ pub fn eval(expr: &Expr, props: &BTreeMap<String, AnyValue>) -> Result<AnyValue,
         Expr::Exist(name) => Ok(AnyValue::Bool(props.contains_key(name))),
         Expr::Not(inner) => {
             let v = eval(inner, props)?;
-            v.as_bool().map(|b| AnyValue::Bool(!b)).ok_or(Undefined::TypeMismatch {
-                context: "not",
-                left: v.kind(),
-                right: "boolean",
-            })
+            v.as_bool()
+                .map(|b| AnyValue::Bool(!b))
+                .ok_or(Undefined::TypeMismatch {
+                    context: "not",
+                    left: v.kind(),
+                    right: "boolean",
+                })
         }
         Expr::And(a, b) => {
             // Short-circuit: false and <undefined> is still false.
@@ -526,11 +536,13 @@ pub fn eval(expr: &Expr, props: &BTreeMap<String, AnyValue>) -> Result<AnyValue,
                 Some(false) => Ok(AnyValue::Bool(false)),
                 Some(true) => {
                     let rv = eval(b, props)?;
-                    rv.as_bool().map(AnyValue::Bool).ok_or(Undefined::TypeMismatch {
-                        context: "and",
-                        left: "boolean",
-                        right: rv.kind(),
-                    })
+                    rv.as_bool()
+                        .map(AnyValue::Bool)
+                        .ok_or(Undefined::TypeMismatch {
+                            context: "and",
+                            left: "boolean",
+                            right: rv.kind(),
+                        })
                 }
                 None => Err(Undefined::TypeMismatch {
                     context: "and",
@@ -543,11 +555,13 @@ pub fn eval(expr: &Expr, props: &BTreeMap<String, AnyValue>) -> Result<AnyValue,
             Some(true) => Ok(AnyValue::Bool(true)),
             Some(false) => {
                 let rv = eval(b, props)?;
-                rv.as_bool().map(AnyValue::Bool).ok_or(Undefined::TypeMismatch {
-                    context: "or",
-                    left: "boolean",
-                    right: rv.kind(),
-                })
+                rv.as_bool()
+                    .map(AnyValue::Bool)
+                    .ok_or(Undefined::TypeMismatch {
+                        context: "or",
+                        left: "boolean",
+                        right: rv.kind(),
+                    })
             }
             None => Err(Undefined::TypeMismatch {
                 context: "or",
@@ -622,9 +636,11 @@ pub fn eval(expr: &Expr, props: &BTreeMap<String, AnyValue>) -> Result<AnyValue,
             let nv = eval(needle, props)?;
             let hv = eval(haystack, props)?;
             match hv {
-                AnyValue::Seq(items) => Ok(AnyValue::Bool(items.iter().any(|item| {
-                    item.partial_cmp_numeric(&nv) == Some(Ordering::Equal)
-                }))),
+                AnyValue::Seq(items) => {
+                    Ok(AnyValue::Bool(items.iter().any(|item| {
+                        item.partial_cmp_numeric(&nv) == Some(Ordering::Equal)
+                    })))
+                }
                 other => Err(Undefined::TypeMismatch {
                     context: "in",
                     left: nv.kind(),
@@ -641,12 +657,264 @@ pub fn matches(expr: &Expr, props: &BTreeMap<String, AnyValue>) -> bool {
     matches!(eval(expr, props), Ok(AnyValue::Bool(true)))
 }
 
+/// Index of an interned property name inside a [`crate::trading::Trader`].
+///
+/// Slots are assigned by the trader's property interner and are stable for
+/// the trader's lifetime, so a compiled [`SlotExpr`] never goes stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
+
+/// A constraint expression with property names resolved to [`SlotId`]s.
+///
+/// Compiling once per (constraint, preference) pair moves all string
+/// hashing/comparison out of the per-offer evaluation loop: evaluating a
+/// [`SlotExpr`] against an offer's dense slot table is pure indexing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotExpr {
+    /// A literal value.
+    Lit(AnyValue),
+    /// A property reference, resolved to its slot.
+    Prop(SlotId),
+    /// `exist prop` over a resolved slot.
+    Exist(SlotId),
+    /// Logical negation.
+    Not(Box<SlotExpr>),
+    /// Logical conjunction.
+    And(Box<SlotExpr>, Box<SlotExpr>),
+    /// Logical disjunction.
+    Or(Box<SlotExpr>, Box<SlotExpr>),
+    /// Comparison.
+    Cmp(CmpOp, Box<SlotExpr>, Box<SlotExpr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<SlotExpr>, Box<SlotExpr>),
+    /// Unary numeric negation.
+    Neg(Box<SlotExpr>),
+    /// Sequence membership.
+    In(Box<SlotExpr>, Box<SlotExpr>),
+}
+
+/// Resolves every property name in `expr` through `intern`, producing the
+/// slot-addressed form used by compiled query plans.
+pub fn compile<F: FnMut(&str) -> SlotId>(expr: &Expr, intern: &mut F) -> SlotExpr {
+    match expr {
+        Expr::Lit(v) => SlotExpr::Lit(v.clone()),
+        Expr::Prop(name) => SlotExpr::Prop(intern(name)),
+        Expr::Exist(name) => SlotExpr::Exist(intern(name)),
+        Expr::Not(a) => SlotExpr::Not(Box::new(compile(a, intern))),
+        Expr::And(a, b) => {
+            SlotExpr::And(Box::new(compile(a, intern)), Box::new(compile(b, intern)))
+        }
+        Expr::Or(a, b) => SlotExpr::Or(Box::new(compile(a, intern)), Box::new(compile(b, intern))),
+        Expr::Cmp(op, a, b) => SlotExpr::Cmp(
+            *op,
+            Box::new(compile(a, intern)),
+            Box::new(compile(b, intern)),
+        ),
+        Expr::Arith(op, a, b) => SlotExpr::Arith(
+            *op,
+            Box::new(compile(a, intern)),
+            Box::new(compile(b, intern)),
+        ),
+        Expr::Neg(a) => SlotExpr::Neg(Box::new(compile(a, intern))),
+        Expr::In(a, b) => SlotExpr::In(Box::new(compile(a, intern)), Box::new(compile(b, intern))),
+    }
+}
+
+/// *Undefined* marker for the slot evaluator.
+///
+/// Unlike [`Undefined`], this carries no diagnostic payload: the hot query
+/// path only needs the match/no-match distinction, and allocating a
+/// `String` per missing property (as `Undefined::MissingProperty` does)
+/// would dominate the cost of evaluating small constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotUndefined;
+
+/// Borrowed evaluation result: scalar payloads are copied, strings and
+/// sequences borrow from the offer's slot table, so evaluation never clones
+/// an [`AnyValue`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value<'a> {
+    /// A boolean.
+    Bool(bool),
+    /// A signed 64-bit integer.
+    Long(i64),
+    /// A 64-bit float.
+    Double(f64),
+    /// A borrowed string.
+    Str(&'a str),
+    /// A borrowed sequence.
+    Seq(&'a [AnyValue]),
+}
+
+impl<'a> Value<'a> {
+    fn from_any(v: &'a AnyValue) -> Value<'a> {
+        match v {
+            AnyValue::Bool(b) => Value::Bool(*b),
+            AnyValue::Long(n) => Value::Long(*n),
+            AnyValue::Double(d) => Value::Double(*d),
+            AnyValue::Str(s) => Value::Str(s),
+            AnyValue::Seq(items) => Value::Seq(items),
+        }
+    }
+
+    /// Returns the boolean payload if this is a `Bool`.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if numeric (long or double).
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Value::Long(n) => Some(n as f64),
+            Value::Double(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Mirrors [`AnyValue::partial_cmp_numeric`] on borrowed values.
+    fn partial_cmp_numeric(self, other: Value<'_>) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(&b)),
+            (Value::Seq(_), _) | (_, Value::Seq(_)) => None,
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    fn is_long(self) -> bool {
+        matches!(self, Value::Long(_))
+    }
+}
+
+fn slot_value(slots: &[Option<AnyValue>], slot: SlotId) -> Option<&AnyValue> {
+    // An offer's slot table may be shorter than the interner when slots
+    // were interned after the offer was exported; absent means undefined.
+    slots.get(slot.0 as usize).and_then(Option::as_ref)
+}
+
+/// Evaluates a compiled expression against an offer's dense slot table.
+///
+/// Semantics are identical to [`eval`] (the parity suite in
+/// `tests/trader_parity.rs` holds the two implementations to byte-equal
+/// query results); only the property representation and the error payload
+/// differ.
+///
+/// # Errors
+///
+/// `Err(SlotUndefined)` is trader-*undefined*: the offer does not match.
+pub fn eval_slots<'a>(
+    expr: &'a SlotExpr,
+    slots: &'a [Option<AnyValue>],
+) -> Result<Value<'a>, SlotUndefined> {
+    match expr {
+        SlotExpr::Lit(v) => Ok(Value::from_any(v)),
+        SlotExpr::Prop(slot) => slot_value(slots, *slot)
+            .map(Value::from_any)
+            .ok_or(SlotUndefined),
+        SlotExpr::Exist(slot) => Ok(Value::Bool(slot_value(slots, *slot).is_some())),
+        SlotExpr::Not(inner) => {
+            let v = eval_slots(inner, slots)?;
+            v.as_bool().map(|b| Value::Bool(!b)).ok_or(SlotUndefined)
+        }
+        SlotExpr::And(a, b) => match eval_slots(a, slots)?.as_bool() {
+            // Short-circuit: false and <undefined> is still false.
+            Some(false) => Ok(Value::Bool(false)),
+            Some(true) => {
+                let rv = eval_slots(b, slots)?;
+                rv.as_bool().map(Value::Bool).ok_or(SlotUndefined)
+            }
+            None => Err(SlotUndefined),
+        },
+        SlotExpr::Or(a, b) => match eval_slots(a, slots)?.as_bool() {
+            Some(true) => Ok(Value::Bool(true)),
+            Some(false) => {
+                let rv = eval_slots(b, slots)?;
+                rv.as_bool().map(Value::Bool).ok_or(SlotUndefined)
+            }
+            None => Err(SlotUndefined),
+        },
+        SlotExpr::Cmp(op, a, b) => {
+            let av = eval_slots(a, slots)?;
+            let bv = eval_slots(b, slots)?;
+            let ord = av.partial_cmp_numeric(bv).ok_or(SlotUndefined)?;
+            let result = match op {
+                CmpOp::Eq => ord == Ordering::Equal,
+                CmpOp::Ne => ord != Ordering::Equal,
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+            };
+            Ok(Value::Bool(result))
+        }
+        SlotExpr::Arith(op, a, b) => {
+            let av = eval_slots(a, slots)?;
+            let bv = eval_slots(b, slots)?;
+            let (x, y) = match (av.as_f64(), bv.as_f64()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return Err(SlotUndefined),
+            };
+            let result = match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        return Err(SlotUndefined);
+                    }
+                    x / y
+                }
+            };
+            // Match `eval`: keep integers integral when both inputs were
+            // Long and the result is exact.
+            if av.is_long()
+                && bv.is_long()
+                && result.fract() == 0.0
+                && result.abs() < i64::MAX as f64
+            {
+                return Ok(Value::Long(result as i64));
+            }
+            Ok(Value::Double(result))
+        }
+        SlotExpr::Neg(inner) => match eval_slots(inner, slots)? {
+            Value::Long(n) => Ok(Value::Long(-n)),
+            Value::Double(d) => Ok(Value::Double(-d)),
+            _ => Err(SlotUndefined),
+        },
+        SlotExpr::In(needle, haystack) => {
+            let nv = eval_slots(needle, slots)?;
+            match eval_slots(haystack, slots)? {
+                Value::Seq(items) => Ok(Value::Bool(items.iter().any(|item| {
+                    Value::from_any(item).partial_cmp_numeric(nv) == Some(Ordering::Equal)
+                }))),
+                _ => Err(SlotUndefined),
+            }
+        }
+    }
+}
+
+/// Match predicate over a dense slot table; the compiled counterpart of
+/// [`matches`].
+pub fn matches_slots(expr: &SlotExpr, slots: &[Option<AnyValue>]) -> bool {
+    matches!(eval_slots(expr, slots), Ok(Value::Bool(true)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn props(pairs: &[(&str, AnyValue)]) -> BTreeMap<String, AnyValue> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn check(input: &str, props_map: &BTreeMap<String, AnyValue>, expected: bool) {
@@ -786,7 +1054,16 @@ mod tests {
 
     #[test]
     fn parse_errors_are_located() {
-        for bad in ["", "x >=", "x = 5", "(x > 1", "x ! 2", "'unterminated", "5 5", "exist 5"] {
+        for bad in [
+            "",
+            "x >=",
+            "x = 5",
+            "(x > 1",
+            "x ! 2",
+            "'unterminated",
+            "5 5",
+            "exist 5",
+        ] {
             let err = parse(bad);
             assert!(err.is_err(), "should fail: {bad:?}");
         }

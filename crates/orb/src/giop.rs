@@ -106,7 +106,10 @@ impl fmt::Display for FrameError {
             FrameError::BadVersion(maj, min) => write!(f, "unsupported GIOP version {maj}.{min}"),
             FrameError::BadMessageType(t) => write!(f, "unknown GIOP message type {t}"),
             FrameError::SizeMismatch { declared, actual } => {
-                write!(f, "GIOP size mismatch: header says {declared}, buffer has {actual}")
+                write!(
+                    f,
+                    "GIOP size mismatch: header says {declared}, buffer has {actual}"
+                )
             }
             FrameError::Cdr(e) => write!(f, "GIOP payload malformed: {e}"),
         }

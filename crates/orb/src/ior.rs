@@ -124,7 +124,9 @@ pub enum IorParseError {
 impl fmt::Display for IorParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IorParseError::MissingPrefix => write!(f, "stringified reference must start with \"IOR:\""),
+            IorParseError::MissingPrefix => {
+                write!(f, "stringified reference must start with \"IOR:\"")
+            }
             IorParseError::InvalidHex => write!(f, "stringified reference contains invalid hex"),
             IorParseError::InvalidBody(e) => write!(f, "reference body is malformed: {e}"),
         }
@@ -175,8 +177,12 @@ impl Ior {
         let mut bytes = Vec::with_capacity(hex.len() / 2);
         let hex_bytes = hex.as_bytes();
         for pair in hex_bytes.chunks(2) {
-            let hi = (pair[0] as char).to_digit(16).ok_or(IorParseError::InvalidHex)?;
-            let lo = (pair[1] as char).to_digit(16).ok_or(IorParseError::InvalidHex)?;
+            let hi = (pair[0] as char)
+                .to_digit(16)
+                .ok_or(IorParseError::InvalidHex)?;
+            let lo = (pair[1] as char)
+                .to_digit(16)
+                .ok_or(IorParseError::InvalidHex)?;
             bytes.push(((hi << 4) | lo) as u8);
         }
         Ior::from_cdr_bytes(&bytes).map_err(IorParseError::InvalidBody)
@@ -268,6 +274,9 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(sample().to_string(), "IDL:integrade/Grm:1.0@h7:2048/grm/cluster0");
+        assert_eq!(
+            sample().to_string(),
+            "IDL:integrade/Grm:1.0@h7:2048/grm/cluster0"
+        );
     }
 }

@@ -41,7 +41,7 @@
 //!     ("cpu_mips".to_owned(), AnyValue::Long(700)),
 //!     ("mem_mb".to_owned(), AnyValue::Long(64)),
 //! ].into_iter().collect();
-//! trader.export("integrade::node", lrm, props).unwrap();
+//! trader.export("integrade::node", &lrm, props).unwrap();
 //!
 //! let matches = trader
 //!     .query("integrade::node", "cpu_mips >= 500 and mem_mb >= 16", "max cpu_mips", 5)

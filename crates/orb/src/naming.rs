@@ -234,7 +234,11 @@ mod tests {
     use crate::transport::LoopbackBus;
 
     fn ior(n: u32) -> Ior {
-        Ior::new("IDL:test/T:1.0", Endpoint::new(n, 0), ObjectKey::new(format!("o{n}")))
+        Ior::new(
+            "IDL:test/T:1.0",
+            Endpoint::new(n, 0),
+            ObjectKey::new(format!("o{n}")),
+        )
     }
 
     #[test]
@@ -243,14 +247,20 @@ mod tests {
         ns.bind("a/b/c", ior(1)).unwrap();
         assert_eq!(ns.resolve("a/b/c").unwrap(), ior(1));
         assert_eq!(ns.unbind("a/b/c").unwrap(), ior(1));
-        assert_eq!(ns.resolve("a/b/c").unwrap_err(), NamingError::NotFound("a/b/c".into()));
+        assert_eq!(
+            ns.resolve("a/b/c").unwrap_err(),
+            NamingError::NotFound("a/b/c".into())
+        );
     }
 
     #[test]
     fn bind_refuses_duplicates_rebind_replaces() {
         let mut ns = NamingService::new();
         ns.bind("x", ior(1)).unwrap();
-        assert_eq!(ns.bind("x", ior(2)).unwrap_err(), NamingError::AlreadyBound("x".into()));
+        assert_eq!(
+            ns.bind("x", ior(2)).unwrap_err(),
+            NamingError::AlreadyBound("x".into())
+        );
         assert_eq!(ns.rebind("x", ior(2)).unwrap(), Some(ior(1)));
         assert_eq!(ns.resolve("x").unwrap(), ior(2));
     }
@@ -259,7 +269,10 @@ mod tests {
     fn invalid_names_rejected() {
         let mut ns = NamingService::new();
         for bad in ["", "a//b", "/a", "a/"] {
-            assert!(matches!(ns.bind(bad, ior(1)), Err(NamingError::InvalidName(_))), "{bad:?}");
+            assert!(
+                matches!(ns.bind(bad, ior(1)), Err(NamingError::InvalidName(_))),
+                "{bad:?}"
+            );
         }
     }
 
@@ -281,11 +294,17 @@ mod tests {
         let mut bus = LoopbackBus::new();
         let ep = bus.add_orb(Endpoint::new(0, 1));
         let ns_ref = bus
-            .activate(ep, ObjectKey::new("NameService"), Box::new(NamingServant::new()))
+            .activate(
+                ep,
+                ObjectKey::new("NameService"),
+                Box::new(NamingServant::new()),
+            )
             .unwrap();
 
-        bus.invoke(&ns_ref, "bind", |w| ("svc/grm".to_owned(), ior(5)).encode(w))
-            .unwrap();
+        bus.invoke(&ns_ref, "bind", |w| {
+            ("svc/grm".to_owned(), ior(5)).encode(w)
+        })
+        .unwrap();
         let out = bus
             .invoke(&ns_ref, "resolve", |w| "svc/grm".encode(w))
             .unwrap();
@@ -295,7 +314,8 @@ mod tests {
         assert_eq!(Vec::<String>::from_cdr_bytes(&out).unwrap(), vec!["grm"]);
 
         // Unbinding twice surfaces the user exception remotely.
-        bus.invoke(&ns_ref, "unbind", |w| "svc/grm".encode(w)).unwrap();
+        bus.invoke(&ns_ref, "unbind", |w| "svc/grm".encode(w))
+            .unwrap();
         let err = bus
             .invoke(&ns_ref, "unbind", |w| "svc/grm".encode(w))
             .unwrap_err();

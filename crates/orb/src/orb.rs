@@ -85,12 +85,12 @@ pub fn decode_reply(bytes: &[u8]) -> Result<(u64, Result<Vec<u8>, RemoteError>),
         } => {
             let result = match status {
                 ReplyStatus::NoException => Ok(body),
-                ReplyStatus::UserException => {
-                    Err(RemoteError::User(String::from_utf8_lossy(&body).into_owned()))
-                }
-                ReplyStatus::SystemException => {
-                    Err(RemoteError::System(String::from_utf8_lossy(&body).into_owned()))
-                }
+                ReplyStatus::UserException => Err(RemoteError::User(
+                    String::from_utf8_lossy(&body).into_owned(),
+                )),
+                ReplyStatus::SystemException => Err(RemoteError::System(
+                    String::from_utf8_lossy(&body).into_owned(),
+                )),
             };
             Ok((request_id, result))
         }
@@ -235,12 +235,12 @@ impl Orb {
             } => {
                 let result = match status {
                     ReplyStatus::NoException => Ok(body),
-                    ReplyStatus::UserException => {
-                        Err(RemoteError::User(String::from_utf8_lossy(&body).into_owned()))
-                    }
-                    ReplyStatus::SystemException => {
-                        Err(RemoteError::System(String::from_utf8_lossy(&body).into_owned()))
-                    }
+                    ReplyStatus::UserException => Err(RemoteError::User(
+                        String::from_utf8_lossy(&body).into_owned(),
+                    )),
+                    ReplyStatus::SystemException => Err(RemoteError::System(
+                        String::from_utf8_lossy(&body).into_owned(),
+                    )),
                 };
                 Ok(Incoming::ReplyReceived { request_id, result })
             }

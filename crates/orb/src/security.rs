@@ -197,7 +197,10 @@ mod tests {
     #[test]
     fn wrong_key_is_rejected() {
         let envelope = seal(ClusterKey::new(1, 2), b"launch");
-        assert_eq!(open(ClusterKey::new(1, 3), &envelope).unwrap_err(), AuthError::BadMac);
+        assert_eq!(
+            open(ClusterKey::new(1, 3), &envelope).unwrap_err(),
+            AuthError::BadMac
+        );
     }
 
     #[test]
@@ -205,7 +208,10 @@ mod tests {
         let key = ClusterKey::new(9, 9);
         assert_eq!(open(key, b"").unwrap_err(), AuthError::Malformed);
         assert_eq!(open(key, b"SEC1").unwrap_err(), AuthError::Malformed);
-        assert_eq!(open(key, b"NOPE12345678xxxx").unwrap_err(), AuthError::Malformed);
+        assert_eq!(
+            open(key, b"NOPE12345678xxxx").unwrap_err(),
+            AuthError::Malformed
+        );
         // Right length + magic but garbage MAC.
         let mut garbage = b"SEC1".to_vec();
         garbage.extend_from_slice(&[0u8; 8]);

@@ -10,7 +10,7 @@
 use crate::cdr::{CdrError, CdrReader};
 use crate::giop::{Message, ReplyStatus};
 use crate::ior::{Endpoint, Ior, ObjectKey};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Application- or ORB-level invocation failure raised by a servant.
@@ -66,8 +66,11 @@ pub trait Servant {
     ///
     /// Returns a [`ServerException`] for unknown operations, argument
     /// unmarshalling failures, or application errors.
-    fn dispatch(&mut self, operation: &str, args: &mut CdrReader<'_>)
-        -> Result<Vec<u8>, ServerException>;
+    fn dispatch(
+        &mut self,
+        operation: &str,
+        args: &mut CdrReader<'_>,
+    ) -> Result<Vec<u8>, ServerException>;
 }
 
 /// Object adapter: routes requests to activated servants.
@@ -97,7 +100,7 @@ pub trait Servant {
 /// ```
 pub struct Poa {
     endpoint: Endpoint,
-    servants: HashMap<ObjectKey, Box<dyn Servant>>,
+    servants: BTreeMap<ObjectKey, Box<dyn Servant>>,
     dispatched: u64,
 }
 
@@ -116,7 +119,7 @@ impl Poa {
     pub fn new(endpoint: Endpoint) -> Self {
         Poa {
             endpoint,
-            servants: HashMap::new(),
+            servants: BTreeMap::new(),
             dispatched: 0,
         }
     }
@@ -278,7 +281,9 @@ mod tests {
     #[test]
     fn user_exception_maps_to_user_status() {
         let mut poa = poa_with_adder();
-        let reply = poa.handle_request(&request("adder", "fail", vec![], true)).unwrap();
+        let reply = poa
+            .handle_request(&request("adder", "fail", vec![], true))
+            .unwrap();
         let Message::Reply { status, body, .. } = reply else {
             panic!()
         };
@@ -289,31 +294,44 @@ mod tests {
     #[test]
     fn unknown_operation_is_system_exception() {
         let mut poa = poa_with_adder();
-        let reply = poa.handle_request(&request("adder", "nope", vec![], true)).unwrap();
-        let Message::Reply { status, .. } = reply else { panic!() };
+        let reply = poa
+            .handle_request(&request("adder", "nope", vec![], true))
+            .unwrap();
+        let Message::Reply { status, .. } = reply else {
+            panic!()
+        };
         assert_eq!(status, ReplyStatus::SystemException);
     }
 
     #[test]
     fn unknown_object_is_system_exception() {
         let mut poa = poa_with_adder();
-        let reply = poa.handle_request(&request("ghost", "add", vec![], true)).unwrap();
-        let Message::Reply { status, .. } = reply else { panic!() };
+        let reply = poa
+            .handle_request(&request("ghost", "add", vec![], true))
+            .unwrap();
+        let Message::Reply { status, .. } = reply else {
+            panic!()
+        };
         assert_eq!(status, ReplyStatus::SystemException);
     }
 
     #[test]
     fn marshal_error_is_system_exception() {
         let mut poa = poa_with_adder();
-        let reply = poa.handle_request(&request("adder", "add", vec![1], true)).unwrap();
-        let Message::Reply { status, .. } = reply else { panic!() };
+        let reply = poa
+            .handle_request(&request("adder", "add", vec![1], true))
+            .unwrap();
+        let Message::Reply { status, .. } = reply else {
+            panic!()
+        };
         assert_eq!(status, ReplyStatus::SystemException);
     }
 
     #[test]
     fn oneway_requests_get_no_reply() {
         let mut poa = poa_with_adder();
-        let reply = poa.handle_request(&request("adder", "add", (1i64, 1i64).to_cdr_bytes(), false));
+        let reply =
+            poa.handle_request(&request("adder", "add", (1i64, 1i64).to_cdr_bytes(), false));
         assert!(reply.is_none());
         assert_eq!(poa.dispatched(), 1);
     }

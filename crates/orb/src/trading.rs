@@ -8,16 +8,43 @@
 //! application requirements become the constraint and preferences become the
 //! preference expression — exactly the role the paper assigns to the JacORB
 //! Trader in its prototype.
+//!
+//! # Query engine
+//!
+//! The trader indexes its offer store three ways so that the scheduler-side
+//! query path scales past linear scans:
+//!
+//! * offers are bucketed by interned service type, so a query never touches
+//!   offers of other types;
+//! * every numeric (long/double/bool) property value is mirrored into a
+//!   sorted secondary index keyed by `(service type, property slot)`,
+//!   maintained incrementally on export/modify/withdraw;
+//! * `(constraint, preference)` pairs compile once into a [`QueryPlan`] —
+//!   property names resolved to dense slot ids, indexable conjuncts
+//!   extracted — and are memoised in an LRU cache, so repeated queries
+//!   (the GRM re-issuing an application's requirements every scheduling
+//!   round) skip parsing and name resolution entirely.
+//!
+//! At query time the most selective indexed conjunct supplies a candidate
+//! range scan (a superset of the matches — the full constraint is still
+//! evaluated per candidate), and `max`/`min` preferences keep a bounded
+//! binary heap of the best `max_offers` candidates instead of sorting every
+//! match. Results are byte-identical to the retained reference
+//! implementation ([`Trader::query_reference`]); `tests/trader_parity.rs`
+//! holds the two paths together under randomised offers and constraints.
 
 use crate::any::AnyValue;
 use crate::cdr::{CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
-use crate::constraint::{self, Expr, ParseError};
+use crate::constraint::{self, Expr, ParseError, SlotExpr, SlotId};
 use crate::ior::Ior;
 use crate::servant::{Servant, ServerException};
 use integrade_simnet::rng::DetRng;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
+use std::ops::Bound;
+use std::rc::Rc;
 
 /// Handle to an exported offer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -138,7 +165,269 @@ impl fmt::Display for TraderError {
 
 impl std::error::Error for TraderError {}
 
-/// The trader: an offer store with constraint-based query.
+/// Interned service-type id, local to one trader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct TypeId(u32);
+
+/// String interner mapping names to dense ids; ids are never reused or
+/// renumbered, so compiled plans stay valid for the trader's lifetime.
+#[derive(Debug, Default)]
+struct Interner {
+    ids: BTreeMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.ids.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// Totally ordered index key for numeric property values.
+///
+/// Longs, doubles and bools (as 0/1) share one key space, matching the
+/// numeric widening of the constraint language. `-0.0` is normalised to
+/// `0.0` so that index order agrees with `partial_cmp` (which treats the
+/// two as equal and falls through to the offer-id tiebreak).
+#[derive(Debug, Clone, Copy)]
+struct IndexKey(f64);
+
+impl IndexKey {
+    fn new(v: f64) -> IndexKey {
+        IndexKey(if v == 0.0 { 0.0 } else { v })
+    }
+
+    fn of(value: &AnyValue) -> Option<IndexKey> {
+        match value {
+            AnyValue::Long(n) => Some(IndexKey::new(*n as f64)),
+            AnyValue::Double(d) => Some(IndexKey::new(*d)),
+            AnyValue::Bool(b) => Some(IndexKey::new(if *b { 1.0 } else { 0.0 })),
+            AnyValue::Str(_) | AnyValue::Seq(_) => None,
+        }
+    }
+}
+
+impl PartialEq for IndexKey {
+    fn eq(&self, other: &IndexKey) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for IndexKey {}
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &IndexKey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for IndexKey {
+    fn cmp(&self, other: &IndexKey) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// One indexable conjunct of a constraint: offers of the queried type whose
+/// value in `slot` lies outside `[lo, hi]` cannot match the constraint, so
+/// the sorted index over that slot yields a candidate superset.
+#[derive(Debug, Clone, Copy)]
+struct RangeFilter {
+    slot: SlotId,
+    lo: Bound<IndexKey>,
+    hi: Bound<IndexKey>,
+}
+
+/// A compiled `(constraint, preference)` pair.
+///
+/// Produced by [`Trader::prepare`]; holds the slot-resolved constraint and
+/// preference expressions plus the indexable conjuncts extracted from the
+/// constraint's top-level `and` spine. Plans are immutable and remain valid
+/// for the trader's lifetime (slot ids are never renumbered).
+#[derive(Debug)]
+pub struct QueryPlan {
+    constraint: SlotExpr,
+    preference: PlanPreference,
+    prefilters: Vec<RangeFilter>,
+}
+
+#[derive(Debug)]
+enum PlanPreference {
+    Max(SlotExpr),
+    Min(SlotExpr),
+    Random,
+    First,
+}
+
+/// Extracts range prefilters from the top-level `and` spine.
+///
+/// Soundness: for an `and`-conjunct, any offer for which the conjunct is
+/// false *or undefined* cannot match the whole constraint. A comparison
+/// between a property and a numeric/bool literal is false-or-undefined for
+/// every offer whose value in that slot is missing, non-numeric, or outside
+/// the literal's range — exactly the offers a range scan over the numeric
+/// index omits. Offers inside the range are only candidates: the full
+/// constraint is re-evaluated for each.
+fn collect_prefilters(expr: &SlotExpr, out: &mut Vec<RangeFilter>) {
+    use constraint::CmpOp;
+    match expr {
+        SlotExpr::And(a, b) => {
+            collect_prefilters(a, out);
+            collect_prefilters(b, out);
+        }
+        // A bare property conjunct matches only `Bool(true)`, indexed at 1.
+        SlotExpr::Prop(slot) => out.push(RangeFilter {
+            slot: *slot,
+            lo: Bound::Included(IndexKey::new(1.0)),
+            hi: Bound::Included(IndexKey::new(1.0)),
+        }),
+        SlotExpr::Cmp(op, a, b) => {
+            let (slot, lit, op) = match (&**a, &**b) {
+                (SlotExpr::Prop(slot), SlotExpr::Lit(lit)) => (*slot, lit, *op),
+                // `lit op prop` mirrors to `prop flip(op) lit`.
+                (SlotExpr::Lit(lit), SlotExpr::Prop(slot)) => {
+                    let flipped = match op {
+                        CmpOp::Lt => CmpOp::Gt,
+                        CmpOp::Le => CmpOp::Ge,
+                        CmpOp::Gt => CmpOp::Lt,
+                        CmpOp::Ge => CmpOp::Le,
+                        CmpOp::Eq | CmpOp::Ne => *op,
+                    };
+                    (*slot, lit, flipped)
+                }
+                _ => return,
+            };
+            let Some(key) = IndexKey::of(lit) else {
+                // String/sequence literals have no numeric-index image.
+                return;
+            };
+            let (lo, hi) = match op {
+                CmpOp::Eq => (Bound::Included(key), Bound::Included(key)),
+                CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(key)),
+                CmpOp::Le => (Bound::Unbounded, Bound::Included(key)),
+                CmpOp::Gt => (Bound::Excluded(key), Bound::Unbounded),
+                CmpOp::Ge => (Bound::Included(key), Bound::Unbounded),
+                // `!=` excludes a single point: not a contiguous range.
+                CmpOp::Ne => return,
+            };
+            out.push(RangeFilter { slot, lo, hi });
+        }
+        _ => {}
+    }
+}
+
+/// Sort rank of a matched offer under a `max`/`min` preference, ordered
+/// ascending. Matches the reference comparator for all non-NaN keys:
+/// defined keys first (ascending; negated for `max`), ties and undefined
+/// keys by offer id. Offers with NaN preference keys have unspecified
+/// relative order in both implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Rank {
+    undefined: bool,
+    key: IndexKey,
+    id: OfferId,
+}
+
+const PLAN_CACHE_CAP: usize = 64;
+
+#[derive(Debug)]
+struct PlanEntry {
+    plan: Rc<QueryPlan>,
+    last_used: u64,
+}
+
+/// LRU cache of compiled plans, keyed by `(constraint, preference)` string
+/// pair. Nested maps allow lookup from `&str` without building an owned
+/// composite key on the hit path.
+#[derive(Debug, Default)]
+struct PlanCache {
+    map: BTreeMap<String, BTreeMap<String, PlanEntry>>,
+    len: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    fn get(&mut self, constraint: &str, preference: &str) -> Option<Rc<QueryPlan>> {
+        self.tick += 1;
+        let entry = self.map.get_mut(constraint)?.get_mut(preference)?;
+        entry.last_used = self.tick;
+        self.hits += 1;
+        Some(Rc::clone(&entry.plan))
+    }
+
+    fn insert(&mut self, constraint: &str, preference: &str, plan: Rc<QueryPlan>) {
+        self.misses += 1;
+        self.tick += 1;
+        if self.len >= PLAN_CACHE_CAP {
+            self.evict_lru();
+        }
+        let inserted = self
+            .map
+            .entry(constraint.to_owned())
+            .or_default()
+            .insert(
+                preference.to_owned(),
+                PlanEntry {
+                    plan,
+                    last_used: self.tick,
+                },
+            )
+            .is_none();
+        if inserted {
+            self.len += 1;
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .map
+            .iter()
+            .flat_map(|(c, prefs)| prefs.iter().map(move |(p, e)| (e.last_used, c, p)))
+            .min_by_key(|(used, _, _)| *used)
+            .map(|(_, c, p)| (c.clone(), p.clone()));
+        if let Some((c, p)) = victim {
+            if let Some(prefs) = self.map.get_mut(&c) {
+                prefs.remove(&p);
+                if prefs.is_empty() {
+                    self.map.remove(&c);
+                }
+            }
+            self.len -= 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.len = 0;
+    }
+}
+
+/// One stored offer: the public `ServiceOffer` view plus the dense slot
+/// table the query engine evaluates against.
+#[derive(Debug)]
+struct OfferRecord {
+    offer: ServiceOffer,
+    type_id: TypeId,
+    slots: Vec<Option<AnyValue>>,
+}
+
+/// The trader: an indexed offer store with constraint-based query.
 ///
 /// # Examples
 ///
@@ -152,17 +441,25 @@ impl std::error::Error for TraderError {}
 /// let ior = Ior::new("IDL:integrade/Lrm:1.0", Endpoint::new(1, 0), ObjectKey::new("lrm"));
 /// let mut props = BTreeMap::new();
 /// props.insert("cpu_mips".to_owned(), AnyValue::Long(800));
-/// trader.export("integrade::node", ior, props).unwrap();
+/// trader.export("integrade::node", &ior, props).unwrap();
 ///
 /// let hits = trader.query("integrade::node", "cpu_mips >= 500", "first", 10).unwrap();
 /// assert_eq!(hits.len(), 1);
 /// ```
 #[derive(Debug)]
 pub struct Trader {
-    offers: BTreeMap<OfferId, ServiceOffer>,
+    offers: BTreeMap<OfferId, OfferRecord>,
     next_id: u64,
     rng: DetRng,
     queries: u64,
+    type_names: Interner,
+    prop_names: Interner,
+    /// Offers bucketed by service type, in export (id) order.
+    by_type: BTreeMap<TypeId, BTreeSet<OfferId>>,
+    /// Sorted secondary index over every numeric property value.
+    num_index: BTreeMap<(TypeId, SlotId), BTreeSet<(IndexKey, OfferId)>>,
+    plans: PlanCache,
+    use_indexes: bool,
 }
 
 impl Trader {
@@ -173,6 +470,12 @@ impl Trader {
             next_id: 1,
             rng: DetRng::with_stream(seed, 0x7261_6465 /* "rade" */),
             queries: 0,
+            type_names: Interner::default(),
+            prop_names: Interner::default(),
+            by_type: BTreeMap::new(),
+            num_index: BTreeMap::new(),
+            plans: PlanCache::default(),
+            use_indexes: true,
         }
     }
 
@@ -185,18 +488,38 @@ impl Trader {
     pub fn export(
         &mut self,
         service_type: &str,
-        reference: Ior,
+        reference: &Ior,
         properties: BTreeMap<String, AnyValue>,
     ) -> Result<OfferId, TraderError> {
         let id = OfferId(self.next_id);
         self.next_id += 1;
+        let type_id = TypeId(self.type_names.intern(service_type));
+        let mut slots = vec![None; self.prop_names.len()];
+        for (name, value) in &properties {
+            let slot = SlotId(self.prop_names.intern(name));
+            if slot.0 as usize >= slots.len() {
+                slots.resize(slot.0 as usize + 1, None);
+            }
+            if let Some(key) = IndexKey::of(value) {
+                self.num_index
+                    .entry((type_id, slot))
+                    .or_default()
+                    .insert((key, id));
+            }
+            slots[slot.0 as usize] = Some(value.clone());
+        }
+        self.by_type.entry(type_id).or_default().insert(id);
         self.offers.insert(
             id,
-            ServiceOffer {
-                id,
-                service_type: service_type.to_owned(),
-                reference,
-                properties,
+            OfferRecord {
+                offer: ServiceOffer {
+                    id,
+                    service_type: service_type.to_owned(),
+                    reference: reference.clone(),
+                    properties,
+                },
+                type_id,
+                slots,
             },
         );
         Ok(id)
@@ -208,11 +531,21 @@ impl Trader {
     ///
     /// Fails if the offer is unknown.
     pub fn withdraw(&mut self, id: OfferId) -> Result<ServiceOffer, TraderError> {
-        self.offers.remove(&id).ok_or(TraderError::UnknownOffer(id))
+        let rec = self
+            .offers
+            .remove(&id)
+            .ok_or(TraderError::UnknownOffer(id))?;
+        self.unindex_slots(rec.type_id, id, &rec.slots);
+        if let Some(bucket) = self.by_type.get_mut(&rec.type_id) {
+            bucket.remove(&id);
+        }
+        Ok(rec.offer)
     }
 
-    /// Replaces an offer's properties (InteGrade's Information Update
-    /// Protocol refreshes node status this way).
+    /// Replaces an offer's properties wholesale.
+    ///
+    /// For the periodic status refresh, prefer [`Trader::modify_values`],
+    /// which updates values in place without rebuilding the property map.
     ///
     /// # Errors
     ///
@@ -222,14 +555,114 @@ impl Trader {
         id: OfferId,
         properties: BTreeMap<String, AnyValue>,
     ) -> Result<(), TraderError> {
-        let offer = self.offers.get_mut(&id).ok_or(TraderError::UnknownOffer(id))?;
-        offer.properties = properties;
+        // Take the record out so the interner and indexes can be borrowed
+        // mutably while rebuilding it.
+        let mut rec = self
+            .offers
+            .remove(&id)
+            .ok_or(TraderError::UnknownOffer(id))?;
+        self.unindex_slots(rec.type_id, id, &rec.slots);
+        rec.slots.clear();
+        rec.slots.resize(self.prop_names.len(), None);
+        for (name, value) in &properties {
+            let slot = SlotId(self.prop_names.intern(name));
+            if slot.0 as usize >= rec.slots.len() {
+                rec.slots.resize(slot.0 as usize + 1, None);
+            }
+            if let Some(key) = IndexKey::of(value) {
+                self.num_index
+                    .entry((rec.type_id, slot))
+                    .or_default()
+                    .insert((key, id));
+            }
+            rec.slots[slot.0 as usize] = Some(value.clone());
+        }
+        rec.offer.properties = properties;
+        self.offers.insert(id, rec);
         Ok(())
+    }
+
+    /// Updates individual property values in place — the allocation-free
+    /// path for InteGrade's Information Update Protocol, which rewrites the
+    /// same few numeric fields of every node offer each period.
+    ///
+    /// Slot ids must come from [`Trader::property_slot`] on this trader.
+    /// Existing property keys are reused (no `String` allocation per
+    /// update); secondary-index entries are touched only for values that
+    /// actually changed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the offer is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot id was not issued by this trader.
+    pub fn modify_values<I>(&mut self, id: OfferId, updates: I) -> Result<(), TraderError>
+    where
+        I: IntoIterator<Item = (SlotId, AnyValue)>,
+    {
+        let Trader {
+            offers,
+            num_index,
+            prop_names,
+            ..
+        } = self;
+        let rec = offers.get_mut(&id).ok_or(TraderError::UnknownOffer(id))?;
+        for (slot, value) in updates {
+            let si = slot.0 as usize;
+            assert!(
+                si < prop_names.len(),
+                "slot {slot:?} was not issued by this trader"
+            );
+            if si >= rec.slots.len() {
+                rec.slots.resize(si + 1, None);
+            }
+            if rec.slots[si].as_ref() == Some(&value) {
+                continue;
+            }
+            if let Some(old_key) = rec.slots[si].as_ref().and_then(IndexKey::of) {
+                if let Some(index) = num_index.get_mut(&(rec.type_id, slot)) {
+                    index.remove(&(old_key, id));
+                }
+            }
+            if let Some(key) = IndexKey::of(&value) {
+                num_index
+                    .entry((rec.type_id, slot))
+                    .or_default()
+                    .insert((key, id));
+            }
+            let name = prop_names.name(slot.0);
+            match rec.offer.properties.get_mut(name) {
+                Some(existing) => *existing = value.clone(),
+                None => {
+                    rec.offer.properties.insert(name.to_owned(), value.clone());
+                }
+            }
+            rec.slots[si] = Some(value);
+        }
+        Ok(())
+    }
+
+    fn unindex_slots(&mut self, type_id: TypeId, id: OfferId, slots: &[Option<AnyValue>]) {
+        for (si, value) in slots.iter().enumerate() {
+            if let Some(key) = value.as_ref().and_then(IndexKey::of) {
+                if let Some(index) = self.num_index.get_mut(&(type_id, SlotId(si as u32))) {
+                    index.remove(&(key, id));
+                }
+            }
+        }
+    }
+
+    /// Interns a property name, returning its stable slot id for use with
+    /// [`Trader::modify_values`].
+    pub fn property_slot(&mut self, name: &str) -> SlotId {
+        SlotId(self.prop_names.intern(name))
     }
 
     /// Looks up one offer.
     pub fn offer(&self, id: OfferId) -> Option<&ServiceOffer> {
-        self.offers.get(&id)
+        self.offers.get(&id).map(|rec| &rec.offer)
     }
 
     /// Number of live offers.
@@ -242,8 +675,66 @@ impl Trader {
         self.queries
     }
 
+    /// `(hits, misses)` of the compiled-plan cache.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.plans.hits, self.plans.misses)
+    }
+
+    /// Drops all cached query plans (benchmark knob for measuring the
+    /// cold-plan path; plans are otherwise evicted only by LRU pressure).
+    pub fn clear_plan_cache(&mut self) {
+        self.plans.clear();
+    }
+
+    /// Enables or disables range-scan prefiltering from the numeric
+    /// indexes (benchmark knob; results are identical either way because
+    /// the full constraint is evaluated per candidate).
+    pub fn set_use_indexes(&mut self, enabled: bool) {
+        self.use_indexes = enabled;
+    }
+
+    /// Compiles (or fetches from cache) the plan for a
+    /// `(constraint, preference)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the constraint or preference strings are malformed.
+    pub fn prepare(
+        &mut self,
+        constraint_str: &str,
+        preference_str: &str,
+    ) -> Result<Rc<QueryPlan>, TraderError> {
+        if let Some(plan) = self.plans.get(constraint_str, preference_str) {
+            return Ok(plan);
+        }
+        let expr = constraint::parse(constraint_str).map_err(TraderError::BadConstraint)?;
+        let preference = Preference::parse(preference_str).map_err(TraderError::BadPreference)?;
+        let prop_names = &mut self.prop_names;
+        let mut intern = |name: &str| SlotId(prop_names.intern(name));
+        let constraint = constraint::compile(&expr, &mut intern);
+        let preference = match &preference {
+            Preference::Max(e) => PlanPreference::Max(constraint::compile(e, &mut intern)),
+            Preference::Min(e) => PlanPreference::Min(constraint::compile(e, &mut intern)),
+            Preference::Random => PlanPreference::Random,
+            Preference::First => PlanPreference::First,
+        };
+        let mut prefilters = Vec::new();
+        collect_prefilters(&constraint, &mut prefilters);
+        let plan = Rc::new(QueryPlan {
+            constraint,
+            preference,
+            prefilters,
+        });
+        self.plans
+            .insert(constraint_str, preference_str, Rc::clone(&plan));
+        Ok(plan)
+    }
+
     /// Finds up to `max_offers` offers of `service_type` satisfying
     /// `constraint_str`, ordered by `preference_str`.
+    ///
+    /// Equivalent to [`Trader::prepare`] + [`Trader::query_plan`]; repeated
+    /// queries with the same strings hit the plan cache.
     ///
     /// # Errors
     ///
@@ -257,6 +748,294 @@ impl Trader {
         preference_str: &str,
         max_offers: usize,
     ) -> Result<Vec<ServiceOffer>, TraderError> {
+        let plan = self.prepare(constraint_str, preference_str)?;
+        Ok(self.query_plan(service_type, &plan, max_offers))
+    }
+
+    /// Runs a compiled plan against the current offer store.
+    pub fn query_plan(
+        &mut self,
+        service_type: &str,
+        plan: &QueryPlan,
+        max_offers: usize,
+    ) -> Vec<ServiceOffer> {
+        self.queries += 1;
+        // Fast path: `max p` / `min p` over a bare indexed numeric property
+        // walks the secondary index in rank order and stops after
+        // `max_offers` matches, instead of evaluating the whole bucket.
+        if self.use_indexes {
+            if let PlanPreference::Max(SlotExpr::Prop(slot))
+            | PlanPreference::Min(SlotExpr::Prop(slot)) = &plan.preference
+            {
+                let maximise = matches!(plan.preference, PlanPreference::Max(_));
+                if let Some(hits) =
+                    self.top_k_ordered_scan(service_type, *slot, plan, maximise, max_offers)
+                {
+                    return hits;
+                }
+            }
+        }
+        let matched = self.matched_ids(service_type, plan, max_offers);
+        match &plan.preference {
+            PlanPreference::First => matched
+                .into_iter()
+                .take(max_offers)
+                .map(|id| self.offers[&id].offer.clone())
+                .collect(),
+            PlanPreference::Random => {
+                // Shuffle the full match list (not just the returned
+                // prefix) so the RNG stream stays in lockstep with the
+                // reference implementation.
+                let mut ids = matched;
+                self.rng.shuffle(&mut ids);
+                ids.into_iter()
+                    .take(max_offers)
+                    .map(|id| self.offers[&id].offer.clone())
+                    .collect()
+            }
+            PlanPreference::Max(expr) | PlanPreference::Min(expr) => {
+                let maximise = matches!(plan.preference, PlanPreference::Max(_));
+                self.top_k(&matched, expr, maximise, max_offers)
+            }
+        }
+    }
+
+    /// Candidate generation + constraint evaluation, in ascending offer-id
+    /// order (the order every preference builds on).
+    fn matched_ids(&self, service_type: &str, plan: &QueryPlan, max_offers: usize) -> Vec<OfferId> {
+        let Some(type_id) = self.type_names.get(service_type).map(TypeId) else {
+            return Vec::new();
+        };
+        let Some(bucket) = self.by_type.get(&type_id) else {
+            return Vec::new();
+        };
+
+        // Pick the most selective indexed conjunct by counting each range
+        // with early abort at the best size seen so far; the full bucket
+        // scan is the baseline to beat.
+        let mut candidates: Option<Vec<OfferId>> = None;
+        if self.use_indexes && !plan.prefilters.is_empty() {
+            let mut best: Option<&RangeFilter> = None;
+            let mut best_count = bucket.len();
+            for filter in &plan.prefilters {
+                let count = match self.num_index.get(&(type_id, filter.slot)) {
+                    Some(index) => index.range(range_bounds(filter)).take(best_count).count(),
+                    // No offer of this type has a numeric value in the
+                    // slot, so the conjunct is false/undefined for all.
+                    None => 0,
+                };
+                if count < best_count || best.is_none() && count == 0 {
+                    best_count = count;
+                    best = Some(filter);
+                    if count == 0 {
+                        break;
+                    }
+                }
+            }
+            if let Some(filter) = best {
+                let mut ids: Vec<OfferId> = self
+                    .num_index
+                    .get(&(type_id, filter.slot))
+                    .map(|index| {
+                        index
+                            .range(range_bounds(filter))
+                            .map(|(_, id)| *id)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                ids.sort_unstable();
+                candidates = Some(ids);
+            }
+        }
+
+        // `first` can stop at max_offers matches because candidates arrive
+        // in id order; the other preferences need the full match set.
+        let stop_at = match plan.preference {
+            PlanPreference::First => max_offers,
+            _ => usize::MAX,
+        };
+        let mut matched = Vec::new();
+        let mut push = |id: OfferId, rec: &OfferRecord| {
+            if constraint::matches_slots(&plan.constraint, &rec.slots) {
+                matched.push(id);
+            }
+            matched.len() >= stop_at
+        };
+        match candidates {
+            Some(ids) => {
+                for id in ids {
+                    if push(id, &self.offers[&id]) {
+                        break;
+                    }
+                }
+            }
+            None => {
+                for &id in bucket {
+                    if push(id, &self.offers[&id]) {
+                        break;
+                    }
+                }
+            }
+        }
+        matched
+    }
+
+    /// Index-ordered top-k for `max p` / `min p` over a bare property:
+    /// walks `num_index[(type, slot)]` from the best key towards the worst,
+    /// evaluating the constraint per entry, and stops once `k` matches and
+    /// the full tie group of the k-th key are in hand. Offers *not* in the
+    /// index have an undefined preference key (`as_f64` is `None` for
+    /// missing, string and sequence values) and rank after every defined
+    /// key, so they are only consulted when the index runs dry.
+    ///
+    /// Returns `None` to fall back to the general path when the rank order
+    /// of the index cannot be trusted: a `Bool` value indexes as 0/1 but
+    /// ranks as undefined under `max`/`min`, exactly like the reference.
+    fn top_k_ordered_scan(
+        &self,
+        service_type: &str,
+        slot: SlotId,
+        plan: &QueryPlan,
+        maximise: bool,
+        k: usize,
+    ) -> Option<Vec<ServiceOffer>> {
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        let type_id = TypeId(self.type_names.get(service_type)?);
+        let index = self.num_index.get(&(type_id, slot))?;
+
+        let mut hits: Vec<(IndexKey, OfferId)> = Vec::new();
+        let mut boundary: Option<IndexKey> = None;
+        let entries: Box<dyn Iterator<Item = &(IndexKey, OfferId)>> = if maximise {
+            Box::new(index.iter().rev())
+        } else {
+            Box::new(index.iter())
+        };
+        for &(key, id) in entries {
+            if let Some(b) = boundary {
+                // The walk is monotone, so the first key past the k-th
+                // match's tie group ends the scan.
+                if key != b {
+                    break;
+                }
+            }
+            let rec = &self.offers[&id];
+            if matches!(
+                rec.slots.get(slot.0 as usize),
+                Some(Some(AnyValue::Bool(_)))
+            ) {
+                return None;
+            }
+            if constraint::matches_slots(&plan.constraint, &rec.slots) {
+                hits.push((key, id));
+                if hits.len() == k {
+                    boundary = Some(key);
+                }
+            }
+        }
+
+        let mut ranks: Vec<Rank> = hits
+            .into_iter()
+            .map(|(key, id)| Rank {
+                undefined: false,
+                key: if maximise { IndexKey::new(-key.0) } else { key },
+                id,
+            })
+            .collect();
+        ranks.sort_unstable();
+        let mut out: Vec<ServiceOffer> = ranks
+            .into_iter()
+            .take(k)
+            .map(|rank| self.offers[&rank.id].offer.clone())
+            .collect();
+
+        if out.len() < k {
+            // Defined keys are exhausted; fill the tail with undefined-rank
+            // matches (bucket offers with no numeric value in the slot),
+            // which the reference orders by ascending id after all defined
+            // keys — the bucket's natural order.
+            let bucket = self.by_type.get(&type_id)?;
+            for &id in bucket {
+                if out.len() >= k {
+                    break;
+                }
+                let rec = &self.offers[&id];
+                let indexed = rec
+                    .slots
+                    .get(slot.0 as usize)
+                    .and_then(Option::as_ref)
+                    .and_then(IndexKey::of)
+                    .is_some();
+                if !indexed && constraint::matches_slots(&plan.constraint, &rec.slots) {
+                    out.push(rec.offer.clone());
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Selects the best `k` offers under a `max`/`min` preference with a
+    /// bounded binary heap: O(n log k) instead of sorting all n matches.
+    fn top_k(
+        &self,
+        matched: &[OfferId],
+        expr: &SlotExpr,
+        maximise: bool,
+        k: usize,
+    ) -> Vec<ServiceOffer> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Max-heap of the k smallest ranks: the root is the current worst.
+        let mut heap: BinaryHeap<Rank> = BinaryHeap::with_capacity(k + 1);
+        for &id in matched {
+            let rec = &self.offers[&id];
+            let key = constraint::eval_slots(expr, &rec.slots)
+                .ok()
+                .and_then(|v| v.as_f64());
+            let rank = Rank {
+                undefined: key.is_none(),
+                key: IndexKey::new(match key {
+                    // Ascending rank order must put the best key first, so
+                    // `max` negates (exact order reversal under total_cmp).
+                    Some(v) if maximise => -v,
+                    Some(v) => v,
+                    None => 0.0,
+                }),
+                id,
+            };
+            if heap.len() < k {
+                heap.push(rank);
+            } else if rank < *heap.peek().expect("heap is non-empty when len == k") {
+                heap.pop();
+                heap.push(rank);
+            }
+        }
+        let mut ranks = heap.into_vec();
+        ranks.sort_unstable();
+        ranks
+            .into_iter()
+            .map(|rank| self.offers[&rank.id].offer.clone())
+            .collect()
+    }
+
+    /// The pre-index linear-scan implementation, retained verbatim as the
+    /// oracle for `tests/trader_parity.rs` and as the honest baseline for
+    /// the before/after benchmarks. Semantically identical to
+    /// [`Trader::query`] (including RNG consumption under `random`), minus
+    /// the indexes and plan cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the constraint or preference strings are malformed.
+    pub fn query_reference(
+        &mut self,
+        service_type: &str,
+        constraint_str: &str,
+        preference_str: &str,
+        max_offers: usize,
+    ) -> Result<Vec<ServiceOffer>, TraderError> {
         let expr = constraint::parse(constraint_str).map_err(TraderError::BadConstraint)?;
         let preference = Preference::parse(preference_str).map_err(TraderError::BadPreference)?;
         self.queries += 1;
@@ -264,6 +1043,7 @@ impl Trader {
         let mut matched: Vec<&ServiceOffer> = self
             .offers
             .values()
+            .map(|rec| &rec.offer)
             .filter(|o| o.service_type == service_type)
             .filter(|o| constraint::matches(&expr, &o.properties))
             .collect();
@@ -289,12 +1069,16 @@ impl Trader {
                 keyed.sort_by(|(ka, oa), (kb, ob)| {
                     match (ka, kb) {
                         (Some(a), Some(b)) => {
-                            let ord = a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal);
-                            if minimise { ord } else { ord.reverse() }
+                            let ord = a.partial_cmp(b).unwrap_or(Ordering::Equal);
+                            if minimise {
+                                ord
+                            } else {
+                                ord.reverse()
+                            }
                         }
-                        (Some(_), None) => std::cmp::Ordering::Less, // defined first
-                        (None, Some(_)) => std::cmp::Ordering::Greater,
-                        (None, None) => std::cmp::Ordering::Equal,
+                        (Some(_), None) => Ordering::Less, // defined first
+                        (None, Some(_)) => Ordering::Greater,
+                        (None, None) => Ordering::Equal,
                     }
                     .then(oa.id.cmp(&ob.id))
                 });
@@ -304,6 +1088,23 @@ impl Trader {
 
         Ok(matched.into_iter().take(max_offers).cloned().collect())
     }
+}
+
+/// An entry in a `(service type, slot)` secondary index.
+type IndexEntry = (IndexKey, OfferId);
+
+fn range_bounds(filter: &RangeFilter) -> (Bound<IndexEntry>, Bound<IndexEntry>) {
+    let lo = match filter.lo {
+        Bound::Included(k) => Bound::Included((k, OfferId(0))),
+        Bound::Excluded(k) => Bound::Excluded((k, OfferId(u64::MAX))),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    let hi = match filter.hi {
+        Bound::Included(k) => Bound::Included((k, OfferId(u64::MAX))),
+        Bound::Excluded(k) => Bound::Excluded((k, OfferId(0))),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    (lo, hi)
 }
 
 /// Remote-object wrapper around [`Trader`].
@@ -357,7 +1158,7 @@ impl Servant for TraderServant {
             "export" => {
                 let (service_type, reference, properties) =
                     <(String, Ior, BTreeMap<String, AnyValue>)>::decode(args)?;
-                let id = self.trader.export(&service_type, reference, properties)?;
+                let id = self.trader.export(&service_type, &reference, properties)?;
                 Ok(id.to_cdr_bytes())
             }
             "withdraw" => {
@@ -373,9 +1174,12 @@ impl Servant for TraderServant {
             "query" => {
                 let (service_type, constraint_str, preference_str, max) =
                     <(String, String, String, u32)>::decode(args)?;
-                let offers =
-                    self.trader
-                        .query(&service_type, &constraint_str, &preference_str, max as usize)?;
+                let offers = self.trader.query(
+                    &service_type,
+                    &constraint_str,
+                    &preference_str,
+                    max as usize,
+                )?;
                 Ok(offers.to_cdr_bytes())
             }
             other => Err(ServerException::BadOperation(other.to_owned())),
@@ -409,17 +1213,23 @@ mod tests {
 
     fn seeded_trader() -> Trader {
         let mut t = Trader::new(7);
-        t.export("integrade::node", node_ior(1), node_props(300, 32, true)).unwrap();
-        t.export("integrade::node", node_ior(2), node_props(800, 64, true)).unwrap();
-        t.export("integrade::node", node_ior(3), node_props(1200, 16, false)).unwrap();
-        t.export("other::service", node_ior(4), node_props(9999, 999, true)).unwrap();
+        t.export("integrade::node", &node_ior(1), node_props(300, 32, true))
+            .unwrap();
+        t.export("integrade::node", &node_ior(2), node_props(800, 64, true))
+            .unwrap();
+        t.export("integrade::node", &node_ior(3), node_props(1200, 16, false))
+            .unwrap();
+        t.export("other::service", &node_ior(4), node_props(9999, 999, true))
+            .unwrap();
         t
     }
 
     #[test]
     fn query_filters_by_type_and_constraint() {
         let mut t = seeded_trader();
-        let hits = t.query("integrade::node", "cpu_mips >= 500", "first", 10).unwrap();
+        let hits = t
+            .query("integrade::node", "cpu_mips >= 500", "first", 10)
+            .unwrap();
         let ids: Vec<u64> = hits.iter().map(|o| o.id.0).collect();
         assert_eq!(ids, vec![2, 3]);
     }
@@ -427,7 +1237,9 @@ mod tests {
     #[test]
     fn preference_max_orders_descending() {
         let mut t = seeded_trader();
-        let hits = t.query("integrade::node", "cpu_mips >= 0", "max cpu_mips", 10).unwrap();
+        let hits = t
+            .query("integrade::node", "cpu_mips >= 0", "max cpu_mips", 10)
+            .unwrap();
         let mips: Vec<i64> = hits
             .iter()
             .map(|o| o.properties["cpu_mips"].as_f64().unwrap() as i64)
@@ -438,7 +1250,9 @@ mod tests {
     #[test]
     fn preference_min_orders_ascending() {
         let mut t = seeded_trader();
-        let hits = t.query("integrade::node", "idle == true", "min cpu_mips", 10).unwrap();
+        let hits = t
+            .query("integrade::node", "idle == true", "min cpu_mips", 10)
+            .unwrap();
         let ids: Vec<u64> = hits.iter().map(|o| o.id.0).collect();
         assert_eq!(ids, vec![1, 2]);
     }
@@ -447,8 +1261,12 @@ mod tests {
     fn preference_random_is_deterministic_per_seed() {
         let mut a = seeded_trader();
         let mut b = seeded_trader();
-        let ha = a.query("integrade::node", "cpu_mips >= 0", "random", 10).unwrap();
-        let hb = b.query("integrade::node", "cpu_mips >= 0", "random", 10).unwrap();
+        let ha = a
+            .query("integrade::node", "cpu_mips >= 0", "random", 10)
+            .unwrap();
+        let hb = b
+            .query("integrade::node", "cpu_mips >= 0", "random", 10)
+            .unwrap();
         assert_eq!(
             ha.iter().map(|o| o.id).collect::<Vec<_>>(),
             hb.iter().map(|o| o.id).collect::<Vec<_>>()
@@ -459,7 +1277,9 @@ mod tests {
     #[test]
     fn max_offers_truncates() {
         let mut t = seeded_trader();
-        let hits = t.query("integrade::node", "cpu_mips >= 0", "max cpu_mips", 1).unwrap();
+        let hits = t
+            .query("integrade::node", "cpu_mips >= 0", "max cpu_mips", 1)
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].id.0, 3);
     }
@@ -467,18 +1287,79 @@ mod tests {
     #[test]
     fn undefined_preference_key_sorts_last() {
         let mut t = seeded_trader();
-        t.export("integrade::node", node_ior(5), BTreeMap::new()).unwrap();
-        let hits = t.query("integrade::node", "true", "max cpu_mips", 10).unwrap();
+        t.export("integrade::node", &node_ior(5), BTreeMap::new())
+            .unwrap();
+        let hits = t
+            .query("integrade::node", "true", "max cpu_mips", 10)
+            .unwrap();
         assert_eq!(hits.last().unwrap().id.0, 5);
     }
 
     #[test]
     fn modify_updates_visible_properties() {
         let mut t = Trader::new(1);
-        let id = t.export("integrade::node", node_ior(1), node_props(100, 8, true)).unwrap();
-        assert!(t.query("integrade::node", "cpu_mips >= 500", "first", 10).unwrap().is_empty());
+        let id = t
+            .export("integrade::node", &node_ior(1), node_props(100, 8, true))
+            .unwrap();
+        assert!(t
+            .query("integrade::node", "cpu_mips >= 500", "first", 10)
+            .unwrap()
+            .is_empty());
         t.modify(id, node_props(900, 8, true)).unwrap();
-        assert_eq!(t.query("integrade::node", "cpu_mips >= 500", "first", 10).unwrap().len(), 1);
+        assert_eq!(
+            t.query("integrade::node", "cpu_mips >= 500", "first", 10)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn modify_values_updates_in_place() {
+        let mut t = Trader::new(1);
+        let id = t
+            .export("integrade::node", &node_ior(1), node_props(100, 8, true))
+            .unwrap();
+        let mips = t.property_slot("cpu_mips");
+        let idle = t.property_slot("idle");
+        t.modify_values(
+            id,
+            [(mips, AnyValue::Long(900)), (idle, AnyValue::Bool(false))],
+        )
+        .unwrap();
+        // Both the dense slots (query path) and the BTreeMap view agree.
+        let hits = t
+            .query("integrade::node", "cpu_mips >= 500", "first", 10)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].properties["cpu_mips"], AnyValue::Long(900));
+        assert_eq!(hits[0].properties["idle"], AnyValue::Bool(false));
+        assert!(t
+            .query("integrade::node", "idle == true", "first", 10)
+            .unwrap()
+            .is_empty());
+        assert!(matches!(
+            t.modify_values(OfferId(99), [(mips, AnyValue::Long(1))]),
+            Err(TraderError::UnknownOffer(OfferId(99)))
+        ));
+    }
+
+    #[test]
+    fn modify_values_can_introduce_new_property() {
+        let mut t = Trader::new(1);
+        let id = t
+            .export("integrade::node", &node_ior(1), node_props(100, 8, true))
+            .unwrap();
+        let gpu = t.property_slot("gpu_count");
+        t.modify_values(id, [(gpu, AnyValue::Long(2))]).unwrap();
+        let hits = t
+            .query("integrade::node", "gpu_count >= 1", "first", 10)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            t.offer(id).unwrap().properties["gpu_count"],
+            AnyValue::Long(2)
+        );
     }
 
     #[test]
@@ -488,7 +1369,9 @@ mod tests {
         t.withdraw(id).unwrap();
         assert_eq!(t.withdraw(id).unwrap_err(), TraderError::UnknownOffer(id));
         assert_eq!(t.offer_count(), 3);
-        let hits = t.query("integrade::node", "cpu_mips >= 500", "first", 10).unwrap();
+        let hits = t
+            .query("integrade::node", "cpu_mips >= 500", "first", 10)
+            .unwrap();
         assert_eq!(hits.len(), 1);
     }
 
@@ -510,10 +1393,101 @@ mod tests {
         assert_eq!(Preference::parse("").unwrap(), Preference::First);
         assert_eq!(Preference::parse("first").unwrap(), Preference::First);
         assert_eq!(Preference::parse("random").unwrap(), Preference::Random);
-        assert!(matches!(Preference::parse("max cpu_mips").unwrap(), Preference::Max(_)));
-        assert!(matches!(Preference::parse("min 2 * load").unwrap(), Preference::Min(_)));
+        assert!(matches!(
+            Preference::parse("max cpu_mips").unwrap(),
+            Preference::Max(_)
+        ));
+        assert!(matches!(
+            Preference::parse("min 2 * load").unwrap(),
+            Preference::Min(_)
+        ));
         assert!(Preference::parse("max").is_err());
         assert!(Preference::parse("random stuff").is_err());
+    }
+
+    #[test]
+    fn plan_cache_hits_repeated_queries() {
+        let mut t = seeded_trader();
+        assert_eq!(t.plan_cache_stats(), (0, 0));
+        for _ in 0..5 {
+            t.query("integrade::node", "cpu_mips >= 500", "max cpu_mips", 10)
+                .unwrap();
+        }
+        assert_eq!(t.plan_cache_stats(), (4, 1));
+        t.clear_plan_cache();
+        t.query("integrade::node", "cpu_mips >= 500", "max cpu_mips", 10)
+            .unwrap();
+        assert_eq!(t.plan_cache_stats(), (4, 2));
+    }
+
+    #[test]
+    fn prepared_plan_queries_directly() {
+        let mut t = seeded_trader();
+        let plan = t.prepare("cpu_mips >= 500", "min cpu_mips").unwrap();
+        let hits = t.query_plan("integrade::node", &plan, 10);
+        let ids: Vec<u64> = hits.iter().map(|o| o.id.0).collect();
+        assert_eq!(ids, vec![2, 3]);
+        // The plan survives store mutations.
+        t.export("integrade::node", &node_ior(6), node_props(600, 8, true))
+            .unwrap();
+        let hits = t.query_plan("integrade::node", &plan, 10);
+        let ids: Vec<u64> = hits.iter().map(|o| o.id.0).collect();
+        assert_eq!(ids, vec![5, 2, 3]);
+    }
+
+    #[test]
+    fn indexed_and_scan_paths_agree() {
+        let mut with_index = Trader::new(11);
+        let mut without_index = Trader::new(11);
+        without_index.set_use_indexes(false);
+        for i in 0..100u32 {
+            let props = node_props(
+                300 + (i as i64 * 13) % 1700,
+                (i as i64 * 7) % 512,
+                i % 5 != 0,
+            );
+            with_index
+                .export("integrade::node", &node_ior(i), props.clone())
+                .unwrap();
+            without_index
+                .export("integrade::node", &node_ior(i), props)
+                .unwrap();
+        }
+        for (constraint, pref) in [
+            ("cpu_mips >= 500 and mem_mb >= 16", "max cpu_mips"),
+            ("idle and cpu_mips < 900", "min mem_mb"),
+            ("mem_mb == 0 or cpu_mips > 1500", "first"),
+            ("cpu_mips >= 0", "random"),
+        ] {
+            let a = with_index
+                .query("integrade::node", constraint, pref, 7)
+                .unwrap();
+            let b = without_index
+                .query("integrade::node", constraint, pref, 7)
+                .unwrap();
+            assert_eq!(a, b, "constraint {constraint:?} pref {pref:?}");
+        }
+    }
+
+    #[test]
+    fn query_matches_reference_implementation() {
+        let mut indexed = seeded_trader();
+        let mut reference = seeded_trader();
+        for (constraint, pref) in [
+            ("cpu_mips >= 500", "first"),
+            ("cpu_mips >= 0", "max cpu_mips"),
+            ("idle == true", "min cpu_mips"),
+            ("cpu_mips >= 0", "random"),
+            ("mem_mb > 10 and cpu_mips > 100", "max cpu_mips + mem_mb"),
+        ] {
+            let a = indexed
+                .query("integrade::node", constraint, pref, 10)
+                .unwrap();
+            let b = reference
+                .query_reference("integrade::node", constraint, pref, 10)
+                .unwrap();
+            assert_eq!(a, b, "constraint {constraint:?} pref {pref:?}");
+        }
     }
 
     #[test]
@@ -521,18 +1495,32 @@ mod tests {
         let mut bus = LoopbackBus::new();
         let ep = bus.add_orb(Endpoint::new(0, 1));
         let trader_ref = bus
-            .activate(ep, ObjectKey::new("Trader"), Box::new(TraderServant::new(3)))
+            .activate(
+                ep,
+                ObjectKey::new("Trader"),
+                Box::new(TraderServant::new(3)),
+            )
             .unwrap();
 
         // Export two node offers remotely.
         let out = bus
             .invoke(&trader_ref, "export", |w| {
-                ("integrade::node".to_owned(), node_ior(1), node_props(700, 32, true)).encode(w)
+                (
+                    "integrade::node".to_owned(),
+                    node_ior(1),
+                    node_props(700, 32, true),
+                )
+                    .encode(w)
             })
             .unwrap();
         let id1 = OfferId::from_cdr_bytes(&out).unwrap();
         bus.invoke(&trader_ref, "export", |w| {
-            ("integrade::node".to_owned(), node_ior(2), node_props(200, 32, true)).encode(w)
+            (
+                "integrade::node".to_owned(),
+                node_ior(2),
+                node_props(200, 32, true),
+            )
+                .encode(w)
         })
         .unwrap();
 
@@ -553,8 +1541,11 @@ mod tests {
         assert_eq!(offers[0].id, id1);
 
         // Withdraw remotely; second withdraw is a user exception.
-        bus.invoke(&trader_ref, "withdraw", |w| id1.encode(w)).unwrap();
-        let err = bus.invoke(&trader_ref, "withdraw", |w| id1.encode(w)).unwrap_err();
+        bus.invoke(&trader_ref, "withdraw", |w| id1.encode(w))
+            .unwrap();
+        let err = bus
+            .invoke(&trader_ref, "withdraw", |w| id1.encode(w))
+            .unwrap_err();
         assert!(err.to_string().contains("unknown"), "{err}");
     }
 

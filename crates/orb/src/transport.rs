@@ -11,7 +11,7 @@ use crate::cdr::CdrWriter;
 use crate::ior::{Endpoint, Ior, ObjectKey};
 use crate::orb::{decode_reply, Incoming, Orb, RemoteError};
 use crate::servant::Servant;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A registry of ORBs with synchronous invocation between them.
 ///
@@ -43,7 +43,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Default)]
 pub struct LoopbackBus {
-    orbs: HashMap<Endpoint, Orb>,
+    orbs: BTreeMap<Endpoint, Orb>,
 }
 
 impl LoopbackBus {
@@ -193,7 +193,11 @@ mod tests {
         let mut bus = LoopbackBus::new();
         let ep = bus.add_orb(Endpoint::new(1, 0));
         let ior = bus
-            .activate(ep, ObjectKey::new("store"), Box::new(Store { items: vec![] }))
+            .activate(
+                ep,
+                ObjectKey::new("store"),
+                Box::new(Store { items: vec![] }),
+            )
             .unwrap();
         (bus, ior)
     }

@@ -191,10 +191,7 @@ impl<E> EventQueue<E> {
     pub fn advance_clock(&mut self, time: SimTime) {
         assert!(time >= self.now, "clock cannot move backwards");
         if let Some(next) = self.peek_time() {
-            assert!(
-                time <= next,
-                "cannot advance past pending event at {next}"
-            );
+            assert!(time <= next, "cannot advance past pending event at {next}");
         }
         self.now = time;
     }

@@ -136,10 +136,14 @@ impl Network {
     }
 
     fn enqueue(&mut self, now: SimTime, from: HostId, bytes: u64, q: PathQuality) -> SimDuration {
-        let free = self.egress_free.get(&from).copied().unwrap_or(SimTime::ZERO);
+        let free = self
+            .egress_free
+            .get(&from)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         let start = if free > now { free } else { now };
-        let tx_us = (bytes.saturating_mul(8) as u128 * 1_000_000
-            / q.bottleneck_bps.max(1) as u128) as u64;
+        let tx_us =
+            (bytes.saturating_mul(8) as u128 * 1_000_000 / q.bottleneck_bps.max(1) as u128) as u64;
         let tx = SimDuration::from_micros(tx_us);
         self.egress_free.insert(from, start + tx);
         (start - now) + tx + q.latency

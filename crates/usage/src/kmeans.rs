@@ -93,7 +93,9 @@ fn init_plus_plus(data: &[Vec<f64>], k: usize, rng: &mut DetRng) -> Vec<Vec<f64>
                 d * d
             })
             .collect();
-        let idx = rng.choose_weighted(&weights).unwrap_or_else(|| rng.index(data.len()));
+        let idx = rng
+            .choose_weighted(&weights)
+            .unwrap_or_else(|| rng.index(data.len()));
         centroids.push(data[idx].clone());
     }
     centroids
@@ -274,10 +276,7 @@ mod tests {
         let mut labels = Vec::new();
         for (label, (cx, cy)) in centers.iter().enumerate() {
             for _ in 0..30 {
-                data.push(vec![
-                    cx + rng.normal(0.0, 0.5),
-                    cy + rng.normal(0.0, 0.5),
-                ]);
+                data.push(vec![cx + rng.normal(0.0, 0.5), cy + rng.normal(0.0, 0.5)]);
                 labels.push(label);
             }
         }

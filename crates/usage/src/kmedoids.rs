@@ -223,7 +223,10 @@ mod tests {
         let eu = DistanceKind::Euclidean;
         let d_shifted = eu.distance(&data[0], &data[1]);
         let d_dtw = DistanceKind::Dtw { window: 3 }.distance(&data[0], &data[1]);
-        assert!(d_dtw < 0.1 * d_shifted, "dtw {d_dtw} << euclidean {d_shifted}");
+        assert!(
+            d_dtw < 0.1 * d_shifted,
+            "dtw {d_dtw} << euclidean {d_shifted}"
+        );
     }
 
     #[test]
@@ -252,7 +255,9 @@ mod tests {
     #[test]
     fn deterministic_without_seeds() {
         // PAM is deterministic by construction (no random init).
-        let data: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 4) as f64, (i / 4) as f64]).collect();
+        let data: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i % 4) as f64, (i / 4) as f64])
+            .collect();
         let a = fit(&data, 3, DistanceKind::Euclidean, 50);
         let b = fit(&data, 3, DistanceKind::Euclidean, 50);
         assert_eq!(a, b);

@@ -136,8 +136,7 @@ fn features_of(period: &DayPeriod, feature_len: usize) -> Vec<f64> {
 
 fn label_centroid(centroid: &[f64], idle_threshold: f64) -> CategoryLabel {
     let n = centroid.len();
-    let idle_frac =
-        centroid.iter().filter(|&&v| v < idle_threshold).count() as f64 / n as f64;
+    let idle_frac = centroid.iter().filter(|&&v| v < idle_threshold).count() as f64 / n as f64;
     if idle_frac > 0.85 {
         return CategoryLabel::MostlyIdle;
     }
@@ -167,7 +166,10 @@ impl LupaModel {
     ///
     /// Panics if `periods` is empty or contains empty days.
     pub fn train(periods: &[DayPeriod], config: LupaConfig) -> Self {
-        assert!(!periods.is_empty(), "LUPA training requires at least one period");
+        assert!(
+            !periods.is_empty(),
+            "LUPA training requires at least one period"
+        );
         let features: Vec<Vec<f64>> = periods
             .iter()
             .map(|p| features_of(p, config.feature_len))

@@ -57,14 +57,19 @@ impl<'a> LupaPredictor<'a> {
         let start = (minute_of_day as usize * feature_len) / 1440;
         let end_min = (minute_of_day + horizon_mins).min(1440) as usize;
         let end = (end_min * feature_len).div_ceil(1440);
-        (start.min(feature_len - 1), end.clamp(start + 1, feature_len))
+        (
+            start.min(feature_len - 1),
+            end.clamp(start + 1, feature_len),
+        )
     }
 }
 
 impl IdlePredictor for LupaPredictor<'_> {
     fn prob_idle_for(&self, ctx: &PredictionContext<'_>) -> f64 {
         let threshold = self.model.config().idle_threshold;
-        let prefix = self.model.prefix_features(ctx.partial_load, ctx.slots_per_day);
+        let prefix = self
+            .model
+            .prefix_features(ctx.partial_load, ctx.slots_per_day);
         let posterior = self.model.posterior(ctx.weekday, &prefix);
         let (lo, hi) = self.window_slots(ctx.minute_of_day, ctx.horizon_mins);
 
@@ -139,8 +144,15 @@ impl IdlePredictor for PersistencePredictor {
 ///
 /// Panics if the slices differ in length or are empty.
 pub fn brier_score(predictions: &[f64], outcomes: &[bool]) -> f64 {
-    assert_eq!(predictions.len(), outcomes.len(), "one outcome per prediction");
-    assert!(!predictions.is_empty(), "brier score of nothing is undefined");
+    assert_eq!(
+        predictions.len(),
+        outcomes.len(),
+        "one outcome per prediction"
+    );
+    assert!(
+        !predictions.is_empty(),
+        "brier score of nothing is undefined"
+    );
     predictions
         .iter()
         .zip(outcomes)
@@ -308,7 +320,10 @@ mod tests {
         let c = ctx(Weekday::new(2), 8 * 60 + 30, &partial, 120);
         let lupa_p = lupa.prob_idle_for(&c);
         let naive_p = naive.prob_idle_for(&c);
-        assert!(naive_p > 0.6, "persistence extrapolates idleness: {naive_p}");
+        assert!(
+            naive_p > 0.6,
+            "persistence extrapolates idleness: {naive_p}"
+        );
         assert!(lupa_p < naive_p, "lupa={lupa_p} naive={naive_p}");
     }
 

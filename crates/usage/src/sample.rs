@@ -69,7 +69,10 @@ impl UsageSample {
     /// True when every component is below `threshold` — the default
     /// "node is idle" test the NCC lets owners override.
     pub fn is_idle(&self, threshold: f64) -> bool {
-        self.cpu < threshold && self.mem < threshold && self.disk < threshold && self.net < threshold
+        self.cpu < threshold
+            && self.mem < threshold
+            && self.disk < threshold
+            && self.net < threshold
     }
 }
 

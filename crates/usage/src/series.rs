@@ -37,7 +37,10 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if either input is empty.
 pub fn dtw(a: &[f64], b: &[f64], window: usize) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "dtw requires non-empty inputs");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "dtw requires non-empty inputs"
+    );
     let n = a.len();
     let m = b.len();
     let w = window.max(n.abs_diff(m));
@@ -99,7 +102,10 @@ pub fn normalize(values: &[f64]) -> Vec<f64> {
 ///
 /// Panics if either length is zero.
 pub fn resample(values: &[f64], target_len: usize) -> Vec<f64> {
-    assert!(!values.is_empty() && target_len > 0, "resample requires non-empty sizes");
+    assert!(
+        !values.is_empty() && target_len > 0,
+        "resample requires non-empty sizes"
+    );
     let n = values.len();
     if n == target_len {
         return values.to_vec();

@@ -97,9 +97,8 @@ pub fn generate_stream(
     let end = start + horizon;
     let mut index = 0u64;
     loop {
-        let gap = SimDuration::from_secs_f64(
-            rng.exponential(config.mean_interarrival.as_secs_f64()),
-        );
+        let gap =
+            SimDuration::from_secs_f64(rng.exponential(config.mean_interarrival.as_secs_f64()));
         t = t.saturating_add(gap);
         if t >= end {
             break;
@@ -169,7 +168,10 @@ mod tests {
         let jobs = generate_stream(&config, SimTime::ZERO, SimDuration::from_days(10), &mut rng);
         let expected = 10.0 * 24.0 * 6.0; // 1440 arrivals
         let got = jobs.len() as f64;
-        assert!((got - expected).abs() / expected < 0.1, "got {got}, expected ~{expected}");
+        assert!(
+            (got - expected).abs() / expected < 0.1,
+            "got {got}, expected ~{expected}"
+        );
     }
 
     #[test]

@@ -90,7 +90,12 @@ struct DayPlan {
     busy: Vec<(u32, u32, f64)>,
 }
 
-fn plan_day(archetype: Archetype, weekday: Weekday, rng: &mut DetRng, cfg: &TraceConfig) -> DayPlan {
+fn plan_day(
+    archetype: Archetype,
+    weekday: Weekday,
+    rng: &mut DetRng,
+    cfg: &TraceConfig,
+) -> DayPlan {
     let jitter = |rng: &mut DetRng, minute: f64| -> u32 {
         (minute + rng.normal(0.0, cfg.schedule_jitter_mins)).clamp(0.0, 1439.0) as u32
     };
@@ -163,7 +168,11 @@ fn plan_day(archetype: Archetype, weekday: Weekday, rng: &mut DetRng, cfg: &Trac
 ///
 /// Deterministic for a given `rng` state; each node should use an
 /// independently forked generator.
-pub fn generate_trace(archetype: Archetype, cfg: &TraceConfig, rng: &mut DetRng) -> Vec<UsageSample> {
+pub fn generate_trace(
+    archetype: Archetype,
+    cfg: &TraceConfig,
+    rng: &mut DetRng,
+) -> Vec<UsageSample> {
     let days = cfg.weeks * 7;
     let mut trace = Vec::with_capacity(days * SLOTS_PER_DAY);
     for day in 0..days {
@@ -273,9 +282,7 @@ mod tests {
     #[test]
     fn night_owl_is_inverted() {
         let trace = trace_for(Archetype::NightOwl, 3);
-        let night = mean_cpu(&trace, |i| {
-            slot_hour(i) >= 21.0 || slot_hour(i) < 1.5
-        });
+        let night = mean_cpu(&trace, |i| slot_hour(i) >= 21.0 || slot_hour(i) < 1.5);
         let day = mean_cpu(&trace, |i| (9.0..17.0).contains(&slot_hour(i)));
         assert!(night > 0.5, "night busy: {night}");
         assert!(day < 0.1, "day idle: {day}");
@@ -298,8 +305,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(trace_for(Archetype::OfficeWorker, 7), trace_for(Archetype::OfficeWorker, 7));
-        assert_ne!(trace_for(Archetype::OfficeWorker, 7), trace_for(Archetype::OfficeWorker, 8));
+        assert_eq!(
+            trace_for(Archetype::OfficeWorker, 7),
+            trace_for(Archetype::OfficeWorker, 7)
+        );
+        assert_ne!(
+            trace_for(Archetype::OfficeWorker, 7),
+            trace_for(Archetype::OfficeWorker, 8)
+        );
     }
 
     #[test]
@@ -313,7 +326,12 @@ mod tests {
             42,
         );
         assert_eq!(pop.len(), 5);
-        assert_eq!(pop.iter().filter(|(a, _)| *a == Archetype::OfficeWorker).count(), 3);
+        assert_eq!(
+            pop.iter()
+                .filter(|(a, _)| *a == Archetype::OfficeWorker)
+                .count(),
+            3
+        );
         // Distinct office workers differ (independent streams).
         assert_ne!(pop[0].1, pop[1].1);
     }

@@ -34,7 +34,11 @@ impl Scenario {
     }
 }
 
-fn node_from_archetype(archetype: Archetype, trace_cfg: &TraceConfig, rng: &mut DetRng) -> NodeSetup {
+fn node_from_archetype(
+    archetype: Archetype,
+    trace_cfg: &TraceConfig,
+    rng: &mut DetRng,
+) -> NodeSetup {
     let trace = generate_trace(archetype, trace_cfg, rng);
     let (resources, policy, roles) = match archetype {
         Archetype::OfficeWorker => (

@@ -21,7 +21,9 @@ use integrade::simnet::time::{SimDuration, SimTime};
 use integrade::usage::sample::UsageSample;
 
 fn ring_graph(n: u64) -> Vec<(u64, u64)> {
-    (0..n).flat_map(|v| [(v, (v + 1) % n), (v, (v + 3) % n)]).collect()
+    (0..n)
+        .flat_map(|v| [(v, (v + 1) % n), (v, (v + 3) % n)])
+        .collect()
 }
 
 fn main() {
@@ -99,7 +101,10 @@ fn main() {
     let record = report.records.first().expect("submitted");
     println!("state      : {}", record.state);
     println!("evictions  : {}", record.evictions);
-    println!("wasted work: {} MIPS-s (bounded by the checkpoint interval)", record.wasted_work_mips_s);
+    println!(
+        "wasted work: {} MIPS-s (bounded by the checkpoint interval)",
+        record.wasted_work_mips_s
+    );
     if let Some(makespan) = record.makespan() {
         println!("makespan   : {makespan}");
     }

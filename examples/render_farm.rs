@@ -15,7 +15,11 @@ use integrade::workload::render_farm_night;
 
 fn main() {
     let scenario = render_farm_night(2026, 24);
-    println!("== Scenario: {} ({} desktops, 24 frames) ==", scenario.name, scenario.node_count());
+    println!(
+        "== Scenario: {} ({} desktops, 24 frames) ==",
+        scenario.name,
+        scenario.node_count()
+    );
 
     let config = GridConfig::default();
     let mut builder = GridBuilder::new(config);
@@ -56,7 +60,16 @@ fn main() {
     println!("wasted work      : {} MIPS-s", record.wasted_work_mips_s);
     println!("\n== Owner QoS (the paper's headline requirement) ==");
     println!("owner-active slots observed : {}", report.qos.samples());
-    println!("mean owner slowdown         : {:.3}x", report.qos.mean_slowdown());
-    println!("p95 owner slowdown          : {:.3}x", report.qos.quantile_slowdown(0.95));
-    println!("NCC cap violations          : {}", report.qos.cap_violations);
+    println!(
+        "mean owner slowdown         : {:.3}x",
+        report.qos.mean_slowdown()
+    );
+    println!(
+        "p95 owner slowdown          : {:.3}x",
+        report.qos.quantile_slowdown(0.95)
+    );
+    println!(
+        "NCC cap violations          : {}",
+        report.qos.cap_violations
+    );
 }

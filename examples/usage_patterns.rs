@@ -11,7 +11,9 @@
 
 use integrade::simnet::rng::DetRng;
 use integrade::usage::patterns::{LupaConfig, LupaModel};
-use integrade::usage::predict::{IdlePredictor, LupaPredictor, PersistencePredictor, PredictionContext};
+use integrade::usage::predict::{
+    IdlePredictor, LupaPredictor, PersistencePredictor, PredictionContext,
+};
 use integrade::usage::sample::{DayPeriod, SampleWindow, SamplingConfig, UsageSample, Weekday};
 use integrade::workload::desktop::{generate_trace, Archetype, TraceConfig};
 
@@ -26,7 +28,10 @@ fn main() {
         window.push(sample);
     }
     let periods: Vec<DayPeriod> = window.take_completed();
-    println!("collected {} day-periods of 5-minute samples", periods.len());
+    println!(
+        "collected {} day-periods of 5-minute samples",
+        periods.len()
+    );
 
     // LUPA analysis: cluster into behavioural categories.
     let model = LupaModel::train(&periods, LupaConfig::default());

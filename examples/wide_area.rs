@@ -109,7 +109,10 @@ fn main() {
     federation.run_until(SimTime::from_secs(120)); // populate GRM views
 
     let placed = federation
-        .submit(ClusterId(0), JobSpec::bag_of_tasks("federated-bag", 6, 60_000))
+        .submit(
+            ClusterId(0),
+            JobSpec::bag_of_tasks("federated-bag", 6, 60_000),
+        )
         .unwrap();
     println!(
         "submitted at cluster0 (2 nodes) -> executing on {} after {} hop(s)",

@@ -91,7 +91,11 @@ fn boinc_cannot_run_the_parallel_job() {
 #[test]
 fn condor_needs_reserved_nodes_for_the_parallel_job() {
     let traces = population(11, 9);
-    let nodes: Vec<BaselineNode> = traces.clone().into_iter().map(BaselineNode::desktop).collect();
+    let nodes: Vec<BaselineNode> = traces
+        .clone()
+        .into_iter()
+        .map(BaselineNode::desktop)
+        .collect();
     let report = CondorSim::new(CondorConfig::default()).run(
         &nodes,
         &workload(),
@@ -134,7 +138,11 @@ fn checkpointing_reduces_condor_waste() {
     .run(&nodes, &long_job, horizon);
     assert!(ckpt.total_wasted_work() <= plain.total_wasted_work());
     if plain.total_evictions() > 0 {
-        assert_eq!(ckpt.total_wasted_work(), 0, "relink checkpointing saves all work");
+        assert_eq!(
+            ckpt.total_wasted_work(),
+            0,
+            "relink checkpointing saves all work"
+        );
     }
 }
 

@@ -3,10 +3,10 @@
 use integrade::core::asct::{JobSpec, JobState};
 use integrade::core::grid::{GridBuilder, GridConfig, NodeSetup};
 use integrade::core::scheduler::Strategy;
+use integrade::simnet::rng::DetRng;
 use integrade::simnet::time::{SimDuration, SimTime};
 use integrade::usage::sample::{UsageSample, Weekday};
 use integrade::workload::desktop::{generate_trace, Archetype, TraceConfig};
-use integrade::simnet::rng::DetRng;
 
 fn office_trace() -> Vec<UsageSample> {
     let mut trace = Vec::with_capacity(288 * 7);
@@ -25,7 +25,11 @@ fn office_trace() -> Vec<UsageSample> {
     trace
 }
 
-fn grid_with(strategy: Strategy, office_nodes: usize, idle_nodes: usize) -> integrade::core::grid::Grid {
+fn grid_with(
+    strategy: Strategy,
+    office_nodes: usize,
+    idle_nodes: usize,
+) -> integrade::core::grid::Grid {
     let config = GridConfig {
         strategy,
         gupa_warmup_days: 14,
@@ -72,7 +76,8 @@ fn pattern_aware_avoids_nodes_about_to_be_reclaimed() {
     let run = |strategy: Strategy| {
         let mut grid = grid_with(strategy, 6, 6);
         // Advance to Friday 08:30 (day 4).
-        let submit_at = SimTime::ZERO + SimDuration::from_days(4) + SimDuration::from_mins(8 * 60 + 30);
+        let submit_at =
+            SimTime::ZERO + SimDuration::from_days(4) + SimDuration::from_mins(8 * 60 + 30);
         for i in 0..6 {
             grid.submit_at(
                 JobSpec::sequential(&format!("job{i}"), 400_000), // ~45 min at 150 MIPS
@@ -172,7 +177,11 @@ fn update_protocol_keeps_grm_fresh() {
     grid.run_until(SimTime::ZERO + SimDuration::from_mins(10));
     let report = grid.report();
     // 4 nodes, 30 s period, 10 min → ~80 updates.
-    assert!(report.updates.accepted >= 60, "accepted={}", report.updates.accepted);
+    assert!(
+        report.updates.accepted >= 60,
+        "accepted={}",
+        report.updates.accepted
+    );
     assert_eq!(report.updates.stale_discarded, 0, "in-order delivery here");
 }
 
@@ -220,7 +229,10 @@ fn virtual_topology_request_end_to_end() {
     assert_eq!(nodes.len(), 3);
     let all_first = nodes.iter().all(|&n| n < 4);
     let all_second = nodes.iter().all(|&n| n >= 4);
-    assert!(all_first || all_second, "gang must not straddle clusters: {nodes:?}");
+    assert!(
+        all_first || all_second,
+        "gang must not straddle clusters: {nodes:?}"
+    );
 }
 
 #[test]

@@ -30,10 +30,18 @@ fn trader_mediated_negotiation_over_the_bus() {
     // Cluster-manager node hosts NameService and Trader.
     let manager = bus.add_orb(Endpoint::new(0, 0));
     let ns_ref = bus
-        .activate(manager, ObjectKey::new("NameService"), Box::new(NamingServant::new()))
+        .activate(
+            manager,
+            ObjectKey::new("NameService"),
+            Box::new(NamingServant::new()),
+        )
         .unwrap();
     let trader_ref = bus
-        .activate(manager, ObjectKey::new("Trader"), Box::new(TraderServant::new(5)))
+        .activate(
+            manager,
+            ObjectKey::new("Trader"),
+            Box::new(TraderServant::new(5)),
+        )
         .unwrap();
 
     // Publish the trader in the naming service, resolve it back (clients
@@ -72,7 +80,10 @@ fn trader_mediated_negotiation_over_the_bus() {
     let status = lrm_state.borrow().current_status();
     let properties: BTreeMap<String, AnyValue> = [
         ("cpu_mips".to_owned(), AnyValue::Long(1000)),
-        ("free_ram_mb".to_owned(), AnyValue::Long(status.free_ram_mb as i64)),
+        (
+            "free_ram_mb".to_owned(),
+            AnyValue::Long(status.free_ram_mb as i64),
+        ),
         ("exporting".to_owned(), AnyValue::Bool(status.exporting)),
     ]
     .into_iter()
@@ -149,9 +160,14 @@ fn stringified_ior_round_trip_through_naming() {
     let mut bus = LoopbackBus::new();
     let ep = bus.add_orb(Endpoint::new(0, 0));
     let ns = bus
-        .activate(ep, ObjectKey::new("NameService"), Box::new(NamingServant::new()))
+        .activate(
+            ep,
+            ObjectKey::new("NameService"),
+            Box::new(NamingServant::new()),
+        )
         .unwrap();
-    bus.invoke(&ns, "bind", |w| ("grm".to_owned(), parsed).encode(w)).unwrap();
+    bus.invoke(&ns, "bind", |w| ("grm".to_owned(), parsed).encode(w))
+        .unwrap();
     let out = bus.invoke(&ns, "resolve", |w| "grm".encode(w)).unwrap();
     assert_eq!(Ior::from_cdr_bytes(&out).unwrap(), original);
 }
@@ -172,9 +188,11 @@ fn negotiation_refusal_propagates() {
         NodeRoles::provider(),
         LrmConfig::default(),
     )));
-    lrm_state
-        .borrow_mut()
-        .observe_owner(UsageSample::new(0.9, 0.6, 0.1, 0.1), Weekday::new(1), 600);
+    lrm_state.borrow_mut().observe_owner(
+        UsageSample::new(0.9, 0.6, 0.1, 0.1),
+        Weekday::new(1),
+        600,
+    );
     let lrm_ref = bus
         .activate(
             provider,

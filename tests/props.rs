@@ -204,7 +204,11 @@ use integrade::core::types::ClusterId;
 use integrade::orb::naming::NamingService;
 use integrade::orb::trading::Trader;
 
-fn node_offer_props(mips: i64, ram: i64, exporting: bool) -> std::collections::BTreeMap<String, AnyValue> {
+fn node_offer_props(
+    mips: i64,
+    ram: i64,
+    exporting: bool,
+) -> std::collections::BTreeMap<String, AnyValue> {
     [
         ("cpu_mips".to_owned(), AnyValue::Long(mips)),
         ("free_ram_mb".to_owned(), AnyValue::Long(ram)),
@@ -228,7 +232,7 @@ proptest! {
             trader
                 .export(
                     "integrade::node",
-                    Ior::new("IDL:t/T:1.0", Endpoint::new(i as u32, 0), ObjectKey::new(format!("o{i}"))),
+                    &Ior::new("IDL:t/T:1.0", Endpoint::new(i as u32, 0), ObjectKey::new(format!("o{i}"))),
                     node_offer_props(*mips, *ram, *exporting),
                 )
                 .unwrap();
@@ -364,7 +368,10 @@ mod grid_determinism {
                 1 => JobSpec::bag_of_tasks(&format!("b{i}"), 3, work / 3),
                 _ => JobSpec::bsp(&format!("p{i}"), 2, 10, work / 20, 4096),
             };
-            grid.submit_at(spec, SimTime::ZERO + SimDuration::from_mins(5 * i as u64 + 1));
+            grid.submit_at(
+                spec,
+                SimTime::ZERO + SimDuration::from_mins(5 * i as u64 + 1),
+            );
         }
         grid.run_until(SimTime::ZERO + SimDuration::from_hours(12));
         let report = grid.report();

@@ -66,12 +66,23 @@ fn sixty_node_campus_day() {
         "completed {}/{total}",
         report.completed()
     );
-    assert_eq!(report.failed(), 0, "{:?}", report.records.iter()
-        .filter(|r| r.state == integrade::core::asct::JobState::Failed)
-        .collect::<Vec<_>>());
+    assert_eq!(
+        report.failed(),
+        0,
+        "{:?}",
+        report
+            .records
+            .iter()
+            .filter(|r| r.state == integrade::core::asct::JobState::Failed)
+            .collect::<Vec<_>>()
+    );
     // Invariants at scale.
     assert_eq!(report.qos.cap_violations, 0);
     assert_eq!(report.qos.mean_slowdown(), 1.0);
-    assert!(report.updates.accepted > 50_000, "updates={}", report.updates.accepted);
+    assert!(
+        report.updates.accepted > 50_000,
+        "updates={}",
+        report.updates.accepted
+    );
     assert!(report.gupa_models >= 40, "models={}", report.gupa_models);
 }

@@ -1,0 +1,282 @@
+//! Miniature benchmark harness, API-compatible with the subset of
+//! `criterion` this workspace uses.
+//!
+//! Measurements are real: each benchmark is warmed up, the per-iteration
+//! cost is calibrated to a target sample duration, and min/median/mean/max
+//! across samples are printed. There is no statistical regression analysis,
+//! plotting, or HTML report — numbers go to stdout, and the experiments
+//! binary is the machine-readable path.
+
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(300);
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+const DEFAULT_SAMPLES: usize = 60;
+
+/// Benchmark registry and CLI filter, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench` (and test harness
+        // flags when run under `cargo test`); ignore flags, and treat bare
+        // words as substring filters like criterion does.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            filters,
+            sample_count: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), self.sample_count, f);
+        self
+    }
+
+    fn matches_filter(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&self, id: String, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches_filter(&id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples,
+            stats: None,
+        };
+        f(&mut bencher);
+        match bencher.stats {
+            Some(s) => println!(
+                "{id:<50} time: [min {} median {} mean {} max {}] ({} samples x {} iters)",
+                fmt_ns(s.min),
+                fmt_ns(s.median),
+                fmt_ns(s.mean),
+                fmt_ns(s.max),
+                s.samples,
+                s.iters_per_sample,
+            ),
+            None => println!("{id:<50} (no measurement: bencher closure never called iter)"),
+        }
+    }
+}
+
+/// Grouped benchmarks sharing a name prefix and sample-count override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(full, samples, |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        self.criterion.run_one(full, samples, |b| f(b));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (`function/parameter` path segment).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    stats: Option<Stats>,
+}
+
+#[derive(Clone, Copy)]
+struct Stats {
+    min: f64,
+    median: f64,
+    mean: f64,
+    max: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// How much setup output to batch per timing run; only `SmallInput`
+/// semantics are implemented (one setup per iteration, setup untimed).
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and calibrate how many iterations fill a sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            times.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        self.stats = Some(summarize(&mut times, iters));
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut timed = Duration::ZERO;
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (timed.as_secs_f64() / warm_iters as f64).max(1e-9);
+        let iters = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut sample = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                sample += t.elapsed();
+            }
+            times.push(sample.as_secs_f64() * 1e9 / iters as f64);
+        }
+        self.stats = Some(summarize(&mut times, iters));
+    }
+}
+
+fn summarize(times: &mut [f64], iters_per_sample: u64) -> Stats {
+    times.sort_by(|a, b| a.total_cmp(b));
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    Stats {
+        min: times[0],
+        median: times[times.len() / 2],
+        mean,
+        max: times[times.len() - 1],
+        samples: times.len(),
+        iters_per_sample,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines the benchmark-group entry function, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main`, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,59 @@
+//! `any::<T>()` support for the primitive types the workspace tests use.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub trait Arbitrary {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range generator for a primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_prim {
+    ($($ty:ty => |$rng:ident| $gen:expr;)+) => {$(
+        impl Strategy for Any<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, $rng: &mut TestRng) -> $ty {
+                $gen
+            }
+        }
+
+        impl Arbitrary for $ty {
+            type Strategy = Any<$ty>;
+
+            fn arbitrary() -> Any<$ty> {
+                Any(std::marker::PhantomData)
+            }
+        }
+    )+};
+}
+
+arbitrary_prim! {
+    bool => |rng| rng.next_bool();
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u32();
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u32() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+    // Finite doubles only: wire formats and comparisons in this workspace
+    // treat NaN as out of contract.
+    f64 => |rng| (rng.unit_f64() - 0.5) * 2e18;
+    char => |rng| {
+        // Printable ASCII keeps generated text readable in failure reports.
+        (b' ' + rng.below(95) as u8) as char
+    };
+}

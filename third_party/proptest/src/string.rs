@@ -1,0 +1,240 @@
+//! String generation from a regex subset.
+//!
+//! Supported syntax: literal characters, `\`-escapes, character classes
+//! with ranges (`[a-z0-9_.-]`), groups `(...)`, and the quantifiers
+//! `{n}`, `{m,n}`, `?`, `*`, `+` (the open-ended ones capped at 8
+//! repetitions). This covers every string strategy in the workspace; an
+//! unsupported pattern panics loudly rather than generating garbage.
+
+use crate::test_runner::TestRng;
+
+enum Node {
+    Lit(char),
+    /// Expanded character class.
+    Class(Vec<char>),
+    Seq(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let node = parse(pattern);
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(chars) => {
+            let idx = rng.below(chars.len() as u64) as usize;
+            out.push(chars[idx]);
+        }
+        Node::Seq(nodes) => {
+            for n in nodes {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = min + rng.below((max - min + 1) as u64) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Node {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let node = parse_seq(pattern, &chars, &mut pos);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex pattern {pattern:?}: trailing input at byte {pos}"
+    );
+    node
+}
+
+fn parse_seq(pattern: &str, chars: &[char], pos: &mut usize) -> Node {
+    let mut nodes = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ')' {
+        let atom = parse_atom(pattern, chars, pos);
+        nodes.push(parse_quantifier(pattern, chars, pos, atom));
+    }
+    Node::Seq(nodes)
+}
+
+fn parse_atom(pattern: &str, chars: &[char], pos: &mut usize) -> Node {
+    match chars[*pos] {
+        '[' => {
+            *pos += 1;
+            parse_class(pattern, chars, pos)
+        }
+        '(' => {
+            *pos += 1;
+            let inner = parse_seq(pattern, chars, pos);
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "unsupported regex pattern {pattern:?}: unclosed group"
+            );
+            *pos += 1;
+            inner
+        }
+        '\\' => {
+            *pos += 1;
+            assert!(
+                *pos < chars.len(),
+                "unsupported regex pattern {pattern:?}: dangling escape"
+            );
+            let c = chars[*pos];
+            *pos += 1;
+            Node::Lit(c)
+        }
+        c => {
+            assert!(
+                !matches!(c, '|' | '*' | '+' | '?' | '{' | '.' | '^' | '$'),
+                "unsupported regex pattern {pattern:?}: metacharacter {c:?}"
+            );
+            *pos += 1;
+            Node::Lit(c)
+        }
+    }
+}
+
+fn parse_class(pattern: &str, chars: &[char], pos: &mut usize) -> Node {
+    let mut set = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let c = if chars[*pos] == '\\' {
+            *pos += 1;
+            chars[*pos]
+        } else {
+            chars[*pos]
+        };
+        // A `-` between two class members forms a range; leading or
+        // trailing `-` is a literal.
+        if *pos + 2 < chars.len() && chars[*pos + 1] == '-' && chars[*pos + 2] != ']' {
+            let end = chars[*pos + 2];
+            assert!(
+                c <= end,
+                "unsupported regex pattern {pattern:?}: inverted range {c}-{end}"
+            );
+            for v in c as u32..=end as u32 {
+                set.push(char::from_u32(v).unwrap());
+            }
+            *pos += 3;
+        } else {
+            set.push(c);
+            *pos += 1;
+        }
+    }
+    assert!(
+        *pos < chars.len(),
+        "unsupported regex pattern {pattern:?}: unclosed character class"
+    );
+    *pos += 1; // consume ']'
+    assert!(
+        !set.is_empty(),
+        "unsupported regex pattern {pattern:?}: empty character class"
+    );
+    Node::Class(set)
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], pos: &mut usize, atom: Node) -> Node {
+    if *pos >= chars.len() {
+        return atom;
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        '*' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 8)
+        }
+        '+' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, 8)
+        }
+        '{' => {
+            *pos += 1;
+            let start = *pos;
+            while *pos < chars.len() && chars[*pos] != '}' {
+                *pos += 1;
+            }
+            assert!(
+                *pos < chars.len(),
+                "unsupported regex pattern {pattern:?}: unclosed quantifier"
+            );
+            let body: String = chars[start..*pos].iter().collect();
+            *pos += 1; // consume '}'
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or_else(|_| {
+                        panic!("unsupported regex pattern {pattern:?}: bad quantifier {body:?}")
+                    }),
+                    hi.trim().parse().unwrap_or_else(|_| {
+                        panic!("unsupported regex pattern {pattern:?}: bad quantifier {body:?}")
+                    }),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or_else(|_| {
+                        panic!("unsupported regex pattern {pattern:?}: bad quantifier {body:?}")
+                    });
+                    (n, n)
+                }
+            };
+            assert!(
+                min <= max,
+                "unsupported regex pattern {pattern:?}: inverted quantifier {body:?}"
+            );
+            Node::Repeat(Box::new(atom), min, max)
+        }
+        _ => atom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn class_with_ranges_and_trailing_dash() {
+        let mut r = rng();
+        for _ in 0..64 {
+            let s = generate("[a-zA-Z0-9 _.-]{0,24}", &mut r);
+            assert!(s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn grouped_repetition() {
+        let mut r = rng();
+        for _ in 0..64 {
+            let s = generate("[a-z]{1,6}(/[a-z]{1,6}){0,2}", &mut r);
+            let parts: Vec<&str> = s.split('/').collect();
+            assert!((1..=3).contains(&parts.len()), "{s:?}");
+            for p in parts {
+                assert!((1..=6).contains(&p.len()), "{s:?}");
+                assert!(p.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn printable_ascii_space_to_tilde() {
+        let mut r = rng();
+        for _ in 0..64 {
+            let s = generate("[ -~]{0,32}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives.
+//!
+//! The workspace tags types with `#[derive(Serialize, Deserialize)]` for
+//! forward compatibility but performs all real marshalling through the
+//! in-tree CDR implementation, so empty traits with blanket impls preserve
+//! every use site (including generic `T: Serialize` bounds) without any
+//! serialization machinery.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// Namespace parity with `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace parity with `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
