@@ -24,6 +24,8 @@ fn sample_update() -> StatusUpdate {
             running_parts: 2,
         },
         checkpoints: vec![],
+        pending_done: vec![],
+        pending_evicted: vec![],
     }
 }
 

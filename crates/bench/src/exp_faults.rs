@@ -1,0 +1,210 @@
+//! E12: completion under chaos — fault intensity vs the hardened protocol.
+//!
+//! The paper argues InteGrade must tolerate "machines crash[ing] or
+//! disconnect[ing] from the network at any time". This experiment injects
+//! seeded message loss plus one mid-run GRM crash/restart and measures how
+//! the retransmission/dedup/lease/epoch machinery holds the completion
+//! rate, and what the faults cost in makespan relative to the clean run.
+//! Emits a prose table and a machine-readable `BENCH_faults.json`.
+
+use crate::table::{f2, Table};
+use integrade_core::asct::{JobSpec, JobState};
+use integrade_core::grid::{Grid, GridBuilder, GridConfig, NodeSetup};
+use integrade_simnet::faults::FaultPlan;
+use integrade_simnet::time::{SimDuration, SimTime};
+
+/// The drop rates swept, in table order. 0.05 is the "default chaos"
+/// setting the suite's acceptance bar (≥95% completion) is pinned to.
+pub const DROP_RATES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// Injected per-message drop probability.
+    pub drop_rate: f64,
+    /// Seed of this replication.
+    pub seed: u64,
+    /// Jobs that reached `Completed` before the horizon.
+    pub completed: usize,
+    /// Jobs submitted.
+    pub total: usize,
+    /// Mean makespan of completed jobs, seconds.
+    pub mean_makespan_s: f64,
+    /// Protocol-level retransmissions performed.
+    pub retransmits: usize,
+    /// Retransmissions answered from the LRM dedup cache.
+    pub dedup_hits: usize,
+    /// Messages the fault plan destroyed in flight.
+    pub drops: u64,
+}
+
+fn chaos_grid(seed: u64) -> Grid {
+    let config = GridConfig {
+        seed,
+        gupa_warmup_days: 0,
+        sequential_checkpoint_mips_s: 30_000.0,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..6).map(|_| NodeSetup::idle_desktop()).collect());
+    builder.build()
+}
+
+/// Runs one cell: a mixed workload under `drop_rate` loss with one GRM
+/// crash at t=15min and restart at t=20min, to a 24h horizon.
+pub fn run_cell(drop_rate: f64, seed: u64) -> FaultCell {
+    let mut grid = chaos_grid(seed);
+    if drop_rate > 0.0 {
+        grid.set_fault_plan(
+            FaultPlan::new(seed)
+                .with_drop_probability(drop_rate)
+                .with_jitter(SimDuration::from_millis(20)),
+        );
+    }
+    let jobs = [
+        grid.submit(JobSpec::sequential("e12-seq", 400_000)),
+        grid.submit(JobSpec::bag_of_tasks("e12-bag", 4, 90_000)),
+        grid.submit(JobSpec::sequential("e12-seq2", 200_000)),
+    ];
+    grid.run_until(SimTime::from_secs(900));
+    grid.crash_grm();
+    grid.run_until(SimTime::from_secs(1200));
+    grid.restart_grm();
+    grid.run_until(SimTime::from_secs(24 * 3600));
+    let report = grid.report();
+    let completed = jobs
+        .iter()
+        .filter(|j| grid.job_record(**j).unwrap().state == JobState::Completed)
+        .count();
+    FaultCell {
+        drop_rate,
+        seed,
+        completed,
+        total: jobs.len(),
+        mean_makespan_s: report.mean_makespan_s(),
+        retransmits: grid.log().count("retransmits"),
+        dedup_hits: grid.log().count("dedup_hits"),
+        drops: report.net.drops,
+    }
+}
+
+/// The full sweep: every drop rate replicated across `seeds`.
+pub fn measure(seeds: &[u64]) -> Vec<FaultCell> {
+    let mut cells = Vec::new();
+    for &rate in &DROP_RATES {
+        for &seed in seeds {
+            cells.push(run_cell(rate, seed));
+        }
+    }
+    cells
+}
+
+/// Renders the sweep as `BENCH_faults.json`, one object per cell.
+pub fn to_json(cells: &[FaultCell]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e12\",\n  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"drop_rate\": {:.2}, \"seed\": {}, \"completed\": {}, \"total\": {}, \
+             \"completion_rate\": {:.4}, \"mean_makespan_s\": {:.1}, \"retransmits\": {}, \
+             \"dedup_hits\": {}, \"drops\": {}}}{sep}\n",
+            c.drop_rate,
+            c.seed,
+            c.completed,
+            c.total,
+            c.completed as f64 / c.total as f64,
+            c.mean_makespan_s,
+            c.retransmits,
+            c.dedup_hits,
+            c.drops,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Aggregates the cells of one drop rate: (completion %, mean makespan s,
+/// total retransmits, total dedup hits, total drops).
+fn aggregate(cells: &[FaultCell], rate: f64) -> (f64, f64, usize, usize, u64) {
+    let at: Vec<&FaultCell> = cells.iter().filter(|c| c.drop_rate == rate).collect();
+    let total: usize = at.iter().map(|c| c.total).sum();
+    let completed: usize = at.iter().map(|c| c.completed).sum();
+    let makespan = at.iter().map(|c| c.mean_makespan_s).sum::<f64>() / at.len() as f64;
+    (
+        100.0 * completed as f64 / total as f64,
+        makespan,
+        at.iter().map(|c| c.retransmits).sum(),
+        at.iter().map(|c| c.dedup_hits).sum(),
+        at.iter().map(|c| c.drops).sum(),
+    )
+}
+
+/// E12: completion rate and makespan inflation vs fault intensity, with
+/// one mid-run GRM crash/restart in every cell. Side effect: writes
+/// `BENCH_faults.json` to the working directory.
+pub fn e12() -> Table {
+    let cells = measure(&[11, 12, 13]);
+    match std::fs::write("BENCH_faults.json", to_json(&cells)) {
+        Ok(()) => eprintln!("e12: wrote BENCH_faults.json"),
+        Err(e) => eprintln!("e12: could not write BENCH_faults.json: {e}"),
+    }
+    let (_, baseline_makespan, _, _, _) = aggregate(&cells, 0.0);
+    let mut table = Table::new(
+        "E12: completion under chaos (seeded loss + one GRM crash/restart)",
+        &[
+            "drop_rate",
+            "completion_%",
+            "mean_makespan_s",
+            "makespan_inflation",
+            "retransmits",
+            "dedup_hits",
+            "drops",
+        ],
+    );
+    for &rate in &DROP_RATES {
+        let (completion, makespan, retransmits, dedup, drops) = aggregate(&cells, rate);
+        table.push_row(vec![
+            format!("{rate:.2}"),
+            f2(completion),
+            f2(makespan),
+            format!("{:.2}x", makespan / baseline_makespan.max(1.0)),
+            retransmits.to_string(),
+            dedup.to_string(),
+            drops.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_chaos_completes_at_least_95_percent() {
+        // The acceptance bar: ≥95% completion at the default chaos setting
+        // (5% drop + jitter + a mid-run GRM crash/restart).
+        let cells: Vec<FaultCell> = [11, 12, 13].iter().map(|&s| run_cell(0.05, s)).collect();
+        let total: usize = cells.iter().map(|c| c.total).sum();
+        let completed: usize = cells.iter().map(|c| c.completed).sum();
+        assert!(
+            completed as f64 >= 0.95 * total as f64,
+            "completion {completed}/{total} under default chaos"
+        );
+    }
+
+    #[test]
+    fn clean_run_completes_everything_without_retransmits_from_loss() {
+        let cell = run_cell(0.0, 11);
+        assert_eq!(cell.completed, cell.total, "{cell:?}");
+        assert_eq!(cell.drops, 0, "no fault plan, no injected drops");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = to_json(&measure(&[11]).into_iter().take(2).collect::<Vec<_>>());
+        assert!(json.contains("\"experiment\": \"e12\""));
+        assert!(json.contains("\"drop_rate\": 0.00"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

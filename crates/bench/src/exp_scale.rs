@@ -112,6 +112,8 @@ pub fn e10() -> Table {
                 running_parts: 1,
             },
             checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
         }
         .to_cdr_bytes(),
         "update_status",
@@ -119,6 +121,7 @@ pub fn e10() -> Table {
     push(
         "ReserveRequest",
         ReserveRequest {
+            request_id: 1,
             job: JobId(7),
             part: 3,
             ram_mb: 64,
@@ -131,6 +134,7 @@ pub fn e10() -> Table {
     push(
         "LaunchRequest",
         LaunchRequest {
+            request_id: 2,
             reservation: 99,
             job: JobId(7),
             part: 3,

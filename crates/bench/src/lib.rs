@@ -17,6 +17,7 @@
 
 pub mod exp_baselines;
 pub mod exp_bsp;
+pub mod exp_faults;
 pub mod exp_info;
 pub mod exp_qos;
 pub mod exp_scale;
@@ -73,6 +74,11 @@ pub fn experiments() -> Vec<ExperimentEntry> {
             exp_trader::e10b,
         ),
         ("e11", "systems comparison", exp_baselines::e11),
+        (
+            "e12",
+            "completion under chaos: faults vs the hardened protocol",
+            exp_faults::e12,
+        ),
     ]
 }
 

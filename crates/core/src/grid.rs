@@ -21,8 +21,8 @@ use crate::lrm::{LrmConfig, LrmServant, LrmState};
 use crate::ncc::SharingPolicy;
 use crate::protocol::{
     CancelPartReply, CancelPartRequest, LaunchReply, LaunchRequest, PartDone, PartEvicted,
-    ReserveReply, ReserveRequest, StatusUpdate, GRM_OBJECT_KEY, LRM_OBJECT_KEY, OP_CANCEL_PART,
-    OP_LAUNCH, OP_PART_DONE, OP_PART_EVICTED, OP_RESERVE, OP_UPDATE_STATUS,
+    ReserveReply, ReserveRequest, StatusUpdate, UpdateAck, GRM_OBJECT_KEY, LRM_OBJECT_KEY,
+    OP_CANCEL_PART, OP_LAUNCH, OP_PART_DONE, OP_PART_EVICTED, OP_RESERVE, OP_UPDATE_STATUS,
 };
 use crate::qos::{QosLedger, SharingDiscipline};
 use crate::scheduler::{place_groups, rank, CandidateNode, Strategy};
@@ -31,6 +31,7 @@ use integrade_orb::cdr::{CdrDecode, CdrEncode};
 use integrade_orb::ior::{Endpoint, Ior, ObjectKey};
 use integrade_orb::orb::{Incoming, Orb};
 use integrade_simnet::event::{run_until, EventQueue, RunOutcome, World};
+use integrade_simnet::faults::FaultPlan;
 use integrade_simnet::net::{NetStats, Network};
 use integrade_simnet::rng::DetRng;
 use integrade_simnet::time::{SimDuration, SimTime};
@@ -84,6 +85,9 @@ pub struct GridConfig {
     /// (SipHash-2-4 MAC envelope) and unauthenticated frames are dropped —
     /// the paper's §3 authentication investigation, enabled.
     pub cluster_key: Option<integrade_orb::security::ClusterKey>,
+    /// How many times an unanswered negotiation request is retransmitted
+    /// (with capped exponential backoff) before it is treated as failed.
+    pub max_retransmits: u32,
 }
 
 impl Default for GridConfig {
@@ -104,6 +108,7 @@ impl Default for GridConfig {
             request_timeout: SimDuration::from_secs(30),
             crash_silence: SimDuration::from_secs(120),
             cluster_key: None,
+            max_retransmits: 4,
         }
     }
 }
@@ -225,16 +230,51 @@ enum GridEvent {
     Schedule { job: JobId },
     /// A deferred submission.
     Submit { spec: Box<JobSpec> },
-    /// A negotiation request has gone unanswered too long.
-    RequestTimeout { request_id: u64 },
+    /// A request issued by `from`'s orb has gone unanswered too long.
+    RequestTimeout { from: HostId, request_id: u64 },
+    /// A fault-plan host outage transition (crash when `up` is false,
+    /// reboot when true).
+    HostFault { host: HostId, up: bool },
 }
 
-/// What an in-flight GRM request is waiting for.
+/// What an in-flight request is waiting for.
 #[derive(Debug)]
 enum Pending {
-    Reserve { job: JobId, part: u32, node: NodeId },
-    Launch { job: JobId, part: u32, node: NodeId },
-    CancelPart { job: JobId },
+    Reserve {
+        job: JobId,
+        part: u32,
+        node: NodeId,
+    },
+    Launch {
+        job: JobId,
+        part: u32,
+        node: NodeId,
+    },
+    CancelPart {
+        job: JobId,
+    },
+    /// An LRM status update awaiting the GRM's [`UpdateAck`]. Never
+    /// retransmitted: the seq/piggyback machinery is the retry layer.
+    UpdateAck {
+        node: usize,
+        seq: u64,
+    },
+}
+
+/// An in-flight request: its continuation plus everything needed to put the
+/// identical frame back on the wire when the reply timer expires.
+#[derive(Debug)]
+struct PendingEntry {
+    what: Pending,
+    /// Destination host of the original send.
+    dest: HostId,
+    /// The protected frame, byte-identical on every retransmission so the
+    /// receiver's dedup cache can recognise it.
+    wire: Vec<u8>,
+    /// Bulk payload bytes costed alongside the frame (checkpoint images).
+    extra_bytes: u64,
+    /// Retransmissions performed so far.
+    attempt: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -356,9 +396,21 @@ struct GridWorld {
     gupa: GupaState,
     traces: Vec<Vec<UsageSample>>,
     jobs: BTreeMap<JobId, JobExec>,
-    pending: BTreeMap<u64, Pending>,
+    /// In-flight requests keyed by (issuing host, orb request id) — orb ids
+    /// are only unique per orb, and both the GRM and the LRMs issue
+    /// requests now.
+    pending: BTreeMap<(HostId, u64), PendingEntry>,
+    /// Reverse map from physical host to LRM index (fault targeting and
+    /// dedup-hit draining).
+    host_to_node: BTreeMap<HostId, usize>,
     next_job: u64,
+    /// Protocol-level request ids embedded in negotiation RPCs so the
+    /// receiving LRM can deduplicate retransmissions.
+    next_rpc: u64,
     rng: DetRng,
+    /// Dedicated stream for retry/backoff jitter so retransmission noise
+    /// never perturbs the scheduler's ranking stream.
+    retry_rng: DetRng,
     qos: QosLedger,
     log: TraceLog,
     slots_elapsed: u64,
@@ -459,8 +511,14 @@ impl Grid {
             }
         }
 
+        let host_to_node: BTreeMap<HostId, usize> = node_hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (*h, i))
+            .collect();
         let mut world = GridWorld {
             rng: DetRng::with_stream(config.seed, 0x4752_4944),
+            retry_rng: DetRng::with_stream(config.seed, 0x5245_5459),
             gupa: GupaState::new(config.lupa),
             net: Network::new(topo),
             orbs,
@@ -474,7 +532,9 @@ impl Grid {
             traces,
             jobs: BTreeMap::new(),
             pending: BTreeMap::new(),
+            host_to_node,
             next_job: 1,
+            next_rpc: 0,
             qos: QosLedger::new(),
             log: TraceLog::new(),
             slots_elapsed: 0,
@@ -524,15 +584,8 @@ impl Grid {
     /// Panics on an unknown node.
     pub fn crash_node(&mut self, node: NodeId) {
         let host = self.world.node_hosts[node.0 as usize];
-        self.world
-            .net
-            .topology_mut()
-            .set_up(host, false)
-            .expect("known host");
-        self.world.lrms[node.0 as usize].borrow_mut().crash();
-        self.world
-            .log
-            .record(self.queue.now(), "node.crash", format!("{node}"));
+        let now = self.queue.now();
+        self.world.crash_host(now, host);
     }
 
     /// Brings a crashed node back (reboot: empty volatile state).
@@ -542,14 +595,66 @@ impl Grid {
     /// Panics on an unknown node.
     pub fn restore_node(&mut self, node: NodeId) {
         let host = self.world.node_hosts[node.0 as usize];
-        self.world
-            .net
-            .topology_mut()
-            .set_up(host, true)
-            .expect("known host");
-        self.world
-            .log
-            .record(self.queue.now(), "node.restore", format!("{node}"));
+        let now = self.queue.now();
+        self.world.restore_host(now, host, &mut self.queue);
+    }
+
+    /// Crashes the cluster manager: the GRM loses all volatile soft state
+    /// (node liveness, update sequence tracking, the checkpoint-repository
+    /// index, queued notifications) and its host drops off the network.
+    /// LRMs keep executing; they detect the restart through the epoch bump
+    /// in update acks and re-announce their full state.
+    pub fn crash_grm(&mut self) {
+        let host = self.world.grm_host;
+        let now = self.queue.now();
+        self.world.crash_host(now, host);
+    }
+
+    /// Restarts a crashed cluster manager with a fresh epoch, grants every
+    /// registered node a new liveness grace period, and reconciles jobs
+    /// whose negotiation state died with the old incarnation.
+    pub fn restart_grm(&mut self) {
+        let host = self.world.grm_host;
+        let now = self.queue.now();
+        self.world.restore_host(now, host, &mut self.queue);
+    }
+
+    /// The physical host a node lives on (fault-plan targeting).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown node.
+    pub fn host_of(&self, node: NodeId) -> HostId {
+        self.world.node_hosts[node.0 as usize]
+    }
+
+    /// Installs a deterministic fault plan. Message drops, latency jitter
+    /// and link partitions apply to every send from now on; host outage
+    /// schedules are translated into crash/reboot events on the simulation
+    /// timeline (manager-host outages crash and restart the GRM).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let now = self.queue.now();
+        for outage in plan.outages() {
+            if outage.down_at >= now {
+                self.queue.schedule_at(
+                    outage.down_at,
+                    GridEvent::HostFault {
+                        host: outage.host,
+                        up: false,
+                    },
+                );
+            }
+            if outage.up_at >= now {
+                self.queue.schedule_at(
+                    outage.up_at,
+                    GridEvent::HostFault {
+                        host: outage.host,
+                        up: true,
+                    },
+                );
+            }
+        }
+        self.world.net.set_fault_plan(plan);
     }
 
     /// Injects raw bytes as if they arrived at `to` from `from` — a fault/
@@ -749,6 +854,130 @@ impl GridWorld {
         }
     }
 
+    /// Fresh protocol-level request id (never 0 — 0 disables dedup).
+    fn rpc_id(&mut self) -> u64 {
+        self.next_rpc += 1;
+        self.next_rpc
+    }
+
+    /// Delay before retransmission `attempt` (1-based): the request timeout
+    /// doubled per attempt, capped at 8x, with ±25% seeded jitter.
+    fn retransmit_backoff(&mut self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(3);
+        let base = self.config.request_timeout * (1u64 << shift);
+        let micros = base.as_micros();
+        let jittered = self
+            .retry_rng
+            .uniform_range(micros * 3 / 4, micros * 5 / 4 + 1);
+        SimDuration::from_micros(jittered.max(1))
+    }
+
+    /// Delay before scheduling attempt `attempt` (1-based) re-runs the
+    /// pipeline: the base reschedule delay doubled per attempt, capped at
+    /// 32x, with ±50% seeded jitter to decorrelate retry storms.
+    fn reschedule_backoff(&mut self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(5);
+        let base = self.config.reschedule_delay * (1u64 << shift);
+        let micros = base.as_micros();
+        let jittered = self.retry_rng.uniform_range(micros / 2, micros * 3 / 2 + 1);
+        SimDuration::from_micros(jittered.max(1))
+    }
+
+    /// Takes a host off the network and wipes the volatile state of the
+    /// component living on it (an LRM, or the GRM itself).
+    fn crash_host(&mut self, now: SimTime, host: HostId) {
+        self.net
+            .topology_mut()
+            .set_up(host, false)
+            .expect("known host");
+        // Requests issued by the crashed host's orb die with it; their
+        // timeout events find no entry and fall through harmlessly.
+        self.pending.retain(|(from, _), _| *from != host);
+        if host == self.grm_host {
+            let epoch = {
+                let mut grm = self.grm.borrow_mut();
+                grm.crash();
+                grm.epoch()
+            };
+            self.log
+                .record(now, "grm.crash", format!("next epoch {epoch}"));
+        } else if let Some(&node) = self.host_to_node.get(&host) {
+            self.lrms[node].borrow_mut().crash();
+            self.log
+                .record(now, "node.crash", format!("{}", NodeId(node as u32)));
+        }
+    }
+
+    /// Brings a crashed host back (reboot semantics: volatile state stays
+    /// empty; the GRM additionally reconciles orphaned negotiation state).
+    fn restore_host(&mut self, now: SimTime, host: HostId, queue: &mut EventQueue<GridEvent>) {
+        self.net
+            .topology_mut()
+            .set_up(host, true)
+            .expect("known host");
+        if host == self.grm_host {
+            let epoch = {
+                let mut grm = self.grm.borrow_mut();
+                grm.restart(now);
+                grm.epoch()
+            };
+            self.log
+                .record(now, "grm.epoch", format!("restarted as epoch {epoch}"));
+            self.reconcile_after_grm_restart(now, queue);
+        } else if let Some(&node) = self.host_to_node.get(&host) {
+            self.log
+                .record(now, "node.restore", format!("{}", NodeId(node as u32)));
+        }
+    }
+
+    /// After a GRM restart, no in-flight negotiation of the old incarnation
+    /// can ever complete: zero the in-flight counters, unwind parts stuck
+    /// mid-handshake (their LRM-side reservations expire via leases) and
+    /// re-run the pipeline, so jobs are rescheduled instead of wedging.
+    fn reconcile_after_grm_restart(&mut self, now: SimTime, queue: &mut EventQueue<GridEvent>) {
+        let mut rollbacks: Vec<JobId> = Vec::new();
+        let mut reschedules: Vec<(JobId, u32)> = Vec::new();
+        for (id, job) in self.jobs.iter_mut() {
+            if matches!(job.record.state, JobState::Completed | JobState::Failed) {
+                continue;
+            }
+            let mid_teardown = job.pending_cancels > 0;
+            job.pending_cancels = 0;
+            job.pending_reservations = 0;
+            job.granted.clear();
+            for part in job.parts.iter_mut() {
+                if matches!(part.state, PartState::Reserving | PartState::Launching) {
+                    part.state = PartState::Unplaced;
+                    part.node = None;
+                    part.reservation = 0;
+                }
+            }
+            if job.record.state == JobState::Negotiating {
+                job.record.state = JobState::Queued;
+            }
+            if mid_teardown {
+                // The gang teardown loses its cancel replies: bank whatever
+                // checkpoint level was already folded in and move on.
+                rollbacks.push(*id);
+            } else if job.parts.iter().any(|p| p.state == PartState::Unplaced) {
+                reschedules.push((*id, job.attempts.max(1)));
+            }
+            // Parts still Running keep running: their LRMs re-announce via
+            // the epoch-forced full update and report outcomes at-least-once.
+        }
+        for id in rollbacks {
+            self.log
+                .record(now, "grm.reconcile", format!("{id} rollback"));
+            self.finish_bsp_rollback(now, id, queue);
+        }
+        for (id, attempt) in reschedules {
+            self.log
+                .record(now, "grm.reconcile", format!("{id} reschedule"));
+            let backoff = self.reschedule_backoff(attempt);
+            queue.schedule_after(backoff, GridEvent::Schedule { job: id });
+        }
+    }
+
     /// Sends a framed request from the GRM to a node's LRM, registering the
     /// pending continuation.
     fn send_to_lrm(
@@ -780,8 +1009,17 @@ impl GridWorld {
         let orb = self.orbs.get_mut(&self.grm_host).expect("grm orb");
         let (request_id, bytes) = orb.make_request(&target, operation, body);
         let bytes = self.protect(bytes);
-        self.pending.insert(request_id, pending);
         let to = self.node_hosts[node.0 as usize];
+        self.pending.insert(
+            (self.grm_host, request_id),
+            PendingEntry {
+                what: pending,
+                dest: to,
+                wire: bytes.clone(),
+                extra_bytes,
+                attempt: 0,
+            },
+        );
         match self
             .net
             .send(now, self.grm_host, to, bytes.len() as u64 + extra_bytes)
@@ -796,21 +1034,94 @@ impl GridWorld {
                     },
                 );
                 // Crashed nodes never answer: a timeout converts silence
-                // into the failure path instead of wedging the job.
+                // into retransmission and, eventually, the failure path.
                 queue.schedule_after(
                     self.config.request_timeout,
-                    GridEvent::RequestTimeout { request_id },
+                    GridEvent::RequestTimeout {
+                        from: self.grm_host,
+                        request_id,
+                    },
                 );
             }
             Err(_) => {
-                // Unreachable node: resolve as an immediate failure.
-                self.log.record(now, "net.drop", format!("to {node}"));
+                // Unreachable node or injected loss: fast-path straight to
+                // the timeout handler, which retransmits with backoff.
+                self.log.record(now, "drops", format!("request to {node}"));
                 queue.schedule_after(
                     SimDuration::from_micros(1),
-                    GridEvent::RequestTimeout { request_id },
+                    GridEvent::RequestTimeout {
+                        from: self.grm_host,
+                        request_id,
+                    },
                 );
             }
         }
+    }
+
+    /// Handles an expired reply timer: retransmit the identical frame with
+    /// capped exponential backoff while attempts remain, then fall through
+    /// to the transport-error continuation.
+    fn on_request_timeout(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        request_id: u64,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let key = (from, request_id);
+        let Some(entry) = self.pending.get(&key) else {
+            return; // answered in the meantime
+        };
+        if matches!(entry.what, Pending::UpdateAck { .. }) {
+            // Status updates are never retransmitted — the next periodic
+            // update supersedes this one and re-piggybacks any unacked
+            // outcomes. Just garbage-collect the entry.
+            self.pending.remove(&key);
+            return;
+        }
+        if entry.attempt >= self.config.max_retransmits {
+            self.log
+                .record(now, "grm.timeout", format!("request {request_id}"));
+            self.handle_reply(
+                now,
+                from,
+                request_id,
+                Err(integrade_orb::orb::RemoteError::Unreachable(
+                    integrade_orb::ior::Endpoint::new(u32::MAX, 0),
+                )),
+                queue,
+            );
+            return;
+        }
+        let entry = self.pending.get_mut(&key).expect("entry exists");
+        entry.attempt += 1;
+        let attempt = entry.attempt;
+        let dest = entry.dest;
+        let wire = entry.wire.clone();
+        let extra = entry.extra_bytes;
+        self.log.record(
+            now,
+            "retransmits",
+            format!("request {request_id} attempt {attempt}"),
+        );
+        let next_timeout = self.retransmit_backoff(attempt);
+        match self.net.send(now, from, dest, wire.len() as u64 + extra) {
+            Ok(delay) => {
+                queue.schedule_after(
+                    delay,
+                    GridEvent::Wire {
+                        from,
+                        to: dest,
+                        bytes: wire,
+                    },
+                );
+            }
+            Err(_) => {
+                self.log
+                    .record(now, "drops", format!("retransmit {request_id}"));
+            }
+        }
+        queue.schedule_after(next_timeout, GridEvent::RequestTimeout { from, request_id });
     }
 
     /// Sends a oneway notification from a node's LRM to the GRM.
@@ -848,6 +1159,11 @@ impl GridWorld {
         queue: &mut EventQueue<GridEvent>,
     ) {
         *self.clock.borrow_mut() = now;
+        if !self.net.topology().is_up(to) {
+            // The destination crashed while the frame was in flight.
+            self.log.record(now, "drops", format!("host {} down", to.0));
+            return;
+        }
         let Some(frame) = self.unprotect(now, &bytes) else {
             return;
         };
@@ -870,10 +1186,17 @@ impl GridWorld {
             }
             Ok(Incoming::OnewayHandled) => {}
             Ok(Incoming::ReplyReceived { request_id, result }) => {
-                self.handle_reply(now, request_id, result, queue);
+                self.handle_reply(now, to, request_id, result, queue);
             }
             Err(e) => {
                 self.log.record(now, "orb.error", e.to_string());
+            }
+        }
+        // Surface any dedup hits the LRM servant just recorded as counters.
+        if let Some(&node) = self.host_to_node.get(&to) {
+            let hits = self.lrms[node].borrow_mut().take_dedup_hits();
+            for _ in 0..hits {
+                self.log.record(now, "dedup_hits", format!("node {node}"));
             }
         }
         // The GRM servant may have queued notifications; drain them.
@@ -940,12 +1263,69 @@ impl GridWorld {
         evicted: &PartEvicted,
         queue: &mut EventQueue<GridEvent>,
     ) {
-        let grm_host = self.grm_host;
         let Some(job) = self.jobs.get_mut(&evicted.job) else {
             return;
         };
         if job.record.state == JobState::Completed || job.record.state == JobState::Failed {
             return;
+        }
+        let is_bsp = job.spec.kind.is_parallel();
+        if !is_bsp {
+            // Outcomes arrive at-least-once (oneway plus the update
+            // piggyback): an eviction for a part no longer running on that
+            // node is a stale duplicate and must not evict twice.
+            {
+                let part = &job.parts[evicted.part as usize];
+                if !matches!(part.state, PartState::Running | PartState::Launching)
+                    || part.node != Some(evicted.node)
+                {
+                    return;
+                }
+            }
+            job.record.evictions += 1;
+            job.record.wasted_work_mips_s += evicted.lost_work_mips_s;
+            self.log.record(
+                now,
+                "job.evicted",
+                format!(
+                    "{} part {} from {}",
+                    evicted.job, evicted.part, evicted.node
+                ),
+            );
+            let part = &mut job.parts[evicted.part as usize];
+            part.remaining = (part.remaining - evicted.checkpointed_work_mips_s as f64).max(1.0);
+            part.state = PartState::Unplaced;
+            part.node = None;
+            job.record.state = JobState::Rescheduling;
+            let attempt = job.attempts.max(1);
+            let backoff = self.reschedule_backoff(attempt);
+            queue.schedule_after(backoff, GridEvent::Schedule { job: evicted.job });
+            return;
+        }
+        // BSP gang teardown: cancel every other live part and collect
+        // checkpoints; the evicted part contributes its own.
+        if job.record.state == JobState::Rescheduling && job.pending_cancels > 0 {
+            // A second eviction during teardown: fold its checkpoint in
+            // (min-fold is idempotent under duplicate delivery).
+            job.record.evictions += 1;
+            job.record.wasted_work_mips_s += evicted.lost_work_mips_s;
+            job.min_checkpoint = job
+                .min_checkpoint
+                .min(evicted.checkpointed_work_mips_s as f64);
+            let part = &mut job.parts[evicted.part as usize];
+            part.state = PartState::Unplaced;
+            part.node = None;
+            return;
+        }
+        {
+            // Stale duplicate after the teardown already completed: the
+            // cancel replies accounted for this part.
+            let part = &job.parts[evicted.part as usize];
+            if !matches!(part.state, PartState::Running | PartState::Launching)
+                || part.node != Some(evicted.node)
+            {
+                return;
+            }
         }
         job.record.evictions += 1;
         job.record.wasted_work_mips_s += evicted.lost_work_mips_s;
@@ -957,31 +1337,6 @@ impl GridWorld {
                 evicted.job, evicted.part, evicted.node
             ),
         );
-        let is_bsp = job.spec.kind.is_parallel();
-        if !is_bsp {
-            let part = &mut job.parts[evicted.part as usize];
-            part.remaining = (part.remaining - evicted.checkpointed_work_mips_s as f64).max(1.0);
-            part.state = PartState::Unplaced;
-            part.node = None;
-            job.record.state = JobState::Rescheduling;
-            queue.schedule_after(
-                self.config.reschedule_delay,
-                GridEvent::Schedule { job: evicted.job },
-            );
-            return;
-        }
-        // BSP gang teardown: cancel every other live part and collect
-        // checkpoints; the evicted part contributes its own.
-        if job.record.state == JobState::Rescheduling && job.pending_cancels > 0 {
-            // A second eviction during teardown: fold its checkpoint in.
-            job.min_checkpoint = job
-                .min_checkpoint
-                .min(evicted.checkpointed_work_mips_s as f64);
-            let part = &mut job.parts[evicted.part as usize];
-            part.state = PartState::Unplaced;
-            part.node = None;
-            return;
-        }
         job.record.state = JobState::Rescheduling;
         job.min_checkpoint = evicted.checkpointed_work_mips_s as f64;
         {
@@ -1002,13 +1357,20 @@ impl GridWorld {
         }
         job.pending_cancels = cancels.len() as u32;
         let none_pending = cancels.is_empty();
-        let _ = grm_host;
         for (part, node) in cancels {
+            let request_id = self.rpc_id();
             self.send_to_lrm(
                 now,
                 node,
                 OP_CANCEL_PART,
-                move |w| CancelPartRequest { job: job_id, part }.encode(w),
+                move |w| {
+                    CancelPartRequest {
+                        request_id,
+                        job: job_id,
+                        part,
+                    }
+                    .encode(w)
+                },
                 Pending::CancelPart { job: job_id },
                 queue,
             );
@@ -1036,28 +1398,28 @@ impl GridWorld {
         let steps_banked = (ckpt / step).floor();
         job.bsp_remaining_supersteps = (job.bsp_remaining_supersteps - steps_banked).max(0.0);
         job.min_checkpoint = f64::INFINITY;
+        let attempt = job.attempts.max(1);
         self.log.record(
             now,
             "job.rollback",
             format!("{job_id} banked {steps_banked} supersteps"),
         );
-        queue.schedule_after(
-            self.config.reschedule_delay,
-            GridEvent::Schedule { job: job_id },
-        );
+        let backoff = self.reschedule_backoff(attempt);
+        queue.schedule_after(backoff, GridEvent::Schedule { job: job_id });
     }
 
     fn handle_reply(
         &mut self,
         now: SimTime,
+        at: HostId,
         request_id: u64,
         result: Result<Vec<u8>, integrade_orb::orb::RemoteError>,
         queue: &mut EventQueue<GridEvent>,
     ) {
-        let Some(pending) = self.pending.remove(&request_id) else {
+        let Some(entry) = self.pending.remove(&(at, request_id)) else {
             return;
         };
-        match pending {
+        match entry.what {
             Pending::Reserve { job, part, node } => {
                 let reply = result
                     .ok()
@@ -1086,6 +1448,35 @@ impl GridWorld {
                     });
                 self.on_cancel_reply(now, job, reply, queue);
             }
+            Pending::UpdateAck { node, seq } => {
+                self.on_update_ack(node, seq, result);
+            }
+        }
+    }
+
+    /// Processes the GRM's acknowledgement of a status update: retire the
+    /// outcomes it piggybacked and watch the epoch for GRM restarts.
+    fn on_update_ack(
+        &mut self,
+        node: usize,
+        seq: u64,
+        result: Result<Vec<u8>, integrade_orb::orb::RemoteError>,
+    ) {
+        let Some(ack) = result.ok().and_then(|b| UpdateAck::from_cdr_bytes(&b).ok()) else {
+            return; // lost ack: the next update re-piggybacks everything
+        };
+        let epoch_changed = {
+            let mut lrm = self.lrms[node].borrow_mut();
+            lrm.acknowledge(ack.seq.min(seq));
+            lrm.observe_grm_epoch(ack.epoch)
+        };
+        if epoch_changed {
+            let now = *self.clock.borrow();
+            self.log.record(
+                now,
+                "grm.epoch",
+                format!("node {node} observed epoch {}", ack.epoch),
+            );
         }
     }
 
@@ -1177,13 +1568,14 @@ impl GridWorld {
         let job = self.jobs.get_mut(&job_id).expect("job exists");
         if ranked.len() < if is_bsp { job.parts.len() } else { 1 } {
             job.attempts += 1;
-            if job.attempts >= self.config.max_attempts {
+            let attempts = job.attempts;
+            if attempts >= self.config.max_attempts {
                 job.record.state = JobState::Failed;
                 self.log
                     .record(now, "job.failed", format!("{job_id}: no candidates"));
             } else {
                 job.record.state = JobState::Queued;
-                let backoff = self.config.reschedule_delay * (job.attempts as u64).clamp(1, 30);
+                let backoff = self.reschedule_backoff(attempts);
                 queue.schedule_after(backoff, GridEvent::Schedule { job: job_id });
             }
             return;
@@ -1194,36 +1586,39 @@ impl GridWorld {
 
         // 4. Direct negotiation: BSP reserves the whole gang up front; other
         // kinds negotiate one node per unplaced part, round-robin over
-        // candidates.
+        // candidates. The duration hint sizes the LRM-side reservation
+        // lease, so derive it from the part's remaining work where known.
         let ram = job.spec.requirements.min_ram_mb.max(16);
-        let duration_hint = 600u64;
-        let mut sends: Vec<(u32, NodeId)> = Vec::new();
+        let mut sends: Vec<(u32, NodeId, u64)> = Vec::new();
         if is_bsp {
             for (i, part) in unplaced.iter().enumerate() {
                 let candidate = &job.candidates[i];
-                sends.push((*part, candidate.node));
+                sends.push((*part, candidate.node, 600));
             }
         } else {
             for (i, part) in unplaced.iter().enumerate() {
                 let candidate = &job.candidates[i % job.candidates.len()];
-                sends.push((*part, candidate.node));
+                let hint = ((job.parts[*part as usize].remaining / 100.0) as u64).clamp(300, 3600);
+                sends.push((*part, candidate.node, hint));
             }
         }
         job.pending_reservations = sends.len() as u32;
         job.next_candidate = sends.len().min(job.candidates.len());
-        for (part, node) in &sends {
+        for (part, node, _) in &sends {
             let p = &mut job.parts[*part as usize];
             p.state = PartState::Reserving;
             p.node = Some(*node);
         }
         let sends_owned = sends;
-        for (part, node) in sends_owned {
+        for (part, node, duration_hint_s) in sends_owned {
+            let request_id = self.rpc_id();
             let req = ReserveRequest {
+                request_id,
                 job: job_id,
                 part,
                 ram_mb: ram,
                 min_cpu_fraction: 0.05,
-                duration_hint_s: duration_hint,
+                duration_hint_s,
             };
             self.send_to_lrm(
                 now,
@@ -1293,6 +1688,7 @@ impl GridWorld {
                     job.parts[part as usize].reservation = reply.reservation;
                     launch = Some((
                         LaunchRequest {
+                            request_id: 0, // assigned below, outside the borrow
                             reservation: reply.reservation,
                             job: job_id,
                             part,
@@ -1325,11 +1721,13 @@ impl GridWorld {
                     job.parts[part as usize].node = Some(next);
                     failover = Some((
                         ReserveRequest {
+                            request_id: 0, // assigned below, outside the borrow
                             job: job_id,
                             part,
                             ram_mb: job.spec.requirements.min_ram_mb.max(16),
                             min_cpu_fraction: 0.05,
-                            duration_hint_s: 600,
+                            duration_hint_s: ((job.parts[part as usize].remaining / 100.0) as u64)
+                                .clamp(300, 3600),
                         },
                         next,
                     ));
@@ -1337,7 +1735,8 @@ impl GridWorld {
             }
             job.pending_reservations == 0
         };
-        if let Some((req, target)) = failover {
+        if let Some((mut req, target)) = failover {
+            req.request_id = self.rpc_id();
             let failover_part = req.part;
             self.send_to_lrm(
                 now,
@@ -1352,7 +1751,8 @@ impl GridWorld {
                 queue,
             );
         }
-        if let Some((req, ckpt, target)) = launch {
+        if let Some((mut req, ckpt, target)) = launch {
+            req.request_id = self.rpc_id();
             let launch_part = req.part;
             self.send_to_lrm(
                 now,
@@ -1382,8 +1782,10 @@ impl GridWorld {
     ) {
         enum Outcome {
             LaunchGang,
-            ReleaseAndMaybeRetry(Vec<(u32, NodeId, u64)>),
-            RetryStragglers,
+            /// Release granted reservations; retry after backoff when the
+            /// attempt count is `Some`.
+            ReleaseAndMaybeRetry(Vec<(u32, NodeId, u64)>, Option<u32>),
+            RetryStragglers(u32),
             Nothing,
         }
         let outcome = {
@@ -1406,13 +1808,11 @@ impl GridWorld {
                         job.record.state = JobState::Failed;
                         self.log
                             .record(now, "job.failed", format!("{job_id}: gang refused"));
+                        Outcome::ReleaseAndMaybeRetry(granted, None)
                     } else {
                         job.record.state = JobState::Queued;
-                        let backoff =
-                            self.config.reschedule_delay * (job.attempts as u64).clamp(1, 30);
-                        queue.schedule_after(backoff, GridEvent::Schedule { job: job_id });
+                        Outcome::ReleaseAndMaybeRetry(granted, Some(job.attempts))
                     }
-                    Outcome::ReleaseAndMaybeRetry(granted)
                 }
             } else if job.parts.iter().any(|p| p.state == PartState::Unplaced) {
                 job.attempts += 1;
@@ -1424,7 +1824,7 @@ impl GridWorld {
                         .record(now, "job.failed", format!("{job_id}: refusals"));
                     Outcome::Nothing
                 } else {
-                    Outcome::RetryStragglers
+                    Outcome::RetryStragglers(job.attempts)
                 }
             } else {
                 Outcome::Nothing
@@ -1432,7 +1832,7 @@ impl GridWorld {
         };
         match outcome {
             Outcome::LaunchGang => self.launch_bsp_gang(now, job_id, queue),
-            Outcome::ReleaseAndMaybeRetry(granted) => {
+            Outcome::ReleaseAndMaybeRetry(granted, retry) => {
                 for (_, node, reservation) in granted {
                     let target = self.lrm_iors[node.0 as usize].clone();
                     let orb = self.orbs.get_mut(&self.grm_host).expect("grm orb");
@@ -1452,12 +1852,14 @@ impl GridWorld {
                         );
                     }
                 }
+                if let Some(attempts) = retry {
+                    let backoff = self.reschedule_backoff(attempts);
+                    queue.schedule_after(backoff, GridEvent::Schedule { job: job_id });
+                }
             }
-            Outcome::RetryStragglers => {
-                queue.schedule_after(
-                    self.config.reschedule_delay,
-                    GridEvent::Schedule { job: job_id },
-                );
+            Outcome::RetryStragglers(attempts) => {
+                let backoff = self.reschedule_backoff(attempts);
+                queue.schedule_after(backoff, GridEvent::Schedule { job: job_id });
             }
             Outcome::Nothing => {}
         }
@@ -1524,6 +1926,7 @@ impl GridWorld {
         };
         for (part, node, reservation) in launches {
             let req = LaunchRequest {
+                request_id: self.rpc_id(),
                 reservation,
                 job: job_id,
                 part,
@@ -1575,10 +1978,9 @@ impl GridWorld {
             job.record.negotiation_refusals += 1;
             job.parts[part as usize].state = PartState::Unplaced;
             job.parts[part as usize].node = None;
-            queue.schedule_after(
-                self.config.reschedule_delay,
-                GridEvent::Schedule { job: job_id },
-            );
+            let attempt = job.attempts.max(1);
+            let backoff = self.reschedule_backoff(attempt);
+            queue.schedule_after(backoff, GridEvent::Schedule { job: job_id });
         }
     }
 
@@ -1589,7 +1991,7 @@ impl GridWorld {
         let tick = self.config.tick;
         for i in 0..self.lrms.len() {
             let owner = self.trace_sample(i, now);
-            let (completed, evictions, grid_running, grid_share, cap) = {
+            let (completed, evictions, expired, grid_running, grid_share, cap) = {
                 let mut lrm = self.lrms[i].borrow_mut();
                 // Credit the elapsed tick under the owner state that held
                 // during it *before* observing the new sample; otherwise a
@@ -1597,16 +1999,20 @@ impl GridWorld {
                 // interval's progress.
                 let completed = lrm.advance(tick);
                 lrm.observe_owner(owner, weekday, minute);
-                lrm.expire_reservations(now);
+                let expired = lrm.expire_reservations(now);
                 let evictions = lrm.check_eviction();
                 (
                     completed,
                     evictions,
+                    expired,
                     !lrm.running().is_empty(),
                     lrm.grid_share(),
                     lrm.policy.max_cpu_fraction,
                 )
             };
+            for _ in 0..expired {
+                self.log.record(now, "lease.expired", format!("node {i}"));
+            }
             // Owner QoS accounting (InteGrade's user-level scheduler always
             // yields, so usage == the capped share).
             let grid_demand = if grid_running { 1.0 } else { 0.0 };
@@ -1618,15 +2024,21 @@ impl GridWorld {
                 cap,
                 SharingDiscipline::Yielding,
             );
+            // Outcomes go out as best-effort oneways, but are also stashed
+            // until the GRM acknowledges an update that piggybacked them —
+            // at-least-once delivery even when the oneway is lost or the
+            // GRM crashes with the notice in flight.
             for done in completed {
                 let msg = PartDone {
                     job: done.job,
                     part: done.part,
                     node: NodeId(i as u32),
                 };
+                self.lrms[i].borrow_mut().stash_done(msg.clone());
                 self.send_to_grm(now, i, OP_PART_DONE, move |w| msg.encode(w), queue);
             }
             for evicted in evictions {
+                self.lrms[i].borrow_mut().stash_evicted(evicted.clone());
                 self.send_to_grm(
                     now,
                     i,
@@ -1692,13 +2104,58 @@ impl GridWorld {
             (lrm.next_update(&config), lrm.checkpoint_reports())
         };
         if let Some((seq, status)) = update {
+            // The update travels as a request so the GRM's ack (carrying
+            // its epoch) can retire piggybacked outcomes and reveal
+            // restarts. It is never retransmitted: the next periodic
+            // update supersedes it.
+            let (pending_done, pending_evicted) = self.lrms[node].borrow_mut().piggyback_for(seq);
             let msg = StatusUpdate {
                 node: NodeId(node as u32),
                 seq,
                 status,
                 checkpoints,
+                pending_done,
+                pending_evicted,
             };
-            self.send_to_grm(now, node, OP_UPDATE_STATUS, move |w| msg.encode(w), queue);
+            let from = self.node_hosts[node];
+            let target = self.grm_ior.clone();
+            let orb = self.orbs.get_mut(&from).expect("lrm orb");
+            let (request_id, bytes) =
+                orb.make_request(&target, OP_UPDATE_STATUS, move |w| msg.encode(w));
+            let bytes = self.protect(bytes);
+            self.pending.insert(
+                (from, request_id),
+                PendingEntry {
+                    what: Pending::UpdateAck { node, seq },
+                    dest: self.grm_host,
+                    wire: Vec::new(), // never retransmitted
+                    extra_bytes: 0,
+                    attempt: 0,
+                },
+            );
+            match self.net.send(now, from, self.grm_host, bytes.len() as u64) {
+                Ok(delay) => {
+                    queue.schedule_after(
+                        delay,
+                        GridEvent::Wire {
+                            from,
+                            to: self.grm_host,
+                            bytes,
+                        },
+                    );
+                    queue.schedule_after(
+                        self.config.request_timeout,
+                        GridEvent::RequestTimeout { from, request_id },
+                    );
+                }
+                Err(_) => {
+                    self.log.record(now, "drops", format!("update from {node}"));
+                    queue.schedule_after(
+                        SimDuration::from_micros(1),
+                        GridEvent::RequestTimeout { from, request_id },
+                    );
+                }
+            }
         }
         queue.schedule_after(config.update_period, GridEvent::UpdateTick { node });
     }
@@ -1716,18 +2173,15 @@ impl World for GridWorld {
             GridEvent::Submit { spec } => {
                 self.admit_job(*spec, now, queue);
             }
-            GridEvent::RequestTimeout { request_id } => {
-                if self.pending.contains_key(&request_id) {
-                    self.log
-                        .record(now, "grm.timeout", format!("request {request_id}"));
-                    self.handle_reply(
-                        now,
-                        request_id,
-                        Err(integrade_orb::orb::RemoteError::Unreachable(
-                            integrade_orb::ior::Endpoint::new(u32::MAX, 0),
-                        )),
-                        queue,
-                    );
+            GridEvent::RequestTimeout { from, request_id } => {
+                self.on_request_timeout(now, from, request_id, queue);
+            }
+            GridEvent::HostFault { host, up } => {
+                *self.clock.borrow_mut() = now;
+                if up {
+                    self.restore_host(now, host, queue);
+                } else {
+                    self.crash_host(now, host);
                 }
             }
         }

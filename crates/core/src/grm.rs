@@ -8,7 +8,9 @@
 //! candidate list that comes back is a *hint*: the Resource Reservation and
 //! Execution Protocol then negotiates directly with each candidate node.
 
-use crate::protocol::{node_props, PartDone, PartEvicted, StatusUpdate, NODE_SERVICE_TYPE};
+use crate::protocol::{
+    node_props, PartDone, PartEvicted, StatusUpdate, UpdateAck, NODE_SERVICE_TYPE,
+};
 use crate::scheduler::CandidateNode;
 use crate::types::{NodeId, NodeStatus, Platform, ResourceVector};
 use integrade_orb::any::AnyValue;
@@ -63,6 +65,9 @@ pub struct GrmState {
     /// (job, part). Survives node crashes — the recovery substrate.
     checkpoint_repo: BTreeMap<(crate::types::JobId, u32), u64>,
     stats: UpdateStats,
+    /// Incarnation number, bumped on every crash. Returned in update acks
+    /// so LRMs detect a restart and re-announce full state.
+    epoch: u64,
     /// Trader slots of the five dynamic status properties, resolved once.
     status_slots: Option<StatusSlots>,
     /// Completion notices awaiting the execution manager.
@@ -162,6 +167,7 @@ impl GrmState {
             last_heard: BTreeMap::new(),
             checkpoint_repo: BTreeMap::new(),
             stats: UpdateStats::default(),
+            epoch: 1,
             status_slots: None,
             pending_done: Vec::new(),
             pending_evictions: Vec::new(),
@@ -218,6 +224,14 @@ impl GrmState {
             self.stats.unknown_node += 1;
             return;
         }
+        // Piggybacked outcomes are processed even when the status itself is
+        // stale: they are at-least-once notices the execution layer handles
+        // idempotently, and dropping them here could wedge a job whose
+        // original oneway notification was lost.
+        self.pending_done
+            .extend(update.pending_done.iter().cloned());
+        self.pending_evictions
+            .extend(update.pending_evicted.iter().cloned());
         let last = self.last_seq.get(&update.node).copied().unwrap_or(0);
         if update.seq <= last {
             self.stats.stale_discarded += 1;
@@ -361,6 +375,38 @@ impl GrmState {
         }
     }
 
+    /// The GRM's current incarnation number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Simulates a GRM crash: everything learned through the protocols —
+    /// status, sequence numbers, liveness, the checkpoint repository and
+    /// undrained notices — is volatile and vanishes; the node registry
+    /// (disk state) survives. The epoch bumps so LRMs can detect the
+    /// restart from the next update ack.
+    pub fn crash(&mut self) {
+        self.epoch += 1;
+        self.last_seq.clear();
+        self.checkpoint_repo.clear();
+        self.pending_done.clear();
+        self.pending_evictions.clear();
+        let nodes: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for node in nodes {
+            self.mark_unavailable(node);
+        }
+        self.last_heard.clear();
+    }
+
+    /// Completes a reboot at `now`: every registered node gets a fresh
+    /// liveness grace period so the crash detector doesn't declare the
+    /// whole cluster dead before the first post-restart updates arrive.
+    pub fn restart(&mut self, now: SimTime) {
+        for node in self.nodes.keys() {
+            self.last_heard.insert(*node, now);
+        }
+    }
+
     /// Aggregates this cluster's current view into the summary the
     /// inter-cluster hierarchy propagates (\[MK02\]).
     pub fn cluster_summary(&self) -> crate::hierarchy::ClusterSummary {
@@ -419,10 +465,16 @@ impl Servant for GrmServant {
         use crate::protocol::{OP_PART_DONE, OP_PART_EVICTED, OP_UPDATE_STATUS};
         match operation {
             OP_UPDATE_STATUS => {
+                use integrade_orb::cdr::CdrEncode;
                 let update = StatusUpdate::decode(args)?;
                 let now = *self.now.borrow();
-                self.state.borrow_mut().handle_update_at(&update, now);
-                Ok(Vec::new())
+                let mut state = self.state.borrow_mut();
+                state.handle_update_at(&update, now);
+                Ok(UpdateAck {
+                    epoch: state.epoch(),
+                    seq: update.seq,
+                }
+                .to_cdr_bytes())
             }
             OP_PART_DONE => {
                 let done = PartDone::decode(args)?;
@@ -499,6 +551,8 @@ mod tests {
             seq: 1,
             status: exporting_status(0.3, 128),
             checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
         });
         let constraint = JobRequirements {
             min_cpu_mips: 500,
@@ -523,6 +577,8 @@ mod tests {
             seq: 5,
             status: exporting_status(0.3, 128),
             checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
         });
         // Older sequence arrives late (network reordering): must not regress.
         grm.handle_update(&StatusUpdate {
@@ -530,6 +586,8 @@ mod tests {
             seq: 3,
             status: NodeStatus::unavailable(),
             checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
         });
         assert_eq!(grm.update_stats().stale_discarded, 1);
         let (_, status) = grm.node_view(NodeId(1)).unwrap();
@@ -544,6 +602,8 @@ mod tests {
             seq: 1,
             status: exporting_status(0.3, 128),
             checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
         });
         assert_eq!(grm.update_stats().unknown_node, 1);
     }
@@ -557,6 +617,8 @@ mod tests {
                 seq: 1,
                 status: exporting_status(0.3, 128),
                 checkpoints: vec![],
+                pending_done: vec![],
+                pending_evicted: vec![],
             });
         }
         let constraint = JobRequirements::default().to_constraint();
@@ -575,6 +637,8 @@ mod tests {
             seq: 1,
             status: exporting_status(0.3, 128),
             checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
         });
         let mut predictions = BTreeMap::new();
         predictions.insert(NodeId(1), 0.87);
@@ -607,6 +671,8 @@ mod tests {
             seq: 1,
             status: exporting_status(0.3, 128),
             checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
         }
         .to_cdr_bytes();
         servant
@@ -645,5 +711,125 @@ mod tests {
         assert!(grm.lrm_of(NodeId(2)).is_some());
         assert!(grm.lrm_of(NodeId(42)).is_none());
         assert_eq!(grm.node_count(), 3);
+    }
+
+    #[test]
+    fn update_ack_carries_epoch_and_seq() {
+        use crate::protocol::OP_UPDATE_STATUS;
+        use integrade_orb::cdr::CdrEncode;
+        let state = Rc::new(RefCell::new(grm_with_nodes()));
+        let mut servant = GrmServant::new(state.clone());
+        let update = StatusUpdate {
+            node: NodeId(1),
+            seq: 9,
+            status: exporting_status(0.3, 128),
+            checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
+        }
+        .to_cdr_bytes();
+        let out = servant
+            .dispatch(OP_UPDATE_STATUS, &mut CdrReader::new(&update))
+            .unwrap();
+        let ack = UpdateAck::from_cdr_bytes(&out).unwrap();
+        assert_eq!(ack, UpdateAck { epoch: 1, seq: 9 });
+    }
+
+    #[test]
+    fn crash_wipes_soft_state_and_bumps_epoch() {
+        use crate::types::JobId;
+        let mut grm = grm_with_nodes();
+        grm.handle_update(&StatusUpdate {
+            node: NodeId(1),
+            seq: 5,
+            status: exporting_status(0.3, 128),
+            checkpoints: vec![crate::protocol::CheckpointReport {
+                job: JobId(1),
+                part: 0,
+                checkpointed_work_mips_s: 400,
+            }],
+            pending_done: vec![],
+            pending_evicted: vec![],
+        });
+        assert_eq!(grm.repo_checkpoint(JobId(1), 0), 400);
+        grm.crash();
+        assert_eq!(grm.epoch(), 2);
+        assert_eq!(
+            grm.repo_checkpoint(JobId(1), 0),
+            0,
+            "repository is volatile"
+        );
+        let (_, status) = grm.node_view(NodeId(1)).unwrap();
+        assert!(!status.exporting, "all nodes unavailable after restart");
+        // Sequence tracking was wiped: the LRM's next update (seq 6, or even
+        // a full re-announce at any seq) is accepted, not discarded as stale.
+        grm.handle_update(&StatusUpdate {
+            node: NodeId(1),
+            seq: 1,
+            status: exporting_status(0.3, 128),
+            checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
+        });
+        let (_, status) = grm.node_view(NodeId(1)).unwrap();
+        assert!(status.exporting, "post-restart re-announce accepted");
+    }
+
+    #[test]
+    fn restart_grants_fresh_liveness_grace() {
+        use integrade_simnet::time::SimDuration;
+        let mut grm = grm_with_nodes();
+        grm.handle_update_at(
+            &StatusUpdate {
+                node: NodeId(1),
+                seq: 1,
+                status: exporting_status(0.3, 128),
+                checkpoints: vec![],
+                pending_done: vec![],
+                pending_evicted: vec![],
+            },
+            SimTime::from_secs(10),
+        );
+        grm.crash();
+        let now = SimTime::from_secs(5000);
+        grm.restart(now);
+        assert!(
+            grm.silent_nodes(
+                now + SimDuration::from_secs(30),
+                SimDuration::from_secs(120)
+            )
+            .is_empty(),
+            "grace period after restart"
+        );
+    }
+
+    #[test]
+    fn piggybacked_outcomes_processed_even_when_stale() {
+        use crate::types::JobId;
+        let mut grm = grm_with_nodes();
+        grm.handle_update(&StatusUpdate {
+            node: NodeId(1),
+            seq: 5,
+            status: exporting_status(0.3, 128),
+            checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
+        });
+        // A reordered (stale) update still delivers its piggybacked notice.
+        grm.handle_update(&StatusUpdate {
+            node: NodeId(1),
+            seq: 3,
+            status: NodeStatus::unavailable(),
+            checkpoints: vec![],
+            pending_done: vec![PartDone {
+                job: JobId(7),
+                part: 1,
+                node: NodeId(1),
+            }],
+            pending_evicted: vec![],
+        });
+        assert_eq!(grm.update_stats().stale_discarded, 1);
+        assert_eq!(grm.pending_done.len(), 1);
+        assert_eq!(grm.pending_done[0].job, JobId(7));
     }
 }

@@ -11,8 +11,8 @@
 
 use crate::ncc::SharingPolicy;
 use crate::protocol::{
-    LaunchReply, LaunchRequest, PartEvicted, ReserveReply, ReserveRequest, OP_CANCEL, OP_LAUNCH,
-    OP_RESERVE,
+    LaunchReply, LaunchRequest, PartDone, PartEvicted, ReserveReply, ReserveRequest, OP_CANCEL,
+    OP_LAUNCH, OP_RESERVE,
 };
 use crate::types::{JobId, NodeId, NodeRoles, NodeStatus, Platform, ResourceVector};
 use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrReader};
@@ -21,7 +21,12 @@ use integrade_simnet::time::{SimDuration, SimTime};
 use integrade_usage::sample::{SampleWindow, SamplingConfig, UsageSample, Weekday};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Bound on the idempotent-reply cache; old entries are evicted in id order
+/// (lowest request id first — the ones least likely to be retransmitted).
+const RPC_CACHE_CAPACITY: usize = 256;
 
 /// LRM configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -121,6 +126,20 @@ pub struct LrmState {
     running: Vec<RunningPart>,
     lupa_window: SampleWindow,
     last_sent: Option<NodeStatus>,
+    /// Replies to already-answered negotiation RPCs, keyed by request id.
+    /// A retransmitted request replays the cached reply instead of
+    /// re-executing (idempotent dedup).
+    rpc_cache: BTreeMap<u64, Vec<u8>>,
+    dedup_hits: u64,
+    /// Completion notices whose delivery the GRM has not acknowledged yet,
+    /// with the update seq they were last piggybacked on (0 = never sent).
+    unacked_done: Vec<(PartDone, u64)>,
+    /// Eviction notices awaiting acknowledgement, same scheme.
+    unacked_evicted: Vec<(PartEvicted, u64)>,
+    /// Last GRM epoch seen in an update ack; a change means the GRM
+    /// restarted and lost its soft state.
+    known_epoch: Option<u64>,
+    force_full_update: bool,
     /// Total grid work executed on this node, MIPS-s.
     pub grid_work_done: f64,
 }
@@ -150,6 +169,12 @@ impl LrmState {
             running: Vec::new(),
             lupa_window: SampleWindow::new(config.sampling),
             last_sent: None,
+            rpc_cache: BTreeMap::new(),
+            dedup_hits: 0,
+            unacked_done: Vec::new(),
+            unacked_evicted: Vec::new(),
+            known_epoch: None,
+            force_full_update: false,
             grid_work_done: 0.0,
         }
     }
@@ -234,12 +259,117 @@ impl LrmState {
     pub fn crash(&mut self) {
         self.running.clear();
         self.reservations.clear();
+        self.rpc_cache.clear();
+        self.unacked_done.clear();
+        self.unacked_evicted.clear();
+        self.known_epoch = None;
+        self.force_full_update = false;
+    }
+
+    /// Looks up the cached reply for an already-answered request id,
+    /// counting a dedup hit. Id `0` is never cached (dedup disabled).
+    pub fn cached_reply(&mut self, request_id: u64) -> Option<Vec<u8>> {
+        if request_id == 0 {
+            return None;
+        }
+        let hit = self.rpc_cache.get(&request_id).cloned();
+        if hit.is_some() {
+            self.dedup_hits += 1;
+        }
+        hit
+    }
+
+    /// Records the reply for a request id so retransmissions replay it.
+    pub fn cache_reply(&mut self, request_id: u64, reply: Vec<u8>) {
+        if request_id == 0 {
+            return;
+        }
+        self.rpc_cache.insert(request_id, reply);
+        while self.rpc_cache.len() > RPC_CACHE_CAPACITY {
+            self.rpc_cache.pop_first();
+        }
+    }
+
+    /// Drains the dedup-hit counter (the world turns it into trace events).
+    pub fn take_dedup_hits(&mut self) -> u64 {
+        std::mem::take(&mut self.dedup_hits)
+    }
+
+    /// Remembers a completion notice until the GRM acknowledges it.
+    pub fn stash_done(&mut self, done: PartDone) {
+        self.unacked_done.push((done, 0));
+    }
+
+    /// Remembers an eviction notice until the GRM acknowledges it.
+    pub fn stash_evicted(&mut self, evicted: PartEvicted) {
+        self.unacked_evicted.push((evicted, 0));
+    }
+
+    /// The outcomes to piggyback on the update with sequence `seq`; marks
+    /// them as sent under that seq so [`LrmState::acknowledge`] can retire
+    /// them once the matching ack arrives.
+    pub fn piggyback_for(&mut self, seq: u64) -> (Vec<PartDone>, Vec<PartEvicted>) {
+        let done = self
+            .unacked_done
+            .iter_mut()
+            .map(|(d, sent)| {
+                *sent = seq;
+                d.clone()
+            })
+            .collect();
+        let evicted = self
+            .unacked_evicted
+            .iter_mut()
+            .map(|(e, sent)| {
+                *sent = seq;
+                e.clone()
+            })
+            .collect();
+        (done, evicted)
+    }
+
+    /// Retires outcomes that were piggybacked on update `seq` or earlier —
+    /// the GRM has acknowledged receiving them.
+    pub fn acknowledge(&mut self, seq: u64) {
+        self.unacked_done
+            .retain(|(_, sent)| *sent == 0 || *sent > seq);
+        self.unacked_evicted
+            .retain(|(_, sent)| *sent == 0 || *sent > seq);
+    }
+
+    /// Outcomes still awaiting GRM acknowledgement (tests and debugging).
+    pub fn unacked_outcomes(&self) -> usize {
+        self.unacked_done.len() + self.unacked_evicted.len()
+    }
+
+    /// Records the GRM epoch from an update ack. Returns `true` when the
+    /// epoch changed — the GRM restarted — in which case the next update is
+    /// forced through delta suppression to re-announce full state.
+    pub fn observe_grm_epoch(&mut self, epoch: u64) -> bool {
+        let changed = match self.known_epoch {
+            Some(known) => known != epoch,
+            None => false,
+        };
+        self.known_epoch = Some(epoch);
+        if changed {
+            self.force_full_update = true;
+        }
+        changed
     }
 
     /// Returns the status to send, honouring delta suppression, and bumps
     /// the sequence number when a send is due.
     pub fn next_update(&mut self, config: &LrmConfig) -> Option<(u64, NodeStatus)> {
         let status = self.current_status();
+        let forced = std::mem::take(&mut self.force_full_update) || self.unacked_outcomes() > 0;
+        if forced {
+            // A GRM restart was detected, or outcome notices are still
+            // awaiting acknowledgement: send regardless of deltas so the
+            // piggyback retry path keeps firing.
+            self.seq += 1;
+            self.last_sent = Some(status);
+            return Some((self.seq, status));
+        }
         if config.delta_suppression {
             if let Some(last) = &self.last_sent {
                 let unchanged = last.exporting == status.exporting
@@ -354,9 +484,12 @@ impl LrmState {
         before != self.reservations.len()
     }
 
-    /// Drops expired reservation leases.
-    pub fn expire_reservations(&mut self, now: SimTime) {
+    /// Drops expired reservation leases, returning how many expired (the
+    /// world logs each as a `lease.expired` trace event).
+    pub fn expire_reservations(&mut self, now: SimTime) -> usize {
+        let before = self.reservations.len();
         self.reservations.retain(|r| r.expires > now);
+        before - self.reservations.len()
     }
 
     /// Advances all running parts by `dt`, splitting the grid CPU share
@@ -459,16 +592,23 @@ impl Servant for LrmServant {
         match operation {
             OP_RESERVE => {
                 let req = ReserveRequest::decode(args)?;
-                let reply = self.state.borrow_mut().handle_reserve(&req, now);
-                Ok(reply.to_cdr_bytes())
+                let mut state = self.state.borrow_mut();
+                if let Some(cached) = state.cached_reply(req.request_id) {
+                    return Ok(cached);
+                }
+                let reply = state.handle_reserve(&req, now).to_cdr_bytes();
+                state.cache_reply(req.request_id, reply.clone());
+                Ok(reply)
             }
             OP_LAUNCH => {
                 let (req, ckpt_interval) = <(LaunchRequest, f64)>::decode(args)?;
-                let reply = self
-                    .state
-                    .borrow_mut()
-                    .handle_launch(&req, ckpt_interval, now);
-                Ok(reply.to_cdr_bytes())
+                let mut state = self.state.borrow_mut();
+                if let Some(cached) = state.cached_reply(req.request_id) {
+                    return Ok(cached);
+                }
+                let reply = state.handle_launch(&req, ckpt_interval, now).to_cdr_bytes();
+                state.cache_reply(req.request_id, reply.clone());
+                Ok(reply)
             }
             OP_CANCEL => {
                 let reservation = u64::decode(args)?;
@@ -477,8 +617,13 @@ impl Servant for LrmServant {
             }
             crate::protocol::OP_CANCEL_PART => {
                 let req = crate::protocol::CancelPartRequest::decode(args)?;
-                let reply = self.state.borrow_mut().cancel_running(req.job, req.part);
-                Ok(reply.to_cdr_bytes())
+                let mut state = self.state.borrow_mut();
+                if let Some(cached) = state.cached_reply(req.request_id) {
+                    return Ok(cached);
+                }
+                let reply = state.cancel_running(req.job, req.part).to_cdr_bytes();
+                state.cache_reply(req.request_id, reply.clone());
+                Ok(reply)
             }
             other => Err(ServerException::BadOperation(other.to_owned())),
         }
@@ -502,6 +647,7 @@ mod tests {
 
     fn reserve_req() -> ReserveRequest {
         ReserveRequest {
+            request_id: 0,
             job: JobId(1),
             part: 0,
             ram_mb: 32,
@@ -518,6 +664,7 @@ mod tests {
         assert!(reply.granted, "{}", reply.reason);
         let launch = lrm.handle_launch(
             &LaunchRequest {
+                request_id: 0,
                 reservation: reply.reservation,
                 job: JobId(1),
                 part: 0,
@@ -560,6 +707,7 @@ mod tests {
         // Lease is clamped to >= 60 s; far future expires it.
         let launch = lrm.handle_launch(
             &LaunchRequest {
+                request_id: 0,
                 reservation: reply.reservation,
                 job: JobId(1),
                 part: 0,
@@ -578,6 +726,7 @@ mod tests {
         let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
         lrm.handle_launch(
             &LaunchRequest {
+                request_id: 0,
                 reservation: reply.reservation,
                 job: JobId(1),
                 part: 0,
@@ -604,6 +753,7 @@ mod tests {
             let reply = lrm.handle_reserve(&req, SimTime::ZERO);
             lrm.handle_launch(
                 &LaunchRequest {
+                    request_id: 0,
                     reservation: reply.reservation,
                     job: JobId(1),
                     part,
@@ -626,6 +776,7 @@ mod tests {
         let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
         lrm.handle_launch(
             &LaunchRequest {
+                request_id: 0,
                 reservation: reply.reservation,
                 job: JobId(1),
                 part: 0,
@@ -649,6 +800,7 @@ mod tests {
         let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
         lrm.handle_launch(
             &LaunchRequest {
+                request_id: 0,
                 reservation: reply.reservation,
                 job: JobId(1),
                 part: 0,
@@ -670,6 +822,7 @@ mod tests {
         let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
         lrm.handle_launch(
             &LaunchRequest {
+                request_id: 0,
                 reservation: reply.reservation,
                 job: JobId(1),
                 part: 0,
@@ -734,6 +887,7 @@ mod tests {
 
         let launch = (
             LaunchRequest {
+                request_id: 0,
                 reservation: reply.reservation,
                 job: JobId(1),
                 part: 0,
@@ -747,6 +901,112 @@ mod tests {
             .unwrap();
         assert!(LaunchReply::from_cdr_bytes(&out).unwrap().accepted);
         assert_eq!(state.borrow().running().len(), 1);
+    }
+
+    #[test]
+    fn retransmitted_reserve_replays_cached_reply_without_double_reserving() {
+        use integrade_orb::cdr::CdrEncode;
+        let state = Rc::new(RefCell::new(lrm()));
+        let now = Rc::new(RefCell::new(SimTime::ZERO));
+        let mut servant = LrmServant::new(state.clone(), now);
+
+        let mut req = reserve_req();
+        req.request_id = 77;
+        let args = req.to_cdr_bytes();
+        let first = servant
+            .dispatch(OP_RESERVE, &mut CdrReader::new(&args))
+            .unwrap();
+        assert!(ReserveReply::from_cdr_bytes(&first).unwrap().granted);
+        assert_eq!(state.borrow().reservations().len(), 1);
+
+        // The GRM never saw the reply and retransmits the same request.
+        let second = servant
+            .dispatch(OP_RESERVE, &mut CdrReader::new(&args))
+            .unwrap();
+        assert_eq!(first, second, "cached reply replayed byte-for-byte");
+        assert_eq!(
+            state.borrow().reservations().len(),
+            1,
+            "no double reservation"
+        );
+        assert_eq!(state.borrow_mut().take_dedup_hits(), 1);
+    }
+
+    #[test]
+    fn request_id_zero_disables_dedup() {
+        let mut lrm = lrm();
+        let req = reserve_req();
+        assert!(lrm.handle_reserve(&req, SimTime::ZERO).granted);
+        assert!(lrm.cached_reply(0).is_none());
+        assert_eq!(lrm.take_dedup_hits(), 0);
+    }
+
+    #[test]
+    fn rpc_cache_is_bounded() {
+        let mut lrm = lrm();
+        for id in 1..=(super::RPC_CACHE_CAPACITY as u64 + 50) {
+            lrm.cache_reply(id, vec![1]);
+        }
+        // The oldest ids were evicted; the newest survive.
+        assert!(lrm.cached_reply(1).is_none());
+        assert!(lrm
+            .cached_reply(super::RPC_CACHE_CAPACITY as u64 + 50)
+            .is_some());
+    }
+
+    #[test]
+    fn unacked_outcomes_survive_until_acknowledged() {
+        let mut lrm = lrm();
+        lrm.stash_done(PartDone {
+            job: JobId(1),
+            part: 0,
+            node: NodeId(1),
+        });
+        let (done, evicted) = lrm.piggyback_for(5);
+        assert_eq!(done.len(), 1);
+        assert!(evicted.is_empty());
+        // No ack: the outcome rides on the next update again.
+        let (done, _) = lrm.piggyback_for(6);
+        assert_eq!(done.len(), 1);
+        // An ack for an older update does not retire it…
+        lrm.acknowledge(5);
+        assert_eq!(lrm.unacked_outcomes(), 1);
+        // …the ack for the seq it was last sent under does.
+        lrm.acknowledge(6);
+        assert_eq!(lrm.unacked_outcomes(), 0);
+    }
+
+    #[test]
+    fn epoch_change_forces_full_update() {
+        let mut lrm = lrm();
+        let config = LrmConfig {
+            delta_suppression: true,
+            ..Default::default()
+        };
+        assert!(
+            !lrm.observe_grm_epoch(1),
+            "first observation is not a restart"
+        );
+        assert!(lrm.next_update(&config).is_some());
+        assert!(
+            lrm.next_update(&config).is_none(),
+            "suppressed when unchanged"
+        );
+        assert!(lrm.observe_grm_epoch(2), "epoch bump detected");
+        assert!(
+            lrm.next_update(&config).is_some(),
+            "restart forces a full re-announce through suppression"
+        );
+        assert!(lrm.next_update(&config).is_none());
+    }
+
+    #[test]
+    fn expired_leases_are_counted() {
+        let mut lrm = lrm();
+        assert!(lrm.handle_reserve(&reserve_req(), SimTime::ZERO).granted);
+        assert_eq!(lrm.expire_reservations(SimTime::from_secs(10)), 0);
+        assert_eq!(lrm.expire_reservations(SimTime::from_secs(7200)), 1);
+        assert!(lrm.reservations().is_empty());
     }
 
     #[test]

@@ -104,6 +104,11 @@ impl CdrDecode for CheckpointReport {
 }
 
 /// LRM → GRM: periodic node status (the Information Update Protocol).
+///
+/// Besides the status itself the update piggybacks any `part_done` /
+/// `part_evicted` outcomes whose oneway notification has not been
+/// acknowledged yet, making those notifications loss-tolerant: the LRM
+/// keeps re-sending them here until an [`UpdateAck`] confirms receipt.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatusUpdate {
     /// Reporting node.
@@ -114,6 +119,10 @@ pub struct StatusUpdate {
     pub status: NodeStatus,
     /// Checkpoint progress of this node's running parts.
     pub checkpoints: Vec<CheckpointReport>,
+    /// Completion outcomes not yet acknowledged by the GRM.
+    pub pending_done: Vec<PartDone>,
+    /// Eviction outcomes not yet acknowledged by the GRM.
+    pub pending_evicted: Vec<PartEvicted>,
 }
 
 impl CdrEncode for StatusUpdate {
@@ -122,6 +131,8 @@ impl CdrEncode for StatusUpdate {
         self.seq.encode(w);
         self.status.encode(w);
         self.checkpoints.encode(w);
+        self.pending_done.encode(w);
+        self.pending_evicted.encode(w);
     }
 }
 impl CdrDecode for StatusUpdate {
@@ -131,6 +142,37 @@ impl CdrDecode for StatusUpdate {
             seq: u64::decode(r)?,
             status: NodeStatus::decode(r)?,
             checkpoints: Vec::decode(r)?,
+            pending_done: Vec::decode(r)?,
+            pending_evicted: Vec::decode(r)?,
+        })
+    }
+}
+
+/// GRM → LRM: acknowledgement of a [`StatusUpdate`].
+///
+/// Carries the GRM's *epoch* — bumped every time the GRM restarts with its
+/// volatile state wiped — so LRMs detect the restart and re-announce full
+/// state in their next update. Echoing `seq` lets the LRM retire the
+/// piggybacked outcomes that were included in the acknowledged update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateAck {
+    /// The GRM's current incarnation number.
+    pub epoch: u64,
+    /// The sequence number of the update being acknowledged.
+    pub seq: u64,
+}
+
+impl CdrEncode for UpdateAck {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.epoch.encode(w);
+        self.seq.encode(w);
+    }
+}
+impl CdrDecode for UpdateAck {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(UpdateAck {
+            epoch: u64::decode(r)?,
+            seq: u64::decode(r)?,
         })
     }
 }
@@ -138,6 +180,10 @@ impl CdrDecode for StatusUpdate {
 /// GRM → LRM: request a reservation for one part.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReserveRequest {
+    /// Sender-unique id for idempotent dedup: a retransmitted request with
+    /// an id the LRM has already answered returns the cached reply instead
+    /// of reserving twice. `0` disables dedup (used by unit tests).
+    pub request_id: u64,
     /// The job the part belongs to.
     pub job: JobId,
     /// Part index within the job.
@@ -152,6 +198,7 @@ pub struct ReserveRequest {
 
 impl CdrEncode for ReserveRequest {
     fn encode(&self, w: &mut CdrWriter) {
+        self.request_id.encode(w);
         self.job.encode(w);
         self.part.encode(w);
         self.ram_mb.encode(w);
@@ -162,6 +209,7 @@ impl CdrEncode for ReserveRequest {
 impl CdrDecode for ReserveRequest {
     fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
         Ok(ReserveRequest {
+            request_id: u64::decode(r)?,
             job: JobId::decode(r)?,
             part: u32::decode(r)?,
             ram_mb: u64::decode(r)?,
@@ -213,6 +261,8 @@ impl CdrDecode for ReserveReply {
 /// GRM → LRM: start a part under a previously granted reservation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LaunchRequest {
+    /// Sender-unique id for idempotent dedup (see [`ReserveRequest`]).
+    pub request_id: u64,
     /// The granted reservation handle.
     pub reservation: u64,
     /// Job and part to run.
@@ -226,6 +276,7 @@ pub struct LaunchRequest {
 
 impl CdrEncode for LaunchRequest {
     fn encode(&self, w: &mut CdrWriter) {
+        self.request_id.encode(w);
         self.reservation.encode(w);
         self.job.encode(w);
         self.part.encode(w);
@@ -235,6 +286,7 @@ impl CdrEncode for LaunchRequest {
 impl CdrDecode for LaunchRequest {
     fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
         Ok(LaunchRequest {
+            request_id: u64::decode(r)?,
             reservation: u64::decode(r)?,
             job: JobId::decode(r)?,
             part: u32::decode(r)?,
@@ -270,6 +322,8 @@ impl CdrDecode for LaunchReply {
 /// GRM → LRM: stop a running part (gang teardown after a sibling eviction).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CancelPartRequest {
+    /// Sender-unique id for idempotent dedup (see [`ReserveRequest`]).
+    pub request_id: u64,
     /// Job the part belongs to.
     pub job: JobId,
     /// Part index.
@@ -278,6 +332,7 @@ pub struct CancelPartRequest {
 
 impl CdrEncode for CancelPartRequest {
     fn encode(&self, w: &mut CdrWriter) {
+        self.request_id.encode(w);
         self.job.encode(w);
         self.part.encode(w);
     }
@@ -285,6 +340,7 @@ impl CdrEncode for CancelPartRequest {
 impl CdrDecode for CancelPartRequest {
     fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
         Ok(CancelPartRequest {
+            request_id: u64::decode(r)?,
             job: JobId::decode(r)?,
             part: u32::decode(r)?,
         })
@@ -409,10 +465,26 @@ mod tests {
                 part: 1,
                 checkpointed_work_mips_s: 300,
             }],
+            pending_done: vec![PartDone {
+                job: JobId(5),
+                part: 0,
+                node: NodeId(4),
+            }],
+            pending_evicted: vec![PartEvicted {
+                job: JobId(6),
+                part: 2,
+                node: NodeId(4),
+                checkpointed_work_mips_s: 40,
+                lost_work_mips_s: 10,
+            }],
         };
         assert_eq!(StatusUpdate::from_cdr_bytes(&u.to_cdr_bytes()).unwrap(), u);
 
+        let ack = UpdateAck { epoch: 3, seq: 17 };
+        assert_eq!(UpdateAck::from_cdr_bytes(&ack.to_cdr_bytes()).unwrap(), ack);
+
         let rr = ReserveRequest {
+            request_id: 41,
             job: JobId(2),
             part: 3,
             ram_mb: 64,
@@ -435,6 +507,7 @@ mod tests {
         );
 
         let lr = LaunchRequest {
+            request_id: 42,
             reservation: 99,
             job: JobId(2),
             part: 3,
@@ -450,6 +523,26 @@ mod tests {
             reason: "reservation expired".into(),
         };
         assert_eq!(LaunchReply::from_cdr_bytes(&lp.to_cdr_bytes()).unwrap(), lp);
+
+        let cpr = CancelPartRequest {
+            request_id: 43,
+            job: JobId(2),
+            part: 3,
+        };
+        assert_eq!(
+            CancelPartRequest::from_cdr_bytes(&cpr.to_cdr_bytes()).unwrap(),
+            cpr
+        );
+
+        let cpp = CancelPartReply {
+            found: true,
+            checkpointed_work_mips_s: 450,
+            done_work_mips_s: 510,
+        };
+        assert_eq!(
+            CancelPartReply::from_cdr_bytes(&cpp.to_cdr_bytes()).unwrap(),
+            cpp
+        );
 
         let pd = PartDone {
             job: JobId(2),
@@ -482,22 +575,50 @@ mod tests {
             seq: 1,
             status: status(),
             checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
         }
         .to_cdr_bytes();
         assert!(StatusUpdate::from_cdr_bytes(&bytes[..bytes.len() - 2]).is_err());
     }
 
     #[test]
+    fn truncated_cancel_part_messages_rejected() {
+        let bytes = CancelPartRequest {
+            request_id: 7,
+            job: JobId(2),
+            part: 3,
+        }
+        .to_cdr_bytes();
+        for cut in 1..bytes.len() {
+            assert!(
+                CancelPartRequest::from_cdr_bytes(&bytes[..bytes.len() - cut]).is_err(),
+                "decoded despite losing {cut} trailing bytes"
+            );
+        }
+        let bytes = CancelPartReply {
+            found: true,
+            checkpointed_work_mips_s: 450,
+            done_work_mips_s: 510,
+        }
+        .to_cdr_bytes();
+        assert!(CancelPartReply::from_cdr_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
     fn update_wire_size_is_modest() {
         // The Information Update Protocol's cost per message (E1 input):
-        // should be tens of bytes, not kilobytes.
+        // should be tens of bytes, not kilobytes. The two piggyback vectors
+        // cost one length word each when empty (the common case).
         let bytes = StatusUpdate {
             node: NodeId(1),
             seq: 1,
             status: status(),
             checkpoints: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
         }
         .to_cdr_bytes();
-        assert!(bytes.len() < 64, "status update is {} bytes", bytes.len());
+        assert!(bytes.len() < 72, "status update is {} bytes", bytes.len());
     }
 }

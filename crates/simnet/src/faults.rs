@@ -1,0 +1,298 @@
+//! Deterministic fault injection for the simulated network.
+//!
+//! A [`FaultPlan`] describes how unreliable the cluster should be: a
+//! per-message drop probability, extra latency jitter, scheduled link
+//! partitions with heal times, and host crash/reboot windows. All random
+//! decisions come from a dedicated [`DetRng`] stream derived from the
+//! plan's seed, so two runs with the same seed and the same traffic see
+//! exactly the same faults — chaos tests stay reproducible.
+//!
+//! The plan is threaded through [`Network::send`](crate::net::Network::send):
+//! the network consults it for every message and either drops it, severs it
+//! at a partition, or delivers it with extra jitter. Host outages are *not*
+//! enforced by the network (it already refuses to deliver to down hosts);
+//! instead the embedding world reads [`FaultPlan::outages`] and schedules
+//! its own crash/reboot events, so higher layers (LRM state, GRM state) get
+//! torn down alongside the host.
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::HostId;
+
+/// Dedicated RNG stream for fault decisions ("FALT"). Keeping faults on
+/// their own stream means enabling them never perturbs draws made by other
+/// stochastic processes (scheduling, workloads) under the same master seed.
+const FAULT_STREAM: u64 = 0x4641_4C54;
+
+/// A scheduled network partition: during `[start, heal)` no message can
+/// cross between the `island` and the rest of the network. Traffic with
+/// both endpoints inside the island (or both outside) is unaffected.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Hosts on one side of the cut.
+    pub island: Vec<HostId>,
+    /// When the partition begins.
+    pub start: SimTime,
+    /// When the partition heals (exclusive).
+    pub heal: SimTime,
+}
+
+impl Partition {
+    /// True if this partition severs traffic between `from` and `to` at `now`.
+    pub fn severs(&self, now: SimTime, from: HostId, to: HostId) -> bool {
+        if now < self.start || now >= self.heal {
+            return false;
+        }
+        let a = self.island.contains(&from);
+        let b = self.island.contains(&to);
+        a != b
+    }
+}
+
+/// A scheduled host outage: the host crashes at `down_at` and reboots at
+/// `up_at`. Interpreted by the embedding world, not by the network itself.
+#[derive(Debug, Clone, Copy)]
+pub struct HostOutage {
+    /// The host that goes down.
+    pub host: HostId,
+    /// Crash instant.
+    pub down_at: SimTime,
+    /// Reboot instant.
+    pub up_at: SimTime,
+}
+
+/// What the fault layer decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver, adding `jitter` on top of the modelled delay.
+    Deliver {
+        /// Extra latency drawn from the jitter distribution.
+        jitter: SimDuration,
+    },
+    /// Drop the message silently (random loss).
+    Drop,
+    /// The path is severed by an active partition.
+    Partitioned,
+}
+
+/// A reproducible description of network chaos.
+///
+/// The default plan ([`FaultPlan::quiet`]) injects nothing and draws no
+/// random numbers, so a fault-free `Network` behaves bit-for-bit like one
+/// built before this layer existed.
+///
+/// # Examples
+///
+/// ```
+/// use integrade_simnet::faults::FaultPlan;
+/// use integrade_simnet::time::SimDuration;
+///
+/// let plan = FaultPlan::new(42)
+///     .with_drop_probability(0.05)
+///     .with_jitter(SimDuration::from_millis(20));
+/// assert!(plan.is_active());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    drop_probability: f64,
+    jitter_max: SimDuration,
+    partitions: Vec<Partition>,
+    outages: Vec<HostOutage>,
+    rng: DetRng,
+}
+
+impl FaultPlan {
+    /// A plan seeded from the master seed, with no faults configured yet.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            drop_probability: 0.0,
+            jitter_max: SimDuration::ZERO,
+            partitions: Vec::new(),
+            outages: Vec::new(),
+            rng: DetRng::with_stream(seed, FAULT_STREAM),
+        }
+    }
+
+    /// A plan that injects nothing (the default for every `Network`).
+    pub fn quiet() -> Self {
+        FaultPlan::new(0)
+    }
+
+    /// Sets the independent per-message drop probability.
+    #[must_use]
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the maximum extra latency added to each delivered message.
+    /// The actual jitter is uniform in `[0, max]`.
+    #[must_use]
+    pub fn with_jitter(mut self, max: SimDuration) -> Self {
+        self.jitter_max = max;
+        self
+    }
+
+    /// Adds a scheduled partition.
+    #[must_use]
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partitions.push(partition);
+        self
+    }
+
+    /// Adds a scheduled host outage.
+    #[must_use]
+    pub fn with_outage(mut self, outage: HostOutage) -> Self {
+        self.outages.push(outage);
+        self
+    }
+
+    /// True if the plan can affect traffic at all.
+    pub fn is_active(&self) -> bool {
+        self.drop_probability > 0.0
+            || self.jitter_max > SimDuration::ZERO
+            || !self.partitions.is_empty()
+    }
+
+    /// The scheduled host outages, for the embedding world to enact.
+    pub fn outages(&self) -> &[HostOutage] {
+        &self.outages
+    }
+
+    /// Decides the fate of one message sent at `now` from `from` to `to`.
+    ///
+    /// Partitions are checked first (deterministic, no RNG draw); then the
+    /// drop probability; then jitter. A quiet plan never touches the RNG.
+    pub fn decide(&mut self, now: SimTime, from: HostId, to: HostId) -> FaultDecision {
+        if self.partitions.iter().any(|p| p.severs(now, from, to)) {
+            return FaultDecision::Partitioned;
+        }
+        if self.drop_probability > 0.0 && self.rng.bernoulli(self.drop_probability) {
+            return FaultDecision::Drop;
+        }
+        let jitter = if self.jitter_max > SimDuration::ZERO {
+            SimDuration::from_micros(self.rng.uniform_range(0, self.jitter_max.as_micros() + 1))
+        } else {
+            SimDuration::ZERO
+        };
+        FaultDecision::Deliver { jitter }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::quiet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkSpec, Topology};
+
+    fn two_hosts() -> (HostId, HostId) {
+        let (topo, _, hosts) = Topology::star_cluster(2, LinkSpec::lan_100mbps());
+        let _ = topo;
+        (hosts[0], hosts[1])
+    }
+
+    #[test]
+    fn quiet_plan_always_delivers_without_jitter() {
+        let (a, b) = two_hosts();
+        let mut plan = FaultPlan::quiet();
+        assert!(!plan.is_active());
+        for _ in 0..100 {
+            assert_eq!(
+                plan.decide(SimTime::ZERO, a, b),
+                FaultDecision::Deliver {
+                    jitter: SimDuration::ZERO
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn drop_probability_drops_roughly_that_fraction() {
+        let (a, b) = two_hosts();
+        let mut plan = FaultPlan::new(7).with_drop_probability(0.2);
+        let drops = (0..10_000)
+            .filter(|_| plan.decide(SimTime::ZERO, a, b) == FaultDecision::Drop)
+            .count();
+        assert!((1_600..=2_400).contains(&drops), "drops {drops}");
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let (a, b) = two_hosts();
+        let mut p1 = FaultPlan::new(99)
+            .with_drop_probability(0.3)
+            .with_jitter(SimDuration::from_millis(5));
+        let mut p2 = FaultPlan::new(99)
+            .with_drop_probability(0.3)
+            .with_jitter(SimDuration::from_millis(5));
+        for _ in 0..1_000 {
+            assert_eq!(
+                p1.decide(SimTime::ZERO, a, b),
+                p2.decide(SimTime::ZERO, a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn partition_severs_cross_traffic_until_heal() {
+        let (a, b) = two_hosts();
+        let mut plan = FaultPlan::new(1).with_partition(Partition {
+            island: vec![a],
+            start: SimTime::from_secs(10),
+            heal: SimTime::from_secs(20),
+        });
+        let before = SimTime::from_secs(5);
+        let during = SimTime::from_secs(15);
+        let after = SimTime::from_secs(20);
+        assert!(matches!(
+            plan.decide(before, a, b),
+            FaultDecision::Deliver { .. }
+        ));
+        assert_eq!(plan.decide(during, a, b), FaultDecision::Partitioned);
+        assert_eq!(plan.decide(during, b, a), FaultDecision::Partitioned);
+        // Intra-island traffic is unaffected.
+        assert!(matches!(
+            plan.decide(during, a, a),
+            FaultDecision::Deliver { .. }
+        ));
+        assert!(matches!(
+            plan.decide(after, a, b),
+            FaultDecision::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn jitter_is_bounded_by_max() {
+        let (a, b) = two_hosts();
+        let max = SimDuration::from_millis(3);
+        let mut plan = FaultPlan::new(5).with_jitter(max);
+        let mut saw_nonzero = false;
+        for _ in 0..500 {
+            match plan.decide(SimTime::ZERO, a, b) {
+                FaultDecision::Deliver { jitter } => {
+                    assert!(jitter <= max);
+                    saw_nonzero |= jitter > SimDuration::ZERO;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_nonzero);
+    }
+
+    #[test]
+    fn outages_are_recorded_for_the_world() {
+        let (a, _) = two_hosts();
+        let plan = FaultPlan::new(3).with_outage(HostOutage {
+            host: a,
+            down_at: SimTime::from_secs(60),
+            up_at: SimTime::from_secs(120),
+        });
+        assert_eq!(plan.outages().len(), 1);
+        assert_eq!(plan.outages()[0].host, a);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`event`] — the event queue and simulation driver.
 //! * [`topology`] — hosts, switches, links, clusters, latency-based routing.
 //! * [`net`] — message-level delivery delays with NIC egress queueing.
+//! * [`faults`] — deterministic fault injection (drops, jitter, partitions,
+//!   host outages) threaded through the network.
 //! * [`trace`] — event trace recording for tests and harnesses.
 //!
 //! # Examples
@@ -62,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod net;
 pub mod rng;
 pub mod time;
@@ -69,6 +72,7 @@ pub mod topology;
 pub mod trace;
 
 pub use event::{run_to_completion, run_until, EventQueue, RunOutcome, World};
+pub use faults::{FaultDecision, FaultPlan, HostOutage, Partition};
 pub use net::{NetError, NetStats, Network};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

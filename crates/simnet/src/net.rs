@@ -7,6 +7,7 @@
 //! delivery event after the returned delay, which keeps the network model
 //! independent of the event payload type.
 
+use crate::faults::{FaultDecision, FaultPlan};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{HostId, PathQuality, Topology, TopologyError};
 use serde::{Deserialize, Serialize};
@@ -20,6 +21,20 @@ pub enum NetError {
     Route(TopologyError),
     /// Destination host is down.
     HostDown(HostId),
+    /// The message was lost to injected random loss (see [`FaultPlan`]).
+    Dropped {
+        /// Sending host.
+        from: HostId,
+        /// Intended destination.
+        to: HostId,
+    },
+    /// An active scheduled partition severs the path (see [`FaultPlan`]).
+    Partitioned {
+        /// Sending host.
+        from: HostId,
+        /// Intended destination.
+        to: HostId,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -27,6 +42,10 @@ impl fmt::Display for NetError {
         match self {
             NetError::Route(e) => write!(f, "routing failed: {e}"),
             NetError::HostDown(h) => write!(f, "destination host {h} is down"),
+            NetError::Dropped { from, to } => write!(f, "message {from} -> {to} dropped"),
+            NetError::Partitioned { from, to } => {
+                write!(f, "partition severs {from} -> {to}")
+            }
         }
     }
 }
@@ -35,7 +54,7 @@ impl std::error::Error for NetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             NetError::Route(e) => Some(e),
-            NetError::HostDown(_) => None,
+            _ => None,
         }
     }
 }
@@ -55,6 +74,8 @@ pub struct NetStats {
     pub bytes: u64,
     /// Messages that failed to route.
     pub failures: u64,
+    /// Messages lost to injected faults (random loss or partitions).
+    pub drops: u64,
 }
 
 /// The network model: topology + per-host egress serialisation + statistics.
@@ -78,16 +99,18 @@ pub struct Network {
     egress_free: HashMap<HostId, SimTime>,
     stats: NetStats,
     per_host_sent: HashMap<HostId, u64>,
+    faults: FaultPlan,
 }
 
 impl Network {
-    /// Wraps a topology in the message model.
+    /// Wraps a topology in the message model with no fault injection.
     pub fn new(topology: Topology) -> Self {
         Network {
             topology,
             egress_free: HashMap::new(),
             stats: NetStats::default(),
             per_host_sent: HashMap::new(),
+            faults: FaultPlan::quiet(),
         }
     }
 
@@ -101,6 +124,16 @@ impl Network {
         &mut self.topology
     }
 
+    /// Installs a fault plan; subsequent sends are subject to it.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The currently installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Computes the delivery delay for a message of `bytes` payload sent at
     /// `now` from `from` to `to`, updating the sender's egress queue.
     ///
@@ -108,8 +141,12 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// Fails if routing fails or the destination is down; failed sends count
-    /// in [`NetStats::failures`] and do not occupy the NIC.
+    /// Fails if the destination is a known host that is down
+    /// ([`NetError::HostDown`]), if routing fails ([`NetError::Route`]), or
+    /// if the installed [`FaultPlan`] severs or drops the message. Routing
+    /// and liveness failures count in [`NetStats::failures`]; injected
+    /// losses count in [`NetStats::drops`]. Failed sends do not occupy the
+    /// NIC.
     pub fn send(
         &mut self,
         now: SimTime,
@@ -117,6 +154,14 @@ impl Network {
         to: HostId,
         bytes: u64,
     ) -> Result<SimDuration, NetError> {
+        // Liveness before routing: `path_quality` also fails for a down
+        // endpoint, which used to shadow the more precise `HostDown` error.
+        // Guard on `name_of` so unknown ids still surface as routing errors
+        // (`is_up` reports false for hosts the topology has never seen).
+        if self.topology.name_of(to).is_some() && !self.topology.is_up(to) {
+            self.stats.failures += 1;
+            return Err(NetError::HostDown(to));
+        }
         let quality = match self.topology.path_quality(from, to) {
             Ok(q) => q,
             Err(e) => {
@@ -124,11 +169,18 @@ impl Network {
                 return Err(e.into());
             }
         };
-        if !self.topology.is_up(to) {
-            self.stats.failures += 1;
-            return Err(NetError::HostDown(to));
-        }
-        let delay = self.enqueue(now, from, bytes, quality);
+        let jitter = match self.faults.decide(now, from, to) {
+            FaultDecision::Deliver { jitter } => jitter,
+            FaultDecision::Drop => {
+                self.stats.drops += 1;
+                return Err(NetError::Dropped { from, to });
+            }
+            FaultDecision::Partitioned => {
+                self.stats.drops += 1;
+                return Err(NetError::Partitioned { from, to });
+            }
+        };
+        let delay = self.enqueue(now, from, bytes, quality) + jitter;
         self.stats.messages += 1;
         self.stats.bytes += bytes;
         *self.per_host_sent.entry(from).or_default() += 1;
@@ -220,9 +272,62 @@ mod tests {
         let (mut net, a, b) = pair();
         net.topology_mut().set_up(b, false).unwrap();
         let err = net.send(SimTime::ZERO, a, b, 100).unwrap_err();
-        assert!(matches!(err, NetError::Route(_)));
+        assert_eq!(err, NetError::HostDown(b));
         assert_eq!(net.stats().failures, 1);
         assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn send_to_unknown_host_is_a_routing_error() {
+        let (mut net, a, _) = pair();
+        let bogus = HostId(u32::MAX);
+        let err = net.send(SimTime::ZERO, a, bogus, 100).unwrap_err();
+        assert!(matches!(err, NetError::Route(_)));
+    }
+
+    #[test]
+    fn fault_plan_drops_count_separately_from_failures() {
+        use crate::faults::FaultPlan;
+        let (mut net, a, b) = pair();
+        net.set_fault_plan(FaultPlan::new(11).with_drop_probability(1.0));
+        let err = net.send(SimTime::ZERO, a, b, 100).unwrap_err();
+        assert_eq!(err, NetError::Dropped { from: a, to: b });
+        assert_eq!(net.stats().drops, 1);
+        assert_eq!(net.stats().failures, 0);
+        assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn partition_severs_then_heals() {
+        use crate::faults::{FaultPlan, Partition};
+        let (mut net, a, b) = pair();
+        net.set_fault_plan(FaultPlan::new(2).with_partition(Partition {
+            island: vec![b],
+            start: SimTime::ZERO,
+            heal: SimTime::from_secs(10),
+        }));
+        let err = net.send(SimTime::ZERO, a, b, 100).unwrap_err();
+        assert_eq!(err, NetError::Partitioned { from: a, to: b });
+        assert_eq!(net.stats().drops, 1);
+        assert!(net.send(SimTime::from_secs(10), a, b, 100).is_ok());
+    }
+
+    #[test]
+    fn jitter_inflates_delivery_delay() {
+        use crate::faults::FaultPlan;
+        let (mut clean, a, b) = pair();
+        let baseline = clean.send(SimTime::ZERO, a, b, 12_500).unwrap();
+        let (mut net, a, b) = pair();
+        net.set_fault_plan(FaultPlan::new(4).with_jitter(SimDuration::from_millis(50)));
+        let mut saw_extra = false;
+        for i in 0..50u64 {
+            let at = SimTime::from_secs(i * 60);
+            let d = net.send(at, a, b, 12_500).unwrap();
+            assert!(d >= baseline);
+            assert!(d <= baseline + SimDuration::from_millis(50));
+            saw_extra |= d > baseline;
+        }
+        assert!(saw_extra);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Chaos suite: the hardened negotiation protocol and GRM crash/recovery
+//! under deterministic fault injection — message drops, latency jitter,
+//! link partitions and host outages, all derived from the master seed.
+//!
+//! Every test asserts the same liveness invariant: **every submitted job
+//! completes** despite the injected faults — no wedged `Running` jobs, no
+//! leftover reservations, no double-reserved parts.
+//!
+//! The seed matrix defaults to a small set for `cargo test`; CI widens it
+//! via the `CHAOS_SEEDS` environment variable (comma-separated u64s).
+
+use integrade::core::asct::{JobSpec, JobState};
+use integrade::core::grid::{Grid, GridBuilder, GridConfig, NodeSetup};
+use integrade::core::types::NodeId;
+use integrade::simnet::faults::{FaultPlan, HostOutage, Partition};
+use integrade::simnet::time::{SimDuration, SimTime};
+
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(spec) => {
+            let seeds: Vec<u64> = spec
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect();
+            assert!(!seeds.is_empty(), "CHAOS_SEEDS set but empty: {spec:?}");
+            seeds
+        }
+        Err(_) => vec![1, 2, 3, 4],
+    }
+}
+
+fn chaos_grid(nodes: usize, seed: u64) -> Grid {
+    let config = GridConfig {
+        seed,
+        gupa_warmup_days: 0,
+        sequential_checkpoint_mips_s: 30_000.0,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..nodes).map(|_| NodeSetup::idle_desktop()).collect());
+    builder.build()
+}
+
+/// A small mixed workload: one long sequential job and one bag of tasks.
+fn submit_workload(grid: &mut Grid) -> Vec<integrade::core::types::JobId> {
+    vec![
+        grid.submit(JobSpec::sequential("chaos-seq", 400_000)),
+        grid.submit(JobSpec::bag_of_tasks("chaos-bag", 4, 90_000)),
+    ]
+}
+
+/// The liveness invariant every chaos run must satisfy.
+fn assert_all_completed(grid: &Grid, jobs: &[integrade::core::types::JobId], ctx: &str) {
+    for job in jobs {
+        let record = grid.job_record(*job).unwrap();
+        assert_eq!(
+            record.state,
+            JobState::Completed,
+            "{ctx}: job {job} wedged: {record:?}"
+        );
+    }
+    // Nothing left behind on any node: no orphaned running parts, no
+    // leaked reservations (leases must have reclaimed any orphans).
+    for n in 0..grid.node_count() as u32 {
+        let lrm = grid.lrm(NodeId(n)).unwrap();
+        assert!(
+            lrm.running().is_empty(),
+            "{ctx}: node {n} still runs parts after completion"
+        );
+        assert!(
+            lrm.reservations().is_empty(),
+            "{ctx}: node {n} leaked reservations"
+        );
+    }
+}
+
+#[test]
+fn jobs_complete_under_default_chaos() {
+    for seed in chaos_seeds() {
+        let mut grid = chaos_grid(6, seed);
+        grid.set_fault_plan(
+            FaultPlan::new(seed)
+                .with_drop_probability(0.05)
+                .with_jitter(SimDuration::from_millis(50)),
+        );
+        let jobs = submit_workload(&mut grid);
+        grid.run_until(SimTime::from_secs(12 * 3600));
+        assert_all_completed(&grid, &jobs, &format!("seed {seed}, 5% drop"));
+        assert!(
+            grid.report().net.drops > 0,
+            "seed {seed}: the fault plan injected no drops"
+        );
+    }
+}
+
+#[test]
+fn heavy_loss_is_absorbed_by_retransmission_and_dedup() {
+    let mut total_retransmits = 0u64;
+    for seed in chaos_seeds() {
+        let mut grid = chaos_grid(6, seed);
+        grid.set_fault_plan(FaultPlan::new(seed).with_drop_probability(0.20));
+        let jobs = submit_workload(&mut grid);
+        grid.run_until(SimTime::from_secs(24 * 3600));
+        assert_all_completed(&grid, &jobs, &format!("seed {seed}, 20% drop"));
+        total_retransmits += grid.log().count("retransmits") as u64;
+        // Dedup must hold the double-reserve invariant: a granted-but-lost
+        // ReserveReply answered again from the cache, never re-executed.
+        // (Asserted structurally by the leak check in assert_all_completed;
+        // the counter shows the machinery actually engaged somewhere.)
+    }
+    assert!(
+        total_retransmits > 0,
+        "a 20% drop rate across the seed matrix must force retransmissions"
+    );
+}
+
+#[test]
+fn grm_crash_mid_run_recovers_every_job() {
+    for seed in chaos_seeds() {
+        let mut grid = chaos_grid(6, seed);
+        grid.set_fault_plan(FaultPlan::new(seed).with_drop_probability(0.05));
+        let jobs = submit_workload(&mut grid);
+        // Crash the manager while jobs are mid-flight, restart 5 minutes
+        // later (volatile GRM state is gone; LRMs re-announce via epoch).
+        grid.run_until(SimTime::from_secs(900));
+        grid.crash_grm();
+        grid.run_until(SimTime::from_secs(1200));
+        grid.restart_grm();
+        grid.run_until(SimTime::from_secs(24 * 3600));
+        assert_all_completed(&grid, &jobs, &format!("seed {seed}, GRM crash"));
+        assert_eq!(grid.log().count("grm.crash"), 1);
+        assert!(
+            grid.log().count("grm.epoch") >= 1,
+            "seed {seed}: the restart must be visible as an epoch change"
+        );
+    }
+}
+
+#[test]
+fn partition_heals_and_jobs_finish() {
+    for seed in chaos_seeds() {
+        let mut grid = chaos_grid(6, seed);
+        // Cut two nodes off from the manager (and everyone else) between
+        // t=10min and t=25min.
+        let island = vec![grid.host_of(NodeId(0)), grid.host_of(NodeId(1))];
+        grid.set_fault_plan(
+            FaultPlan::new(seed)
+                .with_drop_probability(0.02)
+                .with_partition(Partition {
+                    island,
+                    start: SimTime::from_secs(600),
+                    heal: SimTime::from_secs(1500),
+                }),
+        );
+        let jobs = submit_workload(&mut grid);
+        grid.run_until(SimTime::from_secs(24 * 3600));
+        assert_all_completed(&grid, &jobs, &format!("seed {seed}, partition"));
+    }
+}
+
+#[test]
+fn scheduled_outage_crashes_and_reboots_a_node() {
+    for seed in chaos_seeds() {
+        let mut grid = chaos_grid(4, seed);
+        let victim = grid.host_of(NodeId(0));
+        grid.set_fault_plan(FaultPlan::new(seed).with_outage(HostOutage {
+            host: victim,
+            down_at: SimTime::from_secs(900),
+            up_at: SimTime::from_secs(2700),
+        }));
+        let jobs = submit_workload(&mut grid);
+        grid.run_until(SimTime::from_secs(24 * 3600));
+        assert_all_completed(&grid, &jobs, &format!("seed {seed}, outage"));
+        assert_eq!(grid.log().count("node.crash"), 1, "seed {seed}");
+        assert_eq!(grid.log().count("node.restore"), 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn identical_seeds_replay_identical_chaos() {
+    let run = |seed: u64| {
+        let mut grid = chaos_grid(6, seed);
+        grid.set_fault_plan(
+            FaultPlan::new(seed)
+                .with_drop_probability(0.10)
+                .with_jitter(SimDuration::from_millis(20)),
+        );
+        let jobs = submit_workload(&mut grid);
+        grid.run_until(SimTime::from_secs(900));
+        grid.crash_grm();
+        grid.run_until(SimTime::from_secs(1200));
+        grid.restart_grm();
+        grid.run_until(SimTime::from_secs(24 * 3600));
+        let report = grid.report();
+        let completions: Vec<_> = jobs
+            .iter()
+            .map(|j| {
+                let r = grid.job_record(*j).unwrap();
+                (r.state, r.completed_at)
+            })
+            .collect();
+        (
+            report.net.messages,
+            report.net.drops,
+            grid.log().count("retransmits"),
+            completions,
+        )
+    };
+    let seed = chaos_seeds()[0];
+    assert_eq!(run(seed), run(seed), "chaos must replay bit-for-bit");
+}

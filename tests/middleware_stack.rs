@@ -114,6 +114,7 @@ fn trader_mediated_negotiation_over_the_bus() {
     let out = bus
         .invoke(&target, OP_RESERVE, |w| {
             ReserveRequest {
+                request_id: 0,
                 job: JobId(1),
                 part: 0,
                 ram_mb: 64,
@@ -130,6 +131,7 @@ fn trader_mediated_negotiation_over_the_bus() {
         .invoke(&target, OP_LAUNCH, |w| {
             (
                 LaunchRequest {
+                    request_id: 0,
                     reservation: reserve.reservation,
                     job: JobId(1),
                     part: 0,
@@ -203,6 +205,7 @@ fn negotiation_refusal_propagates() {
     let out = bus
         .invoke(&lrm_ref, OP_RESERVE, |w| {
             ReserveRequest {
+                request_id: 0,
                 job: JobId(9),
                 part: 0,
                 ram_mb: 16,
