@@ -23,7 +23,7 @@ fn sample_update() -> StatusUpdate {
             exporting: true,
             running_parts: 2,
         },
-        checkpoints: vec![],
+        replicas: vec![],
         pending_done: vec![],
         pending_evicted: vec![],
     }

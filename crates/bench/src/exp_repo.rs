@@ -1,0 +1,252 @@
+//! E13: the replicated checkpoint repository — wasted work and recovery
+//! latency vs the replication factor `k`.
+//!
+//! The paper's §3 requires checkpoints so applications "resume ... in case
+//! of crashes"; this experiment quantifies what distributing those
+//! checkpoints buys. Every cell runs the same sequential job under seeded
+//! payload corruption, crashes the part's first replica holder *and* its
+//! executor at the same instant mid-run, and measures how much work was
+//! re-executed and how long detection-to-restart took. With `k = 1` the
+//! only replica dies with the holder, so recovery always falls back to a
+//! from-zero restart; with `k ∈ {2, 3}` the surviving holders answer the
+//! recovery fetch unless corruption eats every copy's transfer. Emits a
+//! prose table and a machine-readable `BENCH_repo.json`.
+
+use crate::table::{f2, Table};
+use integrade_core::asct::{JobSpec, JobState};
+use integrade_core::grid::{Grid, GridBuilder, GridConfig, NodeSetup};
+use integrade_core::types::NodeId;
+use integrade_simnet::faults::FaultPlan;
+use integrade_simnet::time::SimTime;
+
+/// The replication factors swept, in table order.
+pub const K_FACTORS: [usize; 3] = [1, 2, 3];
+
+/// Per-message payload-corruption probability active for the whole run:
+/// high enough that single-copy recovery transfers sometimes fail, so the
+/// digest-fallback across `k` replicas is actually exercised.
+pub const CORRUPT_PROBABILITY: f64 = 0.15;
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct RepoCell {
+    /// Replication factor of this cell.
+    pub k: usize,
+    /// Seed of this replication.
+    pub seed: u64,
+    /// Whether the job completed before the horizon.
+    pub completed: bool,
+    /// Work re-executed because of the crash, MIPS-seconds.
+    pub wasted_work_mips_s: u64,
+    /// Detection-to-restart latency of the post-crash recovery, seconds.
+    /// `None` when the crash needed no relaunch (e.g. the banked checkpoint
+    /// already covered the rest of the part, or no part was running at the
+    /// crash instant).
+    pub recovery_latency_s: Option<f64>,
+    /// Digest-verified recovery fetches served by surviving replicas.
+    pub recovered_fetches: usize,
+    /// Recoveries that found no intact replica and restarted from zero.
+    pub recover_failures: usize,
+    /// Corrupted payloads caught by a CRC32 digest check.
+    pub corrupt_detected: usize,
+}
+
+fn chaos_grid(k: usize, seed: u64) -> Grid {
+    let config = GridConfig {
+        seed,
+        gupa_warmup_days: 0,
+        sequential_checkpoint_mips_s: 30_000.0, // checkpoint every ~200 s
+        replication_factor: k,
+        ..Default::default()
+    };
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..6).map(|_| NodeSetup::idle_desktop()).collect());
+    let mut grid = builder.build();
+    grid.set_fault_plan(FaultPlan::new(seed).with_corrupt_probability(CORRUPT_PROBABILITY));
+    grid
+}
+
+/// Runs one cell: a ~70-minute sequential job; at t=30 min the part's
+/// first replica holder and its executor crash at the same instant (so
+/// re-replication cannot refill the factor first), then the run continues
+/// to a 12 h horizon.
+pub fn run_cell(k: usize, seed: u64) -> RepoCell {
+    let mut grid = chaos_grid(k, seed);
+    let job = grid.submit(JobSpec::sequential("e13", 600_000));
+    grid.run_until(SimTime::from_secs(1800));
+    let crash_at = SimTime::from_secs(1800);
+    if let Some(&holder) = grid.replica_holders(job, 0).first() {
+        grid.crash_node(holder);
+    }
+    let executor = (0..grid.node_count() as u32)
+        .map(NodeId)
+        .find(|&n| !grid.lrm(n).unwrap().running().is_empty());
+    if let Some(executor) = executor {
+        grid.crash_node(executor);
+    }
+    grid.run_until(SimTime::from_secs(12 * 3600));
+    let record = grid.job_record(job).unwrap();
+    let log = grid.log();
+    // Detection-to-restart: the first crash detection at/after the crash
+    // instant, to the first part (re)start after that detection.
+    let detected = log
+        .with_category("grm.node_dead")
+        .map(|r| r.time)
+        .find(|t| *t >= crash_at);
+    let restarted = detected.and_then(|d| {
+        log.with_category("job.part_started")
+            .map(|r| r.time)
+            .find(|t| *t > d)
+    });
+    let recovery_latency_s = match (detected, restarted) {
+        (Some(d), Some(r)) => Some((r - d).as_secs_f64()),
+        _ => None,
+    };
+    RepoCell {
+        k,
+        seed,
+        completed: record.state == JobState::Completed,
+        wasted_work_mips_s: record.wasted_work_mips_s,
+        recovery_latency_s,
+        recovered_fetches: log.count("repo.fetch"),
+        recover_failures: log.count("repo.recover_failed"),
+        corrupt_detected: log.count("corrupt_detected"),
+    }
+}
+
+/// The full sweep: every replication factor replicated across `seeds`.
+pub fn measure(seeds: &[u64]) -> Vec<RepoCell> {
+    let mut cells = Vec::new();
+    for &k in &K_FACTORS {
+        for &seed in seeds {
+            cells.push(run_cell(k, seed));
+        }
+    }
+    cells
+}
+
+/// Renders the sweep as `BENCH_repo.json`, one object per cell.
+pub fn to_json(cells: &[RepoCell]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e13\",\n  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        let latency = match c.recovery_latency_s {
+            Some(s) => format!("{s:.1}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"k\": {}, \"seed\": {}, \"completed\": {}, \"wasted_work_mips_s\": {}, \
+             \"recovery_latency_s\": {latency}, \"recovered_fetches\": {}, \
+             \"recover_failures\": {}, \"corrupt_detected\": {}}}{sep}\n",
+            c.k,
+            c.seed,
+            c.completed,
+            c.wasted_work_mips_s,
+            c.recovered_fetches,
+            c.recover_failures,
+            c.corrupt_detected,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Aggregates the cells of one factor: (mean wasted MIPS-s, mean recovery
+/// latency s over cells that measured one, completed count, total recover
+/// failures, total corruption detections).
+fn aggregate(cells: &[RepoCell], k: usize) -> (f64, Option<f64>, usize, usize, usize) {
+    let at: Vec<&RepoCell> = cells.iter().filter(|c| c.k == k).collect();
+    let n = at.len() as f64;
+    let latencies: Vec<f64> = at.iter().filter_map(|c| c.recovery_latency_s).collect();
+    let latency = if latencies.is_empty() {
+        None
+    } else {
+        Some(latencies.iter().sum::<f64>() / latencies.len() as f64)
+    };
+    (
+        at.iter().map(|c| c.wasted_work_mips_s as f64).sum::<f64>() / n,
+        latency,
+        at.iter().filter(|c| c.completed).count(),
+        at.iter().map(|c| c.recover_failures).sum(),
+        at.iter().map(|c| c.corrupt_detected).sum(),
+    )
+}
+
+/// Mean wasted work across the cells of one factor, MIPS-seconds.
+pub fn mean_wasted(cells: &[RepoCell], k: usize) -> f64 {
+    aggregate(cells, k).0
+}
+
+/// The seeds every published cell uses (pinned: the simulation is
+/// deterministic per seed, so the table regenerates bit-identically).
+pub const SEEDS: [u64; 4] = [21, 22, 23, 24];
+
+/// E13: wasted work and recovery latency vs replication factor, with a
+/// replica holder + executor double crash mid-run in every cell. Side
+/// effect: writes `BENCH_repo.json` to the working directory.
+pub fn e13() -> Table {
+    let cells = measure(&SEEDS);
+    match std::fs::write("BENCH_repo.json", to_json(&cells)) {
+        Ok(()) => eprintln!("e13: wrote BENCH_repo.json"),
+        Err(e) => eprintln!("e13: could not write BENCH_repo.json: {e}"),
+    }
+    let mut table = Table::new(
+        "E13: replicated checkpoint repository (holder + executor crash, seeded corruption)",
+        &[
+            "k",
+            "completed",
+            "mean_wasted_mips_s",
+            "mean_recovery_s",
+            "recover_failures",
+            "corrupt_detected",
+        ],
+    );
+    for &k in &K_FACTORS {
+        let (wasted, latency, completed, failures, corrupt) = aggregate(&cells, k);
+        table.push_row(vec![
+            k.to_string(),
+            format!("{completed}/{}", SEEDS.len()),
+            f2(wasted),
+            latency.map_or_else(|| "n/a".to_string(), f2),
+            failures.to_string(),
+            corrupt.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wasted_work_strictly_decreases_with_k() {
+        let cells = measure(&SEEDS);
+        let w1 = mean_wasted(&cells, 1);
+        let w2 = mean_wasted(&cells, 2);
+        let w3 = mean_wasted(&cells, 3);
+        assert!(
+            w1 > w2 && w2 > w3,
+            "wasted work must strictly decrease with k: {w1:.0} / {w2:.0} / {w3:.0}"
+        );
+        // Every cell still finishes: losing replicas costs redo, not the job.
+        assert!(cells.iter().all(|c| c.completed), "{cells:?}");
+    }
+
+    #[test]
+    fn single_replica_dies_with_its_holder() {
+        // k=1: the sole replica is on the crashed holder, so recovery must
+        // report a failure and restart the part from zero.
+        let cell = run_cell(1, SEEDS[0]);
+        assert!(cell.recover_failures >= 1, "{cell:?}");
+        assert!(cell.completed, "{cell:?}");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = to_json(&measure(&[21]).into_iter().take(2).collect::<Vec<_>>());
+        assert!(json.contains("\"experiment\": \"e13\""));
+        assert!(json.contains("\"k\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -20,6 +20,7 @@ pub mod exp_bsp;
 pub mod exp_faults;
 pub mod exp_info;
 pub mod exp_qos;
+pub mod exp_repo;
 pub mod exp_scale;
 pub mod exp_sched;
 pub mod exp_trader;
@@ -78,6 +79,11 @@ pub fn experiments() -> Vec<ExperimentEntry> {
             "e12",
             "completion under chaos: faults vs the hardened protocol",
             exp_faults::e12,
+        ),
+        (
+            "e13",
+            "replicated checkpoint repository: wasted work vs k",
+            exp_repo::e13,
         ),
     ]
 }

@@ -17,17 +17,21 @@
 use crate::asct::{JobKind, JobRecord, JobSpec, JobState};
 use crate::grm::{GrmState, NodeRegistration, UpdateStats};
 use crate::gupa::GupaState;
-use crate::lrm::{LrmConfig, LrmServant, LrmState};
+use crate::lrm::{DueCheckpoint, LrmConfig, LrmServant, LrmState};
 use crate::ncc::SharingPolicy;
 use crate::protocol::{
-    CancelPartReply, CancelPartRequest, LaunchReply, LaunchRequest, PartDone, PartEvicted,
-    ReserveReply, ReserveRequest, StatusUpdate, UpdateAck, GRM_OBJECT_KEY, LRM_OBJECT_KEY,
-    OP_CANCEL_PART, OP_LAUNCH, OP_PART_DONE, OP_PART_EVICTED, OP_RESERVE, OP_UPDATE_STATUS,
+    CancelPartReply, CancelPartRequest, CheckpointBlob, FetchCheckpoint, FetchCheckpointReply,
+    LaunchReply, LaunchRequest, PartDone, PartEvicted, PurgeCheckpoint, ReserveReply,
+    ReserveRequest, StatusUpdate, StoreCheckpoint, StoreCheckpointReply, UpdateAck, GRM_OBJECT_KEY,
+    LRM_OBJECT_KEY, OP_CANCEL_PART, OP_FETCH_CKPT, OP_LAUNCH, OP_PART_DONE, OP_PART_EVICTED,
+    OP_PURGE_CKPT, OP_RESERVE, OP_STORE_CKPT, OP_UPDATE_STATUS,
 };
 use crate::qos::{QosLedger, SharingDiscipline};
+use crate::repo::crc32;
 use crate::scheduler::{place_groups, rank, CandidateNode, Strategy};
 use crate::types::{JobId, NodeId, NodeRoles, Platform, ResourceVector};
-use integrade_orb::cdr::{CdrDecode, CdrEncode};
+use integrade_bsp::checkpoint::GlobalCheckpoint;
+use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrWriter};
 use integrade_orb::ior::{Endpoint, Ior, ObjectKey};
 use integrade_orb::orb::{Incoming, Orb};
 use integrade_simnet::event::{run_until, EventQueue, RunOutcome, World};
@@ -40,7 +44,7 @@ use integrade_simnet::trace::TraceLog;
 use integrade_usage::patterns::LupaConfig;
 use integrade_usage::sample::{DayPeriod, SamplingConfig, UsageSample, Weekday};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 /// Global grid configuration.
@@ -88,6 +92,14 @@ pub struct GridConfig {
     /// How many times an unanswered negotiation request is retransmitted
     /// (with capped exponential backoff) before it is treated as failed.
     pub max_retransmits: u32,
+    /// Replicas each checkpoint is written to (the repository's `k`). With
+    /// `k = 0` checkpoints are never replicated and crash recovery restarts
+    /// parts from scratch.
+    pub replication_factor: usize,
+    /// Marshalled execution-state size of sequential/bag-of-tasks parts,
+    /// bytes — the payload each replicated checkpoint carries. BSP parts use
+    /// their spec's `state_bytes` instead.
+    pub checkpoint_state_bytes: u64,
 }
 
 impl Default for GridConfig {
@@ -109,6 +121,8 @@ impl Default for GridConfig {
             crash_silence: SimDuration::from_secs(120),
             cluster_key: None,
             max_retransmits: 4,
+            replication_factor: 2,
+            checkpoint_state_bytes: 4096,
         }
     }
 }
@@ -259,6 +273,36 @@ enum Pending {
         node: usize,
         seq: u64,
     },
+    /// A checkpoint replica write: issued by the executing LRM at each
+    /// interval boundary, or by the GRM when relaying during
+    /// re-replication (`rerepl`). The blob is kept so a corrupt nack can
+    /// re-send the payload under a fresh request id.
+    StoreCkpt {
+        origin: NodeId,
+        blob: CheckpointBlob,
+        replica: NodeId,
+        /// Fresh-id re-sends after corrupt nacks (the in-flight bit flip
+        /// path; plain retransmits of a lost frame are counted separately).
+        resends: u32,
+        rerepl: bool,
+    },
+    /// A recovery read for a part that was running on `dead_node`: verify
+    /// the reply's digest, fall back across `rest` on corruption or
+    /// silence, give up (restart from the banked level) when exhausted.
+    FetchCkpt {
+        job: JobId,
+        part: u32,
+        dead_node: NodeId,
+        rest: Vec<NodeId>,
+    },
+    /// A re-replication read from live holder `source`; an intact reply is
+    /// relayed to `target` as a [`Pending::StoreCkpt`] with `rerepl` set.
+    RereplFetch {
+        job: JobId,
+        part: u32,
+        source: NodeId,
+        target: NodeId,
+    },
 }
 
 /// An in-flight request: its continuation plus everything needed to put the
@@ -283,6 +327,9 @@ enum PartState {
     Reserving,
     Launching,
     Running,
+    /// The node running the part went silent; a digest-verified replica
+    /// fetch is in flight before the part is rescheduled.
+    Recovering,
     Done,
 }
 
@@ -293,6 +340,11 @@ struct PartRuntime {
     reservation: u64,
     /// Remaining work for sequential / bag-of-tasks parts, MIPS-s.
     remaining: f64,
+    /// Highest checkpoint version whose work has been subtracted from
+    /// `remaining` (or folded into the BSP superstep bank). Recovery and
+    /// eviction bank a checkpoint's work only when its version exceeds
+    /// this, so a stale blob from an earlier launch is never double-counted.
+    banked_version: u64,
 }
 
 #[derive(Debug)]
@@ -314,6 +366,10 @@ struct JobExec {
     pending_cancels: u32,
     /// BSP gang teardown: smallest checkpointed progress seen, MIPS-s.
     min_checkpoint: f64,
+    /// Highest checkpoint version seen in any cancel reply or eviction.
+    /// After a rollback every part's `banked_version` is raised to this so
+    /// the next launch's checkpoints supersede every replica on disk.
+    max_checkpoint_version: u64,
     /// Reservation in-flight count for the current round.
     pending_reservations: u32,
     /// Next untried candidate index — on refusal the GRM "selects another
@@ -414,6 +470,13 @@ struct GridWorld {
     qos: QosLedger,
     log: TraceLog,
     slots_elapsed: u64,
+    /// Parts with a re-replication relay in flight (one at a time per part).
+    rerepl_inflight: BTreeSet<(JobId, u32)>,
+    /// Simulator-side record of each crashed executor's in-launch progress,
+    /// captured at crash time so recovery can report the work truly lost
+    /// (the GRM protocol itself cannot know it). Metric only — never feeds
+    /// scheduling or banking decisions.
+    crash_progress: BTreeMap<(JobId, u32), u64>,
 }
 
 /// The assembled, runnable grid.
@@ -538,6 +601,8 @@ impl Grid {
             qos: QosLedger::new(),
             log: TraceLog::new(),
             slots_elapsed: 0,
+            rerepl_inflight: BTreeSet::new(),
+            crash_progress: BTreeMap::new(),
             config,
         };
         world.warmup_gupa();
@@ -698,6 +763,19 @@ impl Grid {
         self.world.lrms.get(node.0 as usize).map(|l| l.borrow())
     }
 
+    /// Where the GRM currently believes replicas of `(job, part)` live,
+    /// newest version first (inspection in tests/experiments).
+    pub fn replica_holders(&self, job: JobId, part: u32) -> Vec<NodeId> {
+        self.world
+            .grm
+            .borrow()
+            .replicas()
+            .holders(job, part)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect()
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.world.lrms.len()
@@ -790,6 +868,7 @@ impl GridWorld {
                 state: PartState::Unplaced,
                 node: None,
                 reservation: 0,
+                banked_version: 0,
                 remaining: match &spec.kind {
                     JobKind::Sequential { work_mips_s } => *work_mips_s as f64,
                     JobKind::BagOfTasks { task_work_mips_s } => task_work_mips_s[i] as f64,
@@ -821,6 +900,7 @@ impl GridWorld {
                 bsp_step_work: 0.0,
                 pending_cancels: 0,
                 min_checkpoint: f64::INFINITY,
+                max_checkpoint_version: 0,
                 pending_reservations: 0,
                 next_candidate: 0,
                 granted: Vec::new(),
@@ -899,10 +979,18 @@ impl GridWorld {
                 grm.crash();
                 grm.epoch()
             };
+            // Relays in flight died with the GRM's orb; the placement map
+            // is rebuilt from replica re-announces after restart.
+            self.rerepl_inflight.clear();
             self.log
                 .record(now, "grm.crash", format!("next epoch {epoch}"));
         } else if let Some(&node) = self.host_to_node.get(&host) {
-            self.lrms[node].borrow_mut().crash();
+            let mut lrm = self.lrms[node].borrow_mut();
+            for part in lrm.running() {
+                self.crash_progress
+                    .insert((part.job, part.part), part.done as u64);
+            }
+            lrm.crash();
             self.log
                 .record(now, "node.crash", format!("{}", NodeId(node as u32)));
         }
@@ -946,7 +1034,13 @@ impl GridWorld {
             job.pending_reservations = 0;
             job.granted.clear();
             for part in job.parts.iter_mut() {
-                if matches!(part.state, PartState::Reserving | PartState::Launching) {
+                // Recovering parts unwind too: the fetch continuation died
+                // with the old incarnation's orb, so restart them from the
+                // banked level rather than wedging in Recovering forever.
+                if matches!(
+                    part.state,
+                    PartState::Reserving | PartState::Launching | PartState::Recovering
+                ) {
                     part.state = PartState::Unplaced;
                     part.node = None;
                     part.reservation = 0;
@@ -1005,13 +1099,40 @@ impl GridWorld {
         extra_bytes: u64,
         queue: &mut EventQueue<GridEvent>,
     ) {
+        self.send_request_from(
+            now,
+            self.grm_host,
+            node,
+            operation,
+            body,
+            pending,
+            extra_bytes,
+            queue,
+        )
+    }
+
+    /// Sends a framed request from `from` (the GRM host or an executing
+    /// node's host) to a node's LRM, registering the pending continuation
+    /// under the issuing host so the reply routes back to it.
+    #[allow(clippy::too_many_arguments)]
+    fn send_request_from(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        node: NodeId,
+        operation: &str,
+        body: impl FnOnce(&mut integrade_orb::cdr::CdrWriter),
+        pending: Pending,
+        extra_bytes: u64,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
         let target = self.lrm_iors[node.0 as usize].clone();
-        let orb = self.orbs.get_mut(&self.grm_host).expect("grm orb");
+        let orb = self.orbs.get_mut(&from).expect("issuing orb");
         let (request_id, bytes) = orb.make_request(&target, operation, body);
         let bytes = self.protect(bytes);
         let to = self.node_hosts[node.0 as usize];
         self.pending.insert(
-            (self.grm_host, request_id),
+            (from, request_id),
             PendingEntry {
                 what: pending,
                 dest: to,
@@ -1020,41 +1141,57 @@ impl GridWorld {
                 attempt: 0,
             },
         );
+        if self.transmit(now, from, to, bytes, extra_bytes, queue) {
+            // Crashed nodes never answer: a timeout converts silence
+            // into retransmission and, eventually, the failure path.
+            queue.schedule_after(
+                self.config.request_timeout,
+                GridEvent::RequestTimeout { from, request_id },
+            );
+        } else {
+            // Unreachable node or injected loss: fast-path straight to
+            // the timeout handler, which retransmits with backoff.
+            self.log.record(now, "drops", format!("request to {node}"));
+            queue.schedule_after(
+                SimDuration::from_micros(1),
+                GridEvent::RequestTimeout { from, request_id },
+            );
+        }
+    }
+
+    /// Puts a frame on the wire, applying any fault-injected in-flight
+    /// corruption (a single bit flip chosen by the fault plan's draw) so the
+    /// receiver's integrity checks — frame seal or checkpoint digest — see
+    /// genuinely damaged bytes. Returns false when the send failed outright.
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        to: HostId,
+        mut bytes: Vec<u8>,
+        extra_bytes: u64,
+        queue: &mut EventQueue<GridEvent>,
+    ) -> bool {
         match self
             .net
-            .send(now, self.grm_host, to, bytes.len() as u64 + extra_bytes)
+            .send_checked(now, from, to, bytes.len() as u64 + extra_bytes)
         {
-            Ok(delay) => {
-                queue.schedule_after(
-                    delay,
-                    GridEvent::Wire {
-                        from: self.grm_host,
-                        to,
-                        bytes,
-                    },
-                );
-                // Crashed nodes never answer: a timeout converts silence
-                // into retransmission and, eventually, the failure path.
-                queue.schedule_after(
-                    self.config.request_timeout,
-                    GridEvent::RequestTimeout {
-                        from: self.grm_host,
-                        request_id,
-                    },
-                );
+            Ok(delivery) => {
+                if let Some(draw) = delivery.corrupt {
+                    if !bytes.is_empty() {
+                        let bit = (draw % (bytes.len() as u64 * 8)) as usize;
+                        bytes[bit / 8] ^= 1 << (bit % 8);
+                        self.log.record(
+                            now,
+                            "net.corrupt",
+                            format!("bit {bit} of {} -> {}", from.0, to.0),
+                        );
+                    }
+                }
+                queue.schedule_after(delivery.delay, GridEvent::Wire { from, to, bytes });
+                true
             }
-            Err(_) => {
-                // Unreachable node or injected loss: fast-path straight to
-                // the timeout handler, which retransmits with backoff.
-                self.log.record(now, "drops", format!("request to {node}"));
-                queue.schedule_after(
-                    SimDuration::from_micros(1),
-                    GridEvent::RequestTimeout {
-                        from: self.grm_host,
-                        request_id,
-                    },
-                );
-            }
+            Err(_) => false,
         }
     }
 
@@ -1105,21 +1242,9 @@ impl GridWorld {
             format!("request {request_id} attempt {attempt}"),
         );
         let next_timeout = self.retransmit_backoff(attempt);
-        match self.net.send(now, from, dest, wire.len() as u64 + extra) {
-            Ok(delay) => {
-                queue.schedule_after(
-                    delay,
-                    GridEvent::Wire {
-                        from,
-                        to: dest,
-                        bytes: wire,
-                    },
-                );
-            }
-            Err(_) => {
-                self.log
-                    .record(now, "drops", format!("retransmit {request_id}"));
-            }
+        if !self.transmit(now, from, dest, wire, extra, queue) {
+            self.log
+                .record(now, "drops", format!("retransmit {request_id}"));
         }
         queue.schedule_after(next_timeout, GridEvent::RequestTimeout { from, request_id });
     }
@@ -1138,16 +1263,28 @@ impl GridWorld {
         let orb = self.orbs.get_mut(&from).expect("lrm orb");
         let (_, bytes) = orb.make_oneway(&target, operation, body);
         let bytes = self.protect(bytes);
-        if let Ok(delay) = self.net.send(now, from, self.grm_host, bytes.len() as u64) {
-            queue.schedule_after(
-                delay,
-                GridEvent::Wire {
-                    from,
-                    to: self.grm_host,
-                    bytes,
-                },
-            );
-        }
+        let grm_host = self.grm_host;
+        self.transmit(now, from, grm_host, bytes, 0, queue);
+    }
+
+    /// Sends an unacknowledged oneway from the GRM to a node's LRM (e.g. a
+    /// checkpoint purge — best effort, a lost purge only delays GC until the
+    /// holder next garbage-collects on a newer store).
+    fn send_oneway_to_lrm(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        operation: &str,
+        body: impl FnOnce(&mut integrade_orb::cdr::CdrWriter),
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let target = self.lrm_iors[node.0 as usize].clone();
+        let grm_host = self.grm_host;
+        let orb = self.orbs.get_mut(&grm_host).expect("grm orb");
+        let (_, bytes) = orb.make_oneway(&target, operation, body);
+        let bytes = self.protect(bytes);
+        let to = self.node_hosts[node.0 as usize];
+        self.transmit(now, grm_host, to, bytes, 0, queue);
     }
 
     fn handle_wire(
@@ -1173,16 +1310,7 @@ impl GridWorld {
         match orb.handle_wire(&frame) {
             Ok(Incoming::ReplyToSend(reply)) => {
                 let reply = self.protect(reply);
-                if let Ok(delay) = self.net.send(now, to, from, reply.len() as u64) {
-                    queue.schedule_after(
-                        delay,
-                        GridEvent::Wire {
-                            from: to,
-                            to: from,
-                            bytes: reply,
-                        },
-                    );
-                }
+                self.transmit(now, to, from, reply, 0, queue);
             }
             Ok(Incoming::OnewayHandled) => {}
             Ok(Incoming::ReplyReceived { request_id, result }) => {
@@ -1192,11 +1320,23 @@ impl GridWorld {
                 self.log.record(now, "orb.error", e.to_string());
             }
         }
-        // Surface any dedup hits the LRM servant just recorded as counters.
+        // Surface any dedup hits and repository counters the LRM servant
+        // just recorded as trace events.
         if let Some(&node) = self.host_to_node.get(&to) {
-            let hits = self.lrms[node].borrow_mut().take_dedup_hits();
+            let mut lrm = self.lrms[node].borrow_mut();
+            let hits = lrm.take_dedup_hits();
+            let corrupt = lrm.take_corrupt_detected();
+            let gc = lrm.take_repo_gc();
+            drop(lrm);
             for _ in 0..hits {
                 self.log.record(now, "dedup_hits", format!("node {node}"));
+            }
+            for _ in 0..corrupt {
+                self.log
+                    .record(now, "corrupt_detected", format!("node {node}"));
+            }
+            for _ in 0..gc {
+                self.log.record(now, "repo.gc", format!("node {node}"));
             }
         }
         // The GRM servant may have queued notifications; drain them.
@@ -1222,38 +1362,71 @@ impl GridWorld {
     }
 
     fn on_part_done(&mut self, now: SimTime, done: &PartDone, queue: &mut EventQueue<GridEvent>) {
-        let Some(job) = self.jobs.get_mut(&done.job) else {
-            return;
-        };
-        let part = &mut job.parts[done.part as usize];
-        if part.state == PartState::Done {
-            return;
-        }
-        part.state = PartState::Done;
-        part.node = None;
-        job.record.parts_done += 1;
-        // The part's repository entry is no longer needed.
-        self.grm
-            .borrow_mut()
-            .clear_repo_checkpoint(done.job, done.part);
-        self.log.record(
-            now,
-            "job.part_done",
-            format!("{} part {}", done.job, done.part),
-        );
-        if job.record.parts_done == job.record.parts_total {
-            job.record.state = JobState::Completed;
-            job.record.completed_at = Some(now);
-            self.log
-                .record(now, "job.completed", format!("{}", done.job));
-        } else if !job.spec.kind.is_parallel() {
-            // More bag-of-tasks parts may be waiting for a node.
-            if job.parts.iter().any(|p| p.state == PartState::Unplaced) {
-                queue.schedule_after(
-                    SimDuration::from_secs(1),
-                    GridEvent::Schedule { job: done.job },
-                );
+        {
+            let Some(job) = self.jobs.get_mut(&done.job) else {
+                return;
+            };
+            // Field values can arrive damaged when corruption faults are
+            // active: an out-of-range part index must not panic.
+            let Some(part) = job.parts.get_mut(done.part as usize) else {
+                return;
+            };
+            if part.state == PartState::Done {
+                return;
             }
+            part.state = PartState::Done;
+            part.node = None;
+            job.record.parts_done += 1;
+            self.log.record(
+                now,
+                "job.part_done",
+                format!("{} part {}", done.job, done.part),
+            );
+            if job.record.parts_done == job.record.parts_total {
+                job.record.state = JobState::Completed;
+                job.record.completed_at = Some(now);
+                self.log
+                    .record(now, "job.completed", format!("{}", done.job));
+            } else if !job.spec.kind.is_parallel() {
+                // More bag-of-tasks parts may be waiting for a node.
+                if job.parts.iter().any(|p| p.state == PartState::Unplaced) {
+                    queue.schedule_after(
+                        SimDuration::from_secs(1),
+                        GridEvent::Schedule { job: done.job },
+                    );
+                }
+            }
+        }
+        // The part's replicas are superseded: drop them from the placement
+        // map and ask each holder to garbage-collect its copy. Purges are
+        // best-effort oneways — a holder that misses one merely keeps a dead
+        // blob until its disk is next reused.
+        self.rerepl_inflight.remove(&(done.job, done.part));
+        let holders = self
+            .grm
+            .borrow_mut()
+            .replicas_mut()
+            .remove_part(done.job, done.part);
+        for holder in holders {
+            self.log.record(
+                now,
+                "repo.purge",
+                format!("{} part {} at {holder}", done.job, done.part),
+            );
+            let (job_id, part_id) = (done.job, done.part);
+            self.send_oneway_to_lrm(
+                now,
+                holder,
+                OP_PURGE_CKPT,
+                move |w| {
+                    PurgeCheckpoint {
+                        job: job_id,
+                        part: part_id,
+                    }
+                    .encode(w)
+                },
+                queue,
+            );
         }
     }
 
@@ -1269,6 +1442,9 @@ impl GridWorld {
         if job.record.state == JobState::Completed || job.record.state == JobState::Failed {
             return;
         }
+        if evicted.part as usize >= job.parts.len() {
+            return; // damaged frame under corruption faults
+        }
         let is_bsp = job.spec.kind.is_parallel();
         if !is_bsp {
             // Outcomes arrive at-least-once (oneway plus the update
@@ -1276,14 +1452,33 @@ impl GridWorld {
             // node is a stale duplicate and must not evict twice.
             {
                 let part = &job.parts[evicted.part as usize];
-                if !matches!(part.state, PartState::Running | PartState::Launching)
-                    || part.node != Some(evicted.node)
+                if !matches!(
+                    part.state,
+                    PartState::Running | PartState::Launching | PartState::Recovering
+                ) || part.node != Some(evicted.node)
                 {
                     return;
                 }
             }
             job.record.evictions += 1;
             job.record.wasted_work_mips_s += evicted.lost_work_mips_s;
+            let part = &mut job.parts[evicted.part as usize];
+            // Bank the checkpoint only if it is newer than what has already
+            // been credited: a stale blob from an earlier launch reports a
+            // version at or below `banked_version` and must not subtract
+            // its work a second time.
+            if evicted.checkpoint_version > part.banked_version {
+                part.banked_version = evicted.checkpoint_version;
+                part.remaining =
+                    (part.remaining - evicted.checkpointed_work_mips_s as f64).max(0.0);
+            }
+            part.state = PartState::Unplaced;
+            part.node = None;
+            let finished = part.remaining <= 0.0;
+            let attempt = job.attempts.max(1);
+            if !finished {
+                job.record.state = JobState::Rescheduling;
+            }
             self.log.record(
                 now,
                 "job.evicted",
@@ -1292,14 +1487,20 @@ impl GridWorld {
                     evicted.job, evicted.part, evicted.node
                 ),
             );
-            let part = &mut job.parts[evicted.part as usize];
-            part.remaining = (part.remaining - evicted.checkpointed_work_mips_s as f64).max(1.0);
-            part.state = PartState::Unplaced;
-            part.node = None;
-            job.record.state = JobState::Rescheduling;
-            let attempt = job.attempts.max(1);
-            let backoff = self.reschedule_backoff(attempt);
-            queue.schedule_after(backoff, GridEvent::Schedule { job: evicted.job });
+            if finished {
+                // Evicted exactly at a 100% checkpoint: nothing is left to
+                // re-run, so complete the part instead of relaunching it
+                // for a phantom sliver of residual work.
+                let done = PartDone {
+                    job: evicted.job,
+                    part: evicted.part,
+                    node: evicted.node,
+                };
+                self.on_part_done(now, &done, queue);
+            } else {
+                let backoff = self.reschedule_backoff(attempt);
+                queue.schedule_after(backoff, GridEvent::Schedule { job: evicted.job });
+            }
             return;
         }
         // BSP gang teardown: cancel every other live part and collect
@@ -1312,6 +1513,7 @@ impl GridWorld {
             job.min_checkpoint = job
                 .min_checkpoint
                 .min(evicted.checkpointed_work_mips_s as f64);
+            job.max_checkpoint_version = job.max_checkpoint_version.max(evicted.checkpoint_version);
             let part = &mut job.parts[evicted.part as usize];
             part.state = PartState::Unplaced;
             part.node = None;
@@ -1321,8 +1523,10 @@ impl GridWorld {
             // Stale duplicate after the teardown already completed: the
             // cancel replies accounted for this part.
             let part = &job.parts[evicted.part as usize];
-            if !matches!(part.state, PartState::Running | PartState::Launching)
-                || part.node != Some(evicted.node)
+            if !matches!(
+                part.state,
+                PartState::Running | PartState::Launching | PartState::Recovering
+            ) || part.node != Some(evicted.node)
             {
                 return;
             }
@@ -1339,6 +1543,7 @@ impl GridWorld {
         );
         job.record.state = JobState::Rescheduling;
         job.min_checkpoint = evicted.checkpointed_work_mips_s as f64;
+        job.max_checkpoint_version = job.max_checkpoint_version.max(evicted.checkpoint_version);
         {
             let part = &mut job.parts[evicted.part as usize];
             part.state = PartState::Unplaced;
@@ -1351,6 +1556,11 @@ impl GridWorld {
                 if let Some(node) = part.node {
                     cancels.push((index as u32, node));
                 }
+                part.state = PartState::Unplaced;
+                part.node = None;
+            } else if part.state == PartState::Recovering {
+                // Gang teardown abandons any in-flight replica fetch: the
+                // rollback re-banks from the version high-water mark anyway.
                 part.state = PartState::Unplaced;
                 part.node = None;
             }
@@ -1398,6 +1608,13 @@ impl GridWorld {
         let steps_banked = (ckpt / step).floor();
         job.bsp_remaining_supersteps = (job.bsp_remaining_supersteps - steps_banked).max(0.0);
         job.min_checkpoint = f64::INFINITY;
+        // Raise every part's banked version to the gang-wide high-water mark
+        // so the relaunch's checkpoints supersede every replica on disk and
+        // stale blobs can never be re-banked.
+        let max_v = job.max_checkpoint_version;
+        for part in &mut job.parts {
+            part.banked_version = part.banked_version.max(max_v);
+        }
         let attempt = job.attempts.max(1);
         self.log.record(
             now,
@@ -1444,6 +1661,7 @@ impl GridWorld {
                     .unwrap_or(CancelPartReply {
                         found: false,
                         checkpointed_work_mips_s: 0,
+                        checkpoint_version: 0,
                         done_work_mips_s: 0,
                     });
                 self.on_cancel_reply(now, job, reply, queue);
@@ -1451,7 +1669,135 @@ impl GridWorld {
             Pending::UpdateAck { node, seq } => {
                 self.on_update_ack(node, seq, result);
             }
+            Pending::StoreCkpt {
+                origin,
+                blob,
+                replica,
+                resends,
+                rerepl,
+            } => {
+                let reply = result
+                    .ok()
+                    .and_then(|b| StoreCheckpointReply::from_cdr_bytes(&b).ok());
+                self.on_store_reply(
+                    now, at, origin, blob, replica, resends, rerepl, reply, queue,
+                );
+            }
+            Pending::FetchCkpt {
+                job,
+                part,
+                dead_node,
+                rest,
+            } => {
+                let reply = result
+                    .ok()
+                    .and_then(|b| FetchCheckpointReply::from_cdr_bytes(&b).ok());
+                self.on_recovery_fetch_reply(now, job, part, dead_node, rest, reply, queue);
+            }
+            Pending::RereplFetch {
+                job,
+                part,
+                source,
+                target,
+            } => {
+                let reply = result
+                    .ok()
+                    .and_then(|b| FetchCheckpointReply::from_cdr_bytes(&b).ok());
+                self.on_rerepl_fetch_reply(now, job, part, source, target, reply, queue);
+            }
         }
+    }
+
+    /// Processes a replica's answer to a checkpoint store. A corrupt nack
+    /// (the frame or payload was damaged in flight) re-sends the same blob
+    /// under a fresh request id — the retransmission layer only replays
+    /// identical bytes, which would replay the damage's detection, not the
+    /// data. Stale nacks and transport failures are dropped: the next
+    /// interval's store supersedes this one.
+    #[allow(clippy::too_many_arguments)]
+    fn on_store_reply(
+        &mut self,
+        now: SimTime,
+        at: HostId,
+        origin: NodeId,
+        blob: CheckpointBlob,
+        replica: NodeId,
+        resends: u32,
+        rerepl: bool,
+        reply: Option<StoreCheckpointReply>,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        if rerepl {
+            self.rerepl_inflight.remove(&(blob.job, blob.part));
+        }
+        let Some(reply) = reply else {
+            return; // replica unreachable; the next interval retries placement
+        };
+        if reply.accepted {
+            self.log.record(
+                now,
+                if rerepl {
+                    "repo.rereplicated"
+                } else {
+                    "repo.store"
+                },
+                format!(
+                    "{} part {} v{} at {replica}",
+                    blob.job, blob.part, blob.version
+                ),
+            );
+            if rerepl {
+                // The GRM performed this relay itself, so it can credit the
+                // new holder immediately instead of waiting for the
+                // replica's next status update to re-announce it.
+                self.grm.borrow_mut().replicas_mut().observe(
+                    replica,
+                    blob.job,
+                    blob.part,
+                    crate::repo::ReplicaInfo {
+                        version: blob.version,
+                        work_mips_s: blob.work_mips_s,
+                    },
+                );
+            }
+            return;
+        }
+        if reply.corrupt && resends < self.config.max_retransmits {
+            self.log.record(
+                now,
+                "repo.resend",
+                format!(
+                    "{} part {} v{} to {replica}",
+                    blob.job, blob.part, blob.version
+                ),
+            );
+            if rerepl {
+                self.rerepl_inflight.insert((blob.job, blob.part));
+            }
+            let req = StoreCheckpoint {
+                request_id: self.rpc_id(),
+                origin,
+                blob: blob.clone(),
+            };
+            self.send_request_from(
+                now,
+                at,
+                replica,
+                OP_STORE_CKPT,
+                move |w| req.encode(w),
+                Pending::StoreCkpt {
+                    origin,
+                    blob,
+                    replica,
+                    resends: resends + 1,
+                    rerepl,
+                },
+                0,
+                queue,
+            );
+        }
+        // A stale nack needs no action: the replica already holds a newer
+        // version than the one we tried to write.
     }
 
     /// Processes the GRM's acknowledgement of a status update: retire the
@@ -1494,6 +1840,7 @@ impl GridWorld {
             job.min_checkpoint = job
                 .min_checkpoint
                 .min(reply.checkpointed_work_mips_s as f64);
+            job.max_checkpoint_version = job.max_checkpoint_version.max(reply.checkpoint_version);
             job.record.wasted_work_mips_s += reply
                 .done_work_mips_s
                 .saturating_sub(reply.checkpointed_work_mips_s);
@@ -1502,6 +1849,234 @@ impl GridWorld {
         if job.pending_cancels == 0 {
             self.finish_bsp_rollback(now, job_id, queue);
         }
+    }
+
+    /// Starts replica-based recovery for a part whose executor went silent:
+    /// fetch the newest copy from the placement map's live holders, falling
+    /// back across them on corruption or silence.
+    fn begin_recovery(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        dead_node: NodeId,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let holders = self.grm.borrow().replicas().holders(job_id, part_id);
+        let candidates: Vec<NodeId> = holders
+            .into_iter()
+            .map(|(n, _)| n)
+            .filter(|n| {
+                // The map is rebuilt from wire data, so bound-check before
+                // indexing: a damaged re-announce must not panic here.
+                *n != dead_node
+                    && (n.0 as usize) < self.node_hosts.len()
+                    && self.net.topology().is_up(self.node_hosts[n.0 as usize])
+            })
+            .collect();
+        self.log.record(
+            now,
+            "repo.recover",
+            format!(
+                "{job_id} part {part_id}: {} candidate replicas",
+                candidates.len()
+            ),
+        );
+        self.try_next_replica(now, job_id, part_id, dead_node, candidates, queue);
+    }
+
+    /// Issues a recovery fetch to the next candidate holder, or concedes —
+    /// restarting the part from its already-banked level — when none remain.
+    fn try_next_replica(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        dead_node: NodeId,
+        mut rest: Vec<NodeId>,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        if rest.is_empty() {
+            self.finish_recovery(now, job_id, part_id, dead_node, None, queue);
+            return;
+        }
+        let replica = rest.remove(0);
+        let req = FetchCheckpoint {
+            request_id: self.rpc_id(),
+            job: job_id,
+            part: part_id,
+        };
+        self.send_to_lrm(
+            now,
+            replica,
+            OP_FETCH_CKPT,
+            move |w| req.encode(w),
+            Pending::FetchCkpt {
+                job: job_id,
+                part: part_id,
+                dead_node,
+                rest,
+            },
+            queue,
+        );
+    }
+
+    /// Processes a holder's answer to a recovery fetch: accept only a blob
+    /// whose digest matches and whose payload decodes as a real
+    /// [`GlobalCheckpoint`] — anything else falls back to the next holder.
+    #[allow(clippy::too_many_arguments)]
+    fn on_recovery_fetch_reply(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        dead_node: NodeId,
+        rest: Vec<NodeId>,
+        reply: Option<FetchCheckpointReply>,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        if let Some(reply) = reply {
+            if reply.found {
+                let blob = reply.blob;
+                if crc32(&blob.payload) == blob.digest
+                    && GlobalCheckpoint::from_cdr_bytes(&blob.payload).is_ok()
+                {
+                    self.log.record(
+                        now,
+                        "repo.fetch",
+                        format!("{job_id} part {part_id} v{}", blob.version),
+                    );
+                    self.finish_recovery(
+                        now,
+                        job_id,
+                        part_id,
+                        dead_node,
+                        Some((blob.version, blob.work_mips_s)),
+                        queue,
+                    );
+                    return;
+                }
+                // End-to-end integrity: the copy rotted on the holder's disk
+                // or was damaged in flight. Try the next one.
+                self.log.record(
+                    now,
+                    "corrupt_detected",
+                    format!("{job_id} part {part_id} recovery fetch"),
+                );
+            }
+        }
+        self.try_next_replica(now, job_id, part_id, dead_node, rest, queue);
+    }
+
+    /// Concludes recovery by synthesizing an eviction that carries the
+    /// recovered checkpoint (or the already-banked level when every replica
+    /// failed); the common eviction path banks it version-gated and
+    /// reschedules or tears down the gang as appropriate.
+    fn finish_recovery(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        dead_node: NodeId,
+        recovered: Option<(u64, u64)>,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let banked = {
+            let Some(job) = self.jobs.get(&job_id) else {
+                return;
+            };
+            let part = &job.parts[part_id as usize];
+            if part.state != PartState::Recovering || part.node != Some(dead_node) {
+                return; // abandoned by a gang teardown or GRM restart
+            }
+            part.banked_version
+        };
+        let (work, version) = match recovered {
+            Some((v, w)) if v > banked => (w, v),
+            _ => (0, banked),
+        };
+        if recovered.is_none() {
+            self.log.record(
+                now,
+                "repo.recover_failed",
+                format!("{job_id} part {part_id}"),
+            );
+        }
+        // The GRM cannot know the dead executor's progress, but the
+        // simulator recorded it at crash time: the wasted-work metric is
+        // whatever ran past the recovered checkpoint.
+        let lost = self
+            .crash_progress
+            .remove(&(job_id, part_id))
+            .unwrap_or(0)
+            .saturating_sub(work);
+        let evicted = PartEvicted {
+            job: job_id,
+            part: part_id,
+            node: dead_node,
+            checkpointed_work_mips_s: work,
+            checkpoint_version: version,
+            lost_work_mips_s: lost,
+        };
+        self.on_part_evicted(now, &evicted, queue);
+    }
+
+    /// Processes the source holder's answer to a re-replication fetch: an
+    /// intact blob is relayed to the chosen target as a store; anything
+    /// else abandons this round (the next slot tick retries).
+    #[allow(clippy::too_many_arguments)]
+    fn on_rerepl_fetch_reply(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        source: NodeId,
+        target: NodeId,
+        reply: Option<FetchCheckpointReply>,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let Some(reply) = reply else {
+            self.rerepl_inflight.remove(&(job_id, part_id));
+            return;
+        };
+        if !reply.found {
+            self.rerepl_inflight.remove(&(job_id, part_id));
+            return;
+        }
+        let blob = reply.blob;
+        if crc32(&blob.payload) != blob.digest
+            || GlobalCheckpoint::from_cdr_bytes(&blob.payload).is_err()
+        {
+            self.log.record(
+                now,
+                "corrupt_detected",
+                format!("{job_id} part {part_id} re-replication fetch"),
+            );
+            self.rerepl_inflight.remove(&(job_id, part_id));
+            return;
+        }
+        let req = StoreCheckpoint {
+            request_id: self.rpc_id(),
+            origin: source,
+            blob: blob.clone(),
+        };
+        let grm_host = self.grm_host;
+        self.send_request_from(
+            now,
+            grm_host,
+            target,
+            OP_STORE_CKPT,
+            move |w| req.encode(w),
+            Pending::StoreCkpt {
+                origin: source,
+                blob,
+                replica: target,
+                resends: 0,
+                rerepl: true,
+            },
+            0,
+            queue,
+        );
     }
 
     /// Runs one round of the scheduling pipeline for a job.
@@ -1671,7 +2246,7 @@ impl GridWorld {
     ) {
         // Phase 1: bookkeeping under the job borrow; collect any launch or
         // failover reserve to send afterwards (sending needs `&mut self`).
-        let mut launch: Option<(LaunchRequest, f64, NodeId)> = None;
+        let mut launch: Option<(LaunchRequest, NodeId)> = None;
         let mut failover: Option<(ReserveRequest, NodeId)> = None;
         let round_done = {
             let Some(job) = self.jobs.get_mut(&job_id) else {
@@ -1686,6 +2261,14 @@ impl GridWorld {
                     let work = job.parts[part as usize].remaining.max(1.0) as u64;
                     job.parts[part as usize].state = PartState::Launching;
                     job.parts[part as usize].reservation = reply.reservation;
+                    let interval = self.config.sequential_checkpoint_mips_s;
+                    let replicas = if interval > 0.0 {
+                        self.grm
+                            .borrow()
+                            .choose_replicas(node, self.config.replication_factor)
+                    } else {
+                        Vec::new()
+                    };
                     launch = Some((
                         LaunchRequest {
                             request_id: 0, // assigned below, outside the borrow
@@ -1693,8 +2276,11 @@ impl GridWorld {
                             job: job_id,
                             part,
                             work_mips_s: work,
+                            checkpoint_interval_mips_s: interval,
+                            state_bytes: self.config.checkpoint_state_bytes,
+                            resume_version: job.parts[part as usize].banked_version,
+                            replicas,
                         },
-                        self.config.sequential_checkpoint_mips_s,
                         node,
                     ));
                 }
@@ -1751,14 +2337,14 @@ impl GridWorld {
                 queue,
             );
         }
-        if let Some((mut req, ckpt, target)) = launch {
+        if let Some((mut req, target)) = launch {
             req.request_id = self.rpc_id();
             let launch_part = req.part;
             self.send_to_lrm(
                 now,
                 target,
                 OP_LAUNCH,
-                move |w| (req, ckpt).encode(w),
+                move |w| req.encode(w),
                 Pending::Launch {
                     job: job_id,
                     part: launch_part,
@@ -1834,23 +2420,13 @@ impl GridWorld {
             Outcome::LaunchGang => self.launch_bsp_gang(now, job_id, queue),
             Outcome::ReleaseAndMaybeRetry(granted, retry) => {
                 for (_, node, reservation) in granted {
-                    let target = self.lrm_iors[node.0 as usize].clone();
-                    let orb = self.orbs.get_mut(&self.grm_host).expect("grm orb");
-                    let (_, bytes) = orb.make_oneway(&target, crate::protocol::OP_CANCEL, |w| {
-                        reservation.encode(w)
-                    });
-                    let bytes = self.protect(bytes);
-                    let to = self.node_hosts[node.0 as usize];
-                    if let Ok(delay) = self.net.send(now, self.grm_host, to, bytes.len() as u64) {
-                        queue.schedule_after(
-                            delay,
-                            GridEvent::Wire {
-                                from: self.grm_host,
-                                to,
-                                bytes,
-                            },
-                        );
-                    }
+                    self.send_oneway_to_lrm(
+                        now,
+                        node,
+                        crate::protocol::OP_CANCEL,
+                        |w| reservation.encode(w),
+                        queue,
+                    );
                 }
                 if let Some(attempts) = retry {
                     let backoff = self.reschedule_backoff(attempts);
@@ -1924,19 +2500,41 @@ impl GridWorld {
         } else {
             0
         };
-        for (part, node, reservation) in launches {
+        let launch_meta: Vec<(u32, NodeId, u64, u64)> = launches
+            .iter()
+            .map(|(part, node, reservation)| {
+                (
+                    *part,
+                    *node,
+                    *reservation,
+                    job.parts[*part as usize].banked_version,
+                )
+            })
+            .collect();
+        for (part, node, reservation, resume_version) in launch_meta {
+            let replicas = if ckpt_interval > 0.0 {
+                self.grm
+                    .borrow()
+                    .choose_replicas(node, self.config.replication_factor)
+            } else {
+                Vec::new()
+            };
             let req = LaunchRequest {
                 request_id: self.rpc_id(),
                 reservation,
                 job: job_id,
                 part,
                 work_mips_s: work,
+                checkpoint_interval_mips_s: ckpt_interval,
+                state_bytes,
+                resume_version,
+                replicas,
             };
             self.send_to_lrm_with_payload(
                 now,
                 node,
                 OP_LAUNCH,
-                move |w| (req, ckpt_interval).encode(w),
+                move |w| req.encode(w),
                 Pending::Launch {
                     job: job_id,
                     part,
@@ -1991,18 +2589,20 @@ impl GridWorld {
         let tick = self.config.tick;
         for i in 0..self.lrms.len() {
             let owner = self.trace_sample(i, now);
-            let (completed, evictions, expired, grid_running, grid_share, cap) = {
+            let (completed, dues, evictions, expired, grid_running, grid_share, cap) = {
                 let mut lrm = self.lrms[i].borrow_mut();
                 // Credit the elapsed tick under the owner state that held
                 // during it *before* observing the new sample; otherwise a
                 // returning owner would retroactively erase the idle
                 // interval's progress.
                 let completed = lrm.advance(tick);
+                let dues = lrm.due_checkpoints();
                 lrm.observe_owner(owner, weekday, minute);
                 let expired = lrm.expire_reservations(now);
                 let evictions = lrm.check_eviction();
                 (
                     completed,
+                    dues,
                     evictions,
                     expired,
                     !lrm.running().is_empty(),
@@ -2047,6 +2647,11 @@ impl GridWorld {
                     queue,
                 );
             }
+            // Interval boundary crossed: write the checkpoint's real bytes
+            // to every replica the launch designated.
+            for due in dues {
+                self.store_checkpoint(now, NodeId(i as u32), due, queue);
+            }
             // LUPA uploads (completed day periods go to the GUPA).
             let periods = self.lrms[i].borrow_mut().take_lupa_periods();
             if !periods.is_empty() {
@@ -2054,7 +2659,142 @@ impl GridWorld {
             }
         }
         self.detect_crashed_nodes(now, queue);
+        self.rereplicate(now, queue);
         queue.schedule_after(tick, GridEvent::SlotTick);
+    }
+
+    /// Serializes and ships one due checkpoint from its executing node to
+    /// every designated replica LRM as a digest-carrying [`CheckpointBlob`].
+    fn store_checkpoint(
+        &mut self,
+        now: SimTime,
+        origin: NodeId,
+        due: DueCheckpoint,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let payload = checkpoint_payload(
+            due.job,
+            due.part,
+            due.version,
+            due.work_mips_s,
+            due.state_bytes,
+        );
+        let blob = CheckpointBlob {
+            job: due.job,
+            part: due.part,
+            version: due.version,
+            work_mips_s: due.work_mips_s,
+            digest: crc32(&payload),
+            payload,
+        };
+        let from = self.node_hosts[origin.0 as usize];
+        for replica in due.replicas {
+            if replica.0 as usize >= self.node_hosts.len() {
+                continue; // replica list arrived damaged in the launch frame
+            }
+            let req = StoreCheckpoint {
+                request_id: self.rpc_id(),
+                origin,
+                blob: blob.clone(),
+            };
+            let pending_blob = blob.clone();
+            self.send_request_from(
+                now,
+                from,
+                replica,
+                OP_STORE_CKPT,
+                move |w| req.encode(w),
+                Pending::StoreCkpt {
+                    origin,
+                    blob: pending_blob,
+                    replica,
+                    resends: 0,
+                    rerepl: false,
+                },
+                0,
+                queue,
+            );
+        }
+    }
+
+    /// Background re-replication: when a running part's live replica count
+    /// has fallen below the configured factor (a holder died), the GRM
+    /// relays the newest intact copy from a surviving holder to a fresh
+    /// node, restoring the replication factor without touching the
+    /// executor.
+    fn rereplicate(&mut self, now: SimTime, queue: &mut EventQueue<GridEvent>) {
+        let k = self.config.replication_factor;
+        if k == 0 {
+            return;
+        }
+        let mut relays: Vec<(JobId, u32, NodeId, NodeId)> = Vec::new();
+        {
+            let grm = self.grm.borrow();
+            for (job_id, job) in &self.jobs {
+                for (index, part) in job.parts.iter().enumerate() {
+                    if part.state != PartState::Running {
+                        continue;
+                    }
+                    let Some(exec) = part.node else { continue };
+                    if self.rerepl_inflight.contains(&(*job_id, index as u32)) {
+                        continue; // one relay per part at a time
+                    }
+                    let holders = grm.replicas().holders(*job_id, index as u32);
+                    let live: Vec<NodeId> = holders
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .filter(|n| {
+                            (n.0 as usize) < self.node_hosts.len()
+                                && self.net.topology().is_up(self.node_hosts[n.0 as usize])
+                        })
+                        .collect();
+                    // No live copy at all: nothing to relay from — the next
+                    // interval's store from the executor repopulates.
+                    if live.is_empty() || live.len() >= k {
+                        continue;
+                    }
+                    let holder_set: BTreeSet<NodeId> = live.iter().copied().collect();
+                    let Some(target) =
+                        grm.choose_replicas(exec, self.lrms.len())
+                            .into_iter()
+                            .find(|n| {
+                                !holder_set.contains(n)
+                                    && self.net.topology().is_up(self.node_hosts[n.0 as usize])
+                            })
+                    else {
+                        continue;
+                    };
+                    // holders() is newest-first: relay the freshest copy.
+                    relays.push((*job_id, index as u32, live[0], target));
+                }
+            }
+        }
+        for (job, part, source, target) in relays {
+            self.rerepl_inflight.insert((job, part));
+            self.log.record(
+                now,
+                "repo.rerepl_start",
+                format!("{job} part {part}: {source} -> {target}"),
+            );
+            let req = FetchCheckpoint {
+                request_id: self.rpc_id(),
+                job,
+                part,
+            };
+            self.send_to_lrm(
+                now,
+                source,
+                OP_FETCH_CKPT,
+                move |w| req.encode(w),
+                Pending::RereplFetch {
+                    job,
+                    part,
+                    source,
+                    target,
+                },
+                queue,
+            );
+        }
     }
 
     /// GRM-side crash detection: a node silent past `crash_silence` is
@@ -2072,26 +2812,22 @@ impl GridWorld {
         for node in silent {
             self.grm.borrow_mut().mark_unavailable(node);
             self.log.record(now, "grm.node_dead", format!("{node}"));
-            // Recover every part this world placed on the dead node.
-            let mut recovered: Vec<PartEvicted> = Vec::new();
-            for (job_id, job) in &self.jobs {
-                for (index, part) in job.parts.iter().enumerate() {
+            // Every part this world placed on the dead node switches to
+            // Recovering while a digest-verified replica fetch is in
+            // flight; the fetch's outcome feeds the common eviction path.
+            let mut to_recover: Vec<(JobId, u32)> = Vec::new();
+            for (job_id, job) in &mut self.jobs {
+                for (index, part) in job.parts.iter_mut().enumerate() {
                     if part.node == Some(node)
                         && matches!(part.state, PartState::Running | PartState::Launching)
                     {
-                        let checkpointed = self.grm.borrow().repo_checkpoint(*job_id, index as u32);
-                        recovered.push(PartEvicted {
-                            job: *job_id,
-                            part: index as u32,
-                            node,
-                            checkpointed_work_mips_s: checkpointed,
-                            lost_work_mips_s: 0, // unknown; counted as 0
-                        });
+                        part.state = PartState::Recovering;
+                        to_recover.push((*job_id, index as u32));
                     }
                 }
             }
-            for evicted in recovered {
-                self.on_part_evicted(now, &evicted, queue);
+            for (job_id, part_id) in to_recover {
+                self.begin_recovery(now, job_id, part_id, node, queue);
             }
         }
     }
@@ -2099,9 +2835,9 @@ impl GridWorld {
     fn update_tick(&mut self, now: SimTime, node: usize, queue: &mut EventQueue<GridEvent>) {
         *self.clock.borrow_mut() = now;
         let config = self.config.lrm;
-        let (update, checkpoints) = {
+        let (update, replicas) = {
             let mut lrm = self.lrms[node].borrow_mut();
-            (lrm.next_update(&config), lrm.checkpoint_reports())
+            (lrm.next_update(&config), lrm.replica_reports())
         };
         if let Some((seq, status)) = update {
             // The update travels as a request so the GRM's ack (carrying
@@ -2113,7 +2849,7 @@ impl GridWorld {
                 node: NodeId(node as u32),
                 seq,
                 status,
-                checkpoints,
+                replicas,
                 pending_done,
                 pending_evicted,
             };
@@ -2133,32 +2869,52 @@ impl GridWorld {
                     attempt: 0,
                 },
             );
-            match self.net.send(now, from, self.grm_host, bytes.len() as u64) {
-                Ok(delay) => {
-                    queue.schedule_after(
-                        delay,
-                        GridEvent::Wire {
-                            from,
-                            to: self.grm_host,
-                            bytes,
-                        },
-                    );
-                    queue.schedule_after(
-                        self.config.request_timeout,
-                        GridEvent::RequestTimeout { from, request_id },
-                    );
-                }
-                Err(_) => {
-                    self.log.record(now, "drops", format!("update from {node}"));
-                    queue.schedule_after(
-                        SimDuration::from_micros(1),
-                        GridEvent::RequestTimeout { from, request_id },
-                    );
-                }
+            let grm_host = self.grm_host;
+            if self.transmit(now, from, grm_host, bytes, 0, queue) {
+                queue.schedule_after(
+                    self.config.request_timeout,
+                    GridEvent::RequestTimeout { from, request_id },
+                );
+            } else {
+                self.log.record(now, "drops", format!("update from {node}"));
+                queue.schedule_after(
+                    SimDuration::from_micros(1),
+                    GridEvent::RequestTimeout { from, request_id },
+                );
             }
         }
         queue.schedule_after(config.update_period, GridEvent::UpdateTick { node });
     }
+}
+
+/// Builds the serialized state a checkpoint replica stores: a real
+/// [`GlobalCheckpoint`] whose single process state records the part's
+/// identity and progress and is zero-padded to `state_bytes`, so the blob
+/// has the configured on-disk size and recovery can decode and
+/// digest-verify actual bytes end to end.
+fn checkpoint_payload(
+    job: JobId,
+    part: u32,
+    version: u64,
+    work_mips_s: u64,
+    state_bytes: u64,
+) -> Vec<u8> {
+    let mut w = CdrWriter::new();
+    w.write_u64(job.0);
+    w.write_u32(part);
+    w.write_u64(version);
+    w.write_u64(work_mips_s);
+    let mut state = w.into_bytes();
+    if (state.len() as u64) < state_bytes {
+        state.resize(state_bytes as usize, 0);
+    }
+    GlobalCheckpoint {
+        superstep: version,
+        halted: false,
+        proc_states: vec![state],
+        inboxes: vec![Vec::new()],
+    }
+    .to_cdr_bytes()
 }
 
 impl World for GridWorld {

@@ -11,6 +11,7 @@
 use crate::protocol::{
     node_props, PartDone, PartEvicted, StatusUpdate, UpdateAck, NODE_SERVICE_TYPE,
 };
+use crate::repo::{ReplicaInfo, ReplicaMap};
 use crate::scheduler::CandidateNode;
 use crate::types::{NodeId, NodeStatus, Platform, ResourceVector};
 use integrade_orb::any::AnyValue;
@@ -61,9 +62,10 @@ pub struct GrmState {
     last_seq: BTreeMap<NodeId, u64>,
     last_status: BTreeMap<NodeId, NodeStatus>,
     last_heard: BTreeMap<NodeId, SimTime>,
-    /// GRM-side checkpoint repository: last reported checkpointed work per
-    /// (job, part). Survives node crashes — the recovery substrate.
-    checkpoint_repo: BTreeMap<(crate::types::JobId, u32), u64>,
+    /// Soft-state replica placement map: which LRM claims to hold which
+    /// version of which part's checkpoint. Wiped by a GRM crash and rebuilt
+    /// from the replica reports piggybacked on periodic status updates.
+    replicas: ReplicaMap,
     stats: UpdateStats,
     /// Incarnation number, bumped on every crash. Returned in update acks
     /// so LRMs detect a restart and re-announce full state.
@@ -165,7 +167,7 @@ impl GrmState {
             last_seq: BTreeMap::new(),
             last_status: BTreeMap::new(),
             last_heard: BTreeMap::new(),
-            checkpoint_repo: BTreeMap::new(),
+            replicas: ReplicaMap::new(),
             stats: UpdateStats::default(),
             epoch: 1,
             status_slots: None,
@@ -232,6 +234,21 @@ impl GrmState {
             .extend(update.pending_done.iter().cloned());
         self.pending_evictions
             .extend(update.pending_evicted.iter().cloned());
+        // Replica reports are likewise applied regardless of staleness:
+        // `ReplicaMap::observe` never regresses a holder's version, so a
+        // reordered update can only add information, and after a GRM restart
+        // these re-announces are the *only* way the map gets rebuilt.
+        for report in &update.replicas {
+            self.replicas.observe(
+                update.node,
+                report.job,
+                report.part,
+                ReplicaInfo {
+                    version: report.version,
+                    work_mips_s: report.work_mips_s,
+                },
+            );
+        }
         let last = self.last_seq.get(&update.node).copied().unwrap_or(0);
         if update.seq <= last {
             self.stats.stale_discarded += 1;
@@ -251,10 +268,6 @@ impl GrmState {
                 self.stats.accepted += 1;
                 self.last_status.insert(update.node, update.status);
                 self.last_heard.insert(update.node, now);
-                for report in &update.checkpoints {
-                    self.checkpoint_repo
-                        .insert((report.job, report.part), report.checkpointed_work_mips_s);
-                }
             }
             Err(TraderError::UnknownOffer(_)) => {
                 self.stats.unknown_node += 1;
@@ -332,14 +345,43 @@ impl GrmState {
         self.nodes.get(&node).map(|r| &r.lrm)
     }
 
-    /// The repository's last reported checkpoint for a part, MIPS-s.
-    pub fn repo_checkpoint(&self, job: crate::types::JobId, part: u32) -> u64 {
-        self.checkpoint_repo.get(&(job, part)).copied().unwrap_or(0)
+    /// The soft-state replica placement map (read side).
+    pub fn replicas(&self) -> &ReplicaMap {
+        &self.replicas
     }
 
-    /// Drops a part's repository entry (on completion or job failure).
-    pub fn clear_repo_checkpoint(&mut self, job: crate::types::JobId, part: u32) {
-        self.checkpoint_repo.remove(&(job, part));
+    /// The replica map, mutably — the execution layer observes stores and
+    /// forgets completed parts through this.
+    pub fn replicas_mut(&mut self) -> &mut ReplicaMap {
+        &mut self.replicas
+    }
+
+    /// Picks up to `k` distinct replica hosts for a part running on
+    /// `executor`. Deterministic: currently-exporting nodes first (they are
+    /// alive by definition of the last update), then the rest, each group in
+    /// node-id order; the executor itself is excluded so an executor crash
+    /// can never take the only replica with it.
+    pub fn choose_replicas(&self, executor: NodeId, k: usize) -> Vec<NodeId> {
+        let mut exporting = Vec::new();
+        let mut rest = Vec::new();
+        for node in self.nodes.keys() {
+            if *node == executor {
+                continue;
+            }
+            if self
+                .last_status
+                .get(node)
+                .map(|s| s.exporting)
+                .unwrap_or(false)
+            {
+                exporting.push(*node);
+            } else {
+                rest.push(*node);
+            }
+        }
+        exporting.extend(rest);
+        exporting.truncate(k);
+        exporting
     }
 
     /// Nodes that have gone silent: exporting at last word but not heard
@@ -381,14 +423,16 @@ impl GrmState {
     }
 
     /// Simulates a GRM crash: everything learned through the protocols —
-    /// status, sequence numbers, liveness, the checkpoint repository and
+    /// status, sequence numbers, liveness, the replica placement map and
     /// undrained notices — is volatile and vanishes; the node registry
     /// (disk state) survives. The epoch bumps so LRMs can detect the
-    /// restart from the next update ack.
+    /// restart from the next update ack. The checkpoints themselves live on
+    /// LRM disks and are unaffected; their placement is re-learned from the
+    /// replica reports on post-restart status updates.
     pub fn crash(&mut self) {
         self.epoch += 1;
         self.last_seq.clear();
-        self.checkpoint_repo.clear();
+        self.replicas.clear();
         self.pending_done.clear();
         self.pending_evictions.clear();
         let nodes: Vec<NodeId> = self.nodes.keys().copied().collect();
@@ -550,7 +594,7 @@ mod tests {
             node: NodeId(2),
             seq: 1,
             status: exporting_status(0.3, 128),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
         });
@@ -576,7 +620,7 @@ mod tests {
             node: NodeId(1),
             seq: 5,
             status: exporting_status(0.3, 128),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
         });
@@ -585,7 +629,7 @@ mod tests {
             node: NodeId(1),
             seq: 3,
             status: NodeStatus::unavailable(),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
         });
@@ -601,7 +645,7 @@ mod tests {
             node: NodeId(99),
             seq: 1,
             status: exporting_status(0.3, 128),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
         });
@@ -616,7 +660,7 @@ mod tests {
                 node: NodeId(node),
                 seq: 1,
                 status: exporting_status(0.3, 128),
-                checkpoints: vec![],
+                replicas: vec![],
                 pending_done: vec![],
                 pending_evicted: vec![],
             });
@@ -636,7 +680,7 @@ mod tests {
             node: NodeId(1),
             seq: 1,
             status: exporting_status(0.3, 128),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
         });
@@ -670,7 +714,7 @@ mod tests {
             node: NodeId(1),
             seq: 1,
             status: exporting_status(0.3, 128),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
         }
@@ -696,6 +740,7 @@ mod tests {
             part: 0,
             node: NodeId(1),
             checkpointed_work_mips_s: 10,
+            checkpoint_version: 1,
             lost_work_mips_s: 5,
         }
         .to_cdr_bytes();
@@ -723,7 +768,7 @@ mod tests {
             node: NodeId(1),
             seq: 9,
             status: exporting_status(0.3, 128),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
         }
@@ -743,36 +788,54 @@ mod tests {
             node: NodeId(1),
             seq: 5,
             status: exporting_status(0.3, 128),
-            checkpoints: vec![crate::protocol::CheckpointReport {
+            replicas: vec![crate::protocol::ReplicaReport {
                 job: JobId(1),
                 part: 0,
-                checkpointed_work_mips_s: 400,
+                version: 4,
+                work_mips_s: 400,
             }],
             pending_done: vec![],
             pending_evicted: vec![],
         });
-        assert_eq!(grm.repo_checkpoint(JobId(1), 0), 400);
+        assert_eq!(grm.replicas().holders(JobId(1), 0).len(), 1);
         grm.crash();
         assert_eq!(grm.epoch(), 2);
-        assert_eq!(
-            grm.repo_checkpoint(JobId(1), 0),
-            0,
-            "repository is volatile"
+        assert!(
+            grm.replicas().holders(JobId(1), 0).is_empty(),
+            "placement map is volatile"
         );
         let (_, status) = grm.node_view(NodeId(1)).unwrap();
         assert!(!status.exporting, "all nodes unavailable after restart");
         // Sequence tracking was wiped: the LRM's next update (seq 6, or even
         // a full re-announce at any seq) is accepted, not discarded as stale.
+        // Its piggybacked replica report rebuilds the placement map — the
+        // whole of the GRM-restart repository recovery protocol.
         grm.handle_update(&StatusUpdate {
             node: NodeId(1),
             seq: 1,
             status: exporting_status(0.3, 128),
-            checkpoints: vec![],
+            replicas: vec![crate::protocol::ReplicaReport {
+                job: JobId(1),
+                part: 0,
+                version: 4,
+                work_mips_s: 400,
+            }],
             pending_done: vec![],
             pending_evicted: vec![],
         });
         let (_, status) = grm.node_view(NodeId(1)).unwrap();
         assert!(status.exporting, "post-restart re-announce accepted");
+        let holders = grm.replicas().holders(JobId(1), 0);
+        assert_eq!(
+            holders,
+            vec![(
+                NodeId(1),
+                ReplicaInfo {
+                    version: 4,
+                    work_mips_s: 400
+                }
+            )]
+        );
     }
 
     #[test]
@@ -784,7 +847,7 @@ mod tests {
                 node: NodeId(1),
                 seq: 1,
                 status: exporting_status(0.3, 128),
-                checkpoints: vec![],
+                replicas: vec![],
                 pending_done: vec![],
                 pending_evicted: vec![],
             },
@@ -804,6 +867,31 @@ mod tests {
     }
 
     #[test]
+    fn choose_replicas_prefers_exporting_nodes_and_skips_executor() {
+        let mut grm = grm_with_nodes();
+        // Only node 3 is exporting; nodes 1 and 2 are still unavailable.
+        grm.handle_update(&StatusUpdate {
+            node: NodeId(3),
+            seq: 1,
+            status: exporting_status(0.5, 128),
+            replicas: vec![],
+            pending_done: vec![],
+            pending_evicted: vec![],
+        });
+        assert_eq!(
+            grm.choose_replicas(NodeId(3), 2),
+            vec![NodeId(1), NodeId(2)],
+            "executor excluded even when exporting"
+        );
+        assert_eq!(
+            grm.choose_replicas(NodeId(1), 2),
+            vec![NodeId(3), NodeId(2)],
+            "exporting nodes come first"
+        );
+        assert_eq!(grm.choose_replicas(NodeId(1), 10).len(), 2);
+    }
+
+    #[test]
     fn piggybacked_outcomes_processed_even_when_stale() {
         use crate::types::JobId;
         let mut grm = grm_with_nodes();
@@ -811,7 +899,7 @@ mod tests {
             node: NodeId(1),
             seq: 5,
             status: exporting_status(0.3, 128),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
         });
@@ -820,7 +908,7 @@ mod tests {
             node: NodeId(1),
             seq: 3,
             status: NodeStatus::unavailable(),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![PartDone {
                 job: JobId(7),
                 part: 1,

@@ -18,6 +18,9 @@
 //! * [`asct`] — Application Submission and Control Tool: job
 //!   specifications, requirements→constraint compilation, monitoring.
 //! * [`protocol`] — the CDR-marshalled intra-cluster protocol messages.
+//! * [`repo`] — the distributed checkpoint repository: per-LRM replica
+//!   storage with CRC32 integrity digests and the GRM's soft-state
+//!   replica map.
 //! * [`scheduler`] — random / availability-only / pattern-aware ranking
 //!   and the §3 virtual-topology group placement.
 //! * [`hierarchy`] — wide-area cluster hierarchy with aggregate summaries
@@ -55,6 +58,7 @@ pub mod lrm;
 pub mod ncc;
 pub mod protocol;
 pub mod qos;
+pub mod repo;
 pub mod scheduler;
 pub mod types;
 

@@ -11,9 +11,12 @@
 
 use crate::ncc::SharingPolicy;
 use crate::protocol::{
-    LaunchReply, LaunchRequest, PartDone, PartEvicted, ReserveReply, ReserveRequest, OP_CANCEL,
-    OP_LAUNCH, OP_RESERVE,
+    FetchCheckpoint, FetchCheckpointReply, LaunchReply, LaunchRequest, PartDone, PartEvicted,
+    PurgeCheckpoint, ReplicaReport, ReserveReply, ReserveRequest, StoreCheckpoint,
+    StoreCheckpointReply, OP_CANCEL, OP_FETCH_CKPT, OP_LAUNCH, OP_PURGE_CKPT, OP_RESERVE,
+    OP_STORE_CKPT,
 };
+use crate::repo::{ReplicaStore, StoreOutcome, StoredCheckpoint};
 use crate::types::{JobId, NodeId, NodeRoles, NodeStatus, Platform, ResourceVector};
 use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrReader};
 use integrade_orb::servant::{Servant, ServerException};
@@ -82,6 +85,15 @@ pub struct RunningPart {
     pub checkpoint_interval: f64,
     /// Reserved RAM held by this part.
     pub ram_mb: u64,
+    /// Size of the part's marshalled execution state (checkpoint payload).
+    pub state_bytes: u64,
+    /// Checkpoint version already banked before this launch; versions
+    /// produced here continue from it, staying monotonic across relaunches.
+    pub resume_version: u64,
+    /// Replica nodes each checkpoint must be written to (GRM-chosen).
+    pub replicas: Vec<NodeId>,
+    /// Checkpoint intervals already emitted to the replicas.
+    emitted_intervals: u64,
 }
 
 impl RunningPart {
@@ -93,6 +105,35 @@ impl RunningPart {
             (self.done / self.checkpoint_interval).floor() * self.checkpoint_interval
         }
     }
+
+    /// Version of the last checkpoint (`resume_version` when none was taken
+    /// this launch).
+    pub fn checkpoint_version(&self) -> u64 {
+        if self.checkpoint_interval <= 0.0 {
+            self.resume_version
+        } else {
+            self.resume_version + (self.done / self.checkpoint_interval).floor() as u64
+        }
+    }
+}
+
+/// A checkpoint that became due after an [`LrmState::advance`]: the world
+/// marshals the part's state into a `GlobalCheckpoint` blob and writes it to
+/// each replica node over the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DueCheckpoint {
+    /// Job the part belongs to.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+    /// Version of this checkpoint (monotonic across relaunches).
+    pub version: u64,
+    /// Work it preserves, MIPS-s (this launch).
+    pub work_mips_s: u64,
+    /// Payload size the marshalled state should have.
+    pub state_bytes: u64,
+    /// Where to write it.
+    pub replicas: Vec<NodeId>,
 }
 
 /// A completed part, reported by [`LrmState::advance`].
@@ -140,6 +181,11 @@ pub struct LrmState {
     /// restarted and lost its soft state.
     known_epoch: Option<u64>,
     force_full_update: bool,
+    /// Checkpoint replicas held for *other* nodes' parts (and announced on
+    /// every status update). Disk state: survives a crash.
+    repo: ReplicaStore,
+    /// Store requests whose payload failed digest verification.
+    corrupt_detected: u64,
     /// Total grid work executed on this node, MIPS-s.
     pub grid_work_done: f64,
 }
@@ -175,6 +221,8 @@ impl LrmState {
             unacked_evicted: Vec::new(),
             known_epoch: None,
             force_full_update: false,
+            repo: ReplicaStore::new(),
+            corrupt_detected: 0,
             grid_work_done: 0.0,
         }
     }
@@ -241,21 +289,104 @@ impl LrmState {
         }
     }
 
-    /// Checkpoint progress of the running parts (piggybacked on updates so
-    /// the GRM-side repository can drive crash recovery).
-    pub fn checkpoint_reports(&self) -> Vec<crate::protocol::CheckpointReport> {
-        self.running
-            .iter()
-            .map(|p| crate::protocol::CheckpointReport {
-                job: p.job,
-                part: p.part,
-                checkpointed_work_mips_s: p.checkpointed() as u64,
+    /// The checkpoint replicas this node holds, as status-update piggyback
+    /// re-announces. These rebuild the GRM's soft-state replica map after a
+    /// GRM restart and keep it fresh in steady state.
+    pub fn replica_reports(&self) -> Vec<ReplicaReport> {
+        self.repo
+            .entries()
+            .map(|(job, part, c)| ReplicaReport {
+                job,
+                part,
+                version: c.version,
+                work_mips_s: c.work_mips_s,
             })
             .collect()
     }
 
+    /// The node's replica storage (tests and diagnostics).
+    pub fn repo(&self) -> &ReplicaStore {
+        &self.repo
+    }
+
+    /// Handles a checkpoint-store request: digest verification, then
+    /// newest-version-wins storage. A corrupt payload is refused (the
+    /// writer re-sends); a stale version is refused without being counted
+    /// as corruption.
+    pub fn handle_store(&mut self, req: &StoreCheckpoint) -> StoreCheckpointReply {
+        let blob = &req.blob;
+        let outcome = self.repo.store(
+            blob.job,
+            blob.part,
+            StoredCheckpoint {
+                version: blob.version,
+                work_mips_s: blob.work_mips_s,
+                digest: blob.digest,
+                payload: blob.payload.clone(),
+            },
+        );
+        match outcome {
+            StoreOutcome::Accepted { .. } => StoreCheckpointReply {
+                accepted: true,
+                corrupt: false,
+                held_version: blob.version,
+            },
+            StoreOutcome::Stale { held } => StoreCheckpointReply {
+                accepted: false,
+                corrupt: false,
+                held_version: held,
+            },
+            StoreOutcome::Corrupt => {
+                self.corrupt_detected += 1;
+                StoreCheckpointReply {
+                    accepted: false,
+                    corrupt: true,
+                    held_version: 0,
+                }
+            }
+        }
+    }
+
+    /// Handles a checkpoint-fetch request (recovery / re-replication read).
+    pub fn handle_fetch(&self, req: &FetchCheckpoint) -> FetchCheckpointReply {
+        match self.repo.get(req.job, req.part) {
+            Some(held) => FetchCheckpointReply {
+                found: true,
+                blob: crate::protocol::CheckpointBlob {
+                    job: req.job,
+                    part: req.part,
+                    version: held.version,
+                    work_mips_s: held.work_mips_s,
+                    digest: held.digest,
+                    payload: held.payload.clone(),
+                },
+            },
+            None => FetchCheckpointReply {
+                found: false,
+                blob: crate::protocol::CheckpointBlob::empty(req.job, req.part),
+            },
+        }
+    }
+
+    /// Handles a purge notice: the part completed, its replica is dropped.
+    pub fn handle_purge(&mut self, req: &PurgeCheckpoint) -> bool {
+        self.repo.purge(req.job, req.part)
+    }
+
+    /// Drains the digest-failure counter (the world logs `corrupt_detected`
+    /// trace events from it).
+    pub fn take_corrupt_detected(&mut self) -> u64 {
+        std::mem::take(&mut self.corrupt_detected)
+    }
+
+    /// Drains the superseded-checkpoint GC counter (`repo.gc` events).
+    pub fn take_repo_gc(&mut self) -> u64 {
+        self.repo.take_gc()
+    }
+
     /// Simulates a crash/reboot: all running parts and reservations vanish
-    /// (volatile state), the LUPA history and policy survive (disk state).
+    /// (volatile state); the LUPA history, policy and the checkpoint
+    /// replica store survive (disk state).
     pub fn crash(&mut self) {
         self.running.clear();
         self.reservations.clear();
@@ -422,13 +553,9 @@ impl LrmState {
         }
     }
 
-    /// Handles a launch under a reservation.
-    pub fn handle_launch(
-        &mut self,
-        req: &LaunchRequest,
-        checkpoint_interval_mips_s: f64,
-        now: SimTime,
-    ) -> LaunchReply {
+    /// Handles a launch under a reservation. The request carries the
+    /// checkpoint interval, the state size and the GRM-chosen replica set.
+    pub fn handle_launch(&mut self, req: &LaunchRequest, now: SimTime) -> LaunchReply {
         self.expire_reservations(now);
         let Some(pos) = self
             .reservations
@@ -446,8 +573,12 @@ impl LrmState {
             part: req.part,
             work_total: req.work_mips_s as f64,
             done: 0.0,
-            checkpoint_interval: checkpoint_interval_mips_s,
+            checkpoint_interval: req.checkpoint_interval_mips_s,
             ram_mb: reservation.ram_mb,
+            state_bytes: req.state_bytes,
+            resume_version: req.resume_version,
+            replicas: req.replicas.clone(),
+            emitted_intervals: 0,
         });
         LaunchReply {
             accepted: true,
@@ -466,6 +597,7 @@ impl LrmState {
             return CancelPartReply {
                 found: false,
                 checkpointed_work_mips_s: 0,
+                checkpoint_version: 0,
                 done_work_mips_s: 0,
             };
         };
@@ -473,6 +605,7 @@ impl LrmState {
         CancelPartReply {
             found: true,
             checkpointed_work_mips_s: running.checkpointed() as u64,
+            checkpoint_version: running.checkpoint_version(),
             done_work_mips_s: running.done as u64,
         }
     }
@@ -521,6 +654,31 @@ impl LrmState {
         completed
     }
 
+    /// Checkpoints that became due since the last call: a part crossing one
+    /// or more interval boundaries emits one blob at its newest boundary
+    /// (intermediate versions would be superseded on arrival anyway).
+    pub fn due_checkpoints(&mut self) -> Vec<DueCheckpoint> {
+        let mut due = Vec::new();
+        for p in &mut self.running {
+            if p.checkpoint_interval <= 0.0 || p.replicas.is_empty() {
+                continue;
+            }
+            let intervals = (p.done / p.checkpoint_interval).floor() as u64;
+            if intervals > p.emitted_intervals {
+                p.emitted_intervals = intervals;
+                due.push(DueCheckpoint {
+                    job: p.job,
+                    part: p.part,
+                    version: p.resume_version + intervals,
+                    work_mips_s: p.checkpointed() as u64,
+                    state_bytes: p.state_bytes,
+                    replicas: p.replicas.clone(),
+                });
+            }
+        }
+        due
+    }
+
     /// Evicts every running part if the policy no longer allows export
     /// (the owner returned). Returns the eviction notices for the GRM.
     pub fn check_eviction(&mut self) -> Vec<PartEvicted> {
@@ -542,6 +700,7 @@ impl LrmState {
                     part: p.part,
                     node,
                     checkpointed_work_mips_s: checkpointed as u64,
+                    checkpoint_version: p.checkpoint_version(),
                     lost_work_mips_s: (p.done - checkpointed).max(0.0) as u64,
                 }
             })
@@ -559,10 +718,12 @@ impl LrmState {
     }
 }
 
-/// Remote-object wrapper exposing the LRM's negotiation operations.
+/// Remote-object wrapper exposing the LRM's negotiation operations and the
+/// checkpoint-repository storage service.
 ///
-/// Operations: [`OP_RESERVE`], [`OP_LAUNCH`] (argument tuple includes the
-/// checkpoint interval), [`OP_CANCEL`].
+/// Operations: [`OP_RESERVE`], [`OP_LAUNCH`], [`OP_CANCEL`],
+/// [`crate::protocol::OP_CANCEL_PART`], [`OP_STORE_CKPT`],
+/// [`OP_FETCH_CKPT`], [`OP_PURGE_CKPT`].
 #[derive(Debug, Clone)]
 pub struct LrmServant {
     state: Rc<RefCell<LrmState>>,
@@ -601,14 +762,41 @@ impl Servant for LrmServant {
                 Ok(reply)
             }
             OP_LAUNCH => {
-                let (req, ckpt_interval) = <(LaunchRequest, f64)>::decode(args)?;
+                let req = LaunchRequest::decode(args)?;
                 let mut state = self.state.borrow_mut();
                 if let Some(cached) = state.cached_reply(req.request_id) {
                     return Ok(cached);
                 }
-                let reply = state.handle_launch(&req, ckpt_interval, now).to_cdr_bytes();
+                let reply = state.handle_launch(&req, now).to_cdr_bytes();
                 state.cache_reply(req.request_id, reply.clone());
                 Ok(reply)
+            }
+            OP_STORE_CKPT => {
+                let req = StoreCheckpoint::decode(args)?;
+                let mut state = self.state.borrow_mut();
+                if let Some(cached) = state.cached_reply(req.request_id) {
+                    return Ok(cached);
+                }
+                let reply = state.handle_store(&req);
+                let bytes = reply.to_cdr_bytes();
+                // A corrupt nack is deliberately not cached: the corruption
+                // happened in flight, so a retransmission of the same frame
+                // should re-execute the store, not replay the refusal.
+                if !reply.corrupt {
+                    state.cache_reply(req.request_id, bytes.clone());
+                }
+                Ok(bytes)
+            }
+            OP_FETCH_CKPT => {
+                // Read-only and naturally idempotent: no reply caching, a
+                // retransmission re-reads the (possibly newer) disk state.
+                let req = FetchCheckpoint::decode(args)?;
+                Ok(self.state.borrow().handle_fetch(&req).to_cdr_bytes())
+            }
+            OP_PURGE_CKPT => {
+                let req = PurgeCheckpoint::decode(args)?;
+                let purged = self.state.borrow_mut().handle_purge(&req);
+                Ok(purged.to_cdr_bytes())
             }
             OP_CANCEL => {
                 let reservation = u64::decode(args)?;
@@ -656,23 +844,27 @@ mod tests {
         }
     }
 
+    fn launch_req(reservation: u64, work_mips_s: u64, ckpt_interval: f64) -> LaunchRequest {
+        LaunchRequest {
+            request_id: 0,
+            reservation,
+            job: JobId(1),
+            part: 0,
+            work_mips_s,
+            checkpoint_interval_mips_s: ckpt_interval,
+            state_bytes: 0,
+            resume_version: 0,
+            replicas: Vec::new(),
+        }
+    }
+
     #[test]
     fn idle_node_grants_and_launches() {
         let mut lrm = lrm();
         let now = SimTime::from_secs(10);
         let reply = lrm.handle_reserve(&reserve_req(), now);
         assert!(reply.granted, "{}", reply.reason);
-        let launch = lrm.handle_launch(
-            &LaunchRequest {
-                request_id: 0,
-                reservation: reply.reservation,
-                job: JobId(1),
-                part: 0,
-                work_mips_s: 1000,
-            },
-            0.0,
-            now,
-        );
+        let launch = lrm.handle_launch(&launch_req(reply.reservation, 1000, 0.0), now);
         assert!(launch.accepted);
         assert_eq!(lrm.running().len(), 1);
         assert!(lrm.reservations().is_empty(), "reservation consumed");
@@ -706,14 +898,7 @@ mod tests {
         assert!(reply.granted);
         // Lease is clamped to >= 60 s; far future expires it.
         let launch = lrm.handle_launch(
-            &LaunchRequest {
-                request_id: 0,
-                reservation: reply.reservation,
-                job: JobId(1),
-                part: 0,
-                work_mips_s: 10,
-            },
-            0.0,
+            &launch_req(reply.reservation, 10, 0.0),
             SimTime::from_secs(7200),
         );
         assert!(!launch.accepted);
@@ -724,17 +909,8 @@ mod tests {
     fn advance_progresses_and_completes() {
         let mut lrm = lrm();
         let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
-        lrm.handle_launch(
-            &LaunchRequest {
-                request_id: 0,
-                reservation: reply.reservation,
-                job: JobId(1),
-                part: 0,
-                work_mips_s: 1500, // 500 MIPS * 0.3 share = 150 MIPS → 10 s
-            },
-            0.0,
-            SimTime::ZERO,
-        );
+        // 500 MIPS * 0.3 share = 150 MIPS → 10 s
+        lrm.handle_launch(&launch_req(reply.reservation, 1500, 0.0), SimTime::ZERO);
         let done = lrm.advance(SimDuration::from_secs(5));
         assert!(done.is_empty());
         assert!(lrm.running()[0].done > 0.0);
@@ -751,17 +927,9 @@ mod tests {
             let mut req = reserve_req();
             req.part = part;
             let reply = lrm.handle_reserve(&req, SimTime::ZERO);
-            lrm.handle_launch(
-                &LaunchRequest {
-                    request_id: 0,
-                    reservation: reply.reservation,
-                    job: JobId(1),
-                    part,
-                    work_mips_s: 10_000,
-                },
-                0.0,
-                SimTime::ZERO,
-            );
+            let mut launch = launch_req(reply.reservation, 10_000, 0.0);
+            launch.part = part;
+            lrm.handle_launch(&launch, SimTime::ZERO);
         }
         lrm.advance(SimDuration::from_secs(10));
         // 500 MIPS * 0.3 / 2 parts * 10 s = 750 each.
@@ -774,22 +942,14 @@ mod tests {
     fn owner_return_evicts_with_checkpoint_accounting() {
         let mut lrm = lrm();
         let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
-        lrm.handle_launch(
-            &LaunchRequest {
-                request_id: 0,
-                reservation: reply.reservation,
-                job: JobId(1),
-                part: 0,
-                work_mips_s: 10_000,
-            },
-            300.0, // checkpoint every 300 MIPS-s
-            SimTime::ZERO,
-        );
+        // checkpoint every 300 MIPS-s
+        lrm.handle_launch(&launch_req(reply.reservation, 10_000, 300.0), SimTime::ZERO);
         lrm.advance(SimDuration::from_secs(10)); // 1500 MIPS-s done
         lrm.observe_owner(UsageSample::new(0.9, 0.4, 0.0, 0.0), Weekday::new(1), 600);
         let evicted = lrm.check_eviction();
         assert_eq!(evicted.len(), 1);
         assert_eq!(evicted[0].checkpointed_work_mips_s, 1500); // 5 × 300
+        assert_eq!(evicted[0].checkpoint_version, 5);
         assert_eq!(evicted[0].lost_work_mips_s, 0);
         assert!(lrm.running().is_empty());
     }
@@ -798,17 +958,7 @@ mod tests {
     fn eviction_without_checkpointing_loses_everything() {
         let mut lrm = lrm();
         let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
-        lrm.handle_launch(
-            &LaunchRequest {
-                request_id: 0,
-                reservation: reply.reservation,
-                job: JobId(1),
-                part: 0,
-                work_mips_s: 10_000,
-            },
-            0.0,
-            SimTime::ZERO,
-        );
+        lrm.handle_launch(&launch_req(reply.reservation, 10_000, 0.0), SimTime::ZERO);
         lrm.advance(SimDuration::from_secs(10));
         lrm.observe_owner(UsageSample::new(0.9, 0.4, 0.0, 0.0), Weekday::new(1), 600);
         let evicted = lrm.check_eviction();
@@ -820,17 +970,7 @@ mod tests {
     fn no_eviction_while_idle() {
         let mut lrm = lrm();
         let reply = lrm.handle_reserve(&reserve_req(), SimTime::ZERO);
-        lrm.handle_launch(
-            &LaunchRequest {
-                request_id: 0,
-                reservation: reply.reservation,
-                job: JobId(1),
-                part: 0,
-                work_mips_s: 100,
-            },
-            0.0,
-            SimTime::ZERO,
-        );
+        lrm.handle_launch(&launch_req(reply.reservation, 100, 0.0), SimTime::ZERO);
         assert!(lrm.check_eviction().is_empty());
         assert_eq!(lrm.running().len(), 1);
     }
@@ -885,17 +1025,7 @@ mod tests {
         let reply = ReserveReply::from_cdr_bytes(&out).unwrap();
         assert!(reply.granted);
 
-        let launch = (
-            LaunchRequest {
-                request_id: 0,
-                reservation: reply.reservation,
-                job: JobId(1),
-                part: 0,
-                work_mips_s: 42,
-            },
-            0.0f64,
-        )
-            .to_cdr_bytes();
+        let launch = launch_req(reply.reservation, 42, 0.0).to_cdr_bytes();
         let out = servant
             .dispatch(OP_LAUNCH, &mut CdrReader::new(&launch))
             .unwrap();

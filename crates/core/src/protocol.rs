@@ -34,6 +34,13 @@ pub const OP_CANCEL_PART: &str = "cancel_part";
 pub const OP_PART_DONE: &str = "part_done";
 /// Operation name: LRM → GRM a part was evicted (oneway).
 pub const OP_PART_EVICTED: &str = "part_evicted";
+/// Operation name: LRM → LRM (or GRM → LRM during re-replication) store a
+/// checkpoint replica.
+pub const OP_STORE_CKPT: &str = "store_checkpoint";
+/// Operation name: GRM → LRM fetch a held checkpoint replica.
+pub const OP_FETCH_CKPT: &str = "fetch_checkpoint";
+/// Operation name: GRM → LRM drop a part's replica after completion (oneway).
+pub const OP_PURGE_CKPT: &str = "purge_checkpoint";
 /// Object key under which every LRM servant registers.
 pub const LRM_OBJECT_KEY: &str = "integrade/lrm";
 /// Object key under which the GRM servant registers.
@@ -71,34 +78,40 @@ pub mod node_props {
     pub const RUNNING_PARTS: &str = "running_parts";
 }
 
-/// Progress of one running part, piggybacked on status updates so the GRM
-/// holds a checkpoint repository that survives node crashes (the design the
-/// InteGrade group later published as checkpointing-based rollback
-/// recovery; here it is what makes §3's "resume the application in case of
-/// crashes" work when the crashed disk is gone).
+/// One checkpoint replica held on the reporting node's disk, piggybacked on
+/// status updates. These re-announces are the *only* feed of the GRM's
+/// soft-state replica map (the design the InteGrade group later published
+/// as checkpointing-based rollback recovery; here it is what makes §3's
+/// "resume the application in case of crashes" work when the crashed disk
+/// is gone): after a GRM restart the map rebuilds itself from the next
+/// round of updates with no dedicated recovery protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CheckpointReport {
-    /// Job the part belongs to.
+pub struct ReplicaReport {
+    /// Job the replicated part belongs to.
     pub job: JobId,
     /// Part index.
     pub part: u32,
-    /// Work preserved by the part's last checkpoint, MIPS-s.
-    pub checkpointed_work_mips_s: u64,
+    /// Monotonic checkpoint version of the held replica.
+    pub version: u64,
+    /// Work preserved by the held replica, MIPS-s.
+    pub work_mips_s: u64,
 }
 
-impl CdrEncode for CheckpointReport {
+impl CdrEncode for ReplicaReport {
     fn encode(&self, w: &mut CdrWriter) {
         self.job.encode(w);
         self.part.encode(w);
-        self.checkpointed_work_mips_s.encode(w);
+        self.version.encode(w);
+        self.work_mips_s.encode(w);
     }
 }
-impl CdrDecode for CheckpointReport {
+impl CdrDecode for ReplicaReport {
     fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
-        Ok(CheckpointReport {
+        Ok(ReplicaReport {
             job: JobId::decode(r)?,
             part: u32::decode(r)?,
-            checkpointed_work_mips_s: u64::decode(r)?,
+            version: u64::decode(r)?,
+            work_mips_s: u64::decode(r)?,
         })
     }
 }
@@ -117,8 +130,9 @@ pub struct StatusUpdate {
     pub seq: u64,
     /// Current status.
     pub status: NodeStatus,
-    /// Checkpoint progress of this node's running parts.
-    pub checkpoints: Vec<CheckpointReport>,
+    /// Checkpoint replicas held on this node's disk (repository
+    /// re-announces).
+    pub replicas: Vec<ReplicaReport>,
     /// Completion outcomes not yet acknowledged by the GRM.
     pub pending_done: Vec<PartDone>,
     /// Eviction outcomes not yet acknowledged by the GRM.
@@ -130,7 +144,7 @@ impl CdrEncode for StatusUpdate {
         self.node.encode(w);
         self.seq.encode(w);
         self.status.encode(w);
-        self.checkpoints.encode(w);
+        self.replicas.encode(w);
         self.pending_done.encode(w);
         self.pending_evicted.encode(w);
     }
@@ -141,7 +155,7 @@ impl CdrDecode for StatusUpdate {
             node: NodeId::decode(r)?,
             seq: u64::decode(r)?,
             status: NodeStatus::decode(r)?,
-            checkpoints: Vec::decode(r)?,
+            replicas: Vec::decode(r)?,
             pending_done: Vec::decode(r)?,
             pending_evicted: Vec::decode(r)?,
         })
@@ -272,6 +286,19 @@ pub struct LaunchRequest {
     /// Work to execute, MIPS-seconds (remaining work when resuming from a
     /// checkpoint).
     pub work_mips_s: u64,
+    /// Checkpoint interval, MIPS-s of work between checkpoints (0 disables
+    /// checkpointing for this part).
+    pub checkpoint_interval_mips_s: f64,
+    /// Size of the part's marshalled execution state, bytes — the payload
+    /// each replicated checkpoint blob carries over the network.
+    pub state_bytes: u64,
+    /// Checkpoint version already banked by the GRM for this part; the
+    /// first checkpoint of this launch is `resume_version + 1`, keeping
+    /// versions monotonic across relaunches.
+    pub resume_version: u64,
+    /// Replica nodes (chosen by the GRM) the executing LRM must write each
+    /// checkpoint to.
+    pub replicas: Vec<NodeId>,
 }
 
 impl CdrEncode for LaunchRequest {
@@ -281,6 +308,10 @@ impl CdrEncode for LaunchRequest {
         self.job.encode(w);
         self.part.encode(w);
         self.work_mips_s.encode(w);
+        self.checkpoint_interval_mips_s.encode(w);
+        self.state_bytes.encode(w);
+        self.resume_version.encode(w);
+        self.replicas.encode(w);
     }
 }
 impl CdrDecode for LaunchRequest {
@@ -291,6 +322,10 @@ impl CdrDecode for LaunchRequest {
             job: JobId::decode(r)?,
             part: u32::decode(r)?,
             work_mips_s: u64::decode(r)?,
+            checkpoint_interval_mips_s: f64::decode(r)?,
+            state_bytes: u64::decode(r)?,
+            resume_version: u64::decode(r)?,
+            replicas: Vec::decode(r)?,
         })
     }
 }
@@ -354,6 +389,9 @@ pub struct CancelPartReply {
     pub found: bool,
     /// Work preserved by its last checkpoint, MIPS-s.
     pub checkpointed_work_mips_s: u64,
+    /// Version of that last checkpoint (`resume_version` when none was
+    /// taken this launch).
+    pub checkpoint_version: u64,
     /// Work executed in this launch, MIPS-s.
     pub done_work_mips_s: u64,
 }
@@ -362,6 +400,7 @@ impl CdrEncode for CancelPartReply {
     fn encode(&self, w: &mut CdrWriter) {
         self.found.encode(w);
         self.checkpointed_work_mips_s.encode(w);
+        self.checkpoint_version.encode(w);
         self.done_work_mips_s.encode(w);
     }
 }
@@ -370,6 +409,7 @@ impl CdrDecode for CancelPartReply {
         Ok(CancelPartReply {
             found: bool::decode(r)?,
             checkpointed_work_mips_s: u64::decode(r)?,
+            checkpoint_version: u64::decode(r)?,
             done_work_mips_s: u64::decode(r)?,
         })
     }
@@ -415,6 +455,11 @@ pub struct PartEvicted {
     /// Work completed and preserved by checkpointing, MIPS-s (0 when the
     /// job has no checkpointing — all work is lost).
     pub checkpointed_work_mips_s: u64,
+    /// Version of the checkpoint that preserved it (`resume_version` when
+    /// none was taken this launch). The GRM banks the work only when this
+    /// exceeds the part's already-banked version, so a replica from an old
+    /// launch can never be double-counted.
+    pub checkpoint_version: u64,
     /// Work lost (re-execution needed), MIPS-s.
     pub lost_work_mips_s: u64,
 }
@@ -425,6 +470,7 @@ impl CdrEncode for PartEvicted {
         self.part.encode(w);
         self.node.encode(w);
         self.checkpointed_work_mips_s.encode(w);
+        self.checkpoint_version.encode(w);
         self.lost_work_mips_s.encode(w);
     }
 }
@@ -435,7 +481,208 @@ impl CdrDecode for PartEvicted {
             part: u32::decode(r)?,
             node: NodeId::decode(r)?,
             checkpointed_work_mips_s: u64::decode(r)?,
+            checkpoint_version: u64::decode(r)?,
             lost_work_mips_s: u64::decode(r)?,
+        })
+    }
+}
+
+/// A part's checkpoint as it travels the wire: the real marshalled
+/// `GlobalCheckpoint` CDR bytes plus enough metadata to version and verify
+/// them without unmarshalling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointBlob {
+    /// Job the checkpoint belongs to.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+    /// Monotonic checkpoint version (superstep counter for BSP parts).
+    pub version: u64,
+    /// Work preserved by this checkpoint, MIPS-s.
+    pub work_mips_s: u64,
+    /// CRC32 over `payload`, computed by the writer before the bytes hit
+    /// the network. Verified on store and again on fetch.
+    pub digest: u32,
+    /// The marshalled `GlobalCheckpoint` bytes.
+    pub payload: Vec<u8>,
+}
+
+impl CheckpointBlob {
+    /// The placeholder blob carried by negative replies (`found == false`).
+    pub fn empty(job: JobId, part: u32) -> Self {
+        CheckpointBlob {
+            job,
+            part,
+            version: 0,
+            work_mips_s: 0,
+            digest: 0,
+            payload: Vec::new(),
+        }
+    }
+}
+
+impl CdrEncode for CheckpointBlob {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.job.encode(w);
+        self.part.encode(w);
+        self.version.encode(w);
+        self.work_mips_s.encode(w);
+        self.digest.encode(w);
+        // Length-prefixed raw bytes: same wire shape as Vec<u8>, without
+        // the per-byte encode loop (payloads are kilobytes, not words).
+        (self.payload.len() as u32).encode(w);
+        w.write_bytes(&self.payload);
+    }
+}
+impl CdrDecode for CheckpointBlob {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(CheckpointBlob {
+            job: JobId::decode(r)?,
+            part: u32::decode(r)?,
+            version: u64::decode(r)?,
+            work_mips_s: u64::decode(r)?,
+            digest: u32::decode(r)?,
+            payload: {
+                let len = u32::decode(r)? as usize;
+                r.read_bytes(len)?.to_vec()
+            },
+        })
+    }
+}
+
+/// Executing LRM → replica LRM (or GRM → LRM when re-replicating): write a
+/// checkpoint replica to the destination's disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreCheckpoint {
+    /// Sender-unique id for idempotent dedup (see [`ReserveRequest`]).
+    pub request_id: u64,
+    /// The node producing (or relaying) the checkpoint.
+    pub origin: NodeId,
+    /// The checkpoint itself.
+    pub blob: CheckpointBlob,
+}
+
+impl CdrEncode for StoreCheckpoint {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.request_id.encode(w);
+        self.origin.encode(w);
+        self.blob.encode(w);
+    }
+}
+impl CdrDecode for StoreCheckpoint {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(StoreCheckpoint {
+            request_id: u64::decode(r)?,
+            origin: NodeId::decode(r)?,
+            blob: CheckpointBlob::decode(r)?,
+        })
+    }
+}
+
+/// Replica LRM → writer: outcome of a [`StoreCheckpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreCheckpointReply {
+    /// The replica is now on disk.
+    pub accepted: bool,
+    /// The payload failed digest verification (corrupted in flight); the
+    /// writer should re-send under a fresh request id. This reply is never
+    /// cached, so a plain retransmission also re-executes the store.
+    pub corrupt: bool,
+    /// The version now held for the part (the incoming one when accepted,
+    /// the existing newer one when the incoming was stale).
+    pub held_version: u64,
+}
+
+impl CdrEncode for StoreCheckpointReply {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.accepted.encode(w);
+        self.corrupt.encode(w);
+        self.held_version.encode(w);
+    }
+}
+impl CdrDecode for StoreCheckpointReply {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(StoreCheckpointReply {
+            accepted: bool::decode(r)?,
+            corrupt: bool::decode(r)?,
+            held_version: u64::decode(r)?,
+        })
+    }
+}
+
+/// GRM → replica LRM: read back a held replica (recovery or re-replication).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FetchCheckpoint {
+    /// Sender-unique id (fetches are read-only, so replies are not cached;
+    /// the id exists for tracing symmetry).
+    pub request_id: u64,
+    /// Job the wanted checkpoint belongs to.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+}
+
+impl CdrEncode for FetchCheckpoint {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.request_id.encode(w);
+        self.job.encode(w);
+        self.part.encode(w);
+    }
+}
+impl CdrDecode for FetchCheckpoint {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(FetchCheckpoint {
+            request_id: u64::decode(r)?,
+            job: JobId::decode(r)?,
+            part: u32::decode(r)?,
+        })
+    }
+}
+
+/// Replica LRM → GRM: the held replica, if any.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FetchCheckpointReply {
+    /// Whether a replica for the part is held here.
+    pub found: bool,
+    /// The replica ([`CheckpointBlob::empty`] when not found).
+    pub blob: CheckpointBlob,
+}
+
+impl CdrEncode for FetchCheckpointReply {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.found.encode(w);
+        self.blob.encode(w);
+    }
+}
+impl CdrDecode for FetchCheckpointReply {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(FetchCheckpointReply {
+            found: bool::decode(r)?,
+            blob: CheckpointBlob::decode(r)?,
+        })
+    }
+}
+
+/// GRM → replica LRM: a part completed; drop its replica (oneway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PurgeCheckpoint {
+    /// Job whose part completed.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+}
+
+impl CdrEncode for PurgeCheckpoint {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.job.encode(w);
+        self.part.encode(w);
+    }
+}
+impl CdrDecode for PurgeCheckpoint {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(PurgeCheckpoint {
+            job: JobId::decode(r)?,
+            part: u32::decode(r)?,
         })
     }
 }
@@ -460,10 +707,11 @@ mod tests {
             node: NodeId(4),
             seq: 17,
             status: status(),
-            checkpoints: vec![CheckpointReport {
+            replicas: vec![ReplicaReport {
                 job: JobId(2),
                 part: 1,
-                checkpointed_work_mips_s: 300,
+                version: 6,
+                work_mips_s: 300,
             }],
             pending_done: vec![PartDone {
                 job: JobId(5),
@@ -475,6 +723,7 @@ mod tests {
                 part: 2,
                 node: NodeId(4),
                 checkpointed_work_mips_s: 40,
+                checkpoint_version: 2,
                 lost_work_mips_s: 10,
             }],
         };
@@ -512,6 +761,10 @@ mod tests {
             job: JobId(2),
             part: 3,
             work_mips_s: 1000,
+            checkpoint_interval_mips_s: 250.0,
+            state_bytes: 8192,
+            resume_version: 4,
+            replicas: vec![NodeId(1), NodeId(5)],
         };
         assert_eq!(
             LaunchRequest::from_cdr_bytes(&lr.to_cdr_bytes()).unwrap(),
@@ -537,6 +790,7 @@ mod tests {
         let cpp = CancelPartReply {
             found: true,
             checkpointed_work_mips_s: 450,
+            checkpoint_version: 9,
             done_work_mips_s: 510,
         };
         assert_eq!(
@@ -556,9 +810,65 @@ mod tests {
             part: 3,
             node: NodeId(4),
             checkpointed_work_mips_s: 500,
+            checkpoint_version: 7,
             lost_work_mips_s: 120,
         };
         assert_eq!(PartEvicted::from_cdr_bytes(&pe.to_cdr_bytes()).unwrap(), pe);
+
+        let sc = StoreCheckpoint {
+            request_id: 44,
+            origin: NodeId(4),
+            blob: CheckpointBlob {
+                job: JobId(2),
+                part: 3,
+                version: 8,
+                work_mips_s: 600,
+                digest: 0xDEAD_BEEF,
+                payload: vec![1, 2, 3, 4, 5],
+            },
+        };
+        assert_eq!(
+            StoreCheckpoint::from_cdr_bytes(&sc.to_cdr_bytes()).unwrap(),
+            sc
+        );
+
+        let sr = StoreCheckpointReply {
+            accepted: true,
+            corrupt: false,
+            held_version: 8,
+        };
+        assert_eq!(
+            StoreCheckpointReply::from_cdr_bytes(&sr.to_cdr_bytes()).unwrap(),
+            sr
+        );
+
+        let fc = FetchCheckpoint {
+            request_id: 45,
+            job: JobId(2),
+            part: 3,
+        };
+        assert_eq!(
+            FetchCheckpoint::from_cdr_bytes(&fc.to_cdr_bytes()).unwrap(),
+            fc
+        );
+
+        let fr = FetchCheckpointReply {
+            found: false,
+            blob: CheckpointBlob::empty(JobId(2), 3),
+        };
+        assert_eq!(
+            FetchCheckpointReply::from_cdr_bytes(&fr.to_cdr_bytes()).unwrap(),
+            fr
+        );
+
+        let pc = PurgeCheckpoint {
+            job: JobId(2),
+            part: 3,
+        };
+        assert_eq!(
+            PurgeCheckpoint::from_cdr_bytes(&pc.to_cdr_bytes()).unwrap(),
+            pc
+        );
     }
 
     #[test]
@@ -574,12 +884,36 @@ mod tests {
             node: NodeId(1),
             seq: 1,
             status: status(),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
         }
         .to_cdr_bytes();
         assert!(StatusUpdate::from_cdr_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn truncated_checkpoint_blobs_rejected() {
+        // The payload length prefix must not read past the frame.
+        let bytes = StoreCheckpoint {
+            request_id: 7,
+            origin: NodeId(2),
+            blob: CheckpointBlob {
+                job: JobId(1),
+                part: 0,
+                version: 1,
+                work_mips_s: 100,
+                digest: 42,
+                payload: vec![9; 64],
+            },
+        }
+        .to_cdr_bytes();
+        for cut in [1, 16, 63, 64] {
+            assert!(
+                StoreCheckpoint::from_cdr_bytes(&bytes[..bytes.len() - cut]).is_err(),
+                "decoded despite losing {cut} trailing bytes"
+            );
+        }
     }
 
     #[test]
@@ -599,6 +933,7 @@ mod tests {
         let bytes = CancelPartReply {
             found: true,
             checkpointed_work_mips_s: 450,
+            checkpoint_version: 9,
             done_work_mips_s: 510,
         }
         .to_cdr_bytes();
@@ -614,7 +949,7 @@ mod tests {
             node: NodeId(1),
             seq: 1,
             status: status(),
-            checkpoints: vec![],
+            replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
         }

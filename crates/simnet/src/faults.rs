@@ -68,6 +68,11 @@ pub enum FaultDecision {
     Deliver {
         /// Extra latency drawn from the jitter distribution.
         jitter: SimDuration,
+        /// When `Some(r)`, the payload is corrupted in flight: the embedding
+        /// world flips bit `r % (len * 8)` of the frame before delivery. The
+        /// raw draw (not a bit index) is carried because the fault layer
+        /// never sees message contents or lengths.
+        corrupt: Option<u64>,
     },
     /// Drop the message silently (random loss).
     Drop,
@@ -95,6 +100,7 @@ pub enum FaultDecision {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     drop_probability: f64,
+    corrupt_probability: f64,
     jitter_max: SimDuration,
     partitions: Vec<Partition>,
     outages: Vec<HostOutage>,
@@ -106,6 +112,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             drop_probability: 0.0,
+            corrupt_probability: 0.0,
             jitter_max: SimDuration::ZERO,
             partitions: Vec::new(),
             outages: Vec::new(),
@@ -122,6 +129,15 @@ impl FaultPlan {
     #[must_use]
     pub fn with_drop_probability(mut self, p: f64) -> Self {
         self.drop_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the independent per-message payload-corruption probability: a
+    /// delivered message has one of its bits flipped in flight, exercising
+    /// the end-to-end digest verification of the checkpoint repository.
+    #[must_use]
+    pub fn with_corrupt_probability(mut self, p: f64) -> Self {
+        self.corrupt_probability = p.clamp(0.0, 1.0);
         self
     }
 
@@ -150,6 +166,7 @@ impl FaultPlan {
     /// True if the plan can affect traffic at all.
     pub fn is_active(&self) -> bool {
         self.drop_probability > 0.0
+            || self.corrupt_probability > 0.0
             || self.jitter_max > SimDuration::ZERO
             || !self.partitions.is_empty()
     }
@@ -175,7 +192,13 @@ impl FaultPlan {
         } else {
             SimDuration::ZERO
         };
-        FaultDecision::Deliver { jitter }
+        let corrupt =
+            if self.corrupt_probability > 0.0 && self.rng.bernoulli(self.corrupt_probability) {
+                Some(self.rng.next_u64())
+            } else {
+                None
+            };
+        FaultDecision::Deliver { jitter, corrupt }
     }
 }
 
@@ -205,7 +228,8 @@ mod tests {
             assert_eq!(
                 plan.decide(SimTime::ZERO, a, b),
                 FaultDecision::Deliver {
-                    jitter: SimDuration::ZERO
+                    jitter: SimDuration::ZERO,
+                    corrupt: None,
                 }
             );
         }
@@ -274,7 +298,7 @@ mod tests {
         let mut saw_nonzero = false;
         for _ in 0..500 {
             match plan.decide(SimTime::ZERO, a, b) {
-                FaultDecision::Deliver { jitter } => {
+                FaultDecision::Deliver { jitter, .. } => {
                     assert!(jitter <= max);
                     saw_nonzero |= jitter > SimDuration::ZERO;
                 }
@@ -282,6 +306,38 @@ mod tests {
             }
         }
         assert!(saw_nonzero);
+    }
+
+    #[test]
+    fn corruption_hits_roughly_the_configured_fraction() {
+        let (a, b) = two_hosts();
+        let mut plan = FaultPlan::new(21).with_corrupt_probability(0.1);
+        assert!(plan.is_active());
+        let corrupted = (0..10_000)
+            .filter(|_| {
+                matches!(
+                    plan.decide(SimTime::ZERO, a, b),
+                    FaultDecision::Deliver {
+                        corrupt: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!((700..=1_300).contains(&corrupted), "corrupted {corrupted}");
+    }
+
+    #[test]
+    fn corruption_draws_are_reproducible() {
+        let (a, b) = two_hosts();
+        let mut p1 = FaultPlan::new(33).with_corrupt_probability(0.5);
+        let mut p2 = FaultPlan::new(33).with_corrupt_probability(0.5);
+        for _ in 0..500 {
+            assert_eq!(
+                p1.decide(SimTime::ZERO, a, b),
+                p2.decide(SimTime::ZERO, a, b)
+            );
+        }
     }
 
     #[test]

@@ -76,6 +76,19 @@ pub struct NetStats {
     pub failures: u64,
     /// Messages lost to injected faults (random loss or partitions).
     pub drops: u64,
+    /// Messages delivered with an injected payload corruption.
+    pub corrupted: u64,
+}
+
+/// A successfully scheduled delivery: when it lands and whether the fault
+/// layer corrupted it in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Delay until arrival; the caller schedules delivery at `now + delay`.
+    pub delay: SimDuration,
+    /// When `Some(r)`, the caller must flip bit `r % (len * 8)` of the frame
+    /// before delivering it (see [`FaultDecision::Deliver`]).
+    pub corrupt: Option<u64>,
 }
 
 /// The network model: topology + per-host egress serialisation + statistics.
@@ -154,6 +167,24 @@ impl Network {
         to: HostId,
         bytes: u64,
     ) -> Result<SimDuration, NetError> {
+        self.send_checked(now, from, to, bytes).map(|d| d.delay)
+    }
+
+    /// Like [`Network::send`], but also surfaces an injected in-flight
+    /// payload corruption so the caller can flip the drawn bit in the frame
+    /// it delivers. Callers that ignore corruption (abstract traffic whose
+    /// bytes never materialise) can keep using `send`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::send`].
+    pub fn send_checked(
+        &mut self,
+        now: SimTime,
+        from: HostId,
+        to: HostId,
+        bytes: u64,
+    ) -> Result<Delivery, NetError> {
         // Liveness before routing: `path_quality` also fails for a down
         // endpoint, which used to shadow the more precise `HostDown` error.
         // Guard on `name_of` so unknown ids still surface as routing errors
@@ -169,8 +200,8 @@ impl Network {
                 return Err(e.into());
             }
         };
-        let jitter = match self.faults.decide(now, from, to) {
-            FaultDecision::Deliver { jitter } => jitter,
+        let (jitter, corrupt) = match self.faults.decide(now, from, to) {
+            FaultDecision::Deliver { jitter, corrupt } => (jitter, corrupt),
             FaultDecision::Drop => {
                 self.stats.drops += 1;
                 return Err(NetError::Dropped { from, to });
@@ -183,8 +214,11 @@ impl Network {
         let delay = self.enqueue(now, from, bytes, quality) + jitter;
         self.stats.messages += 1;
         self.stats.bytes += bytes;
+        if corrupt.is_some() {
+            self.stats.corrupted += 1;
+        }
         *self.per_host_sent.entry(from).or_default() += 1;
-        Ok(delay)
+        Ok(Delivery { delay, corrupt })
     }
 
     fn enqueue(&mut self, now: SimTime, from: HostId, bytes: u64, q: PathQuality) -> SimDuration {
@@ -328,6 +362,27 @@ mod tests {
             saw_extra |= d > baseline;
         }
         assert!(saw_extra);
+    }
+
+    #[test]
+    fn send_checked_surfaces_corruption_and_counts_it() {
+        use crate::faults::FaultPlan;
+        let (mut net, a, b) = pair();
+        net.set_fault_plan(FaultPlan::new(9).with_corrupt_probability(1.0));
+        let delivery = net.send_checked(SimTime::ZERO, a, b, 100).unwrap();
+        assert!(delivery.corrupt.is_some());
+        assert_eq!(net.stats().corrupted, 1);
+        assert_eq!(net.stats().messages, 1, "corrupted frames still deliver");
+    }
+
+    #[test]
+    fn plain_send_never_corrupts_silently_visible_state() {
+        let (mut net, a, b) = pair();
+        let d1 = net.send(SimTime::ZERO, a, b, 100).unwrap();
+        let d2 = net.send_checked(SimTime::ZERO, b, a, 100).unwrap();
+        assert_eq!(d1, d2.delay);
+        assert_eq!(d2.corrupt, None);
+        assert_eq!(net.stats().corrupted, 0);
     }
 
     #[test]

@@ -129,17 +129,18 @@ fn trader_mediated_negotiation_over_the_bus() {
 
     let out = bus
         .invoke(&target, OP_LAUNCH, |w| {
-            (
-                LaunchRequest {
-                    request_id: 0,
-                    reservation: reserve.reservation,
-                    job: JobId(1),
-                    part: 0,
-                    work_mips_s: 5_000,
-                },
-                0.0f64,
-            )
-                .encode(w)
+            LaunchRequest {
+                request_id: 0,
+                reservation: reserve.reservation,
+                job: JobId(1),
+                part: 0,
+                work_mips_s: 5_000,
+                checkpoint_interval_mips_s: 0.0,
+                state_bytes: 0,
+                resume_version: 0,
+                replicas: vec![],
+            }
+            .encode(w)
         })
         .unwrap();
     let launch = LaunchReply::from_cdr_bytes(&out).unwrap();

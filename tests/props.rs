@@ -337,6 +337,109 @@ proptest! {
     }
 }
 
+// === Checkpoint repository invariants ===
+
+mod replica_store {
+    use integrade::core::repo::{crc32, ReplicaStore, StoredCheckpoint};
+    use integrade::core::types::JobId;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// One repository operation, generated with small id ranges so
+    /// sequences collide on the same (job, part) slots often.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// `valid` decides whether the digest matches the payload.
+        Store {
+            job: u64,
+            part: u32,
+            version: u64,
+            work: u64,
+            valid: bool,
+        },
+        Purge {
+            job: u64,
+            part: u32,
+        },
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        // Purges are rarer than stores: an 8-valued selector keeps roughly
+        // a 7:1 store:purge mix without weighted-oneof syntax.
+        (
+            0u64..3,
+            0u32..3,
+            0u64..20,
+            0u64..10_000,
+            any::<bool>(),
+            0u8..8,
+        )
+            .prop_map(|(job, part, version, work, valid, pick)| {
+                if pick == 0 {
+                    Op::Purge { job, part }
+                } else {
+                    Op::Store {
+                        job,
+                        part,
+                        version,
+                        work,
+                        valid,
+                    }
+                }
+            })
+    }
+
+    proptest! {
+        /// GC never deletes the newest *acked* checkpoint of a live part:
+        /// after any operation sequence, every non-purged part still holds
+        /// exactly its highest accepted version, with an intact digest —
+        /// regardless of stale re-deliveries, corrupt writes, or the GC of
+        /// superseded versions along the way.
+        #[test]
+        fn gc_never_drops_the_newest_acked_checkpoint(ops in prop::collection::vec(op(), 1..60)) {
+            let mut store = ReplicaStore::new();
+            // The model: highest version each live (job, part) slot acked.
+            let mut acked: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+            for op in ops {
+                match op {
+                    Op::Store { job, part, version, work, valid } => {
+                        let payload = format!("ckpt {job}/{part} v{version}").into_bytes();
+                        let digest = if valid { crc32(&payload) } else { crc32(&payload) ^ 1 };
+                        let outcome = store.store(JobId(job), part, StoredCheckpoint {
+                            version,
+                            work_mips_s: work,
+                            digest,
+                            payload,
+                        });
+                        let newest = acked.get(&(job, part)).copied();
+                        let accepted = valid && newest.is_none_or(|held| version > held);
+                        prop_assert_eq!(
+                            matches!(outcome, integrade::core::repo::StoreOutcome::Accepted { .. }),
+                            accepted,
+                            "store {}/{} v{} valid={} against held {:?}",
+                            job, part, version, valid, newest
+                        );
+                        if accepted {
+                            acked.insert((job, part), version);
+                        }
+                    }
+                    Op::Purge { job, part } => {
+                        store.purge(JobId(job), part);
+                        acked.remove(&(job, part));
+                    }
+                }
+            }
+            for (&(job, part), &version) in &acked {
+                let held = store.get(JobId(job), part);
+                prop_assert!(held.is_some(), "live part {}/{} lost its checkpoint", job, part);
+                let held = held.unwrap();
+                prop_assert_eq!(held.version, version, "part {}/{}", job, part);
+                prop_assert_eq!(crc32(&held.payload), held.digest, "part {}/{}", job, part);
+            }
+        }
+    }
+}
+
 // === Whole-grid determinism (few cases: each runs a full simulation) ===
 
 mod grid_determinism {
