@@ -47,7 +47,7 @@ fn bench_giop(c: &mut Criterion) {
         response_expected: false,
         object_key: ObjectKey::new("integrade/grm"),
         operation: "update_status".into(),
-        body: update.to_cdr_bytes(),
+        body: update.to_cdr_bytes().into(),
     };
     c.bench_function("giop_frame_encode", |b| {
         b.iter(|| black_box(&msg).to_wire())

@@ -25,8 +25,8 @@ pub fn f1() -> Table {
     let mut grid = idle_grid(8, SimDuration::from_secs(30), false);
     let job = grid.submit(JobSpec::sequential("f1-probe", 1500));
     grid.run_until(SimTime::from_secs(900));
-    let record = grid.job_record(job).expect("probe job");
     let report = grid.report();
+    let record = grid.job_record(job).expect("probe job");
 
     let mut table = Table::new(
         "F1: Figure-1 architecture instantiated (8 providers + cluster manager)",

@@ -89,7 +89,7 @@ pub fn e10() -> Table {
             response_expected: true,
             object_key: ObjectKey::new("integrade/lrm"),
             operation: operation.to_owned(),
-            body: body.clone(),
+            body: body.clone().into(),
         };
         let wire = msg.wire_size();
         table.push_row(vec![

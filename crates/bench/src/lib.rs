@@ -22,6 +22,7 @@ pub mod exp_info;
 pub mod exp_qos;
 pub mod exp_repo;
 pub mod exp_scale;
+pub mod exp_scale14;
 pub mod exp_sched;
 pub mod exp_trader;
 pub mod exp_usage;
@@ -84,6 +85,16 @@ pub fn experiments() -> Vec<ExperimentEntry> {
             "e13",
             "replicated checkpoint repository: wasted work vs k",
             exp_repo::e13,
+        ),
+        (
+            "e14",
+            "simulator hot-loop scaling to 50k nodes",
+            exp_scale14::e14,
+        ),
+        (
+            "e14smoke",
+            "5k-node throughput smoke vs committed floor",
+            exp_scale14::e14smoke,
         ),
     ]
 }

@@ -230,8 +230,11 @@ impl Federation {
     }
 
     /// Total completed jobs across members.
-    pub fn total_completed(&self) -> usize {
-        self.members.values().map(|g| g.report().completed()).sum()
+    pub fn total_completed(&mut self) -> usize {
+        self.members
+            .values_mut()
+            .map(|g| g.report().completed())
+            .sum()
     }
 }
 

@@ -18,7 +18,7 @@ use crate::asct::{JobKind, JobRecord, JobSpec, JobState};
 use crate::grm::{GrmState, NodeRegistration, UpdateStats};
 use crate::gupa::GupaState;
 use crate::lrm::{DueCheckpoint, LrmConfig, LrmServant, LrmState};
-use crate::ncc::SharingPolicy;
+use crate::ncc::{SharingPolicy, WeeklySchedule};
 use crate::protocol::{
     CancelPartReply, CancelPartRequest, CheckpointBlob, FetchCheckpoint, FetchCheckpointReply,
     LaunchReply, LaunchRequest, PartDone, PartEvicted, PurgeCheckpoint, ReserveReply,
@@ -46,6 +46,23 @@ use integrade_usage::sample::{DayPeriod, SamplingConfig, UsageSample, Weekday};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
+
+/// How `slot_tick` walks the node population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickMode {
+    /// Per-slot work runs only for nodes in the *active set* — nodes
+    /// running grid parts, holding reservations or checkpoint replicas, or
+    /// with outcome notices awaiting acknowledgement. Idle nodes' owner
+    /// sampling, QoS accounting and LUPA accumulation are replayed lazily
+    /// (bulk-advanced) the moment their state is next needed, and the
+    /// information-update timers of disengaged always-idle nodes are parked
+    /// until a frame next reaches them. Observable behaviour — messages,
+    /// event logs, reports — is bit-for-bit identical to [`Self::Reference`].
+    ActiveSet,
+    /// The original O(all nodes)-per-tick loop, kept as the oracle the
+    /// active-set path is checked against (see `tests/tick_parity.rs`).
+    Reference,
+}
 
 /// Global grid configuration.
 #[derive(Debug, Clone)]
@@ -100,6 +117,9 @@ pub struct GridConfig {
     /// bytes — the payload each replicated checkpoint carries. BSP parts use
     /// their spec's `state_bytes` instead.
     pub checkpoint_state_bytes: u64,
+    /// How the per-slot node loop is driven (active-set skipping of idle
+    /// nodes, or the exhaustive reference walk).
+    pub tick_mode: TickMode,
 }
 
 impl Default for GridConfig {
@@ -123,6 +143,7 @@ impl Default for GridConfig {
             max_retransmits: 4,
             replication_factor: 2,
             checkpoint_state_bytes: 4096,
+            tick_mode: TickMode::ActiveSet,
         }
     }
 }
@@ -467,9 +488,34 @@ struct GridWorld {
     /// Dedicated stream for retry/backoff jitter so retransmission noise
     /// never perturbs the scheduler's ranking stream.
     retry_rng: DetRng,
-    qos: QosLedger,
+    /// One QoS ledger per node, merged node-major on [`GridWorld::report`].
+    /// Per-node ledgers let the active-set path bulk-replay an idle node's
+    /// accounting without disturbing other nodes' record order.
+    qos: Vec<QosLedger>,
     log: TraceLog,
     slots_elapsed: u64,
+    /// Nodes with per-slot work to do: running parts, held reservations,
+    /// unacknowledged outcome notices, or stored checkpoint replicas.
+    /// Maintained as a superset of the truly engaged set; membership is
+    /// refreshed after every state transition (wire dispatch, slot
+    /// processing, crash/restore).
+    active: BTreeSet<usize>,
+    /// Highest slot-tick index (1-based, matching `slots_elapsed`) whose
+    /// bookkeeping has been applied to each node. Nodes outside the active
+    /// set lag behind and are caught up in bulk by `catch_up_node`.
+    ticks_applied: Vec<u64>,
+    /// Per-node flag: the information-update timer is parked (no UpdateTick
+    /// event in the queue). Only ever set in [`TickMode::ActiveSet`], only
+    /// for statically idle disengaged nodes whose updates are suppressed;
+    /// cleared (and the timer resumed) when a frame next reaches the node.
+    update_parked: Vec<bool>,
+    /// Precomputed per node: the node has no owner trace and an
+    /// always-available sharing schedule, so its status can only change
+    /// through message delivery — the precondition for parking its timer.
+    static_status: Vec<bool>,
+    /// Scratch buffers recycled between encode→frame→transmit cycles so the
+    /// steady-state messaging path allocates nothing.
+    buffer_pool: Vec<Vec<u8>>,
     /// Parts with a re-replication relay in flight (one at a time per part).
     rerepl_inflight: BTreeSet<(JobId, u32)>,
     /// Simulator-side record of each crashed executor's in-launch progress,
@@ -527,6 +573,7 @@ impl Grid {
         let mut lrm_iors = Vec::new();
         let mut node_hosts = Vec::new();
         let mut traces = Vec::new();
+        let mut static_status = Vec::new();
         let mut node_index = 0u32;
 
         for (cluster_index, nodes) in clusters.into_iter().enumerate() {
@@ -537,6 +584,9 @@ impl Grid {
                 let node = NodeId(node_index);
                 let host = topo.add_host(&format!("c{cluster_index}n{node_index}"), Some(tag));
                 topo.connect(host, sw, intra);
+                static_status.push(
+                    setup.trace.is_empty() && setup.policy.schedule == WeeklySchedule::always(),
+                );
                 let lrm = Rc::new(RefCell::new(LrmState::new(
                     node,
                     setup.resources,
@@ -598,13 +648,22 @@ impl Grid {
             host_to_node,
             next_job: 1,
             next_rpc: 0,
-            qos: QosLedger::new(),
+            qos: Vec::new(),
             log: TraceLog::new(),
             slots_elapsed: 0,
+            active: BTreeSet::new(),
+            ticks_applied: Vec::new(),
+            update_parked: Vec::new(),
+            static_status,
+            buffer_pool: Vec::new(),
             rerepl_inflight: BTreeSet::new(),
             crash_progress: BTreeMap::new(),
             config,
         };
+        let n_nodes = world.lrms.len();
+        world.qos = vec![QosLedger::new(); n_nodes];
+        world.ticks_applied = vec![0; n_nodes];
+        world.update_parked = vec![false; n_nodes];
         world.warmup_gupa();
 
         let mut queue = EventQueue::new();
@@ -743,6 +802,25 @@ impl Grid {
         outcome
     }
 
+    /// Like [`Grid::run_until`], but also returns the number of events
+    /// fired — benchmark harnesses derive events/second from it.
+    pub fn run_until_counting(&mut self, horizon: SimTime) -> (RunOutcome, u64) {
+        run_until(&mut self.world, &mut self.queue, horizon, u64::MAX)
+    }
+
+    /// Event-queue instrumentation: peak far-future heap depth, tombstone
+    /// compactions, timer-wheel vs heap scheduling counts.
+    pub fn queue_stats(&self) -> integrade_simnet::event::QueueStats {
+        self.queue.stats()
+    }
+
+    /// Turns off event-log recording. Benchmark harnesses call this so
+    /// trace formatting and allocation never pollute throughput numbers;
+    /// tests leave it on.
+    pub fn disable_trace(&mut self) {
+        self.world.log = TraceLog::disabled();
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
@@ -787,14 +865,23 @@ impl Grid {
         self.world.grm.borrow().cluster_summary()
     }
 
-    /// The final report.
-    pub fn report(&self) -> GridReport {
+    /// The final report. Flushes any lazily deferred per-node bookkeeping
+    /// first so active-set and reference runs report identically.
+    pub fn report(&mut self) -> GridReport {
+        let target = self.world.slots_elapsed;
+        for node in 0..self.world.lrms.len() {
+            self.world.catch_up_node(node, target);
+        }
+        let mut qos = QosLedger::new();
+        for ledger in &self.world.qos {
+            qos.merge(ledger);
+        }
         GridReport {
             records: self.world.jobs.values().map(|j| j.record.clone()).collect(),
             net: self.world.net.stats(),
             updates: self.world.grm.borrow().update_stats(),
             trader_queries: self.world.grm.borrow().trader_queries(),
-            qos: self.world.qos.clone(),
+            qos,
             gupa_models: (0..self.world.lrms.len())
                 .filter(|&i| self.world.gupa.has_model(NodeId(i as u32)))
                 .count(),
@@ -820,6 +907,67 @@ impl GridWorld {
         }
         let slot = (now.as_micros() / SimDuration::from_mins(5).as_micros()) as usize;
         trace[slot % trace.len()]
+    }
+
+    /// Replays the deferred slot-tick bookkeeping of one node up to tick
+    /// count `target` (the `slots_elapsed` value whose ticks should all be
+    /// applied).
+    ///
+    /// A node outside the active set has no running parts, reservations,
+    /// unacknowledged outcomes or stored replicas, so its reference
+    /// per-slot body collapses to owner-trace sampling, LUPA accumulation
+    /// and owner-QoS accounting — deterministic functions of the trace and
+    /// the tick index that send no messages, write no logs and draw no
+    /// randomness. Replaying them here in bulk is therefore bit-for-bit
+    /// identical to having run them eagerly every tick.
+    fn catch_up_node(&mut self, node: usize, target: u64) {
+        let applied = self.ticks_applied[node];
+        if applied >= target {
+            return;
+        }
+        let tick_micros = self.config.tick.as_micros();
+        let cap = self.lrms[node].borrow().policy.max_cpu_fraction;
+        for k in applied..target {
+            // The (k+1)-th tick fired at k * tick.
+            let then = SimTime::from_micros(tick_micros * k);
+            let owner = self.trace_sample(node, then);
+            let (_, weekday, minute) = self.wall(then);
+            let periods = {
+                let mut lrm = self.lrms[node].borrow_mut();
+                lrm.observe_owner(owner, weekday, minute);
+                lrm.take_lupa_periods()
+            };
+            self.qos[node].record(owner.cpu, 0.0, 0.0, cap, SharingDiscipline::Yielding);
+            if !periods.is_empty() {
+                self.gupa.upload(NodeId(node as u32), periods);
+            }
+        }
+        self.ticks_applied[node] = target;
+    }
+
+    /// Re-derives a node's active-set membership from its LRM engagement.
+    /// Called after anything that can change engagement: wire dispatch,
+    /// slot processing, crash.
+    fn refresh_activity(&mut self, node: usize) {
+        if self.lrms[node].borrow().is_engaged() {
+            self.active.insert(node);
+        } else {
+            self.active.remove(&node);
+        }
+    }
+
+    /// The first instant strictly after `now` on a node's information-update
+    /// grid (offset + k * period) — where a parked update timer resumes.
+    fn next_update_instant(&self, node: usize, now: SimTime) -> SimTime {
+        let period = self.config.lrm.update_period.as_micros();
+        let n = self.lrms.len() as u64;
+        let offset = period * node as u64 / n.max(1);
+        let now_us = now.as_micros();
+        if now_us < offset {
+            return SimTime::from_micros(offset);
+        }
+        let k = (now_us - offset) / period + 1;
+        SimTime::from_micros(offset + k * period)
     }
 
     /// Replays warmup days of each node's trace into the GUPA so
@@ -912,20 +1060,40 @@ impl GridWorld {
     }
 
     /// Seals a frame under the cluster key when authentication is enabled.
-    fn protect(&self, frame: Vec<u8>) -> Vec<u8> {
+    /// Takes a recycled scratch buffer (always empty) for an encode→frame→
+    /// transmit cycle, or a fresh one when the pool is dry.
+    fn pooled_buf(&mut self) -> Vec<u8> {
+        self.buffer_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a spent wire buffer to the scratch pool. Bounded so a burst
+    /// of in-flight frames cannot pin memory forever.
+    fn reclaim_buf(&mut self, mut buf: Vec<u8>) {
+        if self.buffer_pool.len() < 256 {
+            buf.clear();
+            self.buffer_pool.push(buf);
+        }
+    }
+
+    fn protect(&mut self, frame: Vec<u8>) -> Vec<u8> {
         match self.config.cluster_key {
-            Some(key) => integrade_orb::security::seal(key, &frame),
+            Some(key) => {
+                let sealed = integrade_orb::security::seal(key, &frame);
+                self.reclaim_buf(frame);
+                sealed
+            }
             None => frame,
         }
     }
 
     /// Verifies and strips the security envelope; `None` means the frame
-    /// must be dropped (and has been logged).
-    fn unprotect(&mut self, now: SimTime, bytes: &[u8]) -> Option<Vec<u8>> {
+    /// must be dropped (and has been logged). Borrows from the wire bytes
+    /// in every success case — authentication no longer copies the frame.
+    fn unprotect<'a>(&mut self, now: SimTime, bytes: &'a [u8]) -> Option<&'a [u8]> {
         match self.config.cluster_key {
-            None => Some(bytes.to_vec()),
+            None => Some(bytes),
             Some(key) => match integrade_orb::security::open(key, bytes) {
-                Ok(frame) => Some(frame.to_vec()),
+                Ok(frame) => Some(frame),
                 Err(e) => {
                     self.log.record(now, "auth.reject", e.to_string());
                     None
@@ -985,12 +1153,18 @@ impl GridWorld {
             self.log
                 .record(now, "grm.crash", format!("next epoch {epoch}"));
         } else if let Some(&node) = self.host_to_node.get(&host) {
-            let mut lrm = self.lrms[node].borrow_mut();
-            for part in lrm.running() {
-                self.crash_progress
-                    .insert((part.job, part.part), part.done as u64);
+            {
+                let mut lrm = self.lrms[node].borrow_mut();
+                for part in lrm.running() {
+                    self.crash_progress
+                        .insert((part.job, part.part), part.done as u64);
+                }
+                lrm.crash();
             }
-            lrm.crash();
+            // Volatile engagement (running parts, reservations, unacked
+            // outcomes) died with the node; only surviving replicas keep it
+            // in the active set.
+            self.refresh_activity(node);
             self.log
                 .record(now, "node.crash", format!("{}", NodeId(node as u32)));
         }
@@ -1126,10 +1300,11 @@ impl GridWorld {
         extra_bytes: u64,
         queue: &mut EventQueue<GridEvent>,
     ) {
-        let target = self.lrm_iors[node.0 as usize].clone();
+        let mut out = self.pooled_buf();
+        let target = &self.lrm_iors[node.0 as usize];
         let orb = self.orbs.get_mut(&from).expect("issuing orb");
-        let (request_id, bytes) = orb.make_request(&target, operation, body);
-        let bytes = self.protect(bytes);
+        let request_id = orb.make_request_into(target, operation, body, &mut out);
+        let bytes = self.protect(out);
         let to = self.node_hosts[node.0 as usize];
         self.pending.insert(
             (from, request_id),
@@ -1259,10 +1434,11 @@ impl GridWorld {
         queue: &mut EventQueue<GridEvent>,
     ) {
         let from = self.node_hosts[node];
-        let target = self.grm_ior.clone();
+        let mut out = self.pooled_buf();
+        let target = &self.grm_ior;
         let orb = self.orbs.get_mut(&from).expect("lrm orb");
-        let (_, bytes) = orb.make_oneway(&target, operation, body);
-        let bytes = self.protect(bytes);
+        orb.make_oneway_into(target, operation, body, &mut out);
+        let bytes = self.protect(out);
         let grm_host = self.grm_host;
         self.transmit(now, from, grm_host, bytes, 0, queue);
     }
@@ -1278,11 +1454,12 @@ impl GridWorld {
         body: impl FnOnce(&mut integrade_orb::cdr::CdrWriter),
         queue: &mut EventQueue<GridEvent>,
     ) {
-        let target = self.lrm_iors[node.0 as usize].clone();
+        let mut out = self.pooled_buf();
+        let target = &self.lrm_iors[node.0 as usize];
         let grm_host = self.grm_host;
         let orb = self.orbs.get_mut(&grm_host).expect("grm orb");
-        let (_, bytes) = orb.make_oneway(&target, operation, body);
-        let bytes = self.protect(bytes);
+        orb.make_oneway_into(target, operation, body, &mut out);
+        let bytes = self.protect(out);
         let to = self.node_hosts[node.0 as usize];
         self.transmit(now, grm_host, to, bytes, 0, queue);
     }
@@ -1298,8 +1475,22 @@ impl GridWorld {
         *self.clock.borrow_mut() = now;
         if !self.net.topology().is_up(to) {
             // The destination crashed while the frame was in flight.
-            self.log.record(now, "drops", format!("host {} down", to.0));
+            self.log
+                .record_with(now, "drops", || format!("host {} down", to.0));
             return;
+        }
+        let node_at_dest = self.host_to_node.get(&to).copied();
+        if let Some(node) = node_at_dest {
+            // A delivered frame is the only way a lazily ticked node's
+            // engagement can change: apply its deferred bookkeeping and
+            // resume a parked update timer first, so the servant sees
+            // exactly the state the eager reference walk would have built.
+            self.catch_up_node(node, self.slots_elapsed);
+            if self.update_parked[node] {
+                self.update_parked[node] = false;
+                let at = self.next_update_instant(node, now);
+                queue.schedule_at(at, GridEvent::UpdateTick { node });
+            }
         }
         let Some(frame) = self.unprotect(now, &bytes) else {
             return;
@@ -1307,7 +1498,7 @@ impl GridWorld {
         let Some(orb) = self.orbs.get_mut(&to) else {
             return;
         };
-        match orb.handle_wire(&frame) {
+        match orb.handle_wire(frame) {
             Ok(Incoming::ReplyToSend(reply)) => {
                 let reply = self.protect(reply);
                 self.transmit(now, to, from, reply, 0, queue);
@@ -1321,28 +1512,35 @@ impl GridWorld {
             }
         }
         // Surface any dedup hits and repository counters the LRM servant
-        // just recorded as trace events.
-        if let Some(&node) = self.host_to_node.get(&to) {
+        // just recorded as trace events, and re-derive the node's
+        // active-set membership from whatever the dispatch changed.
+        if let Some(node) = node_at_dest {
             let mut lrm = self.lrms[node].borrow_mut();
             let hits = lrm.take_dedup_hits();
             let corrupt = lrm.take_corrupt_detected();
             let gc = lrm.take_repo_gc();
             drop(lrm);
             for _ in 0..hits {
-                self.log.record(now, "dedup_hits", format!("node {node}"));
+                self.log
+                    .record_indexed(now, "dedup_hits", "node ", node as u64);
             }
             for _ in 0..corrupt {
                 self.log
-                    .record(now, "corrupt_detected", format!("node {node}"));
+                    .record_indexed(now, "corrupt_detected", "node ", node as u64);
             }
             for _ in 0..gc {
-                self.log.record(now, "repo.gc", format!("node {node}"));
+                self.log
+                    .record_indexed(now, "repo.gc", "node ", node as u64);
             }
+            self.refresh_activity(node);
         }
         // The GRM servant may have queued notifications; drain them.
         if to == self.grm_host {
             self.drain_grm_notifications(now, queue);
         }
+        // The frame's backing buffer has served its purpose; recycle it for
+        // a future encode instead of freeing it.
+        self.reclaim_buf(bytes);
     }
 
     fn drain_grm_notifications(&mut self, now: SimTime, queue: &mut EventQueue<GridEvent>) {
@@ -2211,9 +2409,15 @@ impl GridWorld {
     }
 
     /// GUPA predictions for every node, used by the pattern-aware ranking.
-    fn predictions_for_scheduling(&self, now: SimTime) -> BTreeMap<NodeId, f64> {
+    fn predictions_for_scheduling(&mut self, now: SimTime) -> BTreeMap<NodeId, f64> {
         if self.config.strategy != Strategy::PatternAware {
             return BTreeMap::new();
+        }
+        // Predictions read each LRM's partial-day window and the GUPA's
+        // uploaded periods — state the active-set path defers for idle
+        // nodes — so flush everyone before ranking.
+        for node in 0..self.lrms.len() {
+            self.catch_up_node(node, self.slots_elapsed);
         }
         let (_, weekday, minute) = self.wall(now);
         let slots_per_day = SamplingConfig::default().slots_per_day();
@@ -2587,80 +2791,108 @@ impl GridWorld {
         let (_, weekday, minute) = self.wall(now);
         self.slots_elapsed += 1;
         let tick = self.config.tick;
-        for i in 0..self.lrms.len() {
-            let owner = self.trace_sample(i, now);
-            let (completed, dues, evictions, expired, grid_running, grid_share, cap) = {
-                let mut lrm = self.lrms[i].borrow_mut();
-                // Credit the elapsed tick under the owner state that held
-                // during it *before* observing the new sample; otherwise a
-                // returning owner would retroactively erase the idle
-                // interval's progress.
-                let completed = lrm.advance(tick);
-                let dues = lrm.due_checkpoints();
-                lrm.observe_owner(owner, weekday, minute);
-                let expired = lrm.expire_reservations(now);
-                let evictions = lrm.check_eviction();
-                (
-                    completed,
-                    dues,
-                    evictions,
-                    expired,
-                    !lrm.running().is_empty(),
-                    lrm.grid_share(),
-                    lrm.policy.max_cpu_fraction,
-                )
-            };
-            for _ in 0..expired {
-                self.log.record(now, "lease.expired", format!("node {i}"));
+        match self.config.tick_mode {
+            TickMode::Reference => {
+                for i in 0..self.lrms.len() {
+                    self.tick_node(now, weekday, minute, i, queue);
+                }
             }
-            // Owner QoS accounting (InteGrade's user-level scheduler always
-            // yields, so usage == the capped share).
-            let grid_demand = if grid_running { 1.0 } else { 0.0 };
-            let grid_usage = if grid_running { grid_share } else { 0.0 };
-            self.qos.record(
-                owner.cpu,
-                grid_demand,
-                grid_usage,
-                cap,
-                SharingDiscipline::Yielding,
-            );
-            // Outcomes go out as best-effort oneways, but are also stashed
-            // until the GRM acknowledges an update that piggybacked them —
-            // at-least-once delivery even when the oneway is lost or the
-            // GRM crashes with the notice in flight.
-            for done in completed {
-                let msg = PartDone {
-                    job: done.job,
-                    part: done.part,
-                    node: NodeId(i as u32),
-                };
-                self.lrms[i].borrow_mut().stash_done(msg.clone());
-                self.send_to_grm(now, i, OP_PART_DONE, move |w| msg.encode(w), queue);
-            }
-            for evicted in evictions {
-                self.lrms[i].borrow_mut().stash_evicted(evicted.clone());
-                self.send_to_grm(
-                    now,
-                    i,
-                    OP_PART_EVICTED,
-                    move |w| evicted.clone().encode(w),
-                    queue,
-                );
-            }
-            // Interval boundary crossed: write the checkpoint's real bytes
-            // to every replica the launch designated.
-            for due in dues {
-                self.store_checkpoint(now, NodeId(i as u32), due, queue);
-            }
-            // LUPA uploads (completed day periods go to the GUPA).
-            let periods = self.lrms[i].borrow_mut().take_lupa_periods();
-            if !periods.is_empty() {
-                self.gupa.upload(NodeId(i as u32), periods);
+            TickMode::ActiveSet => {
+                // Only engaged nodes can complete work, hit checkpoint
+                // boundaries, expire leases or evict parts; every other
+                // node's slot work is deferred to `catch_up_node`.
+                // Ascending index order is the reference walk restricted to
+                // the nodes that can act, so message and log order match.
+                let members: Vec<usize> = self.active.iter().copied().collect();
+                let behind = self.slots_elapsed - 1;
+                for i in members {
+                    self.catch_up_node(i, behind);
+                    self.tick_node(now, weekday, minute, i, queue);
+                }
             }
         }
         self.detect_crashed_nodes(now, queue);
         self.rereplicate(now, queue);
         queue.schedule_after(tick, GridEvent::SlotTick);
+    }
+
+    /// One node's share of a slot tick — the per-node body both tick modes
+    /// share. Callers must have applied all earlier ticks to the node.
+    fn tick_node(
+        &mut self,
+        now: SimTime,
+        weekday: Weekday,
+        minute: u32,
+        i: usize,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let tick = self.config.tick;
+        let owner = self.trace_sample(i, now);
+        let (completed, dues, evictions, expired, grid_running, grid_share, cap) = {
+            let mut lrm = self.lrms[i].borrow_mut();
+            // Credit the elapsed tick under the owner state that held
+            // during it *before* observing the new sample; otherwise a
+            // returning owner would retroactively erase the idle
+            // interval's progress.
+            let completed = lrm.advance(tick);
+            let dues = lrm.due_checkpoints();
+            lrm.observe_owner(owner, weekday, minute);
+            let expired = lrm.expire_reservations(now);
+            let evictions = lrm.check_eviction();
+            (
+                completed,
+                dues,
+                evictions,
+                expired,
+                !lrm.running().is_empty(),
+                lrm.grid_share(),
+                lrm.policy.max_cpu_fraction,
+            )
+        };
+        for _ in 0..expired {
+            self.log
+                .record_indexed(now, "lease.expired", "node ", i as u64);
+        }
+        // Owner QoS accounting (InteGrade's user-level scheduler always
+        // yields, so usage == the capped share).
+        let grid_demand = if grid_running { 1.0 } else { 0.0 };
+        let grid_usage = if grid_running { grid_share } else { 0.0 };
+        self.qos[i].record(
+            owner.cpu,
+            grid_demand,
+            grid_usage,
+            cap,
+            SharingDiscipline::Yielding,
+        );
+        // Outcomes go out as best-effort oneways, but are also stashed
+        // until the GRM acknowledges an update that piggybacked them —
+        // at-least-once delivery even when the oneway is lost or the
+        // GRM crashes with the notice in flight.
+        for done in completed {
+            let msg = PartDone {
+                job: done.job,
+                part: done.part,
+                node: NodeId(i as u32),
+            };
+            self.lrms[i].borrow_mut().stash_done(msg);
+            self.send_to_grm(now, i, OP_PART_DONE, move |w| msg.encode(w), queue);
+        }
+        for evicted in evictions {
+            self.lrms[i].borrow_mut().stash_evicted(evicted);
+            self.send_to_grm(now, i, OP_PART_EVICTED, move |w| evicted.encode(w), queue);
+        }
+        // Interval boundary crossed: write the checkpoint's real bytes
+        // to every replica the launch designated.
+        for due in dues {
+            self.store_checkpoint(now, NodeId(i as u32), due, queue);
+        }
+        // LUPA uploads (completed day periods go to the GUPA).
+        let periods = self.lrms[i].borrow_mut().take_lupa_periods();
+        if !periods.is_empty() {
+            self.gupa.upload(NodeId(i as u32), periods);
+        }
+        self.ticks_applied[i] = self.slots_elapsed;
+        self.refresh_activity(i);
     }
 
     /// Serializes and ships one due checkpoint from its executing node to
@@ -2685,7 +2917,7 @@ impl GridWorld {
             version: due.version,
             work_mips_s: due.work_mips_s,
             digest: crc32(&payload),
-            payload,
+            payload: payload.into(),
         };
         let from = self.node_hosts[origin.0 as usize];
         for replica in due.replicas {
@@ -2834,11 +3066,15 @@ impl GridWorld {
 
     fn update_tick(&mut self, now: SimTime, node: usize, queue: &mut EventQueue<GridEvent>) {
         *self.clock.borrow_mut() = now;
+        // The reported status derives from the owner observations the
+        // active-set path defers — replay them before asking for an update.
+        self.catch_up_node(node, self.slots_elapsed);
         let config = self.config.lrm;
         let (update, replicas) = {
             let mut lrm = self.lrms[node].borrow_mut();
             (lrm.next_update(&config), lrm.replica_reports())
         };
+        let sent = update.is_some();
         if let Some((seq, status)) = update {
             // The update travels as a request so the GRM's ack (carrying
             // its epoch) can retire piggybacked outcomes and reveal
@@ -2854,11 +3090,12 @@ impl GridWorld {
                 pending_evicted,
             };
             let from = self.node_hosts[node];
-            let target = self.grm_ior.clone();
+            let mut out = self.pooled_buf();
+            let target = &self.grm_ior;
             let orb = self.orbs.get_mut(&from).expect("lrm orb");
-            let (request_id, bytes) =
-                orb.make_request(&target, OP_UPDATE_STATUS, move |w| msg.encode(w));
-            let bytes = self.protect(bytes);
+            let request_id =
+                orb.make_request_into(target, OP_UPDATE_STATUS, move |w| msg.encode(w), &mut out);
+            let bytes = self.protect(out);
             self.pending.insert(
                 (from, request_id),
                 PendingEntry {
@@ -2876,14 +3113,29 @@ impl GridWorld {
                     GridEvent::RequestTimeout { from, request_id },
                 );
             } else {
-                self.log.record(now, "drops", format!("update from {node}"));
+                self.log
+                    .record_indexed(now, "drops", "update from ", node as u64);
                 queue.schedule_after(
                     SimDuration::from_micros(1),
                     GridEvent::RequestTimeout { from, request_id },
                 );
             }
         }
-        queue.schedule_after(config.update_period, GridEvent::UpdateTick { node });
+        if self.config.tick_mode == TickMode::ActiveSet
+            && !sent
+            && self.static_status[node]
+            && !self.lrms[node].borrow().is_engaged()
+        {
+            // Traceless node on an always-available schedule, nothing
+            // running, reserved or stored, and the update was just
+            // suppressed: until a frame next reaches this node every future
+            // timer firing would suppress too. Park the timer instead of
+            // rescheduling it; `handle_wire` resumes it at the next grid
+            // point when a delivery could change the node's status.
+            self.update_parked[node] = true;
+        } else {
+            queue.schedule_after(config.update_period, GridEvent::UpdateTick { node });
+        }
     }
 }
 

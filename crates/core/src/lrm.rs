@@ -445,7 +445,7 @@ impl LrmState {
             .iter_mut()
             .map(|(d, sent)| {
                 *sent = seq;
-                d.clone()
+                *d
             })
             .collect();
         let evicted = self
@@ -453,7 +453,7 @@ impl LrmState {
             .iter_mut()
             .map(|(e, sent)| {
                 *sent = seq;
-                e.clone()
+                *e
             })
             .collect();
         (done, evicted)
@@ -705,6 +705,18 @@ impl LrmState {
                 }
             })
             .collect()
+    }
+
+    /// True when the node has grid state needing per-slot attention:
+    /// running parts, live reservation leases, outcome notices awaiting a
+    /// GRM acknowledgement, or checkpoint replicas held for other nodes.
+    /// Nodes for which this is `false` can skip the per-slot work entirely
+    /// (active-set ticking) without observable effect.
+    pub fn is_engaged(&self) -> bool {
+        !self.running.is_empty()
+            || !self.reservations.is_empty()
+            || self.unacked_outcomes() > 0
+            || !self.repo.is_empty()
     }
 
     /// Currently running parts.

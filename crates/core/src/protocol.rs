@@ -19,6 +19,12 @@ use crate::types::{JobId, NodeId, NodeStatus};
 use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
 use serde::{Deserialize, Serialize};
 
+/// Reference-counted immutable byte payload. Checkpoint blobs carry one so
+/// that fanning a checkpoint out to `k` replicas (and stashing it in the
+/// per-node repository) shares a single allocation instead of deep-cloning
+/// kilobytes per copy.
+pub type SharedBytes = std::rc::Rc<[u8]>;
+
 /// Operation name: LRM → GRM periodic status (oneway).
 pub const OP_UPDATE_STATUS: &str = "update_status";
 /// Operation name: GRM → LRM reservation negotiation.
@@ -416,7 +422,7 @@ impl CdrDecode for CancelPartReply {
 }
 
 /// LRM → GRM: a part finished (oneway notification).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PartDone {
     /// Job the part belongs to.
     pub job: JobId,
@@ -444,7 +450,7 @@ impl CdrDecode for PartDone {
 }
 
 /// LRM → GRM: a part was evicted by the returning owner (oneway).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PartEvicted {
     /// Job the part belongs to.
     pub job: JobId,
@@ -503,8 +509,9 @@ pub struct CheckpointBlob {
     /// CRC32 over `payload`, computed by the writer before the bytes hit
     /// the network. Verified on store and again on fetch.
     pub digest: u32,
-    /// The marshalled `GlobalCheckpoint` bytes.
-    pub payload: Vec<u8>,
+    /// The marshalled `GlobalCheckpoint` bytes, shared between the replica
+    /// fan-out copies (cloning a blob bumps a refcount, not kilobytes).
+    pub payload: SharedBytes,
 }
 
 impl CheckpointBlob {
@@ -516,7 +523,7 @@ impl CheckpointBlob {
             version: 0,
             work_mips_s: 0,
             digest: 0,
-            payload: Vec::new(),
+            payload: SharedBytes::from(&[][..]),
         }
     }
 }
@@ -544,7 +551,7 @@ impl CdrDecode for CheckpointBlob {
             digest: u32::decode(r)?,
             payload: {
                 let len = u32::decode(r)? as usize;
-                r.read_bytes(len)?.to_vec()
+                SharedBytes::from(r.read_bytes(len)?)
             },
         })
     }
@@ -824,7 +831,7 @@ mod tests {
                 version: 8,
                 work_mips_s: 600,
                 digest: 0xDEAD_BEEF,
-                payload: vec![1, 2, 3, 4, 5],
+                payload: vec![1, 2, 3, 4, 5].into(),
             },
         };
         assert_eq!(
@@ -904,7 +911,7 @@ mod tests {
                 version: 1,
                 work_mips_s: 100,
                 digest: 42,
-                payload: vec![9; 64],
+                payload: vec![9; 64].into(),
             },
         }
         .to_cdr_bytes();

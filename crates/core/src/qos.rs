@@ -128,6 +128,15 @@ impl QosLedger {
     pub fn samples(&self) -> usize {
         self.slowdowns.len()
     }
+
+    /// Folds another ledger into this one: slowdown samples are appended in
+    /// the other ledger's order and counters add.
+    pub fn merge(&mut self, other: &QosLedger) {
+        self.slowdowns.extend_from_slice(&other.slowdowns);
+        self.grid_active_slots += other.grid_active_slots;
+        self.owner_active_slots += other.owner_active_slots;
+        self.cap_violations += other.cap_violations;
+    }
 }
 
 #[cfg(test)]
@@ -214,5 +223,26 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn bad_quantile_panics() {
         QosLedger::new().quantile_slowdown(1.5);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let slots = [
+            (0.9, 0.6, 0.6, 1.0),
+            (0.0, 0.3, 0.3, 0.3),
+            (0.5, 0.5, 0.5, 0.3),
+        ];
+        let mut whole = QosLedger::new();
+        let mut first = QosLedger::new();
+        let mut second = QosLedger::new();
+        for (i, (owner, grid, usage, cap)) in slots.iter().enumerate() {
+            whole.record(*owner, *grid, *usage, *cap, SharingDiscipline::Proportional);
+            let half = if i < 2 { &mut first } else { &mut second };
+            half.record(*owner, *grid, *usage, *cap, SharingDiscipline::Proportional);
+        }
+        let mut merged = QosLedger::new();
+        merged.merge(&first);
+        merged.merge(&second);
+        assert_eq!(merged, whole);
     }
 }

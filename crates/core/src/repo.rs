@@ -22,6 +22,7 @@
 //! rejected and re-sent) and by the GRM on fetch during recovery (a bit
 //! rotted at rest makes recovery fall back to the next replica).
 
+use crate::protocol::SharedBytes;
 use crate::types::{JobId, NodeId};
 use std::collections::BTreeMap;
 
@@ -77,8 +78,9 @@ pub struct StoredCheckpoint {
     pub work_mips_s: u64,
     /// CRC32 over `payload`, computed by the writer.
     pub digest: u32,
-    /// The marshalled `GlobalCheckpoint` CDR bytes.
-    pub payload: Vec<u8>,
+    /// The marshalled `GlobalCheckpoint` CDR bytes, shared with the wire
+    /// blob they arrived in (no per-store deep copy).
+    pub payload: SharedBytes,
 }
 
 /// What [`ReplicaStore::store`] did with an incoming blob.
@@ -246,7 +248,7 @@ mod tests {
             version,
             work_mips_s: work,
             digest: crc32(payload),
-            payload: payload.to_vec(),
+            payload: SharedBytes::from(payload),
         }
     }
 
@@ -299,7 +301,9 @@ mod tests {
         let job = JobId(7);
         store.store(job, 2, blob(5, 50, b"good"));
         let mut bad = blob(9, 90, b"tampered");
-        bad.payload[0] ^= 0x40;
+        let mut bytes = bad.payload.to_vec();
+        bytes[0] ^= 0x40;
+        bad.payload = bytes.into();
         assert_eq!(store.store(job, 2, bad), StoreOutcome::Corrupt);
         assert_eq!(store.get(job, 2).unwrap().version, 5);
     }

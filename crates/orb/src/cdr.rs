@@ -88,6 +88,8 @@ const MAX_SEQ_LEN: u64 = 16 * 1024 * 1024;
 #[derive(Debug, Default)]
 pub struct CdrWriter {
     buf: Vec<u8>,
+    /// Offset the CDR value starts at; alignment is relative to it.
+    base: usize,
 }
 
 impl CdrWriter {
@@ -100,12 +102,23 @@ impl CdrWriter {
     pub fn with_capacity(cap: usize) -> Self {
         CdrWriter {
             buf: Vec::with_capacity(cap),
+            base: 0,
         }
     }
 
-    /// Pads with zero bytes so the next write lands on a multiple of `align`.
+    /// Creates a writer that appends a CDR value to an existing buffer,
+    /// re-using its allocation. Alignment is relative to the current end of
+    /// `buf`, so the encoding is identical to a standalone one — this is
+    /// how frames are built in place without a copy.
+    pub fn append_to(buf: Vec<u8>) -> Self {
+        let base = buf.len();
+        CdrWriter { buf, base }
+    }
+
+    /// Pads with zero bytes so the next write lands on a multiple of `align`
+    /// (relative to the start of the value being encoded).
     pub fn align(&mut self, align: usize) {
-        let rem = self.buf.len() % align;
+        let rem = (self.buf.len() - self.base) % align;
         if rem != 0 {
             self.buf.resize(self.buf.len() + (align - rem), 0);
         }
@@ -139,17 +152,19 @@ impl CdrWriter {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
-    /// Current encoded length in bytes.
+    /// Current encoded length in bytes (excluding any pre-existing prefix
+    /// the writer was appended to).
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.base
     }
 
     /// True when nothing has been written.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
-    /// Consumes the writer and returns the encoded buffer.
+    /// Consumes the writer and returns the encoded buffer (including any
+    /// prefix it was appended to).
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
@@ -529,6 +544,19 @@ mod tests {
         let mut r = CdrReader::new(&bytes);
         assert_eq!(u8::decode(&mut r).unwrap(), 1);
         assert_eq!(u32::decode(&mut r).unwrap(), 2);
+    }
+
+    #[test]
+    fn append_to_aligns_relative_to_value_start() {
+        // Appending to a misaligned prefix must produce the same encoding
+        // as a standalone writer, byte for byte.
+        let mut w = CdrWriter::append_to(vec![0xAA; 3]);
+        1u8.encode(&mut w);
+        2u32.encode(&mut w);
+        assert_eq!(w.len(), 8);
+        let bytes = w.into_bytes();
+        assert_eq!(&bytes[..3], &[0xAA; 3]);
+        assert_eq!(&bytes[3..], &[1, 0, 0, 0, 0, 0, 0, 2]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::cdr::{CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
 use crate::ior::ObjectKey;
+use std::borrow::Cow;
 use std::fmt;
 
 /// Magic bytes opening every message.
@@ -50,8 +51,13 @@ impl ReplyStatus {
 }
 
 /// A framed protocol message.
+///
+/// The body is a [`Cow`]: decoding with [`Message::from_wire`] borrows it
+/// straight out of the wire buffer (zero-copy), while constructed messages
+/// own their bytes. Call [`Message::into_owned`] to detach a decoded
+/// message from its buffer when it must be stored.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Message {
+pub enum Message<'a> {
     /// An invocation sent to a servant.
     Request {
         /// Correlates the eventual reply.
@@ -63,7 +69,7 @@ pub enum Message {
         /// Operation name.
         operation: String,
         /// CDR-encoded arguments.
-        body: Vec<u8>,
+        body: Cow<'a, [u8]>,
     },
     /// The response to a request.
     Reply {
@@ -72,7 +78,7 @@ pub enum Message {
         /// Outcome category.
         status: ReplyStatus,
         /// CDR-encoded result or exception detail.
-        body: Vec<u8>,
+        body: Cow<'a, [u8]>,
     },
 }
 
@@ -131,56 +137,127 @@ impl From<CdrError> for FrameError {
     }
 }
 
-impl Message {
-    /// Encodes the message with its 12-byte GIOP-style header.
-    pub fn to_wire(&self) -> Vec<u8> {
-        let mut body = CdrWriter::with_capacity(64);
-        let msg_type = match self {
+/// Opens a frame in `out`: 12-byte GIOP-style header with a zeroed size
+/// field, returning the offset of the header for backpatching.
+fn begin_frame(out: &mut Vec<u8>, msg_type: u8) -> usize {
+    let header = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION.0);
+    out.push(VERSION.1);
+    out.push(0); // flags: big-endian
+    out.push(msg_type);
+    out.extend_from_slice(&[0u8; 4]); // size, backpatched by end_frame
+    header
+}
+
+/// Backpatches the size field of a frame opened at `header`.
+fn end_frame(out: &mut [u8], header: usize) {
+    let size = (out.len() - header - 12) as u32;
+    out[header + 8..header + 12].copy_from_slice(&size.to_be_bytes());
+}
+
+/// Appends a request frame to `out` from borrowed parts, in one pass and
+/// without constructing a [`Message`] — the allocation-free send path.
+pub fn write_request_frame(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    response_expected: bool,
+    object_key: &ObjectKey,
+    operation: &str,
+    args: &[u8],
+) {
+    let header = begin_frame(out, MSG_REQUEST);
+    let mut w = CdrWriter::append_to(std::mem::take(out));
+    request_id.encode(&mut w);
+    response_expected.encode(&mut w);
+    object_key.encode(&mut w);
+    operation.encode(&mut w);
+    (args.len() as u32).encode(&mut w);
+    w.write_bytes(args);
+    *out = w.into_bytes();
+    end_frame(out, header);
+}
+
+/// Appends a reply frame to `out` from borrowed parts, in one pass.
+pub fn write_reply_frame(out: &mut Vec<u8>, request_id: u64, status: ReplyStatus, payload: &[u8]) {
+    let header = begin_frame(out, MSG_REPLY);
+    let mut w = CdrWriter::append_to(std::mem::take(out));
+    request_id.encode(&mut w);
+    status.to_u32().encode(&mut w);
+    (payload.len() as u32).encode(&mut w);
+    w.write_bytes(payload);
+    *out = w.into_bytes();
+    end_frame(out, header);
+}
+
+impl<'a> Message<'a> {
+    /// Appends the framed encoding of this message to `out` (single pass,
+    /// size backpatched — no intermediate body buffer).
+    pub fn write_wire(&self, out: &mut Vec<u8>) {
+        match self {
             Message::Request {
                 request_id,
                 response_expected,
                 object_key,
                 operation,
                 body: args,
-            } => {
-                request_id.encode(&mut body);
-                response_expected.encode(&mut body);
-                object_key.encode(&mut body);
-                operation.as_str().encode(&mut body);
-                (args.len() as u32).encode(&mut body);
-                body.write_bytes(args);
-                MSG_REQUEST
-            }
+            } => write_request_frame(
+                out,
+                *request_id,
+                *response_expected,
+                object_key,
+                operation,
+                args,
+            ),
             Message::Reply {
                 request_id,
                 status,
                 body: payload,
-            } => {
-                request_id.encode(&mut body);
-                status.to_u32().encode(&mut body);
-                (payload.len() as u32).encode(&mut body);
-                body.write_bytes(payload);
-                MSG_REPLY
-            }
-        };
-        let body = body.into_bytes();
-        let mut out = Vec::with_capacity(12 + body.len());
-        out.extend_from_slice(&MAGIC);
-        out.push(VERSION.0);
-        out.push(VERSION.1);
-        out.push(0); // flags: big-endian
-        out.push(msg_type);
-        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        out.extend_from_slice(&body);
+            } => write_reply_frame(out, *request_id, *status, payload),
+        }
+    }
+
+    /// Encodes the message with its 12-byte GIOP-style header.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(76);
+        self.write_wire(&mut out);
         out
     }
 
-    /// Decodes a framed message.
+    /// Detaches the message from the buffer it was decoded from.
+    pub fn into_owned(self) -> Message<'static> {
+        match self {
+            Message::Request {
+                request_id,
+                response_expected,
+                object_key,
+                operation,
+                body,
+            } => Message::Request {
+                request_id,
+                response_expected,
+                object_key,
+                operation,
+                body: Cow::Owned(body.into_owned()),
+            },
+            Message::Reply {
+                request_id,
+                status,
+                body,
+            } => Message::Reply {
+                request_id,
+                status,
+                body: Cow::Owned(body.into_owned()),
+            },
+        }
+    }
+
+    /// Decodes a framed message, borrowing the body out of `bytes`.
     ///
     /// # Errors
     ///
     /// Returns a [`FrameError`] describing the first malformation.
-    pub fn from_wire(bytes: &[u8]) -> Result<Message, FrameError> {
+    pub fn from_wire(bytes: &'a [u8]) -> Result<Message<'a>, FrameError> {
         if bytes.len() < 12 {
             return Err(FrameError::Cdr(CdrError::UnexpectedEof {
                 needed: 12 - bytes.len(),
@@ -211,26 +288,26 @@ impl Message {
                 let object_key = ObjectKey::decode(&mut r)?;
                 let operation = String::decode(&mut r)?;
                 let arg_len = u32::decode(&mut r)? as usize;
-                let args = r.read_bytes(arg_len)?.to_vec();
+                let args = r.read_bytes(arg_len)?;
                 r.finish()?;
                 Ok(Message::Request {
                     request_id,
                     response_expected,
                     object_key,
                     operation,
-                    body: args,
+                    body: Cow::Borrowed(args),
                 })
             }
             MSG_REPLY => {
                 let request_id = u64::decode(&mut r)?;
                 let status = ReplyStatus::from_u32(u32::decode(&mut r)?)?;
                 let len = u32::decode(&mut r)? as usize;
-                let payload = r.read_bytes(len)?.to_vec();
+                let payload = r.read_bytes(len)?;
                 r.finish()?;
                 Ok(Message::Reply {
                     request_id,
                     status,
-                    body: payload,
+                    body: Cow::Borrowed(payload),
                 })
             }
             t => Err(FrameError::BadMessageType(t)),
@@ -247,13 +324,13 @@ impl Message {
 mod tests {
     use super::*;
 
-    fn sample_request() -> Message {
+    fn sample_request() -> Message<'static> {
         Message::Request {
             request_id: 42,
             response_expected: true,
             object_key: ObjectKey::new("grm"),
             operation: "update_status".into(),
-            body: vec![1, 2, 3, 4],
+            body: vec![1, 2, 3, 4].into(),
         }
     }
 
@@ -273,7 +350,7 @@ mod tests {
             let m = Message::Reply {
                 request_id: 7,
                 status,
-                body: vec![9; 17],
+                body: vec![9; 17].into(),
             };
             assert_eq!(Message::from_wire(&m.to_wire()).unwrap(), m);
         }
@@ -286,7 +363,7 @@ mod tests {
             response_expected: false,
             object_key: ObjectKey::new("k"),
             operation: "ping".into(),
-            body: vec![],
+            body: vec![].into(),
         };
         assert_eq!(Message::from_wire(&m.to_wire()).unwrap(), m);
     }
@@ -352,5 +429,48 @@ mod tests {
     fn wire_size_matches_encoding() {
         let m = sample_request();
         assert_eq!(m.wire_size(), m.to_wire().len());
+    }
+
+    #[test]
+    fn decode_borrows_body_from_wire_buffer() {
+        let wire = sample_request().to_wire();
+        let Message::Request { body, .. } = Message::from_wire(&wire).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(body, Cow::Borrowed(_)), "decode must not copy");
+        assert_eq!(&*body, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn write_wire_appends_and_matches_to_wire() {
+        let m = sample_request();
+        let mut out = vec![0xEE; 5]; // pre-existing prefix is left intact
+        m.write_wire(&mut out);
+        assert_eq!(&out[..5], &[0xEE; 5]);
+        assert_eq!(&out[5..], &m.to_wire()[..]);
+        assert_eq!(Message::from_wire(&out[5..]).unwrap(), m);
+    }
+
+    #[test]
+    fn borrowed_parts_framer_matches_message_encoding() {
+        let m = sample_request();
+        let mut direct = Vec::new();
+        write_request_frame(
+            &mut direct,
+            42,
+            true,
+            &ObjectKey::new("grm"),
+            "update_status",
+            &[1, 2, 3, 4],
+        );
+        assert_eq!(direct, m.to_wire());
+        let mut reply = Vec::new();
+        write_reply_frame(&mut reply, 7, ReplyStatus::NoException, &[9; 17]);
+        let expected = Message::Reply {
+            request_id: 7,
+            status: ReplyStatus::NoException,
+            body: vec![9; 17].into(),
+        };
+        assert_eq!(reply, expected.to_wire());
     }
 }

@@ -9,7 +9,7 @@
 //! grid simulation — so the same middleware code runs in both settings.
 
 use crate::cdr::CdrWriter;
-use crate::giop::{FrameError, Message, ReplyStatus};
+use crate::giop::{write_request_frame, FrameError, Message, ReplyStatus};
 use crate::ior::{Endpoint, Ior, ObjectKey};
 use crate::servant::{Poa, Servant};
 use std::fmt;
@@ -84,7 +84,7 @@ pub fn decode_reply(bytes: &[u8]) -> Result<(u64, Result<Vec<u8>, RemoteError>),
             body,
         } => {
             let result = match status {
-                ReplyStatus::NoException => Ok(body),
+                ReplyStatus::NoException => Ok(body.into_owned()),
                 ReplyStatus::UserException => Err(RemoteError::User(
                     String::from_utf8_lossy(&body).into_owned(),
                 )),
@@ -137,6 +137,10 @@ pub struct Orb {
     poa: Poa,
     next_request_id: u64,
     requests_sent: u64,
+    /// Reusable argument-encoding buffer: CDR alignment is relative to the
+    /// argument block's own start, so args are staged here and appended to
+    /// the frame as raw bytes.
+    scratch: Vec<u8>,
 }
 
 impl Orb {
@@ -146,6 +150,7 @@ impl Orb {
             poa: Poa::new(endpoint),
             next_request_id: 1,
             requests_sent: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -181,7 +186,9 @@ impl Orb {
         operation: &str,
         encode_args: impl FnOnce(&mut CdrWriter),
     ) -> (u64, Vec<u8>) {
-        self.make_request_inner(target, operation, true, encode_args)
+        let mut out = Vec::new();
+        let id = self.make_request_into(target, operation, encode_args, &mut out);
+        (id, out)
     }
 
     /// Builds a framed *oneway* request (no reply will be produced).
@@ -191,7 +198,32 @@ impl Orb {
         operation: &str,
         encode_args: impl FnOnce(&mut CdrWriter),
     ) -> (u64, Vec<u8>) {
-        self.make_request_inner(target, operation, false, encode_args)
+        let mut out = Vec::new();
+        let id = self.make_oneway_into(target, operation, encode_args, &mut out);
+        (id, out)
+    }
+
+    /// Like [`Orb::make_request`], but appends the wire bytes to a
+    /// caller-supplied (typically pooled) buffer instead of allocating one.
+    pub fn make_request_into(
+        &mut self,
+        target: &Ior,
+        operation: &str,
+        encode_args: impl FnOnce(&mut CdrWriter),
+        out: &mut Vec<u8>,
+    ) -> u64 {
+        self.make_request_inner(target, operation, true, encode_args, out)
+    }
+
+    /// Like [`Orb::make_oneway`], but appends into a caller-supplied buffer.
+    pub fn make_oneway_into(
+        &mut self,
+        target: &Ior,
+        operation: &str,
+        encode_args: impl FnOnce(&mut CdrWriter),
+        out: &mut Vec<u8>,
+    ) -> u64 {
+        self.make_request_inner(target, operation, false, encode_args, out)
     }
 
     fn make_request_inner(
@@ -200,20 +232,24 @@ impl Orb {
         operation: &str,
         response_expected: bool,
         encode_args: impl FnOnce(&mut CdrWriter),
-    ) -> (u64, Vec<u8>) {
+        out: &mut Vec<u8>,
+    ) -> u64 {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
         self.requests_sent += 1;
-        let mut w = CdrWriter::new();
+        self.scratch.clear();
+        let mut w = CdrWriter::append_to(std::mem::take(&mut self.scratch));
         encode_args(&mut w);
-        let msg = Message::Request {
+        self.scratch = w.into_bytes();
+        write_request_frame(
+            out,
             request_id,
             response_expected,
-            object_key: target.object_key.clone(),
-            operation: operation.to_owned(),
-            body: w.into_bytes(),
-        };
-        (request_id, msg.to_wire())
+            &target.object_key,
+            operation,
+            &self.scratch,
+        );
+        request_id
     }
 
     /// Handles incoming wire bytes: dispatches requests to local servants
@@ -234,7 +270,7 @@ impl Orb {
                 body,
             } => {
                 let result = match status {
-                    ReplyStatus::NoException => Ok(body),
+                    ReplyStatus::NoException => Ok(body.into_owned()),
                     ReplyStatus::UserException => Err(RemoteError::User(
                         String::from_utf8_lossy(&body).into_owned(),
                     )),

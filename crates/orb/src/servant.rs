@@ -175,7 +175,7 @@ impl Poa {
     /// Non-request messages yield a system-exception reply when a response
     /// is expected, mirroring ORB behaviour of never letting a client hang
     /// on a malformed interaction.
-    pub fn handle_request(&mut self, message: &Message) -> Option<Message> {
+    pub fn handle_request(&mut self, message: &Message<'_>) -> Option<Message<'static>> {
         let Message::Request {
             request_id,
             response_expected,
@@ -203,17 +203,17 @@ impl Poa {
             Ok(result) => Message::Reply {
                 request_id: *request_id,
                 status: ReplyStatus::NoException,
-                body: result,
+                body: result.into(),
             },
             Err(ServerException::User(detail)) => Message::Reply {
                 request_id: *request_id,
                 status: ReplyStatus::UserException,
-                body: detail.into_bytes(),
+                body: detail.into_bytes().into(),
             },
             Err(e) => Message::Reply {
                 request_id: *request_id,
                 status: ReplyStatus::SystemException,
-                body: e.to_string().into_bytes(),
+                body: e.to_string().into_bytes().into(),
             },
         })
     }
@@ -249,13 +249,13 @@ mod tests {
         }
     }
 
-    fn request(key: &str, op: &str, body: Vec<u8>, expect: bool) -> Message {
+    fn request(key: &str, op: &str, body: Vec<u8>, expect: bool) -> Message<'static> {
         Message::Request {
             request_id: 1,
             response_expected: expect,
             object_key: ObjectKey::new(key),
             operation: op.into(),
-            body,
+            body: body.into(),
         }
     }
 
@@ -288,7 +288,10 @@ mod tests {
             panic!()
         };
         assert_eq!(status, ReplyStatus::UserException);
-        assert_eq!(String::from_utf8(body).unwrap(), "requested failure");
+        assert_eq!(
+            String::from_utf8(body.into_owned()).unwrap(),
+            "requested failure"
+        );
     }
 
     #[test]

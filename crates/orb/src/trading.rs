@@ -881,12 +881,16 @@ impl Trader {
     }
 
     /// Index-ordered top-k for `max p` / `min p` over a bare property:
-    /// walks `num_index[(type, slot)]` from the best key towards the worst,
-    /// evaluating the constraint per entry, and stops once `k` matches and
-    /// the full tie group of the k-th key are in hand. Offers *not* in the
-    /// index have an undefined preference key (`as_f64` is `None` for
-    /// missing, string and sequence values) and rank after every defined
-    /// key, so they are only consulted when the index runs dry.
+    /// walks `num_index[(type, slot)]` one key group at a time from the
+    /// best rank towards the worst, evaluating the constraint per entry.
+    /// Within a key group the set is ordered by ascending offer id — the
+    /// reference tie-break — so the scan stops at the k-th match without
+    /// touching the rest of the tie group. (A fleet of identical machines
+    /// is one giant tie group; walking it whole made every query O(n).)
+    /// Offers *not* in the index have an undefined preference key
+    /// (`as_f64` is `None` for missing, string and sequence values) and
+    /// rank after every defined key, so they are only consulted when the
+    /// index runs dry.
     ///
     /// Returns `None` to fall back to the general path when the rank order
     /// of the index cannot be trusted: a `Bool` value indexes as 0/1 but
@@ -905,49 +909,41 @@ impl Trader {
         let type_id = TypeId(self.type_names.get(service_type)?);
         let index = self.num_index.get(&(type_id, slot))?;
 
-        let mut hits: Vec<(IndexKey, OfferId)> = Vec::new();
-        let mut boundary: Option<IndexKey> = None;
-        let entries: Box<dyn Iterator<Item = &(IndexKey, OfferId)>> = if maximise {
-            Box::new(index.iter().rev())
-        } else {
-            Box::new(index.iter())
-        };
-        for &(key, id) in entries {
-            if let Some(b) = boundary {
-                // The walk is monotone, so the first key past the k-th
-                // match's tie group ends the scan.
-                if key != b {
-                    break;
+        let mut hits: Vec<OfferId> = Vec::new();
+        let mut group: Option<IndexKey> = None;
+        'groups: while hits.len() < k {
+            // The next key group in rank order. Offer ids are sequential
+            // counters, so id 0 / id MAX make safe exclusive sentinels.
+            let next = match (maximise, group) {
+                (true, None) => index.iter().next_back(),
+                (true, Some(g)) => index.range(..(g, OfferId(0))).next_back(),
+                (false, None) => index.iter().next(),
+                (false, Some(g)) => index.range((g, OfferId(u64::MAX))..).next(),
+            };
+            let Some(&(gkey, _)) = next else { break };
+            group = Some(gkey);
+            for &(_, id) in index.range((gkey, OfferId(0))..=(gkey, OfferId(u64::MAX))) {
+                let rec = &self.offers[&id];
+                if matches!(
+                    rec.slots.get(slot.0 as usize),
+                    Some(Some(AnyValue::Bool(_)))
+                ) {
+                    return None;
                 }
-            }
-            let rec = &self.offers[&id];
-            if matches!(
-                rec.slots.get(slot.0 as usize),
-                Some(Some(AnyValue::Bool(_)))
-            ) {
-                return None;
-            }
-            if constraint::matches_slots(&plan.constraint, &rec.slots) {
-                hits.push((key, id));
-                if hits.len() == k {
-                    boundary = Some(key);
+                if constraint::matches_slots(&plan.constraint, &rec.slots) {
+                    hits.push(id);
+                    if hits.len() == k {
+                        break 'groups;
+                    }
                 }
             }
         }
 
-        let mut ranks: Vec<Rank> = hits
+        // Group-descending (for max) then id-ascending is already the
+        // reference rank order — no sort needed.
+        let mut out: Vec<ServiceOffer> = hits
             .into_iter()
-            .map(|(key, id)| Rank {
-                undefined: false,
-                key: if maximise { IndexKey::new(-key.0) } else { key },
-                id,
-            })
-            .collect();
-        ranks.sort_unstable();
-        let mut out: Vec<ServiceOffer> = ranks
-            .into_iter()
-            .take(k)
-            .map(|rank| self.offers[&rank.id].offer.clone())
+            .map(|id| self.offers[&id].offer.clone())
             .collect();
 
         if out.len() < k {

@@ -1,13 +1,41 @@
 //! Discrete-event scheduling core.
 //!
 //! [`EventQueue`] is a priority queue of timestamped events with stable FIFO
-//! ordering among events scheduled for the same instant, plus O(log n)
+//! ordering among events scheduled for the same instant, plus O(1)
 //! cancellation. [`World`] is the handler trait a simulation model
 //! implements; [`run_until`] / [`run_to_completion`] drive the loop.
+//!
+//! Internally the queue is a hybrid of three structures tuned for the
+//! simulator's dominant workload (periodic ticks and retransmission timers a
+//! few seconds to minutes out):
+//!
+//! - a **timer wheel** of [`WHEEL_SLOTS`] one-second buckets covering the
+//!   window `[cursor, cursor + WHEEL_SLOTS)` seconds — O(1) insertion for the
+//!   common near-future case;
+//! - a sorted **due list** holding the bucket currently being drained
+//!   (entries strictly before the cursor second);
+//! - a **binary heap** for far-future entries beyond the wheel window.
+//!
+//! Entries never migrate between structures: the wheel bucket for second `s`
+//! only ever holds entries for exactly that second (buckets are one second
+//! wide, so bucket order implies time order), and the pop path takes the
+//! minimum of the due-list front and the heap top, so far-future heap entries
+//! interleave correctly even after the cursor passes them. Cancellation
+//! removes the id from the live set immediately and leaves a tombstone that
+//! is dropped when the entry surfaces; when tombstones outnumber live
+//! entries the queue compacts them away eagerly.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+/// Width of the timer wheel, in one-second buckets. Covers ~17 simulated
+/// minutes ahead of the cursor: update periods, slot ticks and
+/// retransmission timers all land inside it.
+pub const WHEEL_SLOTS: usize = 1024;
+
+const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// Handle identifying a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,6 +67,19 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Occupancy and maintenance counters of an [`EventQueue`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Maximum number of entries the far-future heap ever held.
+    pub peak_heap_depth: usize,
+    /// Tombstone compaction passes performed.
+    pub compactions: u64,
+    /// Schedules that landed in a timer-wheel bucket (O(1) path).
+    pub wheel_scheduled: u64,
+    /// Schedules that fell through to the far-future heap.
+    pub heap_scheduled: u64,
+}
+
 /// A timestamped event queue with a monotone virtual clock.
 ///
 /// The clock ([`EventQueue::now`]) advances only when events are popped, so a
@@ -57,14 +98,43 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop().map(|(t, e)| (t.as_micros(), e)), Some((2_000_000, "b")));
 /// assert!(q.pop().is_none());
 /// ```
-#[derive(Debug)]
 pub struct EventQueue<E> {
+    /// One-second buckets for `[cursor_sec, cursor_sec + WHEEL_SLOTS)`.
+    wheel: Vec<Vec<Entry<E>>>,
+    /// Total entries across all wheel buckets.
+    wheel_count: usize,
+    /// All due-list entries are in seconds `< cursor_sec`; all wheel entries
+    /// are in `[cursor_sec, cursor_sec + WHEEL_SLOTS)`.
+    cursor_sec: u64,
+    /// The bucket being drained, a min-heap on `(time, seq)` — sub-second
+    /// schedules land here after their second's bucket was claimed, and a
+    /// heap keeps that insert O(log m) instead of a sorted-list memmove.
+    due: BinaryHeap<Reverse<Entry<E>>>,
+    /// Far-future entries (beyond the wheel window at schedule time).
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Ids of entries scheduled and neither fired nor cancelled.
+    live: HashSet<EventId>,
+    /// Cancelled ids whose entries are still buried in a structure.
     cancelled: HashSet<EventId>,
     next_seq: u64,
     now: SimTime,
     scheduled_total: u64,
     fired_total: u64,
+    stats: QueueStats,
+}
+
+impl<E: fmt::Debug> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.live.len())
+            .field("tombstones", &self.cancelled.len())
+            .field("wheel_count", &self.wheel_count)
+            .field("due", &self.due.len())
+            .field("heap", &self.heap.len())
+            .field("cursor_sec", &self.cursor_sec)
+            .finish()
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -77,12 +147,18 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            wheel_count: 0,
+            cursor_sec: 0,
+            due: BinaryHeap::new(),
             heap: BinaryHeap::new(),
+            live: HashSet::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
             fired_total: 0,
+            stats: QueueStats::default(),
         }
     }
 
@@ -102,13 +178,38 @@ impl<E> EventQueue<E> {
             "cannot schedule into the past: {time} < now {}",
             self.now
         );
+        // With the wheel and due list both empty the window start is
+        // unconstrained: snap it forward to `now` so near-future schedules
+        // keep hitting the O(1) wheel path after heap-driven time jumps.
+        if self.wheel_count == 0 && self.due.is_empty() {
+            let now_sec = self.now.as_micros() / MICROS_PER_SEC;
+            if now_sec > self.cursor_sec {
+                self.cursor_sec = now_sec;
+            }
+        }
         let id = EventId(self.next_seq);
-        self.heap.push(Reverse(Entry {
+        let entry = Entry {
             time,
             seq: self.next_seq,
             id,
             payload,
-        }));
+        };
+        let t_sec = time.as_micros() / MICROS_PER_SEC;
+        if t_sec < self.cursor_sec {
+            // The bucket for this second was already drained: push onto the
+            // due heap. `(time, seq)` is a total order, so ties still fire
+            // in insertion order.
+            self.due.push(Reverse(entry));
+        } else if t_sec < self.cursor_sec + WHEEL_SLOTS as u64 {
+            self.wheel[(t_sec % WHEEL_SLOTS as u64) as usize].push(entry);
+            self.wheel_count += 1;
+            self.stats.wheel_scheduled += 1;
+        } else {
+            self.heap.push(Reverse(entry));
+            self.stats.heap_scheduled += 1;
+            self.stats.peak_heap_depth = self.stats.peak_heap_depth.max(self.heap.len());
+        }
+        self.live.insert(id);
         self.next_seq += 1;
         self.scheduled_total += 1;
         id
@@ -120,57 +221,130 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
-    /// still pending. Cancelling an already-fired or unknown id is a no-op.
+    /// still pending. Cancelling an already-fired or unknown id is a no-op
+    /// (and returns `false`).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        if !self.live.remove(&id) {
             return false;
         }
-        // We cannot cheaply tell fired-vs-pending apart; record the tombstone
-        // and report pending only if a live entry could still exist.
-        self.cancelled.insert(id)
+        self.cancelled.insert(id);
+        // Tombstones are dropped lazily when their entry surfaces; if they
+        // ever outnumber live entries, sweep them out eagerly so the
+        // structures cannot fill up with dead weight.
+        if self.cancelled.len() >= 64 && self.cancelled.len() > self.live.len() {
+            self.compact();
+        }
+        true
+    }
+
+    /// Rebuilds every structure retaining only live entries, emptying the
+    /// tombstone set.
+    fn compact(&mut self) {
+        let cancelled = std::mem::take(&mut self.cancelled);
+        self.due.retain(|Reverse(e)| !cancelled.contains(&e.id));
+        for bucket in &mut self.wheel {
+            bucket.retain(|e| !cancelled.contains(&e.id));
+        }
+        self.wheel_count = self.wheel.iter().map(Vec::len).sum();
+        let retained: Vec<Reverse<Entry<E>>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|Reverse(e)| !cancelled.contains(&e.id))
+            .collect();
+        self.heap = BinaryHeap::from(retained);
+        self.stats.compactions += 1;
+    }
+
+    /// Moves the earliest non-empty wheel bucket into the due list and
+    /// advances the cursor past it. Caller ensures the due list is empty.
+    fn refill_due(&mut self) {
+        debug_assert!(self.due.is_empty());
+        for offset in 0..WHEEL_SLOTS as u64 {
+            let sec = self.cursor_sec + offset;
+            let bucket = (sec % WHEEL_SLOTS as u64) as usize;
+            if !self.wheel[bucket].is_empty() {
+                let entries = std::mem::take(&mut self.wheel[bucket]);
+                self.wheel_count -= entries.len();
+                self.due.extend(entries.into_iter().map(Reverse));
+                self.cursor_sec = sec + 1;
+                return;
+            }
+        }
+        debug_assert_eq!(self.wheel_count, 0, "wheel count out of sync");
+    }
+
+    /// True when the globally minimal entry sits in the due list (as opposed
+    /// to the heap). `None` when no entries remain anywhere.
+    fn front_is_due(&mut self) -> Option<bool> {
+        if self.due.is_empty() && self.wheel_count > 0 {
+            self.refill_due();
+        }
+        // Remaining wheel entries are in seconds >= cursor, strictly after
+        // everything in the due list, so the global minimum is the smaller
+        // of the due front and the heap top.
+        let due_key = self.due.peek().map(|Reverse(e)| (e.time, e.seq));
+        let heap_key = self.heap.peek().map(|Reverse(e)| (e.time, e.seq));
+        match (due_key, heap_key) {
+            (None, None) => None,
+            (Some(_), None) => Some(true),
+            (None, Some(_)) => Some(false),
+            (Some(d), Some(h)) => Some(d < h),
+        }
+    }
+
+    /// Drops cancelled entries from the front until the minimum is live.
+    fn purge_front(&mut self) {
+        while let Some(from_due) = self.front_is_due() {
+            let id = if from_due {
+                self.due.peek().expect("due front exists").0.id
+            } else {
+                self.heap.peek().expect("heap top exists").0.id
+            };
+            if !self.cancelled.remove(&id) {
+                return;
+            }
+            if from_due {
+                self.due.pop();
+            } else {
+                self.heap.pop();
+            }
+        }
     }
 
     /// Pops the next non-cancelled event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue;
-            }
-            debug_assert!(entry.time >= self.now);
-            self.now = entry.time;
-            self.fired_total += 1;
-            return Some((entry.time, entry.payload));
-        }
-        None
+        self.purge_front();
+        let from_due = self.front_is_due()?;
+        let entry = if from_due {
+            self.due.pop().expect("due front exists").0
+        } else {
+            self.heap.pop().expect("heap top exists").0
+        };
+        debug_assert!(entry.time >= self.now);
+        self.live.remove(&entry.id);
+        self.now = entry.time;
+        self.fired_total += 1;
+        Some((entry.time, entry.payload))
     }
 
     /// The timestamp of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Purge cancelled entries from the front so the answer is accurate.
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let id = entry.id;
-                self.heap.pop();
-                self.cancelled.remove(&id);
-            } else {
-                return Some(entry.time);
-            }
-        }
-        None
+        self.purge_front();
+        let from_due = self.front_is_due()?;
+        Some(if from_due {
+            self.due.peek().expect("due front exists").0.time
+        } else {
+            self.heap.peek().expect("heap top exists").0.time
+        })
     }
 
-    /// Number of pending (possibly including lazily-cancelled) entries.
-    #[allow(clippy::len_without_is_empty)] // is_empty needs &mut (purges tombstones)
+    /// Number of pending (scheduled, not yet fired or cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len().saturating_sub(self.cancelled.len())
+        self.live.len()
     }
 
     /// True when no live events remain.
-    ///
-    /// Takes `&mut self` (unlike the convention) because answering
-    /// accurately requires purging lazily-cancelled entries.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
     }
 
     /// Total number of events ever scheduled.
@@ -181,6 +355,11 @@ impl<E> EventQueue<E> {
     /// Total number of events fired (popped and not cancelled).
     pub fn fired_total(&self) -> u64 {
         self.fired_total
+    }
+
+    /// Occupancy and maintenance counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Advances the clock to `time` without firing anything.
@@ -280,6 +459,36 @@ mod tests {
     }
 
     #[test]
+    fn interleaves_wheel_and_heap_entries() {
+        // Entries beyond the wheel window land in the heap; popping must
+        // interleave them with wheel entries in global time order even after
+        // the cursor passes their second.
+        let mut q = EventQueue::new();
+        let far = WHEEL_SLOTS as u64; // just past the initial wheel window
+        q.schedule_at(SimTime::from_secs(far), 3u32); // heap
+        q.schedule_at(SimTime::from_secs(1), 1u32); // wheel
+        q.schedule_at(SimTime::from_secs(far + 2), 4u32); // heap
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        // Now the window snaps forward: this lands in the wheel between the
+        // two heap entries.
+        q.schedule_at(SimTime::from_secs(far), 10u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![3, 10, 4]);
+    }
+
+    #[test]
+    fn same_instant_across_structures_fires_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let far = SimTime::from_secs(WHEEL_SLOTS as u64);
+        q.schedule_at(far, 1u32); // heap (beyond window)
+        q.schedule_at(SimTime::from_secs(1), 0u32);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(0));
+        q.schedule_at(far, 2u32); // wheel (window snapped forward)
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
     fn clock_advances_with_pops() {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_secs(5), ());
@@ -314,6 +523,39 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_fire_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_secs(1), ());
+        assert_eq!(q.pop().map(|(t, ())| t), Some(SimTime::from_secs(1)));
+        assert!(!q.cancel(a), "cancelling a fired event must report false");
+        assert!(q.cancelled.is_empty(), "no tombstone for a fired event");
+    }
+
+    #[test]
+    fn drain_leaves_no_tombstones() {
+        // Regression: cancelling used to leave the id in the tombstone set
+        // forever when the entry had already been popped.
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..20u32 {
+            ids.push(q.schedule_at(SimTime::from_secs(u64::from(i)), i));
+        }
+        for id in ids.iter().step_by(3) {
+            assert!(q.cancel(*id));
+        }
+        while q.pop().is_some() {}
+        assert!(q.cancelled.is_empty(), "drain must clear every tombstone");
+        assert!(q.live.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        // Cancelling after the drain adds nothing back.
+        for id in ids {
+            assert!(!q.cancel(id));
+        }
+        assert!(q.cancelled.is_empty());
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule_at(SimTime::from_secs(1), 1);
@@ -321,6 +563,33 @@ mod tests {
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn mass_cancellation_triggers_compaction() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..200u64)
+            .map(|i| q.schedule_at(SimTime::from_secs(i), i))
+            .collect();
+        for id in &ids[..150] {
+            q.cancel(*id);
+        }
+        assert!(q.stats().compactions >= 1, "{:?}", q.stats());
+        assert!(q.cancelled.len() < 64, "compaction empties tombstones");
+        assert_eq!(q.len(), 50);
+        let survivors: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(survivors, (150..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_track_wheel_and_heap_placement() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(5), ()); // wheel
+        q.schedule_at(SimTime::from_secs(WHEEL_SLOTS as u64 + 50), ()); // heap
+        let stats = q.stats();
+        assert_eq!(stats.wheel_scheduled, 1);
+        assert_eq!(stats.heap_scheduled, 1);
+        assert_eq!(stats.peak_heap_depth, 1);
     }
 
     #[test]
@@ -394,5 +663,30 @@ mod tests {
         while q.pop().is_some() {}
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.fired_total(), 1);
+    }
+
+    #[test]
+    fn sub_second_ordering_within_one_bucket() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(500_100), 2u32);
+        q.schedule_at(SimTime::from_micros(500_000), 1u32);
+        q.schedule_at(SimTime::from_micros(500_200), 3u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn late_schedule_into_drained_second_stays_ordered() {
+        // Scheduling at `now` after the bucket for that second was drained
+        // exercises the sorted due-list insertion path.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(1_000_100), 1u32);
+        q.schedule_at(SimTime::from_micros(1_000_300), 3u32);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        q.schedule_at(SimTime::from_micros(1_000_200), 2u32);
+        q.schedule_at(SimTime::from_micros(1_000_200), 20u32);
+        q.schedule_at(SimTime::from_micros(1_000_400), 4u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 20, 3, 4]);
     }
 }

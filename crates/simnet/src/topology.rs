@@ -172,8 +172,11 @@ impl std::error::Error for TopologyError {}
 pub struct Topology {
     vertices: Vec<Vertex>,
     adjacency: Vec<Vec<(u32, LinkSpec)>>,
+    /// Per-source route tables: one full Dijkstra pass answers every
+    /// destination from that source, so n hosts talking to one manager
+    /// cost one search total instead of one search each.
     #[serde(skip)]
-    route_cache: HashMap<(HostId, HostId), Option<PathQuality>>,
+    route_tables: HashMap<HostId, Vec<Option<PathQuality>>>,
     generation: u64,
 }
 
@@ -221,7 +224,7 @@ impl Topology {
     }
 
     fn invalidate_routes(&mut self) {
-        self.route_cache.clear();
+        self.route_tables.clear();
         self.generation += 1;
     }
 
@@ -304,16 +307,30 @@ impl Topology {
         if !self.is_up(from) || !self.is_up(to) {
             return Err(TopologyError::Unreachable { from, to });
         }
-        if let Some(cached) = self.route_cache.get(&(from, to)) {
-            return cached.ok_or(TopologyError::Unreachable { from, to });
+        // Links are undirected, so a table computed from either endpoint
+        // answers the pair.
+        if let Some(table) = self.route_tables.get(&from) {
+            return table[to.0 as usize].ok_or(TopologyError::Unreachable { from, to });
         }
-        let result = self.dijkstra(from, to);
-        self.route_cache.insert((from, to), result);
-        self.route_cache.insert((to, from), result); // undirected: symmetric
+        if let Some(table) = self.route_tables.get(&to) {
+            return table[from.0 as usize].ok_or(TopologyError::Unreachable { from, to });
+        }
+        // Miss: settle every vertex from `to` in one pass. Building the
+        // table at the *destination* pays off for fan-in traffic patterns
+        // (n nodes reporting to one manager) where the sources are all
+        // distinct but the destination repeats.
+        let table = self.dijkstra_all(to);
+        let result = table[from.0 as usize];
+        self.route_tables.insert(to, table);
         result.ok_or(TopologyError::Unreachable { from, to })
     }
 
-    fn dijkstra(&self, from: HostId, to: HostId) -> Option<PathQuality> {
+    /// Single-source Dijkstra: path quality from `from` to every vertex.
+    ///
+    /// Settling each vertex at its first pop yields exactly the answer the
+    /// old early-exit per-pair search returned for that destination, so
+    /// routing behaviour (and thus every simulated latency) is unchanged.
+    fn dijkstra_all(&self, from: HostId) -> Vec<Option<PathQuality>> {
         #[derive(PartialEq, Eq)]
         struct State {
             cost: u64, // latency in µs
@@ -337,6 +354,7 @@ impl Topology {
 
         let n = self.vertices.len();
         let mut dist = vec![u64::MAX; n];
+        let mut settled: Vec<Option<PathQuality>> = vec![None; n];
         let mut heap = BinaryHeap::new();
         dist[from.0 as usize] = 0;
         heap.push(State {
@@ -352,16 +370,14 @@ impl Topology {
             hops,
         }) = heap.pop()
         {
-            if vertex == to.0 {
-                return Some(PathQuality {
-                    latency: SimDuration::from_micros(cost),
-                    bottleneck_bps: bottleneck,
-                    hops,
-                });
-            }
-            if cost > dist[vertex as usize] {
+            if cost > dist[vertex as usize] || settled[vertex as usize].is_some() {
                 continue;
             }
+            settled[vertex as usize] = Some(PathQuality {
+                latency: SimDuration::from_micros(cost),
+                bottleneck_bps: bottleneck,
+                hops,
+            });
             for &(next, spec) in &self.adjacency[vertex as usize] {
                 if !self.vertices[next as usize].up {
                     continue;
@@ -378,7 +394,7 @@ impl Topology {
                 }
             }
         }
-        None
+        settled
     }
 }
 

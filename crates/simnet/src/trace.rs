@@ -74,6 +74,49 @@ impl TraceLog {
         }
     }
 
+    /// Appends a record whose detail is built lazily — the closure never
+    /// runs when the log is disabled, so hot paths pay nothing for
+    /// formatting they would throw away.
+    pub fn record_with(&mut self, time: SimTime, category: &str, detail: impl FnOnce() -> String) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                time,
+                category: category.to_owned(),
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Appends a record whose detail is `prefix` followed by a decimal
+    /// index — the common shape of per-node occurrences (`"node 17"`,
+    /// `"update from 3"`). Produces exactly what
+    /// `format!("{prefix}{index}")` would, without going through the
+    /// formatting machinery.
+    pub fn record_indexed(&mut self, time: SimTime, category: &str, prefix: &str, index: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut digits = [0u8; 20];
+        let mut pos = digits.len();
+        let mut rest = index;
+        loop {
+            pos -= 1;
+            digits[pos] = b'0' + (rest % 10) as u8;
+            rest /= 10;
+            if rest == 0 {
+                break;
+            }
+        }
+        let mut detail = String::with_capacity(prefix.len() + (digits.len() - pos));
+        detail.push_str(prefix);
+        detail.push_str(std::str::from_utf8(&digits[pos..]).expect("ascii digits"));
+        self.records.push(TraceRecord {
+            time,
+            category: category.to_owned(),
+            detail,
+        });
+    }
+
     /// All records, in insertion (and therefore time) order.
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
@@ -156,7 +199,23 @@ mod tests {
     fn disabled_log_records_nothing() {
         let mut log = TraceLog::disabled();
         log.record(SimTime::ZERO, "a", "ignored");
+        log.record_with(SimTime::ZERO, "a", || panic!("must not format"));
+        log.record_indexed(SimTime::ZERO, "a", "node ", 7);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn indexed_matches_format() {
+        let mut log = TraceLog::new();
+        for index in [0u64, 7, 10, 409, 18_446_744_073_709_551_615] {
+            log.record_indexed(SimTime::ZERO, "c", "node ", index);
+            assert_eq!(
+                log.records().last().unwrap().detail,
+                format!("node {index}")
+            );
+        }
+        log.record_with(SimTime::from_secs(1), "c", || "built".to_owned());
+        assert_eq!(log.last("c").unwrap().detail, "built");
     }
 
     #[test]

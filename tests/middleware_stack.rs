@@ -250,7 +250,7 @@ fn cluster_key_authenticates_protocol_frames() {
         response_expected: false,
         object_key: ObjectKey::new("integrade/grm"),
         operation: "update_status".into(),
-        body: vec![0; 16],
+        body: vec![0u8; 16].into(),
     }
     .to_wire();
     let manager = grid.manager_host();

@@ -66,7 +66,7 @@ proptest! {
             response_expected: true,
             object_key: ObjectKey::new("k"),
             operation: op,
-            body,
+            body: body.into(),
         };
         let wire = msg.to_wire();
         prop_assert_eq!(Message::from_wire(&wire).unwrap(), msg);
@@ -409,7 +409,7 @@ mod replica_store {
                             version,
                             work_mips_s: work,
                             digest,
-                            payload,
+                            payload: payload.into(),
                         });
                         let newest = acked.get(&(job, part)).copied();
                         let accepted = valid && newest.is_none_or(|held| version > held);
