@@ -71,12 +71,11 @@ pub fn e11() -> Table {
 
     // InteGrade (pattern-aware, full protocol simulation).
     {
-        let config = GridConfig {
-            strategy: Strategy::PatternAware,
-            gupa_warmup_days: 14,
-            seed: 99,
-            ..Default::default()
-        };
+        let config = GridConfig::builder()
+            .strategy(Strategy::PatternAware)
+            .gupa_warmup_days(14)
+            .seed(99)
+            .build();
         let mut builder = GridBuilder::new(config);
         builder.add_cluster(
             traces

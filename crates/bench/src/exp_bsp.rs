@@ -126,12 +126,11 @@ pub fn e7c() -> Table {
         &["ckpt_interval_mips_s", "completed", "evictions", "mean_makespan_h"],
     );
     for &interval in &[0.0f64, 90_000.0, 30_000.0] {
-        let config = GridConfig {
-            gupa_warmup_days: 0,
-            sequential_checkpoint_mips_s: interval,
-            seed: 777,
-            ..Default::default()
-        };
+        let config = GridConfig::builder()
+            .gupa_warmup_days(0)
+            .sequential_checkpoint_mips_s(interval)
+            .seed(777)
+            .build();
         let mut builder = GridBuilder::new(config);
         builder.add_cluster((0..6).map(|_| NodeSetup::idle_desktop()).collect());
         let mut grid = builder.build();

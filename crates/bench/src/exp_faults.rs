@@ -1,7 +1,7 @@
 //! E12: completion under chaos — fault intensity vs the hardened protocol.
 //!
-//! The paper argues InteGrade must tolerate "machines crash[ing] or
-//! disconnect[ing] from the network at any time". This experiment injects
+//! The paper argues InteGrade must tolerate "machines crash\[ing\] or
+//! disconnect\[ing\] from the network at any time". This experiment injects
 //! seeded message loss plus one mid-run GRM crash/restart and measures how
 //! the retransmission/dedup/lease/epoch machinery holds the completion
 //! rate, and what the faults cost in makespan relative to the clean run.
@@ -39,12 +39,11 @@ pub struct FaultCell {
 }
 
 fn chaos_grid(seed: u64) -> Grid {
-    let config = GridConfig {
-        seed,
-        gupa_warmup_days: 0,
-        sequential_checkpoint_mips_s: 30_000.0,
-        ..Default::default()
-    };
+    let config = GridConfig::builder()
+        .seed(seed)
+        .gupa_warmup_days(0)
+        .sequential_checkpoint_mips_s(30_000.0)
+        .build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster((0..6).map(|_| NodeSetup::idle_desktop()).collect());
     builder.build()

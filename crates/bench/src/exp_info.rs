@@ -9,12 +9,11 @@ use integrade_simnet::rng::DetRng;
 use integrade_simnet::time::{SimDuration, SimTime};
 
 fn idle_grid(nodes: usize, update_period: SimDuration, delta: bool) -> Grid {
-    let mut config = GridConfig {
-        gupa_warmup_days: 0,
-        ..Default::default()
-    };
-    config.lrm.update_period = update_period;
-    config.lrm.delta_suppression = delta;
+    let config = GridConfig::builder()
+        .gupa_warmup_days(0)
+        .update_period(update_period)
+        .delta_suppression(delta)
+        .build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster((0..nodes).map(|_| NodeSetup::idle_desktop()).collect());
     builder.build()
@@ -148,13 +147,12 @@ pub fn e2() -> Table {
             .collect()
     };
     for &period in &[10u64, 60, 300, 900] {
-        let mut config = GridConfig {
-            gupa_warmup_days: 0,
-            strategy: Strategy::AvailabilityOnly,
-            seed: 7,
-            ..Default::default()
-        };
-        config.lrm.update_period = SimDuration::from_secs(period);
+        let config = GridConfig::builder()
+            .gupa_warmup_days(0)
+            .strategy(Strategy::AvailabilityOnly)
+            .seed(7)
+            .update_period(SimDuration::from_secs(period))
+            .build();
         let mut builder = GridBuilder::new(config);
         builder.add_cluster(
             (0..16)
@@ -222,15 +220,14 @@ pub fn e2b() -> Table {
     };
     let phases: Vec<usize> = (0..16).map(|_| rng.index(4)).collect();
     for &failover in &[true, false] {
-        let mut config = GridConfig {
-            gupa_warmup_days: 0,
-            strategy: Strategy::AvailabilityOnly,
-            seed: 7,
-            candidate_failover: failover,
-            max_attempts: 60,
-            ..Default::default()
-        };
-        config.lrm.update_period = SimDuration::from_secs(900);
+        let config = GridConfig::builder()
+            .gupa_warmup_days(0)
+            .strategy(Strategy::AvailabilityOnly)
+            .seed(7)
+            .candidate_failover(failover)
+            .max_attempts(60)
+            .update_period(SimDuration::from_secs(900))
+            .build();
         let mut builder = GridBuilder::new(config);
         builder.add_cluster(
             phases

@@ -1,0 +1,290 @@
+//! E15: observability overhead — the metrics registry, trace spans and
+//! mirror sync must be free enough that nobody ever turns them off.
+//!
+//! The observability layer (`integrade-obs`) is wired through the grid hot
+//! path: counters bump on retransmits and drops, histograms observe
+//! negotiation and checkpoint round-trips, spans open and close around
+//! every traced RPC. All of it is designed to be cheap — pre-resolved
+//! handles (no name hashing after registration), `Cell` bumps, no
+//! allocation on the update path — and *passive*: disabling it changes no
+//! event, no message, no log line.
+//!
+//! This experiment prices that design at the e14 smoke scale: the 5k-node
+//! active-set cell runs twice with metrics+spans enabled and twice
+//! disabled (best-of-2 per config damps scheduler noise), and the guard
+//! asserts
+//!
+//! * the enabled/disabled sim-per-wall delta stays under 5%, and
+//! * the enabled run still clears the committed `BENCH_scale_floor.json`
+//!   throughput floor — observability does not cost the e14 regression
+//!   budget.
+//!
+//! Emits `BENCH_obs.json` plus `BENCH_obs.prom`, the Prometheus text dump
+//! of the enabled run's final snapshot (the demo artifact for the export
+//! API).
+
+use crate::exp_scale14::{committed_floor, HORIZON_S, SEED};
+use crate::table::{f2, Table};
+use integrade_core::asct::{JobSpec, JobState};
+use integrade_core::grid::{Grid, GridBuilder, GridConfig, NodeSetup, TickMode};
+use integrade_obs::metrics::MetricsSnapshot;
+use integrade_simnet::time::{SimDuration, SimTime};
+use std::time::Instant;
+
+/// Node population of the overhead cell (matches `e14smoke`).
+pub const NODES: usize = 5_000;
+
+/// Runs per configuration; the best run is kept.
+pub const RUNS: usize = 2;
+
+/// Relative overhead budget for metrics-on vs metrics-off.
+pub const MAX_OVERHEAD_FRAC: f64 = 0.05;
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct ObsCell {
+    /// Whether metrics and span recording were enabled.
+    pub metrics_on: bool,
+    /// Virtual seconds simulated per wall-clock second (best of [`RUNS`]).
+    pub sim_per_wall: f64,
+    /// Events dispatched (identical across configs — instrumentation is
+    /// passive, so this doubles as a determinism check).
+    pub events: u64,
+    /// Jobs completed out of 5.
+    pub completed: usize,
+    /// Trace spans recorded (0 when disabled).
+    pub spans: usize,
+}
+
+/// The e14smoke grid with observability toggled: 5k idle nodes, delta
+/// suppression, crash detection pushed past the horizon, trace log off so
+/// only the metrics layer separates the two configs.
+fn obs_grid(metrics_on: bool) -> Grid {
+    let config = GridConfig::builder()
+        .seed(SEED)
+        .gupa_warmup_days(0)
+        .delta_suppression(true)
+        .crash_silence(SimDuration::from_secs(HORIZON_S * 2))
+        .tick_mode(TickMode::ActiveSet)
+        .build();
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..NODES).map(|_| NodeSetup::idle_desktop()).collect());
+    let mut grid = builder.build();
+    grid.disable_trace();
+    grid.set_metrics_enabled(metrics_on);
+    grid
+}
+
+/// Runs one cell and returns it with the final snapshot (for the export
+/// demo). The workload is e14smoke's: five small sequential jobs over two
+/// virtual hours.
+fn run_once(metrics_on: bool) -> (ObsCell, MetricsSnapshot) {
+    let mut grid = obs_grid(metrics_on);
+    for i in 0..5 {
+        grid.submit(JobSpec::sequential(&format!("e15-{i}"), 60_000));
+    }
+    let started = Instant::now();
+    let (_, events) = grid.run_until_counting(SimTime::from_secs(HORIZON_S));
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let spans = grid.spans().len();
+    let snapshot = grid.metrics_snapshot();
+    let completed = grid
+        .report()
+        .records
+        .iter()
+        .filter(|r| r.state == JobState::Completed)
+        .count();
+    (
+        ObsCell {
+            metrics_on,
+            sim_per_wall: HORIZON_S as f64 / wall,
+            events,
+            completed,
+            spans,
+        },
+        snapshot,
+    )
+}
+
+/// Best-of-[`RUNS`] for one configuration.
+pub fn run_cell(metrics_on: bool) -> (ObsCell, MetricsSnapshot) {
+    let mut best: Option<(ObsCell, MetricsSnapshot)> = None;
+    for _ in 0..RUNS {
+        let (cell, snap) = run_once(metrics_on);
+        if best
+            .as_ref()
+            .map(|(b, _)| cell.sim_per_wall > b.sim_per_wall)
+            .unwrap_or(true)
+        {
+            best = Some((cell, snap));
+        }
+    }
+    best.expect("RUNS >= 1")
+}
+
+/// Relative slowdown of the enabled config: `(off - on) / off`. Negative
+/// when the enabled run was faster (noise).
+pub fn overhead_frac(on: &ObsCell, off: &ObsCell) -> f64 {
+    (off.sim_per_wall - on.sim_per_wall) / off.sim_per_wall.max(1e-9)
+}
+
+/// Renders the pair as `BENCH_obs.json`.
+pub fn to_json(on: &ObsCell, off: &ObsCell, floor: f64) -> String {
+    let cell = |c: &ObsCell| {
+        format!(
+            "{{\"metrics_on\": {}, \"sim_per_wall\": {:.1}, \"events\": {}, \
+             \"completed\": {}, \"spans\": {}}}",
+            c.metrics_on, c.sim_per_wall, c.events, c.completed, c.spans
+        )
+    };
+    format!(
+        "{{\n  \"experiment\": \"e15\",\n  \"nodes\": {NODES},\n  \
+         \"enabled\": {},\n  \"disabled\": {},\n  \
+         \"overhead_pct\": {:.2},\n  \"floor_5k\": {:.1}\n}}\n",
+        cell(on),
+        cell(off),
+        overhead_frac(on, off) * 100.0,
+        floor
+    )
+}
+
+/// E15: the overhead guard. Side effects: writes `BENCH_obs.json` and
+/// `BENCH_obs.prom` (the enabled run's Prometheus dump).
+///
+/// # Panics
+///
+/// Panics when instrumentation perturbs the run (event counts differ),
+/// when the overhead exceeds [`MAX_OVERHEAD_FRAC`], or when the enabled
+/// run falls below the committed e14 floor.
+pub fn e15() -> Table {
+    let (on, snapshot) = run_cell(true);
+    let (off, _) = run_cell(false);
+    let floor = committed_floor().unwrap_or(0.0);
+    match std::fs::write("BENCH_obs.json", to_json(&on, &off, floor)) {
+        Ok(()) => eprintln!("e15: wrote BENCH_obs.json"),
+        Err(e) => eprintln!("e15: could not write BENCH_obs.json: {e}"),
+    }
+    match std::fs::write("BENCH_obs.prom", snapshot.to_prometheus()) {
+        Ok(()) => eprintln!("e15: wrote BENCH_obs.prom"),
+        Err(e) => eprintln!("e15: could not write BENCH_obs.prom: {e}"),
+    }
+    let mut table = Table::new(
+        "E15: observability overhead at 5k nodes (best of 2 per config)",
+        &[
+            "metrics",
+            "sim_s_per_wall_s",
+            "events",
+            "completed",
+            "spans",
+        ],
+    );
+    for c in [&on, &off] {
+        table.push_row(vec![
+            if c.metrics_on { "on" } else { "off" }.to_owned(),
+            f2(c.sim_per_wall),
+            c.events.to_string(),
+            format!("{}/5", c.completed),
+            c.spans.to_string(),
+        ]);
+    }
+    table.push_row(vec![
+        "overhead".to_owned(),
+        format!("{:.2}%", overhead_frac(&on, &off) * 100.0),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    assert_eq!(
+        on.events, off.events,
+        "e15: instrumentation perturbed the simulation — event counts differ"
+    );
+    assert!(
+        on.completed > 0,
+        "e15: no job completed — the scenario exercised nothing"
+    );
+    assert!(on.spans > 0, "e15: the enabled run recorded no trace spans");
+    assert!(
+        overhead_frac(&on, &off) < MAX_OVERHEAD_FRAC,
+        "e15: metrics overhead {:.2}% exceeds the {:.0}% budget \
+         ({:.1} on vs {:.1} off sim s/wall s)",
+        overhead_frac(&on, &off) * 100.0,
+        MAX_OVERHEAD_FRAC * 100.0,
+        on.sim_per_wall,
+        off.sim_per_wall
+    );
+    assert!(
+        on.sim_per_wall >= floor,
+        "e15: with metrics enabled, {:.1} sim s/wall s is below the \
+         committed floor of {floor:.1} (BENCH_scale_floor.json)",
+        on.sim_per_wall
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small-population shape check: toggling metrics changes neither the
+    /// event stream nor the outcome, the enabled run carries a populated
+    /// snapshot and spans, and the disabled run records nothing.
+    #[test]
+    fn instrumentation_is_passive_and_populated() {
+        let run = |metrics_on: bool| {
+            let config = GridConfig::builder()
+                .seed(SEED)
+                .gupa_warmup_days(0)
+                .delta_suppression(true)
+                .crash_silence(SimDuration::from_secs(HORIZON_S * 2))
+                .build();
+            let mut builder = GridBuilder::new(config);
+            builder.add_cluster((0..200).map(|_| NodeSetup::idle_desktop()).collect());
+            let mut grid = builder.build();
+            grid.disable_trace();
+            grid.set_metrics_enabled(metrics_on);
+            for i in 0..3 {
+                grid.submit(JobSpec::sequential(&format!("t-{i}"), 30_000));
+            }
+            let (_, events) = grid.run_until_counting(SimTime::from_secs(3600));
+            let spans = grid.spans().len();
+            let snap = grid.metrics_snapshot();
+            (events, spans, snap)
+        };
+        let (events_on, spans_on, snap_on) = run(true);
+        let (events_off, spans_off, snap_off) = run(false);
+        assert_eq!(events_on, events_off, "instrumentation must be passive");
+        assert!(spans_on > 0, "enabled run should trace negotiation RPCs");
+        assert_eq!(spans_off, 0, "disabled run must record nothing");
+        assert!(snap_on.counter_total("grm_updates") > 0);
+        // Mirrors sync regardless of the enable flag (they shadow stats the
+        // components keep anyway), so both snapshots see ORB traffic.
+        assert!(snap_off.counter("orb_requests_sent").unwrap() > 0);
+        // Live histograms only populate when enabled.
+        let hist = snap_on
+            .histogram("grid_negotiation_latency_seconds")
+            .unwrap();
+        assert!(hist.count > 0, "reserve/launch RPCs should be observed");
+        assert_eq!(
+            snap_off
+                .histogram("grid_negotiation_latency_seconds")
+                .unwrap()
+                .count,
+            0
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let cell = |on: bool| ObsCell {
+            metrics_on: on,
+            sim_per_wall: 100.0,
+            events: 42,
+            completed: 5,
+            spans: if on { 7 } else { 0 },
+        };
+        let json = to_json(&cell(true), &cell(false), 50.0);
+        assert!(json.contains("\"experiment\": \"e15\""));
+        assert!(json.contains("\"overhead_pct\": 0.00"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -52,13 +52,12 @@ pub struct RepoCell {
 }
 
 fn chaos_grid(k: usize, seed: u64) -> Grid {
-    let config = GridConfig {
-        seed,
-        gupa_warmup_days: 0,
-        sequential_checkpoint_mips_s: 30_000.0, // checkpoint every ~200 s
-        replication_factor: k,
-        ..Default::default()
-    };
+    let config = GridConfig::builder()
+        .seed(seed)
+        .gupa_warmup_days(0)
+        .sequential_checkpoint_mips_s(30_000.0) // checkpoint every ~200 s
+        .replication_factor(k)
+        .build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster((0..6).map(|_| NodeSetup::idle_desktop()).collect());
     let mut grid = builder.build();

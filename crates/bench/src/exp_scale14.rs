@@ -24,7 +24,6 @@
 use crate::table::{f2, Table};
 use integrade_core::asct::{JobSpec, JobState};
 use integrade_core::grid::{Grid, GridBuilder, GridConfig, NodeSetup, TickMode};
-use integrade_core::lrm::LrmConfig;
 use integrade_simnet::time::{SimDuration, SimTime};
 use std::time::Instant;
 
@@ -65,17 +64,13 @@ pub struct ScaleCell {
 /// death. Utilization stays under 5% by construction: five small
 /// sequential jobs against thousands of providers.
 fn scale_grid(nodes: usize, mode: TickMode) -> Grid {
-    let config = GridConfig {
-        seed: SEED,
-        gupa_warmup_days: 0,
-        lrm: LrmConfig {
-            delta_suppression: true,
-            ..LrmConfig::default()
-        },
-        crash_silence: SimDuration::from_secs(HORIZON_S * 2),
-        tick_mode: mode,
-        ..Default::default()
-    };
+    let config = GridConfig::builder()
+        .seed(SEED)
+        .gupa_warmup_days(0)
+        .delta_suppression(true)
+        .crash_silence(SimDuration::from_secs(HORIZON_S * 2))
+        .tick_mode(mode)
+        .build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster((0..nodes).map(|_| NodeSetup::idle_desktop()).collect());
     let mut grid = builder.build();
@@ -211,7 +206,7 @@ pub fn e14() -> Table {
 
 /// The committed throughput floor for the 5k-node cell (sim seconds per
 /// wall second), read from `BENCH_scale_floor.json`.
-fn committed_floor() -> Option<f64> {
+pub(crate) fn committed_floor() -> Option<f64> {
     let text = std::fs::read_to_string("BENCH_scale_floor.json").ok()?;
     let key = "\"sim_per_wall_floor_5k\":";
     let at = text.find(key)? + key.len();

@@ -30,12 +30,11 @@ pub fn e5() -> Table {
         Strategy::AvailabilityOnly,
         Strategy::PatternAware,
     ] {
-        let config = GridConfig {
-            strategy,
-            gupa_warmup_days: 14,
-            seed: 1234,
-            ..Default::default()
-        };
+        let config = GridConfig::builder()
+            .strategy(strategy)
+            .gupa_warmup_days(14)
+            .seed(1234)
+            .build();
         let trace_cfg = TraceConfig::default();
         let mut builder = GridBuilder::new(config);
         let mut rng = DetRng::new(555);

@@ -19,6 +19,7 @@ pub mod exp_baselines;
 pub mod exp_bsp;
 pub mod exp_faults;
 pub mod exp_info;
+pub mod exp_obs;
 pub mod exp_qos;
 pub mod exp_repo;
 pub mod exp_scale;
@@ -95,6 +96,11 @@ pub fn experiments() -> Vec<ExperimentEntry> {
             "e14smoke",
             "5k-node throughput smoke vs committed floor",
             exp_scale14::e14smoke,
+        ),
+        (
+            "e15",
+            "observability overhead: metrics on vs off at 5k nodes",
+            exp_obs::e15,
         ),
     ]
 }

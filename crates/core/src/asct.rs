@@ -123,6 +123,48 @@ impl JobRequirements {
     }
 }
 
+/// One typed hard requirement, the unit the fluent API composes.
+/// A list of these folds into a [`JobRequirements`] (and from there into
+/// the trader constraint string) without callers hand-assembling structs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Requirement {
+    /// The part must run on this platform (prerequisite).
+    Platform(Platform),
+    /// Minimum free RAM in MB.
+    MinRamMb(u64),
+    /// Minimum CPU speed in MIPS.
+    MinCpuMips(u64),
+    /// A raw trader-constraint clause, and-ed in, for power users.
+    /// Multiple clauses are and-ed together in order.
+    Constraint(String),
+}
+
+impl Requirement {
+    fn apply(self, reqs: &mut JobRequirements) {
+        match self {
+            Requirement::Platform(p) => reqs.platform = Some(p),
+            Requirement::MinRamMb(mb) => reqs.min_ram_mb = mb,
+            Requirement::MinCpuMips(mips) => reqs.min_cpu_mips = mips,
+            Requirement::Constraint(clause) => {
+                reqs.extra_constraint = Some(match reqs.extra_constraint.take() {
+                    Some(prev) => format!("({prev}) and ({clause})"),
+                    None => clause,
+                });
+            }
+        }
+    }
+}
+
+impl FromIterator<Requirement> for JobRequirements {
+    fn from_iter<I: IntoIterator<Item = Requirement>>(iter: I) -> Self {
+        let mut reqs = JobRequirements::default();
+        for r in iter {
+            r.apply(&mut reqs);
+        }
+        reqs
+    }
+}
+
 /// Soft ordering among acceptable nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SchedulingPreference {
@@ -259,6 +301,65 @@ impl JobSpec {
             preference: SchedulingPreference::default(),
             topology: None,
         }
+    }
+
+    /// Replaces the hard requirements with a list of typed
+    /// [`Requirement`]s, fluently:
+    ///
+    /// ```
+    /// use integrade_core::asct::{JobSpec, Requirement, SchedulingPreference};
+    ///
+    /// let spec = JobSpec::bsp("render", 8, 20, 5_000, 1 << 16)
+    ///     .with_requirements([
+    ///         Requirement::MinRamMb(16),
+    ///         Requirement::MinCpuMips(500),
+    ///     ])
+    ///     .with_preference(SchedulingPreference::LeastLoaded);
+    /// assert!(spec.requirements.to_constraint().contains("cpu_mips >= 500"));
+    /// ```
+    #[must_use]
+    pub fn with_requirements<I: IntoIterator<Item = Requirement>>(mut self, reqs: I) -> Self {
+        self.requirements = reqs.into_iter().collect();
+        self
+    }
+
+    /// Adds one more typed [`Requirement`] on top of the current set.
+    #[must_use]
+    pub fn with_requirement(mut self, req: Requirement) -> Self {
+        req.apply(&mut self.requirements);
+        self
+    }
+
+    /// Sets the soft scheduling preference, fluently.
+    #[must_use]
+    pub fn with_preference(mut self, preference: SchedulingPreference) -> Self {
+        self.preference = preference;
+        self
+    }
+
+    /// Requests a virtual network topology for the placement, fluently.
+    #[must_use]
+    pub fn with_topology(mut self, topology: TopologyRequest) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// For BSP jobs: sets the checkpoint cadence (`every` supersteps,
+    /// 0 = never) and the marshalled per-process state size. A no-op for
+    /// sequential and bag-of-tasks shapes, whose checkpointing is driven by
+    /// the grid config instead.
+    #[must_use]
+    pub fn with_checkpointing(mut self, every: u64, bytes: u64) -> Self {
+        if let JobKind::Bsp {
+            checkpoint_every,
+            state_bytes,
+            ..
+        } = &mut self.kind
+        {
+            *checkpoint_every = every;
+            *state_bytes = bytes;
+        }
+        self
     }
 }
 
@@ -429,6 +530,73 @@ mod tests {
         assert_eq!(record.makespan(), Some(SimDuration::from_secs(300)));
         assert_eq!(record.wait_time(), Some(SimDuration::from_secs(60)));
         assert_eq!(record.progress(), 1.0);
+    }
+
+    #[test]
+    fn requirement_list_folds_into_requirements() {
+        let reqs: JobRequirements = [
+            Requirement::Platform(Platform::linux_x86()),
+            Requirement::MinRamMb(64),
+            Requirement::MinCpuMips(300),
+            Requirement::Constraint("free_cpu >= 0.5".into()),
+        ]
+        .into_iter()
+        .collect();
+        let c = reqs.to_constraint();
+        assert!(c.contains("free_ram_mb >= 64"));
+        assert!(c.contains("os == 'linux'"));
+        assert!(c.ends_with("(free_cpu >= 0.5)"));
+        assert!(integrade_orb::constraint::parse(&c).is_ok());
+    }
+
+    #[test]
+    fn multiple_raw_constraints_and_together() {
+        let reqs: JobRequirements = [
+            Requirement::Constraint("free_cpu >= 0.5".into()),
+            Requirement::Constraint("free_ram_mb >= 32".into()),
+        ]
+        .into_iter()
+        .collect();
+        let c = reqs.to_constraint();
+        assert!(c.contains("(free_cpu >= 0.5) and (free_ram_mb >= 32)"));
+        assert!(integrade_orb::constraint::parse(&c).is_ok());
+    }
+
+    #[test]
+    fn fluent_spec_matches_field_poking() {
+        let fluent = JobSpec::bsp("p", 4, 10, 5, 1024)
+            .with_requirements([Requirement::MinRamMb(16), Requirement::MinCpuMips(500)])
+            .with_preference(SchedulingPreference::MostFreeRam)
+            .with_topology(TopologyRequest::paper_example())
+            .with_checkpointing(5, 2048);
+        let mut poked = JobSpec::bsp("p", 4, 10, 5, 1024);
+        poked.requirements = JobRequirements {
+            platform: None,
+            min_ram_mb: 16,
+            min_cpu_mips: 500,
+            extra_constraint: None,
+        };
+        poked.preference = SchedulingPreference::MostFreeRam;
+        poked.topology = Some(TopologyRequest::paper_example());
+        if let JobKind::Bsp {
+            checkpoint_every,
+            state_bytes,
+            ..
+        } = &mut poked.kind
+        {
+            *checkpoint_every = 5;
+            *state_bytes = 2048;
+        }
+        assert_eq!(fluent, poked);
+    }
+
+    #[test]
+    fn with_requirement_layers_on_top() {
+        let spec = JobSpec::sequential("s", 100)
+            .with_requirements([Requirement::MinRamMb(16)])
+            .with_requirement(Requirement::MinCpuMips(700));
+        assert_eq!(spec.requirements.min_ram_mb, 16);
+        assert_eq!(spec.requirements.min_cpu_mips, 700);
     }
 
     #[test]

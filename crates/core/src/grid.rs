@@ -19,6 +19,7 @@ use crate::grm::{GrmState, NodeRegistration, UpdateStats};
 use crate::gupa::GupaState;
 use crate::lrm::{DueCheckpoint, LrmConfig, LrmServant, LrmState};
 use crate::ncc::{SharingPolicy, WeeklySchedule};
+use crate::observe::GridObs;
 use crate::protocol::{
     CancelPartReply, CancelPartRequest, CheckpointBlob, FetchCheckpoint, FetchCheckpointReply,
     LaunchReply, LaunchRequest, PartDone, PartEvicted, PurgeCheckpoint, ReserveReply,
@@ -31,10 +32,13 @@ use crate::repo::crc32;
 use crate::scheduler::{place_groups, rank, CandidateNode, Strategy};
 use crate::types::{JobId, NodeId, NodeRoles, Platform, ResourceVector};
 use integrade_bsp::checkpoint::GlobalCheckpoint;
+use integrade_obs::metrics::MetricsSnapshot;
+use integrade_obs::profile::{Phase, ProfileReport};
+use integrade_obs::span::{Span, SpanKind, SpanOutcome, SpanTree};
 use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrWriter};
 use integrade_orb::ior::{Endpoint, Ior, ObjectKey};
 use integrade_orb::orb::{Incoming, Orb};
-use integrade_simnet::event::{run_until, EventQueue, RunOutcome, World};
+use integrade_simnet::event::{run_until_profiled, EventQueue, RunOutcome, World};
 use integrade_simnet::faults::FaultPlan;
 use integrade_simnet::net::{NetStats, Network};
 use integrade_simnet::rng::DetRng;
@@ -340,6 +344,12 @@ struct PendingEntry {
     extra_bytes: u64,
     /// Retransmissions performed so far.
     attempt: u32,
+    /// When the original frame was first put on the wire (for RTT
+    /// histograms; retransmissions do not reset it).
+    sent_at: SimTime,
+    /// Trace-span id covering this request, or 0 when untraced
+    /// (status-update acks, which bypass the request path).
+    span: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -523,6 +533,9 @@ struct GridWorld {
     /// (the GRM protocol itself cannot know it). Metric only — never feeds
     /// scheduling or banking decisions.
     crash_progress: BTreeMap<(JobId, u32), u64>,
+    /// Metrics registry, trace spans and hot-loop profiler. Strictly
+    /// passive: updating (or disabling) it never changes a run.
+    obs: GridObs,
 }
 
 /// The assembled, runnable grid.
@@ -658,6 +671,7 @@ impl Grid {
             buffer_pool: Vec::new(),
             rerepl_inflight: BTreeSet::new(),
             crash_progress: BTreeMap::new(),
+            obs: GridObs::new(),
             config,
         };
         let n_nodes = world.lrms.len();
@@ -798,14 +812,21 @@ impl Grid {
 
     /// Runs the grid until `horizon`. Returns the simulation outcome.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
-        let (outcome, _) = run_until(&mut self.world, &mut self.queue, horizon, u64::MAX);
+        let (outcome, _) = self.run_until_counting(horizon);
         outcome
     }
 
     /// Like [`Grid::run_until`], but also returns the number of events
     /// fired — benchmark harnesses derive events/second from it.
     pub fn run_until_counting(&mut self, horizon: SimTime) -> (RunOutcome, u64) {
-        run_until(&mut self.world, &mut self.queue, horizon, u64::MAX)
+        let profiler = self.world.obs.profiler.clone();
+        run_until_profiled(
+            &mut self.world,
+            &mut self.queue,
+            horizon,
+            u64::MAX,
+            &profiler,
+        )
     }
 
     /// Event-queue instrumentation: peak far-future heap depth, tombstone
@@ -887,6 +908,55 @@ impl Grid {
                 .count(),
         }
     }
+
+    /// Enables or disables metric and trace-span recording. Instrumentation
+    /// is passive either way: flipping this never changes a run's events.
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        self.world.obs.set_enabled(enabled);
+    }
+
+    /// Point-in-time snapshot of every registered metric, with component
+    /// mirrors (network, event queue, GRM update protocol, ORB traffic)
+    /// synced first. Serialise with [`MetricsSnapshot::to_json`] or
+    /// [`MetricsSnapshot::to_prometheus`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut orb = integrade_orb::OrbStats::default();
+        for o in self.world.orbs.values() {
+            let s = o.stats();
+            orb.requests_sent += s.requests_sent;
+            orb.oneways_sent += s.oneways_sent;
+            orb.replies_received += s.replies_received;
+            orb.requests_dispatched += s.requests_dispatched;
+        }
+        let grm = self.world.grm.borrow();
+        self.world.obs.sync_mirrors(
+            &self.world.net.stats(),
+            grm.update_stats(),
+            grm.trader_queries(),
+            &self.queue.stats(),
+            orb,
+        );
+        self.world.obs.snapshot()
+    }
+
+    /// All recorded trace spans, in causal (sim-time) order.
+    pub fn spans(&self) -> &[Span] {
+        self.world.obs.spans.spans()
+    }
+
+    /// Reconstructs the causal span forest of one part: negotiation →
+    /// launch → checkpoint stores → crash → replica fetch → relaunch, as a
+    /// parent-linked tree per root request.
+    pub fn part_span_tree(&self, job: JobId, part: u32) -> Vec<SpanTree> {
+        self.world.obs.spans.tree(job.0, part)
+    }
+
+    /// Wall-clock totals from the hot-loop phase timers. All zeros (and
+    /// `enabled: false`) unless the crate was built with the `profile`
+    /// feature.
+    pub fn profile_report(&self) -> ProfileReport {
+        self.world.obs.profiler.report()
+    }
 }
 
 impl GridWorld {
@@ -925,6 +995,8 @@ impl GridWorld {
         if applied >= target {
             return;
         }
+        let profiler = self.obs.profiler.clone();
+        let _replay = profiler.enter(Phase::CatchUpReplay);
         let tick_micros = self.config.tick.as_micros();
         let cap = self.lrms[node].borrow().policy.max_cpu_fraction;
         for k in applied..target {
@@ -1150,6 +1222,7 @@ impl GridWorld {
             // Relays in flight died with the GRM's orb; the placement map
             // is rebuilt from replica re-announces after restart.
             self.rerepl_inflight.clear();
+            self.obs.grm_crashes.inc();
             self.log
                 .record(now, "grm.crash", format!("next epoch {epoch}"));
         } else if let Some(&node) = self.host_to_node.get(&host) {
@@ -1158,9 +1231,17 @@ impl GridWorld {
                 for part in lrm.running() {
                     self.crash_progress
                         .insert((part.job, part.part), part.done as u64);
+                    self.obs.spans.event(
+                        SpanKind::Crash,
+                        part.job.0,
+                        part.part,
+                        node as u64,
+                        now.as_micros(),
+                    );
                 }
                 lrm.crash();
             }
+            self.obs.node_crashes.inc();
             // Volatile engagement (running parts, reservations, unacked
             // outcomes) died with the node; only surviving replicas keep it
             // in the active set.
@@ -1303,7 +1384,46 @@ impl GridWorld {
         let mut out = self.pooled_buf();
         let target = &self.lrm_iors[node.0 as usize];
         let orb = self.orbs.get_mut(&from).expect("issuing orb");
-        let request_id = orb.make_request_into(target, operation, body, &mut out);
+        let request_id = {
+            let _enc = self.obs.profiler.enter(Phase::GiopEncode);
+            orb.make_request_into(target, operation, body, &mut out)
+        };
+        // Trace-span id: every caller draws the protocol request id with
+        // `rpc_id()` immediately before building the frame it hands us, so
+        // `next_rpc` still holds that id. Using it as the span id keys the
+        // trace on the same grid-unique id the receiver deduplicates on,
+        // without consuming ids of its own.
+        let span_id = self.next_rpc;
+        let span = match &pending {
+            Pending::Reserve { job, part, node } => {
+                Some((SpanKind::Reserve, job.0, *part, node.0 as u64))
+            }
+            Pending::Launch { job, part, node } => {
+                Some((SpanKind::Launch, job.0, *part, node.0 as u64))
+            }
+            Pending::CancelPart { job } => {
+                // Job-wide: cancels are addressed per node, not per part.
+                Some((SpanKind::CancelPart, job.0, u32::MAX, node.0 as u64))
+            }
+            Pending::StoreCkpt { blob, replica, .. } => {
+                Some((SpanKind::StoreCkpt, blob.job.0, blob.part, replica.0 as u64))
+            }
+            Pending::FetchCkpt { job, part, .. } => {
+                Some((SpanKind::FetchCkpt, job.0, *part, node.0 as u64))
+            }
+            Pending::RereplFetch {
+                job, part, source, ..
+            } => Some((SpanKind::RereplFetch, job.0, *part, source.0 as u64)),
+            Pending::UpdateAck { .. } => None,
+        };
+        let span_id = if let Some((kind, job, part, on_node)) = span {
+            self.obs
+                .spans
+                .start_rpc(span_id, kind, job, part, on_node, now.as_micros());
+            span_id
+        } else {
+            0
+        };
         let bytes = self.protect(out);
         let to = self.node_hosts[node.0 as usize];
         self.pending.insert(
@@ -1314,6 +1434,8 @@ impl GridWorld {
                 wire: bytes.clone(),
                 extra_bytes,
                 attempt: 0,
+                sent_at: now,
+                span: span_id,
             },
         );
         if self.transmit(now, from, to, bytes, extra_bytes, queue) {
@@ -1326,6 +1448,7 @@ impl GridWorld {
         } else {
             // Unreachable node or injected loss: fast-path straight to
             // the timeout handler, which retransmits with backoff.
+            self.obs.drops.inc();
             self.log.record(now, "drops", format!("request to {node}"));
             queue.schedule_after(
                 SimDuration::from_micros(1),
@@ -1356,6 +1479,7 @@ impl GridWorld {
                     if !bytes.is_empty() {
                         let bit = (draw % (bytes.len() as u64 * 8)) as usize;
                         bytes[bit / 8] ^= 1 << (bit % 8);
+                        self.obs.net_corrupt.inc();
                         self.log.record(
                             now,
                             "net.corrupt",
@@ -1392,6 +1516,10 @@ impl GridWorld {
             return;
         }
         if entry.attempt >= self.config.max_retransmits {
+            self.obs.timeouts.inc();
+            self.obs
+                .spans
+                .finish(entry.span, SpanOutcome::TimedOut, now.as_micros());
             self.log
                 .record(now, "grm.timeout", format!("request {request_id}"));
             self.handle_reply(
@@ -1411,6 +1539,9 @@ impl GridWorld {
         let dest = entry.dest;
         let wire = entry.wire.clone();
         let extra = entry.extra_bytes;
+        let span = entry.span;
+        self.obs.retransmits.inc();
+        self.obs.spans.add_attempt(span);
         self.log.record(
             now,
             "retransmits",
@@ -1418,6 +1549,7 @@ impl GridWorld {
         );
         let next_timeout = self.retransmit_backoff(attempt);
         if !self.transmit(now, from, dest, wire, extra, queue) {
+            self.obs.drops.inc();
             self.log
                 .record(now, "drops", format!("retransmit {request_id}"));
         }
@@ -1475,6 +1607,7 @@ impl GridWorld {
         *self.clock.borrow_mut() = now;
         if !self.net.topology().is_up(to) {
             // The destination crashed while the frame was in flight.
+            self.obs.drops.inc();
             self.log
                 .record_with(now, "drops", || format!("host {} down", to.0));
             return;
@@ -1498,7 +1631,11 @@ impl GridWorld {
         let Some(orb) = self.orbs.get_mut(&to) else {
             return;
         };
-        match orb.handle_wire(frame) {
+        let incoming = {
+            let _dec = self.obs.profiler.enter(Phase::GiopDecode);
+            orb.handle_wire(frame)
+        };
+        match incoming {
             Ok(Incoming::ReplyToSend(reply)) => {
                 let reply = self.protect(reply);
                 self.transmit(now, to, from, reply, 0, queue);
@@ -1520,6 +1657,9 @@ impl GridWorld {
             let corrupt = lrm.take_corrupt_detected();
             let gc = lrm.take_repo_gc();
             drop(lrm);
+            self.obs.dedup_hits.add(hits);
+            self.obs.corrupt_detected.add(corrupt);
+            self.obs.repo_gc.add(gc);
             for _ in 0..hits {
                 self.log
                     .record_indexed(now, "dedup_hits", "node ", node as u64);
@@ -1834,12 +1974,24 @@ impl GridWorld {
         let Some(entry) = self.pending.remove(&(at, request_id)) else {
             return;
         };
+        let span = entry.span;
+        let rtt_s = (now.as_micros().saturating_sub(entry.sent_at.as_micros())) as f64 / 1e6;
         match entry.what {
             Pending::Reserve { job, part, node } => {
                 let reply = result
                     .ok()
                     .and_then(|b| ReserveReply::from_cdr_bytes(&b).ok())
                     .unwrap_or_else(|| ReserveReply::refused("transport error"));
+                self.obs.negotiation_latency_s.observe(rtt_s);
+                self.obs.spans.finish(
+                    span,
+                    if reply.granted {
+                        SpanOutcome::Ok
+                    } else {
+                        SpanOutcome::Refused
+                    },
+                    now.as_micros(),
+                );
                 self.on_reserve_reply(now, job, part, node, reply, queue);
             }
             Pending::Launch { job, part, node } => {
@@ -1850,6 +2002,16 @@ impl GridWorld {
                         accepted: false,
                         reason: "transport error".into(),
                     });
+                self.obs.negotiation_latency_s.observe(rtt_s);
+                self.obs.spans.finish(
+                    span,
+                    if reply.accepted {
+                        SpanOutcome::Ok
+                    } else {
+                        SpanOutcome::Refused
+                    },
+                    now.as_micros(),
+                );
                 self.on_launch_reply(now, job, part, node, reply, queue);
             }
             Pending::CancelPart { job } => {
@@ -1862,6 +2024,15 @@ impl GridWorld {
                         checkpoint_version: 0,
                         done_work_mips_s: 0,
                     });
+                self.obs.spans.finish(
+                    span,
+                    if reply.found {
+                        SpanOutcome::Ok
+                    } else {
+                        SpanOutcome::Refused
+                    },
+                    now.as_micros(),
+                );
                 self.on_cancel_reply(now, job, reply, queue);
             }
             Pending::UpdateAck { node, seq } => {
@@ -1877,6 +2048,15 @@ impl GridWorld {
                 let reply = result
                     .ok()
                     .and_then(|b| StoreCheckpointReply::from_cdr_bytes(&b).ok());
+                self.obs.store_rtt_s.observe(rtt_s);
+                self.obs.spans.finish(
+                    span,
+                    match &reply {
+                        Some(r) if r.accepted => SpanOutcome::Ok,
+                        _ => SpanOutcome::Refused,
+                    },
+                    now.as_micros(),
+                );
                 self.on_store_reply(
                     now, at, origin, blob, replica, resends, rerepl, reply, queue,
                 );
@@ -1890,6 +2070,14 @@ impl GridWorld {
                 let reply = result
                     .ok()
                     .and_then(|b| FetchCheckpointReply::from_cdr_bytes(&b).ok());
+                self.obs.spans.finish(
+                    span,
+                    match &reply {
+                        Some(r) if r.found => SpanOutcome::Ok,
+                        _ => SpanOutcome::Refused,
+                    },
+                    now.as_micros(),
+                );
                 self.on_recovery_fetch_reply(now, job, part, dead_node, rest, reply, queue);
             }
             Pending::RereplFetch {
@@ -1901,6 +2089,14 @@ impl GridWorld {
                 let reply = result
                     .ok()
                     .and_then(|b| FetchCheckpointReply::from_cdr_bytes(&b).ok());
+                self.obs.spans.finish(
+                    span,
+                    match &reply {
+                        Some(r) if r.found => SpanOutcome::Ok,
+                        _ => SpanOutcome::Refused,
+                    },
+                    now.as_micros(),
+                );
                 self.on_rerepl_fetch_reply(now, job, part, source, target, reply, queue);
             }
         }
@@ -2072,6 +2268,13 @@ impl GridWorld {
                     && self.net.topology().is_up(self.node_hosts[n.0 as usize])
             })
             .collect();
+        self.obs.spans.event(
+            SpanKind::Recovery,
+            job_id.0,
+            part_id,
+            dead_node.0 as u64,
+            now.as_micros(),
+        );
         self.log.record(
             now,
             "repo.recover",
@@ -2323,6 +2526,7 @@ impl GridWorld {
                 Vec::new()
             }
         };
+        self.obs.trader_depth.observe(candidates.len() as f64);
         // 2. Strategy ranking.
         let ranked = rank(&candidates, strategy, spec_pref, &mut self.rng);
         // 3. Topology-aware group placement when requested.
@@ -2787,6 +2991,12 @@ impl GridWorld {
     }
 
     fn slot_tick(&mut self, now: SimTime, queue: &mut EventQueue<GridEvent>) {
+        // Clone shares the accumulators; the local keeps the timing guard's
+        // borrow off `self` so the walk below can take `&mut self`.
+        let profiler = self.obs.profiler.clone();
+        let _walk = profiler.enter(Phase::SlotWalk);
+        self.obs.queue_depth.observe(queue.len() as f64);
+        self.obs.active_nodes.set(self.active.len() as f64);
         *self.clock.borrow_mut() = now;
         let (_, weekday, minute) = self.wall(now);
         self.slots_elapsed += 1;
@@ -2849,6 +3059,7 @@ impl GridWorld {
                 lrm.policy.max_cpu_fraction,
             )
         };
+        self.obs.lease_expired.add(expired as u64);
         for _ in 0..expired {
             self.log
                 .record_indexed(now, "lease.expired", "node ", i as u64);
@@ -3104,6 +3315,8 @@ impl GridWorld {
                     wire: Vec::new(), // never retransmitted
                     extra_bytes: 0,
                     attempt: 0,
+                    sent_at: now,
+                    span: 0, // status updates are not traced
                 },
             );
             let grm_host = self.grm_host;

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod asct;
+pub mod builder;
 pub mod federation;
 pub mod grid;
 pub mod grm;
@@ -56,6 +57,7 @@ pub mod gupa;
 pub mod hierarchy;
 pub mod lrm;
 pub mod ncc;
+pub mod observe;
 pub mod protocol;
 pub mod qos;
 pub mod repo;

@@ -1,0 +1,433 @@
+//! Causal trace spans keyed on the grid's protocol-level request ids.
+//!
+//! Every tracked RPC (Reserve, Launch, CancelPart, checkpoint Store, replica
+//! Fetch, re-replication Fetch) already carries a grid-unique `request_id`;
+//! the recorder reuses that id as the span id so tracing allocates **no new
+//! identifiers** and therefore cannot perturb the deterministic RNG streams.
+//! Synthetic events with no wire request (a node crash, the decision to
+//! begin recovery) draw ids from a separate counter offset into the high
+//! half of the id space so they can never collide with protocol ids.
+//!
+//! Causality is parent chaining: the recorder keeps, per `(job, part)`, the
+//! id of the last span it opened; a new span for the same part records that
+//! id as its parent. Because sim time is monotonic and spans are appended as
+//! they open, insertion order **is** causal order — [`SpanRecorder::part_spans`]
+//! returns the full negotiation→launch→checkpoint→crash→recovery history of
+//! a part as a ready-ordered slice, and [`SpanRecorder::tree`] re-roots it as
+//! a parent/child tree.
+
+use std::fmt;
+
+/// Synthetic (non-RPC) span ids live above this bit so they can never
+/// collide with protocol request ids.
+const SYNTHETIC_BASE: u64 = 1 << 62;
+
+/// What a span describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A Reserve RPC to a candidate LRM.
+    Reserve,
+    /// A Launch RPC carrying the part to an LRM.
+    Launch,
+    /// A CancelPart RPC rolling back a reservation.
+    CancelPart,
+    /// A checkpoint Store RPC to one replica holder.
+    StoreCkpt,
+    /// A recovery Fetch RPC to a replica holder.
+    FetchCkpt,
+    /// A background re-replication Fetch relay.
+    RereplFetch,
+    /// Synthetic: the executor's node crashed while running the part.
+    Crash,
+    /// Synthetic: the GRM put the part into recovery.
+    Recovery,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Reserve => "reserve",
+            SpanKind::Launch => "launch",
+            SpanKind::CancelPart => "cancel_part",
+            SpanKind::StoreCkpt => "store_ckpt",
+            SpanKind::FetchCkpt => "fetch_ckpt",
+            SpanKind::RereplFetch => "rerepl_fetch",
+            SpanKind::Crash => "crash",
+            SpanKind::Recovery => "recovery",
+        }
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanOutcome {
+    /// Still open (no reply yet, or the run ended first).
+    Open,
+    /// The request succeeded (granted / launched / acked / fetched).
+    Ok,
+    /// The peer answered with a refusal (reservation refused, stale
+    /// version, digest mismatch nack...).
+    Refused,
+    /// Retransmissions exhausted without a reply.
+    TimedOut,
+    /// Synthetic events complete instantly.
+    Event,
+}
+
+impl SpanOutcome {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanOutcome::Open => "open",
+            SpanOutcome::Ok => "ok",
+            SpanOutcome::Refused => "refused",
+            SpanOutcome::TimedOut => "timed_out",
+            SpanOutcome::Event => "event",
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span id — the protocol `request_id` for RPC spans, a synthetic
+    /// high-half id for events.
+    pub id: u64,
+    /// Causal parent span id, or 0 for a root.
+    pub parent: u64,
+    /// What this span describes.
+    pub kind: SpanKind,
+    /// Job id the span belongs to.
+    pub job: u64,
+    /// Part index within the job.
+    pub part: u32,
+    /// The remote node (LRM host id) the request targeted, or the crashed
+    /// node for synthetic events.
+    pub node: u64,
+    /// Sim time the span opened, microseconds.
+    pub start_us: u64,
+    /// Sim time the span closed, microseconds (equals `start_us` while
+    /// open and for instantaneous synthetic events).
+    pub end_us: u64,
+    /// How the span ended.
+    pub outcome: SpanOutcome,
+    /// Wire-level send attempts (1 = no retransmit); 0 for synthetic
+    /// events.
+    pub attempts: u32,
+}
+
+impl Span {
+    /// Span duration in sim microseconds (0 while open).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// A node in the reconstructed causal tree.
+#[derive(Debug, Clone)]
+pub struct SpanTree {
+    /// The span at this node.
+    pub span: Span,
+    /// Children in causal (insertion) order.
+    pub children: Vec<SpanTree>,
+}
+
+impl SpanTree {
+    /// Depth-first flatten (pre-order), for assertions and rendering.
+    pub fn flatten(&self) -> Vec<&Span> {
+        let mut out = Vec::new();
+        self.walk(&mut out);
+        out
+    }
+
+    fn walk<'a>(&'a self, out: &mut Vec<&'a Span>) {
+        out.push(&self.span);
+        for child in &self.children {
+            child.walk(out);
+        }
+    }
+
+    /// Renders the tree as an indented text outline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let s = &self.span;
+        let _ = writeln!(
+            out,
+            "{:indent$}{} job={} part={} node={} [{}..{}us] {} x{}",
+            "",
+            s.kind,
+            s.job,
+            s.part,
+            s.node,
+            s.start_us,
+            s.end_us,
+            s.outcome.name(),
+            s.attempts,
+            indent = depth * 2
+        );
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// The span store. Appended to as requests go out, finished as replies
+/// arrive (or retransmissions exhaust), queried after the run.
+#[derive(Debug, Default)]
+pub struct SpanRecorder {
+    enabled: bool,
+    spans: Vec<Span>,
+    /// Per-(job, part) id of the most recent span — the causal parent for
+    /// the next span of that part.
+    last: std::collections::BTreeMap<(u64, u32), u64>,
+    next_synthetic: u64,
+}
+
+impl SpanRecorder {
+    /// An enabled, empty recorder.
+    pub fn new() -> Self {
+        SpanRecorder {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Turns recording on or off. Disabling does not drop already-recorded
+    /// spans; it stops new ones from being opened.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether new spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens an RPC span under the protocol request id `id`. The previous
+    /// span of the same `(job, part)` becomes the parent.
+    pub fn start_rpc(
+        &mut self,
+        id: u64,
+        kind: SpanKind,
+        job: u64,
+        part: u32,
+        node: u64,
+        now_us: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let parent = self.last.get(&(job, part)).copied().unwrap_or(0);
+        self.last.insert((job, part), id);
+        self.spans.push(Span {
+            id,
+            parent,
+            kind,
+            job,
+            part,
+            node,
+            start_us: now_us,
+            end_us: now_us,
+            outcome: SpanOutcome::Open,
+            attempts: 1,
+        });
+    }
+
+    /// Records a retransmission of the request behind span `id`.
+    pub fn add_attempt(&mut self, id: u64) {
+        if let Some(span) = self.find_open_mut(id) {
+            span.attempts += 1;
+        }
+    }
+
+    /// Closes span `id` with `outcome` at `now_us`. Unknown or already
+    /// closed ids are ignored (the recorder may have been disabled when the
+    /// request went out).
+    pub fn finish(&mut self, id: u64, outcome: SpanOutcome, now_us: u64) {
+        if let Some(span) = self.find_open_mut(id) {
+            span.end_us = now_us;
+            span.outcome = outcome;
+        }
+    }
+
+    /// Records an instantaneous synthetic event (crash, recovery start) in
+    /// the part's causal chain. Returns the synthetic span id.
+    pub fn event(&mut self, kind: SpanKind, job: u64, part: u32, node: u64, now_us: u64) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.next_synthetic += 1;
+        let id = SYNTHETIC_BASE | self.next_synthetic;
+        let parent = self.last.get(&(job, part)).copied().unwrap_or(0);
+        self.last.insert((job, part), id);
+        self.spans.push(Span {
+            id,
+            parent,
+            kind,
+            job,
+            part,
+            node,
+            start_us: now_us,
+            end_us: now_us,
+            outcome: SpanOutcome::Event,
+            attempts: 0,
+        });
+        id
+    }
+
+    fn find_open_mut(&mut self, id: u64) -> Option<&mut Span> {
+        // Replies come soon after requests; scan from the tail.
+        self.spans
+            .iter_mut()
+            .rev()
+            .find(|s| s.id == id && s.outcome == SpanOutcome::Open)
+    }
+
+    /// Every recorded span, in causal (insertion) order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The full causal history of one part, in order. Sim time is
+    /// monotonic and spans append as they open, so this slice **is** the
+    /// causal order — reserve before launch before checkpoint stores before
+    /// crash before recovery fetches before relaunch.
+    pub fn part_spans(&self, job: u64, part: u32) -> Vec<&Span> {
+        self.spans
+            .iter()
+            .filter(|s| s.job == job && s.part == part)
+            .collect()
+    }
+
+    /// Reconstructs the causal tree(s) for one part. Usually a single root
+    /// (the first Reserve); parts whose chain was broken by a disabled
+    /// interval may yield several roots.
+    pub fn tree(&self, job: u64, part: u32) -> Vec<SpanTree> {
+        let spans = self.part_spans(job, part);
+        build_forest(&spans)
+    }
+}
+
+fn build_forest(spans: &[&Span]) -> Vec<SpanTree> {
+    let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut roots = Vec::new();
+    // Recursive descent over a small per-part span list.
+    fn children_of(spans: &[&Span], parent: u64) -> Vec<SpanTree> {
+        spans
+            .iter()
+            .filter(|s| s.parent == parent)
+            .map(|s| SpanTree {
+                span: (*s).clone(),
+                children: children_of(spans, s.id),
+            })
+            .collect()
+    }
+    for s in spans {
+        if s.parent == 0 || !ids.contains(&s.parent) {
+            roots.push(SpanTree {
+                span: (*s).clone(),
+                children: children_of(spans, s.id),
+            });
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_parents_per_part() {
+        let mut r = SpanRecorder::new();
+        r.start_rpc(10, SpanKind::Reserve, 1, 0, 7, 100);
+        r.finish(10, SpanOutcome::Ok, 150);
+        r.start_rpc(11, SpanKind::Launch, 1, 0, 7, 160);
+        r.start_rpc(20, SpanKind::Reserve, 1, 1, 8, 100);
+        let part0 = r.part_spans(1, 0);
+        assert_eq!(part0.len(), 2);
+        assert_eq!(part0[0].parent, 0);
+        assert_eq!(part0[1].parent, 10);
+        assert_eq!(r.part_spans(1, 1)[0].parent, 0, "parts chain independently");
+    }
+
+    #[test]
+    fn finish_and_attempts_update_the_open_span() {
+        let mut r = SpanRecorder::new();
+        r.start_rpc(5, SpanKind::StoreCkpt, 2, 0, 3, 1_000);
+        r.add_attempt(5);
+        r.add_attempt(5);
+        r.finish(5, SpanOutcome::Ok, 2_500);
+        let s = &r.spans()[0];
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.outcome, SpanOutcome::Ok);
+        assert_eq!(s.duration_us(), 1_500);
+        // A second finish is a no-op.
+        r.finish(5, SpanOutcome::TimedOut, 9_999);
+        assert_eq!(r.spans()[0].outcome, SpanOutcome::Ok);
+    }
+
+    #[test]
+    fn synthetic_ids_cannot_collide_with_rpc_ids() {
+        let mut r = SpanRecorder::new();
+        r.start_rpc(1, SpanKind::Reserve, 1, 0, 7, 0);
+        let crash = r.event(SpanKind::Crash, 1, 0, 7, 50);
+        assert!(crash >= SYNTHETIC_BASE);
+        r.start_rpc(2, SpanKind::FetchCkpt, 1, 0, 9, 60);
+        let spans = r.part_spans(1, 0);
+        assert_eq!(spans[1].parent, 1, "crash chains under the reserve");
+        assert_eq!(spans[2].parent, crash, "fetch chains under the crash");
+    }
+
+    #[test]
+    fn tree_reconstructs_causal_nesting() {
+        let mut r = SpanRecorder::new();
+        r.start_rpc(1, SpanKind::Reserve, 1, 0, 7, 0);
+        r.finish(1, SpanOutcome::Ok, 10);
+        r.start_rpc(2, SpanKind::Launch, 1, 0, 7, 20);
+        r.finish(2, SpanOutcome::Ok, 30);
+        r.start_rpc(3, SpanKind::StoreCkpt, 1, 0, 4, 40);
+        r.finish(3, SpanOutcome::Ok, 50);
+        let trees = r.tree(1, 0);
+        assert_eq!(trees.len(), 1, "single root");
+        let flat = trees[0].flatten();
+        let kinds: Vec<SpanKind> = flat.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SpanKind::Reserve, SpanKind::Launch, SpanKind::StoreCkpt]
+        );
+        assert!(trees[0].render().contains("reserve job=1 part=0"));
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = SpanRecorder::new();
+        r.set_enabled(false);
+        r.start_rpc(1, SpanKind::Reserve, 1, 0, 7, 0);
+        assert_eq!(r.event(SpanKind::Crash, 1, 0, 7, 5), 0);
+        assert!(r.is_empty());
+    }
+}

@@ -901,7 +901,7 @@ pub fn eval_slots<'a>(
 }
 
 /// Match predicate over a dense slot table; the compiled counterpart of
-/// [`matches`].
+/// [`matches`](fn@matches).
 pub fn matches_slots(expr: &SlotExpr, slots: &[Option<AnyValue>]) -> bool {
     matches!(eval_slots(expr, slots), Ok(Value::Bool(true)))
 }

@@ -69,7 +69,7 @@ pub use cdr::{CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
 pub use giop::{FrameError, Message, ReplyStatus};
 pub use ior::{Endpoint, Ior, ObjectKey};
 pub use naming::{NamingError, NamingServant, NamingService};
-pub use orb::{decode_reply, Incoming, Orb, RemoteError};
+pub use orb::{decode_reply, Incoming, Orb, OrbStats, RemoteError};
 pub use security::{open as open_sealed, seal, siphash24, AuthError, ClusterKey};
 pub use servant::{Poa, Servant, ServerException};
 pub use trading::{OfferId, Preference, ServiceOffer, Trader, TraderError, TraderServant};

@@ -137,10 +137,31 @@ pub struct Orb {
     poa: Poa,
     next_request_id: u64,
     requests_sent: u64,
+    oneways_sent: u64,
+    replies_received: u64,
+    requests_dispatched: u64,
     /// Reusable argument-encoding buffer: CDR alignment is relative to the
     /// argument block's own start, so args are staged here and appended to
     /// the frame as raw bytes.
     scratch: Vec<u8>,
+}
+
+/// Point-in-time traffic counters for one [`Orb`].
+///
+/// `requests_sent` counts every outgoing frame (two-way and oneway);
+/// `oneways_sent` is the oneway subset. `requests_dispatched` counts
+/// incoming frames routed to a local servant, and `replies_received`
+/// counts reply frames classified for caller-side correlation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrbStats {
+    /// Outgoing request frames issued (including oneways).
+    pub requests_sent: u64,
+    /// Outgoing oneway frames issued (subset of `requests_sent`).
+    pub oneways_sent: u64,
+    /// Incoming reply frames classified for correlation.
+    pub replies_received: u64,
+    /// Incoming request frames dispatched to a local servant.
+    pub requests_dispatched: u64,
 }
 
 impl Orb {
@@ -150,6 +171,9 @@ impl Orb {
             poa: Poa::new(endpoint),
             next_request_id: 1,
             requests_sent: 0,
+            oneways_sent: 0,
+            replies_received: 0,
+            requests_dispatched: 0,
             scratch: Vec::new(),
         }
     }
@@ -237,6 +261,9 @@ impl Orb {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
         self.requests_sent += 1;
+        if !response_expected {
+            self.oneways_sent += 1;
+        }
         self.scratch.clear();
         let mut w = CdrWriter::append_to(std::mem::take(&mut self.scratch));
         encode_args(&mut w);
@@ -260,15 +287,19 @@ impl Orb {
     /// Fails if the bytes are not a well-formed frame.
     pub fn handle_wire(&mut self, bytes: &[u8]) -> Result<Incoming, RemoteError> {
         match Message::from_wire(bytes)? {
-            req @ Message::Request { .. } => match self.poa.handle_request(&req) {
-                Some(reply) => Ok(Incoming::ReplyToSend(reply.to_wire())),
-                None => Ok(Incoming::OnewayHandled),
-            },
+            req @ Message::Request { .. } => {
+                self.requests_dispatched += 1;
+                match self.poa.handle_request(&req) {
+                    Some(reply) => Ok(Incoming::ReplyToSend(reply.to_wire())),
+                    None => Ok(Incoming::OnewayHandled),
+                }
+            }
             Message::Reply {
                 request_id,
                 status,
                 body,
             } => {
+                self.replies_received += 1;
                 let result = match status {
                     ReplyStatus::NoException => Ok(body.into_owned()),
                     ReplyStatus::UserException => Err(RemoteError::User(
@@ -286,6 +317,16 @@ impl Orb {
     /// Total requests this ORB has issued.
     pub fn requests_sent(&self) -> u64 {
         self.requests_sent
+    }
+
+    /// Snapshot of this ORB's traffic counters.
+    pub fn stats(&self) -> OrbStats {
+        OrbStats {
+            requests_sent: self.requests_sent,
+            oneways_sent: self.oneways_sent,
+            replies_received: self.replies_received,
+            requests_dispatched: self.requests_dispatched,
+        }
     }
 }
 

@@ -424,6 +424,45 @@ pub fn run_until<W: World>(
     }
 }
 
+/// Like [`run_until`], but attributes wall time to the two halves of the
+/// hot loop — queue operations ([`Phase::QueuePop`]) and world dispatch
+/// ([`Phase::Dispatch`]) — through the given profiler. Without the
+/// observability crate's `profile` feature the guards are zero-sized
+/// no-ops, so this is the same loop at the same cost; the grid routes
+/// every run through it unconditionally.
+///
+/// [`Phase::QueuePop`]: integrade_obs::profile::Phase::QueuePop
+/// [`Phase::Dispatch`]: integrade_obs::profile::Phase::Dispatch
+pub fn run_until_profiled<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    horizon: SimTime,
+    max_steps: u64,
+    profiler: &integrade_obs::profile::Profiler,
+) -> (RunOutcome, u64) {
+    use integrade_obs::profile::Phase;
+    let mut steps = 0;
+    loop {
+        if steps >= max_steps {
+            return (RunOutcome::StepBudgetExhausted, steps);
+        }
+        let popped = {
+            let _pop = profiler.enter(Phase::QueuePop);
+            match queue.peek_time() {
+                None => return (RunOutcome::Drained, steps),
+                Some(t) if t > horizon => return (RunOutcome::HorizonReached, steps),
+                Some(_) => queue.pop().expect("peeked event must pop"),
+            }
+        };
+        let (now, ev) = popped;
+        {
+            let _dispatch = profiler.enter(Phase::Dispatch);
+            world.handle(now, ev, queue);
+        }
+        steps += 1;
+    }
+}
+
 /// Runs `world` until the queue drains or `max_steps` fire.
 pub fn run_to_completion<W: World>(
     world: &mut W,

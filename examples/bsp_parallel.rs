@@ -77,10 +77,7 @@ fn main() {
             });
         }
     }
-    let config = GridConfig {
-        gupa_warmup_days: 0,
-        ..Default::default()
-    };
+    let config = GridConfig::builder().gupa_warmup_days(0).build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster(
         (0..4)

@@ -3,21 +3,21 @@
 //! Builds a single InteGrade cluster (the paper's intra-cluster
 //! architecture: GRM + Trader on the cluster-manager node, an LRM with NCC
 //! policy and LUPA collection on every provider node), submits a sequential
-//! application through the ASCT API, and prints the component inventory and
-//! job lifecycle.
+//! application through the ASCT API, and prints the component inventory,
+//! the job lifecycle, and the built-in observability views: the causal
+//! trace of the part and a slice of the Prometheus metrics dump.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use integrade::core::asct::JobSpec;
-use integrade::core::grid::{GridBuilder, GridConfig, NodeSetup};
-use integrade::simnet::time::SimTime;
+use integrade::prelude::*;
 
 fn main() {
     // Figure 1: a cluster of shared desktops plus one dedicated node.
     let mut nodes: Vec<NodeSetup> = (0..6).map(|_| NodeSetup::idle_desktop()).collect();
     nodes.push(NodeSetup::dedicated());
 
-    let config = GridConfig::default();
+    // The validated fluent front door; default_5min() names the defaults.
+    let config = GridConfig::builder().seed(42).max_candidates(16).build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster(nodes);
     let mut grid = builder.build();
@@ -26,7 +26,7 @@ fn main() {
     println!("cluster-manager node : GRM + Trader + GUPA (1)");
     println!("resource providers   : {}", grid.node_count());
     for i in 0..grid.node_count() {
-        let lrm = grid.lrm(integrade::core::types::NodeId(i as u32)).unwrap();
+        let lrm = grid.lrm(NodeId(i as u32)).unwrap();
         println!(
             "  node{i}: {} MIPS, {} MB RAM, roles [{}], NCC cap {:.0}% CPU / {:.0}% RAM",
             lrm.resources.cpu_mips,
@@ -37,9 +37,13 @@ fn main() {
         );
     }
 
-    // Submit through the ASCT and run for one virtual hour.
+    // Submit through the ASCT and run for one virtual hour. The typed
+    // requirements compile to the §3 trader constraint string.
     println!("\n== Submitting 'hello-grid' (sequential, 150k MIPS-s) ==");
-    let job = grid.submit(JobSpec::sequential("hello-grid", 150_000));
+    let job = grid.submit(
+        JobSpec::sequential("hello-grid", 150_000)
+            .with_requirements([Requirement::MinRamMb(16), Requirement::MinCpuMips(500)]),
+    );
     grid.run_until(SimTime::from_secs(3600));
 
     let record = grid.job_record(job).expect("job exists");
@@ -66,6 +70,20 @@ fn main() {
     println!("status updates (GRM) : {}", report.updates.accepted);
     println!("trader queries       : {}", report.trader_queries);
     println!("owner cap violations : {}", report.qos.cap_violations);
+
+    // The causal trace of part 0, reconstructed from the span recorder:
+    // every negotiation RPC keyed on its protocol request id.
+    println!("\n== Causal trace of part 0 ==");
+    for tree in grid.part_span_tree(job, 0) {
+        print!("{}", tree.render());
+    }
+
+    // A slice of the metrics registry, in Prometheus text exposition.
+    println!("\n== Metrics (Prometheus text, first lines) ==");
+    let snapshot = grid.metrics_snapshot();
+    for line in snapshot.to_prometheus().lines().take(8) {
+        println!("  {line}");
+    }
 
     println!("\n== Lifecycle trace ==");
     for record in grid.log().records().iter().take(12) {

@@ -95,10 +95,7 @@ fn main() {
     // own GRM, executing a forwarded job end to end.
     println!("\n== Live federation: forwarding a job between running grids ==");
     let make_grid = |n: usize| {
-        let mut b = GridBuilder::new(GridConfig {
-            gupa_warmup_days: 0,
-            ..Default::default()
-        });
+        let mut b = GridBuilder::new(GridConfig::builder().gupa_warmup_days(0).build());
         b.add_cluster((0..n).map(|_| NodeSetup::idle_desktop()).collect());
         b.build()
     };

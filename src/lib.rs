@@ -26,22 +26,33 @@
 //!   the runnable [`core::grid::Grid`].
 //! * [`baselines`] — Condor-style, BOINC-style and naive comparators.
 //!
+//! * [`obs`] — the observability layer: metrics registry, causal trace
+//!   spans, hot-loop profiling timers.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use integrade::core::asct::JobSpec;
-//! use integrade::core::grid::{GridBuilder, GridConfig, NodeSetup};
-//! use integrade::simnet::time::SimTime;
+//! use integrade::prelude::*;
 //!
 //! // A four-desktop cluster with protective default sharing policies.
-//! let mut builder = GridBuilder::new(GridConfig::default());
+//! // `GridConfig::builder()` validates as it goes; `default_5min()` is the
+//! // validated shorthand for the paper's 5-minute sampling setup.
+//! let config = GridConfig::builder().seed(42).max_candidates(16).build();
+//! let mut builder = GridBuilder::new(config);
 //! builder.add_cluster((0..4).map(|_| NodeSetup::idle_desktop()).collect());
 //! let mut grid = builder.build();
 //!
 //! // Submit a small sequential application through the ASCT API and run.
-//! let job = grid.submit(JobSpec::sequential("hello-grid", 1500));
+//! let job = grid.submit(
+//!     JobSpec::sequential("hello-grid", 1500).with_requirement(Requirement::MinRamMb(16)),
+//! );
 //! grid.run_until(SimTime::from_secs(3600));
 //! assert_eq!(grid.job_record(job).unwrap().state.to_string(), "completed");
+//!
+//! // Every run carries metrics and causal trace spans for free.
+//! let snapshot = grid.metrics_snapshot();
+//! assert!(snapshot.counter("orb_requests_sent").unwrap() > 0);
+//! assert!(!grid.spans().is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -50,7 +61,35 @@
 pub use integrade_baselines as baselines;
 pub use integrade_bsp as bsp;
 pub use integrade_core as core;
+pub use integrade_obs as obs;
 pub use integrade_orb as orb;
 pub use integrade_simnet as simnet;
 pub use integrade_usage as usage;
 pub use integrade_workload as workload;
+
+/// The types most programs need, in one import.
+///
+/// ```
+/// use integrade::prelude::*;
+///
+/// let config = GridConfig::default_5min();
+/// let spec = JobSpec::bsp("solver", 4, 10, 10_000, 1024)
+///     .with_requirements([Requirement::MinRamMb(64)])
+///     .with_preference(SchedulingPreference::LeastLoaded);
+/// let _ = (config, spec);
+/// ```
+pub mod prelude {
+    pub use integrade_core::asct::{
+        JobRecord, JobSpec, JobState, Requirement, SchedulingPreference,
+    };
+    pub use integrade_core::builder::{ConfigError, GridConfigBuilder};
+    pub use integrade_core::grid::{
+        Grid, GridBuilder, GridConfig, GridReport, NodeSetup, TickMode,
+    };
+    pub use integrade_core::scheduler::Strategy;
+    pub use integrade_core::types::{JobId, NodeId, Platform, ResourceVector};
+    pub use integrade_obs::metrics::MetricsSnapshot;
+    pub use integrade_obs::span::{Span, SpanKind, SpanOutcome, SpanTree};
+    pub use integrade_simnet::faults::FaultPlan;
+    pub use integrade_simnet::time::{SimDuration, SimTime};
+}

@@ -49,10 +49,7 @@ fn workload() -> Vec<(SimTime, JobSpec)> {
 #[test]
 fn integrade_runs_the_full_mix_including_parallel() {
     let traces = population(11, 9);
-    let config = GridConfig {
-        gupa_warmup_days: 0,
-        ..Default::default()
-    };
+    let config = GridConfig::builder().gupa_warmup_days(0).build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster(
         traces

@@ -30,12 +30,11 @@ fn chaos_seeds() -> Vec<u64> {
 }
 
 fn chaos_grid(nodes: usize, seed: u64) -> Grid {
-    let config = GridConfig {
-        seed,
-        gupa_warmup_days: 0,
-        sequential_checkpoint_mips_s: 30_000.0,
-        ..Default::default()
-    };
+    let config = GridConfig::builder()
+        .seed(seed)
+        .gupa_warmup_days(0)
+        .sequential_checkpoint_mips_s(30_000.0)
+        .build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster((0..nodes).map(|_| NodeSetup::idle_desktop()).collect());
     builder.build()

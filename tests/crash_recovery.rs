@@ -24,12 +24,11 @@ fn chaos_seeds() -> Vec<u64> {
 }
 
 fn grid_seeded(nodes: usize, seed: u64) -> integrade::core::grid::Grid {
-    let config = GridConfig {
-        seed,
-        gupa_warmup_days: 0,
-        sequential_checkpoint_mips_s: 30_000.0, // checkpoint every ~200 s of grid CPU
-        ..Default::default()
-    };
+    let config = GridConfig::builder()
+        .seed(seed)
+        .gupa_warmup_days(0)
+        .sequential_checkpoint_mips_s(30_000.0) // checkpoint every ~200 s of grid CPU
+        .build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster((0..nodes).map(|_| NodeSetup::idle_desktop()).collect());
     builder.build()
@@ -72,12 +71,11 @@ fn crash_during_execution_recovers_from_repository() {
 #[test]
 fn crash_without_checkpointing_restarts_from_zero() {
     for seed in chaos_seeds() {
-        let config = GridConfig {
-            seed,
-            gupa_warmup_days: 0,
-            sequential_checkpoint_mips_s: 0.0, // no checkpoints at all
-            ..Default::default()
-        };
+        let config = GridConfig::builder()
+            .seed(seed)
+            .gupa_warmup_days(0)
+            .sequential_checkpoint_mips_s(0.0) // no checkpoints at all
+            .build();
         let mut builder = GridBuilder::new(config);
         builder.add_cluster((0..2).map(|_| NodeSetup::idle_desktop()).collect());
         let mut grid = builder.build();
@@ -121,11 +119,7 @@ fn crash_during_negotiation_times_out_and_fails_over() {
 #[test]
 fn bsp_gang_survives_a_member_crash() {
     for seed in chaos_seeds() {
-        let config = GridConfig {
-            seed,
-            gupa_warmup_days: 0,
-            ..Default::default()
-        };
+        let config = GridConfig::builder().seed(seed).gupa_warmup_days(0).build();
         let mut builder = GridBuilder::new(config);
         builder.add_cluster((0..5).map(|_| NodeSetup::idle_desktop()).collect());
         let mut grid = builder.build();

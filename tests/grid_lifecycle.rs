@@ -30,11 +30,10 @@ fn grid_with(
     office_nodes: usize,
     idle_nodes: usize,
 ) -> integrade::core::grid::Grid {
-    let config = GridConfig {
-        strategy,
-        gupa_warmup_days: 14,
-        ..Default::default()
-    };
+    let config = GridConfig::builder()
+        .strategy(strategy)
+        .gupa_warmup_days(14)
+        .build();
     let mut builder = GridBuilder::new(config);
     let mut nodes = Vec::new();
     for _ in 0..office_nodes {
@@ -115,11 +114,10 @@ fn eviction_recovery_preserves_correct_completion() {
 fn realistic_archetype_traces_drive_the_grid() {
     let mut rng = DetRng::new(7);
     let trace_cfg = TraceConfig::default();
-    let config = GridConfig {
-        gupa_warmup_days: 7,
-        strategy: Strategy::PatternAware,
-        ..Default::default()
-    };
+    let config = GridConfig::builder()
+        .gupa_warmup_days(7)
+        .strategy(Strategy::PatternAware)
+        .build();
     let mut builder = GridBuilder::new(config);
     let nodes: Vec<NodeSetup> = [
         Archetype::OfficeWorker,
@@ -152,11 +150,10 @@ fn realistic_archetype_traces_drive_the_grid() {
 #[test]
 fn delta_suppression_reduces_update_traffic() {
     let run = |suppress: bool| {
-        let mut config = GridConfig {
-            gupa_warmup_days: 0,
-            ..Default::default()
-        };
-        config.lrm.delta_suppression = suppress;
+        let config = GridConfig::builder()
+            .gupa_warmup_days(0)
+            .delta_suppression(suppress)
+            .build();
         let mut builder = GridBuilder::new(config);
         builder.add_cluster((0..8).map(|_| NodeSetup::idle_desktop()).collect());
         let mut grid = builder.build();
@@ -191,10 +188,7 @@ fn virtual_topology_request_end_to_end() {
     // 100 Mbps intra floor must land entirely inside one cluster — the §3
     // request exercised through the whole submission pipeline.
     use integrade::core::asct::{GroupRequest, TopologyRequest};
-    let config = GridConfig {
-        gupa_warmup_days: 0,
-        ..Default::default()
-    };
+    let config = GridConfig::builder().gupa_warmup_days(0).build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster((0..4).map(|_| NodeSetup::idle_desktop()).collect());
     builder.add_cluster((0..4).map(|_| NodeSetup::idle_desktop()).collect());
@@ -238,11 +232,10 @@ fn virtual_topology_request_end_to_end() {
 #[test]
 fn infeasible_topology_request_fails_not_hangs() {
     use integrade::core::asct::{GroupRequest, TopologyRequest};
-    let config = GridConfig {
-        gupa_warmup_days: 0,
-        max_attempts: 3,
-        ..Default::default()
-    };
+    let config = GridConfig::builder()
+        .gupa_warmup_days(0)
+        .max_attempts(3)
+        .build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster((0..3).map(|_| NodeSetup::idle_desktop()).collect());
     let mut grid = builder.build();
@@ -263,10 +256,7 @@ fn infeasible_topology_request_fails_not_hangs() {
 #[test]
 fn platform_prerequisites_filter_nodes_end_to_end() {
     use integrade::core::types::Platform;
-    let config = GridConfig {
-        gupa_warmup_days: 0,
-        ..Default::default()
-    };
+    let config = GridConfig::builder().gupa_warmup_days(0).build();
     let mut builder = GridBuilder::new(config);
     // Nodes 0-1 linux-x86, node 2 solaris-sparc (faster, would win the
     // preference if eligible).

@@ -234,11 +234,10 @@ fn cluster_key_authenticates_protocol_frames() {
     use integrade::simnet::topology::HostId;
 
     let key = ClusterKey::new(0x1234_5678, 0x9ABC_DEF0);
-    let config = GridConfig {
-        gupa_warmup_days: 0,
-        cluster_key: Some(key),
-        ..Default::default()
-    };
+    let config = GridConfig::builder()
+        .gupa_warmup_days(0)
+        .cluster_key(key)
+        .build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster((0..3).map(|_| NodeSetup::idle_desktop()).collect());
     let mut grid = builder.build();

@@ -1,0 +1,209 @@
+//! Causal trace reconstruction: for a part that is evicted by a node crash
+//! and recovered from the checkpoint repository, one API call
+//! (`Grid::part_span_tree`) must return the whole story in causal order —
+//! reserve → launch → checkpoint stores → crash → recovery → replica fetch
+//! → relaunch — under a fixed chaos seed matrix.
+//!
+//! This is the acceptance test for the observability tentpole: span ids are
+//! the protocol request ids, so the reconstruction is exact, not heuristic,
+//! and recording them must not perturb the simulation (`tests/tick_parity.rs`
+//! proves bit-for-bit passivity separately).
+
+use integrade::prelude::*;
+
+/// The same seed matrix the chaos suite uses: a small default set for
+/// `cargo test`, widened in CI via `CHAOS_SEEDS`.
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(spec) => {
+            let seeds: Vec<u64> = spec
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect();
+            assert!(!seeds.is_empty(), "CHAOS_SEEDS set but empty: {spec:?}");
+            seeds
+        }
+        Err(_) => vec![1, 2, 3, 4],
+    }
+}
+
+/// The crash-recovery scenario from `tests/crash_recovery.rs`, instrumented:
+/// checkpointing every ~200 s of grid CPU so the repository holds state when
+/// the executor dies.
+fn grid_seeded(nodes: usize, seed: u64) -> Grid {
+    let config = GridConfig::builder()
+        .seed(seed)
+        .gupa_warmup_days(0)
+        .sequential_checkpoint_mips_s(30_000.0)
+        .build();
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..nodes).map(|_| NodeSetup::idle_desktop()).collect());
+    builder.build()
+}
+
+/// Index of the first span of `kind` in a causal slice.
+fn first(spans: &[&Span], kind: SpanKind) -> Option<usize> {
+    spans.iter().position(|s| s.kind == kind)
+}
+
+#[test]
+fn span_tree_reconstructs_evicted_part_end_to_end() {
+    for seed in chaos_seeds() {
+        let mut grid = grid_seeded(3, seed);
+        let job = grid.submit(JobSpec::sequential("traced", 1_000_000));
+        grid.run_until(SimTime::from_secs(1800));
+        assert_eq!(
+            grid.job_record(job).unwrap().state,
+            JobState::Running,
+            "seed {seed}"
+        );
+        let host = (0..grid.node_count() as u32)
+            .map(NodeId)
+            .find(|&n| !grid.lrm(n).unwrap().running().is_empty())
+            .expect("job is running somewhere");
+        grid.crash_node(host);
+        grid.run_until(SimTime::from_secs(6 * 3600));
+        let record = grid.job_record(job).unwrap();
+        assert_eq!(record.state, JobState::Completed, "seed {seed}: {record:?}");
+        assert_eq!(record.evictions, 1, "seed {seed}");
+
+        // One API call: the full causal tree of part 0.
+        let trees = grid.part_span_tree(job, 0);
+        assert_eq!(
+            trees.len(),
+            1,
+            "seed {seed}: one unbroken causal chain rooted at the first reserve"
+        );
+        let root = &trees[0];
+        assert_eq!(root.span.kind, SpanKind::Reserve, "seed {seed}");
+        assert_eq!(root.span.parent, 0, "seed {seed}");
+
+        // The flattened tree covers exactly the part's span history, in
+        // causal order (sim time monotone along the flatten).
+        let flat = root.flatten();
+        let part_history: Vec<&Span> = grid
+            .spans()
+            .iter()
+            .filter(|s| s.job == job.0 && s.part == 0)
+            .collect();
+        assert_eq!(
+            flat.len(),
+            part_history.len(),
+            "seed {seed}: tree is lossless"
+        );
+        for w in flat.windows(2) {
+            assert!(
+                w[0].start_us <= w[1].start_us,
+                "seed {seed}: causal order must follow sim time: {w:?}"
+            );
+        }
+
+        // The story, in order: reserve → launch → checkpoint store(s) →
+        // crash → recovery → replica fetch → relaunch.
+        let reserve = first(&flat, SpanKind::Reserve).unwrap();
+        let launch = first(&flat, SpanKind::Launch).expect("launched");
+        let store = first(&flat, SpanKind::StoreCkpt).expect("checkpointed");
+        let crash = first(&flat, SpanKind::Crash).expect("crash recorded");
+        let recovery = first(&flat, SpanKind::Recovery).expect("recovery recorded");
+        let fetch = first(&flat, SpanKind::FetchCkpt).expect("replica fetched");
+        assert!(reserve < launch, "seed {seed}");
+        assert!(launch < store, "seed {seed}");
+        assert!(store < crash, "seed {seed}");
+        assert!(crash < recovery, "seed {seed}");
+        assert!(recovery < fetch, "seed {seed}");
+        let relaunch = flat[fetch..]
+            .iter()
+            .position(|s| s.kind == SpanKind::Launch)
+            .map(|i| i + fetch)
+            .expect("seed {seed}: the part must be relaunched after the fetch");
+        assert_eq!(
+            flat[relaunch].outcome,
+            SpanOutcome::Ok,
+            "seed {seed}: the relaunch succeeded (the job completed)"
+        );
+        assert_ne!(
+            flat[relaunch].node, flat[crash].node,
+            "seed {seed}: the relaunch cannot target the dead node"
+        );
+
+        // Span detail: the crash names the node that died; every successful
+        // store closed Ok; synthetic events are instantaneous.
+        assert_eq!(flat[crash].node, u64::from(host.0), "seed {seed}");
+        assert_eq!(flat[crash].outcome, SpanOutcome::Event, "seed {seed}");
+        assert_eq!(flat[crash].duration_us(), 0, "seed {seed}");
+        assert!(
+            flat.iter()
+                .filter(|s| s.kind == SpanKind::StoreCkpt)
+                .any(|s| s.outcome == SpanOutcome::Ok),
+            "seed {seed}: at least one checkpoint store must have succeeded"
+        );
+
+        // The metrics side of the same story.
+        let snapshot = grid.metrics_snapshot();
+        assert!(snapshot.counter_total("grid_crashes") >= 1, "seed {seed}");
+        assert!(
+            snapshot
+                .histogram("grid_negotiation_latency_seconds")
+                .unwrap()
+                .count
+                >= 2,
+            "seed {seed}: initial negotiation plus the recovery negotiation"
+        );
+        assert!(
+            snapshot
+                .histogram("grid_checkpoint_store_rtt_seconds")
+                .unwrap()
+                .count
+                >= 1,
+            "seed {seed}"
+        );
+
+        // The human-facing rendering carries the whole chain too.
+        let rendered = root.render();
+        for needle in [
+            "reserve",
+            "launch",
+            "store_ckpt",
+            "crash",
+            "recovery",
+            "fetch_ckpt",
+        ] {
+            assert!(
+                rendered.contains(needle),
+                "seed {seed}: missing {needle}:\n{rendered}"
+            );
+        }
+    }
+}
+
+/// Disabling metrics stops span recording (and the tree comes back empty)
+/// without touching the simulation outcome.
+#[test]
+fn disabled_observability_records_no_spans() {
+    let mut grid = grid_seeded(3, 1);
+    grid.set_metrics_enabled(false);
+    let job = grid.submit(JobSpec::sequential("dark", 100_000));
+    grid.run_until(SimTime::from_secs(2 * 3600));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    assert!(grid.spans().is_empty());
+    assert!(grid.part_span_tree(job, 0).is_empty());
+}
+
+/// Parallel parts chain independently: a bag-of-tasks job yields one causal
+/// tree per part, each rooted at its own reserve.
+#[test]
+fn parts_get_independent_causal_chains() {
+    let mut grid = grid_seeded(4, 2);
+    let job = grid.submit(JobSpec::bag_of_tasks("bag", 3, 40_000));
+    grid.run_until(SimTime::from_secs(3 * 3600));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    for part in 0..3u32 {
+        let trees = grid.part_span_tree(job, part);
+        assert_eq!(trees.len(), 1, "part {part}");
+        assert_eq!(trees[0].span.kind, SpanKind::Reserve, "part {part}");
+        assert!(
+            trees[0].flatten().iter().all(|s| s.part == part),
+            "part {part}: no cross-part leakage"
+        );
+    }
+}

@@ -455,12 +455,11 @@ mod grid_determinism {
             1 => Strategy::AvailabilityOnly,
             _ => Strategy::PatternAware,
         };
-        let config = GridConfig {
-            seed,
-            strategy,
-            gupa_warmup_days: 0,
-            ..Default::default()
-        };
+        let config = GridConfig::builder()
+            .seed(seed)
+            .strategy(strategy)
+            .gupa_warmup_days(0)
+            .build();
         let mut builder = GridBuilder::new(config);
         builder.add_cluster((0..5).map(|_| NodeSetup::idle_desktop()).collect());
         let mut grid = builder.build();

@@ -15,12 +15,11 @@ fn sixty_node_campus_day() {
         ..Default::default()
     };
     let mut rng = DetRng::new(6001);
-    let config = GridConfig {
-        strategy: Strategy::PatternAware,
-        gupa_warmup_days: 7,
-        seed: 6001,
-        ..Default::default()
-    };
+    let config = GridConfig::builder()
+        .strategy(Strategy::PatternAware)
+        .gupa_warmup_days(7)
+        .seed(6001)
+        .build();
     let mut builder = GridBuilder::new(config);
     for cluster in 0..3 {
         let nodes: Vec<NodeSetup> = (0..20u64)

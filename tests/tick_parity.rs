@@ -14,7 +14,6 @@
 
 use integrade::core::asct::{JobSpec, JobState};
 use integrade::core::grid::{Grid, GridBuilder, GridConfig, NodeSetup, TickMode};
-use integrade::core::lrm::LrmConfig;
 use integrade::core::types::NodeId;
 use integrade::simnet::faults::FaultPlan;
 use integrade::simnet::time::{SimDuration, SimTime};
@@ -58,19 +57,15 @@ fn office_trace() -> Vec<UsageSample> {
 /// so both the lazily replayed sampling path (traced) and the parked-timer
 /// path (untraced + suppression) are exercised.
 fn build_grid(mode: TickMode, seed: u64, nodes: usize, traced: usize, delta: bool) -> Grid {
-    let config = GridConfig {
-        seed,
-        gupa_warmup_days: 0,
+    let config = GridConfig::builder()
+        .seed(seed)
+        .gupa_warmup_days(0)
         // Checkpointing on: replicas keep holder nodes engaged and drive
         // the shared-payload store path from inside the tick loop.
-        sequential_checkpoint_mips_s: 30_000.0,
-        lrm: LrmConfig {
-            delta_suppression: delta,
-            ..LrmConfig::default()
-        },
-        tick_mode: mode,
-        ..Default::default()
-    };
+        .sequential_checkpoint_mips_s(30_000.0)
+        .delta_suppression(delta)
+        .tick_mode(mode)
+        .build();
     let mut builder = GridBuilder::new(config);
     builder.add_cluster(
         (0..nodes)
