@@ -9,12 +9,16 @@
 //! allocation on the update path — and *passive*: disabling it changes no
 //! event, no message, no log line.
 //!
-//! This experiment prices that design at the e14 smoke scale: the 5k-node
-//! active-set cell runs twice with metrics+spans enabled and twice
-//! disabled (best-of-2 per config damps scheduler noise), and the guard
-//! asserts
+//! This experiment prices that design at the e14 smoke scale: eight
+//! independent replicas of the 5k-node e14smoke cell run with
+//! metrics+spans enabled and disabled (the replicas' run times sum into
+//! one few-hundred-ms timed region per measurement; a discarded warmup,
+//! replica-by-replica off/on interleaving and the median over four such
+//! pairs make the comparison robust to host noise), and the guard asserts
 //!
-//! * the enabled/disabled sim-per-wall delta stays under 5%, and
+//! * the enabled/disabled sim-per-wall delta stays under the 10%
+//!   regression budget (the measured cost is ~1–2%; the budget leaves
+//!   headroom for the median's residual noise), and
 //! * the enabled run still clears the committed `BENCH_scale_floor.json`
 //!   throughput floor — observability does not cost the e14 regression
 //!   budget.
@@ -23,7 +27,7 @@
 //! of the enabled run's final snapshot (the demo artifact for the export
 //! API).
 
-use crate::exp_scale14::{committed_floor, HORIZON_S, SEED};
+use crate::exp_scale14::{committed_floor, SEED};
 use crate::table::{f2, Table};
 use integrade_core::asct::{JobSpec, JobState};
 use integrade_core::grid::{Grid, GridBuilder, GridConfig, NodeSetup, TickMode};
@@ -34,18 +38,30 @@ use std::time::Instant;
 /// Node population of the overhead cell (matches `e14smoke`).
 pub const NODES: usize = 5_000;
 
-/// Runs per configuration; the best run is kept.
-pub const RUNS: usize = 2;
+/// Replica-interleaved measurement pairs; the median-overhead pair is
+/// kept. The on-vs-off delta this experiment measures (a few percent)
+/// is the same order as host throughput noise on a shared runner, so
+/// the guard interleaves the configs replica-by-replica (noise lands in
+/// both buckets) and takes the median pair (spikes discarded) — see
+/// [`run_pairs`].
+pub const RUNS: usize = 4;
 
-/// Relative overhead budget for metrics-on vs metrics-off.
-pub const MAX_OVERHEAD_FRAC: f64 = 0.05;
+/// Relative overhead budget for metrics-on vs metrics-off. This is a
+/// regression tripwire, not the measured cost: the true instrumentation
+/// cost is ~1–2 % (see EXPERIMENTS.md E15), but the median interleaved
+/// pair still wanders ±5 % on a noisy single-core host, so the budget
+/// sits at twice the worst observed noise excursion. A real hot-path
+/// regression (say, string hashing back on the update path) shifts
+/// *every* pair and blows well past this.
+pub const MAX_OVERHEAD_FRAC: f64 = 0.10;
 
 /// One measured cell.
 #[derive(Debug, Clone)]
 pub struct ObsCell {
     /// Whether metrics and span recording were enabled.
     pub metrics_on: bool,
-    /// Virtual seconds simulated per wall-clock second (best of [`RUNS`]).
+    /// Virtual seconds simulated per wall-clock second, summed over the
+    /// configuration's [`REPLICAS`] timed event loops.
     pub sim_per_wall: f64,
     /// Events dispatched (identical across configs — instrumentation is
     /// passive, so this doubles as a determinism check).
@@ -55,6 +71,18 @@ pub struct ObsCell {
     /// Trace spans recorded (0 when disabled).
     pub spans: usize,
 }
+
+/// Replicas of the e14smoke cell aggregated into one measurement. The
+/// on-vs-off delta gated here is a few percent, and a single cell's timed
+/// region is only tens of wall-ms — small enough for scheduler noise to
+/// fake or mask a 5 % difference. Summing the run time of eight
+/// independent replicas (grid construction stays untimed) grows the
+/// region to a few hundred ms without changing what a cell *is*, so the
+/// committed e14 floor still applies unchanged.
+pub const REPLICAS: u64 = 8;
+
+/// Virtual horizon of each replica, seconds (the e14 cell's).
+pub const HORIZON_S: u64 = crate::exp_scale14::HORIZON_S;
 
 /// The e14smoke grid with observability toggled: 5k idle nodes, delta
 /// suppression, crash detection pushed past the horizon, trace log off so
@@ -75,51 +103,117 @@ fn obs_grid(metrics_on: bool) -> Grid {
     grid
 }
 
-/// Runs one cell and returns it with the final snapshot (for the export
-/// demo). The workload is e14smoke's: five small sequential jobs over two
-/// virtual hours.
-fn run_once(metrics_on: bool) -> (ObsCell, MetricsSnapshot) {
+/// One e14smoke replica (five small sequential jobs, two virtual hours):
+/// raw wall seconds of the event loop (grid construction untimed) plus
+/// the outcome counters and the final metrics snapshot.
+struct Replica {
+    wall: f64,
+    events: u64,
+    completed: usize,
+    spans: usize,
+    snapshot: MetricsSnapshot,
+}
+
+fn run_replica(metrics_on: bool) -> Replica {
     let mut grid = obs_grid(metrics_on);
     for i in 0..5 {
         grid.submit(JobSpec::sequential(&format!("e15-{i}"), 60_000));
     }
     let started = Instant::now();
     let (_, events) = grid.run_until_counting(SimTime::from_secs(HORIZON_S));
-    let wall = started.elapsed().as_secs_f64().max(1e-9);
-    let spans = grid.spans().len();
-    let snapshot = grid.metrics_snapshot();
-    let completed = grid
-        .report()
-        .records
-        .iter()
-        .filter(|r| r.state == JobState::Completed)
-        .count();
-    (
+    let wall = started.elapsed().as_secs_f64();
+    Replica {
+        wall,
+        events,
+        completed: grid
+            .report()
+            .records
+            .iter()
+            .filter(|r| r.state == JobState::Completed)
+            .count(),
+        spans: grid.spans().len(),
+        snapshot: grid.metrics_snapshot(),
+    }
+}
+
+/// Accumulates [`REPLICAS`] replicas of one configuration into an
+/// [`ObsCell`]. Span count follows the last replica absorbed (all
+/// replicas are identical), everything else sums.
+#[derive(Default)]
+struct Accum {
+    wall: f64,
+    events: u64,
+    completed: usize,
+    spans: usize,
+}
+
+impl Accum {
+    fn absorb(&mut self, r: &Replica) {
+        self.wall += r.wall;
+        self.events += r.events;
+        self.completed += r.completed;
+        self.spans = r.spans;
+    }
+
+    fn cell(&self, metrics_on: bool) -> ObsCell {
         ObsCell {
             metrics_on,
-            sim_per_wall: HORIZON_S as f64 / wall,
-            events,
-            completed,
-            spans,
-        },
-        snapshot,
+            sim_per_wall: (REPLICAS * HORIZON_S) as f64 / self.wall.max(1e-9),
+            events: self.events,
+            completed: self.completed,
+            spans: self.spans,
+        }
+    }
+}
+
+/// Runs [`REPLICAS`] replicas of one configuration back to back and
+/// aggregates them. Used for the warmup; the gated measurement goes
+/// through [`run_pairs`], which interleaves the configs instead.
+fn run_once(metrics_on: bool) -> (ObsCell, MetricsSnapshot) {
+    let mut acc = Accum::default();
+    let mut snapshot = None;
+    for _ in 0..REPLICAS {
+        let r = run_replica(metrics_on);
+        acc.absorb(&r);
+        snapshot = Some(r.snapshot);
+    }
+    (acc.cell(metrics_on), snapshot.expect("REPLICAS >= 1"))
+}
+
+/// One measurement pair with the configs interleaved at *replica*
+/// granularity: off-replica, on-replica, off-replica, ... for
+/// [`REPLICAS`] rounds, each config's event-loop time accumulated into
+/// its own bucket. A single replica's timed slice is a few wall-ms, so
+/// host-throughput noise on any longer timescale — frequency scaling,
+/// noisy neighbours, page-cache churn — lands in both buckets instead
+/// of biasing whichever config ran as one contiguous block.
+fn run_interleaved() -> (ObsCell, ObsCell, MetricsSnapshot) {
+    let (mut off, mut on) = (Accum::default(), Accum::default());
+    let mut snapshot = None;
+    for _ in 0..REPLICAS {
+        off.absorb(&run_replica(false));
+        let r = run_replica(true);
+        on.absorb(&r);
+        snapshot = Some(r.snapshot);
+    }
+    (
+        on.cell(true),
+        off.cell(false),
+        snapshot.expect("REPLICAS >= 1"),
     )
 }
 
-/// Best-of-[`RUNS`] for one configuration.
-pub fn run_cell(metrics_on: bool) -> (ObsCell, MetricsSnapshot) {
-    let mut best: Option<(ObsCell, MetricsSnapshot)> = None;
-    for _ in 0..RUNS {
-        let (cell, snap) = run_once(metrics_on);
-        if best
-            .as_ref()
-            .map(|(b, _)| cell.sim_per_wall > b.sim_per_wall)
-            .unwrap_or(true)
-        {
-            best = Some((cell, snap));
-        }
-    }
-    best.expect("RUNS >= 1")
+/// Median-overhead (on, off) pair out of [`RUNS`] replica-interleaved
+/// measurements ([`run_interleaved`]). The interleaving cancels noise
+/// *within* a pair; the median across pairs then discards the
+/// occasional measurement where a one-sided spike survived anyway.
+/// Best-of-N cannot do either: its two winners come from different
+/// instants, so drift between those instants masquerades as overhead.
+pub fn run_pairs() -> (ObsCell, ObsCell, MetricsSnapshot) {
+    let mut pairs: Vec<(ObsCell, ObsCell, MetricsSnapshot)> =
+        (0..RUNS.max(1)).map(|_| run_interleaved()).collect();
+    pairs.sort_by(|a, b| overhead_frac(&a.0, &a.1).total_cmp(&overhead_frac(&b.0, &b.1)));
+    pairs.swap_remove(pairs.len() / 2)
 }
 
 /// Relative slowdown of the enabled config: `(off - on) / off`. Negative
@@ -157,8 +251,11 @@ pub fn to_json(on: &ObsCell, off: &ObsCell, floor: f64) -> String {
 /// when the overhead exceeds [`MAX_OVERHEAD_FRAC`], or when the enabled
 /// run falls below the committed e14 floor.
 pub fn e15() -> Table {
-    let (on, snapshot) = run_cell(true);
-    let (off, _) = run_cell(false);
+    // Discarded warmup: the first cell of a process absorbs one-off costs
+    // (first-touch page faults, allocator heap growth) that would bias
+    // whichever configuration happens to run first.
+    let _warmup = run_once(false);
+    let (on, off, snapshot) = run_pairs();
     let floor = committed_floor().unwrap_or(0.0);
     match std::fs::write("BENCH_obs.json", to_json(&on, &off, floor)) {
         Ok(()) => eprintln!("e15: wrote BENCH_obs.json"),
@@ -169,7 +266,7 @@ pub fn e15() -> Table {
         Err(e) => eprintln!("e15: could not write BENCH_obs.prom: {e}"),
     }
     let mut table = Table::new(
-        "E15: observability overhead at 5k nodes (best of 2 per config)",
+        "E15: observability overhead at 5k nodes (median of 4 interleaved pairs)",
         &[
             "metrics",
             "sim_s_per_wall_s",
@@ -183,7 +280,7 @@ pub fn e15() -> Table {
             if c.metrics_on { "on" } else { "off" }.to_owned(),
             f2(c.sim_per_wall),
             c.events.to_string(),
-            format!("{}/5", c.completed),
+            format!("{}/{}", c.completed, 5 * REPLICAS),
             c.spans.to_string(),
         ]);
     }

@@ -1,0 +1,399 @@
+//! E16: sharded parallel tick engine — nodes × workers throughput sweep.
+//!
+//! E14 scaled the *single-threaded* hot loop to 50k nodes; this experiment
+//! measures what `TickMode::Sharded` buys on top by spreading the per-slot
+//! node walk and the lazy catch-up replay across worker threads. Every cell
+//! is the same deterministic scenario (the parity oracle in
+//! `tests/tick_parity.rs` proves the modes observably identical), so the
+//! sweep isolates pure engine throughput:
+//!
+//! * **sim/wall ratio** — virtual seconds simulated per wall second, over
+//!   the run *plus* the report flush (the flush replays every node's
+//!   deferred sampling — the O(population) term the shards parallelize);
+//! * **events** — queue events dispatched (identical across modes for a
+//!   given population: determinism makes the event stream mode-invariant);
+//! * **speedup vs active-set** — per population, each sharded width against
+//!   the single-threaded `ActiveSet` baseline at identical semantics.
+//!
+//! A fraction of the population carries a real weekly owner trace so the
+//! replay has per-slot work to parallelize; the rest rides the bulk-idle
+//! fast path. The update protocol is quieted (long update period, delta
+//! suppression) so the single-threaded dispatch loop does not drown the
+//! signal.
+//!
+//! Emits `BENCH_par.json`, including the host's core count — speedups are
+//! only meaningful relative to `host_cores`, and a single-core CI runner
+//! legitimately shows none. The committed `BENCH_par_floor.json` records a
+//! conservative 50k-node / 4-worker throughput floor calibrated on such a
+//! single-core host; CI's `e16smoke` fails if a regression drops below it.
+
+use crate::table::{f2, Table};
+use integrade_core::asct::{JobSpec, JobState};
+use integrade_core::grid::{Grid, GridBuilder, GridConfig, NodeSetup, TickMode};
+use integrade_simnet::time::{SimDuration, SimTime};
+use integrade_usage::sample::{UsageSample, Weekday};
+use std::time::Instant;
+
+/// Node populations swept.
+pub const SWEEP_NODES: [usize; 2] = [5_000, 50_000];
+
+/// Worker widths swept in sharded mode (the active-set baseline runs too).
+pub const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Virtual horizon of every cell, seconds.
+pub const HORIZON_S: u64 = 7_200;
+
+/// The pinned seed (the simulation is deterministic per seed).
+pub const SEED: u64 = 16;
+
+/// One in this many nodes carries the office-hours owner trace.
+pub const TRACED_DIVISOR: usize = 20;
+
+/// Timed repeats per cell; the best is kept. The first cell of a
+/// population otherwise absorbs one-off process costs (first-touch page
+/// faults, allocator heap growth) that masquerade as mode differences —
+/// a discarded warmup cell per population plus best-of-N keeps the sweep
+/// comparing engines, not memory-subsystem history.
+pub const REPEATS: usize = 2;
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct ParCell {
+    /// Node population of this cell.
+    pub nodes: usize,
+    /// Worker shards, or `None` for the single-threaded active-set baseline.
+    pub workers: Option<usize>,
+    /// Virtual seconds simulated per wall-clock second (run + flush).
+    pub sim_per_wall: f64,
+    /// Wall-clock seconds of the timed region.
+    pub wall_s: f64,
+    /// Total events dispatched.
+    pub events: u64,
+    /// Jobs that completed (sanity: the workload must actually run).
+    pub completed: usize,
+}
+
+/// Office-hours owner trace: busy weekdays 9–18h, near-idle otherwise.
+fn office_trace() -> Vec<UsageSample> {
+    let slots_per_day = 288;
+    let mut trace = Vec::with_capacity(slots_per_day * 7);
+    for day in 0..7u64 {
+        let weekday = Weekday::from_day_number(day);
+        for slot in 0..slots_per_day {
+            let hour = slot as f64 * 24.0 / slots_per_day as f64;
+            let busy = !weekday.is_weekend() && (9.0..18.0).contains(&hour);
+            trace.push(if busy {
+                UsageSample::new(0.8, 0.5, 0.1, 0.05)
+            } else {
+                UsageSample::new(0.02, 0.05, 0.0, 0.0)
+            });
+        }
+    }
+    trace
+}
+
+/// The sweep grid: every `TRACED_DIVISOR`-th node traced (replay work for
+/// the shards), the rest idle on the bulk catch-up fast path; update
+/// traffic quieted so dispatch does not dominate.
+fn par_grid(nodes: usize, mode: TickMode) -> Grid {
+    let config = GridConfig::builder()
+        .seed(SEED)
+        .gupa_warmup_days(0)
+        .delta_suppression(true)
+        .update_period(SimDuration::from_secs(HORIZON_S * 4))
+        .crash_silence(SimDuration::from_secs(HORIZON_S * 4))
+        .tick_mode(mode)
+        .build();
+    let traced = nodes / TRACED_DIVISOR;
+    let trace = office_trace();
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster(
+        (0..nodes)
+            .map(|i| {
+                if i < traced {
+                    NodeSetup {
+                        trace: trace.clone(),
+                        ..NodeSetup::idle_desktop()
+                    }
+                } else {
+                    NodeSetup::idle_desktop()
+                }
+            })
+            .collect(),
+    );
+    builder.build()
+}
+
+/// Runs one cell: five small sequential jobs, two virtual hours, and the
+/// full-population report flush inside the timed region.
+pub fn run_cell(nodes: usize, mode: TickMode) -> ParCell {
+    let mut grid = par_grid(nodes, mode);
+    for i in 0..5 {
+        grid.submit(JobSpec::sequential(&format!("e16-{i}"), 60_000));
+    }
+    let started = Instant::now();
+    let (_, events) = grid.run_until_counting(SimTime::from_secs(HORIZON_S));
+    let report = grid.report();
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let completed = report
+        .records
+        .iter()
+        .filter(|r| r.state == JobState::Completed)
+        .count();
+    ParCell {
+        nodes,
+        workers: match mode {
+            TickMode::Sharded { workers } => Some(workers),
+            _ => None,
+        },
+        sim_per_wall: HORIZON_S as f64 / wall,
+        wall_s: wall,
+        events,
+        completed,
+    }
+}
+
+/// Best (highest sim/wall) of [`REPEATS`] timed runs of one cell.
+pub fn best_cell(nodes: usize, mode: TickMode) -> ParCell {
+    (0..REPEATS.max(1))
+        .map(|_| run_cell(nodes, mode))
+        .max_by(|a, b| a.sim_per_wall.total_cmp(&b.sim_per_wall))
+        .expect("REPEATS >= 1")
+}
+
+/// The full sweep: per population, one discarded warmup cell, then the
+/// active-set baseline and every sharded width (best of [`REPEATS`] each).
+pub fn measure() -> Vec<ParCell> {
+    let mut cells = Vec::new();
+    for &nodes in &SWEEP_NODES {
+        let _warmup = run_cell(nodes, TickMode::ActiveSet);
+        cells.push(best_cell(nodes, TickMode::ActiveSet));
+        for &workers in &WORKER_SWEEP {
+            cells.push(best_cell(nodes, TickMode::Sharded { workers }));
+        }
+    }
+    cells
+}
+
+/// Cores available to this process — speedups are bounded by it, and a
+/// single-core host legitimately shows none.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn mode_label(cell: &ParCell) -> String {
+    match cell.workers {
+        Some(w) => format!("sharded/{w}"),
+        None => "active-set".to_owned(),
+    }
+}
+
+/// Sharded-over-active-set sim/wall ratio at `nodes` and `workers`.
+pub fn speedup_at(cells: &[ParCell], nodes: usize, workers: usize) -> Option<f64> {
+    let sharded = cells
+        .iter()
+        .find(|c| c.nodes == nodes && c.workers == Some(workers))?;
+    let baseline = cells
+        .iter()
+        .find(|c| c.nodes == nodes && c.workers.is_none())?;
+    Some(sharded.sim_per_wall / baseline.sim_per_wall.max(1e-9))
+}
+
+/// Renders the sweep as `BENCH_par.json`, one object per cell, stamped
+/// with the host core count.
+pub fn to_json(cells: &[ParCell]) -> String {
+    let mut out = format!(
+        "{{\n  \"experiment\": \"e16\",\n  \"host_cores\": {},\n  \"results\": [\n",
+        host_cores()
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"mode\": \"{}\", \"workers\": {}, \
+             \"sim_per_wall\": {:.1}, \"wall_s\": {:.3}, \"events\": {}, \
+             \"completed\": {}}}{sep}\n",
+            c.nodes,
+            mode_label(c),
+            c.workers.unwrap_or(0),
+            c.sim_per_wall,
+            c.wall_s,
+            c.events,
+            c.completed,
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"speedup_50k_w4\": {:.2}\n}}\n",
+        speedup_at(cells, 50_000, 4).unwrap_or(0.0)
+    ));
+    out
+}
+
+/// E16: the nodes × workers sweep. Side effect: writes `BENCH_par.json`.
+pub fn e16() -> Table {
+    let cells = measure();
+    match std::fs::write("BENCH_par.json", to_json(&cells)) {
+        Ok(()) => eprintln!("e16: wrote BENCH_par.json"),
+        Err(e) => eprintln!("e16: could not write BENCH_par.json: {e}"),
+    }
+    let mut table = Table::new(
+        format!(
+            "E16: sharded parallel tick engine, nodes x workers \
+             (host_cores = {})",
+            host_cores()
+        ),
+        &[
+            "nodes",
+            "mode",
+            "sim_s_per_wall_s",
+            "wall_s",
+            "events",
+            "completed",
+            "speedup_vs_active_set",
+        ],
+    );
+    for c in &cells {
+        let speedup = match c.workers {
+            Some(w) => speedup_at(&cells, c.nodes, w).map(f2).unwrap_or_default(),
+            None => "1.00 (baseline)".to_owned(),
+        };
+        table.push_row(vec![
+            c.nodes.to_string(),
+            mode_label(c),
+            f2(c.sim_per_wall),
+            format!("{:.3}", c.wall_s),
+            c.events.to_string(),
+            format!("{}/5", c.completed),
+            speedup,
+        ]);
+    }
+    table
+}
+
+/// The committed throughput floor for the 50k-node, 4-worker cell (sim
+/// seconds per wall second), read from `BENCH_par_floor.json`.
+pub(crate) fn committed_floor() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_par_floor.json").ok()?;
+    let key = "\"sim_per_wall_floor_50k_w4\":";
+    let at = text.find(key)? + key.len();
+    text[at..]
+        .trim_start()
+        .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// E16 smoke: the 50k-node, 4-worker cell alone, compared against the
+/// committed floor in `BENCH_par_floor.json`. CI runs this in release mode
+/// and fails the build on a throughput regression. The floor is calibrated
+/// on a single-core runner, so it guards the engine's *overhead* (a sharded
+/// frame must never cost materially more than the walk it replaces), not a
+/// parallel speedup the host cannot physically deliver.
+///
+/// # Panics
+///
+/// Panics when the measured sim/wall ratio falls below the committed floor.
+pub fn e16smoke() -> Table {
+    let _warmup = run_cell(50_000, TickMode::Sharded { workers: 4 });
+    let cell = best_cell(50_000, TickMode::Sharded { workers: 4 });
+    let floor = committed_floor().unwrap_or(0.0);
+    let mut table = Table::new(
+        "E16 smoke: 50k-node 4-worker sharded throughput vs committed floor",
+        &["nodes", "workers", "sim_s_per_wall_s", "floor", "completed"],
+    );
+    table.push_row(vec![
+        cell.nodes.to_string(),
+        "4".to_owned(),
+        f2(cell.sim_per_wall),
+        f2(floor),
+        format!("{}/5", cell.completed),
+    ]);
+    assert!(
+        cell.completed > 0,
+        "e16smoke: no job completed — the scenario exercised nothing"
+    );
+    assert!(
+        cell.sim_per_wall >= floor,
+        "e16smoke: throughput regression — {:.1} sim s/wall s is below the \
+         committed floor of {floor:.1} (BENCH_par_floor.json)",
+        cell.sim_per_wall
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fast shape check (small population, debug build): the sharded
+    /// cell completes its workload, and — determinism — dispatches exactly
+    /// the event stream of the active-set baseline.
+    #[test]
+    fn sharded_cell_matches_active_set_event_stream() {
+        let baseline = run_cell(300, TickMode::ActiveSet);
+        assert_eq!(baseline.completed, 5, "{baseline:?}");
+        for workers in [1, 4] {
+            let sharded = run_cell(300, TickMode::Sharded { workers });
+            assert_eq!(sharded.completed, 5, "{sharded:?}");
+            assert_eq!(
+                sharded.events, baseline.events,
+                "event stream must be mode-invariant: {sharded:?} vs {baseline:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let cells = vec![
+            run_cell(200, TickMode::ActiveSet),
+            run_cell(200, TickMode::Sharded { workers: 2 }),
+        ];
+        let json = to_json(&cells);
+        assert!(json.contains("\"experiment\": \"e16\""));
+        assert!(json.contains("\"host_cores\":"));
+        assert!(json.contains("\"mode\": \"sharded/2\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn floor_parser_shape() {
+        let sample = "{\n  \"sim_per_wall_floor_50k_w4\": 987.5\n}\n";
+        let key = "\"sim_per_wall_floor_50k_w4\":";
+        let at = sample.find(key).unwrap() + key.len();
+        let parsed: f64 = sample[at..]
+            .trim_start()
+            .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((parsed - 987.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_lookup_uses_matching_population() {
+        let cells = vec![
+            ParCell {
+                nodes: 50_000,
+                workers: None,
+                sim_per_wall: 100.0,
+                wall_s: 72.0,
+                events: 10,
+                completed: 5,
+            },
+            ParCell {
+                nodes: 50_000,
+                workers: Some(4),
+                sim_per_wall: 300.0,
+                wall_s: 24.0,
+                events: 10,
+                completed: 5,
+            },
+        ];
+        let speedup = speedup_at(&cells, 50_000, 4).unwrap();
+        assert!((speedup - 3.0).abs() < 1e-9, "{speedup}");
+        assert!(speedup_at(&cells, 5_000, 4).is_none());
+    }
+}

@@ -10,8 +10,9 @@
 //!
 //! * **sim/wall ratio** — virtual seconds simulated per wall second;
 //! * **events/s** — queue events dispatched per wall second;
-//! * **peak heap depth** — how many entries the far-future binary heap ever
-//!   held (the timer wheel should absorb near-term traffic);
+//! * **peak heap depth** — the high-water mark of pending entries across
+//!   the due buffer and the far-future binary heap combined (the timer
+//!   wheel should keep it shallow relative to the population);
 //! * **active-set vs reference** — at 20k nodes the original O(all nodes)
 //!   per-tick walk (`TickMode::Reference`) runs too, and the table reports
 //!   the speedup the active-set path buys at identical observable behavior
@@ -52,7 +53,7 @@ pub struct ScaleCell {
     pub events_per_s: f64,
     /// Total events dispatched.
     pub events: u64,
-    /// Peak far-future heap depth (timer-wheel overflow only).
+    /// High-water mark of pending events (due buffer + far-future heap).
     pub peak_heap_depth: usize,
     /// Jobs that completed (sanity: the workload must actually run).
     pub completed: usize,
@@ -120,6 +121,7 @@ fn mode_name(mode: TickMode) -> &'static str {
     match mode {
         TickMode::ActiveSet => "active-set",
         TickMode::Reference => "reference",
+        TickMode::Sharded { .. } => "sharded",
     }
 }
 
@@ -272,6 +274,13 @@ mod tests {
         assert!(
             cell.peak_heap_depth < 300,
             "timer wheel should absorb near-term events: {cell:?}"
+        );
+        // A zero peak would mean the high-water mark is not being measured
+        // at all (the pre-fix bug): any real cell drains events, and every
+        // drain leaves pending timers behind.
+        assert!(
+            cell.peak_heap_depth > 0,
+            "peak_heap_depth must report the true occupancy high-water mark: {cell:?}"
         );
         assert!(cell.events > 0);
     }

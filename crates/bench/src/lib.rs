@@ -20,6 +20,7 @@ pub mod exp_bsp;
 pub mod exp_faults;
 pub mod exp_info;
 pub mod exp_obs;
+pub mod exp_par;
 pub mod exp_qos;
 pub mod exp_repo;
 pub mod exp_scale;
@@ -101,6 +102,16 @@ pub fn experiments() -> Vec<ExperimentEntry> {
             "e15",
             "observability overhead: metrics on vs off at 5k nodes",
             exp_obs::e15,
+        ),
+        (
+            "e16",
+            "sharded parallel tick engine: nodes x workers sweep",
+            exp_par::e16,
+        ),
+        (
+            "e16smoke",
+            "50k-node 4-worker throughput smoke vs committed floor",
+            exp_par::e16smoke,
         ),
     ]
 }

@@ -24,6 +24,7 @@ use crate::grid::{GridConfig, TickMode};
 use crate::lrm::LrmConfig;
 use crate::scheduler::Strategy;
 use integrade_orb::security::ClusterKey;
+use integrade_simnet::rng::streams;
 use integrade_simnet::time::SimDuration;
 use integrade_usage::patterns::LupaConfig;
 use std::fmt;
@@ -50,6 +51,19 @@ pub enum ConfigError {
     NoAttempts,
     /// The sequential checkpoint interval is negative or not a number.
     BadCheckpointInterval(f64),
+    /// `workers == 0` — a sharded frame with no shards could never tick.
+    /// Raised by [`GridConfigBuilder::workers`]`(0)` and by
+    /// [`TickMode::Sharded`]` { workers: 0 }` set directly.
+    ZeroWorkers,
+    /// More worker shards than the RNG stream family reserves ids for
+    /// ([`integrade_simnet::rng::streams::MAX_SHARDS`]); each shard needs
+    /// its own collision-free deterministic stream.
+    TooManyWorkers(usize),
+    /// The [`GridConfigBuilder::workers`] knob was combined with
+    /// [`TickMode::Reference`]. The reference walk is the single-threaded
+    /// oracle the sharded engine is checked against; sharding it is a
+    /// contradiction, not a configuration.
+    ShardedReference,
 }
 
 impl fmt::Display for ConfigError {
@@ -76,6 +90,20 @@ impl fmt::Display for ConfigError {
                 f,
                 "sequential_checkpoint_mips_s must be finite and >= 0, got {v}"
             ),
+            ConfigError::ZeroWorkers => {
+                write!(f, "sharded tick mode needs at least 1 worker")
+            }
+            ConfigError::TooManyWorkers(w) => write!(
+                f,
+                "at most {} worker shards (the deterministic RNG stream \
+                 family reserves one stream per shard), got {w}",
+                streams::MAX_SHARDS
+            ),
+            ConfigError::ShardedReference => write!(
+                f,
+                "workers() cannot be combined with TickMode::Reference; the \
+                 reference walk is the single-threaded parity oracle"
+            ),
         }
     }
 }
@@ -88,12 +116,14 @@ impl std::error::Error for ConfigError {}
 #[derive(Debug, Clone)]
 pub struct GridConfigBuilder {
     config: GridConfig,
+    workers: Option<usize>,
 }
 
 impl GridConfigBuilder {
     pub(crate) fn new() -> Self {
         GridConfigBuilder {
             config: GridConfig::default(),
+            workers: None,
         }
     }
 
@@ -234,9 +264,36 @@ impl GridConfigBuilder {
         self
     }
 
+    /// Tick the grid with `n` parallel worker shards — shorthand for
+    /// [`tick_mode`]`(TickMode::Sharded { workers: n })`. Build-time
+    /// validation rejects `n == 0` ([`ConfigError::ZeroWorkers`]),
+    /// `n > `[`streams::MAX_SHARDS`] ([`ConfigError::TooManyWorkers`]) and
+    /// any combination with [`TickMode::Reference`]
+    /// ([`ConfigError::ShardedReference`]).
+    ///
+    /// [`tick_mode`]: GridConfigBuilder::tick_mode
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
     /// Validates and returns the config, or says precisely what is wrong.
     pub fn try_build(self) -> Result<GridConfig, ConfigError> {
-        let c = self.config;
+        let mut c = self.config;
+        if let Some(workers) = self.workers {
+            if c.tick_mode == TickMode::Reference {
+                return Err(ConfigError::ShardedReference);
+            }
+            c.tick_mode = TickMode::Sharded { workers };
+        }
+        if let TickMode::Sharded { workers } = c.tick_mode {
+            if workers == 0 {
+                return Err(ConfigError::ZeroWorkers);
+            }
+            if workers as u64 > streams::MAX_SHARDS {
+                return Err(ConfigError::TooManyWorkers(workers));
+            }
+        }
         if c.tick == SimDuration::from_secs(0) {
             return Err(ConfigError::ZeroTick);
         }
@@ -285,9 +342,15 @@ impl GridConfig {
     }
 
     /// The named default profile: 5-minute execution/sampling tick, 30 s
-    /// update period, availability-only scheduling, `k = 2` replication —
-    /// exactly [`GridConfig::default`], under the name the tick actually
-    /// has.
+    /// update period, availability-only scheduling, `k = 2` replication,
+    /// single-threaded [`TickMode::ActiveSet`] ticking — exactly
+    /// [`GridConfig::default`], under the name the tick actually has.
+    ///
+    /// To spread the per-slot walk across cores, layer the
+    /// [`workers`](GridConfigBuilder::workers) knob on top:
+    /// `GridConfig::builder().workers(4).build()` — every other default
+    /// stays as in this profile, and the run remains deterministic for the
+    /// chosen worker count.
     pub fn default_5min() -> Self {
         GridConfig::default()
     }
@@ -396,5 +459,67 @@ mod tests {
     #[should_panic(expected = "invalid GridConfig")]
     fn build_panics_with_the_error_message() {
         let _ = GridConfig::builder().max_candidates(0).build();
+    }
+
+    #[test]
+    fn workers_knob_selects_sharded_mode() {
+        let c = GridConfig::builder().workers(4).build();
+        assert_eq!(c.tick_mode, TickMode::Sharded { workers: 4 });
+        // The knob wins over an earlier explicit Sharded width.
+        let c = GridConfig::builder()
+            .tick_mode(TickMode::Sharded { workers: 2 })
+            .workers(8)
+            .build();
+        assert_eq!(c.tick_mode, TickMode::Sharded { workers: 8 });
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        assert_eq!(
+            GridConfig::builder().workers(0).try_build().unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+        // Also when Sharded{0} is set directly, bypassing the knob.
+        assert_eq!(
+            GridConfig::builder()
+                .tick_mode(TickMode::Sharded { workers: 0 })
+                .try_build()
+                .unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+    }
+
+    #[test]
+    fn rejects_workers_beyond_stream_family() {
+        let too_many = streams::MAX_SHARDS as usize + 1;
+        assert_eq!(
+            GridConfig::builder()
+                .workers(too_many)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::TooManyWorkers(too_many)
+        );
+        // The last reserved stream id is still fine.
+        assert!(GridConfig::builder()
+            .workers(streams::MAX_SHARDS as usize)
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_workers_on_the_reference_oracle() {
+        let err = GridConfig::builder()
+            .tick_mode(TickMode::Reference)
+            .workers(2)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ShardedReference);
+        // Setter order must not matter.
+        let err = GridConfig::builder()
+            .workers(2)
+            .tick_mode(TickMode::Reference)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ShardedReference);
     }
 }

@@ -17,7 +17,7 @@
 use crate::asct::{JobKind, JobRecord, JobSpec, JobState};
 use crate::grm::{GrmState, NodeRegistration, UpdateStats};
 use crate::gupa::GupaState;
-use crate::lrm::{DueCheckpoint, LrmConfig, LrmServant, LrmState};
+use crate::lrm::{CompletedPart, DueCheckpoint, LrmConfig, LrmServant, LrmState};
 use crate::ncc::{SharingPolicy, WeeklySchedule};
 use crate::observe::GridObs;
 use crate::protocol::{
@@ -41,7 +41,7 @@ use integrade_orb::orb::{Incoming, Orb};
 use integrade_simnet::event::{run_until_profiled, EventQueue, RunOutcome, World};
 use integrade_simnet::faults::FaultPlan;
 use integrade_simnet::net::{NetStats, Network};
-use integrade_simnet::rng::DetRng;
+use integrade_simnet::rng::{streams, DetRng};
 use integrade_simnet::time::{SimDuration, SimTime};
 use integrade_simnet::topology::{ClusterTag, HostId, LinkSpec, Topology};
 use integrade_simnet::trace::TraceLog;
@@ -66,6 +66,33 @@ pub enum TickMode {
     /// The original O(all nodes)-per-tick loop, kept as the oracle the
     /// active-set path is checked against (see `tests/tick_parity.rs`).
     Reference,
+    /// The active-set walk, parallelised: nodes are partitioned by id into
+    /// `workers` contiguous shards, each worker thread runs its shard's
+    /// per-node slot bodies (including lazy catch-up replay) against
+    /// per-shard scratch state, and the cross-shard effects — messages,
+    /// event-queue inserts, GUPA uploads, log records, metrics — are merged
+    /// on the coordinating thread at the frame boundary in (shard-id, seq)
+    /// order before the single-threaded GRM/trader/event-queue phase runs.
+    ///
+    /// # Determinism contract
+    ///
+    /// Shards are *contiguous node-id ranges*, so (shard-id, seq) merge
+    /// order is exactly ascending node-id order — the same order the
+    /// sequential walks use. Each shard additionally owns an RNG stream
+    /// derived from `(seed, shard index)` alone
+    /// ([`DetRng::for_shard`]); per-node stochastic extensions must draw
+    /// only from their shard's stream. Today's per-node slot body draws no
+    /// randomness, so every worker count is observably identical to
+    /// [`Self::ActiveSet`]; once shard streams are consumed, results are
+    /// guaranteed reproducible only at a *fixed* `workers` value
+    /// (`Sharded{1}` ≡ `ActiveSet` stays bit-for-bit by construction, and
+    /// any fixed W replays identically run over run — see
+    /// `tests/tick_parity.rs`).
+    Sharded {
+        /// Worker threads (and shards). Must be nonzero; validated by
+        /// [`crate::builder::GridConfigBuilder::try_build`].
+        workers: usize,
+    },
 }
 
 /// Global grid configuration.
@@ -498,6 +525,13 @@ struct GridWorld {
     /// Dedicated stream for retry/backoff jitter so retransmission noise
     /// never perturbs the scheduler's ranking stream.
     retry_rng: DetRng,
+    /// One RNG stream per shard in [`TickMode::Sharded`], derived from
+    /// `(seed, shard index)` alone ([`DetRng::for_shard`]) so a shard can
+    /// be replayed in isolation. Per-node stochastic work inside the
+    /// parallel walk must draw only from its shard's stream; the global
+    /// `rng`/`retry_rng` streams belong to the single-threaded phase.
+    /// Empty in the sequential modes.
+    shard_rngs: Vec<DetRng>,
     /// One QoS ledger per node, merged node-major on [`GridWorld::report`].
     /// Per-node ledgers let the active-set path bulk-replay an idle node's
     /// accounting without disturbing other nodes' record order.
@@ -515,8 +549,9 @@ struct GridWorld {
     /// set lag behind and are caught up in bulk by `catch_up_node`.
     ticks_applied: Vec<u64>,
     /// Per-node flag: the information-update timer is parked (no UpdateTick
-    /// event in the queue). Only ever set in [`TickMode::ActiveSet`], only
-    /// for statically idle disengaged nodes whose updates are suppressed;
+    /// event in the queue). Only ever set in the lazy tick modes
+    /// ([`TickMode::ActiveSet`] and [`TickMode::Sharded`]), only for
+    /// statically idle disengaged nodes whose updates are suppressed;
     /// cleared (and the timer resumed) when a frame next reaches the node.
     update_parked: Vec<bool>,
     /// Precomputed per node: the node has no owner trace and an
@@ -642,9 +677,16 @@ impl Grid {
             .enumerate()
             .map(|(i, h)| (*h, i))
             .collect();
+        let shard_rngs = match config.tick_mode {
+            TickMode::Sharded { workers } => (0..workers.max(1) as u64)
+                .map(|i| DetRng::for_shard(config.seed, i))
+                .collect(),
+            _ => Vec::new(),
+        };
         let mut world = GridWorld {
-            rng: DetRng::with_stream(config.seed, 0x4752_4944),
-            retry_rng: DetRng::with_stream(config.seed, 0x5245_5459),
+            rng: DetRng::with_stream(config.seed, streams::GRID_WORLD),
+            retry_rng: DetRng::with_stream(config.seed, streams::RETRY),
+            shard_rngs,
             gupa: GupaState::new(config.lupa),
             net: Network::new(topo),
             orbs,
@@ -889,10 +931,7 @@ impl Grid {
     /// The final report. Flushes any lazily deferred per-node bookkeeping
     /// first so active-set and reference runs report identically.
     pub fn report(&mut self) -> GridReport {
-        let target = self.world.slots_elapsed;
-        for node in 0..self.world.lrms.len() {
-            self.world.catch_up_node(node, target);
-        }
+        self.world.flush_catch_up();
         let mut qos = QosLedger::new();
         for ledger in &self.world.qos {
             qos.merge(ledger);
@@ -959,24 +998,201 @@ impl Grid {
     }
 }
 
+/// Day/weekday/minute of a virtual instant (day 0 = Monday).
+fn wall_at(now: SimTime) -> (u64, Weekday, u32) {
+    let (day, offset) = now.day_and_offset();
+    (
+        day,
+        Weekday::from_day_number(day),
+        (offset.as_micros() / 60_000_000) as u32,
+    )
+}
+
+/// The owner sample a trace yields at `now` (empty trace = always idle).
+fn trace_sample_at(trace: &[UsageSample], now: SimTime) -> UsageSample {
+    if trace.is_empty() {
+        return UsageSample::idle();
+    }
+    let slot = (now.as_micros() / SimDuration::from_mins(5).as_micros()) as usize;
+    trace[slot % trace.len()]
+}
+
+/// The node-local half of catch-up replay: advances one node's deferred
+/// owner sampling, LUPA accumulation and QoS accounting to tick `target`
+/// using only that node's state. Returns the GUPA upload calls the replayed
+/// slots would have made, in order, one inner vec per original call — the
+/// caller applies them to the shared GUPA (this keeps the upload-call count
+/// identical to the eager walk, which tests observe).
+///
+/// Runs on shard worker threads in [`TickMode::Sharded`]: it must not touch
+/// the event queue, the log, the ORBs, any RNG stream, or any other node.
+fn replay_node_local(
+    tick: SimDuration,
+    trace: &[UsageSample],
+    lrm: &RefCell<LrmState>,
+    qos: &mut QosLedger,
+    ticks_applied: &mut u64,
+    target: u64,
+) -> Vec<Vec<DayPeriod>> {
+    let applied = *ticks_applied;
+    if applied >= target {
+        return Vec::new();
+    }
+    let tick_micros = tick.as_micros();
+    let mut uploads: Vec<Vec<DayPeriod>> = Vec::new();
+    let mut lrm = lrm.borrow_mut();
+    if trace.is_empty() {
+        // Always-idle fast path: every replayed slot observes the identical
+        // all-zero sample, and `QosLedger::record(0, 0, 0, _, _)` is a
+        // no-op by inspection (no owner demand, no grid usage, no cap
+        // check can fire). The whole replay collapses to a bulk window
+        // fill; only the day rollovers produce observable effects, and
+        // each completed period is emitted as its own upload call exactly
+        // as the per-slot loop would have.
+        let then = SimTime::from_micros(tick_micros * (target - 1));
+        let (_, weekday, minute) = wall_at(then);
+        lrm.observe_owner_repeat(
+            UsageSample::idle(),
+            (target - applied) as usize,
+            weekday,
+            minute,
+        );
+        uploads.extend(lrm.take_lupa_periods().into_iter().map(|p| vec![p]));
+    } else {
+        let cap = lrm.policy.max_cpu_fraction;
+        for k in applied..target {
+            // The (k+1)-th tick fired at k * tick.
+            let then = SimTime::from_micros(tick_micros * k);
+            let owner = trace_sample_at(trace, then);
+            let (_, weekday, minute) = wall_at(then);
+            lrm.observe_owner(owner, weekday, minute);
+            let periods = lrm.take_lupa_periods();
+            qos.record(owner.cpu, 0.0, 0.0, cap, SharingDiscipline::Yielding);
+            if !periods.is_empty() {
+                uploads.push(periods);
+            }
+        }
+    }
+    *ticks_applied = target;
+    uploads
+}
+
+/// The shared-state side effects of one node's slot tick, produced on a
+/// worker thread and applied by [`GridWorld::apply_node_effects`] on the
+/// coordinating thread. Applying queued effects in ascending node order
+/// reproduces the sequential walk's message, log and RNG order exactly.
+struct NodeTickEffects {
+    node: usize,
+    /// Reservation leases that expired this slot (metric + log records).
+    expired: usize,
+    /// Parts that finished (stash + PartDone send to the GRM).
+    completed: Vec<CompletedPart>,
+    /// Parts evicted by a returning owner (stash + PartEvicted send).
+    evictions: Vec<PartEvicted>,
+    /// Checkpoints crossing an interval boundary (replica store requests).
+    dues: Vec<DueCheckpoint>,
+    /// GUPA upload calls from the catch-up replay that preceded the tick,
+    /// applied before everything else — the order the sequential walk uses.
+    replay_uploads: Vec<Vec<DayPeriod>>,
+    /// The tick's own LUPA drain (at most one completed period).
+    tick_upload: Vec<DayPeriod>,
+}
+
+/// The node-local half of one slot tick: everything `tick_node` does that
+/// touches only the node's own LRM, QoS ledger and tick cursor. Safe to run
+/// on a shard worker; the returned effects carry the shared-state work.
+/// Callers must have applied all earlier ticks to the node.
+#[allow(clippy::too_many_arguments)]
+fn tick_node_local(
+    tick: SimDuration,
+    trace: &[UsageSample],
+    lrm: &RefCell<LrmState>,
+    qos: &mut QosLedger,
+    ticks_applied: &mut u64,
+    node: usize,
+    now: SimTime,
+    weekday: Weekday,
+    minute: u32,
+    slots_elapsed: u64,
+) -> NodeTickEffects {
+    let owner = trace_sample_at(trace, now);
+    let mut lrm = lrm.borrow_mut();
+    // Credit the elapsed tick under the owner state that held during it
+    // *before* observing the new sample; otherwise a returning owner would
+    // retroactively erase the idle interval's progress.
+    let completed = lrm.advance(tick);
+    let dues = lrm.due_checkpoints();
+    lrm.observe_owner(owner, weekday, minute);
+    let expired = lrm.expire_reservations(now);
+    let evictions = lrm.check_eviction();
+    let grid_running = !lrm.running().is_empty();
+    let grid_share = lrm.grid_share();
+    let cap = lrm.policy.max_cpu_fraction;
+    // Owner QoS accounting (InteGrade's user-level scheduler always
+    // yields, so usage == the capped share).
+    let grid_demand = if grid_running { 1.0 } else { 0.0 };
+    let grid_usage = if grid_running { grid_share } else { 0.0 };
+    qos.record(
+        owner.cpu,
+        grid_demand,
+        grid_usage,
+        cap,
+        SharingDiscipline::Yielding,
+    );
+    let tick_upload = lrm.take_lupa_periods();
+    *ticks_applied = slots_elapsed;
+    NodeTickEffects {
+        node,
+        expired,
+        completed,
+        evictions,
+        dues,
+        replay_uploads: Vec::new(),
+        tick_upload,
+    }
+}
+
+/// Contiguous node-id ranges for `workers` shards: near-equal sizes, the
+/// first `n % workers` shards one node larger. Concatenating the shards in
+/// shard-id order yields `0..n` — the property that makes (shard-id, seq)
+/// merge order equal ascending node-id order.
+fn shard_ranges(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let w = workers.clamp(1, n.max(1));
+    let base = n / w;
+    let extra = n % w;
+    let mut ranges = Vec::with_capacity(w);
+    let mut start = 0;
+    for shard in 0..w {
+        let len = base + usize::from(shard < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+/// A shard's slice of the LRM table, sendable to its worker thread.
+///
+/// # Safety
+///
+/// `Rc<RefCell<LrmState>>` is `!Send`, but moving a *disjoint slice* of the
+/// table to a scoped worker is sound here because: (a) each worker receives
+/// a non-overlapping node range and never reaches outside it, (b) the
+/// coordinating thread is blocked in `std::thread::scope` until every
+/// worker joins, so no `Rc` clone (the servant handles) is touched
+/// concurrently, (c) workers call only LRM methods that read/write the
+/// node's own plain data — they never clone or drop an `Rc` (in particular
+/// not the `SharedBytes` checkpoint payloads, whose allocations *are*
+/// shared across nodes), so no reference count is mutated off-thread.
+struct ShardLrms<'a>(&'a [Rc<RefCell<LrmState>>]);
+
+#[allow(unsafe_code)]
+unsafe impl Send for ShardLrms<'_> {}
+
 impl GridWorld {
     /// Day/weekday/minute of a virtual instant (day 0 = Monday).
     fn wall(&self, now: SimTime) -> (u64, Weekday, u32) {
-        let (day, offset) = now.day_and_offset();
-        (
-            day,
-            Weekday::from_day_number(day),
-            (offset.as_micros() / 60_000_000) as u32,
-        )
-    }
-
-    fn trace_sample(&self, node: usize, now: SimTime) -> UsageSample {
-        let trace = &self.traces[node];
-        if trace.is_empty() {
-            return UsageSample::idle();
-        }
-        let slot = (now.as_micros() / SimDuration::from_mins(5).as_micros()) as usize;
-        trace[slot % trace.len()]
+        wall_at(now)
     }
 
     /// Replays the deferred slot-tick bookkeeping of one node up to tick
@@ -991,30 +1207,98 @@ impl GridWorld {
     /// randomness. Replaying them here in bulk is therefore bit-for-bit
     /// identical to having run them eagerly every tick.
     fn catch_up_node(&mut self, node: usize, target: u64) {
-        let applied = self.ticks_applied[node];
-        if applied >= target {
+        if self.ticks_applied[node] >= target {
             return;
         }
         let profiler = self.obs.profiler.clone();
         let _replay = profiler.enter(Phase::CatchUpReplay);
-        let tick_micros = self.config.tick.as_micros();
-        let cap = self.lrms[node].borrow().policy.max_cpu_fraction;
-        for k in applied..target {
-            // The (k+1)-th tick fired at k * tick.
-            let then = SimTime::from_micros(tick_micros * k);
-            let owner = self.trace_sample(node, then);
-            let (_, weekday, minute) = self.wall(then);
-            let periods = {
-                let mut lrm = self.lrms[node].borrow_mut();
-                lrm.observe_owner(owner, weekday, minute);
-                lrm.take_lupa_periods()
-            };
-            self.qos[node].record(owner.cpu, 0.0, 0.0, cap, SharingDiscipline::Yielding);
-            if !periods.is_empty() {
-                self.gupa.upload(NodeId(node as u32), periods);
+        let uploads = replay_node_local(
+            self.config.tick,
+            &self.traces[node],
+            &self.lrms[node],
+            &mut self.qos[node],
+            &mut self.ticks_applied[node],
+            target,
+        );
+        for call in uploads {
+            self.gupa.upload(NodeId(node as u32), call);
+        }
+    }
+
+    /// Catches every node up to the current tick count — the full-population
+    /// flush `report()` and pattern-aware prediction ranking need. In
+    /// [`TickMode::Sharded`] the per-node replay work (the O(n) term that
+    /// dominates the flush at 50k nodes) runs on the shard workers; the
+    /// GUPA uploads are merged in ascending node order afterwards, so the
+    /// result is identical to the sequential flush.
+    fn flush_catch_up(&mut self) {
+        let target = self.slots_elapsed;
+        match self.config.tick_mode {
+            TickMode::Sharded { workers } if self.lrms.len() > 1 => {
+                let profiler = self.obs.profiler.clone();
+                let _replay = profiler.enter(Phase::CatchUpReplay);
+                let uploads = {
+                    let _shard = profiler.enter(Phase::ShardWalk);
+                    let tick = self.config.tick;
+                    let traces = &self.traces;
+                    let ranges = shard_ranges(self.lrms.len(), workers);
+                    let mut qos_rest: &mut [QosLedger] = &mut self.qos;
+                    let mut ticks_rest: &mut [u64] = &mut self.ticks_applied;
+                    let mut lrms_rest: &[Rc<RefCell<LrmState>>] = &self.lrms;
+                    std::thread::scope(|scope| {
+                        let mut handles = Vec::with_capacity(ranges.len());
+                        for range in &ranges {
+                            let len = range.end - range.start;
+                            let (qos_s, q_tail) = qos_rest.split_at_mut(len);
+                            qos_rest = q_tail;
+                            let (ticks_s, t_tail) = ticks_rest.split_at_mut(len);
+                            ticks_rest = t_tail;
+                            let (lrm_s, l_tail) = lrms_rest.split_at(len);
+                            lrms_rest = l_tail;
+                            let lrms = ShardLrms(lrm_s);
+                            let start = range.start;
+                            handles.push(scope.spawn(move || {
+                                let lrms = lrms;
+                                let mut out = Vec::new();
+                                for (local, (qos, ticks)) in
+                                    qos_s.iter_mut().zip(ticks_s.iter_mut()).enumerate()
+                                {
+                                    let node = start + local;
+                                    let calls = replay_node_local(
+                                        tick,
+                                        &traces[node],
+                                        &lrms.0[local],
+                                        qos,
+                                        ticks,
+                                        target,
+                                    );
+                                    if !calls.is_empty() {
+                                        out.push((node, calls));
+                                    }
+                                }
+                                out
+                            }));
+                        }
+                        let merged: Vec<(usize, Vec<Vec<DayPeriod>>)> = handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("shard flush worker panicked"))
+                            .collect();
+                        merged
+                    })
+                };
+                let _merge = profiler.enter(Phase::ShardMerge);
+                for (node, calls) in uploads {
+                    for call in calls {
+                        self.gupa.upload(NodeId(node as u32), call);
+                    }
+                }
+            }
+            _ => {
+                for node in 0..self.lrms.len() {
+                    self.catch_up_node(node, target);
+                }
             }
         }
-        self.ticks_applied[node] = target;
     }
 
     /// Re-derives a node's active-set membership from its LRM engagement.
@@ -2620,9 +2904,7 @@ impl GridWorld {
         // Predictions read each LRM's partial-day window and the GUPA's
         // uploaded periods — state the active-set path defers for idle
         // nodes — so flush everyone before ranking.
-        for node in 0..self.lrms.len() {
-            self.catch_up_node(node, self.slots_elapsed);
-        }
+        self.flush_catch_up();
         let (_, weekday, minute) = self.wall(now);
         let slots_per_day = SamplingConfig::default().slots_per_day();
         let mut out = BTreeMap::new();
@@ -3020,14 +3302,17 @@ impl GridWorld {
                     self.tick_node(now, weekday, minute, i, queue);
                 }
             }
+            TickMode::Sharded { workers } => {
+                self.sharded_slot_walk(now, weekday, minute, workers, queue);
+            }
         }
         self.detect_crashed_nodes(now, queue);
         self.rereplicate(now, queue);
         queue.schedule_after(tick, GridEvent::SlotTick);
     }
 
-    /// One node's share of a slot tick — the per-node body both tick modes
-    /// share. Callers must have applied all earlier ticks to the node.
+    /// One node's share of a slot tick — the per-node body every tick mode
+    /// shares. Callers must have applied all earlier ticks to the node.
     fn tick_node(
         &mut self,
         now: SimTime,
@@ -3036,50 +3321,49 @@ impl GridWorld {
         i: usize,
         queue: &mut EventQueue<GridEvent>,
     ) {
-        let tick = self.config.tick;
-        let owner = self.trace_sample(i, now);
-        let (completed, dues, evictions, expired, grid_running, grid_share, cap) = {
-            let mut lrm = self.lrms[i].borrow_mut();
-            // Credit the elapsed tick under the owner state that held
-            // during it *before* observing the new sample; otherwise a
-            // returning owner would retroactively erase the idle
-            // interval's progress.
-            let completed = lrm.advance(tick);
-            let dues = lrm.due_checkpoints();
-            lrm.observe_owner(owner, weekday, minute);
-            let expired = lrm.expire_reservations(now);
-            let evictions = lrm.check_eviction();
-            (
-                completed,
-                dues,
-                evictions,
-                expired,
-                !lrm.running().is_empty(),
-                lrm.grid_share(),
-                lrm.policy.max_cpu_fraction,
-            )
-        };
-        self.obs.lease_expired.add(expired as u64);
-        for _ in 0..expired {
+        let effects = tick_node_local(
+            self.config.tick,
+            &self.traces[i],
+            &self.lrms[i],
+            &mut self.qos[i],
+            &mut self.ticks_applied[i],
+            i,
+            now,
+            weekday,
+            minute,
+            self.slots_elapsed,
+        );
+        self.apply_node_effects(now, effects, queue);
+    }
+
+    /// Applies one node's queued slot-tick effects to the shared world:
+    /// metrics, log records, outcome stash+send, checkpoint stores, GUPA
+    /// uploads and the activity refresh. In [`TickMode::Sharded`] this runs
+    /// at the frame boundary in ascending node order; called with the
+    /// effects `tick_node_local` just produced it reconstructs the
+    /// sequential walk exactly.
+    fn apply_node_effects(
+        &mut self,
+        now: SimTime,
+        effects: NodeTickEffects,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let i = effects.node;
+        // Catch-up replay uploads precede the tick's own effects, matching
+        // the sequential `catch_up_node` → `tick_node` call order.
+        for call in effects.replay_uploads {
+            self.gupa.upload(NodeId(i as u32), call);
+        }
+        self.obs.lease_expired.add(effects.expired as u64);
+        for _ in 0..effects.expired {
             self.log
                 .record_indexed(now, "lease.expired", "node ", i as u64);
         }
-        // Owner QoS accounting (InteGrade's user-level scheduler always
-        // yields, so usage == the capped share).
-        let grid_demand = if grid_running { 1.0 } else { 0.0 };
-        let grid_usage = if grid_running { grid_share } else { 0.0 };
-        self.qos[i].record(
-            owner.cpu,
-            grid_demand,
-            grid_usage,
-            cap,
-            SharingDiscipline::Yielding,
-        );
         // Outcomes go out as best-effort oneways, but are also stashed
         // until the GRM acknowledges an update that piggybacked them —
         // at-least-once delivery even when the oneway is lost or the
         // GRM crashes with the notice in flight.
-        for done in completed {
+        for done in effects.completed {
             let msg = PartDone {
                 job: done.job,
                 part: done.part,
@@ -3088,22 +3372,129 @@ impl GridWorld {
             self.lrms[i].borrow_mut().stash_done(msg);
             self.send_to_grm(now, i, OP_PART_DONE, move |w| msg.encode(w), queue);
         }
-        for evicted in evictions {
+        for evicted in effects.evictions {
             self.lrms[i].borrow_mut().stash_evicted(evicted);
             self.send_to_grm(now, i, OP_PART_EVICTED, move |w| evicted.encode(w), queue);
         }
         // Interval boundary crossed: write the checkpoint's real bytes
         // to every replica the launch designated.
-        for due in dues {
+        for due in effects.dues {
             self.store_checkpoint(now, NodeId(i as u32), due, queue);
         }
         // LUPA uploads (completed day periods go to the GUPA).
-        let periods = self.lrms[i].borrow_mut().take_lupa_periods();
-        if !periods.is_empty() {
-            self.gupa.upload(NodeId(i as u32), periods);
+        if !effects.tick_upload.is_empty() {
+            self.gupa.upload(NodeId(i as u32), effects.tick_upload);
         }
-        self.ticks_applied[i] = self.slots_elapsed;
         self.refresh_activity(i);
+    }
+
+    /// The parallel frame of [`TickMode::Sharded`]: shard the population by
+    /// contiguous node-id ranges, run each shard's member catch-up + slot
+    /// bodies on its own worker thread against per-shard slices of the QoS
+    /// ledgers and tick cursors, then merge the queued effects in
+    /// (shard-id, seq) order — which, because shards are contiguous ranges,
+    /// is exactly the ascending node order the sequential walks use.
+    fn sharded_slot_walk(
+        &mut self,
+        now: SimTime,
+        weekday: Weekday,
+        minute: u32,
+        workers: usize,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let members: Vec<usize> = self.active.iter().copied().collect();
+        let behind = self.slots_elapsed - 1;
+        let slots_elapsed = self.slots_elapsed;
+        let tick = self.config.tick;
+        let profiler = self.obs.profiler.clone();
+        let all_effects: Vec<NodeTickEffects> = {
+            let _shard = profiler.enter(Phase::ShardWalk);
+            let ranges = shard_ranges(self.lrms.len(), workers);
+            // Ascending member list → per-shard sublists at range bounds.
+            let mut groups: Vec<&[usize]> = Vec::with_capacity(ranges.len());
+            let mut rest: &[usize] = &members;
+            for range in &ranges {
+                let split = rest.partition_point(|&i| i < range.end);
+                let (group, tail) = rest.split_at(split);
+                groups.push(group);
+                rest = tail;
+            }
+            let traces = &self.traces;
+            let mut qos_rest: &mut [QosLedger] = &mut self.qos;
+            let mut ticks_rest: &mut [u64] = &mut self.ticks_applied;
+            let mut lrms_rest: &[Rc<RefCell<LrmState>>] = &self.lrms;
+            let mut rngs_rest: &mut [DetRng] = &mut self.shard_rngs;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(ranges.len());
+                for (shard, range) in ranges.iter().enumerate() {
+                    let len = range.end - range.start;
+                    let (qos_s, q_tail) = qos_rest.split_at_mut(len);
+                    qos_rest = q_tail;
+                    let (ticks_s, t_tail) = ticks_rest.split_at_mut(len);
+                    ticks_rest = t_tail;
+                    let (lrm_s, l_tail) = lrms_rest.split_at(len);
+                    lrms_rest = l_tail;
+                    // `shard_rngs` has one stream per *configured* worker;
+                    // `shard_ranges` may produce fewer shards than that
+                    // (tiny populations), never more.
+                    let (rng_s, r_tail) = rngs_rest.split_at_mut(1.min(rngs_rest.len()));
+                    rngs_rest = r_tail;
+                    let lrms = ShardLrms(lrm_s);
+                    let group = groups[shard];
+                    let start = range.start;
+                    handles.push(scope.spawn(move || {
+                        let lrms = lrms;
+                        // The shard's private stream rides along for future
+                        // stochastic per-node work; today's slot body draws
+                        // nothing from it, which is what keeps every worker
+                        // count observably identical to `ActiveSet`.
+                        let _shard_rng: Option<&mut DetRng> = rng_s.first_mut();
+                        let mut out = Vec::with_capacity(group.len());
+                        for &node in group {
+                            let local = node - start;
+                            let replay_uploads = replay_node_local(
+                                tick,
+                                &traces[node],
+                                &lrms.0[local],
+                                &mut qos_s[local],
+                                &mut ticks_s[local],
+                                behind,
+                            );
+                            let mut effects = tick_node_local(
+                                tick,
+                                &traces[node],
+                                &lrms.0[local],
+                                &mut qos_s[local],
+                                &mut ticks_s[local],
+                                node,
+                                now,
+                                weekday,
+                                minute,
+                                slots_elapsed,
+                            );
+                            effects.replay_uploads = replay_uploads;
+                            out.push(effects);
+                        }
+                        out
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+        let merge_started = std::time::Instant::now();
+        let _merge = profiler.enter(Phase::ShardMerge);
+        let effect_count = all_effects.len() as u64;
+        for effects in all_effects {
+            self.apply_node_effects(now, effects, queue);
+        }
+        self.obs.shard_frames.inc();
+        self.obs.shard_effects.add(effect_count);
+        self.obs
+            .shard_stall_ns
+            .add(merge_started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Serializes and ships one due checkpoint from its executing node to
@@ -3334,7 +3725,7 @@ impl GridWorld {
                 );
             }
         }
-        if self.config.tick_mode == TickMode::ActiveSet
+        if self.config.tick_mode != TickMode::Reference
             && !sent
             && self.static_status[node]
             && !self.lrms[node].borrow().is_engaged()

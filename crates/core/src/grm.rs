@@ -24,7 +24,7 @@ use integrade_simnet::time::SimTime;
 use integrade_simnet::topology::HostId;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 /// Static registration data for one node.
@@ -62,6 +62,11 @@ pub struct GrmState {
     last_seq: BTreeMap<NodeId, u64>,
     last_status: BTreeMap<NodeId, NodeStatus>,
     last_heard: BTreeMap<NodeId, SimTime>,
+    /// Secondary index over `last_heard`, ordered by the time a node was
+    /// last heard from. The crash detector walks this oldest-first and
+    /// stops at the first live node, so each slot tick pays O(k log n) for
+    /// k silent nodes instead of scanning the whole population.
+    heard_index: BTreeSet<(SimTime, NodeId)>,
     /// Soft-state replica placement map: which LRM claims to hold which
     /// version of which part's checkpoint. Wiped by a GRM crash and rebuilt
     /// from the replica reports piggybacked on periodic status updates.
@@ -167,6 +172,7 @@ impl GrmState {
             last_seq: BTreeMap::new(),
             last_status: BTreeMap::new(),
             last_heard: BTreeMap::new(),
+            heard_index: BTreeSet::new(),
             replicas: ReplicaMap::new(),
             stats: UpdateStats::default(),
             epoch: 1,
@@ -267,12 +273,28 @@ impl GrmState {
             Ok(()) => {
                 self.stats.accepted += 1;
                 self.last_status.insert(update.node, update.status);
-                self.last_heard.insert(update.node, now);
+                self.set_heard(update.node, now);
             }
             Err(TraderError::UnknownOffer(_)) => {
                 self.stats.unknown_node += 1;
             }
             Err(e) => panic!("trader modify failed unexpectedly: {e}"),
+        }
+    }
+
+    /// Records that `node` was heard from at `now`, keeping the
+    /// time-ordered index in sync with the per-node map.
+    fn set_heard(&mut self, node: NodeId, now: SimTime) {
+        if let Some(previous) = self.last_heard.insert(node, now) {
+            self.heard_index.remove(&(previous, node));
+        }
+        self.heard_index.insert((now, node));
+    }
+
+    /// Forgets `node`'s liveness entirely (it is known dead).
+    fn clear_heard(&mut self, node: NodeId) {
+        if let Some(previous) = self.last_heard.remove(&node) {
+            self.heard_index.remove(&(previous, node));
         }
     }
 
@@ -386,23 +408,33 @@ impl GrmState {
 
     /// Nodes that have gone silent: exporting at last word but not heard
     /// from since `now - silence`. The GRM treats them as crashed.
+    ///
+    /// Walks the time-ordered `heard_index` oldest-first and stops at the
+    /// first node inside the silence window, so a quiet tick costs O(1)
+    /// and a tick that detects k crashes costs O(k log n) — the detector
+    /// never rescans the full population. Results are returned in node-id
+    /// order, matching the old full-scan implementation bit for bit.
     pub fn silent_nodes(
         &self,
         now: SimTime,
         silence: integrade_simnet::time::SimDuration,
     ) -> Vec<NodeId> {
-        self.last_heard
-            .iter()
-            .filter(|(node, &heard)| {
-                now.duration_since(heard) > silence
-                    && self
-                        .last_status
-                        .get(node)
-                        .map(|s| s.exporting || s.running_parts > 0)
-                        .unwrap_or(false)
-            })
-            .map(|(node, _)| *node)
-            .collect()
+        let mut silent: Vec<NodeId> = Vec::new();
+        for &(heard, node) in &self.heard_index {
+            if now.duration_since(heard) <= silence {
+                break;
+            }
+            if self
+                .last_status
+                .get(&node)
+                .map(|s| s.exporting || s.running_parts > 0)
+                .unwrap_or(false)
+            {
+                silent.push(node);
+            }
+        }
+        silent.sort_unstable();
+        silent
     }
 
     /// Marks a node as known-dead: its offer becomes unavailable so the
@@ -413,7 +445,7 @@ impl GrmState {
             let slots = self.status_slots();
             let _ = self.trader.modify_values(offer, slots.updates(&status));
             self.last_status.insert(node, status);
-            self.last_heard.remove(&node);
+            self.clear_heard(node);
         }
     }
 
@@ -440,14 +472,16 @@ impl GrmState {
             self.mark_unavailable(node);
         }
         self.last_heard.clear();
+        self.heard_index.clear();
     }
 
     /// Completes a reboot at `now`: every registered node gets a fresh
     /// liveness grace period so the crash detector doesn't declare the
     /// whole cluster dead before the first post-restart updates arrive.
     pub fn restart(&mut self, now: SimTime) {
-        for node in self.nodes.keys() {
-            self.last_heard.insert(*node, now);
+        let nodes: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for node in nodes {
+            self.set_heard(node, now);
         }
     }
 

@@ -45,7 +45,10 @@
 //! assert_eq!(record.state.to_string(), "completed");
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the sharded tick engine carries one audited
+// exception (`grid::ShardLrms`, a disjoint-slice Send wrapper for scoped
+// worker threads). Every other module must stay unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asct;

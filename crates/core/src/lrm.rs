@@ -236,6 +236,27 @@ impl LrmState {
         self.lupa_window.push(sample);
     }
 
+    /// Bulk form of [`LrmState::observe_owner`]: records `count` identical
+    /// consecutive samples ending at (`weekday`, `minute_of_day`).
+    ///
+    /// Equivalent to `count` calls to `observe_owner` with the same sample
+    /// and the per-slot clock values of each step — the intermediate
+    /// weekday/minute states are unobservable because nothing else runs
+    /// between the calls during a bulk idle catch-up, so only the final
+    /// clock is stored.
+    pub fn observe_owner_repeat(
+        &mut self,
+        sample: UsageSample,
+        count: usize,
+        weekday: Weekday,
+        minute_of_day: u32,
+    ) {
+        self.owner = sample;
+        self.weekday = weekday;
+        self.minute_of_day = minute_of_day;
+        self.lupa_window.push_repeat(sample, count);
+    }
+
     /// The owner's current load.
     pub fn owner_load(&self) -> UsageSample {
         self.owner

@@ -58,6 +58,14 @@ pub struct GridObs {
     pub node_crashes: Counter,
     /// GRM crash events.
     pub grm_crashes: Counter,
+    /// Sharded tick mode: parallel frames executed (one per slot tick).
+    pub shard_frames: Counter,
+    /// Sharded tick mode: cross-shard effect records merged at frame
+    /// boundaries (completions, evictions, checkpoint stores, uploads).
+    pub shard_effects: Counter,
+    /// Sharded tick mode: wall nanoseconds the merge phase stalled the
+    /// frame after the slowest worker finished its local walk.
+    pub shard_stall_ns: Counter,
 
     // --- live histograms ------------------------------------------------
     /// Reserve/launch round-trip latency, in sim seconds.
@@ -121,6 +129,9 @@ impl GridObs {
             lease_expired: registry.counter("grid_lease_expired"),
             node_crashes: registry.counter_with("grid_crashes", &[("kind", "node")]),
             grm_crashes: registry.counter_with("grid_crashes", &[("kind", "grm")]),
+            shard_frames: registry.counter("grid_shard_frames"),
+            shard_effects: registry.counter("grid_shard_effects_merged"),
+            shard_stall_ns: registry.counter("grid_shard_merge_stall_ns"),
             negotiation_latency_s: registry
                 .histogram("grid_negotiation_latency_seconds", RTT_BOUNDS_S),
             store_rtt_s: registry.histogram("grid_checkpoint_store_rtt_seconds", RTT_BOUNDS_S),

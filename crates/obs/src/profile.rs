@@ -37,17 +37,24 @@ pub enum Phase {
     GiopEncode,
     /// GIOP/CDR decode of incoming wire frames.
     GiopDecode,
+    /// Sharded mode: the parallel per-shard node walk (local compute).
+    ShardWalk,
+    /// Sharded mode: the frame-boundary merge of per-shard outboxes —
+    /// this is the serial stall the parallel walk pays for determinism.
+    ShardMerge,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 8] = [
         Phase::SlotWalk,
         Phase::CatchUpReplay,
         Phase::QueuePop,
         Phase::Dispatch,
         Phase::GiopEncode,
         Phase::GiopDecode,
+        Phase::ShardWalk,
+        Phase::ShardMerge,
     ];
 
     /// Stable lowercase name used in exports.
@@ -59,6 +66,8 @@ impl Phase {
             Phase::Dispatch => "dispatch",
             Phase::GiopEncode => "giop_encode",
             Phase::GiopDecode => "giop_decode",
+            Phase::ShardWalk => "shard_walk",
+            Phase::ShardMerge => "shard_merge",
         }
     }
 
@@ -71,6 +80,8 @@ impl Phase {
             Phase::Dispatch => 3,
             Phase::GiopEncode => 4,
             Phase::GiopDecode => 5,
+            Phase::ShardWalk => 6,
+            Phase::ShardMerge => 7,
         }
     }
 }
@@ -135,8 +146,8 @@ mod imp {
 
     #[derive(Debug, Default)]
     pub struct ProfilerInner {
-        totals_ns: [Cell<u64>; 6],
-        entries: [Cell<u64>; 6],
+        totals_ns: [Cell<u64>; 8],
+        entries: [Cell<u64>; 8],
     }
 
     impl ProfilerInner {

@@ -70,7 +70,13 @@ impl<E> Ord for Entry<E> {
 /// Occupancy and maintenance counters of an [`EventQueue`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueueStats {
-    /// Maximum number of entries the far-future heap ever held.
+    /// High-water mark of the queue's *overflow heaps*: the maximum combined
+    /// occupancy of the due heap (the bucket being drained, plus sub-second
+    /// schedules landing behind the cursor) and the far-future heap (entries
+    /// beyond the wheel window). Entries absorbed by the O(1) wheel buckets
+    /// are not counted. Any run that pops at least one event refills the due
+    /// heap, so this is nonzero for every non-trivial simulation — a zero
+    /// here means the queue was never exercised.
     pub peak_heap_depth: usize,
     /// Tombstone compaction passes performed.
     pub compactions: u64,
@@ -200,6 +206,7 @@ impl<E> EventQueue<E> {
             // due heap. `(time, seq)` is a total order, so ties still fire
             // in insertion order.
             self.due.push(Reverse(entry));
+            self.note_heap_occupancy();
         } else if t_sec < self.cursor_sec + WHEEL_SLOTS as u64 {
             self.wheel[(t_sec % WHEEL_SLOTS as u64) as usize].push(entry);
             self.wheel_count += 1;
@@ -207,7 +214,7 @@ impl<E> EventQueue<E> {
         } else {
             self.heap.push(Reverse(entry));
             self.stats.heap_scheduled += 1;
-            self.stats.peak_heap_depth = self.stats.peak_heap_depth.max(self.heap.len());
+            self.note_heap_occupancy();
         }
         self.live.insert(id);
         self.next_seq += 1;
@@ -254,6 +261,16 @@ impl<E> EventQueue<E> {
         self.stats.compactions += 1;
     }
 
+    /// Records the current combined overflow-heap occupancy into the
+    /// [`QueueStats::peak_heap_depth`] high-water mark. Called at every
+    /// point that grows either heap (direct pushes and bucket refills).
+    fn note_heap_occupancy(&mut self) {
+        let depth = self.due.len() + self.heap.len();
+        if depth > self.stats.peak_heap_depth {
+            self.stats.peak_heap_depth = depth;
+        }
+    }
+
     /// Moves the earliest non-empty wheel bucket into the due list and
     /// advances the cursor past it. Caller ensures the due list is empty.
     fn refill_due(&mut self) {
@@ -265,6 +282,7 @@ impl<E> EventQueue<E> {
                 let entries = std::mem::take(&mut self.wheel[bucket]);
                 self.wheel_count -= entries.len();
                 self.due.extend(entries.into_iter().map(Reverse));
+                self.note_heap_occupancy();
                 self.cursor_sec = sec + 1;
                 return;
             }
@@ -629,6 +647,29 @@ mod tests {
         assert_eq!(stats.wheel_scheduled, 1);
         assert_eq!(stats.heap_scheduled, 1);
         assert_eq!(stats.peak_heap_depth, 1);
+    }
+
+    /// The high-water mark covers the *due* heap too: a drained bucket's
+    /// entries and late sub-second schedules are overflow-heap occupancy
+    /// even when the far-future heap never sees a single entry.
+    #[test]
+    fn peak_depth_counts_due_heap_occupancy() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.schedule_at(SimTime::from_millis(500 + u64::from(i)), i);
+        }
+        // All ten land in wheel bucket 0; the first pop refills the due
+        // heap with the whole bucket.
+        assert_eq!(q.stats().peak_heap_depth, 0, "nothing drained yet");
+        assert!(q.pop().is_some());
+        assert_eq!(q.stats().peak_heap_depth, 10, "{:?}", q.stats());
+        // A sub-second schedule behind the cursor lands in the due heap and
+        // raises the mark past the refill size.
+        q.schedule_at(SimTime::from_millis(700), 99);
+        assert_eq!(q.stats().peak_heap_depth, 10, "9 left + 1 late = 10");
+        q.schedule_at(SimTime::from_millis(800), 100);
+        assert_eq!(q.stats().peak_heap_depth, 11, "{:?}", q.stats());
+        assert_eq!(q.stats().heap_scheduled, 0, "far-future heap untouched");
     }
 
     #[test]

@@ -243,6 +243,33 @@ impl SampleWindow {
         }
     }
 
+    /// Pushes `count` copies of `sample`, equivalent to calling
+    /// [`SampleWindow::push`] `count` times — day rollovers included.
+    ///
+    /// This exists for the simulator's bulk catch-up replay: an idle node
+    /// that slept through hours of sim time contributes a long run of
+    /// identical samples, and filling whole days with `extend` beats a
+    /// per-slot call into the rollover check.
+    pub fn push_repeat(&mut self, sample: UsageSample, mut count: usize) {
+        let per_day = self.config.slots_per_day();
+        while count > 0 {
+            let room = per_day - self.current.len();
+            let take = room.min(count);
+            self.current.extend(std::iter::repeat_n(sample, take));
+            count -= take;
+            if self.current.len() == per_day {
+                let day = self.current_day;
+                self.completed.push(DayPeriod {
+                    day,
+                    weekday: Weekday::from_day_number(day),
+                    samples: std::mem::take(&mut self.current),
+                });
+                self.current_day += 1;
+                self.current.reserve(per_day);
+            }
+        }
+    }
+
     /// Completed periods so far.
     pub fn completed(&self) -> &[DayPeriod] {
         &self.completed
@@ -323,6 +350,58 @@ mod tests {
         let taken = w.take_completed();
         assert_eq!(taken.len(), 2);
         assert!(w.completed().is_empty());
+    }
+
+    #[test]
+    fn push_repeat_matches_repeated_push() {
+        let cfg = SamplingConfig::new(480); // 3 slots/day for brevity
+        let sample = UsageSample::new(0.3, 0.1, 0.0, 0.0);
+        for offset in 0..3usize {
+            for count in [0usize, 1, 2, 3, 4, 7, 11] {
+                let mut bulk = SampleWindow::new(cfg);
+                let mut slow = SampleWindow::new(cfg);
+                for _ in 0..offset {
+                    bulk.push(UsageSample::idle());
+                    slow.push(UsageSample::idle());
+                }
+                bulk.push_repeat(sample, count);
+                for _ in 0..count {
+                    slow.push(sample);
+                }
+                assert_eq!(
+                    bulk.completed(),
+                    slow.completed(),
+                    "offset={offset} count={count}"
+                );
+                assert_eq!(bulk.partial_day(), slow.partial_day());
+                assert_eq!(bulk.current_day, slow.current_day);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_push_repeat_equivalence(
+            offset in 0usize..300,
+            count in 0usize..1000,
+            cpu in 0.0f64..1.0,
+        ) {
+            let cfg = SamplingConfig::default(); // 288 slots/day
+            let sample = UsageSample::new(cpu, 0.0, 0.0, 0.0);
+            let mut bulk = SampleWindow::new(cfg);
+            let mut slow = SampleWindow::new(cfg);
+            for _ in 0..offset {
+                bulk.push(UsageSample::idle());
+                slow.push(UsageSample::idle());
+            }
+            bulk.push_repeat(sample, count);
+            for _ in 0..count {
+                slow.push(sample);
+            }
+            proptest::prop_assert_eq!(bulk.completed(), slow.completed());
+            proptest::prop_assert_eq!(bulk.partial_day(), slow.partial_day());
+            proptest::prop_assert_eq!(bulk.current_day, slow.current_day);
+        }
     }
 
     #[test]

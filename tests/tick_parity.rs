@@ -1,13 +1,18 @@
-//! Active-set ticking parity: the scaled slot-tick path (`TickMode::ActiveSet`,
-//! the default) must be *observably identical* to the exhaustive per-node
-//! reference walk (`TickMode::Reference`) it replaced — same event logs,
-//! same completions and makespans, same network traffic, same update-protocol
-//! counters, same merged owner-QoS ledger — across seeds, owner-trace mixes,
-//! delta-suppression settings and injected faults.
+//! Tick-engine parity: every scaled slot-tick path — the lazy
+//! `TickMode::ActiveSet` walk and the parallel `TickMode::Sharded`
+//! frame at worker widths 1, 2, 4 and 8 — must be *observably identical*
+//! to the exhaustive per-node reference walk (`TickMode::Reference`) it
+//! replaced — same event logs, same completions and makespans, same network
+//! traffic, same update-protocol counters, same merged owner-QoS ledger —
+//! across seeds, owner-trace mixes, delta-suppression settings and injected
+//! faults.
 //!
 //! The reference walk is kept in the tree exactly so this oracle exists; a
-//! divergence here means the lazy catch-up or timer parking broke semantics,
-//! not just performance.
+//! divergence here means the lazy catch-up, timer parking or the sharded
+//! frame-boundary merge broke semantics, not just performance. Two further
+//! contracts get dedicated tests: `Sharded { workers: 1 }` is bit-for-bit
+//! the ActiveSet walk, and a fixed worker count reproduces itself exactly
+//! run over run (the determinism contract only pins a *fixed* `W`).
 //!
 //! The seed matrix defaults to a small set for `cargo test`; CI widens it
 //! via the `CHAOS_SEEDS` environment variable (comma-separated u64s).
@@ -173,10 +178,76 @@ fn check_parity(seed: u64, nodes: usize, traced: usize, delta: bool, drop_pct: f
     assert_parity(&mut fast, &mut reference, &ctx);
 }
 
+/// The sharded widths every suite sweeps: the degenerate single shard,
+/// even splits, and more shards than fit evenly into the 8-node cluster
+/// (so trailing shards own short or empty id ranges).
+const SHARD_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
 #[test]
 fn parity_across_chaos_seed_matrix_with_faults() {
     for seed in chaos_seeds() {
         check_parity(seed, 8, 3, false, 0.05, true);
+    }
+}
+
+#[test]
+fn sharded_parity_across_widths_and_chaos_seeds() {
+    // One reference oracle per seed, checked against every worker width
+    // under packet loss and a mid-run crash/restore.
+    for seed in chaos_seeds() {
+        let mut reference = build_grid(TickMode::Reference, seed, 8, 3, false);
+        run_scenario(&mut reference, seed, 0.05, true);
+        for workers in SHARD_WIDTHS {
+            let mut sharded = build_grid(TickMode::Sharded { workers }, seed, 8, 3, false);
+            run_scenario(&mut sharded, seed, 0.05, true);
+            let ctx = format!("Sharded{{{workers}}} vs Reference, seed {seed}");
+            assert_parity(&mut sharded, &mut reference, &ctx);
+        }
+    }
+}
+
+#[test]
+fn sharded_parity_with_delta_suppression_and_parked_timers() {
+    // Suppression + idle nodes parks update timers inside the sharded
+    // frame too; the merge must reconstruct the identical wake order.
+    for seed in chaos_seeds() {
+        let mut reference = build_grid(TickMode::Reference, seed, 8, 2, true);
+        run_scenario(&mut reference, seed, 0.0, false);
+        for workers in SHARD_WIDTHS {
+            let mut sharded = build_grid(TickMode::Sharded { workers }, seed, 8, 2, true);
+            run_scenario(&mut sharded, seed, 0.0, false);
+            let ctx = format!("Sharded{{{workers}}} suppression, seed {seed}");
+            assert_parity(&mut sharded, &mut reference, &ctx);
+        }
+    }
+}
+
+#[test]
+fn sharded_one_worker_is_bitwise_active_set() {
+    // The documented contract: a single shard IS the ActiveSet walk —
+    // same code path order, same RNG draws, same artifacts bit for bit.
+    for seed in chaos_seeds() {
+        let mut sharded = build_grid(TickMode::Sharded { workers: 1 }, seed, 8, 3, false);
+        let mut active = build_grid(TickMode::ActiveSet, seed, 8, 3, false);
+        run_scenario(&mut sharded, seed, 0.05, true);
+        run_scenario(&mut active, seed, 0.05, true);
+        let ctx = format!("Sharded{{1}} vs ActiveSet, seed {seed}");
+        assert_parity(&mut sharded, &mut active, &ctx);
+    }
+}
+
+#[test]
+fn sharded_fixed_width_reproduces_itself() {
+    // The determinism contract pins a *fixed* worker count: the same seed
+    // and the same W must reproduce the run exactly, however the OS
+    // schedules the worker threads.
+    for workers in SHARD_WIDTHS {
+        let mut first = build_grid(TickMode::Sharded { workers }, 7, 8, 3, false);
+        let mut second = build_grid(TickMode::Sharded { workers }, 7, 8, 3, false);
+        run_scenario(&mut first, 7, 0.05, true);
+        run_scenario(&mut second, 7, 0.05, true);
+        let ctx = format!("Sharded{{{workers}}} self-reproducibility");
+        assert_parity(&mut first, &mut second, &ctx);
     }
 }
 
@@ -194,8 +265,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
     /// Randomized scenario shapes: any mix of traced nodes, suppression,
-    /// loss and a mid-run crash must leave the two tick modes
-    /// indistinguishable.
+    /// loss and a mid-run crash must leave ActiveSet, a sampled sharded
+    /// width and the reference walk mutually indistinguishable.
     #[test]
     fn parity_is_seed_and_shape_independent(
         seed in 1u64..1_000_000,
@@ -204,8 +275,24 @@ proptest! {
         delta in any::<bool>(),
         drop in prop_oneof![Just(0.0), Just(0.05), Just(0.15)],
         crash in any::<bool>(),
+        workers in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
     ) {
         let traced = nodes * traced_frac / 4;
-        check_parity(seed, nodes, traced, delta, drop, crash);
+        let mut reference = build_grid(TickMode::Reference, seed, nodes, traced, delta);
+        run_scenario(&mut reference, seed, drop, crash);
+        let ctx = format!(
+            "seed {seed}, {nodes} nodes ({traced} traced), delta={delta}, \
+             drop={drop}, crash={crash}"
+        );
+        let mut fast = build_grid(TickMode::ActiveSet, seed, nodes, traced, delta);
+        run_scenario(&mut fast, seed, drop, crash);
+        assert_parity(&mut fast, &mut reference, &format!("ActiveSet, {ctx}"));
+        let mut sharded = build_grid(TickMode::Sharded { workers }, seed, nodes, traced, delta);
+        run_scenario(&mut sharded, seed, drop, crash);
+        assert_parity(
+            &mut sharded,
+            &mut reference,
+            &format!("Sharded{{{workers}}}, {ctx}"),
+        );
     }
 }
