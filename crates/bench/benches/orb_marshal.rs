@@ -26,6 +26,7 @@ fn sample_update() -> StatusUpdate {
         replicas: vec![],
         pending_done: vec![],
         pending_evicted: vec![],
+        progress: vec![],
     }
 }
 

@@ -204,7 +204,7 @@ fn run_interleaved() -> (ObsCell, ObsCell, MetricsSnapshot) {
 }
 
 /// Median-overhead (on, off) pair out of [`RUNS`] replica-interleaved
-/// measurements ([`run_interleaved`]). The interleaving cancels noise
+/// measurements (`run_interleaved`). The interleaving cancels noise
 /// *within* a pair; the median across pairs then discards the
 /// occasional measurement where a one-sided spike survived anyway.
 /// Best-of-N cannot do either: its two winners come from different

@@ -114,6 +114,7 @@ pub fn e10() -> Table {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         }
         .to_cdr_bytes(),
         "update_status",

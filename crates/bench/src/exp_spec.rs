@@ -1,0 +1,400 @@
+//! E17: gray failures — straggler speculation vs doing nothing vs
+//! BOINC-style deadline reissue.
+//!
+//! A derated desktop is the failure mode the paper's crash machinery
+//! cannot see: the host answers every protocol message on time while
+//! computing at a fraction of its advertised MIPS. This experiment sweeps
+//! the slow-node fraction × derate factor and measures, for each cell,
+//! three mitigation regimes over the same cluster shape and workload:
+//!
+//! * **spec-off** — the InteGrade grid with the straggler detector
+//!   disarmed; the job waits for its slowest part.
+//! * **spec-on** — progress-based detection plus a checkpoint-resumed
+//!   speculative twin; first copy to finish wins, the loser is cancelled
+//!   and its effort truthfully booked as waste.
+//! * **boinc** — the pull-based baseline with a reporting deadline: a
+//!   unit stuck on a slow client is abandoned wholesale and reissued,
+//!   so mitigation arrives only after the deadline and all partial
+//!   progress is lost (`crates/baselines/src/boinc.rs`).
+//!
+//! Because the three regimes price compute differently (the baseline
+//! runs clients at full MIPS, the grid at the owner-protected share),
+//! cross-arm comparisons use *inflation*: each cell's makespan divided
+//! by the same arm's clean-cluster (no derate) makespan. Every run is
+//! simulated-deterministic per seed, so cells replicate across seeds
+//! rather than wall-clock repetitions; there is nothing to warm up.
+//! Emits a prose table and a machine-readable `BENCH_spec.json`.
+
+use crate::table::{f2, Table};
+use integrade_baselines::boinc::{BoincConfig, BoincSim};
+use integrade_baselines::harness::{BaselineNode, BaselineSystem};
+use integrade_core::asct::{JobSpec, JobState};
+use integrade_core::grid::{Grid, GridBuilder, GridConfig, NodeSetup};
+use integrade_core::types::NodeId;
+use integrade_simnet::faults::{DerateWindow, FaultPlan};
+use integrade_simnet::time::{SimDuration, SimTime};
+
+/// Cluster size: one part per node, so a straggling part cannot hide
+/// behind queueing and every healthy node frees up as its own part ends.
+pub const NODES: usize = 16;
+/// Work per part, MIPS-s.
+pub const WORK_EACH: u64 = 300_000;
+/// Fractions of the cluster quietly degraded. 0.0 is each arm's own
+/// inflation baseline.
+pub const SLOW_FRACTIONS: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
+/// Effective-MIPS multipliers applied to the slow nodes.
+pub const DERATE_FACTORS: [f64; 2] = [0.25, 0.4];
+/// Replication seeds: deterministic per seed, so replication — not
+/// wall-clock repetition — is the noise control.
+pub const SEEDS: [u64; 2] = [21, 22];
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct SpecCell {
+    /// Mitigation regime: "spec-off", "spec-on" or "boinc".
+    pub arm: &'static str,
+    /// Fraction of nodes derated.
+    pub slow_fraction: f64,
+    /// Effective-MIPS multiplier on those nodes (1.0 when none are).
+    pub factor: f64,
+    /// Seed of this replication.
+    pub seed: u64,
+    /// Whether the job completed before the horizon.
+    pub completed: bool,
+    /// Submission-to-completion span, seconds.
+    pub makespan_s: f64,
+    /// Work lost to evictions, lost races and abandoned instances, MIPS-s.
+    pub wasted_mips_s: u64,
+    /// Stragglers flagged (spec-on only).
+    pub detected: usize,
+    /// Speculative twins launched (spec-on only).
+    pub launched: usize,
+    /// Speculative twins that finished before their primary.
+    pub won: usize,
+}
+
+fn slow_count(fraction: f64) -> usize {
+    (fraction * NODES as f64).round() as usize
+}
+
+fn spec_grid(seed: u64, speculation: bool) -> Grid {
+    let config = GridConfig::builder()
+        .seed(seed)
+        .gupa_warmup_days(0)
+        .sequential_checkpoint_mips_s(30_000.0)
+        .speculation(speculation)
+        .build();
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..NODES).map(|_| NodeSetup::idle_desktop()).collect());
+    builder.build()
+}
+
+/// One InteGrade run (speculation on or off) at a cell's settings.
+fn run_grid_cell(arm: &'static str, fraction: f64, factor: f64, seed: u64) -> SpecCell {
+    let speculation = arm == "spec-on";
+    let mut grid = spec_grid(seed, speculation);
+    let slow = slow_count(fraction);
+    if slow > 0 {
+        let mut plan = FaultPlan::new(seed);
+        for n in 0..slow {
+            plan = plan.with_derate(DerateWindow {
+                host: grid.host_of(NodeId(n as u32)),
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(48 * 3600),
+                factor,
+            });
+        }
+        grid.set_fault_plan(plan);
+    }
+    let job = grid.submit(JobSpec::bag_of_tasks("e17", NODES, WORK_EACH));
+    grid.run_until(SimTime::from_secs(24 * 3600));
+    let record = grid.job_record(job).unwrap().clone();
+    SpecCell {
+        arm,
+        slow_fraction: fraction,
+        factor: if slow > 0 { factor } else { 1.0 },
+        seed,
+        completed: record.state == JobState::Completed,
+        makespan_s: record
+            .makespan()
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(f64::NAN),
+        wasted_mips_s: record.wasted_work_mips_s,
+        detected: grid.log().count("straggler.detected"),
+        launched: grid.log().count("spec.launched"),
+        won: grid.log().count("spec.won"),
+    }
+}
+
+/// One BOINC-baseline run at a cell's settings: slow clients are modelled
+/// as reduced-MIPS volunteers, and the reporting deadline (1.5× a healthy
+/// task's duration) is the reissue trigger. Redundancy/quorum are 1 so the
+/// measured waste is the straggler mitigation's alone, not duplication's.
+fn run_boinc_cell(fraction: f64, factor: f64, seed: u64) -> SpecCell {
+    let slow = slow_count(fraction);
+    // Slow volunteers take the highest client indices: the engine's work
+    // fetch polls clients in index order, so a low-indexed straggler would
+    // re-grab every unit its own deadline miss just freed, starving the
+    // healthy clients behind it of the reissue.
+    let nodes: Vec<BaselineNode> = (0..NODES)
+        .map(|i| {
+            let mut node = BaselineNode::desktop(vec![]);
+            if i >= NODES - slow {
+                node.resources.cpu_mips =
+                    ((node.resources.cpu_mips as f64) * factor).round() as u64;
+            }
+            node
+        })
+        .collect();
+    let healthy_task_s = WORK_EACH / BaselineNode::desktop(vec![]).resources.cpu_mips;
+    let config = BoincConfig {
+        redundancy: 1,
+        quorum: 1,
+        deadline: SimDuration::from_secs(healthy_task_s * 3 / 2),
+        seed,
+        ..BoincConfig::default()
+    };
+    let submissions = vec![(
+        SimTime::from_secs(0),
+        JobSpec::bag_of_tasks("e17", NODES, WORK_EACH),
+    )];
+    let report = BoincSim::new(config).run(&nodes, &submissions, SimTime::from_secs(24 * 3600));
+    let job = &report.jobs[0];
+    SpecCell {
+        arm: "boinc",
+        slow_fraction: fraction,
+        factor: if slow > 0 { factor } else { 1.0 },
+        seed,
+        completed: job.completed_at.is_some(),
+        makespan_s: job.makespan().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN),
+        wasted_mips_s: job.wasted_work_mips_s,
+        detected: 0,
+        launched: 0,
+        won: 0,
+    }
+}
+
+/// The full sweep: every (fraction, factor) cell × arm × seed. The clean
+/// cluster (fraction 0) runs once per arm and seed as the inflation base.
+pub fn measure(seeds: &[u64]) -> Vec<SpecCell> {
+    let mut cells = Vec::new();
+    for &fraction in &SLOW_FRACTIONS {
+        let factors: &[f64] = if fraction == 0.0 {
+            &[1.0]
+        } else {
+            &DERATE_FACTORS
+        };
+        for &factor in factors {
+            for &seed in seeds {
+                cells.push(run_grid_cell("spec-off", fraction, factor, seed));
+                cells.push(run_grid_cell("spec-on", fraction, factor, seed));
+                cells.push(run_boinc_cell(fraction, factor, seed));
+            }
+        }
+    }
+    cells
+}
+
+/// Renders the sweep as `BENCH_spec.json`, one object per cell.
+pub fn to_json(cells: &[SpecCell]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e17\",\n  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"arm\": \"{}\", \"slow_fraction\": {:.2}, \"factor\": {:.2}, \
+             \"seed\": {}, \"completed\": {}, \"makespan_s\": {:.1}, \
+             \"wasted_mips_s\": {}, \"detected\": {}, \"launched\": {}, \"won\": {}}}{sep}\n",
+            c.arm,
+            c.slow_fraction,
+            c.factor,
+            c.seed,
+            c.completed,
+            c.makespan_s,
+            c.wasted_mips_s,
+            c.detected,
+            c.launched,
+            c.won,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Mean makespan of one arm's cells at (fraction, factor).
+fn mean_makespan(cells: &[SpecCell], arm: &str, fraction: f64, factor: f64) -> f64 {
+    let at: Vec<&SpecCell> = cells
+        .iter()
+        .filter(|c| c.arm == arm && c.slow_fraction == fraction && c.factor == factor)
+        .collect();
+    at.iter().map(|c| c.makespan_s).sum::<f64>() / at.len().max(1) as f64
+}
+
+/// E17: makespan inflation and wasted work under gray failure, for
+/// speculation off / on and the BOINC reissue baseline. Side effect:
+/// writes `BENCH_spec.json` to the working directory.
+pub fn e17() -> Table {
+    let cells = measure(&SEEDS);
+    match std::fs::write("BENCH_spec.json", to_json(&cells)) {
+        Ok(()) => eprintln!("e17: wrote BENCH_spec.json"),
+        Err(e) => eprintln!("e17: could not write BENCH_spec.json: {e}"),
+    }
+    let mut table = Table::new(
+        "E17: gray failures — speculation off vs on vs BOINC deadline reissue",
+        &[
+            "slow_frac",
+            "derate",
+            "arm",
+            "completion_%",
+            "makespan_s",
+            "inflation",
+            "wasted_mips_s",
+            "detected",
+            "won",
+        ],
+    );
+    for &fraction in &SLOW_FRACTIONS[1..] {
+        for &factor in &DERATE_FACTORS {
+            for arm in ["spec-off", "spec-on", "boinc"] {
+                let base = mean_makespan(&cells, arm, 0.0, 1.0);
+                let at: Vec<&SpecCell> = cells
+                    .iter()
+                    .filter(|c| c.arm == arm && c.slow_fraction == fraction && c.factor == factor)
+                    .collect();
+                let makespan = at.iter().map(|c| c.makespan_s).sum::<f64>() / at.len() as f64;
+                let completion =
+                    100.0 * at.iter().filter(|c| c.completed).count() as f64 / at.len() as f64;
+                table.push_row(vec![
+                    format!("{fraction:.1}"),
+                    format!("{factor:.2}"),
+                    arm.to_string(),
+                    f2(completion),
+                    f2(makespan),
+                    format!("{:.2}x", makespan / base.max(1.0)),
+                    (at.iter().map(|c| c.wasted_mips_s).sum::<u64>() / at.len() as u64).to_string(),
+                    at.iter().map(|c| c.detected).sum::<usize>().to_string(),
+                    at.iter().map(|c| c.won).sum::<usize>().to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// The speedup the committed floor guards: speculation-off makespan over
+/// speculation-on makespan at 20% slow nodes, derate 0.25, best of the
+/// two replication seeds (both must complete).
+pub fn smoke_speedup() -> f64 {
+    SEEDS
+        .iter()
+        .map(|&seed| {
+            let off = run_grid_cell("spec-off", 0.2, 0.25, seed);
+            let on = run_grid_cell("spec-on", 0.2, 0.25, seed);
+            assert!(
+                off.completed && on.completed,
+                "e17smoke: incomplete job (off={}, on={})",
+                off.completed,
+                on.completed
+            );
+            assert!(on.won >= 1, "e17smoke: no speculative win at 20% slow");
+            off.makespan_s / on.makespan_s
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Parses the committed floor out of `BENCH_spec_floor.json`.
+pub(crate) fn committed_floor() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_spec_floor.json").ok()?;
+    let key = "\"spec_speedup_floor_20pct\":";
+    let at = text.find(key)? + key.len();
+    text[at..]
+        .trim_start()
+        .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// E17 smoke: the 20%-slow, 0.25-derate cell alone, compared against the
+/// committed floor in `BENCH_spec_floor.json`. The metric is a ratio of
+/// *simulated* makespans, so it is deterministic per seed — CI failures
+/// mean the detector or the twin race regressed, never host noise.
+///
+/// # Panics
+///
+/// Panics when speculation no longer beats the committed speedup floor,
+/// when either arm fails to complete the job, or when no twin wins.
+pub fn e17smoke() -> Table {
+    let speedup = smoke_speedup();
+    let floor = committed_floor();
+    let mut table = Table::new(
+        "E17 smoke: speculation speedup at 20% slow nodes vs committed floor",
+        &["metric", "value"],
+    );
+    table.push_row(vec!["speedup (off/on)".into(), format!("{speedup:.2}x")]);
+    table.push_row(vec![
+        "committed floor".into(),
+        floor.map_or("none".into(), |f| format!("{f:.2}x")),
+    ]);
+    if let Some(floor) = floor {
+        assert!(
+            speedup >= floor,
+            "e17smoke: speculation speedup {speedup:.2}x fell below the committed floor \
+             {floor:.2}x"
+        );
+    } else {
+        eprintln!("e17smoke: no BENCH_spec_floor.json — floor check skipped");
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speculation_beats_off_at_20_percent_slow() {
+        let speedup = smoke_speedup();
+        assert!(
+            speedup > 1.0,
+            "speculation must strictly improve makespan at 20% slow, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn boinc_reissue_wastes_the_stragglers_partial_progress() {
+        let cell = run_boinc_cell(0.2, 0.25, SEEDS[0]);
+        assert!(cell.completed, "{cell:?}");
+        assert!(
+            cell.wasted_mips_s > 0,
+            "deadline reissue must abandon partial work: {cell:?}"
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let cells = vec![
+            run_grid_cell("spec-off", 0.0, 1.0, 21),
+            run_boinc_cell(0.1, 0.25, 21),
+        ];
+        let json = to_json(&cells);
+        assert!(json.contains("\"experiment\": \"e17\""));
+        assert!(json.contains("\"arm\": \"spec-off\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn floor_parser_reads_the_committed_shape() {
+        // Shape-compatibility guard for the key-scan parser.
+        let sample = "{\n  \"spec_speedup_floor_20pct\": 1.30\n}\n";
+        let key = "\"spec_speedup_floor_20pct\":";
+        let at = sample.find(key).unwrap() + key.len();
+        let parsed: f64 = sample[at..]
+            .trim_start()
+            .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((parsed - 1.30).abs() < 1e-9);
+    }
+}

@@ -26,6 +26,7 @@ pub mod exp_repo;
 pub mod exp_scale;
 pub mod exp_scale14;
 pub mod exp_sched;
+pub mod exp_spec;
 pub mod exp_trader;
 pub mod exp_usage;
 pub mod table;
@@ -112,6 +113,16 @@ pub fn experiments() -> Vec<ExperimentEntry> {
             "e16smoke",
             "50k-node 4-worker throughput smoke vs committed floor",
             exp_par::e16smoke,
+        ),
+        (
+            "e17",
+            "gray failures: speculation off vs on vs BOINC reissue",
+            exp_spec::e17,
+        ),
+        (
+            "e17smoke",
+            "speculation speedup smoke at 20% slow nodes vs committed floor",
+            exp_spec::e17smoke,
         ),
     ]
 }

@@ -151,6 +151,17 @@ pub struct GridConfig {
     /// How the per-slot node loop is driven (active-set skipping of idle
     /// nodes, or the exhaustive reference walk).
     pub tick_mode: TickMode,
+    /// Enables the straggler detector and speculative re-execution of
+    /// lagging parts (gray-failure mitigation). Off by default: every
+    /// existing scenario replays bit-for-bit unchanged.
+    pub speculation: bool,
+    /// A part is a straggler candidate when its observed progress rate
+    /// falls below this fraction of its job's median running-part rate.
+    pub straggler_threshold: f64,
+    /// Consecutive below-threshold observations (slot ticks) before a
+    /// speculative twin launches — the hysteresis that keeps transient
+    /// owner activity from tripping the detector.
+    pub straggler_strikes: u32,
 }
 
 impl Default for GridConfig {
@@ -175,6 +186,9 @@ impl Default for GridConfig {
             replication_factor: 2,
             checkpoint_state_bytes: 4096,
             tick_mode: TickMode::ActiveSet,
+            speculation: false,
+            straggler_threshold: 0.5,
+            straggler_strikes: 3,
         }
     }
 }
@@ -355,6 +369,40 @@ enum Pending {
         source: NodeId,
         target: NodeId,
     },
+    /// A speculative twin's checkpoint read: fetch the newest banked
+    /// replica so the backup resumes from verified progress instead of
+    /// zero. Falls back across `rest` like recovery; exhaustion resumes
+    /// from the banked level.
+    TwinFetch {
+        job: JobId,
+        part: u32,
+        rest: Vec<NodeId>,
+    },
+    /// A speculative twin's reservation. Refusal walks the twin's own
+    /// candidate list and never touches the primary's negotiation round.
+    TwinReserve {
+        job: JobId,
+        part: u32,
+        node: NodeId,
+    },
+    /// A speculative twin's launch.
+    TwinLaunch {
+        job: JobId,
+        part: u32,
+        node: NodeId,
+    },
+    /// Teardown of a speculation loser (primary or twin) after the other
+    /// copy finished first; the reply's progress is charged as wasted
+    /// speculative work.
+    TwinCancel {
+        job: JobId,
+        part: u32,
+        node: NodeId,
+        /// Work already covered by the winner's lineage (the checkpoint the
+        /// winner resumed from): only the loser's progress beyond this is
+        /// wasted.
+        credit: u64,
+    },
 }
 
 /// An in-flight request: its continuation plus everything needed to put the
@@ -403,6 +451,52 @@ struct PartRuntime {
     /// eviction bank a checkpoint's work only when its version exceeds
     /// this, so a stale blob from an earlier launch is never double-counted.
     banked_version: u64,
+    /// Consecutive straggler-detector rounds this part's observed rate fell
+    /// below the threshold fraction of the job median. Reset to zero the
+    /// moment a round clears it, so only a *sustained* deficit (gray
+    /// failure) escalates to speculation.
+    slow_strikes: u32,
+    /// Live speculative backup, if one has been escalated.
+    twin: Option<TwinRuntime>,
+}
+
+/// Lifecycle of a speculative twin, mirroring the primary's
+/// reserve→launch path plus an optional leading checkpoint fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TwinState {
+    /// Reading the newest banked checkpoint replica.
+    Fetching,
+    /// Reservation request in flight.
+    Reserving,
+    /// Launch request in flight.
+    Launching,
+    /// Executing; first of twin/primary to finish wins the part.
+    Running,
+}
+
+/// A speculative backup copy of one straggling part. The twin races the
+/// primary from the newest digest-verified checkpoint; whichever copy
+/// reports `PartDone` first wins and the loser is cancelled, its progress
+/// charged as wasted speculative work. Twins launch with a zero checkpoint
+/// interval so the primary's checkpoint lineage (and `banked_version`
+/// monotonicity) is never forked.
+#[derive(Debug)]
+struct TwinRuntime {
+    state: TwinState,
+    node: Option<NodeId>,
+    reservation: u64,
+    /// Untried trader candidates for refusal fallthrough, consumed front
+    /// to back — deliberately separate from the primary's
+    /// `next_candidate` walk so the two paths cannot double-launch.
+    candidates: Vec<NodeId>,
+    /// Work covered by the checkpoint the twin resumed from, relative to
+    /// the primary launch's resume level: the twin's launch covers
+    /// `remaining - resume_work`, and when the twin wins this much of the
+    /// cancelled primary's progress was not wasted.
+    resume_work: f64,
+    /// Version of that checkpoint — the twin's `resume_version` on the
+    /// wire, so a won race leaves version bookkeeping consistent.
+    resume_version: u64,
 }
 
 #[derive(Debug)]
@@ -568,6 +662,13 @@ struct GridWorld {
     /// (the GRM protocol itself cannot know it). Metric only — never feeds
     /// scheduling or banking decisions.
     crash_progress: BTreeMap<(JobId, u32), u64>,
+    /// Nodes the straggler detector currently holds a slow strike against.
+    /// A gray-failed host reports healthy static resources, so the trader
+    /// would happily place a speculative twin on the *other* straggler;
+    /// twin placement filters through this set instead. Entries clear when
+    /// the node's part posts a clean round, or on GRM restart (the progress
+    /// evidence behind them is gone).
+    suspect_nodes: BTreeSet<NodeId>,
     /// Metrics registry, trace spans and hot-loop profiler. Strictly
     /// passive: updating (or disabling) it never changes a run.
     obs: GridObs,
@@ -713,6 +814,7 @@ impl Grid {
             buffer_pool: Vec::new(),
             rerepl_inflight: BTreeSet::new(),
             crash_progress: BTreeMap::new(),
+            suspect_nodes: BTreeSet::new(),
             obs: GridObs::new(),
             config,
         };
@@ -808,12 +910,24 @@ impl Grid {
         self.world.node_hosts[node.0 as usize]
     }
 
-    /// Installs a deterministic fault plan. Message drops, latency jitter
-    /// and link partitions apply to every send from now on; host outage
-    /// schedules are translated into crash/reboot events on the simulation
-    /// timeline (manager-host outages crash and restart the GRM).
+    /// Installs a deterministic fault plan. Message drops, latency jitter,
+    /// link partitions and link limps apply to every send from now on; host
+    /// outage schedules (including flap expansions) are translated into
+    /// crash/reboot events on the simulation timeline (manager-host outages
+    /// crash and restart the GRM); CPU derating windows are handed to each
+    /// afflicted node's LRM, which scales its effective MIPS inside them.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         let now = self.queue.now();
+        if !plan.derates().is_empty() {
+            for (node, host) in self.world.node_hosts.iter().enumerate() {
+                let schedule = plan.derates_for(*host);
+                if !schedule.is_empty() {
+                    self.world.lrms[node]
+                        .borrow_mut()
+                        .set_derate_schedule(schedule);
+                }
+            }
+        }
         for outage in plan.outages() {
             if outage.down_at >= now {
                 self.queue.schedule_at(
@@ -920,6 +1034,47 @@ impl Grid {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.world.lrms.len()
+    }
+
+    /// Scheduler-side progress bookkeeping for one part — `(banked
+    /// checkpoint version, remaining MIPS-s)` — for invariant tests:
+    /// `banked_version` must never decrease and `remaining` must never
+    /// increase, speculation or not.
+    pub fn part_progress(&self, job: JobId, part: u32) -> Option<(u64, f64)> {
+        self.world
+            .jobs
+            .get(&job)
+            .and_then(|j| j.parts.get(part as usize))
+            .map(|p| (p.banked_version, p.remaining))
+    }
+
+    /// The executors the scheduler currently believes are computing this
+    /// part: the primary placement plus a speculative twin when one is
+    /// racing. At most two entries, and exactly one outside an active
+    /// speculation window.
+    pub fn part_executors(&self, job: JobId, part: u32) -> Vec<NodeId> {
+        let Some(p) = self
+            .world
+            .jobs
+            .get(&job)
+            .and_then(|j| j.parts.get(part as usize))
+        else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if matches!(p.state, PartState::Running | PartState::Launching) {
+            if let Some(n) = p.node {
+                out.push(n);
+            }
+        }
+        if let Some(t) = &p.twin {
+            if matches!(t.state, TwinState::Launching | TwinState::Running) {
+                if let Some(n) = t.node {
+                    out.push(n);
+                }
+            }
+        }
+        out
     }
 
     /// This cluster's aggregated summary for the inter-cluster hierarchy
@@ -1120,7 +1275,7 @@ fn tick_node_local(
     // Credit the elapsed tick under the owner state that held during it
     // *before* observing the new sample; otherwise a returning owner would
     // retroactively erase the idle interval's progress.
-    let completed = lrm.advance(tick);
+    let completed = lrm.advance_at(now, tick);
     let dues = lrm.due_checkpoints();
     lrm.observe_owner(owner, weekday, minute);
     let expired = lrm.expire_reservations(now);
@@ -1373,6 +1528,8 @@ impl GridWorld {
                 node: None,
                 reservation: 0,
                 banked_version: 0,
+                slow_strikes: 0,
+                twin: None,
                 remaining: match &spec.kind {
                     JobKind::Sequential { work_mips_s } => *work_mips_s as f64,
                     JobKind::BagOfTasks { task_work_mips_s } => task_work_mips_s[i] as f64,
@@ -1562,8 +1719,12 @@ impl GridWorld {
     /// mid-handshake (their LRM-side reservations expire via leases) and
     /// re-run the pipeline, so jobs are rescheduled instead of wedging.
     fn reconcile_after_grm_restart(&mut self, now: SimTime, queue: &mut EventQueue<GridEvent>) {
+        // The restarted GRM lost every progress track; the suspicion built
+        // on them must not outlive its evidence.
+        self.suspect_nodes.clear();
         let mut rollbacks: Vec<JobId> = Vec::new();
         let mut reschedules: Vec<(JobId, u32)> = Vec::new();
+        let mut twin_cancels: Vec<(JobId, u32, NodeId)> = Vec::new();
         for (id, job) in self.jobs.iter_mut() {
             if matches!(job.record.state, JobState::Completed | JobState::Failed) {
                 continue;
@@ -1572,7 +1733,19 @@ impl GridWorld {
             job.pending_cancels = 0;
             job.pending_reservations = 0;
             job.granted.clear();
-            for part in job.parts.iter_mut() {
+            for (index, part) in job.parts.iter_mut().enumerate() {
+                // Speculative twins do not survive a GRM restart: their
+                // continuations died with the old incarnation's orb. A twin
+                // that reached Running is cancelled on its node so an
+                // untracked copy is never left computing; the rest just
+                // evaporate.
+                if let Some(twin) = part.twin.take() {
+                    if twin.state == TwinState::Running {
+                        if let Some(node) = twin.node {
+                            twin_cancels.push((*id, index as u32, node));
+                        }
+                    }
+                }
                 // Recovering parts unwind too: the fetch continuation died
                 // with the old incarnation's orb, so restart them from the
                 // banked level rather than wedging in Recovering forever.
@@ -1608,6 +1781,35 @@ impl GridWorld {
                 .record(now, "grm.reconcile", format!("{id} reschedule"));
             let backoff = self.reschedule_backoff(attempt);
             queue.schedule_after(backoff, GridEvent::Schedule { job: id });
+        }
+        for (job_id, part_id, node) in twin_cancels {
+            self.obs.spec_cancelled.inc();
+            self.log.record(
+                now,
+                "spec.cancelled",
+                format!("{job_id} part {part_id} at {node}: grm restart"),
+            );
+            let request_id = self.rpc_id();
+            self.send_to_lrm(
+                now,
+                node,
+                OP_CANCEL_PART,
+                move |w| {
+                    CancelPartRequest {
+                        request_id,
+                        job: job_id,
+                        part: part_id,
+                    }
+                    .encode(w)
+                },
+                Pending::TwinCancel {
+                    job: job_id,
+                    part: part_id,
+                    node,
+                    credit: 0,
+                },
+                queue,
+            );
         }
     }
 
@@ -1698,6 +1900,21 @@ impl GridWorld {
             Pending::RereplFetch {
                 job, part, source, ..
             } => Some((SpanKind::RereplFetch, job.0, *part, source.0 as u64)),
+            // Twin traffic reuses the primary span kinds: the span stream
+            // keys on (kind, job, part, node), and the twin always targets
+            // a different node than the primary's in-flight requests.
+            Pending::TwinFetch { job, part, .. } => {
+                Some((SpanKind::FetchCkpt, job.0, *part, node.0 as u64))
+            }
+            Pending::TwinReserve { job, part, node } => {
+                Some((SpanKind::Reserve, job.0, *part, node.0 as u64))
+            }
+            Pending::TwinLaunch { job, part, node } => {
+                Some((SpanKind::Launch, job.0, *part, node.0 as u64))
+            }
+            Pending::TwinCancel {
+                job, part, node, ..
+            } => Some((SpanKind::CancelPart, job.0, *part, node.0 as u64)),
             Pending::UpdateAck { .. } => None,
         };
         let span_id = if let Some((kind, job, part, on_node)) = span {
@@ -1984,6 +2201,11 @@ impl GridWorld {
     }
 
     fn on_part_done(&mut self, now: SimTime, done: &PartDone, queue: &mut EventQueue<GridEvent>) {
+        // Speculation race settlement: whichever copy reported first wins;
+        // the loser is torn down and its uncovered progress charged as
+        // wasted speculative work via the cancel reply.
+        let mut spec_cancel: Option<(NodeId, u64)> = None;
+        let mut twin_won = false;
         {
             let Some(job) = self.jobs.get_mut(&done.job) else {
                 return;
@@ -1995,6 +2217,29 @@ impl GridWorld {
             };
             if part.state == PartState::Done {
                 return;
+            }
+            if let Some(twin) = part.twin.take() {
+                match twin.state {
+                    TwinState::Running if twin.node == Some(done.node) => {
+                        // The backup finished first: cancel the straggling
+                        // primary, crediting the checkpoint the twin
+                        // resumed from (that much was not wasted).
+                        twin_won = true;
+                        if let Some(primary) = part.node {
+                            spec_cancel = Some((primary, twin.resume_work as u64));
+                        }
+                    }
+                    TwinState::Running => {
+                        // The primary finished first: cancel the backup.
+                        // All of the twin's progress duplicated work.
+                        if let Some(backup) = twin.node {
+                            spec_cancel = Some((backup, 0));
+                        }
+                    }
+                    // The twin never launched; its in-flight replies stand
+                    // down via the missing-runtime guards.
+                    _ => {}
+                }
             }
             part.state = PartState::Done;
             part.node = None;
@@ -2019,6 +2264,46 @@ impl GridWorld {
                 }
             }
         }
+        if twin_won {
+            self.obs.spec_won.inc();
+            self.log.record(
+                now,
+                "spec.won",
+                format!("{} part {} on {}", done.job, done.part, done.node),
+            );
+        }
+        if let Some((loser, credit)) = spec_cancel {
+            self.obs.spec_cancelled.inc();
+            self.log.record(
+                now,
+                "spec.cancelled",
+                format!("{} part {} at {loser}", done.job, done.part),
+            );
+            let request_id = self.rpc_id();
+            let (job_id, part_id) = (done.job, done.part);
+            self.send_to_lrm(
+                now,
+                loser,
+                OP_CANCEL_PART,
+                move |w| {
+                    CancelPartRequest {
+                        request_id,
+                        job: job_id,
+                        part: part_id,
+                    }
+                    .encode(w)
+                },
+                Pending::TwinCancel {
+                    job: job_id,
+                    part: part_id,
+                    node: loser,
+                    credit,
+                },
+                queue,
+            );
+        }
+        // The part is finished: its rate estimates can never matter again.
+        self.grm.borrow_mut().clear_progress(done.job, done.part);
         // The part's replicas are superseded: drop them from the placement
         // map and ask each holder to garbage-collect its copy. Purges are
         // best-effort oneways — a holder that misses one merely keeps a dead
@@ -2069,6 +2354,31 @@ impl GridWorld {
         }
         let is_bsp = job.spec.kind.is_parallel();
         if !is_bsp {
+            // A speculative twin evicted from its backup node stands the
+            // speculation down without touching the primary: the eviction
+            // names the twin's node, not the part's.
+            {
+                let part = &mut job.parts[evicted.part as usize];
+                if part.node != Some(evicted.node)
+                    && part
+                        .twin
+                        .as_ref()
+                        .is_some_and(|t| t.node == Some(evicted.node))
+                {
+                    part.twin = None;
+                    job.record.wasted_work_mips_s += evicted.lost_work_mips_s;
+                    self.obs.spec_wasted_mips_s.add(evicted.lost_work_mips_s);
+                    self.log.record(
+                        now,
+                        "spec.standdown",
+                        format!(
+                            "{} part {} evicted from {}",
+                            evicted.job, evicted.part, evicted.node
+                        ),
+                    );
+                    return;
+                }
+            }
             // Outcomes arrive at-least-once (oneway plus the update
             // piggyback): an eviction for a part no longer running on that
             // node is a stale duplicate and must not evict twice.
@@ -2094,9 +2404,50 @@ impl GridWorld {
                 part.remaining =
                     (part.remaining - evicted.checkpointed_work_mips_s as f64).max(0.0);
             }
+            let finished = part.remaining <= 0.0;
+            // An evicted primary with a racing backup promotes the twin
+            // instead of rescheduling — the part never goes Unplaced, so
+            // the speculation converts an eviction into continued progress.
+            if !finished
+                && part
+                    .twin
+                    .as_ref()
+                    .is_some_and(|t| t.state == TwinState::Running && t.node.is_some())
+            {
+                let twin = part.twin.take().expect("twin exists");
+                part.node = twin.node;
+                part.reservation = twin.reservation;
+                part.state = PartState::Running;
+                self.log.record(
+                    now,
+                    "spec.promoted",
+                    format!(
+                        "{} part {} continues on {}",
+                        evicted.job,
+                        evicted.part,
+                        twin.node.expect("checked above")
+                    ),
+                );
+                return;
+            }
+            // A twin that never reached Running cannot take over; stand it
+            // down (its in-flight replies clean up after themselves). A
+            // Running twin stays: when the eviction finished the part, the
+            // synthesized `PartDone` below settles the race and cancels it.
+            if part
+                .twin
+                .as_ref()
+                .is_some_and(|t| t.state != TwinState::Running)
+            {
+                part.twin = None;
+                self.log.record(
+                    now,
+                    "spec.standdown",
+                    format!("{} part {} primary evicted", evicted.job, evicted.part),
+                );
+            }
             part.state = PartState::Unplaced;
             part.node = None;
-            let finished = part.remaining <= 0.0;
             let attempt = job.attempts.max(1);
             if !finished {
                 job.record.state = JobState::Rescheduling;
@@ -2382,6 +2733,83 @@ impl GridWorld {
                     now.as_micros(),
                 );
                 self.on_rerepl_fetch_reply(now, job, part, source, target, reply, queue);
+            }
+            Pending::TwinFetch { job, part, rest } => {
+                let reply = result
+                    .ok()
+                    .and_then(|b| FetchCheckpointReply::from_cdr_bytes(&b).ok());
+                self.obs.spans.finish(
+                    span,
+                    match &reply {
+                        Some(r) if r.found => SpanOutcome::Ok,
+                        _ => SpanOutcome::Refused,
+                    },
+                    now.as_micros(),
+                );
+                self.on_twin_fetch_reply(now, job, part, rest, reply, queue);
+            }
+            Pending::TwinReserve { job, part, node } => {
+                let reply = result
+                    .ok()
+                    .and_then(|b| ReserveReply::from_cdr_bytes(&b).ok())
+                    .unwrap_or_else(|| ReserveReply::refused("transport error"));
+                self.obs.negotiation_latency_s.observe(rtt_s);
+                self.obs.spans.finish(
+                    span,
+                    if reply.granted {
+                        SpanOutcome::Ok
+                    } else {
+                        SpanOutcome::Refused
+                    },
+                    now.as_micros(),
+                );
+                self.on_twin_reserve_reply(now, job, part, node, reply, queue);
+            }
+            Pending::TwinLaunch { job, part, node } => {
+                let reply = result
+                    .ok()
+                    .and_then(|b| LaunchReply::from_cdr_bytes(&b).ok())
+                    .unwrap_or(LaunchReply {
+                        accepted: false,
+                        reason: "transport error".into(),
+                    });
+                self.obs.negotiation_latency_s.observe(rtt_s);
+                self.obs.spans.finish(
+                    span,
+                    if reply.accepted {
+                        SpanOutcome::Ok
+                    } else {
+                        SpanOutcome::Refused
+                    },
+                    now.as_micros(),
+                );
+                self.on_twin_launch_reply(now, job, part, node, reply, queue);
+            }
+            Pending::TwinCancel {
+                job,
+                part,
+                node,
+                credit,
+            } => {
+                let reply = result
+                    .ok()
+                    .and_then(|b| CancelPartReply::from_cdr_bytes(&b).ok())
+                    .unwrap_or(CancelPartReply {
+                        found: false,
+                        checkpointed_work_mips_s: 0,
+                        checkpoint_version: 0,
+                        done_work_mips_s: 0,
+                    });
+                self.obs.spans.finish(
+                    span,
+                    if reply.found {
+                        SpanOutcome::Ok
+                    } else {
+                        SpanOutcome::Refused
+                    },
+                    now.as_micros(),
+                );
+                self.on_twin_cancel_reply(now, job, part, node, credit, reply);
             }
         }
     }
@@ -2762,6 +3190,596 @@ impl GridWorld {
             0,
             queue,
         );
+    }
+
+    /// Progress-based straggler scan (the gray-failure detector). For each
+    /// non-parallel job with at least three rated running parts, each
+    /// part's observed rate (from the piggybacked progress reports) is
+    /// compared against the job median: a part below
+    /// `straggler_threshold × median` accumulates a strike, a part at or
+    /// above it resets to zero. Only `straggler_strikes` *consecutive*
+    /// slow rounds escalate to a speculative twin — the hysteresis that
+    /// keeps one-off jitter (a lost update, a momentary owner burst) from
+    /// triggering wasteful speculation, while a sustained gray failure
+    /// (a derated CPU, a limping link) cannot hide.
+    fn detect_stragglers(&mut self, now: SimTime, queue: &mut EventQueue<GridEvent>) {
+        let mut escalate: Vec<(JobId, u32)> = Vec::new();
+        let mut mark_suspect: Vec<NodeId> = Vec::new();
+        let mut clear_suspect: Vec<NodeId> = Vec::new();
+        {
+            let grm = self.grm.borrow();
+            let threshold = self.config.straggler_threshold;
+            let strikes = self.config.straggler_strikes;
+            for (job_id, job) in self.jobs.iter_mut() {
+                if job.spec.kind.is_parallel() {
+                    continue; // BSP gangs already rollback as a unit
+                }
+                if matches!(job.record.state, JobState::Completed | JobState::Failed) {
+                    continue;
+                }
+                let mut rates: Vec<(usize, f64)> = Vec::new();
+                for (i, part) in job.parts.iter().enumerate() {
+                    if part.state != PartState::Running {
+                        continue;
+                    }
+                    let Some(node) = part.node else { continue };
+                    if let Some(rate) = grm.progress_rate(*job_id, i as u32, node) {
+                        rates.push((i, rate));
+                    }
+                }
+                if rates.len() < 3 {
+                    continue; // a median of fewer parts is noise
+                }
+                let mut sorted: Vec<f64> = rates.iter().map(|(_, r)| *r).collect();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let median = sorted[sorted.len() / 2];
+                if median <= 0.0 {
+                    continue;
+                }
+                for (i, rate) in rates {
+                    let part = &mut job.parts[i];
+                    if rate < threshold * median {
+                        part.slow_strikes += 1;
+                        if let Some(node) = part.node {
+                            mark_suspect.push(node);
+                        }
+                        if part.slow_strikes >= strikes && part.twin.is_none() {
+                            part.slow_strikes = 0;
+                            escalate.push((*job_id, i as u32));
+                        }
+                    } else {
+                        part.slow_strikes = 0;
+                        if let Some(node) = part.node {
+                            clear_suspect.push(node);
+                        }
+                    }
+                }
+            }
+        }
+        for node in mark_suspect {
+            self.suspect_nodes.insert(node);
+        }
+        for node in clear_suspect {
+            self.suspect_nodes.remove(&node);
+        }
+        for (job_id, part_id) in escalate {
+            self.obs.straggler_detected.inc();
+            self.log.record(
+                now,
+                "straggler.detected",
+                format!("{job_id} part {part_id}"),
+            );
+            self.begin_speculation(now, job_id, part_id, queue);
+        }
+    }
+
+    /// Escalates a straggling part to speculative execution: fetch the
+    /// newest banked checkpoint from a live replica holder (so the backup
+    /// resumes from verified progress instead of zero), then reserve and
+    /// launch a twin on a fresh trader candidate. The primary keeps
+    /// running throughout — first copy to report `PartDone` wins.
+    fn begin_speculation(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let primary = {
+            let Some(job) = self.jobs.get(&job_id) else {
+                return;
+            };
+            let part = &job.parts[part_id as usize];
+            if part.state != PartState::Running || part.twin.is_some() {
+                return;
+            }
+            part.node
+        };
+        let Some(primary) = primary else { return };
+        let holders = self.grm.borrow().replicas().holders(job_id, part_id);
+        let replicas: Vec<NodeId> = holders
+            .into_iter()
+            .map(|(n, _)| n)
+            .filter(|n| {
+                // Rebuilt from wire data — bound-check before indexing.
+                *n != primary
+                    && (n.0 as usize) < self.node_hosts.len()
+                    && self.net.topology().is_up(self.node_hosts[n.0 as usize])
+            })
+            .collect();
+        {
+            let job = self.jobs.get_mut(&job_id).expect("job exists");
+            let part = &mut job.parts[part_id as usize];
+            part.twin = Some(TwinRuntime {
+                state: TwinState::Fetching,
+                node: None,
+                reservation: 0,
+                candidates: Vec::new(),
+                resume_work: 0.0,
+                resume_version: part.banked_version,
+            });
+        }
+        self.twin_try_next_replica(now, job_id, part_id, replicas, queue);
+    }
+
+    /// Issues the twin's checkpoint fetch to the next candidate holder, or
+    /// moves on to the trader query — resuming from the banked level —
+    /// when none remain.
+    fn twin_try_next_replica(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        mut rest: Vec<NodeId>,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        if rest.is_empty() {
+            self.twin_query_trader(now, job_id, part_id, queue);
+            return;
+        }
+        let replica = rest.remove(0);
+        let req = FetchCheckpoint {
+            request_id: self.rpc_id(),
+            job: job_id,
+            part: part_id,
+        };
+        self.send_to_lrm(
+            now,
+            replica,
+            OP_FETCH_CKPT,
+            move |w| req.encode(w),
+            Pending::TwinFetch {
+                job: job_id,
+                part: part_id,
+                rest,
+            },
+            queue,
+        );
+    }
+
+    /// Processes a holder's answer to a twin's checkpoint fetch: a
+    /// digest-verified blob newer than the banked level becomes the twin's
+    /// resume point; anything else falls back across the remaining
+    /// holders, and exhaustion resumes from the banked level.
+    fn on_twin_fetch_reply(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        rest: Vec<NodeId>,
+        reply: Option<FetchCheckpointReply>,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let fetching = self
+            .jobs
+            .get(&job_id)
+            .and_then(|j| j.parts.get(part_id as usize))
+            .is_some_and(|p| {
+                p.twin
+                    .as_ref()
+                    .is_some_and(|t| t.state == TwinState::Fetching)
+            });
+        if !fetching {
+            return; // the race settled while the fetch was in flight
+        }
+        if let Some(reply) = reply {
+            if reply.found {
+                let blob = reply.blob;
+                if crc32(&blob.payload) == blob.digest
+                    && GlobalCheckpoint::from_cdr_bytes(&blob.payload).is_ok()
+                {
+                    let job = self.jobs.get_mut(&job_id).expect("job exists");
+                    let part = &mut job.parts[part_id as usize];
+                    if blob.version > part.banked_version {
+                        let twin = part.twin.as_mut().expect("twin exists");
+                        twin.resume_work = blob.work_mips_s as f64;
+                        twin.resume_version = blob.version;
+                    }
+                    self.log.record(
+                        now,
+                        "spec.fetch",
+                        format!("{job_id} part {part_id} v{}", blob.version),
+                    );
+                    self.twin_query_trader(now, job_id, part_id, queue);
+                    return;
+                }
+                self.log.record(
+                    now,
+                    "corrupt_detected",
+                    format!("{job_id} part {part_id} twin fetch"),
+                );
+            }
+        }
+        self.twin_try_next_replica(now, job_id, part_id, rest, queue);
+    }
+
+    /// Re-queries the trader for the twin's placement, preferring nodes
+    /// the usage-pattern predictor expects to stay idle, and excluding the
+    /// straggling primary. The ranked list is stashed on the twin for
+    /// refusal fallthrough — deliberately separate from the primary's
+    /// negotiation round so the two candidate walks can never
+    /// double-launch a part.
+    fn twin_query_trader(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        let (constraint, preference, spec_pref, primary) = {
+            let Some(job) = self.jobs.get(&job_id) else {
+                return;
+            };
+            let part = &job.parts[part_id as usize];
+            if part.twin.is_none() || part.state != PartState::Running {
+                return;
+            }
+            (
+                job.spec.requirements.to_constraint(),
+                job.spec.preference.to_trader_preference(),
+                job.spec.preference,
+                part.node,
+            )
+        };
+        let predictions = self.predictions_for_scheduling(now);
+        let candidates = {
+            let mut grm = self.grm.borrow_mut();
+            grm.candidates(
+                &constraint,
+                preference,
+                self.config.max_candidates,
+                &predictions,
+            )
+        }
+        .unwrap_or_default();
+        let ranked = rank(&candidates, self.config.strategy, spec_pref, &mut self.rng);
+        // A gray-failed host advertises full static capacity, so the trader
+        // cannot tell it from a healthy one — but the detector's strike
+        // evidence can. Never place a twin on the primary or on any node
+        // currently under suspicion, or the backup inherits the slowness
+        // the speculation was meant to escape. Nodes already hosting a twin
+        // are excluded too: the trader ranks from the same status snapshot
+        // for every query in a slot, so two simultaneous escalations would
+        // otherwise stack their backups on the one best-ranked node and
+        // split its CPU between the very races both need to win.
+        let twin_hosts: BTreeSet<NodeId> = self
+            .jobs
+            .values()
+            .flat_map(|j| j.parts.iter())
+            .filter_map(|p| p.twin.as_ref().and_then(|t| t.node))
+            .collect();
+        let nodes: Vec<NodeId> = ranked
+            .into_iter()
+            .map(|c| c.node)
+            .filter(|n| {
+                Some(*n) != primary && !self.suspect_nodes.contains(n) && !twin_hosts.contains(n)
+            })
+            .collect();
+        if nodes.is_empty() {
+            self.clear_twin(now, job_id, part_id, "no candidates");
+            return;
+        }
+        {
+            let job = self.jobs.get_mut(&job_id).expect("job exists");
+            let twin = job.parts[part_id as usize].twin.as_mut().expect("twin");
+            twin.candidates = nodes;
+        }
+        self.twin_reserve_next(now, job_id, part_id, queue);
+    }
+
+    /// Sends the twin's reservation to its next untried candidate, or
+    /// stands the speculation down when the list is exhausted (the
+    /// detector will re-escalate if the part is still slow).
+    fn twin_reserve_next(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        // Other parts' twins may have claimed nodes since this part's
+        // candidate list was ranked; skip those or a refusal walk would
+        // stack two backups on one host after all.
+        let other_twin_hosts: BTreeSet<NodeId> = self
+            .jobs
+            .iter()
+            .flat_map(|(jid, j)| j.parts.iter().enumerate().map(move |(i, p)| (jid, i, p)))
+            .filter(|(jid, i, _)| !(**jid == job_id && *i == part_id as usize))
+            .filter_map(|(_, _, p)| p.twin.as_ref().and_then(|t| t.node))
+            .collect();
+        let send = {
+            let Some(job) = self.jobs.get_mut(&job_id) else {
+                return;
+            };
+            let ram = job.spec.requirements.min_ram_mb.max(16);
+            let Some(part) = job.parts.get_mut(part_id as usize) else {
+                return;
+            };
+            let hint = ((part.remaining / 100.0) as u64).clamp(300, 3600);
+            let Some(twin) = part.twin.as_mut() else {
+                return;
+            };
+            twin.candidates.retain(|n| !other_twin_hosts.contains(n));
+            if twin.candidates.is_empty() {
+                None
+            } else {
+                let node = twin.candidates.remove(0);
+                twin.state = TwinState::Reserving;
+                twin.node = Some(node);
+                Some((
+                    node,
+                    ReserveRequest {
+                        request_id: 0, // assigned below, outside the borrow
+                        job: job_id,
+                        part: part_id,
+                        ram_mb: ram,
+                        min_cpu_fraction: 0.05,
+                        duration_hint_s: hint,
+                    },
+                ))
+            }
+        };
+        match send {
+            Some((node, mut req)) => {
+                req.request_id = self.rpc_id();
+                self.send_to_lrm(
+                    now,
+                    node,
+                    OP_RESERVE,
+                    move |w| req.encode(w),
+                    Pending::TwinReserve {
+                        job: job_id,
+                        part: part_id,
+                        node,
+                    },
+                    queue,
+                );
+            }
+            None => self.clear_twin(now, job_id, part_id, "candidates exhausted"),
+        }
+    }
+
+    /// Processes an LRM's answer to a twin reservation. A grant launches
+    /// the backup from the fetched resume point with a zero checkpoint
+    /// interval — the twin never forks the primary's checkpoint lineage,
+    /// so `banked_version` monotonicity is preserved no matter who wins. A
+    /// refusal walks the twin's own candidate list. A grant that arrives
+    /// after the race settled releases the orphaned lease.
+    fn on_twin_reserve_reply(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        node: NodeId,
+        reply: ReserveReply,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        enum Next {
+            Launch(LaunchRequest),
+            Retry,
+            Orphaned,
+        }
+        let next = {
+            let tracked = self
+                .jobs
+                .get_mut(&job_id)
+                .and_then(|j| j.parts.get_mut(part_id as usize))
+                .filter(|p| {
+                    p.twin
+                        .as_ref()
+                        .is_some_and(|t| t.state == TwinState::Reserving && t.node == Some(node))
+                });
+            match tracked {
+                Some(part) => {
+                    if reply.granted {
+                        let twin = part.twin.as_mut().expect("twin exists");
+                        twin.reservation = reply.reservation;
+                        twin.state = TwinState::Launching;
+                        let work = (part.remaining - twin.resume_work).max(1.0) as u64;
+                        Next::Launch(LaunchRequest {
+                            request_id: 0, // assigned below, outside the borrow
+                            reservation: reply.reservation,
+                            job: job_id,
+                            part: part_id,
+                            work_mips_s: work,
+                            checkpoint_interval_mips_s: 0.0,
+                            state_bytes: self.config.checkpoint_state_bytes,
+                            resume_version: twin.resume_version,
+                            replicas: Vec::new(),
+                        })
+                    } else {
+                        let twin = part.twin.as_mut().expect("twin exists");
+                        twin.node = None;
+                        Next::Retry
+                    }
+                }
+                None if reply.granted => Next::Orphaned,
+                None => return,
+            }
+        };
+        match next {
+            Next::Launch(mut req) => {
+                req.request_id = self.rpc_id();
+                self.send_to_lrm(
+                    now,
+                    node,
+                    OP_LAUNCH,
+                    move |w| req.encode(w),
+                    Pending::TwinLaunch {
+                        job: job_id,
+                        part: part_id,
+                        node,
+                    },
+                    queue,
+                );
+            }
+            Next::Retry => {
+                self.log.record(
+                    now,
+                    "spec.refused",
+                    format!("{job_id} part {part_id} by {node}"),
+                );
+                self.twin_reserve_next(now, job_id, part_id, queue);
+            }
+            Next::Orphaned => {
+                // The race settled while the reserve was in flight: release
+                // the lease instead of letting it expire on the LRM.
+                let reservation = reply.reservation;
+                self.send_oneway_to_lrm(
+                    now,
+                    node,
+                    crate::protocol::OP_CANCEL,
+                    move |w| reservation.encode(w),
+                    queue,
+                );
+            }
+        }
+    }
+
+    /// Processes an LRM's answer to a twin launch. Acceptance puts the
+    /// backup in the race; a refusal stands the speculation down (the
+    /// detector re-escalates if the part stays slow). An acceptance that
+    /// arrives after the race settled tears the orphan back down — an
+    /// untracked copy must never be left computing.
+    fn on_twin_launch_reply(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        node: NodeId,
+        reply: LaunchReply,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
+        enum Outcome {
+            Racing,
+            StoodDown,
+            Orphaned,
+        }
+        let outcome = {
+            let tracked = self
+                .jobs
+                .get_mut(&job_id)
+                .and_then(|j| j.parts.get_mut(part_id as usize))
+                .and_then(|p| p.twin.as_mut())
+                .filter(|t| t.state == TwinState::Launching && t.node == Some(node));
+            match tracked {
+                Some(twin) => {
+                    if reply.accepted {
+                        twin.state = TwinState::Running;
+                        Outcome::Racing
+                    } else {
+                        Outcome::StoodDown
+                    }
+                }
+                None if reply.accepted => Outcome::Orphaned,
+                None => return,
+            }
+        };
+        match outcome {
+            Outcome::Racing => {
+                self.obs.spec_launched.inc();
+                self.log.record(
+                    now,
+                    "spec.launched",
+                    format!("{job_id} part {part_id} on {node}"),
+                );
+            }
+            Outcome::StoodDown => {
+                self.clear_twin(now, job_id, part_id, "launch refused");
+            }
+            Outcome::Orphaned => {
+                let request_id = self.rpc_id();
+                self.send_to_lrm(
+                    now,
+                    node,
+                    OP_CANCEL_PART,
+                    move |w| {
+                        CancelPartRequest {
+                            request_id,
+                            job: job_id,
+                            part: part_id,
+                        }
+                        .encode(w)
+                    },
+                    Pending::TwinCancel {
+                        job: job_id,
+                        part: part_id,
+                        node,
+                        credit: 0,
+                    },
+                    queue,
+                );
+            }
+        }
+    }
+
+    /// Processes the loser's cancel reply after a settled speculation
+    /// race, charging the progress the winner's lineage did not cover as
+    /// wasted speculative work. A `found: false` reply means the loser
+    /// already stopped on its own (crash, eviction, or it finished and
+    /// lost the `PartDone` dedup) — nothing further to account.
+    fn on_twin_cancel_reply(
+        &mut self,
+        now: SimTime,
+        job_id: JobId,
+        part_id: u32,
+        node: NodeId,
+        credit: u64,
+        reply: CancelPartReply,
+    ) {
+        if !reply.found {
+            return;
+        }
+        let wasted = reply.done_work_mips_s.saturating_sub(credit);
+        self.obs.spec_wasted_mips_s.add(wasted);
+        if let Some(job) = self.jobs.get_mut(&job_id) {
+            job.record.wasted_work_mips_s += wasted;
+        }
+        self.log.record(
+            now,
+            "spec.wasted",
+            format!("{job_id} part {part_id}: {wasted} MIPS-s at {node}"),
+        );
+    }
+
+    /// Stands a speculation down without any wire traffic — used when the
+    /// twin never reached a node (no candidates, refusals) or its target
+    /// died first. In-flight twin replies detect the missing runtime and
+    /// clean up after themselves.
+    fn clear_twin(&mut self, now: SimTime, job_id: JobId, part_id: u32, why: &str) {
+        if let Some(part) = self
+            .jobs
+            .get_mut(&job_id)
+            .and_then(|j| j.parts.get_mut(part_id as usize))
+        {
+            if part.twin.take().is_some() {
+                self.log.record(
+                    now,
+                    "spec.standdown",
+                    format!("{job_id} part {part_id}: {why}"),
+                );
+            }
+        }
     }
 
     /// Runs one round of the scheduling pipeline for a job.
@@ -3307,6 +4325,9 @@ impl GridWorld {
             }
         }
         self.detect_crashed_nodes(now, queue);
+        if self.config.speculation {
+            self.detect_stragglers(now, queue);
+        }
         self.rereplicate(now, queue);
         queue.schedule_after(tick, GridEvent::SlotTick);
     }
@@ -3646,19 +4667,77 @@ impl GridWorld {
         for node in silent {
             self.grm.borrow_mut().mark_unavailable(node);
             self.log.record(now, "grm.node_dead", format!("{node}"));
-            // Every part this world placed on the dead node switches to
-            // Recovering while a digest-verified replica fetch is in
-            // flight; the fetch's outcome feeds the common eviction path.
+            // Speculative twins on the dead node die quietly — the primary
+            // is still running, so no recovery is needed; the backup's lost
+            // progress is wasted speculative work.
+            let mut dead_twins: Vec<(JobId, u32)> = Vec::new();
+            // A dead *primary* whose twin is already racing promotes the
+            // twin instead of recovering: the backup held the newest
+            // verified state when it launched and has been running since.
+            let mut promotions: Vec<(JobId, u32)> = Vec::new();
+            // Everything else on the dead node switches to Recovering
+            // while a digest-verified replica fetch is in flight; the
+            // fetch's outcome feeds the common eviction path.
             let mut to_recover: Vec<(JobId, u32)> = Vec::new();
             for (job_id, job) in &mut self.jobs {
                 for (index, part) in job.parts.iter_mut().enumerate() {
-                    if part.node == Some(node)
+                    if part.node != Some(node)
+                        && part.twin.as_ref().is_some_and(|t| t.node == Some(node))
+                    {
+                        part.twin = None;
+                        dead_twins.push((*job_id, index as u32));
+                    } else if part.node == Some(node)
                         && matches!(part.state, PartState::Running | PartState::Launching)
                     {
-                        part.state = PartState::Recovering;
-                        to_recover.push((*job_id, index as u32));
+                        if part
+                            .twin
+                            .as_ref()
+                            .is_some_and(|t| t.state == TwinState::Running && t.node.is_some())
+                        {
+                            promotions.push((*job_id, index as u32));
+                        } else {
+                            part.state = PartState::Recovering;
+                            to_recover.push((*job_id, index as u32));
+                        }
                     }
                 }
+            }
+            for (job_id, part_id) in dead_twins {
+                let lost = self.crash_progress.remove(&(job_id, part_id)).unwrap_or(0);
+                self.obs.spec_wasted_mips_s.add(lost);
+                if let Some(job) = self.jobs.get_mut(&job_id) {
+                    job.record.wasted_work_mips_s += lost;
+                }
+                self.log.record(
+                    now,
+                    "spec.standdown",
+                    format!("{job_id} part {part_id}: backup {node} died"),
+                );
+            }
+            for (job_id, part_id) in promotions {
+                let job = self.jobs.get_mut(&job_id).expect("job exists");
+                let part = &mut job.parts[part_id as usize];
+                let twin = part.twin.take().expect("twin exists");
+                part.node = twin.node;
+                part.reservation = twin.reservation;
+                part.state = PartState::Running;
+                job.record.evictions += 1;
+                // The dead primary's progress beyond the checkpoint the
+                // twin resumed from is lost work.
+                let lost = self
+                    .crash_progress
+                    .remove(&(job_id, part_id))
+                    .unwrap_or(0)
+                    .saturating_sub(twin.resume_work as u64);
+                job.record.wasted_work_mips_s += lost;
+                self.log.record(
+                    now,
+                    "spec.promoted",
+                    format!(
+                        "{job_id} part {part_id} continues on {}",
+                        twin.node.expect("checked above")
+                    ),
+                );
             }
             for (job_id, part_id) in to_recover {
                 self.begin_recovery(now, job_id, part_id, node, queue);
@@ -3672,9 +4751,13 @@ impl GridWorld {
         // active-set path defers — replay them before asking for an update.
         self.catch_up_node(node, self.slots_elapsed);
         let config = self.config.lrm;
-        let (update, replicas) = {
+        let (update, replicas, progress) = {
             let mut lrm = self.lrms[node].borrow_mut();
-            (lrm.next_update(&config), lrm.replica_reports())
+            (
+                lrm.next_update(&config),
+                lrm.replica_reports(),
+                lrm.progress_reports(),
+            )
         };
         let sent = update.is_some();
         if let Some((seq, status)) = update {
@@ -3690,6 +4773,7 @@ impl GridWorld {
                 replicas,
                 pending_done,
                 pending_evicted,
+                progress,
             };
             let from = self.node_hosts[node];
             let mut out = self.pooled_buf();

@@ -9,11 +9,11 @@
 //! Execution Protocol then negotiates directly with each candidate node.
 
 use crate::protocol::{
-    node_props, PartDone, PartEvicted, StatusUpdate, UpdateAck, NODE_SERVICE_TYPE,
+    node_props, PartDone, PartEvicted, ProgressReport, StatusUpdate, UpdateAck, NODE_SERVICE_TYPE,
 };
 use crate::repo::{ReplicaInfo, ReplicaMap};
 use crate::scheduler::CandidateNode;
-use crate::types::{NodeId, NodeStatus, Platform, ResourceVector};
+use crate::types::{JobId, NodeId, NodeStatus, Platform, ResourceVector};
 use integrade_orb::any::AnyValue;
 use integrade_orb::cdr::{CdrDecode, CdrReader};
 use integrade_orb::constraint::SlotId;
@@ -81,6 +81,35 @@ pub struct GrmState {
     pub pending_done: Vec<PartDone>,
     /// Eviction notices awaiting the execution manager.
     pub pending_evictions: Vec<PartEvicted>,
+    /// Per-(part, executor) progress observations, differenced from the
+    /// progress reports piggybacked on status updates. Soft state: wiped by
+    /// a GRM crash and rebuilt from the next round of reports, exactly like
+    /// the replica map. Keyed by executor node so a speculative twin's rate
+    /// is tracked independently of the primary's.
+    progress: BTreeMap<(JobId, u32, NodeId), ProgressTrack>,
+}
+
+/// Differenced progress observations of one part on one executor.
+///
+/// The rate is measured against a fixed baseline (the first report of the
+/// current lineage) rather than between adjacent reports: simulated work
+/// advances at slot-tick granularity while updates arrive more often, so
+/// adjacent diffs alternate between zero and a burst. The cumulative
+/// average is immune to that quantization, and a restart (work moving
+/// backwards) re-anchors the baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressTrack {
+    /// Cumulative work at the baseline report, MIPS-s.
+    pub base_done: u64,
+    /// When the baseline report arrived.
+    pub base_at: SimTime,
+    /// Cumulative work last reported, MIPS-s.
+    pub last_done: u64,
+    /// When that report arrived.
+    pub last_at: SimTime,
+    /// Observed progress rate (MIPS-s per second) since the baseline;
+    /// `None` until a second report has arrived.
+    pub rate: Option<f64>,
 }
 
 /// Trader slot ids for the properties a status update rewrites. The other
@@ -179,6 +208,7 @@ impl GrmState {
             status_slots: None,
             pending_done: Vec::new(),
             pending_evictions: Vec::new(),
+            progress: BTreeMap::new(),
         }
     }
 
@@ -274,12 +304,79 @@ impl GrmState {
                 self.stats.accepted += 1;
                 self.last_status.insert(update.node, update.status);
                 self.set_heard(update.node, now);
+                // Progress observations are seq-gated (unlike the piggyback
+                // outcomes above): a reordered stale report would look like
+                // the part moving backwards and poison the rate estimate.
+                for report in &update.progress {
+                    self.observe_progress(update.node, report, now);
+                }
             }
             Err(TraderError::UnknownOffer(_)) => {
                 self.stats.unknown_node += 1;
             }
             Err(e) => panic!("trader modify failed unexpectedly: {e}"),
         }
+    }
+
+    /// Folds one piggybacked progress report into the per-(part, executor)
+    /// rate tracker.
+    fn observe_progress(&mut self, node: NodeId, report: &ProgressReport, now: SimTime) {
+        let key = (report.job, report.part, node);
+        match self.progress.get_mut(&key) {
+            Some(track) => {
+                if report.done_mips_s < track.last_done {
+                    // The part restarted on this node from an older resume
+                    // point; start a fresh baseline.
+                    track.base_done = report.done_mips_s;
+                    track.base_at = now;
+                    track.rate = None;
+                } else {
+                    let elapsed = now.duration_since(track.base_at).as_secs_f64();
+                    if elapsed > 0.0 {
+                        track.rate = Some((report.done_mips_s - track.base_done) as f64 / elapsed);
+                    }
+                }
+                track.last_done = report.done_mips_s;
+                track.last_at = now;
+            }
+            None => {
+                self.progress.insert(
+                    key,
+                    ProgressTrack {
+                        base_done: report.done_mips_s,
+                        base_at: now,
+                        last_done: report.done_mips_s,
+                        last_at: now,
+                        rate: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The observed progress rate of `part` on `node` (MIPS-s per second),
+    /// once two reports have been differenced.
+    pub fn progress_rate(&self, job: JobId, part: u32, node: NodeId) -> Option<f64> {
+        self.progress.get(&(job, part, node)).and_then(|t| t.rate)
+    }
+
+    /// Drops every executor's progress track for one part (it completed or
+    /// was cancelled); stale tracks must not feed future median estimates.
+    pub fn clear_progress(&mut self, job: JobId, part: u32) {
+        let keys: Vec<_> = self
+            .progress
+            .range((job, part, NodeId(0))..=(job, part, NodeId(u32::MAX)))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            self.progress.remove(&key);
+        }
+    }
+
+    /// Drops one executor's progress track for one part (that executor was
+    /// evicted or cancelled while the part lives on elsewhere).
+    pub fn clear_progress_on(&mut self, job: JobId, part: u32, node: NodeId) {
+        self.progress.remove(&(job, part, node));
     }
 
     /// Records that `node` was heard from at `now`, keeping the
@@ -446,6 +543,13 @@ impl GrmState {
             let _ = self.trader.modify_values(offer, slots.updates(&status));
             self.last_status.insert(node, status);
             self.clear_heard(node);
+            // Declaring the node dead ends its update session: the next
+            // update it sends re-admits it regardless of sequence number.
+            // Without this, a corrupted frame that decoded to a plausible
+            // node id with a huge seq would poison the staleness gate and
+            // deafen the GRM to that node permanently — a gray failure the
+            // node itself can never observe or repair.
+            self.last_seq.remove(&node);
         }
     }
 
@@ -467,6 +571,7 @@ impl GrmState {
         self.replicas.clear();
         self.pending_done.clear();
         self.pending_evictions.clear();
+        self.progress.clear();
         let nodes: Vec<NodeId> = self.nodes.keys().copied().collect();
         for node in nodes {
             self.mark_unavailable(node);
@@ -631,6 +736,7 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         });
         let constraint = JobRequirements {
             min_cpu_mips: 500,
@@ -657,6 +763,7 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         });
         // Older sequence arrives late (network reordering): must not regress.
         grm.handle_update(&StatusUpdate {
@@ -666,6 +773,7 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         });
         assert_eq!(grm.update_stats().stale_discarded, 1);
         let (_, status) = grm.node_view(NodeId(1)).unwrap();
@@ -682,6 +790,7 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         });
         assert_eq!(grm.update_stats().unknown_node, 1);
     }
@@ -697,6 +806,7 @@ mod tests {
                 replicas: vec![],
                 pending_done: vec![],
                 pending_evicted: vec![],
+                progress: vec![],
             });
         }
         let constraint = JobRequirements::default().to_constraint();
@@ -717,6 +827,7 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         });
         let mut predictions = BTreeMap::new();
         predictions.insert(NodeId(1), 0.87);
@@ -751,6 +862,7 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         }
         .to_cdr_bytes();
         servant
@@ -805,6 +917,7 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         }
         .to_cdr_bytes();
         let out = servant
@@ -830,6 +943,7 @@ mod tests {
             }],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         });
         assert_eq!(grm.replicas().holders(JobId(1), 0).len(), 1);
         grm.crash();
@@ -856,6 +970,7 @@ mod tests {
             }],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         });
         let (_, status) = grm.node_view(NodeId(1)).unwrap();
         assert!(status.exporting, "post-restart re-announce accepted");
@@ -884,6 +999,7 @@ mod tests {
                 replicas: vec![],
                 pending_done: vec![],
                 pending_evicted: vec![],
+                progress: vec![],
             },
             SimTime::from_secs(10),
         );
@@ -911,6 +1027,7 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         });
         assert_eq!(
             grm.choose_replicas(NodeId(3), 2),
@@ -936,6 +1053,7 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         });
         // A reordered (stale) update still delivers its piggybacked notice.
         grm.handle_update(&StatusUpdate {
@@ -949,6 +1067,7 @@ mod tests {
                 node: NodeId(1),
             }],
             pending_evicted: vec![],
+            progress: vec![],
         });
         assert_eq!(grm.update_stats().stale_discarded, 1);
         assert_eq!(grm.pending_done.len(), 1);

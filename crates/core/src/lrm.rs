@@ -12,7 +12,7 @@
 use crate::ncc::SharingPolicy;
 use crate::protocol::{
     FetchCheckpoint, FetchCheckpointReply, LaunchReply, LaunchRequest, PartDone, PartEvicted,
-    PurgeCheckpoint, ReplicaReport, ReserveReply, ReserveRequest, StoreCheckpoint,
+    ProgressReport, PurgeCheckpoint, ReplicaReport, ReserveReply, ReserveRequest, StoreCheckpoint,
     StoreCheckpointReply, OP_CANCEL, OP_FETCH_CKPT, OP_LAUNCH, OP_PURGE_CKPT, OP_RESERVE,
     OP_STORE_CKPT,
 };
@@ -186,6 +186,10 @@ pub struct LrmState {
     repo: ReplicaStore,
     /// Store requests whose payload failed digest verification.
     corrupt_detected: u64,
+    /// Gray-failure CPU derating schedule: `(start, end, factor)` windows
+    /// during which the node's effective MIPS is multiplied by `factor`.
+    /// Injected hardware condition, not software state — survives a crash.
+    derates: Vec<(SimTime, SimTime, f64)>,
     /// Total grid work executed on this node, MIPS-s.
     pub grid_work_done: f64,
 }
@@ -223,6 +227,7 @@ impl LrmState {
             force_full_update: false,
             repo: ReplicaStore::new(),
             corrupt_detected: 0,
+            derates: Vec::new(),
             grid_work_done: 0.0,
         }
     }
@@ -321,6 +326,21 @@ impl LrmState {
                 part,
                 version: c.version,
                 work_mips_s: c.work_mips_s,
+            })
+            .collect()
+    }
+
+    /// Observed progress of every part running here, as status-update
+    /// piggybacks. The GRM differences consecutive reports to estimate each
+    /// part's progress rate — the straggler detector's only input, so a
+    /// gray-failed node indicts itself through its own truthful reports.
+    pub fn progress_reports(&self) -> Vec<ProgressReport> {
+        self.running
+            .iter()
+            .map(|p| ProgressReport {
+                job: p.job,
+                part: p.part,
+                done_mips_s: p.done as u64,
             })
             .collect()
     }
@@ -588,6 +608,18 @@ impl LrmState {
                 reason: "reservation unknown or expired".into(),
             };
         };
+        // A checkpoint image cannot exceed the RAM the part reserved; a
+        // request claiming otherwise is a damaged frame (wire corruption),
+        // and accepting it would later materialize an absurd checkpoint
+        // buffer. Reject before consuming the reservation so a retried
+        // clean copy of the launch can still land.
+        let ram_bytes = self.reservations[pos].ram_mb.saturating_mul(1024 * 1024);
+        if req.state_bytes > ram_bytes {
+            return LaunchReply {
+                accepted: false,
+                reason: "state image exceeds reserved ram".into(),
+            };
+        }
         let reservation = self.reservations.remove(pos);
         self.running.push(RunningPart {
             job: req.job,
@@ -646,15 +678,46 @@ impl LrmState {
         before - self.reservations.len()
     }
 
-    /// Advances all running parts by `dt`, splitting the grid CPU share
-    /// evenly among them. Returns the parts that completed.
+    /// Installs the node's gray-failure CPU derating schedule (injected by
+    /// the fault plan; see [`Self::derate_factor_at`]).
+    pub fn set_derate_schedule(&mut self, schedule: Vec<(SimTime, SimTime, f64)>) {
+        self.derates = schedule;
+    }
+
+    /// The effective-MIPS multiplier at `now`: the product of every derate
+    /// window covering the instant (overlapping windows compound), `1.0`
+    /// when none does. Plain scheduled data — no randomness, so derated
+    /// execution replays bit-for-bit in every tick mode.
+    pub fn derate_factor_at(&self, now: SimTime) -> f64 {
+        self.derates
+            .iter()
+            .filter(|(start, end, _)| now >= *start && now < *end)
+            .fold(1.0, |acc, (_, _, factor)| acc * factor)
+    }
+
+    /// Advances all running parts by `dt` at full hardware speed (tests and
+    /// callers outside the simulation clock). See [`Self::advance_at`].
     pub fn advance(&mut self, dt: SimDuration) -> Vec<CompletedPart> {
+        self.advance_derated(dt, 1.0)
+    }
+
+    /// Advances all running parts by the tick ending at `now`, applying the
+    /// derate factor in force at `now`. Returns the parts that completed.
+    pub fn advance_at(&mut self, now: SimTime, dt: SimDuration) -> Vec<CompletedPart> {
+        let factor = self.derate_factor_at(now);
+        self.advance_derated(dt, factor)
+    }
+
+    /// Advances all running parts by `dt`, splitting the grid CPU share
+    /// evenly among them; `factor` scales the node's effective MIPS
+    /// (gray-failure derating). Returns the parts that completed.
+    fn advance_derated(&mut self, dt: SimDuration, factor: f64) -> Vec<CompletedPart> {
         let share = self.grid_share();
-        if self.running.is_empty() || share <= 0.0 {
+        if self.running.is_empty() || share <= 0.0 || factor <= 0.0 {
             return Vec::new();
         }
         let per_part = share / self.running.len() as f64;
-        let rate = self.resources.cpu_mips as f64 * per_part; // MIPS
+        let rate = self.resources.cpu_mips as f64 * per_part * factor; // MIPS
         let delta = rate * dt.as_secs_f64();
         let mut completed = Vec::new();
         for part in &mut self.running {

@@ -66,6 +66,18 @@ pub struct GridObs {
     /// Sharded tick mode: wall nanoseconds the merge phase stalled the
     /// frame after the slowest worker finished its local walk.
     pub shard_stall_ns: Counter,
+    /// Parts whose observed progress rate tripped the straggler detector
+    /// (past hysteresis).
+    pub straggler_detected: Counter,
+    /// Speculative twin executions launched for straggling parts.
+    pub spec_launched: Counter,
+    /// Speculations where the twin finished before the straggling primary.
+    pub spec_won: Counter,
+    /// Speculative executions (twin or overtaken primary) torn down after
+    /// the race resolved.
+    pub spec_cancelled: Counter,
+    /// Work executed by speculation losers and then discarded, MIPS-s.
+    pub spec_wasted_mips_s: Counter,
 
     // --- live histograms ------------------------------------------------
     /// Reserve/launch round-trip latency, in sim seconds.
@@ -132,6 +144,11 @@ impl GridObs {
             shard_frames: registry.counter("grid_shard_frames"),
             shard_effects: registry.counter("grid_shard_effects_merged"),
             shard_stall_ns: registry.counter("grid_shard_merge_stall_ns"),
+            straggler_detected: registry.counter("grid_straggler_detected"),
+            spec_launched: registry.counter("grid_spec_launched"),
+            spec_won: registry.counter("grid_spec_won"),
+            spec_cancelled: registry.counter("grid_spec_cancelled"),
+            spec_wasted_mips_s: registry.counter("grid_spec_wasted_mips_s"),
             negotiation_latency_s: registry
                 .histogram("grid_negotiation_latency_seconds", RTT_BOUNDS_S),
             store_rtt_s: registry.histogram("grid_checkpoint_store_rtt_seconds", RTT_BOUNDS_S),

@@ -122,6 +122,41 @@ impl CdrDecode for ReplicaReport {
     }
 }
 
+/// Observed execution progress of one running part, piggybacked on status
+/// updates. The GRM differences consecutive observations of `done_mips_s`
+/// to estimate a per-part progress *rate*, feeding the straggler detector:
+/// gray-failed hosts (owner reclaimed the CPU, derated clock, limping NIC)
+/// keep reporting — just slowly — which is exactly what the silent-crash
+/// scan cannot see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgressReport {
+    /// Job the running part belongs to.
+    pub job: JobId,
+    /// Part index.
+    pub part: u32,
+    /// Cumulative work executed on this node so far, MIPS-s (monotonic
+    /// while the part stays on the node; restarts from the resume point
+    /// after a migration).
+    pub done_mips_s: u64,
+}
+
+impl CdrEncode for ProgressReport {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.job.encode(w);
+        self.part.encode(w);
+        self.done_mips_s.encode(w);
+    }
+}
+impl CdrDecode for ProgressReport {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(ProgressReport {
+            job: JobId::decode(r)?,
+            part: u32::decode(r)?,
+            done_mips_s: u64::decode(r)?,
+        })
+    }
+}
+
 /// LRM → GRM: periodic node status (the Information Update Protocol).
 ///
 /// Besides the status itself the update piggybacks any `part_done` /
@@ -143,6 +178,8 @@ pub struct StatusUpdate {
     pub pending_done: Vec<PartDone>,
     /// Eviction outcomes not yet acknowledged by the GRM.
     pub pending_evicted: Vec<PartEvicted>,
+    /// Observed progress of each part currently running here.
+    pub progress: Vec<ProgressReport>,
 }
 
 impl CdrEncode for StatusUpdate {
@@ -153,6 +190,7 @@ impl CdrEncode for StatusUpdate {
         self.replicas.encode(w);
         self.pending_done.encode(w);
         self.pending_evicted.encode(w);
+        self.progress.encode(w);
     }
 }
 impl CdrDecode for StatusUpdate {
@@ -164,6 +202,7 @@ impl CdrDecode for StatusUpdate {
             replicas: Vec::decode(r)?,
             pending_done: Vec::decode(r)?,
             pending_evicted: Vec::decode(r)?,
+            progress: Vec::decode(r)?,
         })
     }
 }
@@ -733,6 +772,11 @@ mod tests {
                 checkpoint_version: 2,
                 lost_work_mips_s: 10,
             }],
+            progress: vec![ProgressReport {
+                job: JobId(2),
+                part: 1,
+                done_mips_s: 12_500,
+            }],
         };
         assert_eq!(StatusUpdate::from_cdr_bytes(&u.to_cdr_bytes()).unwrap(), u);
 
@@ -894,6 +938,11 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![ProgressReport {
+                job: JobId(3),
+                part: 0,
+                done_mips_s: 99,
+            }],
         }
         .to_cdr_bytes();
         assert!(StatusUpdate::from_cdr_bytes(&bytes[..bytes.len() - 2]).is_err());
@@ -950,7 +999,7 @@ mod tests {
     #[test]
     fn update_wire_size_is_modest() {
         // The Information Update Protocol's cost per message (E1 input):
-        // should be tens of bytes, not kilobytes. The two piggyback vectors
+        // should be tens of bytes, not kilobytes. The piggyback vectors
         // cost one length word each when empty (the common case).
         let bytes = StatusUpdate {
             node: NodeId(1),
@@ -959,6 +1008,7 @@ mod tests {
             replicas: vec![],
             pending_done: vec![],
             pending_evicted: vec![],
+            progress: vec![],
         }
         .to_cdr_bytes();
         assert!(bytes.len() < 72, "status update is {} bytes", bytes.len());

@@ -14,6 +14,24 @@
 //! instead the embedding world reads [`FaultPlan::outages`] and schedules
 //! its own crash/reboot events, so higher layers (LRM state, GRM state) get
 //! torn down alongside the host.
+//!
+//! Besides the clean failures above, the plan models *gray* failures —
+//! hosts that are slow but alive, the failure mode that dominates desktop
+//! grids:
+//!
+//! * [`DerateWindow`] — a host's effective CPU is multiplied by a factor
+//!   over an interval (owner reclaimed half the machine, thermal
+//!   throttling). Enforced by the embedding world, which reads
+//!   [`FaultPlan::derates_for`] and slows the node's execution rate.
+//! * [`LinkLimp`] — a host pair's traffic suffers persistent added latency
+//!   over an interval (a limping NIC), distinct from the one-shot random
+//!   jitter. Applied inside [`FaultPlan::decide`] with no RNG draw, so
+//!   limping never perturbs the fault stream.
+//! * [`HostFlap`] — a host bounces down/up repeatedly. Expanded into the
+//!   equivalent [`HostOutage`] sequence at plan-build time.
+//!
+//! All degradation faults are plain scheduled data — no random draws — so a
+//! plan that adds them replays bit-for-bit under any tick engine.
 
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
@@ -61,6 +79,149 @@ pub struct HostOutage {
     pub up_at: SimTime,
 }
 
+/// A gray CPU degradation: during `[start, end)` the host's effective CPU
+/// capacity is multiplied by `factor` (e.g. `0.25` = the machine runs at a
+/// quarter speed). The host stays alive and keeps answering messages — only
+/// its execution rate suffers, which is exactly what a crash detector
+/// cannot see. Enforced by the embedding world via
+/// [`FaultPlan::derates_for`].
+#[derive(Debug, Clone, Copy)]
+pub struct DerateWindow {
+    /// The degraded host.
+    pub host: HostId,
+    /// Degradation onset.
+    pub start: SimTime,
+    /// Recovery instant (exclusive).
+    pub end: SimTime,
+    /// Effective-MIPS multiplier in `(0, 1]`.
+    pub factor: f64,
+}
+
+impl DerateWindow {
+    /// The effective factor at `now`: `factor` inside the window, `1.0`
+    /// outside it.
+    pub fn factor_at(&self, now: SimTime) -> f64 {
+        if now >= self.start && now < self.end {
+            self.factor
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A limping link: during `[start, end)` every message between `a` and `b`
+/// (either direction) suffers `added_latency` on top of the modelled path
+/// delay. Persistent and deterministic — unlike the plan's random jitter it
+/// draws nothing from the RNG, modelling a half-broken NIC or a congested
+/// uplink rather than transient noise.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkLimp {
+    /// One endpoint.
+    pub a: HostId,
+    /// The other endpoint.
+    pub b: HostId,
+    /// Extra one-way latency while limping.
+    pub added_latency: SimDuration,
+    /// Limp onset.
+    pub start: SimTime,
+    /// Recovery instant (exclusive).
+    pub end: SimTime,
+}
+
+impl LinkLimp {
+    /// True when this limp slows a message between `from` and `to` at `now`.
+    pub fn afflicts(&self, now: SimTime, from: HostId, to: HostId) -> bool {
+        if now < self.start || now >= self.end {
+            return false;
+        }
+        (from == self.a && to == self.b) || (from == self.b && to == self.a)
+    }
+}
+
+/// A flapping host: starting at `first_down` the host goes down for
+/// `down_for`, comes back for `up_for`, and repeats for `cycles` rounds.
+/// Expanded into the equivalent [`HostOutage`] sequence when added to a
+/// plan, so the embedding world needs no flap-specific handling.
+#[derive(Debug, Clone, Copy)]
+pub struct HostFlap {
+    /// The flapping host.
+    pub host: HostId,
+    /// First crash instant.
+    pub first_down: SimTime,
+    /// Length of each down phase.
+    pub down_for: SimDuration,
+    /// Length of each up phase between crashes.
+    pub up_for: SimDuration,
+    /// Number of down/up rounds.
+    pub cycles: u32,
+}
+
+impl HostFlap {
+    /// The outage sequence this flap expands to.
+    pub fn outages(&self) -> Vec<HostOutage> {
+        let mut out = Vec::with_capacity(self.cycles as usize);
+        let mut down_at = self.first_down;
+        for _ in 0..self.cycles {
+            let up_at = down_at + self.down_for;
+            out.push(HostOutage {
+                host: self.host,
+                down_at,
+                up_at,
+            });
+            down_at = up_at + self.up_for;
+        }
+        out
+    }
+}
+
+/// A rejected [`FaultPlan`] parameter. Mirrors the style of the grid's
+/// `ConfigError`: the `try_with_*` builders return it, the panicking
+/// `with_*` builders unwrap it with the same message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A probability was NaN or outside `[0, 1]`.
+    BadProbability {
+        /// Which knob was set.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A scheduled window (outage, derate, limp, partition) had zero or
+    /// negative length.
+    EmptyWindow {
+        /// Which fault kind carried the window.
+        what: &'static str,
+    },
+    /// A derate factor was NaN or outside `(0, 1]`.
+    BadDerateFactor {
+        /// The offending value.
+        value: f64,
+    },
+    /// A flap was configured with zero cycles or a zero-length down phase.
+    DegenerateFlap,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::BadProbability { what, value } => {
+                write!(f, "{what} probability must be in [0, 1], got {value}")
+            }
+            FaultError::EmptyWindow { what } => {
+                write!(f, "{what} window must have positive length")
+            }
+            FaultError::BadDerateFactor { value } => {
+                write!(f, "derate factor must be in (0, 1], got {value}")
+            }
+            FaultError::DegenerateFlap => {
+                write!(f, "flap needs at least one cycle and a positive down phase")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 /// What the fault layer decided for one message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultDecision {
@@ -104,6 +265,8 @@ pub struct FaultPlan {
     jitter_max: SimDuration,
     partitions: Vec<Partition>,
     outages: Vec<HostOutage>,
+    derates: Vec<DerateWindow>,
+    limps: Vec<LinkLimp>,
     rng: DetRng,
 }
 
@@ -116,6 +279,8 @@ impl FaultPlan {
             jitter_max: SimDuration::ZERO,
             partitions: Vec::new(),
             outages: Vec::new(),
+            derates: Vec::new(),
+            limps: Vec::new(),
             rng: DetRng::with_stream(seed, FAULT_STREAM),
         }
     }
@@ -126,19 +291,65 @@ impl FaultPlan {
     }
 
     /// Sets the independent per-message drop probability.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::BadProbability`] when `p` is NaN or outside `[0, 1]`.
+    pub fn try_with_drop_probability(mut self, p: f64) -> Result<Self, FaultError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultError::BadProbability {
+                what: "drop",
+                value: p,
+            });
+        }
+        self.drop_probability = p;
+        Ok(self)
+    }
+
+    /// Sets the independent per-message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is NaN or outside `[0, 1]`; use
+    /// [`FaultPlan::try_with_drop_probability`] to handle the error.
     #[must_use]
-    pub fn with_drop_probability(mut self, p: f64) -> Self {
-        self.drop_probability = p.clamp(0.0, 1.0);
-        self
+    pub fn with_drop_probability(self, p: f64) -> Self {
+        match self.try_with_drop_probability(p) {
+            Ok(plan) => plan,
+            Err(e) => panic!("invalid fault plan: {e}"),
+        }
     }
 
     /// Sets the independent per-message payload-corruption probability: a
     /// delivered message has one of its bits flipped in flight, exercising
     /// the end-to-end digest verification of the checkpoint repository.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::BadProbability`] when `p` is NaN or outside `[0, 1]`.
+    pub fn try_with_corrupt_probability(mut self, p: f64) -> Result<Self, FaultError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultError::BadProbability {
+                what: "corrupt",
+                value: p,
+            });
+        }
+        self.corrupt_probability = p;
+        Ok(self)
+    }
+
+    /// Sets the independent per-message payload-corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is NaN or outside `[0, 1]`; use
+    /// [`FaultPlan::try_with_corrupt_probability`] to handle the error.
     #[must_use]
-    pub fn with_corrupt_probability(mut self, p: f64) -> Self {
-        self.corrupt_probability = p.clamp(0.0, 1.0);
-        self
+    pub fn with_corrupt_probability(self, p: f64) -> Self {
+        match self.try_with_corrupt_probability(p) {
+            Ok(plan) => plan,
+            Err(e) => panic!("invalid fault plan: {e}"),
+        }
     }
 
     /// Sets the maximum extra latency added to each delivered message.
@@ -157,10 +368,120 @@ impl FaultPlan {
     }
 
     /// Adds a scheduled host outage.
-    #[must_use]
-    pub fn with_outage(mut self, outage: HostOutage) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::EmptyWindow`] when `up_at <= down_at`.
+    pub fn try_with_outage(mut self, outage: HostOutage) -> Result<Self, FaultError> {
+        if outage.up_at <= outage.down_at {
+            return Err(FaultError::EmptyWindow { what: "outage" });
+        }
         self.outages.push(outage);
-        self
+        Ok(self)
+    }
+
+    /// Adds a scheduled host outage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty (`up_at <= down_at`); use
+    /// [`FaultPlan::try_with_outage`] to handle the error.
+    #[must_use]
+    pub fn with_outage(self, outage: HostOutage) -> Self {
+        match self.try_with_outage(outage) {
+            Ok(plan) => plan,
+            Err(e) => panic!("invalid fault plan: {e}"),
+        }
+    }
+
+    /// Adds a gray CPU-degradation window.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::EmptyWindow`] when `end <= start`;
+    /// [`FaultError::BadDerateFactor`] when the factor is NaN or outside
+    /// `(0, 1]` (a factor of zero is a crash, not a gray failure — model it
+    /// with an outage).
+    pub fn try_with_derate(mut self, derate: DerateWindow) -> Result<Self, FaultError> {
+        if derate.end <= derate.start {
+            return Err(FaultError::EmptyWindow { what: "derate" });
+        }
+        if !(derate.factor > 0.0 && derate.factor <= 1.0) {
+            return Err(FaultError::BadDerateFactor {
+                value: derate.factor,
+            });
+        }
+        self.derates.push(derate);
+        Ok(self)
+    }
+
+    /// Adds a gray CPU-degradation window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window or a factor outside `(0, 1]`; use
+    /// [`FaultPlan::try_with_derate`] to handle the error.
+    #[must_use]
+    pub fn with_derate(self, derate: DerateWindow) -> Self {
+        match self.try_with_derate(derate) {
+            Ok(plan) => plan,
+            Err(e) => panic!("invalid fault plan: {e}"),
+        }
+    }
+
+    /// Adds a limping link.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::EmptyWindow`] when `end <= start`.
+    pub fn try_with_limp(mut self, limp: LinkLimp) -> Result<Self, FaultError> {
+        if limp.end <= limp.start {
+            return Err(FaultError::EmptyWindow { what: "limp" });
+        }
+        self.limps.push(limp);
+        Ok(self)
+    }
+
+    /// Adds a limping link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window; use [`FaultPlan::try_with_limp`] to
+    /// handle the error.
+    #[must_use]
+    pub fn with_limp(self, limp: LinkLimp) -> Self {
+        match self.try_with_limp(limp) {
+            Ok(plan) => plan,
+            Err(e) => panic!("invalid fault plan: {e}"),
+        }
+    }
+
+    /// Adds a flapping host, expanding it into its outage sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::DegenerateFlap`] when the flap has zero cycles or a
+    /// zero-length down phase.
+    pub fn try_with_flap(mut self, flap: HostFlap) -> Result<Self, FaultError> {
+        if flap.cycles == 0 || flap.down_for == SimDuration::ZERO {
+            return Err(FaultError::DegenerateFlap);
+        }
+        self.outages.extend(flap.outages());
+        Ok(self)
+    }
+
+    /// Adds a flapping host, expanding it into its outage sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate flap; use [`FaultPlan::try_with_flap`] to
+    /// handle the error.
+    #[must_use]
+    pub fn with_flap(self, flap: HostFlap) -> Self {
+        match self.try_with_flap(flap) {
+            Ok(plan) => plan,
+            Err(e) => panic!("invalid fault plan: {e}"),
+        }
     }
 
     /// True if the plan can affect traffic at all.
@@ -169,17 +490,37 @@ impl FaultPlan {
             || self.corrupt_probability > 0.0
             || self.jitter_max > SimDuration::ZERO
             || !self.partitions.is_empty()
+            || !self.limps.is_empty()
     }
 
-    /// The scheduled host outages, for the embedding world to enact.
+    /// The scheduled host outages (explicit plus flap-expanded), for the
+    /// embedding world to enact.
     pub fn outages(&self) -> &[HostOutage] {
         &self.outages
+    }
+
+    /// All gray CPU-degradation windows.
+    pub fn derates(&self) -> &[DerateWindow] {
+        &self.derates
+    }
+
+    /// The degradation windows affecting one host, as `(start, end, factor)`
+    /// triples — the per-node slowdown schedule the embedding world hands to
+    /// that node's executor.
+    pub fn derates_for(&self, host: HostId) -> Vec<(SimTime, SimTime, f64)> {
+        self.derates
+            .iter()
+            .filter(|d| d.host == host)
+            .map(|d| (d.start, d.end, d.factor))
+            .collect()
     }
 
     /// Decides the fate of one message sent at `now` from `from` to `to`.
     ///
     /// Partitions are checked first (deterministic, no RNG draw); then the
     /// drop probability; then jitter. A quiet plan never touches the RNG.
+    /// Link limping is folded in last — also without an RNG draw, so adding
+    /// a limp to a plan never shifts the fault stream's other decisions.
     pub fn decide(&mut self, now: SimTime, from: HostId, to: HostId) -> FaultDecision {
         if self.partitions.iter().any(|p| p.severs(now, from, to)) {
             return FaultDecision::Partitioned;
@@ -198,7 +539,15 @@ impl FaultPlan {
             } else {
                 None
             };
-        FaultDecision::Deliver { jitter, corrupt }
+        let limp = self
+            .limps
+            .iter()
+            .filter(|l| l.afflicts(now, from, to))
+            .fold(SimDuration::ZERO, |acc, l| acc + l.added_latency);
+        FaultDecision::Deliver {
+            jitter: jitter + limp,
+            corrupt,
+        }
     }
 }
 
@@ -350,5 +699,190 @@ mod tests {
         });
         assert_eq!(plan.outages().len(), 1);
         assert_eq!(plan.outages()[0].host, a);
+    }
+
+    #[test]
+    fn builder_rejects_bad_probabilities() {
+        let err = FaultPlan::quiet()
+            .try_with_drop_probability(f64::NAN)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FaultError::BadProbability { what: "drop", .. }
+        ));
+        assert!(FaultPlan::quiet().try_with_drop_probability(1.5).is_err());
+        assert!(FaultPlan::quiet().try_with_drop_probability(-0.1).is_err());
+        assert!(FaultPlan::quiet()
+            .try_with_corrupt_probability(2.0)
+            .is_err());
+        assert!(FaultPlan::quiet().try_with_drop_probability(1.0).is_ok());
+        assert!(FaultPlan::quiet().try_with_corrupt_probability(0.0).is_ok());
+        // The error formats as a readable message, mirroring ConfigError.
+        let msg = FaultPlan::quiet()
+            .try_with_corrupt_probability(-3.0)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("corrupt"), "message {msg}");
+    }
+
+    #[test]
+    fn builder_rejects_empty_windows() {
+        let (a, _) = two_hosts();
+        let err = FaultPlan::quiet()
+            .try_with_outage(HostOutage {
+                host: a,
+                down_at: SimTime::from_secs(60),
+                up_at: SimTime::from_secs(60),
+            })
+            .unwrap_err();
+        assert!(matches!(err, FaultError::EmptyWindow { what: "outage" }));
+        let err = FaultPlan::quiet()
+            .try_with_derate(DerateWindow {
+                host: a,
+                start: SimTime::from_secs(10),
+                end: SimTime::from_secs(10),
+                factor: 0.5,
+            })
+            .unwrap_err();
+        assert!(matches!(err, FaultError::EmptyWindow { what: "derate" }));
+        let (_, b) = two_hosts();
+        let err = FaultPlan::quiet()
+            .try_with_limp(LinkLimp {
+                a,
+                b,
+                added_latency: SimDuration::from_millis(20),
+                start: SimTime::from_secs(5),
+                end: SimTime::from_secs(4),
+            })
+            .unwrap_err();
+        assert!(matches!(err, FaultError::EmptyWindow { what: "limp" }));
+    }
+
+    #[test]
+    fn builder_rejects_bad_derate_factor_and_degenerate_flap() {
+        let (a, _) = two_hosts();
+        let window = |factor| DerateWindow {
+            host: a,
+            start: SimTime::from_secs(0),
+            end: SimTime::from_secs(60),
+            factor,
+        };
+        assert!(matches!(
+            FaultPlan::quiet().try_with_derate(window(0.0)).unwrap_err(),
+            FaultError::BadDerateFactor { .. }
+        ));
+        assert!(FaultPlan::quiet()
+            .try_with_derate(window(f64::NAN))
+            .is_err());
+        assert!(FaultPlan::quiet().try_with_derate(window(1.5)).is_err());
+        assert!(FaultPlan::quiet().try_with_derate(window(1.0)).is_ok());
+        let flap = |cycles, down_ms| HostFlap {
+            host: a,
+            first_down: SimTime::from_secs(30),
+            down_for: SimDuration::from_millis(down_ms),
+            up_for: SimDuration::from_secs(10),
+            cycles,
+        };
+        assert!(matches!(
+            FaultPlan::quiet().try_with_flap(flap(0, 100)).unwrap_err(),
+            FaultError::DegenerateFlap
+        ));
+        assert!(FaultPlan::quiet().try_with_flap(flap(3, 0)).is_err());
+        assert!(FaultPlan::quiet().try_with_flap(flap(3, 100)).is_ok());
+    }
+
+    #[test]
+    fn derate_windows_report_factor_in_window_only() {
+        let (a, b) = two_hosts();
+        let plan = FaultPlan::quiet()
+            .with_derate(DerateWindow {
+                host: a,
+                start: SimTime::from_secs(100),
+                end: SimTime::from_secs(200),
+                factor: 0.25,
+            })
+            .with_derate(DerateWindow {
+                host: b,
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(50),
+                factor: 0.5,
+            });
+        let schedule = plan.derates_for(a);
+        assert_eq!(schedule.len(), 1);
+        let (start, end, factor) = schedule[0];
+        assert_eq!(start, SimTime::from_secs(100));
+        assert_eq!(end, SimTime::from_secs(200));
+        assert_eq!(factor, 0.25);
+        let d = &plan.derates()[0];
+        assert_eq!(d.factor_at(SimTime::from_secs(99)), 1.0);
+        assert_eq!(d.factor_at(SimTime::from_secs(100)), 0.25);
+        assert_eq!(d.factor_at(SimTime::from_secs(199)), 0.25);
+        assert_eq!(d.factor_at(SimTime::from_secs(200)), 1.0);
+        // Derates alone never touch the message path.
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn limp_adds_latency_deterministically_without_rng_draws() {
+        let (a, b) = two_hosts();
+        let limp = LinkLimp {
+            a,
+            b,
+            added_latency: SimDuration::from_millis(40),
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(20),
+        };
+        let mut plan = FaultPlan::new(11).with_limp(limp);
+        assert!(plan.is_active());
+        // Both directions limp inside the window; outside it nothing happens.
+        for (now, expect) in [
+            (SimTime::from_secs(5), SimDuration::ZERO),
+            (SimTime::from_secs(15), SimDuration::from_millis(40)),
+            (SimTime::from_secs(20), SimDuration::ZERO),
+        ] {
+            for (from, to) in [(a, b), (b, a)] {
+                assert_eq!(
+                    plan.decide(now, from, to),
+                    FaultDecision::Deliver {
+                        jitter: expect,
+                        corrupt: None,
+                    }
+                );
+            }
+        }
+        // Adding a limp must not shift the RNG stream: a plan with drops
+        // makes the same drop decisions with or without the limp.
+        let mut with_limp = FaultPlan::new(77)
+            .with_drop_probability(0.3)
+            .with_limp(limp);
+        let mut without = FaultPlan::new(77).with_drop_probability(0.3);
+        for i in 0..1_000 {
+            let t = SimTime::from_secs(i % 30);
+            let d1 = with_limp.decide(t, a, b);
+            let d2 = without.decide(t, a, b);
+            let dropped1 = d1 == FaultDecision::Drop;
+            let dropped2 = d2 == FaultDecision::Drop;
+            assert_eq!(dropped1, dropped2, "tick {i}");
+        }
+    }
+
+    #[test]
+    fn flap_expands_to_alternating_outages() {
+        let (a, _) = two_hosts();
+        let plan = FaultPlan::quiet().with_flap(HostFlap {
+            host: a,
+            first_down: SimTime::from_secs(100),
+            down_for: SimDuration::from_secs(10),
+            up_for: SimDuration::from_secs(30),
+            cycles: 3,
+        });
+        let outages = plan.outages();
+        assert_eq!(outages.len(), 3);
+        let expect = [(100, 110), (140, 150), (180, 190)];
+        for (outage, (down, up)) in outages.iter().zip(expect) {
+            assert_eq!(outage.host, a);
+            assert_eq!(outage.down_at, SimTime::from_secs(down));
+            assert_eq!(outage.up_at, SimTime::from_secs(up));
+        }
     }
 }

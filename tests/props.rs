@@ -495,3 +495,72 @@ mod grid_determinism {
         }
     }
 }
+
+mod speculation_progress {
+    use integrade::core::asct::JobSpec;
+    use integrade::core::grid::{GridBuilder, GridConfig, NodeSetup};
+    use integrade::core::types::NodeId;
+    use integrade::simnet::faults::{DerateWindow, FaultPlan};
+    use integrade::simnet::time::SimTime;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        /// Speculation never loses banked checkpoint progress: however the
+        /// twin race resolves (win, cancel, promotion), each part's banked
+        /// checkpoint version only ever climbs and its remaining work only
+        /// ever shrinks. A regression here means a backup forked the
+        /// checkpoint lineage or a teardown rolled a part backwards.
+        #[test]
+        fn banked_progress_is_monotone_under_speculation(
+            seed in any::<u64>(),
+            slow in 1usize..3,
+            factor_pct in 15u32..40,
+            parts in 4u32..7,
+        ) {
+            let config = GridConfig::builder()
+                .seed(seed)
+                .gupa_warmup_days(0)
+                .sequential_checkpoint_mips_s(30_000.0)
+                .speculation(true)
+                .build();
+            let mut builder = GridBuilder::new(config);
+            builder.add_cluster((0..7).map(|_| NodeSetup::idle_desktop()).collect());
+            let mut grid = builder.build();
+            let mut plan = FaultPlan::new(seed);
+            for n in 0..slow {
+                plan = plan.with_derate(DerateWindow {
+                    host: grid.host_of(NodeId(n as u32)),
+                    start: SimTime::from_secs(0),
+                    end: SimTime::from_secs(48 * 3600),
+                    factor: factor_pct as f64 / 100.0,
+                });
+            }
+            grid.set_fault_plan(plan);
+            let job = grid.submit(JobSpec::bag_of_tasks("prop-spec", parts as usize, 250_000));
+            let mut last: Vec<(u64, f64)> = (0..parts).map(|_| (0, f64::INFINITY)).collect();
+            for step in 1..=48u64 {
+                grid.run_until(SimTime::from_secs(step * 1200));
+                for part in 0..parts {
+                    // `None` once the part is done — progress can no longer
+                    // regress after that, so skip it.
+                    let Some((version, remaining)) = grid.part_progress(job, part) else {
+                        continue;
+                    };
+                    let (prev_version, prev_remaining) = last[part as usize];
+                    prop_assert!(
+                        version >= prev_version,
+                        "part {} banked version regressed {} -> {}",
+                        part, prev_version, version
+                    );
+                    prop_assert!(
+                        remaining <= prev_remaining,
+                        "part {} remaining grew {} -> {}",
+                        part, prev_remaining, remaining
+                    );
+                    last[part as usize] = (version, remaining);
+                }
+            }
+        }
+    }
+}

@@ -296,3 +296,90 @@ proptest! {
         );
     }
 }
+
+/// Gray-failure parity: a fault plan carrying every degradation primitive
+/// — a CPU derate, a limping link and a flapping host — with speculative
+/// re-execution armed, must still replay bit-for-bit across every tick
+/// engine. The straggler detector and twin races run in the
+/// single-threaded phase, so their log stream is part of the contract.
+#[test]
+fn gray_failure_speculation_parity_across_all_modes() {
+    use integrade::simnet::faults::{DerateWindow, HostFlap, LinkLimp};
+
+    fn build_gray(mode: TickMode, seed: u64) -> Grid {
+        let config = GridConfig::builder()
+            .seed(seed)
+            .gupa_warmup_days(0)
+            .sequential_checkpoint_mips_s(30_000.0)
+            .speculation(true)
+            .tick_mode(mode)
+            .build();
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster(
+            (0..8)
+                .map(|i| {
+                    if i < 3 {
+                        NodeSetup {
+                            trace: office_trace(),
+                            ..NodeSetup::idle_desktop()
+                        }
+                    } else {
+                        NodeSetup::idle_desktop()
+                    }
+                })
+                .collect(),
+        );
+        builder.build()
+    }
+
+    fn run_gray(grid: &mut Grid, seed: u64) {
+        let plan = FaultPlan::new(seed)
+            .with_drop_probability(0.03)
+            .with_jitter(SimDuration::from_millis(30))
+            .with_derate(DerateWindow {
+                host: grid.host_of(NodeId(3)),
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(24 * 3600),
+                factor: 0.25,
+            })
+            .with_limp(LinkLimp {
+                a: grid.host_of(NodeId(4)),
+                b: grid.host_of(NodeId(5)),
+                added_latency: SimDuration::from_millis(200),
+                start: SimTime::from_secs(600),
+                end: SimTime::from_secs(3600),
+            })
+            .with_flap(HostFlap {
+                host: grid.host_of(NodeId(7)),
+                first_down: SimTime::from_secs(900),
+                down_for: SimDuration::from_secs(120),
+                up_for: SimDuration::from_secs(900),
+                cycles: 2,
+            });
+        grid.set_fault_plan(plan);
+        grid.submit(JobSpec::bag_of_tasks("gray-bag", 6, 300_000));
+        grid.submit(JobSpec::sequential("gray-seq", 120_000));
+        grid.run_until(SimTime::from_secs(6 * 3600));
+    }
+
+    for seed in chaos_seeds() {
+        let mut reference = build_gray(TickMode::Reference, seed);
+        run_gray(&mut reference, seed);
+        let mut active = build_gray(TickMode::ActiveSet, seed);
+        run_gray(&mut active, seed);
+        assert_parity(
+            &mut active,
+            &mut reference,
+            &format!("seed {seed}, gray plan, ActiveSet"),
+        );
+        for workers in SHARD_WIDTHS {
+            let mut sharded = build_gray(TickMode::Sharded { workers }, seed);
+            run_gray(&mut sharded, seed);
+            assert_parity(
+                &mut sharded,
+                &mut reference,
+                &format!("seed {seed}, gray plan, Sharded{{{workers}}}"),
+            );
+        }
+    }
+}
