@@ -1,0 +1,373 @@
+//! E18: result sabotage — certification policies vs a lying minority.
+//!
+//! A saboteur is the failure mode beyond gray failure: the host keeps
+//! every protocol promise — answers on time, computes at full speed,
+//! checkpoints dutifully — and then reports a *wrong result*. No crash
+//! detector or progress watcher can see it, because the lie is the
+//! payload itself. This experiment sweeps the saboteur fraction × lie
+//! probability over the same cluster shape and workload, and measures
+//! four certification regimes:
+//!
+//! * **no-cert** — results accepted on arrival; the delivered error
+//!   rate is whatever the saboteurs choose it to be.
+//! * **r2** — every part is executed twice on distinct nodes and the
+//!   digests must agree (majority of 2).
+//! * **r3** — three-way replication: robust even to a colluding pair,
+//!   at triple the compute.
+//! * **adaptive** — Sarmenta-style credibility: unknown nodes pay the
+//!   r=2 quorum, nodes that accumulate certified agreements graduate to
+//!   single-vote acceptance, seeded spot-check probes keep auditing the
+//!   trusted, and one caught mismatch blacklists the node for good.
+//!
+//! The two delivered quantities per cell are the *wrong results
+//! delivered* (an omniscient simulator-side counter — the grid itself
+//! never learns ground truth) and the *redundant work bought*, in
+//! MIPS-s, off the unified overhead ledger. The claim under test:
+//! credibility-adaptive certification delivers zero wrong results at
+//! saboteur fractions up to 30% while spending strictly less redundancy
+//! than blanket r=3. Every run is simulated-deterministic per seed.
+//! Emits a prose table and a machine-readable `BENCH_cert.json`.
+
+use crate::table::{f2, Table};
+use integrade_core::asct::{JobSpec, JobState};
+use integrade_core::grid::{Grid, GridBuilder, GridConfig, NodeSetup};
+use integrade_core::types::NodeId;
+use integrade_simnet::faults::{FaultPlan, Saboteur};
+use integrade_simnet::time::SimTime;
+
+/// Cluster size; saboteur fractions below are multiples of 1/16.
+pub const NODES: usize = 16;
+/// Parts in the bag: two waves over the cluster, so honest nodes get a
+/// chance to earn credibility inside a single job.
+pub const PARTS: usize = 32;
+/// Work per part, MIPS-s.
+pub const WORK_EACH: u64 = 60_000;
+/// Fractions of the cluster replaced by loner saboteurs (2/16, 4/16).
+/// Collusion is exercised in `tests/cert.rs`; here every liar lies alone.
+pub const SABOTEUR_FRACTIONS: [f64; 2] = [0.125, 0.25];
+/// Per-part lie probabilities applied to the saboteurs.
+pub const SABOTAGE_RATES: [f64; 2] = [0.2, 0.4];
+/// Replication seeds: deterministic per seed, so replication — not
+/// wall-clock repetition — is the noise control.
+pub const SEEDS: [u64; 2] = [31, 32];
+/// Credibility threshold for single-vote acceptance in the adaptive arm.
+pub const TRUST: u32 = 10;
+/// Spot-check probe rate in the adaptive arm.
+pub const SPOT_RATE: f64 = 0.15;
+
+/// One measured cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct CertCell {
+    /// Certification regime: "no-cert", "r2", "r3" or "adaptive".
+    pub arm: &'static str,
+    /// Fraction of nodes sabotaging.
+    pub saboteur_fraction: f64,
+    /// Per-part lie probability on those nodes.
+    pub rate: f64,
+    /// Seed of this replication.
+    pub seed: u64,
+    /// Whether the job completed before the horizon.
+    pub completed: bool,
+    /// Submission-to-completion span, seconds.
+    pub makespan_s: f64,
+    /// Wrong results delivered to the user (omniscient ground truth).
+    pub wrong_delivered: u64,
+    /// Redundant certification work bought, MIPS-s.
+    pub redundant_mips_s: f64,
+    /// Saboteurs blacklisted by a caught mismatch.
+    pub blacklisted: u64,
+    /// Certification-forced re-executions.
+    pub reexecutions: u64,
+}
+
+fn saboteur_count(fraction: f64) -> usize {
+    (fraction * NODES as f64).round() as usize
+}
+
+fn cert_grid(seed: u64, arm: &'static str) -> Grid {
+    let mut b = GridConfig::builder()
+        .seed(seed)
+        .gupa_warmup_days(0)
+        .sequential_checkpoint_mips_s(30_000.0);
+    b = match arm {
+        "no-cert" => b,
+        "r2" => b.certification(true).cert_replication(2),
+        "r3" => b.certification(true).cert_replication(3),
+        "adaptive" => b
+            .certification(true)
+            .cert_replication(2)
+            .cert_adaptive(true)
+            .cert_spot_check_rate(SPOT_RATE)
+            .cert_trust_threshold(TRUST),
+        other => panic!("unknown arm {other}"),
+    };
+    let mut builder = GridBuilder::new(b.build());
+    builder.add_cluster((0..NODES).map(|_| NodeSetup::idle_desktop()).collect());
+    builder.build()
+}
+
+/// One run at a cell's settings: the first `fraction * NODES` nodes lie
+/// with probability `rate` per part, each with its own wrong digest.
+pub fn run_cell(arm: &'static str, fraction: f64, rate: f64, seed: u64) -> CertCell {
+    let mut grid = cert_grid(seed, arm);
+    let saboteurs = saboteur_count(fraction);
+    if saboteurs > 0 {
+        let mut plan = FaultPlan::new(seed);
+        for n in 0..saboteurs {
+            plan = plan.with_saboteur(Saboteur {
+                host: grid.host_of(NodeId(n as u32)),
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(48 * 3600),
+                probability: rate,
+                collusion: None,
+            });
+        }
+        grid.set_fault_plan(plan);
+    }
+    let job = grid.submit(JobSpec::bag_of_tasks("e18", PARTS, WORK_EACH));
+    grid.run_until(SimTime::from_secs(24 * 3600));
+    let record = grid.job_record(job).unwrap().clone();
+    let snap = grid.metrics_snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    CertCell {
+        arm,
+        saboteur_fraction: fraction,
+        rate: if saboteurs > 0 { rate } else { 0.0 },
+        seed,
+        completed: record.state == JobState::Completed,
+        makespan_s: record
+            .makespan()
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(f64::NAN),
+        wrong_delivered: counter("grid_cert_wrong_delivered"),
+        redundant_mips_s: grid.report().overhead.cert_redundant_mips_s,
+        blacklisted: counter("grid_cert_blacklisted"),
+        reexecutions: counter("grid_cert_reexecutions"),
+    }
+}
+
+/// The full sweep: every (fraction, rate) cell × arm × seed.
+pub fn measure(seeds: &[u64]) -> Vec<CertCell> {
+    let mut cells = Vec::new();
+    for &fraction in &SABOTEUR_FRACTIONS {
+        for &rate in &SABOTAGE_RATES {
+            for &seed in seeds {
+                for arm in ["no-cert", "r2", "r3", "adaptive"] {
+                    cells.push(run_cell(arm, fraction, rate, seed));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Renders the sweep as `BENCH_cert.json`, one object per cell.
+pub fn to_json(cells: &[CertCell]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e18\",\n  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"arm\": \"{}\", \"saboteur_fraction\": {:.3}, \"rate\": {:.2}, \
+             \"seed\": {}, \"completed\": {}, \"makespan_s\": {:.1}, \
+             \"wrong_delivered\": {}, \"redundant_mips_s\": {:.0}, \
+             \"blacklisted\": {}, \"reexecutions\": {}}}{sep}\n",
+            c.arm,
+            c.saboteur_fraction,
+            c.rate,
+            c.seed,
+            c.completed,
+            c.makespan_s,
+            c.wrong_delivered,
+            c.redundant_mips_s,
+            c.blacklisted,
+            c.reexecutions,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// E18: delivered error vs redundancy bought, for no certification,
+/// fixed 2-way / 3-way replication and credibility-adaptive voting.
+/// Side effect: writes `BENCH_cert.json` to the working directory.
+pub fn e18() -> Table {
+    let cells = measure(&SEEDS);
+    match std::fs::write("BENCH_cert.json", to_json(&cells)) {
+        Ok(()) => eprintln!("e18: wrote BENCH_cert.json"),
+        Err(e) => eprintln!("e18: could not write BENCH_cert.json: {e}"),
+    }
+    let mut table = Table::new(
+        "E18: result sabotage — certification policies vs a lying minority",
+        &[
+            "sab_frac",
+            "rate",
+            "arm",
+            "completion_%",
+            "makespan_s",
+            "wrong",
+            "redundant_mips_s",
+            "blacklisted",
+            "reexec",
+        ],
+    );
+    for &fraction in &SABOTEUR_FRACTIONS {
+        for &rate in &SABOTAGE_RATES {
+            for arm in ["no-cert", "r2", "r3", "adaptive"] {
+                let at: Vec<&CertCell> = cells
+                    .iter()
+                    .filter(|c| c.arm == arm && c.saboteur_fraction == fraction && c.rate == rate)
+                    .collect();
+                let n = at.len() as f64;
+                let makespan = at.iter().map(|c| c.makespan_s).sum::<f64>() / n;
+                let completion = 100.0 * at.iter().filter(|c| c.completed).count() as f64 / n;
+                table.push_row(vec![
+                    format!("{fraction:.3}"),
+                    format!("{rate:.2}"),
+                    arm.to_string(),
+                    f2(completion),
+                    f2(makespan),
+                    at.iter()
+                        .map(|c| c.wrong_delivered)
+                        .sum::<u64>()
+                        .to_string(),
+                    f2(at.iter().map(|c| c.redundant_mips_s).sum::<f64>() / n),
+                    at.iter().map(|c| c.blacklisted).sum::<u64>().to_string(),
+                    at.iter().map(|c| c.reexecutions).sum::<u64>().to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// The savings the committed floor guards: fixed-r3 redundant work over
+/// adaptive redundant work at the sweep's worst cell (25% saboteurs
+/// lying 40% of the time), worst (minimum) over the replication seeds.
+/// Both arms must complete and the adaptive arm must deliver zero wrong
+/// results — that part is an absolute, not a floor.
+pub fn smoke_savings() -> f64 {
+    SEEDS
+        .iter()
+        .map(|&seed| {
+            let r3 = run_cell("r3", 0.25, 0.4, seed);
+            let adaptive = run_cell("adaptive", 0.25, 0.4, seed);
+            assert!(
+                r3.completed && adaptive.completed,
+                "e18smoke: incomplete job (r3={}, adaptive={})",
+                r3.completed,
+                adaptive.completed
+            );
+            assert_eq!(
+                adaptive.wrong_delivered, 0,
+                "e18smoke: the adaptive arm delivered a wrong result"
+            );
+            assert!(
+                adaptive.redundant_mips_s < r3.redundant_mips_s,
+                "e18smoke: adaptive redundancy {} MIPS-s is not below r3's {}",
+                adaptive.redundant_mips_s,
+                r3.redundant_mips_s
+            );
+            r3.redundant_mips_s / adaptive.redundant_mips_s
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Parses the committed floor out of `BENCH_cert_floor.json`.
+pub(crate) fn committed_floor() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_cert_floor.json").ok()?;
+    let key = "\"cert_savings_floor_worst_cell\":";
+    let at = text.find(key)? + key.len();
+    text[at..]
+        .trim_start()
+        .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// E18 smoke: the worst sweep cell alone, compared against the committed
+/// floor in `BENCH_cert_floor.json`. The metric is a ratio of *simulated*
+/// redundancy ledgers, so it is deterministic per seed — CI failures mean
+/// the credibility engine or the quorum regressed, never host noise.
+///
+/// # Panics
+///
+/// Panics when the adaptive arm delivers a wrong result, fails to beat
+/// r3's redundancy outright, or falls below the committed savings floor.
+pub fn e18smoke() -> Table {
+    let savings = smoke_savings();
+    let floor = committed_floor();
+    let mut table = Table::new(
+        "E18 smoke: adaptive-vs-r3 redundancy savings at the worst cell vs committed floor",
+        &["metric", "value"],
+    );
+    table.push_row(vec![
+        "savings (r3/adaptive)".into(),
+        format!("{savings:.2}x"),
+    ]);
+    table.push_row(vec![
+        "committed floor".into(),
+        floor.map_or("none".into(), |f| format!("{f:.2}x")),
+    ]);
+    if let Some(floor) = floor {
+        assert!(
+            savings >= floor,
+            "e18smoke: redundancy savings {savings:.2}x fell below the committed floor {floor:.2}x"
+        );
+    } else {
+        eprintln!("e18smoke: no BENCH_cert_floor.json — floor check skipped");
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncertified_grid_delivers_wrong_results() {
+        let cell = run_cell("no-cert", 0.25, 0.4, SEEDS[0]);
+        assert!(cell.completed, "{cell:?}");
+        assert!(
+            cell.wrong_delivered >= 1,
+            "a lying quarter of the cluster must poison at least one part: {cell:?}"
+        );
+        assert_eq!(cell.redundant_mips_s, 0.0, "no certification, no bill");
+    }
+
+    #[test]
+    fn adaptive_beats_r3_and_delivers_nothing_wrong() {
+        let savings = smoke_savings();
+        assert!(
+            savings > 1.0,
+            "adaptive must strictly undercut r3 at the worst cell, got {savings:.2}x"
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let cells = vec![
+            run_cell("no-cert", 0.125, 0.2, 31),
+            run_cell("r2", 0.125, 0.2, 31),
+        ];
+        let json = to_json(&cells);
+        assert!(json.contains("\"experiment\": \"e18\""));
+        assert!(json.contains("\"arm\": \"no-cert\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn floor_parser_reads_the_committed_shape() {
+        let sample = "{\n  \"cert_savings_floor_worst_cell\": 1.20\n}\n";
+        let key = "\"cert_savings_floor_worst_cell\":";
+        let at = sample.find(key).unwrap() + key.len();
+        let parsed: f64 = sample[at..]
+            .trim_start()
+            .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((parsed - 1.20).abs() < 1e-9);
+    }
+}

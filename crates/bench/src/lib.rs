@@ -17,6 +17,7 @@
 
 pub mod exp_baselines;
 pub mod exp_bsp;
+pub mod exp_cert;
 pub mod exp_faults;
 pub mod exp_info;
 pub mod exp_obs;
@@ -123,6 +124,16 @@ pub fn experiments() -> Vec<ExperimentEntry> {
             "e17smoke",
             "speculation speedup smoke at 20% slow nodes vs committed floor",
             exp_spec::e17smoke,
+        ),
+        (
+            "e18",
+            "result sabotage: certification policies vs a lying minority",
+            exp_cert::e18,
+        ),
+        (
+            "e18smoke",
+            "adaptive-vs-r3 redundancy savings smoke vs committed floor",
+            exp_cert::e18smoke,
         ),
     ]
 }

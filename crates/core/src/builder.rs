@@ -71,6 +71,17 @@ pub enum ConfigError {
     /// `straggler_strikes == 0` with speculation on — without at least one
     /// strike of hysteresis a single noisy observation launches a twin.
     NoStragglerHysteresis,
+    /// `cert_replication == 0` with certification on — no part could ever
+    /// gather a vote, so no result would ever be delivered.
+    NoCertVotes,
+    /// The spot-check probe rate is NaN or outside `[0, 1)` — at 1 every
+    /// part would be a known-answer probe and the grid would compute
+    /// nothing it did not already know.
+    BadSpotCheckRate(f64),
+    /// `cert_trust_threshold == 0` with adaptive certification on — every
+    /// unknown node would be born trusted, which is exactly the attack
+    /// credibility is meant to stop.
+    NoCertTrustThreshold,
 }
 
 impl fmt::Display for ConfigError {
@@ -117,6 +128,18 @@ impl fmt::Display for ConfigError {
             ConfigError::NoStragglerHysteresis => write!(
                 f,
                 "straggler_strikes must be at least 1 when speculation is on"
+            ),
+            ConfigError::NoCertVotes => write!(
+                f,
+                "cert_replication must be at least 1 when certification is on"
+            ),
+            ConfigError::BadSpotCheckRate(v) => {
+                write!(f, "cert_spot_check_rate must be in [0, 1), got {v}")
+            }
+            ConfigError::NoCertTrustThreshold => write!(
+                f,
+                "cert_trust_threshold must be at least 1 when adaptive \
+                 certification is on"
             ),
         }
     }
@@ -301,6 +324,41 @@ impl GridConfigBuilder {
         self
     }
 
+    /// Enables Byzantine result certification: finished parts count only
+    /// once their result digest is certified. Off by default.
+    pub fn certification(mut self, on: bool) -> Self {
+        self.config.certification = on;
+        self
+    }
+
+    /// Matching digests required to certify an unknown executor's result
+    /// (the replication degree `r`). Must be ≥ 1 when certification is on.
+    pub fn cert_replication(mut self, r: u32) -> Self {
+        self.config.cert_replication = r;
+        self
+    }
+
+    /// Credibility-adaptive replication: trusted executors certify with a
+    /// single vote (Sarmenta-style credibility). Off by default.
+    pub fn cert_adaptive(mut self, on: bool) -> Self {
+        self.config.cert_adaptive = on;
+        self
+    }
+
+    /// Fraction of parts designated as known-answer spot-check probes.
+    /// Must be in `[0, 1)`.
+    pub fn cert_spot_check_rate(mut self, rate: f64) -> Self {
+        self.config.cert_spot_check_rate = rate;
+        self
+    }
+
+    /// Credibility score at which an executor becomes trusted under
+    /// adaptive certification. Must be ≥ 1 when adaptive mode is on.
+    pub fn cert_trust_threshold(mut self, score: u32) -> Self {
+        self.config.cert_trust_threshold = score;
+        self
+    }
+
     /// Tick the grid with `n` parallel worker shards — shorthand for
     /// [`tick_mode`]`(TickMode::Sharded { workers: n })`. Build-time
     /// validation rejects `n == 0` ([`ConfigError::ZeroWorkers`]),
@@ -360,6 +418,15 @@ impl GridConfigBuilder {
         }
         if c.speculation && c.straggler_strikes == 0 {
             return Err(ConfigError::NoStragglerHysteresis);
+        }
+        if c.certification && c.cert_replication == 0 {
+            return Err(ConfigError::NoCertVotes);
+        }
+        if !c.cert_spot_check_rate.is_finite() || !(0.0..1.0).contains(&c.cert_spot_check_rate) {
+            return Err(ConfigError::BadSpotCheckRate(c.cert_spot_check_rate));
+        }
+        if c.certification && c.cert_adaptive && c.cert_trust_threshold == 0 {
+            return Err(ConfigError::NoCertTrustThreshold);
         }
         Ok(c)
     }
@@ -590,6 +657,61 @@ mod tests {
         assert!(c.speculation);
         assert_eq!(c.straggler_threshold, 0.4);
         assert_eq!(c.straggler_strikes, 2);
+    }
+
+    #[test]
+    fn rejects_bad_certification_settings() {
+        assert_eq!(
+            GridConfig::builder()
+                .certification(true)
+                .cert_replication(0)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::NoCertVotes
+        );
+        // Zero replication is tolerated while certification is off.
+        assert!(GridConfig::builder()
+            .cert_replication(0)
+            .try_build()
+            .is_ok());
+        assert_eq!(
+            GridConfig::builder()
+                .cert_spot_check_rate(1.0)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::BadSpotCheckRate(1.0)
+        );
+        assert_eq!(
+            GridConfig::builder()
+                .cert_spot_check_rate(-0.1)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::BadSpotCheckRate(-0.1)
+        );
+        assert!(GridConfig::builder()
+            .cert_spot_check_rate(f64::NAN)
+            .try_build()
+            .is_err());
+        assert_eq!(
+            GridConfig::builder()
+                .certification(true)
+                .cert_adaptive(true)
+                .cert_trust_threshold(0)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::NoCertTrustThreshold
+        );
+        let c = GridConfig::builder()
+            .certification(true)
+            .cert_replication(3)
+            .cert_adaptive(true)
+            .cert_spot_check_rate(0.15)
+            .cert_trust_threshold(8)
+            .build();
+        assert!(c.certification && c.cert_adaptive);
+        assert_eq!(c.cert_replication, 3);
+        assert_eq!(c.cert_spot_check_rate, 0.15);
+        assert_eq!(c.cert_trust_threshold, 8);
     }
 
     #[test]

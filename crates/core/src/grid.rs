@@ -21,13 +21,13 @@ use crate::lrm::{CompletedPart, DueCheckpoint, LrmConfig, LrmServant, LrmState};
 use crate::ncc::{SharingPolicy, WeeklySchedule};
 use crate::observe::GridObs;
 use crate::protocol::{
-    CancelPartReply, CancelPartRequest, CheckpointBlob, FetchCheckpoint, FetchCheckpointReply,
-    LaunchReply, LaunchRequest, PartDone, PartEvicted, PurgeCheckpoint, ReserveReply,
-    ReserveRequest, StatusUpdate, StoreCheckpoint, StoreCheckpointReply, UpdateAck, GRM_OBJECT_KEY,
-    LRM_OBJECT_KEY, OP_CANCEL_PART, OP_FETCH_CKPT, OP_LAUNCH, OP_PART_DONE, OP_PART_EVICTED,
-    OP_PURGE_CKPT, OP_RESERVE, OP_STORE_CKPT, OP_UPDATE_STATUS,
+    canonical_result_digest, CancelPartReply, CancelPartRequest, CheckpointBlob, FetchCheckpoint,
+    FetchCheckpointReply, LaunchReply, LaunchRequest, PartDone, PartEvicted, PurgeCheckpoint,
+    ReserveReply, ReserveRequest, StatusUpdate, StoreCheckpoint, StoreCheckpointReply, UpdateAck,
+    GRM_OBJECT_KEY, LRM_OBJECT_KEY, OP_CANCEL_PART, OP_FETCH_CKPT, OP_LAUNCH, OP_PART_DONE,
+    OP_PART_EVICTED, OP_PURGE_CKPT, OP_RESERVE, OP_STORE_CKPT, OP_UPDATE_STATUS,
 };
-use crate::qos::{QosLedger, SharingDiscipline};
+use crate::qos::{OverheadLedger, QosLedger, SharingDiscipline};
 use crate::repo::crc32;
 use crate::scheduler::{place_groups, rank, CandidateNode, Strategy};
 use crate::types::{JobId, NodeId, NodeRoles, Platform, ResourceVector};
@@ -39,7 +39,7 @@ use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrWriter};
 use integrade_orb::ior::{Endpoint, Ior, ObjectKey};
 use integrade_orb::orb::{Incoming, Orb};
 use integrade_simnet::event::{run_until_profiled, EventQueue, RunOutcome, World};
-use integrade_simnet::faults::FaultPlan;
+use integrade_simnet::faults::{scheduled_draw, FaultPlan};
 use integrade_simnet::net::{NetStats, Network};
 use integrade_simnet::rng::{streams, DetRng};
 use integrade_simnet::time::{SimDuration, SimTime};
@@ -162,6 +162,27 @@ pub struct GridConfig {
     /// speculative twin launches — the hysteresis that keeps transient
     /// owner activity from tripping the detector.
     pub straggler_strikes: u32,
+    /// Enables Byzantine result certification: a finished part counts only
+    /// once its result digest is certified — by a vote quorum, a passed
+    /// known-answer spot check, or (under adaptive mode) a trusted
+    /// executor. Off by default: every existing scenario replays
+    /// bit-for-bit unchanged.
+    pub certification: bool,
+    /// Matching digests required to certify an unknown executor's result
+    /// (the replication degree `r`; re-executions run sequentially until
+    /// the quorum is met).
+    pub cert_replication: u32,
+    /// Credibility-adaptive replication (Sarmenta): an executor whose
+    /// credibility has reached [`GridConfig::cert_trust_threshold`]
+    /// certifies with a single vote; unknowns still pay the full
+    /// [`GridConfig::cert_replication`] quorum.
+    pub cert_adaptive: bool,
+    /// Fraction of parts designated (by a pure seeded hash) as known-answer
+    /// spot-check probes the GRM verifies directly, in `[0, 1)`.
+    pub cert_spot_check_rate: f64,
+    /// Credibility score (certified agreements plus passed spot checks) at
+    /// which an executor becomes trusted under adaptive certification.
+    pub cert_trust_threshold: u32,
 }
 
 impl Default for GridConfig {
@@ -189,6 +210,11 @@ impl Default for GridConfig {
             speculation: false,
             straggler_threshold: 0.5,
             straggler_strikes: 3,
+            certification: false,
+            cert_replication: 2,
+            cert_adaptive: false,
+            cert_spot_check_rate: 0.0,
+            cert_trust_threshold: 10,
         }
     }
 }
@@ -531,6 +557,50 @@ struct JobExec {
     granted: Vec<(u32, NodeId, u64)>,
 }
 
+/// Salt distinguishing spot-check-probe designation draws from every other
+/// scheduled-hash stream ("CERT" in ASCII).
+const CERT_PROBE_KEY: u64 = 0x4345_5254;
+
+/// Majority-digest tally for result certification.
+///
+/// Returns the digest to accept once a *unique* plurality of the votes
+/// agrees on it with at least `needed` supporters; `None` means keep
+/// collecting votes (quorum not reached, or the top digests are tied — a
+/// tie is indistinguishable from an ongoing attack, so it never certifies).
+///
+/// Pure and order-independent: any permutation of `votes` yields the same
+/// verdict, which is what lets vote arrival order (retransmissions,
+/// piggyback redeliveries) never affect the outcome.
+pub fn certification_verdict(votes: &[(NodeId, u64)], needed: u32) -> Option<u64> {
+    let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
+    for (_, digest) in votes {
+        *counts.entry(*digest).or_insert(0) += 1;
+    }
+    let best = counts.values().copied().max()?;
+    if best < needed.max(1) {
+        return None;
+    }
+    let mut leaders = counts.iter().filter(|(_, c)| **c == best);
+    let leader = *leaders.next().expect("max exists").0;
+    if leaders.next().is_some() {
+        return None; // tied plurality: no certification
+    }
+    Some(leader)
+}
+
+/// Nominal work of one part, MIPS-s — what a certification re-execution of
+/// that part costs the grid in redundant cycles.
+fn part_nominal_work(kind: &JobKind, part: u32) -> f64 {
+    match kind {
+        JobKind::Sequential { work_mips_s } => *work_mips_s as f64,
+        JobKind::BagOfTasks { task_work_mips_s } => {
+            task_work_mips_s.get(part as usize).copied().unwrap_or(0) as f64
+        }
+        // Certification never applies to gang-scheduled parallel jobs.
+        JobKind::Bsp { .. } => 0.0,
+    }
+}
+
 /// End-of-run summary.
 #[derive(Debug, Clone)]
 pub struct GridReport {
@@ -544,6 +614,9 @@ pub struct GridReport {
     pub trader_queries: u64,
     /// Owner QoS ledger.
     pub qos: QosLedger,
+    /// Redundant work the grid spent on purpose (speculation losers,
+    /// certification re-executions).
+    pub overhead: OverheadLedger,
     /// Nodes with trained GUPA models.
     pub gupa_models: usize,
 }
@@ -669,6 +742,15 @@ struct GridWorld {
     /// the node's part posts a clean round, or on GRM restart (the progress
     /// evidence behind them is gone).
     suspect_nodes: BTreeSet<NodeId>,
+    /// Certification ballot box: digest votes received per part, in arrival
+    /// order. GRM soft state — wiped when the GRM crashes (the restarted
+    /// manager re-collects votes from scratch) and stripped of a node's
+    /// votes the moment that node is declared dead (its evidence dies with
+    /// it, mirroring the update-seq gate reset in `mark_unavailable`).
+    cert_votes: BTreeMap<(JobId, u32), Vec<(NodeId, u64)>>,
+    /// Unified redundant-work ledger (speculation waste + certification
+    /// re-execution), MIPS-s.
+    overhead: OverheadLedger,
     /// Metrics registry, trace spans and hot-loop profiler. Strictly
     /// passive: updating (or disabling) it never changes a run.
     obs: GridObs,
@@ -815,6 +897,8 @@ impl Grid {
             rerepl_inflight: BTreeSet::new(),
             crash_progress: BTreeMap::new(),
             suspect_nodes: BTreeSet::new(),
+            cert_votes: BTreeMap::new(),
+            overhead: OverheadLedger::new(),
             obs: GridObs::new(),
             config,
         };
@@ -926,6 +1010,32 @@ impl Grid {
                         .borrow_mut()
                         .set_derate_schedule(schedule);
                 }
+            }
+        }
+        if !plan.saboteurs().is_empty() {
+            let salt = self.world.config.seed;
+            for (node, host) in self.world.node_hosts.iter().enumerate() {
+                let windows = plan.saboteurs_for(*host);
+                if windows.is_empty() {
+                    continue;
+                }
+                // Colluders share a group-keyed wrong digest so their lies
+                // agree; loners each get a node-keyed one.
+                let schedule = windows
+                    .iter()
+                    .map(|s| {
+                        let wrong_key = match s.collusion {
+                            Some(group) => scheduled_draw(salt, [0x434F_4C4C, u64::from(group), 0]),
+                            None => scheduled_draw(salt, [0x4C4F_4E45, node as u64, 0]),
+                        };
+                        // Map the unit draw back to a nonzero 64-bit key.
+                        let wrong_key = ((wrong_key * (1u64 << 53) as f64) as u64).max(1);
+                        (s.start, s.end, s.probability, wrong_key)
+                    })
+                    .collect();
+                self.world.lrms[node]
+                    .borrow_mut()
+                    .set_sabotage_schedule(salt, schedule);
             }
         }
         for outage in plan.outages() {
@@ -1097,6 +1207,7 @@ impl Grid {
             updates: self.world.grm.borrow().update_stats(),
             trader_queries: self.world.grm.borrow().trader_queries(),
             qos,
+            overhead: self.world.overhead,
             gupa_models: (0..self.world.lrms.len())
                 .filter(|&i| self.world.gupa.has_model(NodeId(i as u32)))
                 .count(),
@@ -1722,6 +1833,10 @@ impl GridWorld {
         // The restarted GRM lost every progress track; the suspicion built
         // on them must not outlive its evidence.
         self.suspect_nodes.clear();
+        // The ballot box was GRM soft state too: the restarted manager
+        // re-collects votes from scratch (parts awaiting certification go
+        // back through the at-least-once outcome redelivery).
+        self.cert_votes.clear();
         let mut rollbacks: Vec<JobId> = Vec::new();
         let mut reschedules: Vec<(JobId, u32)> = Vec::new();
         let mut twin_cancels: Vec<(JobId, u32, NodeId)> = Vec::new();
@@ -2206,10 +2321,19 @@ impl GridWorld {
         // wasted speculative work via the cancel reply.
         let mut spec_cancel: Option<(NodeId, u64)> = None;
         let mut twin_won = false;
+        // Certification outcome of this report: either the part's result is
+        // accepted (quorum met, probe passed, or certification off), or the
+        // part goes back to the scheduler for another independent vote.
+        let mut reexecute = false;
+        let mut certified = false;
+        let mut cert_agree: Vec<NodeId> = Vec::new();
+        let mut cert_punish: Vec<NodeId> = Vec::new();
         {
             let Some(job) = self.jobs.get_mut(&done.job) else {
                 return;
             };
+            let certify = self.config.certification && !job.spec.kind.is_parallel();
+            let nominal = part_nominal_work(&job.spec.kind, done.part);
             // Field values can arrive damaged when corruption faults are
             // active: an out-of-range part index must not panic.
             let Some(part) = job.parts.get_mut(done.part as usize) else {
@@ -2217,6 +2341,80 @@ impl GridWorld {
             };
             if part.state == PartState::Done {
                 return;
+            }
+            let canonical = canonical_result_digest(done.job, done.part);
+            if certify {
+                let votes = self.cert_votes.entry((done.job, done.part)).or_default();
+                // Outcomes arrive at-least-once (oneway plus the update
+                // piggyback): a node re-reporting its result is the same
+                // vote, not fresh evidence — and it must not re-settle the
+                // speculation race below.
+                if votes.iter().any(|(n, _)| *n == done.node) {
+                    return;
+                }
+                if !votes.is_empty() {
+                    // Every execution beyond the part's first is redundancy
+                    // bought for integrity; charge the unified ledger.
+                    self.obs.cert_reexecutions.inc();
+                    self.obs.cert_redundant_mips_s.add(nominal as u64);
+                    self.overhead.cert_redundant_mips_s += nominal;
+                }
+                votes.push((done.node, done.digest));
+                self.obs.cert_votes.inc();
+                // Spot-check probes are designated by a pure seeded hash of
+                // the part's identity, so every vote on a probe part — in
+                // any tick mode, any arrival order — sees the same
+                // designation. The GRM knows the answer and verdicts alone.
+                let is_probe = self.config.cert_spot_check_rate > 0.0
+                    && scheduled_draw(
+                        self.config.seed,
+                        [CERT_PROBE_KEY, done.job.0, u64::from(done.part)],
+                    ) < self.config.cert_spot_check_rate;
+                if is_probe {
+                    self.obs.cert_spot_checks.inc();
+                    if done.digest == canonical {
+                        certified = true;
+                        cert_agree.push(done.node);
+                    } else {
+                        cert_punish.push(done.node);
+                        reexecute = true;
+                    }
+                } else {
+                    // Credibility-adaptive replication: a trusted executor's
+                    // word certifies alone; unknowns pay the full quorum.
+                    let trusted = self.config.cert_adaptive
+                        && self.grm.borrow().cert_credibility(done.node)
+                            >= self.config.cert_trust_threshold;
+                    let needed = if trusted {
+                        1
+                    } else {
+                        self.config.cert_replication.max(1)
+                    };
+                    match certification_verdict(votes, needed) {
+                        Some(accepted) => {
+                            certified = true;
+                            for (voter, digest) in votes.iter() {
+                                if *digest == accepted {
+                                    cert_agree.push(*voter);
+                                } else {
+                                    cert_punish.push(*voter);
+                                }
+                            }
+                            if accepted != canonical {
+                                // Omniscient ground-truth accounting: the
+                                // quorum certified a lie (e.g. colluders
+                                // outvoted the honest minority).
+                                self.obs.cert_wrong_delivered.inc();
+                            }
+                        }
+                        None => reexecute = true,
+                    }
+                }
+            } else if done.digest != canonical && done.digest != 0 {
+                // Certification off: whatever the executor reported is
+                // delivered as-is. The omniscient wrong-result counter
+                // still observes it — that is the no-cert arm's error rate.
+                self.obs.cert_wrong_delivered.inc();
             }
             if let Some(twin) = part.twin.take() {
                 match twin.state {
@@ -2241,26 +2439,47 @@ impl GridWorld {
                     _ => {}
                 }
             }
-            part.state = PartState::Done;
-            part.node = None;
-            job.record.parts_done += 1;
-            self.log.record(
-                now,
-                "job.part_done",
-                format!("{} part {}", done.job, done.part),
-            );
-            if job.record.parts_done == job.record.parts_total {
-                job.record.state = JobState::Completed;
-                job.record.completed_at = Some(now);
-                self.log
-                    .record(now, "job.completed", format!("{}", done.job));
-            } else if !job.spec.kind.is_parallel() {
-                // More bag-of-tasks parts may be waiting for a node.
-                if job.parts.iter().any(|p| p.state == PartState::Unplaced) {
-                    queue.schedule_after(
-                        SimDuration::from_secs(1),
-                        GridEvent::Schedule { job: done.job },
-                    );
+            if reexecute {
+                // Uncertified: the part returns to the scheduler for an
+                // independent re-execution (its remaining work is untouched,
+                // so the relaunch runs the full honest workload again).
+                part.state = PartState::Unplaced;
+                part.node = None;
+                job.record.state = JobState::Rescheduling;
+                self.log.record(
+                    now,
+                    "cert.reexecute",
+                    format!(
+                        "{} part {} after vote from {}",
+                        done.job, done.part, done.node
+                    ),
+                );
+                queue.schedule_after(
+                    SimDuration::from_secs(1),
+                    GridEvent::Schedule { job: done.job },
+                );
+            } else {
+                part.state = PartState::Done;
+                part.node = None;
+                job.record.parts_done += 1;
+                self.log.record(
+                    now,
+                    "job.part_done",
+                    format!("{} part {}", done.job, done.part),
+                );
+                if job.record.parts_done == job.record.parts_total {
+                    job.record.state = JobState::Completed;
+                    job.record.completed_at = Some(now);
+                    self.log
+                        .record(now, "job.completed", format!("{}", done.job));
+                } else if !job.spec.kind.is_parallel() {
+                    // More bag-of-tasks parts may be waiting for a node.
+                    if job.parts.iter().any(|p| p.state == PartState::Unplaced) {
+                        queue.schedule_after(
+                            SimDuration::from_secs(1),
+                            GridEvent::Schedule { job: done.job },
+                        );
+                    }
                 }
             }
         }
@@ -2301,6 +2520,39 @@ impl GridWorld {
                 },
                 queue,
             );
+        }
+        // Certification verdicts feed the credibility ledger whether or not
+        // the part finished this round: agreement earns trust slowly, any
+        // mismatch collapses it and blacklists the node from the trader.
+        for node in cert_punish {
+            let newly = self.grm.borrow_mut().record_cert_mismatch(node);
+            self.obs.cert_mismatches.inc();
+            self.log.record(
+                now,
+                "cert.mismatch",
+                format!("{} part {} by {node}", done.job, done.part),
+            );
+            if newly {
+                self.obs.cert_blacklisted.inc();
+                self.log.record(now, "cert.blacklist", format!("{node}"));
+            }
+        }
+        if certified {
+            for node in &cert_agree {
+                self.grm.borrow_mut().record_cert_agreement(*node);
+            }
+            self.cert_votes.remove(&(done.job, done.part));
+            self.obs.cert_certified.inc();
+            self.log.record(
+                now,
+                "cert.certified",
+                format!("{} part {}", done.job, done.part),
+            );
+        }
+        if reexecute {
+            // The part is still live: keep its rate estimates and replicas
+            // for the re-execution that is about to be scheduled.
+            return;
         }
         // The part is finished: its rate estimates can never matter again.
         self.grm.borrow_mut().clear_progress(done.job, done.part);
@@ -2368,6 +2620,7 @@ impl GridWorld {
                     part.twin = None;
                     job.record.wasted_work_mips_s += evicted.lost_work_mips_s;
                     self.obs.spec_wasted_mips_s.add(evicted.lost_work_mips_s);
+                    self.overhead.spec_wasted_mips_s += evicted.lost_work_mips_s as f64;
                     self.log.record(
                         now,
                         "spec.standdown",
@@ -2464,10 +2717,16 @@ impl GridWorld {
                 // Evicted exactly at a 100% checkpoint: nothing is left to
                 // re-run, so complete the part instead of relaunching it
                 // for a phantom sliver of residual work.
+                let digest = self.lrms[evicted.node.0 as usize].borrow().result_digest(
+                    now,
+                    evicted.job,
+                    evicted.part,
+                );
                 let done = PartDone {
                     job: evicted.job,
                     part: evicted.part,
                     node: evicted.node,
+                    digest,
                 };
                 self.on_part_done(now, &done, queue);
             } else {
@@ -3752,6 +4011,7 @@ impl GridWorld {
         }
         let wasted = reply.done_work_mips_s.saturating_sub(credit);
         self.obs.spec_wasted_mips_s.add(wasted);
+        self.overhead.spec_wasted_mips_s += wasted as f64;
         if let Some(job) = self.jobs.get_mut(&job_id) {
             job.record.wasted_work_mips_s += wasted;
         }
@@ -3876,9 +4136,40 @@ impl GridWorld {
             }
         } else {
             for (i, part) in unplaced.iter().enumerate() {
-                let candidate = &job.candidates[i % job.candidates.len()];
+                // Certification: nodes that already voted on this part must
+                // not execute it again — a saboteur agreeing with itself is
+                // not independent evidence. Walk the ranking from the
+                // round-robin position until a non-voter appears; a part
+                // with no eligible candidate waits for a later round.
+                let voters = self.cert_votes.get(&(job_id, *part));
+                let len = job.candidates.len();
+                let Some(candidate) = (0..len)
+                    .map(|k| &job.candidates[(i + k) % len])
+                    .find(|c| voters.is_none_or(|v| v.iter().all(|(voter, _)| *voter != c.node)))
+                else {
+                    continue;
+                };
                 let hint = ((job.parts[*part as usize].remaining / 100.0) as u64).clamp(300, 3600);
                 sends.push((*part, candidate.node, hint));
+            }
+            if sends.is_empty() {
+                // Every candidate has already voted on every unplaced part:
+                // back off and retry when the trader can offer fresh nodes.
+                job.attempts += 1;
+                let attempts = job.attempts;
+                if attempts >= self.config.max_attempts {
+                    job.record.state = JobState::Failed;
+                    self.log.record(
+                        now,
+                        "job.failed",
+                        format!("{job_id}: no unvoted candidates"),
+                    );
+                } else {
+                    job.record.state = JobState::Queued;
+                    let backoff = self.reschedule_backoff(attempts);
+                    queue.schedule_after(backoff, GridEvent::Schedule { job: job_id });
+                }
+                return;
             }
         }
         job.pending_reservations = sends.len() as u32;
@@ -4385,10 +4676,14 @@ impl GridWorld {
         // at-least-once delivery even when the oneway is lost or the
         // GRM crashes with the notice in flight.
         for done in effects.completed {
+            let digest = self.lrms[i]
+                .borrow()
+                .result_digest(now, done.job, done.part);
             let msg = PartDone {
                 job: done.job,
                 part: done.part,
                 node: NodeId(i as u32),
+                digest,
             };
             self.lrms[i].borrow_mut().stash_done(msg);
             self.send_to_grm(now, i, OP_PART_DONE, move |w| msg.encode(w), queue);
@@ -4667,6 +4962,13 @@ impl GridWorld {
         for node in silent {
             self.grm.borrow_mut().mark_unavailable(node);
             self.log.record(now, "grm.node_dead", format!("{node}"));
+            // A dead node's pending certification votes are discarded: like
+            // the update-seq gate reset in `mark_unavailable`, every claim
+            // the node made dies with it — a restarted incarnation must
+            // re-earn its say by executing the part again.
+            for votes in self.cert_votes.values_mut() {
+                votes.retain(|(voter, _)| *voter != node);
+            }
             // Speculative twins on the dead node die quietly — the primary
             // is still running, so no recovery is needed; the backup's lost
             // progress is wasted speculative work.
@@ -4705,6 +5007,7 @@ impl GridWorld {
             for (job_id, part_id) in dead_twins {
                 let lost = self.crash_progress.remove(&(job_id, part_id)).unwrap_or(0);
                 self.obs.spec_wasted_mips_s.add(lost);
+                self.overhead.spec_wasted_mips_s += lost as f64;
                 if let Some(job) = self.jobs.get_mut(&job_id) {
                     job.record.wasted_work_mips_s += lost;
                 }

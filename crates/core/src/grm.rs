@@ -87,6 +87,14 @@ pub struct GrmState {
     /// the replica map. Keyed by executor node so a speculative twin's rate
     /// is tracked independently of the primary's.
     progress: BTreeMap<(JobId, u32, NodeId), ProgressTrack>,
+    /// Sarmenta-style per-node credibility: earned one point per certified
+    /// agreement or passed spot check, collapsed to zero by any mismatch.
+    /// Soft state — wiped by a GRM crash and re-earned from scratch.
+    cert_credibility: BTreeMap<NodeId, u32>,
+    /// Executors caught returning a wrong result. Filtered out of every
+    /// trader query until the GRM restarts (blacklists are evidence-based
+    /// soft state, like the suspicion the straggler detector holds).
+    cert_blacklist: BTreeSet<NodeId>,
 }
 
 /// Differenced progress observations of one part on one executor.
@@ -209,6 +217,8 @@ impl GrmState {
             pending_done: Vec::new(),
             pending_evictions: Vec::new(),
             progress: BTreeMap::new(),
+            cert_credibility: BTreeMap::new(),
+            cert_blacklist: BTreeSet::new(),
         }
     }
 
@@ -440,6 +450,11 @@ impl GrmState {
                 continue;
             };
             let node = NodeId(*node_id as u32);
+            // A blacklisted executor never reaches the scheduler: one caught
+            // lie costs the node every future placement until GRM restart.
+            if self.cert_blacklist.contains(&node) {
+                continue;
+            }
             let Some(registration) = self.nodes.get(&node) else {
                 continue;
             };
@@ -553,6 +568,39 @@ impl GrmState {
         }
     }
 
+    /// A node's current credibility score (0 when never credited).
+    pub fn cert_credibility(&self, node: NodeId) -> u32 {
+        self.cert_credibility.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Credits a node for a certified agreement or a passed spot check.
+    /// Blacklisted nodes earn nothing — a caught liar cannot claw its way
+    /// back inside one GRM incarnation.
+    pub fn record_cert_agreement(&mut self, node: NodeId) {
+        if self.cert_blacklist.contains(&node) {
+            return;
+        }
+        *self.cert_credibility.entry(node).or_insert(0) += 1;
+    }
+
+    /// Punishes a digest mismatch: credibility collapses to zero and the
+    /// node is blacklisted. Returns `true` when this newly blacklisted the
+    /// node (callers log/count first offenses only).
+    pub fn record_cert_mismatch(&mut self, node: NodeId) -> bool {
+        self.cert_credibility.remove(&node);
+        self.cert_blacklist.insert(node)
+    }
+
+    /// Whether a node is currently blacklisted for a wrong result.
+    pub fn is_blacklisted(&self, node: NodeId) -> bool {
+        self.cert_blacklist.contains(&node)
+    }
+
+    /// Number of currently blacklisted executors.
+    pub fn blacklisted_count(&self) -> usize {
+        self.cert_blacklist.len()
+    }
+
     /// The GRM's current incarnation number.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -572,6 +620,10 @@ impl GrmState {
         self.pending_done.clear();
         self.pending_evictions.clear();
         self.progress.clear();
+        // Credibility and blacklists are judgments built from protocol
+        // evidence the crash just destroyed; they restart from scratch.
+        self.cert_credibility.clear();
+        self.cert_blacklist.clear();
         let nodes: Vec<NodeId> = self.nodes.keys().copied().collect();
         for node in nodes {
             self.mark_unavailable(node);
@@ -874,6 +926,7 @@ mod tests {
             job: JobId(1),
             part: 0,
             node: NodeId(1),
+            digest: 0,
         }
         .to_cdr_bytes();
         servant
@@ -1065,6 +1118,7 @@ mod tests {
                 job: JobId(7),
                 part: 1,
                 node: NodeId(1),
+                digest: 0,
             }],
             pending_evicted: vec![],
             progress: vec![],

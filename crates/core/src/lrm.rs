@@ -11,15 +11,16 @@
 
 use crate::ncc::SharingPolicy;
 use crate::protocol::{
-    FetchCheckpoint, FetchCheckpointReply, LaunchReply, LaunchRequest, PartDone, PartEvicted,
-    ProgressReport, PurgeCheckpoint, ReplicaReport, ReserveReply, ReserveRequest, StoreCheckpoint,
-    StoreCheckpointReply, OP_CANCEL, OP_FETCH_CKPT, OP_LAUNCH, OP_PURGE_CKPT, OP_RESERVE,
-    OP_STORE_CKPT,
+    canonical_result_digest, FetchCheckpoint, FetchCheckpointReply, LaunchReply, LaunchRequest,
+    PartDone, PartEvicted, ProgressReport, PurgeCheckpoint, ReplicaReport, ReserveReply,
+    ReserveRequest, StoreCheckpoint, StoreCheckpointReply, OP_CANCEL, OP_FETCH_CKPT, OP_LAUNCH,
+    OP_PURGE_CKPT, OP_RESERVE, OP_STORE_CKPT,
 };
 use crate::repo::{ReplicaStore, StoreOutcome, StoredCheckpoint};
 use crate::types::{JobId, NodeId, NodeRoles, NodeStatus, Platform, ResourceVector};
 use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrReader};
 use integrade_orb::servant::{Servant, ServerException};
+use integrade_simnet::faults::scheduled_draw;
 use integrade_simnet::time::{SimDuration, SimTime};
 use integrade_usage::sample::{SampleWindow, SamplingConfig, UsageSample, Weekday};
 use serde::{Deserialize, Serialize};
@@ -190,6 +191,13 @@ pub struct LrmState {
     /// during which the node's effective MIPS is multiplied by `factor`.
     /// Injected hardware condition, not software state — survives a crash.
     derates: Vec<(SimTime, SimTime, f64)>,
+    /// Byzantine sabotage schedule: `(start, end, probability, wrong_key)`
+    /// windows during which a finished part's digest is wrong with the
+    /// given probability. Like [`Self::derates`], an injected condition
+    /// (the bad DIMM doesn't heal on reboot) — survives a crash.
+    sabotage: Vec<(SimTime, SimTime, f64, u64)>,
+    /// Salt for the pure sabotage decision hash (the grid's master seed).
+    sabotage_salt: u64,
     /// Total grid work executed on this node, MIPS-s.
     pub grid_work_done: f64,
 }
@@ -228,6 +236,8 @@ impl LrmState {
             repo: ReplicaStore::new(),
             corrupt_detected: 0,
             derates: Vec::new(),
+            sabotage: Vec::new(),
+            sabotage_salt: 0,
             grid_work_done: 0.0,
         }
     }
@@ -682,6 +692,44 @@ impl LrmState {
     /// the fault plan; see [`Self::derate_factor_at`]).
     pub fn set_derate_schedule(&mut self, schedule: Vec<(SimTime, SimTime, f64)>) {
         self.derates = schedule;
+    }
+
+    /// Installs the node's Byzantine sabotage schedule (injected by the
+    /// fault plan): `(start, end, probability, wrong_key)` windows. `salt`
+    /// seeds the pure per-part decision hash; `wrong_key` is XORed onto the
+    /// canonical digest when the node lies, so colluders sharing a key
+    /// produce *matching* wrong answers.
+    pub fn set_sabotage_schedule(
+        &mut self,
+        salt: u64,
+        schedule: Vec<(SimTime, SimTime, f64, u64)>,
+    ) {
+        self.sabotage_salt = salt;
+        self.sabotage = schedule;
+    }
+
+    /// The digest this node reports for `(job, part)` finishing at `now`.
+    ///
+    /// Honest unless a sabotage window covers `now` *and* the pure decision
+    /// hash of `(salt, job, part, node)` falls under the window's
+    /// probability. The decision is a stateless hash, not an RNG draw, so
+    /// it is identical under every tick engine — sabotage replays
+    /// bit-for-bit.
+    pub fn result_digest(&self, now: SimTime, job: JobId, part: u32) -> u64 {
+        let canonical = canonical_result_digest(job, part);
+        for &(start, end, probability, wrong_key) in &self.sabotage {
+            if now >= start
+                && now < end
+                && scheduled_draw(
+                    self.sabotage_salt,
+                    [job.0, u64::from(part), u64::from(self.node.0)],
+                ) < probability
+            {
+                // Never zero: zero is the "no digest" sentinel on PartDone.
+                return (canonical ^ wrong_key).max(1);
+            }
+        }
+        canonical
     }
 
     /// The effective-MIPS multiplier at `now`: the product of every derate
@@ -1187,6 +1235,7 @@ mod tests {
             job: JobId(1),
             part: 0,
             node: NodeId(1),
+            digest: canonical_result_digest(JobId(1), 0),
         });
         let (done, evicted) = lrm.piggyback_for(5);
         assert_eq!(done.len(), 1);

@@ -78,6 +78,27 @@ pub struct GridObs {
     pub spec_cancelled: Counter,
     /// Work executed by speculation losers and then discarded, MIPS-s.
     pub spec_wasted_mips_s: Counter,
+    /// Result-digest votes recorded by the certification engine.
+    pub cert_votes: Counter,
+    /// Parts whose result digest was certified (quorum, trusted executor,
+    /// or passed spot check).
+    pub cert_certified: Counter,
+    /// Certification re-executions launched (votes beyond each part's
+    /// first execution).
+    pub cert_reexecutions: Counter,
+    /// Digest mismatches detected (losing voters and failed spot checks).
+    pub cert_mismatches: Counter,
+    /// Known-answer spot-check probes evaluated.
+    pub cert_spot_checks: Counter,
+    /// Executors newly blacklisted for a wrong result.
+    pub cert_blacklisted: Counter,
+    /// Work executed by certification re-runs, MIPS-s (redundancy paid for
+    /// integrity).
+    pub cert_redundant_mips_s: Counter,
+    /// Parts delivered with a digest that differs from the canonical result
+    /// — the omniscient ground-truth error counter (counts in every mode,
+    /// certification on or off).
+    pub cert_wrong_delivered: Counter,
 
     // --- live histograms ------------------------------------------------
     /// Reserve/launch round-trip latency, in sim seconds.
@@ -149,6 +170,14 @@ impl GridObs {
             spec_won: registry.counter("grid_spec_won"),
             spec_cancelled: registry.counter("grid_spec_cancelled"),
             spec_wasted_mips_s: registry.counter("grid_spec_wasted_mips_s"),
+            cert_votes: registry.counter("grid_cert_votes"),
+            cert_certified: registry.counter("grid_cert_certified"),
+            cert_reexecutions: registry.counter("grid_cert_reexecutions"),
+            cert_mismatches: registry.counter("grid_cert_mismatches"),
+            cert_spot_checks: registry.counter("grid_cert_spot_checks"),
+            cert_blacklisted: registry.counter("grid_cert_blacklisted"),
+            cert_redundant_mips_s: registry.counter("grid_cert_redundant_mips_s"),
+            cert_wrong_delivered: registry.counter("grid_cert_wrong_delivered"),
             negotiation_latency_s: registry
                 .histogram("grid_negotiation_latency_seconds", RTT_BOUNDS_S),
             store_rtt_s: registry.histogram("grid_checkpoint_store_rtt_seconds", RTT_BOUNDS_S),

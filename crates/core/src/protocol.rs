@@ -469,6 +469,29 @@ pub struct PartDone {
     pub part: u32,
     /// Node that ran it.
     pub node: NodeId,
+    /// Digest of the result the node computed. An honest executor reports
+    /// [`canonical_result_digest`]`(job, part)`; a wrong result shows up as
+    /// any other value, which is what the GRM's certification engine votes
+    /// on. Zero is reserved for "no digest" (pre-certification senders).
+    pub digest: u64,
+}
+
+/// The digest an honest executor reports for a finished part.
+///
+/// In the simulation the "result" of a part is fully determined by its
+/// identity, so the canonical digest is a pure hash of `(job, part)`. Both
+/// sides use it: the LRM to stamp [`PartDone`], the GRM to verify
+/// spot-check probes against the known answer.
+pub fn canonical_result_digest(job: JobId, part: u32) -> u64 {
+    // splitmix64 finalizer over the packed identity; never zero (zero is
+    // the "no digest" sentinel).
+    let mut h = (job.0.rotate_left(32) ^ u64::from(part)) ^ 0x52455355_4C543244; // "RESULT2D"
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h.max(1)
 }
 
 impl CdrEncode for PartDone {
@@ -476,6 +499,7 @@ impl CdrEncode for PartDone {
         self.job.encode(w);
         self.part.encode(w);
         self.node.encode(w);
+        self.digest.encode(w);
     }
 }
 impl CdrDecode for PartDone {
@@ -484,6 +508,7 @@ impl CdrDecode for PartDone {
             job: JobId::decode(r)?,
             part: u32::decode(r)?,
             node: NodeId::decode(r)?,
+            digest: u64::decode(r)?,
         })
     }
 }
@@ -763,6 +788,7 @@ mod tests {
                 job: JobId(5),
                 part: 0,
                 node: NodeId(4),
+                digest: canonical_result_digest(JobId(5), 0),
             }],
             pending_evicted: vec![PartEvicted {
                 job: JobId(6),
@@ -853,6 +879,7 @@ mod tests {
             job: JobId(2),
             part: 3,
             node: NodeId(4),
+            digest: canonical_result_digest(JobId(2), 3),
         };
         assert_eq!(PartDone::from_cdr_bytes(&pd.to_cdr_bytes()).unwrap(), pd);
 

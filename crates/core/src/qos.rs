@@ -139,9 +139,58 @@ impl QosLedger {
     }
 }
 
+/// Donated cycles the grid burned without delivering them to any job,
+/// MIPS-s, split by cause. Speculation losers (a twin or an overtaken
+/// primary whose progress is discarded) and certification re-executions
+/// (extra votes bought for result integrity) are the two ways the grid
+/// deliberately spends redundant work; one ledger makes their costs
+/// directly comparable, so experiments report a single overhead number
+/// instead of two ad-hoc counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverheadLedger {
+    /// Work executed by speculation losers and then discarded.
+    pub spec_wasted_mips_s: f64,
+    /// Work executed by certification re-runs beyond each part's first
+    /// execution (quorum votes, spot-check retries, mismatch re-runs).
+    pub cert_redundant_mips_s: f64,
+}
+
+impl OverheadLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total redundant work across every cause, MIPS-s.
+    pub fn total_mips_s(&self) -> f64 {
+        self.spec_wasted_mips_s + self.cert_redundant_mips_s
+    }
+
+    /// Folds another ledger into this one.
+    pub fn merge(&mut self, other: &OverheadLedger) {
+        self.spec_wasted_mips_s += other.spec_wasted_mips_s;
+        self.cert_redundant_mips_s += other.cert_redundant_mips_s;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn overhead_ledger_totals_and_merges() {
+        let mut a = OverheadLedger::new();
+        a.spec_wasted_mips_s = 100.0;
+        a.cert_redundant_mips_s = 40.0;
+        assert_eq!(a.total_mips_s(), 140.0);
+        let mut b = OverheadLedger::new();
+        b.cert_redundant_mips_s = 10.0;
+        b.merge(&a);
+        assert_eq!(b.spec_wasted_mips_s, 100.0);
+        assert_eq!(b.cert_redundant_mips_s, 50.0);
+        assert_eq!(b.total_mips_s(), 150.0);
+        assert_eq!(OverheadLedger::new().total_mips_s(), 0.0);
+    }
 
     #[test]
     fn yielding_never_slows_the_owner() {

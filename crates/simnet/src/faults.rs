@@ -29,9 +29,18 @@
 //!   limping never perturbs the fault stream.
 //! * [`HostFlap`] — a host bounces down/up repeatedly. Expanded into the
 //!   equivalent [`HostOutage`] sequence at plan-build time.
+//! * [`Saboteur`] — a host computes *wrong results* with probability `p`
+//!   inside a window (a flaky DIMM, a malicious volunteer), optionally as a
+//!   member of a colluding group whose wrong answers all agree. Enforced by
+//!   the embedding world via [`FaultPlan::saboteurs_for`]; each per-part
+//!   decision is a pure hash ([`scheduled_draw`]), never an RNG-stream
+//!   draw.
 //!
 //! All degradation faults are plain scheduled data — no random draws — so a
-//! plan that adds them replays bit-for-bit under any tick engine.
+//! plan that adds them replays bit-for-bit under any tick engine. Sabotage
+//! decisions keep that property despite being probabilistic: the "draw" is
+//! a stateless hash of the decision's identity, so it is identical no
+//! matter which tick engine asks, in what order, or how many times.
 
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
@@ -174,6 +183,64 @@ impl HostFlap {
     }
 }
 
+/// A Byzantine executor: during `[start, end)` the host returns *wrong*
+/// results with probability `probability` per finished part. The host stays
+/// alive, reports progress honestly and answers every message — only the
+/// result digest it computes is corrupted, which is exactly what a crash
+/// detector and a progress tracker cannot see.
+///
+/// When `collusion` is `Some(group)`, every saboteur in the same group
+/// produces the *same* wrong digest for the same part, so two colluders
+/// voting on one part agree with each other and defeat a naive 2-vote
+/// quorum. Loners (`collusion: None`) each produce their own node-specific
+/// wrong digest.
+///
+/// Enforced by the embedding world via [`FaultPlan::saboteurs_for`]; the
+/// per-part wrong/honest decision must be made with [`scheduled_draw`] so
+/// it replays bit-for-bit under any tick engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Saboteur {
+    /// The lying host.
+    pub host: HostId,
+    /// Sabotage onset.
+    pub start: SimTime,
+    /// Recovery instant (exclusive).
+    pub end: SimTime,
+    /// Per-part probability of returning a wrong result, in `(0, 1]`.
+    pub probability: f64,
+    /// Colluding-group id: members produce matching wrong digests.
+    pub collusion: Option<u32>,
+}
+
+impl Saboteur {
+    /// True when the sabotage window covers `now`.
+    pub fn covers(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.end
+    }
+}
+
+/// A deterministic unit-interval "draw" for scheduled-data faults: a pure
+/// splitmix64-style hash of `(salt, keys)` mapped to `[0, 1)`. Unlike a
+/// [`DetRng`] stream there is no cursor to advance, so the result depends
+/// only on the decision's identity — any tick engine, asking in any order,
+/// any number of times, sees the same value. This is what lets probabilistic
+/// sabotage stay bit-for-bit reproducible across
+/// ActiveSet/Reference/Sharded engines.
+pub fn scheduled_draw(salt: u64, keys: [u64; 3]) -> f64 {
+    let mut h = salt ^ 0x9E37_79B9_7F4A_7C15;
+    for k in keys {
+        h ^= k.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = h.rotate_left(27).wrapping_mul(0x94D0_49BB_1331_11EB);
+    }
+    // splitmix64 finalizer.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// A rejected [`FaultPlan`] parameter. Mirrors the style of the grid's
 /// `ConfigError`: the `try_with_*` builders return it, the panicking
 /// `with_*` builders unwrap it with the same message.
@@ -199,6 +266,12 @@ pub enum FaultError {
     },
     /// A flap was configured with zero cycles or a zero-length down phase.
     DegenerateFlap,
+    /// A sabotage probability was NaN or outside `(0, 1]` (a rate of zero
+    /// is an honest host, not a saboteur).
+    BadSabotageProbability {
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for FaultError {
@@ -215,6 +288,9 @@ impl std::fmt::Display for FaultError {
             }
             FaultError::DegenerateFlap => {
                 write!(f, "flap needs at least one cycle and a positive down phase")
+            }
+            FaultError::BadSabotageProbability { value } => {
+                write!(f, "sabotage probability must be in (0, 1], got {value}")
             }
         }
     }
@@ -267,6 +343,7 @@ pub struct FaultPlan {
     outages: Vec<HostOutage>,
     derates: Vec<DerateWindow>,
     limps: Vec<LinkLimp>,
+    saboteurs: Vec<Saboteur>,
     rng: DetRng,
 }
 
@@ -281,6 +358,7 @@ impl FaultPlan {
             outages: Vec::new(),
             derates: Vec::new(),
             limps: Vec::new(),
+            saboteurs: Vec::new(),
             rng: DetRng::with_stream(seed, FAULT_STREAM),
         }
     }
@@ -484,6 +562,41 @@ impl FaultPlan {
         }
     }
 
+    /// Adds a Byzantine saboteur window.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::EmptyWindow`] when `end <= start`;
+    /// [`FaultError::BadSabotageProbability`] when the probability is NaN
+    /// or outside `(0, 1]` (a saboteur that never lies is an honest host —
+    /// leave it out of the plan).
+    pub fn try_with_saboteur(mut self, saboteur: Saboteur) -> Result<Self, FaultError> {
+        if saboteur.end <= saboteur.start {
+            return Err(FaultError::EmptyWindow { what: "saboteur" });
+        }
+        if !(saboteur.probability > 0.0 && saboteur.probability <= 1.0) {
+            return Err(FaultError::BadSabotageProbability {
+                value: saboteur.probability,
+            });
+        }
+        self.saboteurs.push(saboteur);
+        Ok(self)
+    }
+
+    /// Adds a Byzantine saboteur window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window or a probability outside `(0, 1]`; use
+    /// [`FaultPlan::try_with_saboteur`] to handle the error.
+    #[must_use]
+    pub fn with_saboteur(self, saboteur: Saboteur) -> Self {
+        match self.try_with_saboteur(saboteur) {
+            Ok(plan) => plan,
+            Err(e) => panic!("invalid fault plan: {e}"),
+        }
+    }
+
     /// True if the plan can affect traffic at all.
     pub fn is_active(&self) -> bool {
         self.drop_probability > 0.0
@@ -512,6 +625,21 @@ impl FaultPlan {
             .iter()
             .filter(|d| d.host == host)
             .map(|d| (d.start, d.end, d.factor))
+            .collect()
+    }
+
+    /// All Byzantine saboteur windows.
+    pub fn saboteurs(&self) -> &[Saboteur] {
+        &self.saboteurs
+    }
+
+    /// The saboteur windows afflicting one host — the per-node sabotage
+    /// schedule the embedding world hands to that node's executor.
+    pub fn saboteurs_for(&self, host: HostId) -> Vec<Saboteur> {
+        self.saboteurs
+            .iter()
+            .filter(|s| s.host == host)
+            .copied()
             .collect()
     }
 
@@ -863,6 +991,113 @@ mod tests {
             let dropped1 = d1 == FaultDecision::Drop;
             let dropped2 = d2 == FaultDecision::Drop;
             assert_eq!(dropped1, dropped2, "tick {i}");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_saboteurs() {
+        let (a, _) = two_hosts();
+        let saboteur = |start_s, end_s, probability| Saboteur {
+            host: a,
+            start: SimTime::from_secs(start_s),
+            end: SimTime::from_secs(end_s),
+            probability,
+            collusion: None,
+        };
+        let err = FaultPlan::quiet()
+            .try_with_saboteur(saboteur(10, 10, 0.5))
+            .unwrap_err();
+        assert!(matches!(err, FaultError::EmptyWindow { what: "saboteur" }));
+        let err = FaultPlan::quiet()
+            .try_with_saboteur(saboteur(0, 60, 0.0))
+            .unwrap_err();
+        assert!(matches!(err, FaultError::BadSabotageProbability { .. }));
+        assert!(FaultPlan::quiet()
+            .try_with_saboteur(saboteur(0, 60, f64::NAN))
+            .is_err());
+        assert!(FaultPlan::quiet()
+            .try_with_saboteur(saboteur(0, 60, 1.5))
+            .is_err());
+        assert!(FaultPlan::quiet()
+            .try_with_saboteur(saboteur(0, 60, 1.0))
+            .is_ok());
+        let msg = FaultPlan::quiet()
+            .try_with_saboteur(saboteur(0, 60, -0.3))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("sabotage"), "message {msg}");
+    }
+
+    #[test]
+    fn saboteur_windows_report_per_host_without_touching_traffic() {
+        let (a, b) = two_hosts();
+        let plan = FaultPlan::quiet()
+            .with_saboteur(Saboteur {
+                host: a,
+                start: SimTime::from_secs(100),
+                end: SimTime::from_secs(200),
+                probability: 0.4,
+                collusion: Some(1),
+            })
+            .with_saboteur(Saboteur {
+                host: b,
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(50),
+                probability: 1.0,
+                collusion: None,
+            });
+        let schedule = plan.saboteurs_for(a);
+        assert_eq!(schedule.len(), 1);
+        assert_eq!(schedule[0].probability, 0.4);
+        assert_eq!(schedule[0].collusion, Some(1));
+        assert!(!schedule[0].covers(SimTime::from_secs(99)));
+        assert!(schedule[0].covers(SimTime::from_secs(100)));
+        assert!(schedule[0].covers(SimTime::from_secs(199)));
+        assert!(!schedule[0].covers(SimTime::from_secs(200)));
+        assert_eq!(plan.saboteurs().len(), 2);
+        // Saboteurs alone never touch the message path.
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn scheduled_draw_is_pure_and_roughly_uniform() {
+        // Same identity, same value — no cursor, no order dependence.
+        assert_eq!(scheduled_draw(42, [1, 2, 3]), scheduled_draw(42, [1, 2, 3]));
+        // Different identity, different value.
+        assert_ne!(scheduled_draw(42, [1, 2, 3]), scheduled_draw(42, [1, 2, 4]));
+        assert_ne!(scheduled_draw(42, [1, 2, 3]), scheduled_draw(43, [1, 2, 3]));
+        // Roughly uniform on [0, 1): a 30% threshold hits ~30% of keys.
+        let hits = (0..10_000u64)
+            .filter(|&i| scheduled_draw(7, [i, i / 3, i % 5]) < 0.3)
+            .count();
+        assert!((2_600..=3_400).contains(&hits), "hits {hits}");
+        for i in 0..1_000u64 {
+            let v = scheduled_draw(9, [i, 0, 0]);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn saboteurs_never_shift_the_rng_stream() {
+        let (a, b) = two_hosts();
+        let saboteur = Saboteur {
+            host: a,
+            start: SimTime::from_secs(0),
+            end: SimTime::from_secs(3_600),
+            probability: 0.5,
+            collusion: None,
+        };
+        let mut with_sab = FaultPlan::new(77)
+            .with_drop_probability(0.3)
+            .with_saboteur(saboteur);
+        let mut without = FaultPlan::new(77).with_drop_probability(0.3);
+        for i in 0..1_000 {
+            let t = SimTime::from_secs(i % 30);
+            assert_eq!(
+                with_sab.decide(t, a, b),
+                without.decide(t, a, b),
+                "tick {i}"
+            );
         }
     }
 

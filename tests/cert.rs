@@ -1,0 +1,283 @@
+//! Byzantine result certification: a sabotaged node keeps every protocol
+//! promise — it answers on time, computes at full speed, checkpoints
+//! dutifully — and then reports a wrong result. No crash detector, gray-
+//! failure detector or digest check on the wire can see it: the lie *is*
+//! the payload. These tests pin the certification engine end to end:
+//! majority-digest voting over replicated executions, seeded known-answer
+//! spot checks, Sarmenta-style per-node credibility with blacklisting,
+//! and the omniscient ground-truth counter that measures what each policy
+//! actually delivered.
+
+use integrade::core::asct::{JobSpec, JobState};
+use integrade::core::grid::{Grid, GridBuilder, GridConfig, NodeSetup};
+use integrade::core::types::NodeId;
+use integrade::simnet::faults::{FaultPlan, Saboteur};
+use integrade::simnet::time::SimTime;
+
+struct CertKnobs {
+    certification: bool,
+    replication: u32,
+    adaptive: bool,
+    spot_rate: f64,
+    trust: u32,
+}
+
+impl CertKnobs {
+    fn off() -> Self {
+        CertKnobs {
+            certification: false,
+            replication: 2,
+            adaptive: false,
+            spot_rate: 0.0,
+            trust: 10,
+        }
+    }
+
+    fn fixed(r: u32) -> Self {
+        CertKnobs {
+            certification: true,
+            replication: r,
+            ..CertKnobs::off()
+        }
+    }
+
+    fn adaptive(trust: u32, spot_rate: f64) -> Self {
+        CertKnobs {
+            certification: true,
+            adaptive: true,
+            spot_rate,
+            trust,
+            ..CertKnobs::off()
+        }
+    }
+}
+
+fn cert_grid(nodes: usize, seed: u64, knobs: &CertKnobs) -> Grid {
+    let config = GridConfig::builder()
+        .seed(seed)
+        .gupa_warmup_days(0)
+        .sequential_checkpoint_mips_s(30_000.0)
+        .certification(knobs.certification)
+        .cert_replication(knobs.replication)
+        .cert_adaptive(knobs.adaptive)
+        .cert_spot_check_rate(knobs.spot_rate)
+        .cert_trust_threshold(knobs.trust)
+        .build();
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster((0..nodes).map(|_| NodeSetup::idle_desktop()).collect());
+    builder.build()
+}
+
+/// Turns the first `count` nodes into always-on saboteurs with the given
+/// lie probability. `collusion` groups them so their wrong digests match.
+fn sabotage_first(grid: &mut Grid, seed: u64, count: usize, p: f64, collusion: Option<u32>) {
+    let mut plan = FaultPlan::new(seed);
+    for n in 0..count {
+        plan = plan.with_saboteur(Saboteur {
+            host: grid.host_of(NodeId(n as u32)),
+            start: SimTime::from_secs(0),
+            end: SimTime::from_secs(48 * 3600),
+            probability: p,
+            collusion,
+        });
+    }
+    grid.set_fault_plan(plan);
+}
+
+fn wrong_delivered(grid: &Grid) -> u64 {
+    grid.metrics_snapshot()
+        .counter("grid_cert_wrong_delivered")
+        .unwrap_or(0)
+}
+
+#[test]
+fn without_certification_sabotage_delivers_wrong_results() {
+    let mut grid = cert_grid(6, 42, &CertKnobs::off());
+    sabotage_first(&mut grid, 42, 1, 1.0, None);
+    let job = grid.submit(JobSpec::bag_of_tasks("cert-off", 6, 90_000));
+    grid.run_until(SimTime::from_secs(12 * 3600));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    assert!(
+        wrong_delivered(&grid) >= 1,
+        "an unchecked always-lying node must poison at least one part"
+    );
+    // No certification means no redundancy was bought.
+    assert_eq!(grid.report().overhead.cert_redundant_mips_s, 0.0);
+}
+
+#[test]
+fn voting_quorum_catches_a_loner_saboteur() {
+    let mut grid = cert_grid(6, 42, &CertKnobs::fixed(2));
+    sabotage_first(&mut grid, 42, 1, 1.0, None);
+    let job = grid.submit(JobSpec::bag_of_tasks("cert-r2", 6, 90_000));
+    grid.run_until(SimTime::from_secs(24 * 3600));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    assert_eq!(
+        wrong_delivered(&grid),
+        0,
+        "a loner cannot outvote independent re-executions"
+    );
+    assert!(
+        grid.log().count("cert.reexecute") >= 1,
+        "the quorum must have forced at least one re-execution"
+    );
+    let snap = grid.metrics_snapshot();
+    assert_eq!(
+        snap.counter("grid_cert_blacklisted"),
+        Some(1),
+        "the saboteur's first certified lie must blacklist it"
+    );
+    let report = grid.report();
+    assert!(
+        report.overhead.cert_redundant_mips_s > 0.0,
+        "integrity is not free: redundant votes must be on the ledger"
+    );
+    assert_eq!(
+        report.overhead.total_mips_s(),
+        report.overhead.spec_wasted_mips_s + report.overhead.cert_redundant_mips_s
+    );
+}
+
+/// The attack the replication degree is really about: two colluders whose
+/// wrong digests *match* can hand a naive 2-vote quorum a certified lie.
+#[test]
+fn colluders_defeat_a_naive_two_vote_quorum() {
+    let mut grid = cert_grid(3, 42, &CertKnobs::fixed(2));
+    sabotage_first(&mut grid, 42, 2, 1.0, Some(7));
+    let job = grid.submit(JobSpec::sequential("cert-collude", 120_000));
+    grid.run_until(SimTime::from_secs(24 * 3600));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    assert!(
+        wrong_delivered(&grid) >= 1,
+        "two matching lies out of three voters satisfy r=2 — the quorum \
+         certifies the collusion"
+    );
+}
+
+#[test]
+fn three_votes_defeat_the_colluding_pair() {
+    let mut grid = cert_grid(6, 42, &CertKnobs::fixed(3));
+    sabotage_first(&mut grid, 42, 2, 1.0, Some(7));
+    let job = grid.submit(JobSpec::bag_of_tasks("cert-r3", 6, 90_000));
+    grid.run_until(SimTime::from_secs(24 * 3600));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    assert_eq!(
+        wrong_delivered(&grid),
+        0,
+        "a colluding pair can never reach three matching votes"
+    );
+    assert_eq!(
+        grid.metrics_snapshot().counter("grid_cert_blacklisted"),
+        Some(2),
+        "both colluders must be blacklisted on their first certified part"
+    );
+}
+
+#[test]
+fn spot_checks_fire_and_never_certify_a_lie() {
+    let mut grid = cert_grid(6, 42, &CertKnobs::adaptive(10, 0.5));
+    sabotage_first(&mut grid, 42, 1, 1.0, None);
+    let job = grid.submit(JobSpec::bag_of_tasks("cert-probe", 8, 60_000));
+    grid.run_until(SimTime::from_secs(24 * 3600));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    assert_eq!(wrong_delivered(&grid), 0);
+    let snap = grid.metrics_snapshot();
+    assert!(
+        snap.counter("grid_cert_spot_checks").unwrap_or(0) >= 1,
+        "a 50% probe rate over eight parts must designate at least one"
+    );
+}
+
+/// Credibility-adaptive replication on an honest population: once nodes
+/// have earned trust, their single vote certifies — the redundancy bill
+/// must come in strictly below the fixed r=2 policy's, with zero wrong
+/// results either way.
+#[test]
+fn adaptive_trust_cuts_redundancy_on_honest_nodes() {
+    let run = |knobs: &CertKnobs| {
+        let mut grid = cert_grid(6, 42, knobs);
+        let job = grid.submit(JobSpec::bag_of_tasks("cert-adaptive", 24, 40_000));
+        grid.run_until(SimTime::from_secs(24 * 3600));
+        assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+        assert_eq!(wrong_delivered(&grid), 0);
+        grid.report().overhead.cert_redundant_mips_s
+    };
+    let fixed = run(&CertKnobs::fixed(2));
+    let adaptive = run(&CertKnobs::adaptive(3, 0.15));
+    assert!(
+        adaptive < fixed,
+        "trusted single votes must undercut blanket r=2 \
+         (adaptive {adaptive} MIPS-s vs fixed {fixed} MIPS-s)"
+    );
+    assert!(
+        adaptive > 0.0,
+        "unknown nodes must still have paid the quorum while earning trust"
+    );
+}
+
+/// Satellite: a node declared dead while its vote is pending loses that
+/// vote — a claim whose claimant no longer exists is not evidence. With
+/// the first voter crashed, the single remaining ballot is one short of
+/// the quorum, so certification must take two *fresh* re-executions (the
+/// discarded vote is visibly not counted).
+#[test]
+fn dead_nodes_pending_votes_are_discarded() {
+    let mut grid = cert_grid(3, 42, &CertKnobs::fixed(2));
+    let job = grid.submit(JobSpec::sequential("cert-dead-voter", 120_000));
+    // Step until the first vote has been recorded (the part re-enters the
+    // scheduler waiting for its second ballot).
+    let mut step = 0u64;
+    while grid.log().count("cert.reexecute") == 0 {
+        step += 1;
+        assert!(step <= 96, "no vote recorded within 16 h");
+        grid.run_until(SimTime::from_secs(step * 600));
+    }
+    let detail = &grid.log().first("cert.reexecute").unwrap().detail;
+    let voter: u32 = detail
+        .rsplit("node")
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("unparseable reexecute detail: {detail}"));
+    grid.crash_node(NodeId(voter));
+    grid.run_until(SimTime::from_secs(36 * 3600));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    assert_eq!(wrong_delivered(&grid), 0);
+    assert!(
+        grid.log().count("grm.node_dead") >= 1,
+        "the crashed voter must be declared dead"
+    );
+    assert!(
+        grid.log().count("cert.reexecute") >= 2,
+        "with the first ballot discarded, a single fresh vote is still one \
+         short of the quorum"
+    );
+    assert!(
+        grid.metrics_snapshot()
+            .counter("grid_cert_votes")
+            .unwrap_or(0)
+            >= 3,
+        "both surviving nodes must vote after the discard"
+    );
+}
+
+/// A probabilistic (p = 0.4) saboteur under the adaptive policy: spot
+/// checks and quorums must still deliver zero wrong results, and the
+/// node's first caught lie must collapse whatever credibility its honest
+/// answers had earned.
+#[test]
+fn intermittent_saboteur_cannot_bank_credibility_past_a_lie() {
+    let mut grid = cert_grid(6, 42, &CertKnobs::adaptive(4, 0.2));
+    sabotage_first(&mut grid, 42, 1, 0.4, None);
+    let job = grid.submit(JobSpec::bag_of_tasks("cert-intermittent", 16, 40_000));
+    grid.run_until(SimTime::from_secs(24 * 3600));
+    assert_eq!(grid.job_record(job).unwrap().state, JobState::Completed);
+    assert_eq!(wrong_delivered(&grid), 0);
+    let snap = grid.metrics_snapshot();
+    if snap.counter("grid_cert_mismatches").unwrap_or(0) >= 1 {
+        assert_eq!(
+            snap.counter("grid_cert_blacklisted"),
+            Some(1),
+            "the first caught mismatch must blacklist the saboteur"
+        );
+    }
+}

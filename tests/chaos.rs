@@ -314,6 +314,68 @@ fn identical_seeds_replay_identical_chaos() {
     assert_eq!(run(seed), run(seed), "chaos must replay bit-for-bit");
 }
 
+/// The full threat model in one run: crash faults (mid-run GRM death and
+/// restart), gray faults (a sustained CPU derate plus message drops) and
+/// Byzantine faults (two always-on saboteurs, one of them also derated)
+/// stacked together, with certification voting armed. Liveness must hold
+/// — every job completes — and so must safety: the omniscient counter
+/// must record **zero** wrong results delivered, across the seed matrix.
+#[test]
+fn saboteurs_derates_and_grm_crash_deliver_zero_wrong_results() {
+    use integrade::simnet::faults::{DerateWindow, Saboteur};
+    for seed in chaos_seeds() {
+        let config = GridConfig::builder()
+            .seed(seed)
+            .gupa_warmup_days(0)
+            .sequential_checkpoint_mips_s(30_000.0)
+            .certification(true)
+            .cert_replication(2)
+            .build();
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster((0..6).map(|_| NodeSetup::idle_desktop()).collect());
+        let mut grid = builder.build();
+        let mut plan = FaultPlan::new(seed)
+            .with_drop_probability(0.05)
+            // Saboteur 0 is also derated: a slow liar exercises the
+            // certification and straggler paths against the same part.
+            .with_derate(DerateWindow {
+                host: grid.host_of(NodeId(0)),
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(24 * 3600),
+                factor: 0.4,
+            });
+        for n in 0..2u32 {
+            plan = plan.with_saboteur(Saboteur {
+                host: grid.host_of(NodeId(n)),
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(24 * 3600),
+                probability: 0.7,
+                collusion: None,
+            });
+        }
+        grid.set_fault_plan(plan);
+        let jobs = submit_workload(&mut grid);
+        grid.run_until(SimTime::from_secs(900));
+        grid.crash_grm();
+        grid.run_until(SimTime::from_secs(1200));
+        grid.restart_grm();
+        grid.run_until(SimTime::from_secs(24 * 3600));
+        assert_all_completed(
+            &grid,
+            &jobs,
+            &format!("seed {seed}, saboteurs + derate + grm crash"),
+        );
+        assert_eq!(
+            grid.metrics_snapshot()
+                .counter("grid_cert_wrong_delivered")
+                .unwrap_or(0),
+            0,
+            "seed {seed}: a wrong result was delivered despite certification"
+        );
+        assert_eq!(grid.log().count("grm.crash"), 1, "seed {seed}");
+    }
+}
+
 /// Gray failures layered on hard ones: one host computes at 30% the whole
 /// run (a sustained derate no heartbeat can see), another flaps through
 /// three crash/reboot cycles, messages drop, and the GRM itself dies and

@@ -496,6 +496,78 @@ mod grid_determinism {
     }
 }
 
+mod certification_votes {
+    use integrade::core::grid::certification_verdict;
+    use integrade::core::types::NodeId;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The certification verdict is a pure function of the vote
+        /// *multiset*: any arrival order — retransmissions, piggyback
+        /// redelivery, shard interleaving — yields the identical outcome.
+        #[test]
+        fn verdict_is_arrival_order_independent(
+            raw in prop::collection::vec(0u64..5, 1..12),
+            needed in 1u32..5,
+            rotation in 0usize..16,
+            swaps in prop::collection::vec((0usize..12, 0usize..12), 0..8),
+        ) {
+            // Distinct voters, digests drawn from a small alphabet so
+            // pluralities and ties actually occur.
+            let votes: Vec<(NodeId, u64)> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (NodeId(i as u32), d.wrapping_mul(0x9E37) + 1))
+                .collect();
+            let baseline = certification_verdict(&votes, needed);
+            // Permute by rotation, reversal and arbitrary transpositions —
+            // together these generate the full symmetric group.
+            let mut permuted = votes.clone();
+            permuted.rotate_left(rotation % votes.len());
+            prop_assert_eq!(certification_verdict(&permuted, needed), baseline);
+            permuted.reverse();
+            prop_assert_eq!(certification_verdict(&permuted, needed), baseline);
+            for (a, b) in swaps {
+                permuted.swap(a % votes.len(), b % votes.len());
+            }
+            prop_assert_eq!(certification_verdict(&permuted, needed), baseline);
+        }
+
+        /// A colluding minority strictly below the quorum size can never
+        /// get its matching lie certified, however many honest votes have
+        /// arrived — and once the honest bloc itself reaches the quorum,
+        /// it always wins.
+        #[test]
+        fn colluding_minority_below_quorum_never_outvotes(
+            needed in 2u32..5,
+            honest in 1usize..8,
+            colluders_wanted in 1usize..5,
+        ) {
+            const HONEST: u64 = 0xC0FFEE;
+            const LIE: u64 = 0xBAD_BAD;
+            let colluders = colluders_wanted.min(needed as usize - 1);
+            let mut votes: Vec<(NodeId, u64)> = Vec::new();
+            for i in 0..honest {
+                votes.push((NodeId(i as u32), HONEST));
+            }
+            for i in 0..colluders {
+                votes.push((NodeId((honest + i) as u32), LIE));
+            }
+            let verdict = certification_verdict(&votes, needed);
+            prop_assert!(
+                verdict != Some(LIE),
+                "a below-quorum collusion was certified: {:?}",
+                votes
+            );
+            if honest >= needed as usize {
+                prop_assert_eq!(verdict, Some(HONEST));
+            } else {
+                prop_assert_eq!(verdict, None);
+            }
+        }
+    }
+}
+
 mod speculation_progress {
     use integrade::core::asct::JobSpec;
     use integrade::core::grid::{GridBuilder, GridConfig, NodeSetup};

@@ -137,6 +137,10 @@ fn assert_parity(fast: &mut Grid, reference: &mut Grid, ctx: &str) {
         "{ctx}: QoS ledgers diverged"
     );
     assert_eq!(
+        fast_report.overhead, ref_report.overhead,
+        "{ctx}: overhead ledgers diverged"
+    );
+    assert_eq!(
         fast_report.gupa_models, ref_report.gupa_models,
         "{ctx}: GUPA model counts diverged"
     );
@@ -379,6 +383,105 @@ fn gray_failure_speculation_parity_across_all_modes() {
                 &mut sharded,
                 &mut reference,
                 &format!("seed {seed}, gray plan, Sharded{{{workers}}}"),
+            );
+        }
+    }
+}
+
+/// Byzantine parity: a sabotage plan — one loner, one colluding pair —
+/// with the full certification stack armed (voting quorum, spot-check
+/// probes, credibility-adaptive trust) must replay bit-for-bit across
+/// every tick engine. Sabotage decisions and probe designations are pure
+/// hashes of part identity, never live RNG draws, so the adversarial
+/// machinery costs the parallel engine nothing in determinism.
+#[test]
+fn sabotage_and_certification_parity_across_all_modes() {
+    use integrade::simnet::faults::Saboteur;
+
+    fn build_cert(mode: TickMode, seed: u64) -> Grid {
+        let config = GridConfig::builder()
+            .seed(seed)
+            .gupa_warmup_days(0)
+            .sequential_checkpoint_mips_s(30_000.0)
+            .certification(true)
+            .cert_replication(2)
+            .cert_adaptive(true)
+            .cert_spot_check_rate(0.2)
+            .cert_trust_threshold(3)
+            .tick_mode(mode)
+            .build();
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster((0..8).map(|_| NodeSetup::idle_desktop()).collect());
+        builder.build()
+    }
+
+    fn run_cert(grid: &mut Grid, seed: u64) {
+        let mut plan = FaultPlan::new(seed).with_drop_probability(0.02);
+        for n in 0..3u32 {
+            plan = plan.with_saboteur(Saboteur {
+                host: grid.host_of(NodeId(n)),
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(24 * 3600),
+                probability: 0.5,
+                collusion: if n == 0 { None } else { Some(3) },
+            });
+        }
+        grid.set_fault_plan(plan);
+        grid.submit(JobSpec::bag_of_tasks("cert-bag", 8, 60_000));
+        grid.submit(JobSpec::sequential("cert-seq", 120_000));
+        grid.run_until(SimTime::from_secs(12 * 3600));
+    }
+
+    /// The certification counters are part of the parity contract too —
+    /// including the omniscient delivered-error count.
+    fn cert_counters(grid: &Grid) -> Vec<(String, u64)> {
+        let snap = grid.metrics_snapshot();
+        [
+            "grid_cert_votes",
+            "grid_cert_certified",
+            "grid_cert_reexecutions",
+            "grid_cert_mismatches",
+            "grid_cert_spot_checks",
+            "grid_cert_blacklisted",
+            "grid_cert_wrong_delivered",
+        ]
+        .iter()
+        .map(|n| (n.to_string(), snap.counter(n).unwrap_or(0)))
+        .collect()
+    }
+
+    for seed in chaos_seeds() {
+        let mut reference = build_cert(TickMode::Reference, seed);
+        run_cert(&mut reference, seed);
+        let ref_counters = cert_counters(&reference);
+        assert!(
+            reference.log().count("cert.certified") >= 1,
+            "seed {seed}: the scenario must actually certify something"
+        );
+        let mut active = build_cert(TickMode::ActiveSet, seed);
+        run_cert(&mut active, seed);
+        assert_eq!(
+            cert_counters(&active),
+            ref_counters,
+            "seed {seed}: cert counters diverged (ActiveSet)"
+        );
+        assert_parity(
+            &mut active,
+            &mut reference,
+            &format!("seed {seed}, sabotage plan, ActiveSet"),
+        );
+        for workers in SHARD_WIDTHS {
+            let mut sharded = build_cert(TickMode::Sharded { workers }, seed);
+            run_cert(&mut sharded, seed);
+            assert_eq!(
+                cert_counters(&sharded),
+                ref_counters,
+                "seed {seed}: cert counters diverged (Sharded{{{workers}}})"
+            );
+            assert_parity(
+                &mut sharded,
+                &mut reference,
+                &format!("seed {seed}, sabotage plan, Sharded{{{workers}}}"),
             );
         }
     }
