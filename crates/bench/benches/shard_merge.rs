@@ -1,0 +1,124 @@
+//! Micro-benchmarks for the sharded engine's frame-boundary merge path:
+//! the occupancy rebalance that cuts the id space, the GUPA partial-digest
+//! work a shard performs for its nodes (history append + retrain at the
+//! training threshold) plus the count fold, and the full frame including
+//! the effect-outbox merge, measured through a small sharded grid.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use integrade_core::grid::{occupancy_ranges, GridBuilder, GridConfig, NodeSetup};
+use integrade_core::gupa::{GupaState, MIN_TRAINING_DAYS};
+use integrade_core::types::NodeId;
+use integrade_simnet::time::SimTime;
+use integrade_usage::patterns::LupaConfig;
+use integrade_usage::sample::{DayPeriod, SamplingConfig, UsageSample, Weekday};
+use std::hint::black_box;
+
+/// One synthetic office-shaped day period.
+fn day(day_number: u64) -> DayPeriod {
+    let cfg = SamplingConfig::default();
+    DayPeriod {
+        day: day_number,
+        weekday: Weekday::from_day_number(day_number),
+        samples: (0..cfg.slots_per_day())
+            .map(|slot| {
+                let hour = slot as f64 * 24.0 / cfg.slots_per_day() as f64;
+                let v = if (9.0..18.0).contains(&hour) {
+                    0.85
+                } else {
+                    0.02
+                };
+                UsageSample::new(v, v * 0.5, 0.0, 0.0)
+            })
+            .collect(),
+    }
+}
+
+/// A GUPA whose every cell sits one day short of the training threshold —
+/// the worst case for the next digest, which must append *and* retrain.
+fn primed_gupa(nodes: usize) -> GupaState {
+    let mut gupa = GupaState::new(LupaConfig::default());
+    let history: Vec<DayPeriod> = (0..MIN_TRAINING_DAYS as u64 - 1).map(day).collect();
+    for node in 0..nodes {
+        gupa.upload(NodeId(node as u32), history.clone());
+    }
+    gupa
+}
+
+/// The shard-side half of a frame's GUPA work: digest one fresh upload per
+/// node into the cell slice (every one crosses the training threshold, so
+/// every one retrains), then fold the partial count back — exactly what
+/// one worker contributes to the frame-boundary merge.
+fn bench_gupa_partial_digest(c: &mut Criterion) {
+    let fresh = day(MIN_TRAINING_DAYS as u64);
+    let mut group = c.benchmark_group("gupa_partial_digest_merge");
+    group.sample_size(10);
+    for &nodes in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter_batched(
+                || primed_gupa(n),
+                |mut gupa| {
+                    let config = gupa.config();
+                    let mut digested = 0u64;
+                    let cells = gupa.cells_mut(n);
+                    for cell in cells.iter_mut() {
+                        if cell.digest(config, vec![fresh.clone()]) {
+                            digested += 1;
+                        }
+                    }
+                    gupa.add_uploads(digested);
+                    black_box(gupa.uploads())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The frame-boundary rebalance alone: cutting a 50k-node id space into
+/// occupancy-balanced shard ranges from a 2.5k-member active set.
+fn bench_occupancy_rebalance(c: &mut Criterion) {
+    let n = 50_000;
+    let members: Vec<usize> = (0..n).step_by(20).collect();
+    let mut group = c.benchmark_group("occupancy_rebalance_50k");
+    for &workers in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(occupancy_ranges(n, w, &members)))
+        });
+    }
+    group.finish();
+}
+
+/// The whole frame including the effect-outbox merge: a small population
+/// with traced owners advanced ten virtual minutes (two sharded frames per
+/// iteration), so spawn + walk + merge + apply all land in the measurement.
+fn bench_sharded_frame(c: &mut Criterion) {
+    fn run(workers: usize) -> u64 {
+        let config = GridConfig::builder()
+            .gupa_warmup_days(0)
+            .lupa_noise(0.05)
+            .workers(workers)
+            .build();
+        let mut builder = GridBuilder::new(config);
+        builder.add_cluster((0..500).map(|_| NodeSetup::idle_desktop()).collect());
+        let mut grid = builder.build();
+        grid.run_until(SimTime::from_secs(600));
+        grid.report().net.messages
+    }
+    let mut group = c.benchmark_group("sharded_frame_with_outbox_merge_500n");
+    group.sample_size(10);
+    for &workers in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(run(w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gupa_partial_digest,
+    bench_occupancy_rebalance,
+    bench_sharded_frame
+);
+criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! E16: sharded parallel tick engine — nodes × workers throughput sweep.
+//! E16/E19: sharded parallel tick engine — nodes × workers throughput.
 //!
-//! E14 scaled the *single-threaded* hot loop to 50k nodes; this experiment
-//! measures what `TickMode::Sharded` buys on top by spreading the per-slot
-//! node walk and the lazy catch-up replay across worker threads. Every cell
-//! is the same deterministic scenario (the parity oracle in
-//! `tests/tick_parity.rs` proves the modes observably identical), so the
-//! sweep isolates pure engine throughput:
+//! E14 scaled the *single-threaded* hot loop to 50k nodes; these
+//! experiments measure what `TickMode::Sharded` buys on top by spreading
+//! the per-slot node walk, the lazy catch-up replay and the GUPA digestion
+//! across worker threads. Every cell is the same deterministic scenario
+//! (the parity oracle in `tests/tick_parity.rs` proves the modes
+//! observably identical), so the sweeps isolate pure engine throughput:
 //!
 //! * **sim/wall ratio** — virtual seconds simulated per wall second, over
 //!   the run *plus* the report flush (the flush replays every node's
@@ -15,17 +15,27 @@
 //! * **speedup vs active-set** — per population, each sharded width against
 //!   the single-threaded `ActiveSet` baseline at identical semantics.
 //!
-//! A fraction of the population carries a real weekly owner trace so the
-//! replay has per-slot work to parallelize; the rest rides the bulk-idle
-//! fast path. The update protocol is quieted (long update period, delta
-//! suppression) so the single-threaded dispatch loop does not drown the
-//! signal.
+//! **E16** is the frame-overhead sweep: a quiet two-virtual-hour scenario
+//! with noise off, where a fraction of the population carries a real
+//! weekly owner trace and the rest rides the bulk-idle fast path. It
+//! bounds what a sharded frame may *cost*.
 //!
-//! Emits `BENCH_par.json`, including the host's core count — speedups are
-//! only meaningful relative to `host_cores`, and a single-core CI runner
-//! legitimately shows none. The committed `BENCH_par_floor.json` records a
-//! conservative 50k-node / 4-worker throughput floor calibrated on such a
-//! single-core host; CI's `e16smoke` fails if a regression drops below it.
+//! **E19** supersedes E16's measurement role and puts load-bearing work on
+//! the shards: `lupa_noise` is armed (two jitter draws per node per slot,
+//! so *every* node leaves the bulk fast path), traced nodes are spread
+//! evenly across the id space, each arrives with six warmup days of GUPA
+//! history, and the 26-virtual-hour horizon crosses one midnight — so
+//! inside the timed region every traced node uploads its seventh day and
+//! retrains its pattern model on a shard worker. This is the sweep whose
+//! artifact (`BENCH_par.json`) and speedup floor CI enforces.
+//!
+//! The JSON artifact includes the host's core count — speedups are only
+//! meaningful relative to `host_cores`, and a single-core CI runner
+//! legitimately shows none. The committed `BENCH_par_floor.json` records
+//! both a conservative 50k-node / 4-worker throughput floor calibrated on
+//! such a single-core host (the overhead gate) and the parallel speedup
+//! floor enforced on hosts with at least four cores; CI's `e16smoke`
+//! fails if either regresses.
 
 use crate::table::{f2, Table};
 use integrade_core::asct::{JobSpec, JobState};
@@ -55,6 +65,21 @@ pub const TRACED_DIVISOR: usize = 20;
 /// a discarded warmup cell per population plus best-of-N keeps the sweep
 /// comparing engines, not memory-subsystem history.
 pub const REPEATS: usize = 2;
+
+/// E19 virtual horizon: 26 hours, crossing one midnight so every traced
+/// node completes a day period, uploads it, and — having arrived with
+/// [`E19_WARMUP_DAYS`] of history — retrains its pattern model inside the
+/// timed region, on a shard worker.
+pub const E19_HORIZON_S: u64 = 26 * 3600;
+
+/// E19 measurement-jitter amplitude: every node draws twice per slot from
+/// its shard's stream, so no node rides the bulk-idle fast path.
+pub const E19_NOISE: f64 = 0.05;
+
+/// Warmup days of GUPA history each traced node starts with: one short of
+/// the seven-day training threshold, so the first in-run upload is exactly
+/// the one that triggers training.
+pub const E19_WARMUP_DAYS: usize = 6;
 
 /// One measured cell.
 #[derive(Debug, Clone)]
@@ -124,15 +149,49 @@ fn par_grid(nodes: usize, mode: TickMode) -> Grid {
     builder.build()
 }
 
-/// Runs one cell: five small sequential jobs, two virtual hours, and the
-/// full-population report flush inside the timed region.
-pub fn run_cell(nodes: usize, mode: TickMode) -> ParCell {
-    let mut grid = par_grid(nodes, mode);
+/// The E19 grid: like [`par_grid`] but with the measurement jitter armed,
+/// warmup history one day short of the training threshold, and the traced
+/// nodes spread evenly across the id space (every `TRACED_DIVISOR`-th node)
+/// — the distribution that makes occupancy balancing matter, since a
+/// contiguous traced block would hand one shard all the replay and retrain
+/// work.
+fn e19_grid(nodes: usize, mode: TickMode) -> Grid {
+    let config = GridConfig::builder()
+        .seed(SEED)
+        .gupa_warmup_days(E19_WARMUP_DAYS)
+        .lupa_noise(E19_NOISE)
+        .delta_suppression(true)
+        .update_period(SimDuration::from_secs(E19_HORIZON_S * 4))
+        .crash_silence(SimDuration::from_secs(E19_HORIZON_S * 4))
+        .tick_mode(mode)
+        .build();
+    let trace = office_trace();
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster(
+        (0..nodes)
+            .map(|i| {
+                if i % TRACED_DIVISOR == 0 {
+                    NodeSetup {
+                        trace: trace.clone(),
+                        ..NodeSetup::idle_desktop()
+                    }
+                } else {
+                    NodeSetup::idle_desktop()
+                }
+            })
+            .collect(),
+    );
+    builder.build()
+}
+
+/// The shared timed region: five small sequential jobs, `horizon_s`
+/// virtual seconds, and the full-population report flush.
+fn timed_cell(mut grid: Grid, nodes: usize, mode: TickMode, horizon_s: u64) -> ParCell {
     for i in 0..5 {
-        grid.submit(JobSpec::sequential(&format!("e16-{i}"), 60_000));
+        grid.submit(JobSpec::sequential(&format!("par-{i}"), 60_000));
     }
     let started = Instant::now();
-    let (_, events) = grid.run_until_counting(SimTime::from_secs(HORIZON_S));
+    let (_, events) = grid.run_until_counting(SimTime::from_secs(horizon_s));
     let report = grid.report();
     let wall = started.elapsed().as_secs_f64().max(1e-9);
     let completed = report
@@ -146,11 +205,21 @@ pub fn run_cell(nodes: usize, mode: TickMode) -> ParCell {
             TickMode::Sharded { workers } => Some(workers),
             _ => None,
         },
-        sim_per_wall: HORIZON_S as f64 / wall,
+        sim_per_wall: horizon_s as f64 / wall,
         wall_s: wall,
         events,
         completed,
     }
+}
+
+/// Runs one E16 cell: quiet scenario, two virtual hours, noise off.
+pub fn run_cell(nodes: usize, mode: TickMode) -> ParCell {
+    timed_cell(par_grid(nodes, mode), nodes, mode, HORIZON_S)
+}
+
+/// Runs one E19 cell: noise on, warmup history, one midnight rollover.
+pub fn run_e19_cell(nodes: usize, mode: TickMode) -> ParCell {
+    timed_cell(e19_grid(nodes, mode), nodes, mode, E19_HORIZON_S)
 }
 
 /// Best (highest sim/wall) of [`REPEATS`] timed runs of one cell.
@@ -161,7 +230,15 @@ pub fn best_cell(nodes: usize, mode: TickMode) -> ParCell {
         .expect("REPEATS >= 1")
 }
 
-/// The full sweep: per population, one discarded warmup cell, then the
+/// Best of [`REPEATS`] timed runs of one E19 cell.
+pub fn best_e19_cell(nodes: usize, mode: TickMode) -> ParCell {
+    (0..REPEATS.max(1))
+        .map(|_| run_e19_cell(nodes, mode))
+        .max_by(|a, b| a.sim_per_wall.total_cmp(&b.sim_per_wall))
+        .expect("REPEATS >= 1")
+}
+
+/// The full E16 sweep: per population, one discarded warmup cell, then the
 /// active-set baseline and every sharded width (best of [`REPEATS`] each).
 pub fn measure() -> Vec<ParCell> {
     let mut cells = Vec::new();
@@ -170,6 +247,19 @@ pub fn measure() -> Vec<ParCell> {
         cells.push(best_cell(nodes, TickMode::ActiveSet));
         for &workers in &WORKER_SWEEP {
             cells.push(best_cell(nodes, TickMode::Sharded { workers }));
+        }
+    }
+    cells
+}
+
+/// The full E19 sweep, same discipline as [`measure`] over the E19 cells.
+pub fn measure_e19() -> Vec<ParCell> {
+    let mut cells = Vec::new();
+    for &nodes in &SWEEP_NODES {
+        let _warmup = run_e19_cell(nodes, TickMode::ActiveSet);
+        cells.push(best_e19_cell(nodes, TickMode::ActiveSet));
+        for &workers in &WORKER_SWEEP {
+            cells.push(best_e19_cell(nodes, TickMode::Sharded { workers }));
         }
     }
     cells
@@ -201,11 +291,11 @@ pub fn speedup_at(cells: &[ParCell], nodes: usize, workers: usize) -> Option<f64
     Some(sharded.sim_per_wall / baseline.sim_per_wall.max(1e-9))
 }
 
-/// Renders the sweep as `BENCH_par.json`, one object per cell, stamped
-/// with the host core count.
-pub fn to_json(cells: &[ParCell]) -> String {
+/// Renders a sweep as `BENCH_par.json` content, one object per cell,
+/// stamped with the experiment id and the host core count.
+pub fn to_json(experiment: &str, cells: &[ParCell]) -> String {
     let mut out = format!(
-        "{{\n  \"experiment\": \"e16\",\n  \"host_cores\": {},\n  \"results\": [\n",
+        "{{\n  \"experiment\": \"{experiment}\",\n  \"host_cores\": {},\n  \"results\": [\n",
         host_cores()
     );
     for (i, c) in cells.iter().enumerate() {
@@ -230,13 +320,12 @@ pub fn to_json(cells: &[ParCell]) -> String {
     out
 }
 
-/// E16: the nodes × workers sweep. Side effect: writes `BENCH_par.json`.
+/// E16: the quiet frame-overhead sweep (noise off). The committed
+/// `BENCH_par.json` artifact now comes from [`e19`], which measures the
+/// engine with load-bearing per-node work; E16 remains as the overhead
+/// comparison table.
 pub fn e16() -> Table {
     let cells = measure();
-    match std::fs::write("BENCH_par.json", to_json(&cells)) {
-        Ok(()) => eprintln!("e16: wrote BENCH_par.json"),
-        Err(e) => eprintln!("e16: could not write BENCH_par.json: {e}"),
-    }
     let mut table = Table::new(
         format!(
             "E16: sharded parallel tick engine, nodes x workers \
@@ -271,12 +360,54 @@ pub fn e16() -> Table {
     table
 }
 
-/// The committed throughput floor for the 50k-node, 4-worker cell (sim
-/// seconds per wall second), read from `BENCH_par_floor.json`.
-pub(crate) fn committed_floor() -> Option<f64> {
+/// E19: the load-bearing nodes × workers sweep — jitter draws on every
+/// node, GUPA retrains inside the timed region. Side effect: writes
+/// `BENCH_par.json`.
+pub fn e19() -> Table {
+    let cells = measure_e19();
+    match std::fs::write("BENCH_par.json", to_json("e19", &cells)) {
+        Ok(()) => eprintln!("e19: wrote BENCH_par.json"),
+        Err(e) => eprintln!("e19: could not write BENCH_par.json: {e}"),
+    }
+    let mut table = Table::new(
+        format!(
+            "E19: sharded engine under load-bearing per-node work, \
+             nodes x workers (noise {E19_NOISE}, host_cores = {})",
+            host_cores()
+        ),
+        &[
+            "nodes",
+            "mode",
+            "sim_s_per_wall_s",
+            "wall_s",
+            "events",
+            "completed",
+            "speedup_vs_active_set",
+        ],
+    );
+    for c in &cells {
+        let speedup = match c.workers {
+            Some(w) => speedup_at(&cells, c.nodes, w).map(f2).unwrap_or_default(),
+            None => "1.00 (baseline)".to_owned(),
+        };
+        table.push_row(vec![
+            c.nodes.to_string(),
+            mode_label(c),
+            f2(c.sim_per_wall),
+            format!("{:.3}", c.wall_s),
+            c.events.to_string(),
+            format!("{}/5", c.completed),
+            speedup,
+        ]);
+    }
+    table
+}
+
+/// A named numeric field from `BENCH_par_floor.json`.
+fn committed_field(key_name: &str) -> Option<f64> {
     let text = std::fs::read_to_string("BENCH_par_floor.json").ok()?;
-    let key = "\"sim_per_wall_floor_50k_w4\":";
-    let at = text.find(key)? + key.len();
+    let key = format!("\"{key_name}\":");
+    let at = text.find(&key)? + key.len();
     text[at..]
         .trim_start()
         .split(|c: char| !(c.is_ascii_digit() || c == '.'))
@@ -285,27 +416,53 @@ pub(crate) fn committed_floor() -> Option<f64> {
         .ok()
 }
 
-/// E16 smoke: the 50k-node, 4-worker cell alone, compared against the
-/// committed floor in `BENCH_par_floor.json`. CI runs this in release mode
-/// and fails the build on a throughput regression. The floor is calibrated
-/// on a single-core runner, so it guards the engine's *overhead* (a sharded
-/// frame must never cost materially more than the walk it replaces), not a
-/// parallel speedup the host cannot physically deliver.
+/// The committed throughput floor for the 50k-node, 4-worker cell (sim
+/// seconds per wall second), read from `BENCH_par_floor.json`.
+pub(crate) fn committed_floor() -> Option<f64> {
+    committed_field("sim_per_wall_floor_50k_w4")
+}
+
+/// The committed parallel-speedup floor for the 50k-node, 4-worker E19
+/// cell over the active-set baseline, enforced only on hosts with at
+/// least four cores.
+pub(crate) fn committed_speedup_floor() -> Option<f64> {
+    committed_field("speedup_floor_50k_w4")
+}
+
+/// E16/E19 smoke — the CI gate, core-count-aware.
+///
+/// Always: the quiet (noise-off) 50k-node, 4-worker E16 cell against the
+/// committed sim/wall floor in `BENCH_par_floor.json`. That floor is
+/// calibrated on a single-core runner, so it guards the engine's
+/// *overhead* — a sharded frame must never cost materially more than the
+/// walk it replaces — not a parallel speedup the host cannot physically
+/// deliver.
+///
+/// On hosts with at least four cores it additionally runs the E19 50k-node
+/// cell (load-bearing per-node work: jitter draws everywhere, retrains in
+/// the timed region) in both active-set and 4-worker sharded mode and
+/// asserts the sharded engine actually delivers the committed parallel
+/// speedup.
 ///
 /// # Panics
 ///
-/// Panics when the measured sim/wall ratio falls below the committed floor.
+/// Panics when the measured sim/wall ratio falls below the committed
+/// overhead floor, or — on a multicore host — when the E19 speedup falls
+/// below the committed speedup floor.
 pub fn e16smoke() -> Table {
     let _warmup = run_cell(50_000, TickMode::Sharded { workers: 4 });
     let cell = best_cell(50_000, TickMode::Sharded { workers: 4 });
     let floor = committed_floor().unwrap_or(0.0);
     let mut table = Table::new(
-        "E16 smoke: 50k-node 4-worker sharded throughput vs committed floor",
-        &["nodes", "workers", "sim_s_per_wall_s", "floor", "completed"],
+        format!(
+            "E16/E19 smoke: 50k-node 4-worker gates (host_cores = {})",
+            host_cores()
+        ),
+        &["gate", "mode", "sim_s_per_wall_s", "floor", "completed"],
     );
     table.push_row(vec![
-        cell.nodes.to_string(),
-        "4".to_owned(),
+        "e16 overhead".to_owned(),
+        "sharded/4".to_owned(),
         f2(cell.sim_per_wall),
         f2(floor),
         format!("{}/5", cell.completed),
@@ -320,6 +477,37 @@ pub fn e16smoke() -> Table {
          committed floor of {floor:.1} (BENCH_par_floor.json)",
         cell.sim_per_wall
     );
+    if host_cores() >= 4 {
+        let base = best_e19_cell(50_000, TickMode::ActiveSet);
+        let sharded = best_e19_cell(50_000, TickMode::Sharded { workers: 4 });
+        let speedup = sharded.sim_per_wall / base.sim_per_wall.max(1e-9);
+        let speedup_floor = committed_speedup_floor().unwrap_or(0.0);
+        table.push_row(vec![
+            "e19 speedup".to_owned(),
+            "active-set".to_owned(),
+            f2(base.sim_per_wall),
+            "(baseline)".to_owned(),
+            format!("{}/5", base.completed),
+        ]);
+        table.push_row(vec![
+            "e19 speedup".to_owned(),
+            "sharded/4".to_owned(),
+            f2(sharded.sim_per_wall),
+            format!("{}x (got {speedup:.2}x)", f2(speedup_floor)),
+            format!("{}/5", sharded.completed),
+        ]);
+        assert!(
+            base.completed > 0 && sharded.completed > 0,
+            "e16smoke: E19 cells completed nothing — the scenario is vacuous"
+        );
+        assert!(
+            speedup >= speedup_floor,
+            "e16smoke: parallel speedup regression — sharded/4 at {speedup:.2}x \
+             the active-set baseline is below the committed floor of \
+             {speedup_floor:.2}x (BENCH_par_floor.json) on a {}-core host",
+            host_cores()
+        );
+    }
     table
 }
 
@@ -344,14 +532,31 @@ mod tests {
         }
     }
 
+    /// The E19 cell at a small population: the workload completes, and the
+    /// event stream stays mode-invariant even with the jitter streams
+    /// drawing and retrains landing inside the run.
+    #[test]
+    fn e19_cell_is_mode_invariant_and_completes() {
+        let baseline = run_e19_cell(200, TickMode::ActiveSet);
+        assert_eq!(baseline.completed, 5, "{baseline:?}");
+        for workers in [1, 4] {
+            let sharded = run_e19_cell(200, TickMode::Sharded { workers });
+            assert_eq!(sharded.completed, 5, "{sharded:?}");
+            assert_eq!(
+                sharded.events, baseline.events,
+                "event stream must be mode-invariant: {sharded:?} vs {baseline:?}"
+            );
+        }
+    }
+
     #[test]
     fn json_is_well_formed_enough() {
         let cells = vec![
             run_cell(200, TickMode::ActiveSet),
             run_cell(200, TickMode::Sharded { workers: 2 }),
         ];
-        let json = to_json(&cells);
-        assert!(json.contains("\"experiment\": \"e16\""));
+        let json = to_json("e19", &cells);
+        assert!(json.contains("\"experiment\": \"e19\""));
         assert!(json.contains("\"host_cores\":"));
         assert!(json.contains("\"mode\": \"sharded/2\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -370,6 +575,19 @@ mod tests {
             .parse()
             .unwrap();
         assert!((parsed - 987.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn committed_floor_file_has_both_gates() {
+        // The repo-root floor file must carry both the single-core
+        // overhead floor and the multicore speedup floor; tests run with
+        // the crate as cwd, so read it relative to the manifest.
+        let text = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_par_floor.json"),
+        )
+        .expect("BENCH_par_floor.json at repo root");
+        assert!(text.contains("\"sim_per_wall_floor_50k_w4\":"));
+        assert!(text.contains("\"speedup_floor_50k_w4\":"));
     }
 
     #[test]

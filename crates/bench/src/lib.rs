@@ -112,7 +112,7 @@ pub fn experiments() -> Vec<ExperimentEntry> {
         ),
         (
             "e16smoke",
-            "50k-node 4-worker throughput smoke vs committed floor",
+            "50k-node 4-worker overhead floor + E19 speedup gate on multicore hosts",
             exp_par::e16smoke,
         ),
         (
@@ -134,6 +134,11 @@ pub fn experiments() -> Vec<ExperimentEntry> {
             "e18smoke",
             "adaptive-vs-r3 redundancy savings smoke vs committed floor",
             exp_cert::e18smoke,
+        ),
+        (
+            "e19",
+            "sharded engine under load-bearing per-node work (writes BENCH_par.json)",
+            exp_par::e19,
         ),
     ]
 }

@@ -82,6 +82,10 @@ pub enum ConfigError {
     /// unknown node would be born trusted, which is exactly the attack
     /// credibility is meant to stop.
     NoCertTrustThreshold,
+    /// The LUPA measurement-jitter amplitude is NaN or outside `[0, 1)` —
+    /// at 1 a measured sample could swing across the whole usage range and
+    /// the learned patterns would be pure noise.
+    BadLupaNoise(f64),
 }
 
 impl fmt::Display for ConfigError {
@@ -141,6 +145,9 @@ impl fmt::Display for ConfigError {
                 "cert_trust_threshold must be at least 1 when adaptive \
                  certification is on"
             ),
+            ConfigError::BadLupaNoise(v) => {
+                write!(f, "lupa_noise must be in [0, 1), got {v}")
+            }
         }
     }
 }
@@ -359,6 +366,16 @@ impl GridConfigBuilder {
         self
     }
 
+    /// Amplitude of the per-slot LUPA measurement jitter, in `[0, 1)`.
+    /// Zero (the default) draws nothing and keeps every tick mode
+    /// observably identical; a positive amplitude perturbs what the
+    /// pattern learner sees with draws from the executing shard's
+    /// deterministic stream. See [`GridConfig::lupa_noise`].
+    pub fn lupa_noise(mut self, amplitude: f64) -> Self {
+        self.config.lupa_noise = amplitude;
+        self
+    }
+
     /// Tick the grid with `n` parallel worker shards — shorthand for
     /// [`tick_mode`]`(TickMode::Sharded { workers: n })`. Build-time
     /// validation rejects `n == 0` ([`ConfigError::ZeroWorkers`]),
@@ -427,6 +444,9 @@ impl GridConfigBuilder {
         }
         if c.certification && c.cert_adaptive && c.cert_trust_threshold == 0 {
             return Err(ConfigError::NoCertTrustThreshold);
+        }
+        if !c.lupa_noise.is_finite() || !(0.0..1.0).contains(&c.lupa_noise) {
+            return Err(ConfigError::BadLupaNoise(c.lupa_noise));
         }
         Ok(c)
     }
@@ -712,6 +732,31 @@ mod tests {
         assert_eq!(c.cert_replication, 3);
         assert_eq!(c.cert_spot_check_rate, 0.15);
         assert_eq!(c.cert_trust_threshold, 8);
+    }
+
+    #[test]
+    fn lupa_noise_validation() {
+        assert_eq!(
+            GridConfig::builder()
+                .lupa_noise(1.0)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::BadLupaNoise(1.0)
+        );
+        assert_eq!(
+            GridConfig::builder()
+                .lupa_noise(-0.05)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::BadLupaNoise(-0.05)
+        );
+        assert!(GridConfig::builder()
+            .lupa_noise(f64::NAN)
+            .try_build()
+            .is_err());
+        let c = GridConfig::builder().lupa_noise(0.05).build();
+        assert_eq!(c.lupa_noise, 0.05);
+        assert_eq!(GridConfig::default().lupa_noise, 0.0, "noise defaults off");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::asct::{JobKind, JobRecord, JobSpec, JobState};
 use crate::grm::{GrmState, NodeRegistration, UpdateStats};
-use crate::gupa::GupaState;
+use crate::gupa::{GupaCell, GupaState};
 use crate::lrm::{CompletedPart, DueCheckpoint, LrmConfig, LrmServant, LrmState};
 use crate::ncc::{SharingPolicy, WeeklySchedule};
 use crate::observe::GridObs;
@@ -78,16 +78,28 @@ pub enum TickMode {
     ///
     /// Shards are *contiguous node-id ranges*, so (shard-id, seq) merge
     /// order is exactly ascending node-id order — the same order the
-    /// sequential walks use. Each shard additionally owns an RNG stream
-    /// derived from `(seed, shard index)` alone
-    /// ([`DetRng::for_shard`]); per-node stochastic extensions must draw
-    /// only from their shard's stream. Today's per-node slot body draws no
-    /// randomness, so every worker count is observably identical to
-    /// [`Self::ActiveSet`]; once shard streams are consumed, results are
-    /// guaranteed reproducible only at a *fixed* `workers` value
-    /// (`Sharded{1}` ≡ `ActiveSet` stays bit-for-bit by construction, and
-    /// any fixed W replays identically run over run — see
-    /// `tests/tick_parity.rs`).
+    /// sequential walks use. Range boundaries are recomputed at every frame
+    /// boundary from the active set ([`occupancy_ranges`]) so each worker
+    /// carries a near-equal share of the frame's live members; a node never
+    /// migrates mid-frame, and shard `i` always owns the RNG stream derived
+    /// from `(seed, i)` alone ([`DetRng::for_shard`]) regardless of where
+    /// the boundaries fall. Per-node stochastic work — today the
+    /// [`GridConfig::lupa_noise`] measurement jitter — draws only from the
+    /// executing shard's stream. The contract is therefore:
+    ///
+    /// * **Fixed worker count:** bit-for-bit reproducible, run over run,
+    ///   regardless of OS thread scheduling.
+    /// * **With `lupa_noise == 0` (the default):** no stream is ever
+    ///   consumed, so every worker count — and both sequential modes — are
+    ///   observably identical (`Sharded{1}` ≡ [`Self::ActiveSet`] stays
+    ///   bit-for-bit by construction).
+    /// * **With `lupa_noise > 0`, across worker counts:** the learned
+    ///   pattern models may legitimately differ (each width draws different
+    ///   jitter), but every execution-visible artifact — completions, QoS
+    ///   totals, upload/report counts, messages, logs — is invariant,
+    ///   because jitter feeds only the LUPA window, never the owner state
+    ///   that drives eviction, QoS and status updates. Proven in
+    ///   `tests/tick_parity.rs`.
     Sharded {
         /// Worker threads (and shards). Must be nonzero; validated by
         /// [`crate::builder::GridConfigBuilder::try_build`].
@@ -183,6 +195,20 @@ pub struct GridConfig {
     /// Credibility score (certified agreements plus passed spot checks) at
     /// which an executor becomes trusted under adaptive certification.
     pub cert_trust_threshold: u32,
+    /// Amplitude of the per-slot measurement jitter applied to the owner
+    /// samples the LUPA collection window records, in `[0, 1)`. Zero (the
+    /// default) draws nothing: every pre-existing scenario replays
+    /// bit-for-bit and all tick modes stay observably identical. When
+    /// positive, every slot observation perturbs the *measured* CPU and
+    /// memory components with two draws from the executing shard's
+    /// deterministic stream ([`DetRng::for_shard`]) before the sample
+    /// enters the LUPA window — modelling real sensor noise and putting
+    /// genuine per-node stochastic work on the shard workers. The true
+    /// owner sample still drives eviction, QoS accounting and status
+    /// updates, so runs stay bit-for-bit reproducible per (mode, worker
+    /// count) and execution-visibly invariant across worker counts; see
+    /// [`TickMode::Sharded`] for the full contract.
+    pub lupa_noise: f64,
 }
 
 impl Default for GridConfig {
@@ -215,6 +241,7 @@ impl Default for GridConfig {
             cert_adaptive: false,
             cert_spot_check_rate: 0.0,
             cert_trust_threshold: 10,
+            lupa_noise: 0.0,
         }
     }
 }
@@ -695,9 +722,11 @@ struct GridWorld {
     /// One RNG stream per shard in [`TickMode::Sharded`], derived from
     /// `(seed, shard index)` alone ([`DetRng::for_shard`]) so a shard can
     /// be replayed in isolation. Per-node stochastic work inside the
-    /// parallel walk must draw only from its shard's stream; the global
-    /// `rng`/`retry_rng` streams belong to the single-threaded phase.
-    /// Empty in the sequential modes.
+    /// parallel walk — the [`GridConfig::lupa_noise`] measurement jitter —
+    /// draws only from its shard's stream; the global `rng`/`retry_rng`
+    /// streams belong to the single-threaded phase. The sequential modes
+    /// hold exactly stream 0 and draw all per-node jitter from it, which is
+    /// what makes `Sharded{1}` ≡ `ActiveSet` bit-for-bit even with noise.
     shard_rngs: Vec<DetRng>,
     /// One QoS ledger per node, merged node-major on [`GridWorld::report`].
     /// Per-node ledgers let the active-set path bulk-replay an idle node's
@@ -864,7 +893,10 @@ impl Grid {
             TickMode::Sharded { workers } => (0..workers.max(1) as u64)
                 .map(|i| DetRng::for_shard(config.seed, i))
                 .collect(),
-            _ => Vec::new(),
+            // Sequential modes draw all per-node randomness (the LUPA
+            // measurement jitter) from shard 0's stream, so `Sharded{1}`
+            // stays bit-for-bit identical to `ActiveSet` even with noise on.
+            _ => vec![DetRng::for_shard(config.seed, 0)],
         };
         let mut world = GridWorld {
             rng: DetRng::with_stream(config.seed, streams::GRID_WORLD),
@@ -1262,6 +1294,14 @@ impl Grid {
     pub fn profile_report(&self) -> ProfileReport {
         self.world.obs.profiler.report()
     }
+
+    /// Read access to the cluster's GUPA — trained models, per-node upload
+    /// history, upload counter. The parity tests use this to prove that
+    /// different shard widths genuinely measured different (jittered)
+    /// samples even though every execution-visible artifact is invariant.
+    pub fn gupa(&self) -> &GupaState {
+        &self.world.gupa
+    }
 }
 
 /// Day/weekday/minute of a virtual instant (day 0 = Monday).
@@ -1283,21 +1323,41 @@ fn trace_sample_at(trace: &[UsageSample], now: SimTime) -> UsageSample {
     trace[slot % trace.len()]
 }
 
+/// The measured (LUPA-visible) version of an owner sample: the true sample
+/// when noise is off, otherwise the sample perturbed by two jitter draws
+/// (CPU then memory) from the executing shard's stream and re-clamped into
+/// range. `noise == 0` consumes nothing from the stream — that is what
+/// keeps every pre-noise scenario bit-for-bit.
+fn measured_sample(owner: UsageSample, noise: f64, rng: &mut DetRng) -> UsageSample {
+    if noise == 0.0 {
+        return owner;
+    }
+    let cpu_delta = rng.jitter(noise);
+    let mem_delta = rng.jitter(noise);
+    owner.with_jitter(cpu_delta, mem_delta)
+}
+
 /// The node-local half of catch-up replay: advances one node's deferred
 /// owner sampling, LUPA accumulation and QoS accounting to tick `target`
 /// using only that node's state. Returns the GUPA upload calls the replayed
 /// slots would have made, in order, one inner vec per original call — the
-/// caller applies them to the shared GUPA (this keeps the upload-call count
-/// identical to the eager walk, which tests observe).
+/// caller digests them (this keeps the upload-call count identical to the
+/// eager walk, which tests observe).
 ///
 /// Runs on shard worker threads in [`TickMode::Sharded`]: it must not touch
-/// the event queue, the log, the ORBs, any RNG stream, or any other node.
+/// the event queue, the log, the ORBs, any other node's state, or any RNG
+/// stream other than the executing shard's `rng` — and it draws from that
+/// only when `noise > 0` (two jitter draws per replayed slot, perturbing
+/// what the LUPA window records but never the owner state QoS sees).
+#[allow(clippy::too_many_arguments)]
 fn replay_node_local(
     tick: SimDuration,
+    noise: f64,
     trace: &[UsageSample],
     lrm: &RefCell<LrmState>,
     qos: &mut QosLedger,
     ticks_applied: &mut u64,
+    rng: &mut DetRng,
     target: u64,
 ) -> Vec<Vec<DayPeriod>> {
     let applied = *ticks_applied;
@@ -1307,14 +1367,15 @@ fn replay_node_local(
     let tick_micros = tick.as_micros();
     let mut uploads: Vec<Vec<DayPeriod>> = Vec::new();
     let mut lrm = lrm.borrow_mut();
-    if trace.is_empty() {
+    if trace.is_empty() && noise == 0.0 {
         // Always-idle fast path: every replayed slot observes the identical
         // all-zero sample, and `QosLedger::record(0, 0, 0, _, _)` is a
         // no-op by inspection (no owner demand, no grid usage, no cap
         // check can fire). The whole replay collapses to a bulk window
         // fill; only the day rollovers produce observable effects, and
         // each completed period is emitted as its own upload call exactly
-        // as the per-slot loop would have.
+        // as the per-slot loop would have. With noise on the measured
+        // samples differ slot to slot, so the bulk fill no longer applies.
         let then = SimTime::from_micros(tick_micros * (target - 1));
         let (_, weekday, minute) = wall_at(then);
         lrm.observe_owner_repeat(
@@ -1330,8 +1391,9 @@ fn replay_node_local(
             // The (k+1)-th tick fired at k * tick.
             let then = SimTime::from_micros(tick_micros * k);
             let owner = trace_sample_at(trace, then);
+            let measured = measured_sample(owner, noise, rng);
             let (_, weekday, minute) = wall_at(then);
-            lrm.observe_owner(owner, weekday, minute);
+            lrm.observe_owner_sampled(owner, measured, weekday, minute);
             let periods = lrm.take_lupa_periods();
             qos.record(owner.cpu, 0.0, 0.0, cap, SharingDiscipline::Yielding);
             if !periods.is_empty() {
@@ -1357,24 +1419,27 @@ struct NodeTickEffects {
     evictions: Vec<PartEvicted>,
     /// Checkpoints crossing an interval boundary (replica store requests).
     dues: Vec<DueCheckpoint>,
-    /// GUPA upload calls from the catch-up replay that preceded the tick,
-    /// applied before everything else — the order the sequential walk uses.
-    replay_uploads: Vec<Vec<DayPeriod>>,
-    /// The tick's own LUPA drain (at most one completed period).
+    /// The tick's own LUPA drain (at most one completed period). In
+    /// [`TickMode::Sharded`] the worker digests this into its GUPA cell
+    /// slice and ships the effects with it emptied; in the sequential modes
+    /// [`GridWorld::apply_node_effects`] digests it.
     tick_upload: Vec<DayPeriod>,
 }
 
 /// The node-local half of one slot tick: everything `tick_node` does that
 /// touches only the node's own LRM, QoS ledger and tick cursor. Safe to run
 /// on a shard worker; the returned effects carry the shared-state work.
-/// Callers must have applied all earlier ticks to the node.
+/// Callers must have applied all earlier ticks to the node. `rng` is the
+/// executing shard's stream, consumed only when `noise > 0`.
 #[allow(clippy::too_many_arguments)]
 fn tick_node_local(
     tick: SimDuration,
+    noise: f64,
     trace: &[UsageSample],
     lrm: &RefCell<LrmState>,
     qos: &mut QosLedger,
     ticks_applied: &mut u64,
+    rng: &mut DetRng,
     node: usize,
     now: SimTime,
     weekday: Weekday,
@@ -1382,13 +1447,14 @@ fn tick_node_local(
     slots_elapsed: u64,
 ) -> NodeTickEffects {
     let owner = trace_sample_at(trace, now);
+    let measured = measured_sample(owner, noise, rng);
     let mut lrm = lrm.borrow_mut();
     // Credit the elapsed tick under the owner state that held during it
     // *before* observing the new sample; otherwise a returning owner would
     // retroactively erase the idle interval's progress.
     let completed = lrm.advance_at(now, tick);
     let dues = lrm.due_checkpoints();
-    lrm.observe_owner(owner, weekday, minute);
+    lrm.observe_owner_sampled(owner, measured, weekday, minute);
     let expired = lrm.expire_reservations(now);
     let evictions = lrm.check_eviction();
     let grid_running = !lrm.running().is_empty();
@@ -1413,7 +1479,6 @@ fn tick_node_local(
         completed,
         evictions,
         dues,
-        replay_uploads: Vec::new(),
         tick_upload,
     }
 }
@@ -1432,6 +1497,60 @@ fn shard_ranges(n: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
         let len = base + usize::from(shard < extra);
         ranges.push(start..start + len);
         start += len;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+/// Contiguous node-id ranges for `workers` shards, balanced by *occupancy*:
+/// the ascending `members` list (the frame's active nodes) is cut into
+/// near-equal groups — the first `members.len() % workers` groups one
+/// member larger — and the id-space boundaries are placed at the cuts, so
+/// every shard walks the same number of active members this frame no matter
+/// how they cluster in the id space. A static id split degrades badly when
+/// activity is skewed (one shard owns all the busy nodes and the others
+/// idle); this keeps the per-frame work even.
+///
+/// Determinism is preserved by construction. Boundaries move only here, at
+/// the frame boundary — a node never migrates between shards mid-frame —
+/// and the ranges still partition `0..n` contiguously in shard order, so
+/// (shard-id, seq) merge order remains ascending node-id order. The
+/// shard→stream binding is positional (shard `i` always owns stream `i`,
+/// and exactly `workers` ranges are returned, some possibly empty), so a
+/// fixed worker count replays identically however occupancy shifts.
+///
+/// `members` must be ascending with every element `< n`; when it is empty
+/// the static near-equal id split is used.
+pub fn occupancy_ranges(
+    n: usize,
+    workers: usize,
+    members: &[usize],
+) -> Vec<std::ops::Range<usize>> {
+    let w = workers.clamp(1, n.max(1));
+    if members.is_empty() {
+        return shard_ranges(n, w);
+    }
+    debug_assert!(members.windows(2).all(|p| p[0] < p[1]));
+    debug_assert!(members.last().copied().unwrap_or(0) < n);
+    let m = members.len();
+    let base = m / w;
+    let extra = m % w;
+    let mut ranges = Vec::with_capacity(w);
+    let mut start = 0usize;
+    let mut taken = 0usize;
+    for shard in 0..w {
+        let take = base + usize::from(shard < extra);
+        taken += take;
+        let end = if shard + 1 == w {
+            // The last shard absorbs the id-space tail past the last member.
+            n
+        } else if take == 0 {
+            start
+        } else {
+            members[taken - 1] + 1
+        };
+        ranges.push(start..end);
+        start = end;
     }
     debug_assert_eq!(start, n);
     ranges
@@ -1468,10 +1587,11 @@ impl GridWorld {
     /// A node outside the active set has no running parts, reservations,
     /// unacknowledged outcomes or stored replicas, so its reference
     /// per-slot body collapses to owner-trace sampling, LUPA accumulation
-    /// and owner-QoS accounting — deterministic functions of the trace and
-    /// the tick index that send no messages, write no logs and draw no
-    /// randomness. Replaying them here in bulk is therefore bit-for-bit
-    /// identical to having run them eagerly every tick.
+    /// and owner-QoS accounting — deterministic functions of the trace, the
+    /// tick index and (with [`GridConfig::lupa_noise`] on) the shard-0
+    /// measurement-jitter stream, sending no messages and writing no logs.
+    /// Replaying them here in bulk is therefore bit-for-bit identical to
+    /// having run them eagerly every tick of the same mode.
     fn catch_up_node(&mut self, node: usize, target: u64) {
         if self.ticks_applied[node] >= target {
             return;
@@ -1480,37 +1600,51 @@ impl GridWorld {
         let _replay = profiler.enter(Phase::CatchUpReplay);
         let uploads = replay_node_local(
             self.config.tick,
+            self.config.lupa_noise,
             &self.traces[node],
             &self.lrms[node],
             &mut self.qos[node],
             &mut self.ticks_applied[node],
+            &mut self.shard_rngs[0],
             target,
         );
-        for call in uploads {
-            self.gupa.upload(NodeId(node as u32), call);
+        drop(_replay);
+        if !uploads.is_empty() {
+            let _digest = profiler.enter(Phase::GupaDigest);
+            for call in uploads {
+                self.gupa.upload(NodeId(node as u32), call);
+            }
         }
     }
 
     /// Catches every node up to the current tick count — the full-population
     /// flush `report()` and pattern-aware prediction ranking need. In
-    /// [`TickMode::Sharded`] the per-node replay work (the O(n) term that
-    /// dominates the flush at 50k nodes) runs on the shard workers; the
-    /// GUPA uploads are merged in ascending node order afterwards, so the
-    /// result is identical to the sequential flush.
+    /// [`TickMode::Sharded`] both the per-node replay work *and* the GUPA
+    /// digestion of the uploads it produces (history append + retrain — the
+    /// O(n) terms that dominate the flush at 50k nodes) run on the shard
+    /// workers, each against its own disjoint slice of the GUPA cell table;
+    /// only the per-shard upload counts are folded back at the merge, in
+    /// ascending shard order, so the result is identical to the sequential
+    /// flush.
     fn flush_catch_up(&mut self) {
         let target = self.slots_elapsed;
         match self.config.tick_mode {
             TickMode::Sharded { workers } if self.lrms.len() > 1 => {
                 let profiler = self.obs.profiler.clone();
                 let _replay = profiler.enter(Phase::CatchUpReplay);
-                let uploads = {
+                let digested: Vec<u64> = {
                     let _shard = profiler.enter(Phase::ShardWalk);
                     let tick = self.config.tick;
+                    let noise = self.config.lupa_noise;
+                    let n = self.lrms.len();
+                    let gupa_config = self.gupa.config();
+                    let ranges = shard_ranges(n, workers);
                     let traces = &self.traces;
-                    let ranges = shard_ranges(self.lrms.len(), workers);
                     let mut qos_rest: &mut [QosLedger] = &mut self.qos;
                     let mut ticks_rest: &mut [u64] = &mut self.ticks_applied;
                     let mut lrms_rest: &[Rc<RefCell<LrmState>>] = &self.lrms;
+                    let mut rngs_rest: &mut [DetRng] = &mut self.shard_rngs;
+                    let mut cells_rest: &mut [GupaCell] = self.gupa.cells_mut(n);
                     std::thread::scope(|scope| {
                         let mut handles = Vec::with_capacity(ranges.len());
                         for range in &ranges {
@@ -1521,42 +1655,48 @@ impl GridWorld {
                             ticks_rest = t_tail;
                             let (lrm_s, l_tail) = lrms_rest.split_at(len);
                             lrms_rest = l_tail;
+                            let (cell_s, c_tail) = cells_rest.split_at_mut(len);
+                            cells_rest = c_tail;
+                            let (rng_s, r_tail) = rngs_rest.split_at_mut(1.min(rngs_rest.len()));
+                            rngs_rest = r_tail;
                             let lrms = ShardLrms(lrm_s);
                             let start = range.start;
                             handles.push(scope.spawn(move || {
                                 let lrms = lrms;
-                                let mut out = Vec::new();
+                                let rng = rng_s.first_mut().expect("one stream per shard");
+                                let mut digested = 0u64;
                                 for (local, (qos, ticks)) in
                                     qos_s.iter_mut().zip(ticks_s.iter_mut()).enumerate()
                                 {
                                     let node = start + local;
                                     let calls = replay_node_local(
                                         tick,
+                                        noise,
                                         &traces[node],
                                         &lrms.0[local],
                                         qos,
                                         ticks,
+                                        rng,
                                         target,
                                     );
-                                    if !calls.is_empty() {
-                                        out.push((node, calls));
+                                    for call in calls {
+                                        if cell_s[local].digest(gupa_config, call) {
+                                            digested += 1;
+                                        }
                                     }
                                 }
-                                out
+                                digested
                             }));
                         }
-                        let merged: Vec<(usize, Vec<Vec<DayPeriod>>)> = handles
+                        handles
                             .into_iter()
-                            .flat_map(|h| h.join().expect("shard flush worker panicked"))
-                            .collect();
-                        merged
+                            .map(|h| h.join().expect("shard flush worker panicked"))
+                            .collect()
                     })
                 };
                 let _merge = profiler.enter(Phase::ShardMerge);
-                for (node, calls) in uploads {
-                    for call in calls {
-                        self.gupa.upload(NodeId(node as u32), call);
-                    }
+                for count in digested {
+                    self.gupa.add_uploads(count);
                 }
             }
             _ => {
@@ -4635,10 +4775,12 @@ impl GridWorld {
     ) {
         let effects = tick_node_local(
             self.config.tick,
+            self.config.lupa_noise,
             &self.traces[i],
             &self.lrms[i],
             &mut self.qos[i],
             &mut self.ticks_applied[i],
+            &mut self.shard_rngs[0],
             i,
             now,
             weekday,
@@ -4661,11 +4803,6 @@ impl GridWorld {
         queue: &mut EventQueue<GridEvent>,
     ) {
         let i = effects.node;
-        // Catch-up replay uploads precede the tick's own effects, matching
-        // the sequential `catch_up_node` → `tick_node` call order.
-        for call in effects.replay_uploads {
-            self.gupa.upload(NodeId(i as u32), call);
-        }
         self.obs.lease_expired.add(effects.expired as u64);
         for _ in 0..effects.expired {
             self.log
@@ -4697,19 +4834,28 @@ impl GridWorld {
         for due in effects.dues {
             self.store_checkpoint(now, NodeId(i as u32), due, queue);
         }
-        // LUPA uploads (completed day periods go to the GUPA).
+        // LUPA uploads (completed day periods go to the GUPA). Sharded
+        // frames arrive with this empty — the worker already digested it.
         if !effects.tick_upload.is_empty() {
+            let profiler = self.obs.profiler.clone();
+            let _digest = profiler.enter(Phase::GupaDigest);
             self.gupa.upload(NodeId(i as u32), effects.tick_upload);
         }
         self.refresh_activity(i);
     }
 
-    /// The parallel frame of [`TickMode::Sharded`]: shard the population by
-    /// contiguous node-id ranges, run each shard's member catch-up + slot
-    /// bodies on its own worker thread against per-shard slices of the QoS
-    /// ledgers and tick cursors, then merge the queued effects in
-    /// (shard-id, seq) order — which, because shards are contiguous ranges,
-    /// is exactly the ascending node order the sequential walks use.
+    /// The parallel frame of [`TickMode::Sharded`]: cut the population into
+    /// contiguous node-id ranges balanced by active-set occupancy
+    /// ([`occupancy_ranges`]), run each shard's member catch-up + slot
+    /// bodies — including the LUPA measurement jitter from the shard's own
+    /// stream and the GUPA digestion of every upload the shard's members
+    /// produced — on its own worker thread against per-shard slices of the
+    /// QoS ledgers, tick cursors and GUPA cells, then merge the queued
+    /// effects in (shard-id, seq) order — which, because shards are
+    /// contiguous ranges, is exactly the ascending node order the
+    /// sequential walks use. Only the per-shard upload counts and the
+    /// effect outboxes cross the merge; the expensive work (replay, retrain)
+    /// stays on the workers.
     fn sharded_slot_walk(
         &mut self,
         now: SimTime,
@@ -4722,24 +4868,38 @@ impl GridWorld {
         let behind = self.slots_elapsed - 1;
         let slots_elapsed = self.slots_elapsed;
         let tick = self.config.tick;
+        let noise = self.config.lupa_noise;
+        let n = self.lrms.len();
         let profiler = self.obs.profiler.clone();
-        let all_effects: Vec<NodeTickEffects> = {
+        // Frame-boundary rebalance: place the range cuts so each shard
+        // carries a near-equal share of this frame's active members.
+        let ranges = {
+            let _rebalance = profiler.enter(Phase::ShardRebalance);
+            occupancy_ranges(n, workers, &members)
+        };
+        // Ascending member list → per-shard sublists at range bounds.
+        let mut groups: Vec<&[usize]> = Vec::with_capacity(ranges.len());
+        let mut rest: &[usize] = &members;
+        for range in &ranges {
+            let split = rest.partition_point(|&i| i < range.end);
+            let (group, tail) = rest.split_at(split);
+            groups.push(group);
+            rest = tail;
+        }
+        let occ_max = groups.iter().map(|g| g.len()).max().unwrap_or(0);
+        self.obs.shard_occ_max.set(occ_max as f64);
+        self.obs
+            .shard_occ_mean
+            .set(members.len() as f64 / ranges.len().max(1) as f64);
+        let (all_effects, digested): (Vec<NodeTickEffects>, Vec<u64>) = {
             let _shard = profiler.enter(Phase::ShardWalk);
-            let ranges = shard_ranges(self.lrms.len(), workers);
-            // Ascending member list → per-shard sublists at range bounds.
-            let mut groups: Vec<&[usize]> = Vec::with_capacity(ranges.len());
-            let mut rest: &[usize] = &members;
-            for range in &ranges {
-                let split = rest.partition_point(|&i| i < range.end);
-                let (group, tail) = rest.split_at(split);
-                groups.push(group);
-                rest = tail;
-            }
+            let gupa_config = self.gupa.config();
             let traces = &self.traces;
             let mut qos_rest: &mut [QosLedger] = &mut self.qos;
             let mut ticks_rest: &mut [u64] = &mut self.ticks_applied;
             let mut lrms_rest: &[Rc<RefCell<LrmState>>] = &self.lrms;
             let mut rngs_rest: &mut [DetRng] = &mut self.shard_rngs;
+            let mut cells_rest: &mut [GupaCell] = self.gupa.cells_mut(n);
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(ranges.len());
                 for (shard, range) in ranges.iter().enumerate() {
@@ -4750,9 +4910,12 @@ impl GridWorld {
                     ticks_rest = t_tail;
                     let (lrm_s, l_tail) = lrms_rest.split_at(len);
                     lrms_rest = l_tail;
+                    let (cell_s, c_tail) = cells_rest.split_at_mut(len);
+                    cells_rest = c_tail;
                     // `shard_rngs` has one stream per *configured* worker;
-                    // `shard_ranges` may produce fewer shards than that
-                    // (tiny populations), never more.
+                    // `occupancy_ranges` may produce fewer shards than that
+                    // (tiny populations), never more. Stream binding is
+                    // positional: shard `i` always draws from stream `i`.
                     let (rng_s, r_tail) = rngs_rest.split_at_mut(1.min(rngs_rest.len()));
                     rngs_rest = r_tail;
                     let lrms = ShardLrms(lrm_s);
@@ -4760,48 +4923,70 @@ impl GridWorld {
                     let start = range.start;
                     handles.push(scope.spawn(move || {
                         let lrms = lrms;
-                        // The shard's private stream rides along for future
-                        // stochastic per-node work; today's slot body draws
-                        // nothing from it, which is what keeps every worker
-                        // count observably identical to `ActiveSet`.
-                        let _shard_rng: Option<&mut DetRng> = rng_s.first_mut();
+                        let rng = rng_s.first_mut().expect("one stream per shard");
+                        let mut digested = 0u64;
                         let mut out = Vec::with_capacity(group.len());
                         for &node in group {
                             let local = node - start;
                             let replay_uploads = replay_node_local(
                                 tick,
+                                noise,
                                 &traces[node],
                                 &lrms.0[local],
                                 &mut qos_s[local],
                                 &mut ticks_s[local],
+                                rng,
                                 behind,
                             );
                             let mut effects = tick_node_local(
                                 tick,
+                                noise,
                                 &traces[node],
                                 &lrms.0[local],
                                 &mut qos_s[local],
                                 &mut ticks_s[local],
+                                rng,
                                 node,
                                 now,
                                 weekday,
                                 minute,
                                 slots_elapsed,
                             );
-                            effects.replay_uploads = replay_uploads;
+                            // Digest the node's uploads here, on the shard,
+                            // against its own cell slice — replay calls
+                            // first, then the tick's own drain, the order
+                            // the sequential walk uses. Only the count
+                            // crosses the merge.
+                            for call in replay_uploads {
+                                if cell_s[local].digest(gupa_config, call) {
+                                    digested += 1;
+                                }
+                            }
+                            let tick_upload = std::mem::take(&mut effects.tick_upload);
+                            if cell_s[local].digest(gupa_config, tick_upload) {
+                                digested += 1;
+                            }
                             out.push(effects);
                         }
-                        out
+                        (out, digested)
                     }));
                 }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
+                let mut all = Vec::new();
+                let mut counts = Vec::with_capacity(ranges.len());
+                for handle in handles {
+                    let (out, count) = handle.join().expect("shard worker panicked");
+                    all.extend(out);
+                    counts.push(count);
+                }
+                (all, counts)
             })
         };
         let merge_started = std::time::Instant::now();
         let _merge = profiler.enter(Phase::ShardMerge);
+        // Fold the shards' partial upload counts in ascending shard order.
+        for count in digested {
+            self.gupa.add_uploads(count);
+        }
         let effect_count = all_effects.len() as u64;
         for effects in all_effects {
             self.apply_node_effects(now, effects, queue);

@@ -9,6 +9,15 @@
 //! [`GupaState`] receives completed day-periods per node, trains a
 //! [`LupaModel`] per node once enough history accumulates, and answers the
 //! GRM's question: *P(node stays idle for the next H minutes)*.
+//!
+//! Storage is a node-indexed table of [`GupaCell`]s rather than a map:
+//! every upload call site uploads the node's *own* periods, so the state is
+//! node-partitioned by construction, and the sharded tick engine hands
+//! disjoint `&mut` cell slices to its worker threads (the same
+//! `split_at_mut` pattern the QoS ledgers use) so upload digestion — the
+//! history append *and* the expensive retrain — runs in parallel. Only the
+//! upload counter is cross-shard; workers count locally and the frame
+//! boundary merges the partial counts in ascending shard order.
 
 use crate::types::NodeId;
 use integrade_usage::patterns::{LupaConfig, LupaModel};
@@ -19,11 +28,43 @@ use std::collections::BTreeMap;
 /// Minimum training days before a model is trusted.
 pub const MIN_TRAINING_DAYS: usize = 7;
 
+/// One node's slice of the GUPA: its uploaded history and, once enough
+/// history exists, its trained pattern model. Plain owned data — a shard
+/// worker can digest uploads into its nodes' cells without touching any
+/// other node's state.
+#[derive(Debug, Default)]
+pub struct GupaCell {
+    history: Vec<DayPeriod>,
+    model: Option<LupaModel>,
+}
+
+impl GupaCell {
+    /// Digests one upload call into this cell: appends the periods and
+    /// retrains the model when enough history exists. Returns whether the
+    /// call counted as an upload (empty calls are ignored, matching the
+    /// protocol's no-op on an empty report).
+    ///
+    /// This is the worker-side half of [`GupaState::upload`]: shard threads
+    /// call it against their disjoint cell slices and report how many calls
+    /// counted; the coordinator folds the partial counts back in with
+    /// [`GupaState::add_uploads`] at the frame boundary.
+    pub fn digest(&mut self, config: LupaConfig, periods: Vec<DayPeriod>) -> bool {
+        if periods.is_empty() {
+            return false;
+        }
+        self.history.extend(periods);
+        if self.history.len() >= MIN_TRAINING_DAYS {
+            self.model = Some(LupaModel::train(&self.history, config));
+        }
+        true
+    }
+}
+
 /// Cluster-level usage-pattern store.
 #[derive(Debug, Default)]
 pub struct GupaState {
-    history: BTreeMap<NodeId, Vec<DayPeriod>>,
-    models: BTreeMap<NodeId, LupaModel>,
+    /// Node-indexed cells, grown on demand (index = `NodeId.0`).
+    cells: Vec<GupaCell>,
     config: LupaConfig,
     uploads: u64,
 }
@@ -32,26 +73,53 @@ impl GupaState {
     /// Creates an empty GUPA with the given analysis configuration.
     pub fn new(config: LupaConfig) -> Self {
         GupaState {
-            history: BTreeMap::new(),
-            models: BTreeMap::new(),
+            cells: Vec::new(),
             config,
             uploads: 0,
         }
     }
 
+    /// The analysis configuration models are trained with.
+    pub fn config(&self) -> LupaConfig {
+        self.config
+    }
+
     /// Receives a node's completed periods (the LUPA upload). Retrains the
     /// node's model when enough history exists.
     pub fn upload(&mut self, node: NodeId, periods: Vec<DayPeriod>) {
-        if periods.is_empty() {
-            return;
+        let config = self.config;
+        if self.cell_mut(node).digest(config, periods) {
+            self.uploads += 1;
         }
-        self.uploads += 1;
-        let history = self.history.entry(node).or_default();
-        history.extend(periods);
-        if history.len() >= MIN_TRAINING_DAYS {
-            self.models
-                .insert(node, LupaModel::train(history, self.config));
+    }
+
+    /// Mutable access to the node-indexed cell table, grown to cover at
+    /// least `nodes` entries — the sharded tick engine slices this with
+    /// `split_at_mut` so each worker digests its own nodes' uploads.
+    pub fn cells_mut(&mut self, nodes: usize) -> &mut [GupaCell] {
+        if self.cells.len() < nodes {
+            self.cells.resize_with(nodes, GupaCell::default);
         }
+        &mut self.cells
+    }
+
+    /// Folds a shard's partial upload count into the global counter (the
+    /// frame-boundary merge; counts are order-independent, but callers merge
+    /// in ascending shard order anyway, matching the effect outboxes).
+    pub fn add_uploads(&mut self, count: u64) {
+        self.uploads += count;
+    }
+
+    fn cell_mut(&mut self, node: NodeId) -> &mut GupaCell {
+        let i = node.0 as usize;
+        if self.cells.len() <= i {
+            self.cells.resize_with(i + 1, GupaCell::default);
+        }
+        &mut self.cells[i]
+    }
+
+    fn cell(&self, node: NodeId) -> Option<&GupaCell> {
+        self.cells.get(node.0 as usize)
     }
 
     /// Number of uploads received.
@@ -61,17 +129,25 @@ impl GupaState {
 
     /// Whether a trusted model exists for `node`.
     pub fn has_model(&self, node: NodeId) -> bool {
-        self.models.contains_key(&node)
+        self.cell(node).is_some_and(|c| c.model.is_some())
     }
 
     /// The trained model for a node, if any.
     pub fn model(&self, node: NodeId) -> Option<&LupaModel> {
-        self.models.get(&node)
+        self.cell(node)?.model.as_ref()
+    }
+
+    /// The periods uploaded for a node so far, in arrival order. Exposed so
+    /// tests can prove that different shard widths genuinely measured
+    /// different (jittered) samples while every execution-visible artifact
+    /// stayed invariant.
+    pub fn history(&self, node: NodeId) -> &[DayPeriod] {
+        self.cell(node).map(|c| c.history.as_slice()).unwrap_or(&[])
     }
 
     /// Days of history held for a node.
     pub fn history_days(&self, node: NodeId) -> usize {
-        self.history.get(&node).map(Vec::len).unwrap_or(0)
+        self.cell(node).map_or(0, |c| c.history.len())
     }
 
     /// P(node stays idle through the next `horizon_mins`), given the day so
@@ -87,7 +163,7 @@ impl GupaState {
         slots_per_day: usize,
         horizon_mins: u32,
     ) -> Option<f64> {
-        let model = self.models.get(&node)?;
+        let model = self.model(node)?;
         let partial_load: Vec<f64> = partial_day.iter().map(UsageSample::load).collect();
         let predictor = LupaPredictor::new(model);
         Some(predictor.prob_idle_for(&PredictionContext {
@@ -191,6 +267,33 @@ mod tests {
         let mut gupa = GupaState::new(LupaConfig::default());
         gupa.upload(NodeId(1), vec![]);
         assert_eq!(gupa.uploads(), 0);
+    }
+
+    #[test]
+    fn worker_side_digestion_matches_sequential_uploads() {
+        let mut seq = GupaState::new(LupaConfig::default());
+        for d in 0..8 {
+            seq.upload(NodeId(3), vec![day(d, office)]);
+        }
+        // The sharded path: digest into a cell slice, fold the count back.
+        let mut par = GupaState::new(LupaConfig::default());
+        let config = par.config();
+        let mut counted = 0u64;
+        {
+            let cells = par.cells_mut(4);
+            for d in 0..8 {
+                if cells[3].digest(config, vec![day(d, office)]) {
+                    counted += 1;
+                }
+            }
+            assert!(!cells[3].digest(config, vec![]), "empty calls don't count");
+        }
+        par.add_uploads(counted);
+        assert_eq!(par.uploads(), seq.uploads());
+        assert_eq!(par.history_days(NodeId(3)), seq.history_days(NodeId(3)));
+        assert!(par.has_model(NodeId(3)) && seq.has_model(NodeId(3)));
+        assert_eq!(par.history(NodeId(3)).len(), 8);
+        assert!(par.history(NodeId(0)).is_empty());
     }
 
     #[test]

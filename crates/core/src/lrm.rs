@@ -245,10 +245,27 @@ impl LrmState {
     /// Updates the owner's activity (driven from the desktop trace) and
     /// records it in the LUPA collection window.
     pub fn observe_owner(&mut self, sample: UsageSample, weekday: Weekday, minute_of_day: u32) {
-        self.owner = sample;
+        self.observe_owner_sampled(sample, sample, weekday, minute_of_day);
+    }
+
+    /// Like [`LrmState::observe_owner`], but records a *measured* sample in
+    /// the LUPA collection window that may differ from the true owner state
+    /// driving eviction, QoS and export decisions. This is the seam the
+    /// per-shard stochastic sampling uses: jitter perturbs only what the
+    /// pattern learner sees, never the execution-visible owner state — so
+    /// completions, QoS totals and status updates stay invariant across
+    /// worker counts while each width's learned models legitimately differ.
+    pub fn observe_owner_sampled(
+        &mut self,
+        owner: UsageSample,
+        measured: UsageSample,
+        weekday: Weekday,
+        minute_of_day: u32,
+    ) {
+        self.owner = owner;
         self.weekday = weekday;
         self.minute_of_day = minute_of_day;
-        self.lupa_window.push(sample);
+        self.lupa_window.push(measured);
     }
 
     /// Bulk form of [`LrmState::observe_owner`]: records `count` identical

@@ -113,6 +113,15 @@ pub struct GridObs {
     // --- live gauges ----------------------------------------------------
     /// Nodes currently in the active scheduling set.
     pub active_nodes: Gauge,
+    /// Sharded tick mode: active members assigned to the most-loaded shard
+    /// at the last frame boundary. Together with
+    /// [`GridObs::shard_occ_mean`] this exposes the occupancy imbalance the
+    /// frame-boundary rebalancer exists to flatten — max/mean near 1 means
+    /// every worker carries the same per-frame walk.
+    pub shard_occ_max: Gauge,
+    /// Sharded tick mode: mean active members per shard at the last frame
+    /// boundary (population occupancy / shard count).
+    pub shard_occ_mean: Gauge,
 
     // --- mirrors of component-internal stats (synced on snapshot) -------
     net_messages: Counter,
@@ -184,6 +193,8 @@ impl GridObs {
             trader_depth: registry.histogram("grid_trader_query_depth", DEPTH_BOUNDS),
             queue_depth: registry.histogram("grid_event_queue_depth", QUEUE_BOUNDS),
             active_nodes: registry.gauge("grid_active_nodes"),
+            shard_occ_max: registry.gauge("grid_shard_occupancy_max"),
+            shard_occ_mean: registry.gauge("grid_shard_occupancy_mean"),
             net_messages: registry.counter("net_messages"),
             net_bytes: registry.counter("net_bytes"),
             net_failures: registry.counter("net_failures"),

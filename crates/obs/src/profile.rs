@@ -42,11 +42,20 @@ pub enum Phase {
     /// Sharded mode: the frame-boundary merge of per-shard outboxes —
     /// this is the serial stall the parallel walk pays for determinism.
     ShardMerge,
+    /// GUPA upload digestion: appending completed day-periods to a node's
+    /// history and (once enough history exists) retraining its LUPA model.
+    /// In sharded mode the digestion runs on the shard workers and lands
+    /// inside [`Phase::ShardWalk`]; this phase times the single-threaded
+    /// digestion paths (eager walks, wire-triggered catch-up).
+    GupaDigest,
+    /// Sharded mode: computing the frame's occupancy-balanced shard ranges
+    /// from the active set before the workers launch.
+    ShardRebalance,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 10] = [
         Phase::SlotWalk,
         Phase::CatchUpReplay,
         Phase::QueuePop,
@@ -55,6 +64,8 @@ impl Phase {
         Phase::GiopDecode,
         Phase::ShardWalk,
         Phase::ShardMerge,
+        Phase::GupaDigest,
+        Phase::ShardRebalance,
     ];
 
     /// Stable lowercase name used in exports.
@@ -68,6 +79,8 @@ impl Phase {
             Phase::GiopDecode => "giop_decode",
             Phase::ShardWalk => "shard_walk",
             Phase::ShardMerge => "shard_merge",
+            Phase::GupaDigest => "gupa_digest",
+            Phase::ShardRebalance => "shard_rebalance",
         }
     }
 
@@ -82,6 +95,8 @@ impl Phase {
             Phase::GiopDecode => 5,
             Phase::ShardWalk => 6,
             Phase::ShardMerge => 7,
+            Phase::GupaDigest => 8,
+            Phase::ShardRebalance => 9,
         }
     }
 }
@@ -146,8 +161,8 @@ mod imp {
 
     #[derive(Debug, Default)]
     pub struct ProfilerInner {
-        totals_ns: [Cell<u64>; 8],
-        entries: [Cell<u64>; 8],
+        totals_ns: [Cell<u64>; 10],
+        entries: [Cell<u64>; 10],
     }
 
     impl ProfilerInner {

@@ -225,6 +225,22 @@ impl DetRng {
         self.uniform_f64() < p.clamp(0.0, 1.0)
     }
 
+    /// Returns a uniform jitter in `[-amplitude, amplitude]` — the
+    /// symmetric perturbation per-slot measurement noise draws from a
+    /// shard-local stream. Exactly one `next_u64` is consumed per call, so
+    /// stream advancement is independent of the amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is negative or not finite.
+    pub fn jitter(&mut self, amplitude: f64) -> f64 {
+        assert!(
+            amplitude.is_finite() && amplitude >= 0.0,
+            "jitter amplitude must be finite and >= 0, got {amplitude}"
+        );
+        (self.uniform_f64() * 2.0 - 1.0) * amplitude
+    }
+
     /// Returns an exponentially distributed value with the given mean.
     ///
     /// # Panics
@@ -356,6 +372,25 @@ mod tests {
     #[should_panic(expected = "lo < hi")]
     fn uniform_range_empty_panics() {
         DetRng::new(1).uniform_range(5, 5);
+    }
+
+    #[test]
+    fn jitter_is_symmetric_bounded_and_amplitude_independent() {
+        let mut rng = DetRng::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let j = rng.jitter(0.05);
+            assert!((-0.05..=0.05).contains(&j), "{j}");
+            sum += j;
+        }
+        assert!(sum.abs() < 0.05 * 100.0, "mean should be near zero: {sum}");
+        // A zero-amplitude draw still advances the stream by one value, so
+        // switching noise on/off never re-aligns later draws differently.
+        let mut a = DetRng::new(9);
+        let mut b = DetRng::new(9);
+        assert_eq!(a.jitter(0.0), 0.0);
+        let _ = b.jitter(0.3);
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

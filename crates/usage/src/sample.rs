@@ -66,6 +66,21 @@ impl UsageSample {
         0.6 * self.cpu + 0.2 * self.mem + 0.1 * self.disk + 0.1 * self.net
     }
 
+    /// This sample with measurement jitter added to its CPU and memory
+    /// components, each re-clamped into `[0, 1]` — how a LUPA collection
+    /// window models sensor noise without ever leaving the valid sample
+    /// space. Disk and network pass through unchanged: the idle predictor's
+    /// load blend is CPU/memory-dominated, and two draws per slot keep the
+    /// per-shard stream advancement cheap and fixed.
+    pub fn with_jitter(self, cpu_delta: f64, mem_delta: f64) -> Self {
+        UsageSample::new(
+            self.cpu + cpu_delta,
+            self.mem + mem_delta,
+            self.disk,
+            self.net,
+        )
+    }
+
     /// True when every component is below `threshold` — the default
     /// "node is idle" test the NCC lets owners override.
     pub fn is_idle(&self, threshold: f64) -> bool {
@@ -296,6 +311,17 @@ mod tests {
         assert_eq!(s.cpu, 1.0);
         assert_eq!(s.mem, 0.0);
         assert!((s.load() - (0.6 + 0.05 + 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_clamps_and_leaves_io_components_alone() {
+        let s = UsageSample::new(0.9, 0.05, 0.3, 0.1);
+        let j = s.with_jitter(0.2, -0.2);
+        assert_eq!(j.cpu, 1.0, "clamped at the top");
+        assert_eq!(j.mem, 0.0, "clamped at the bottom");
+        assert_eq!(j.disk, s.disk);
+        assert_eq!(j.net, s.net);
+        assert_eq!(s.with_jitter(0.0, 0.0), s);
     }
 
     #[test]

@@ -388,6 +388,174 @@ fn gray_failure_speculation_parity_across_all_modes() {
     }
 }
 
+/// A grid with the LUPA measurement jitter armed: 8 nodes, 3 traced,
+/// checkpointing on, `lupa_noise` well inside its domain. Jitter is the
+/// first per-node work that actually draws from the shard streams, so these
+/// scenarios exercise the drawing-streams half of the determinism contract.
+fn build_noisy(mode: TickMode, seed: u64) -> Grid {
+    let config = GridConfig::builder()
+        .seed(seed)
+        .gupa_warmup_days(0)
+        .sequential_checkpoint_mips_s(30_000.0)
+        .lupa_noise(0.05)
+        .tick_mode(mode)
+        .build();
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster(
+        (0..8)
+            .map(|i| {
+                if i < 3 {
+                    NodeSetup {
+                        trace: office_trace(),
+                        ..NodeSetup::idle_desktop()
+                    }
+                } else {
+                    NodeSetup::idle_desktop()
+                }
+            })
+            .collect(),
+    );
+    builder.build()
+}
+
+/// Runs past one midnight rollover so every node completes a day period and
+/// uploads its (jittered) samples to the GUPA.
+fn run_noisy(grid: &mut Grid) {
+    grid.submit(JobSpec::sequential("noisy-seq", 300_000));
+    grid.submit(JobSpec::bag_of_tasks("noisy-bag", 3, 60_000));
+    grid.run_until(SimTime::from_secs(26 * 3600));
+}
+
+/// Every node's uploaded GUPA history — the one artifact the contract
+/// allows to differ across worker counts when noise is on.
+fn gupa_histories(grid: &Grid) -> Vec<Vec<integrade::usage::sample::DayPeriod>> {
+    (0..grid.node_count() as u32)
+        .map(|n| grid.gupa().history(NodeId(n)).to_vec())
+        .collect()
+}
+
+#[test]
+fn noisy_fixed_width_reproduces_itself() {
+    // Now that the shard streams actually draw, the fixed-(mode, W) half of
+    // the contract: same seed + same worker count → bit-for-bit, including
+    // the jittered GUPA history content.
+    for mode in [
+        TickMode::ActiveSet,
+        TickMode::Sharded { workers: 2 },
+        TickMode::Sharded { workers: 4 },
+    ] {
+        let mut first = build_noisy(mode, 11);
+        let mut second = build_noisy(mode, 11);
+        run_noisy(&mut first);
+        run_noisy(&mut second);
+        let ctx = format!("{mode:?} with lupa_noise, self-reproducibility");
+        assert_parity(&mut first, &mut second, &ctx);
+        assert_eq!(
+            gupa_histories(&first),
+            gupa_histories(&second),
+            "{ctx}: jittered GUPA histories diverged"
+        );
+        assert!(
+            first.gupa().uploads() > 0,
+            "{ctx}: no uploads — the rollover never happened"
+        );
+    }
+}
+
+#[test]
+fn noisy_sharded_one_worker_is_bitwise_active_set() {
+    // The sequential modes draw their jitter from shard 0's stream, so a
+    // single shard stays the ActiveSet walk bit for bit even with noise.
+    let mut sharded = build_noisy(TickMode::Sharded { workers: 1 }, 11);
+    let mut active = build_noisy(TickMode::ActiveSet, 11);
+    run_noisy(&mut sharded);
+    run_noisy(&mut active);
+    let ctx = "Sharded{1} vs ActiveSet with lupa_noise";
+    assert_parity(&mut sharded, &mut active, ctx);
+    assert_eq!(
+        gupa_histories(&sharded),
+        gupa_histories(&active),
+        "{ctx}: jittered GUPA histories diverged"
+    );
+}
+
+#[test]
+fn noisy_cross_width_execution_invariants_with_measurement_divergence() {
+    // The cross-W half of the contract: different worker counts draw
+    // different jitter, so the *measured* samples the GUPA stores genuinely
+    // differ — but jitter feeds only the pattern learner, never the owner
+    // state that drives eviction, QoS, status updates or uploads, so every
+    // execution-visible artifact must stay bitwise invariant.
+    let mut base = build_noisy(TickMode::ActiveSet, 11);
+    run_noisy(&mut base);
+    let base_histories = gupa_histories(&base);
+    let mut any_divergence = false;
+    for workers in [2usize, 4, 8] {
+        let mut sharded = build_noisy(TickMode::Sharded { workers }, 11);
+        run_noisy(&mut sharded);
+        let ctx = format!("Sharded{{{workers}}} vs ActiveSet with lupa_noise");
+        assert_parity(&mut sharded, &mut base, &ctx);
+        let histories = gupa_histories(&sharded);
+        // Same shape — one upload per node per rollover...
+        assert_eq!(
+            histories.iter().map(Vec::len).collect::<Vec<_>>(),
+            base_histories.iter().map(Vec::len).collect::<Vec<_>>(),
+            "{ctx}: upload counts diverged"
+        );
+        // ...but the sample content must differ somewhere, or the shard
+        // streams never actually drew and this whole suite is vacuous.
+        any_divergence |= histories != base_histories;
+    }
+    assert!(
+        any_divergence,
+        "no worker count measured different jitter than ActiveSet — \
+         the shard streams are not being consumed"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Occupancy-balanced sharding is safe by construction: for any
+    /// population and member set the ranges are exactly `workers` (clamped)
+    /// contiguous pieces partitioning `0..n` in order, the members split
+    /// near-equally (sizes differ by at most one), and the function is pure
+    /// — the same frame-boundary inputs always produce the same cuts, so a
+    /// node can never migrate between shards mid-frame.
+    #[test]
+    fn occupancy_ranges_partition_balance_and_are_pure(
+        n in 1usize..200,
+        workers in 1usize..9,
+        bits in prop::collection::vec(any::<bool>(), 200),
+    ) {
+        use integrade::core::grid::occupancy_ranges;
+        let members: Vec<usize> = (0..n).filter(|&i| bits[i]).collect();
+        let ranges = occupancy_ranges(n, workers, &members);
+        prop_assert_eq!(ranges.len(), workers.min(n));
+        // Contiguous partition of 0..n in shard order.
+        let mut cursor = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, cursor);
+            prop_assert!(r.end >= r.start);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, n);
+        // Near-equal member occupancy.
+        let counts: Vec<usize> = ranges
+            .iter()
+            .map(|r| members.iter().filter(|&&m| r.contains(&m)).count())
+            .collect();
+        prop_assert_eq!(counts.iter().sum::<usize>(), members.len());
+        if !members.is_empty() {
+            let hi = *counts.iter().max().unwrap();
+            let lo = *counts.iter().min().unwrap();
+            prop_assert!(hi - lo <= 1, "imbalanced: {:?}", counts);
+        }
+        // Purity: identical inputs → identical cuts (no mid-frame drift).
+        prop_assert_eq!(ranges, occupancy_ranges(n, workers, &members));
+    }
+}
+
 /// Byzantine parity: a sabotage plan — one loner, one colluding pair —
 /// with the full certification stack armed (voting quorum, spot-check
 /// probes, credibility-adaptive trust) must replay bit-for-bit across
