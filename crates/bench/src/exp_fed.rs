@@ -1,0 +1,435 @@
+//! E20: federated multi-cluster grid — routing-policy comparison at scale.
+//!
+//! The paper's §4 wide-area claim is qualitative: clusters "arranged in a
+//! hierarchy" let one grid "encompass millions of machines", with GRMs
+//! exchanging aggregated information and forwarding requests. E20 makes
+//! the architecture pay rent: a 21-cluster federation (one root, four
+//! hubs, sixteen leaves — 105k nodes at full scale) executes the same
+//! mixed workload under each of the three wide-area routing designs the
+//! middleware implements:
+//!
+//! * **linked-traders** — CORBA trading-service federation links probed
+//!   breadth-first against *live* offer sets (the InteGrade default);
+//! * **flat-directory** — every cluster streams its usage summary to one
+//!   root directory that answers every placement query (the centralised
+//!   baseline the paper argues against);
+//! * **hierarchy-summaries** — requests route over staleness-bounded soft
+//!   state built from periodic `FedSummary` aggregation up the tree.
+//!
+//! Every WAN message (summaries, queries, replies, marshalled forwards,
+//! acks, status reports) is charged per-edge latency, serialisation time
+//! and bytes, so the table compares what each design *spends* — WAN bytes
+//! and messages — against what it *delivers* — placements, completions,
+//! and origin-acknowledged completions. The committed artifact is
+//! `BENCH_fed.json` (per-policy totals plus per-cluster completions); CI's
+//! `e20smoke` gate re-runs a scaled-down federation and fails if
+//! linked-trader spillover stops dominating the flat directory on
+//! completion at no more than its WAN-byte budget
+//! (`BENCH_fed_floor.json`).
+
+use crate::table::Table;
+use integrade_core::asct::{JobSpec, JobState};
+use integrade_core::federation::{Federation, RoutingPolicy};
+use integrade_core::grid::{Grid, GridBuilder, GridConfig, NodeSetup};
+use integrade_core::types::{ClusterId, ResourceVector};
+use integrade_simnet::time::{SimDuration, SimTime};
+use integrade_simnet::topology::LinkSpec;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Hubs under the root; each hub carries [`LEAVES_PER_HUB`] leaves.
+pub const HUBS: u32 = 4;
+
+/// Leaf clusters per hub (total clusters = 1 + HUBS * LEAVES_PER_HUB + HUBS).
+pub const LEAVES_PER_HUB: u32 = 4;
+
+/// Nodes per cluster at full E20 scale: 21 clusters × 5000 = 105k nodes.
+pub const E20_NODES_PER_CLUSTER: usize = 5_000;
+
+/// Nodes per cluster for the CI smoke gate (same topology, 1260 nodes).
+pub const SMOKE_NODES_PER_CLUSTER: usize = 60;
+
+/// Summary/status cadence.
+pub const UPDATE_PERIOD_S: u64 = 60;
+
+/// Warm-up before the submission burst: three update periods, so
+/// summary-driven arms route on populated soft state.
+pub const WARMUP_S: u64 = 3 * UPDATE_PERIOD_S;
+
+/// Virtual horizon of each arm.
+pub const HORIZON_S: u64 = 3_600;
+
+/// The pinned seed (everything downstream is deterministic per seed).
+pub const SEED: u64 = 20;
+
+/// Total clusters in the E20 topology.
+pub fn cluster_count() -> u32 {
+    1 + HUBS + HUBS * LEAVES_PER_HUB
+}
+
+fn grid_of(seed: u64, n: usize, mips: u64, ram_mb: u64) -> Grid {
+    let config = GridConfig::builder().seed(seed).gupa_warmup_days(0).build();
+    let mut builder = GridBuilder::new(config);
+    builder.add_cluster(
+        (0..n)
+            .map(|_| NodeSetup {
+                resources: ResourceVector {
+                    cpu_mips: mips,
+                    ram_mb,
+                    disk_mb: 10_000,
+                },
+                ..NodeSetup::idle_desktop()
+            })
+            .collect(),
+    );
+    builder.build()
+}
+
+/// Builds the 21-cluster federation: root(0) with mid-tier nodes, fast
+/// big-RAM hubs over regional WAN links, slow small leaves over metro
+/// links. Identical member grids across policies (same per-cluster seeds)
+/// so the arms differ only in routing.
+pub fn build_federation(nodes_per_cluster: usize, policy: RoutingPolicy) -> Federation {
+    let mut b = Federation::builder()
+        .seed(SEED)
+        .routing(policy)
+        .update_period(SimDuration::from_secs(UPDATE_PERIOD_S))
+        .hop_budget(4)
+        .root(ClusterId(0), grid_of(SEED, nodes_per_cluster, 1_000, 512));
+    for h in 1..=HUBS {
+        b = b.child_linked(
+            ClusterId(h),
+            ClusterId(0),
+            grid_of(SEED ^ u64::from(h), nodes_per_cluster, 1_500, 2_048),
+            LinkSpec::wan_regional(),
+        );
+    }
+    for h in 1..=HUBS {
+        for l in 0..LEAVES_PER_HUB {
+            let id = 1 + HUBS + (h - 1) * LEAVES_PER_HUB + l;
+            b = b.child_linked(
+                ClusterId(id),
+                ClusterId(h),
+                grid_of(SEED ^ u64::from(id), nodes_per_cluster, 500, 256),
+                LinkSpec::wan_metro(),
+            );
+        }
+    }
+    b.build().expect("static E20 topology is valid")
+}
+
+/// One policy arm's outcome.
+#[derive(Debug, Clone)]
+pub struct FedArm {
+    /// Routing policy label.
+    pub policy: &'static str,
+    /// Jobs offered to the federation.
+    pub submitted: usize,
+    /// Jobs the routing arm found a home for.
+    pub placed: usize,
+    /// Placed jobs that completed within the horizon.
+    pub completed: usize,
+    /// Completions the *origin* GRM acknowledged (status loop closed).
+    pub origin_acked: usize,
+    /// Inter-cluster hops summed over placements.
+    pub hops_total: u64,
+    /// WAN bytes spent (all message classes, retransmissions included).
+    pub wan_bytes: u64,
+    /// WAN per-edge message transmissions.
+    pub wan_messages: u64,
+    /// Jobs forwarded off their origin cluster.
+    pub forwards: u64,
+    /// Spillover/directory queries issued.
+    pub spillover_queries: u64,
+    /// Usage summaries produced.
+    pub summary_updates: u64,
+    /// Wall-clock seconds for the arm.
+    pub wall_s: f64,
+    /// Completed jobs per executing cluster.
+    pub per_cluster_completed: BTreeMap<u32, usize>,
+}
+
+/// Runs the mixed workload under one policy: per-leaf local bags, per-leaf
+/// fast-CPU jobs that must reach a hub, per-leaf big-RAM bags that
+/// overflow leaf memory, plus hub-local work.
+pub fn run_arm(nodes_per_cluster: usize, policy: RoutingPolicy) -> FedArm {
+    let label = match policy {
+        RoutingPolicy::LinkedTraders => "linked-traders",
+        RoutingPolicy::FlatDirectory => "flat-directory",
+        RoutingPolicy::HierarchySummaries => "hierarchy-summaries",
+    };
+    let start = Instant::now();
+    let mut fed = build_federation(nodes_per_cluster, policy);
+    fed.run_until(SimTime::from_secs(WARMUP_S));
+
+    let mut submitted = 0usize;
+    let mut placements = Vec::new();
+    let first_leaf = 1 + HUBS;
+    for id in first_leaf..cluster_count() {
+        let origin = ClusterId(id);
+        // Fits the leaf's own offer set.
+        submitted += 1;
+        if let Ok(p) = fed.submit(origin, JobSpec::bag_of_tasks("local", 4, 20_000)) {
+            placements.push(p);
+        }
+        // Needs 1200+ MIPS: only hubs qualify — one spillover hop.
+        let mut fast = JobSpec::sequential("fast", 30_000);
+        fast.requirements.min_cpu_mips = 1_200;
+        submitted += 1;
+        if let Ok(p) = fed.submit(origin, fast) {
+            placements.push(p);
+        }
+        // Needs 512 MB per node: overflows the 256 MB leaves.
+        let mut wide = JobSpec::bag_of_tasks("big-ram", 8, 15_000);
+        wide.requirements.min_ram_mb = 512;
+        submitted += 1;
+        if let Ok(p) = fed.submit(origin, wide) {
+            placements.push(p);
+        }
+    }
+    for h in 1..=HUBS {
+        let mut local = JobSpec::sequential("hub-local", 40_000);
+        local.requirements.min_cpu_mips = 1_200;
+        submitted += 1;
+        if let Ok(p) = fed.submit(ClusterId(h), local) {
+            placements.push(p);
+        }
+    }
+
+    fed.run_until(SimTime::from_secs(WARMUP_S + HORIZON_S));
+    fed.refresh();
+
+    let mut completed = 0usize;
+    let mut origin_acked = 0usize;
+    let mut hops_total = 0u64;
+    let mut per_cluster_completed: BTreeMap<u32, usize> = BTreeMap::new();
+    for p in &placements {
+        hops_total += u64::from(p.hops);
+        if fed.job_state(p.id) == Some(JobState::Completed) {
+            completed += 1;
+            *per_cluster_completed.entry(p.id.cluster.0).or_insert(0) += 1;
+        }
+        if fed.origin_knows_complete(p.id) {
+            origin_acked += 1;
+        }
+    }
+    let stats = fed.wan_stats();
+    FedArm {
+        policy: label,
+        submitted,
+        placed: placements.len(),
+        completed,
+        origin_acked,
+        hops_total,
+        wan_bytes: stats.bytes,
+        wan_messages: stats.messages,
+        forwards: stats.forwards,
+        spillover_queries: stats.spillover_queries,
+        summary_updates: stats.summary_updates,
+        wall_s: start.elapsed().as_secs_f64(),
+        per_cluster_completed,
+    }
+}
+
+/// All three arms at the given scale, in fixed order.
+pub fn run_arms(nodes_per_cluster: usize) -> Vec<FedArm> {
+    [
+        RoutingPolicy::LinkedTraders,
+        RoutingPolicy::FlatDirectory,
+        RoutingPolicy::HierarchySummaries,
+    ]
+    .into_iter()
+    .map(|p| run_arm(nodes_per_cluster, p))
+    .collect()
+}
+
+/// Renders the arms as `BENCH_fed.json` content.
+pub fn to_json(experiment: &str, nodes_per_cluster: usize, arms: &[FedArm]) -> String {
+    let mut out = format!(
+        "{{\n  \"experiment\": \"{experiment}\",\n  \"clusters\": {},\n  \
+         \"nodes_per_cluster\": {nodes_per_cluster},\n  \"total_nodes\": {},\n  \
+         \"results\": [\n",
+        cluster_count(),
+        cluster_count() as usize * nodes_per_cluster,
+    );
+    for (i, a) in arms.iter().enumerate() {
+        let sep = if i + 1 == arms.len() { "" } else { "," };
+        let per_cluster: Vec<String> = a
+            .per_cluster_completed
+            .iter()
+            .map(|(c, n)| format!("{{\"cluster\": {c}, \"completed\": {n}}}"))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"submitted\": {}, \"placed\": {}, \
+             \"completed\": {}, \"origin_acked\": {}, \"hops_total\": {}, \
+             \"wan_bytes\": {}, \"wan_messages\": {}, \"forwards\": {}, \
+             \"spillover_queries\": {}, \"summary_updates\": {}, \
+             \"wall_s\": {:.3}, \"per_cluster\": [{}]}}{sep}\n",
+            a.policy,
+            a.submitted,
+            a.placed,
+            a.completed,
+            a.origin_acked,
+            a.hops_total,
+            a.wan_bytes,
+            a.wan_messages,
+            a.forwards,
+            a.spillover_queries,
+            a.summary_updates,
+            a.wall_s,
+            per_cluster.join(", "),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn arms_table(title: String, arms: &[FedArm]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "policy",
+            "placed",
+            "completed",
+            "origin_acked",
+            "hops",
+            "wan_bytes",
+            "wan_msgs",
+            "queries",
+            "summaries",
+            "wall_s",
+        ],
+    );
+    for a in arms {
+        table.push_row(vec![
+            a.policy.to_owned(),
+            format!("{}/{}", a.placed, a.submitted),
+            a.completed.to_string(),
+            a.origin_acked.to_string(),
+            a.hops_total.to_string(),
+            a.wan_bytes.to_string(),
+            a.wan_messages.to_string(),
+            a.spillover_queries.to_string(),
+            a.summary_updates.to_string(),
+            format!("{:.3}", a.wall_s),
+        ]);
+    }
+    table
+}
+
+/// E20: the full-scale federation comparison. Side effect: writes
+/// `BENCH_fed.json`.
+pub fn e20() -> Table {
+    let arms = run_arms(E20_NODES_PER_CLUSTER);
+    match std::fs::write(
+        "BENCH_fed.json",
+        to_json("e20", E20_NODES_PER_CLUSTER, &arms),
+    ) {
+        Ok(()) => eprintln!("e20: wrote BENCH_fed.json"),
+        Err(e) => eprintln!("e20: could not write BENCH_fed.json: {e}"),
+    }
+    arms_table(
+        format!(
+            "E20: federated routing at {} clusters / {} nodes",
+            cluster_count(),
+            cluster_count() as usize * E20_NODES_PER_CLUSTER
+        ),
+        &arms,
+    )
+}
+
+/// A named numeric field from `BENCH_fed_floor.json`.
+fn committed_field(key_name: &str) -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_fed_floor.json").ok()?;
+    let key = format!("\"{key_name}\":");
+    let at = text.find(&key)? + key.len();
+    text[at..]
+        .trim_start()
+        .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// E20 smoke — the CI gate.
+///
+/// Re-runs the linked-traders and flat-directory arms on the same
+/// 21-cluster topology at smoke scale and enforces the committed floors:
+/// spillover must complete at least `completion_ratio_floor` times what
+/// the flat directory completes, while spending no more than
+/// `wan_bytes_ratio_ceiling` times its WAN bytes — i.e. linked traders
+/// dominate the centralised baseline at an equal byte budget.
+///
+/// # Panics
+///
+/// Panics when either committed bound from `BENCH_fed_floor.json` is
+/// violated.
+pub fn e20smoke() -> Table {
+    let linked = run_arm(SMOKE_NODES_PER_CLUSTER, RoutingPolicy::LinkedTraders);
+    let flat = run_arm(SMOKE_NODES_PER_CLUSTER, RoutingPolicy::FlatDirectory);
+    let completion_floor = committed_field("completion_ratio_floor").unwrap_or(1.0);
+    let bytes_ceiling = committed_field("wan_bytes_ratio_ceiling").unwrap_or(1.0);
+    let table = arms_table(
+        format!(
+            "E20 smoke: linked traders vs flat directory at {} clusters / {} nodes \
+             (completion floor {completion_floor}, byte ceiling {bytes_ceiling})",
+            cluster_count(),
+            cluster_count() as usize * SMOKE_NODES_PER_CLUSTER
+        ),
+        &[linked.clone(), flat.clone()],
+    );
+    assert!(
+        linked.completed as f64 >= flat.completed as f64 * completion_floor,
+        "e20smoke: linked-trader completion {} fell below {completion_floor} x \
+         flat-directory completion {} (BENCH_fed_floor.json)",
+        linked.completed,
+        flat.completed,
+    );
+    assert!(
+        linked.wan_bytes as f64 <= flat.wan_bytes as f64 * bytes_ceiling,
+        "e20smoke: linked-trader WAN bytes {} exceeded {bytes_ceiling} x \
+         flat-directory bytes {} (BENCH_fed_floor.json)",
+        linked.wan_bytes,
+        flat.wan_bytes,
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny-scale shape check: every arm places and completes the whole
+    /// workload, spillover actually crosses clusters, and linked traders
+    /// beat the flat directory on WAN bytes (no standing summary stream).
+    #[test]
+    fn arms_complete_the_workload_and_linked_is_cheapest() {
+        let arms = run_arms(20);
+        for a in &arms {
+            assert_eq!(a.placed, a.submitted, "{}", a.policy);
+            assert_eq!(a.completed, a.placed, "{}", a.policy);
+            assert_eq!(a.origin_acked, a.placed, "{}", a.policy);
+            assert!(a.forwards > 0, "{}: workload must cross clusters", a.policy);
+            assert!(a.hops_total > 0, "{}", a.policy);
+        }
+        let linked = &arms[0];
+        let flat = &arms[1];
+        assert!(
+            linked.wan_bytes < flat.wan_bytes,
+            "linked {} vs flat {}: the directory's standing summary stream \
+             must cost more than on-demand probes",
+            linked.wan_bytes,
+            flat.wan_bytes
+        );
+    }
+
+    #[test]
+    fn committed_floor_is_parseable() {
+        let text = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fed_floor.json"),
+        )
+        .expect("BENCH_fed_floor.json at repo root");
+        assert!(text.contains("completion_ratio_floor"));
+        assert!(text.contains("wan_bytes_ratio_ceiling"));
+    }
+}

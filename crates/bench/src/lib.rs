@@ -19,6 +19,7 @@ pub mod exp_baselines;
 pub mod exp_bsp;
 pub mod exp_cert;
 pub mod exp_faults;
+pub mod exp_fed;
 pub mod exp_info;
 pub mod exp_obs;
 pub mod exp_par;
@@ -139,6 +140,16 @@ pub fn experiments() -> Vec<ExperimentEntry> {
             "e19",
             "sharded engine under load-bearing per-node work (writes BENCH_par.json)",
             exp_par::e19,
+        ),
+        (
+            "e20",
+            "federated routing: linked traders vs flat directory vs hierarchy summaries (writes BENCH_fed.json)",
+            exp_fed::e20,
+        ),
+        (
+            "e20smoke",
+            "linked-trader spillover dominates the flat directory at equal WAN budget vs committed floor",
+            exp_fed::e20smoke,
         ),
     ]
 }

@@ -363,6 +363,10 @@ enum GridEvent {
     Schedule { job: JobId },
     /// A deferred submission.
     Submit { spec: Box<JobSpec> },
+    /// A deferred submission under a pre-allocated id — a job forwarded
+    /// from another cluster, whose global identity was fixed when the
+    /// forward left the origin, arriving after the WAN latency.
+    SubmitAs { id: JobId, spec: Box<JobSpec> },
     /// A request issued by `from`'s orb has gone unanswered too long.
     RequestTimeout { from: HostId, request_id: u64 },
     /// A fault-plan host outage transition (crash when `up` is false,
@@ -973,6 +977,27 @@ impl Grid {
         );
     }
 
+    /// Schedules a submission arriving at a future virtual time under an id
+    /// allocated *now* — the shape of a job forwarded from another cluster:
+    /// its identity is fixed when the forward leaves the origin, but
+    /// admission happens only once the marshalled spec has crossed the WAN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn submit_arriving(&mut self, spec: JobSpec, at: SimTime) -> JobId {
+        let id = JobId(self.world.next_job);
+        self.world.next_job += 1;
+        self.queue.schedule_at(
+            at,
+            GridEvent::SubmitAs {
+                id,
+                spec: Box::new(spec),
+            },
+        );
+        id
+    }
+
     /// Crashes a node: it drops off the network and loses its volatile
     /// state (running parts, reservations). The GRM notices via silence and
     /// recovers the node's parts from the checkpoint repository.
@@ -1108,6 +1133,21 @@ impl Grid {
         self.world.grm_host
     }
 
+    /// Whether the cluster manager's host is currently up. A WAN message
+    /// delivered while the GRM is down is lost with its volatile state —
+    /// the sender's soft-state retry is what makes federation traffic
+    /// survive a manager crash.
+    pub fn grm_up(&self) -> bool {
+        self.world.net.topology().is_up(self.world.grm_host)
+    }
+
+    /// The GRM's incarnation number, bumped each restart. Federation soft
+    /// state tags origin-side bookkeeping with this so a restarted origin
+    /// GRM re-learns its forwarded jobs from re-sent status messages.
+    pub fn grm_epoch(&self) -> u64 {
+        self.world.grm.borrow().epoch()
+    }
+
     /// Runs the grid until `horizon`. Returns the simulation outcome.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         let (outcome, _) = self.run_until_counting(horizon);
@@ -1223,6 +1263,101 @@ impl Grid {
     /// (the GRM's current — possibly stale — view).
     pub fn cluster_summary(&self) -> crate::hierarchy::ClusterSummary {
         self.world.grm.borrow().cluster_summary()
+    }
+
+    /// The cluster's usage summary for the hierarchical GUPA aggregation:
+    /// the GRM's resource aggregate plus a predicted-availability histogram
+    /// over every GUPA-modelled node, stamped with the caller's update
+    /// `epoch`. This is what the federation marshals into a
+    /// [`crate::protocol::FedSummary`] every update period.
+    pub fn usage_summary(&mut self, epoch: u64) -> crate::hierarchy::UsageSummary {
+        // Predictions read each LRM's partial-day window — state the
+        // active-set path defers for idle nodes — so flush first (mode-
+        // invariant, same contract as `report`).
+        self.world.flush_catch_up();
+        let now = self.queue.now();
+        let (_, weekday, minute) = wall_at(now);
+        let slots_per_day = SamplingConfig::default().slots_per_day();
+        let mut histogram = crate::hierarchy::AvailabilityHistogram::default();
+        for (i, lrm) in self.world.lrms.iter().enumerate() {
+            let node = NodeId(i as u32);
+            if !self.world.gupa.has_model(node) {
+                continue;
+            }
+            let partial: Vec<UsageSample> = lrm.borrow().lupa_window().partial_day().to_vec();
+            if let Some(p) = self.world.gupa.predict_idle(
+                node,
+                weekday,
+                minute,
+                &partial,
+                slots_per_day,
+                self.world.config.prediction_horizon_mins,
+            ) {
+                histogram.observe(p);
+            }
+        }
+        let mut summary = self.cluster_summary();
+        summary.max_cluster_exporting = summary.exporting_nodes;
+        crate::hierarchy::UsageSummary {
+            summary,
+            histogram,
+            epoch,
+        }
+    }
+
+    /// Live match count for a spillover probe: how many currently
+    /// exporting, non-blacklisted nodes satisfy the requirements *right
+    /// now*, per the trader's offer set. This is what a linked-trader
+    /// [`crate::protocol::FedQuery`] consults — the probed cluster's live
+    /// offers, not a stale summary.
+    pub fn trader_matches(&self, requirements: &crate::asct::JobRequirements) -> usize {
+        self.world
+            .grm
+            .borrow_mut()
+            .matching_nodes(&requirements.to_constraint())
+    }
+
+    /// Installs a federation link on this cluster's trader (CORBA trading
+    /// service §16: linked traders forward unsatisfied queries). `name` is
+    /// the link's directory name; `target` the linked cluster.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a duplicate link name.
+    pub fn add_trader_link(
+        &mut self,
+        name: &str,
+        target: crate::types::ClusterId,
+        follow: integrade_orb::trading::LinkFollowPolicy,
+    ) -> Result<(), integrade_orb::trading::TraderError> {
+        self.world
+            .grm
+            .borrow_mut()
+            .trader_mut()
+            .add_link(name, u64::from(target.0), follow)
+    }
+
+    /// This cluster's trader federation links, in insertion order (the
+    /// deterministic spillover probe order).
+    pub fn trader_links(&self) -> Vec<integrade_orb::trading::TraderLink> {
+        self.world.grm.borrow().trader().links().to_vec()
+    }
+
+    /// Records that a spillover query followed the named trader link
+    /// (per-link `link_follows` statistics).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown link name.
+    pub fn record_trader_link_followed(
+        &self,
+        name: &str,
+    ) -> Result<(), integrade_orb::trading::TraderError> {
+        self.world
+            .grm
+            .borrow_mut()
+            .trader_mut()
+            .record_link_followed(name)
     }
 
     /// The final report. Flushes any lazily deferred per-node bookkeeping
@@ -1768,6 +1903,19 @@ impl GridWorld {
     ) -> JobId {
         let id = JobId(self.next_job);
         self.next_job += 1;
+        self.admit_job_as(id, spec, now, queue);
+        id
+    }
+
+    /// Admits a job under a caller-allocated id (the id was reserved by
+    /// [`Grid::submit_arriving`] when the forward left its origin cluster).
+    fn admit_job_as(
+        &mut self,
+        id: JobId,
+        spec: JobSpec,
+        now: SimTime,
+        queue: &mut EventQueue<GridEvent>,
+    ) {
         let parts_total = spec.kind.parts();
         let (bsp_supersteps, _) = match &spec.kind {
             JobKind::Bsp { supersteps, .. } => (*supersteps as f64, ()),
@@ -1820,7 +1968,6 @@ impl GridWorld {
         );
         self.log.record(now, "asct.submit", format!("{id}"));
         queue.schedule_at(now, GridEvent::Schedule { job: id });
-        id
     }
 
     /// Seals a frame under the cluster key when authentication is enabled.
@@ -5356,6 +5503,9 @@ impl World for GridWorld {
             GridEvent::Schedule { job } => self.schedule_job(now, job, queue),
             GridEvent::Submit { spec } => {
                 self.admit_job(*spec, now, queue);
+            }
+            GridEvent::SubmitAs { id, spec } => {
+                self.admit_job_as(id, *spec, now, queue);
             }
             GridEvent::RequestTimeout { from, request_id } => {
                 self.on_request_timeout(now, from, request_id, queue);

@@ -425,6 +425,27 @@ impl GrmState {
         self.trader.query_count()
     }
 
+    /// Read access to the trader (federation-link inspection).
+    pub fn trader(&self) -> &Trader {
+        &self.trader
+    }
+
+    /// The trader, mutably — the federation layer installs its
+    /// inter-cluster links on it and records link-follow statistics.
+    pub fn trader_mut(&mut self) -> &mut Trader {
+        &mut self.trader
+    }
+
+    /// Live match count for a spillover probe: how many currently
+    /// exporting, non-blacklisted, registered nodes satisfy `constraint`
+    /// right now. This consults the *offer set*, not a summary — the point
+    /// of a linked-trader query ([`crate::protocol::FedQuery`]).
+    pub fn matching_nodes(&mut self, constraint: &str) -> usize {
+        self.candidates(constraint, "first", usize::MAX, &BTreeMap::new())
+            .map(|c| c.len())
+            .unwrap_or(0)
+    }
+
     /// Runs the trader query for a job: `constraint` from
     /// [`crate::asct::JobRequirements::to_constraint`], `preference` from
     /// [`crate::asct::SchedulingPreference::to_trader_preference`].

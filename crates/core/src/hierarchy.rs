@@ -15,6 +15,8 @@
 //! against a flat directory where every cluster reports to one global GRM.
 
 use crate::types::ClusterId;
+use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
+use integrade_simnet::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -69,6 +71,134 @@ impl ClusterSummary {
     }
 }
 
+/// Buckets in an [`AvailabilityHistogram`].
+pub const AVAIL_BUCKETS: usize = 8;
+
+/// Histogram of predicted idle probabilities across a cluster's modelled
+/// nodes: bucket `i` counts nodes whose GUPA-predicted probability of
+/// staying idle over the scheduling horizon falls in `[i/8, (i+1)/8)`.
+/// Aggregating these up the hierarchy gives inner clusters a usage-pattern
+/// profile of each subtree, not just a node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AvailabilityHistogram(pub [u32; AVAIL_BUCKETS]);
+
+impl AvailabilityHistogram {
+    /// Records one node's predicted idle probability.
+    pub fn observe(&mut self, p: f64) {
+        let bucket = ((p.clamp(0.0, 1.0) * AVAIL_BUCKETS as f64) as usize).min(AVAIL_BUCKETS - 1);
+        self.0[bucket] += 1;
+    }
+
+    /// Element-wise merge (subtree aggregation).
+    pub fn merge(self, other: AvailabilityHistogram) -> AvailabilityHistogram {
+        let mut out = self;
+        for (a, b) in out.0.iter_mut().zip(other.0) {
+            *a += b;
+        }
+        out
+    }
+
+    /// Modelled nodes counted.
+    pub fn total(&self) -> u32 {
+        self.0.iter().sum()
+    }
+
+    /// Expected number of nodes that stay idle, using bucket midpoints.
+    pub fn expected_idle(&self) -> f64 {
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as f64 + 0.5) / AVAIL_BUCKETS as f64 * n as f64)
+            .sum()
+    }
+}
+
+/// A cluster's (or subtree's) usage-pattern summary: the resource aggregate
+/// the admit check routes on, plus the predicted-availability histogram the
+/// GUPA aggregation propagates. This is the payload of the inter-cluster
+/// summary protocol message ([`crate::protocol::FedSummary`]); inner
+/// clusters hold these as staleness-bounded soft state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UsageSummary {
+    /// Resource aggregate (nodes, exporting, max MIPS/RAM).
+    pub summary: ClusterSummary,
+    /// Predicted-availability histogram over modelled nodes.
+    pub histogram: AvailabilityHistogram,
+    /// Sender's monotonically increasing update round; a report with an
+    /// older epoch than the held soft state is discarded (out-of-order WAN
+    /// delivery must never roll a view backwards).
+    pub epoch: u64,
+}
+
+impl UsageSummary {
+    /// Merges two summaries (subtree aggregation). The epoch becomes the
+    /// *minimum* of the inputs: an aggregate is only as fresh as its
+    /// stalest contributor.
+    pub fn merge(self, other: UsageSummary) -> UsageSummary {
+        UsageSummary {
+            summary: self.summary.merge(other.summary),
+            histogram: self.histogram.merge(other.histogram),
+            epoch: self.epoch.min(other.epoch),
+        }
+    }
+}
+
+impl CdrEncode for ClusterSummary {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.nodes.encode(w);
+        self.exporting_nodes.encode(w);
+        self.max_cpu_mips.encode(w);
+        self.max_free_ram_mb.encode(w);
+        self.max_cluster_exporting.encode(w);
+    }
+}
+impl CdrDecode for ClusterSummary {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(ClusterSummary {
+            nodes: u32::decode(r)?,
+            exporting_nodes: u32::decode(r)?,
+            max_cpu_mips: u64::decode(r)?,
+            max_free_ram_mb: u64::decode(r)?,
+            max_cluster_exporting: u32::decode(r)?,
+        })
+    }
+}
+
+impl CdrEncode for AvailabilityHistogram {
+    fn encode(&self, w: &mut CdrWriter) {
+        // Fixed-width array: no length prefix on the wire.
+        for bucket in &self.0 {
+            bucket.encode(w);
+        }
+    }
+}
+impl CdrDecode for AvailabilityHistogram {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        let mut buckets = [0u32; AVAIL_BUCKETS];
+        for bucket in &mut buckets {
+            *bucket = u32::decode(r)?;
+        }
+        Ok(AvailabilityHistogram(buckets))
+    }
+}
+
+impl CdrEncode for UsageSummary {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.summary.encode(w);
+        self.histogram.encode(w);
+        self.epoch.encode(w);
+    }
+}
+impl CdrDecode for UsageSummary {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(UsageSummary {
+            summary: ClusterSummary::decode(r)?,
+            histogram: AvailabilityHistogram::decode(r)?,
+            epoch: u64::decode(r)?,
+        })
+    }
+}
+
 /// A resource request forwarded across clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WideAreaRequest {
@@ -78,6 +208,23 @@ pub struct WideAreaRequest {
     pub min_cpu_mips: u64,
     /// Minimum free RAM per node, MB.
     pub min_ram_mb: u64,
+}
+
+impl CdrEncode for WideAreaRequest {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.nodes.encode(w);
+        self.min_cpu_mips.encode(w);
+        self.min_ram_mb.encode(w);
+    }
+}
+impl CdrDecode for WideAreaRequest {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(WideAreaRequest {
+            nodes: u32::decode(r)?,
+            min_cpu_mips: u64::decode(r)?,
+            min_ram_mb: u64::decode(r)?,
+        })
+    }
 }
 
 /// Message-count statistics (E9's dependent variable).
@@ -96,6 +243,9 @@ pub enum HierarchyError {
     UnknownCluster(ClusterId),
     /// Cluster id already present.
     DuplicateCluster(ClusterId),
+    /// A soft-state report arrived at a cluster that is not the sender's
+    /// parent (first field: the purported child; second: the receiver).
+    NotAChild(ClusterId, ClusterId),
 }
 
 impl fmt::Display for HierarchyError {
@@ -103,6 +253,7 @@ impl fmt::Display for HierarchyError {
         match self {
             HierarchyError::UnknownCluster(c) => write!(f, "unknown {c}"),
             HierarchyError::DuplicateCluster(c) => write!(f, "{c} already exists"),
+            HierarchyError::NotAChild(c, p) => write!(f, "{c} is not a child of {p}"),
         }
     }
 }
@@ -116,6 +267,27 @@ struct HierarchyEntry {
     own: ClusterSummary,
     /// Aggregate of `own` plus all descendant aggregates.
     subtree: ClusterSummary,
+    /// The cluster's own usage summary, set locally at its update cadence.
+    own_usage: UsageSummary,
+    /// Soft state: each child's last *delivered* subtree report, with the
+    /// virtual time it arrived. Fed only by
+    /// [`ClusterHierarchy::apply_child_report`] — i.e. by real protocol
+    /// messages that survived the WAN — never synchronously, so a lost or
+    /// partitioned update genuinely leaves the parent stale.
+    child_reports: BTreeMap<ClusterId, (UsageSummary, SimTime)>,
+}
+
+impl HierarchyEntry {
+    fn new(parent: Option<ClusterId>) -> Self {
+        HierarchyEntry {
+            parent,
+            children: Vec::new(),
+            own: ClusterSummary::default(),
+            subtree: ClusterSummary::default(),
+            own_usage: UsageSummary::default(),
+            child_reports: BTreeMap::new(),
+        }
+    }
 }
 
 /// A tree of clusters with aggregate summaries and request routing.
@@ -150,15 +322,7 @@ impl ClusterHierarchy {
     /// Creates a hierarchy with a root cluster.
     pub fn new(root: ClusterId) -> Self {
         let mut entries = BTreeMap::new();
-        entries.insert(
-            root,
-            HierarchyEntry {
-                parent: None,
-                children: Vec::new(),
-                own: ClusterSummary::default(),
-                subtree: ClusterSummary::default(),
-            },
-        );
+        entries.insert(root, HierarchyEntry::new(None));
         ClusterHierarchy {
             entries,
             root,
@@ -223,16 +387,55 @@ impl ClusterHierarchy {
             .get_mut(&parent)
             .ok_or(HierarchyError::UnknownCluster(parent))?;
         parent_entry.children.push(id);
-        self.entries.insert(
-            id,
-            HierarchyEntry {
-                parent: Some(parent),
-                children: Vec::new(),
-                own: ClusterSummary::default(),
-                subtree: ClusterSummary::default(),
-            },
-        );
+        self.entries.insert(id, HierarchyEntry::new(Some(parent)));
         Ok(())
+    }
+
+    /// A cluster's parent, or `None` for the root or an unknown cluster.
+    pub fn parent(&self, cluster: ClusterId) -> Option<ClusterId> {
+        self.entries.get(&cluster).and_then(|e| e.parent)
+    }
+
+    /// A cluster's children, in insertion order (empty for unknown ids).
+    pub fn children(&self, cluster: ClusterId) -> &[ClusterId] {
+        self.entries
+            .get(&cluster)
+            .map(|e| e.children.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All cluster ids, ascending.
+    pub fn clusters(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// The unique tree path from `from` to `to`, inclusive of both ends
+    /// (so `path.len() - 1` is the edge/hop count). `None` when either id
+    /// is unknown.
+    pub fn tree_path(&self, from: ClusterId, to: ClusterId) -> Option<Vec<ClusterId>> {
+        if !self.entries.contains_key(&from) || !self.entries.contains_key(&to) {
+            return None;
+        }
+        // Climb both ends to the root, then splice at the lowest common
+        // ancestor.
+        let ancestors = |mut id: ClusterId| {
+            let mut path = vec![id];
+            while let Some(p) = self.entries[&id].parent {
+                path.push(p);
+                id = p;
+            }
+            path
+        };
+        let up_from = ancestors(from);
+        let up_to = ancestors(to);
+        let in_from: std::collections::BTreeSet<ClusterId> = up_from.iter().copied().collect();
+        let lca = *up_to.iter().find(|c| in_from.contains(c))?;
+        let mut path: Vec<ClusterId> = up_from.iter().copied().take_while(|&c| c != lca).collect();
+        path.push(lca);
+        let mut down: Vec<ClusterId> = up_to.iter().copied().take_while(|&c| c != lca).collect();
+        down.reverse();
+        path.extend(down);
+        Some(path)
     }
 
     /// Updates a cluster's own summary and propagates aggregates to the
@@ -275,6 +478,196 @@ impl ClusterHierarchy {
     /// A cluster's subtree aggregate.
     pub fn aggregate(&self, cluster: ClusterId) -> Option<ClusterSummary> {
         self.entries.get(&cluster).map(|e| e.subtree)
+    }
+
+    /// Sets a cluster's *own* usage summary — a purely local operation (the
+    /// cluster computing its summary at its update cadence). Nothing
+    /// propagates: propagation happens only when the resulting
+    /// [`Self::reported_subtree`] travels to the parent as a protocol
+    /// message and lands via [`Self::apply_child_report`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster is unknown.
+    pub fn set_own_usage(
+        &mut self,
+        cluster: ClusterId,
+        usage: UsageSummary,
+    ) -> Result<(), HierarchyError> {
+        let entry = self
+            .entries
+            .get_mut(&cluster)
+            .ok_or(HierarchyError::UnknownCluster(cluster))?;
+        entry.own_usage = usage;
+        Ok(())
+    }
+
+    /// A cluster's own usage summary (as last set locally).
+    pub fn own_usage(&self, cluster: ClusterId) -> Option<UsageSummary> {
+        self.entries.get(&cluster).map(|e| e.own_usage)
+    }
+
+    /// Delivers a child's subtree report to its parent (the receive side of
+    /// the inter-cluster summary message). Reports carry the child's send
+    /// epoch; an older epoch than the held soft state is discarded, so
+    /// out-of-order WAN delivery never rolls a view backwards. Counts one
+    /// update message.
+    ///
+    /// # Errors
+    ///
+    /// Fails when either cluster is unknown or `child` is not a child of
+    /// `parent`.
+    pub fn apply_child_report(
+        &mut self,
+        parent: ClusterId,
+        child: ClusterId,
+        report: UsageSummary,
+        now: SimTime,
+    ) -> Result<(), HierarchyError> {
+        if !self.entries.contains_key(&child) {
+            return Err(HierarchyError::UnknownCluster(child));
+        }
+        let entry = self
+            .entries
+            .get_mut(&parent)
+            .ok_or(HierarchyError::UnknownCluster(parent))?;
+        if !entry.children.contains(&child) {
+            return Err(HierarchyError::NotAChild(child, parent));
+        }
+        self.stats.update_messages += 1;
+        match entry.child_reports.get(&child) {
+            Some((held, _)) if held.epoch > report.epoch => {} // stale duplicate
+            _ => {
+                entry.child_reports.insert(child, (report, now));
+            }
+        }
+        Ok(())
+    }
+
+    /// The child's report held at `parent`, with its arrival time.
+    pub fn child_report(
+        &self,
+        parent: ClusterId,
+        child: ClusterId,
+    ) -> Option<(UsageSummary, SimTime)> {
+        self.entries
+            .get(&parent)?
+            .child_reports
+            .get(&child)
+            .copied()
+    }
+
+    /// A cluster's subtree summary as *reported soft state*: its own usage
+    /// merged with every child report that arrived within `staleness` of
+    /// `now`. Stale children silently drop out of the aggregate — the
+    /// staleness bound is what keeps a partitioned subtree from being
+    /// advertised forever. This is exactly what the cluster sends its
+    /// parent at its next update tick.
+    pub fn reported_subtree(
+        &self,
+        cluster: ClusterId,
+        now: SimTime,
+        staleness: SimDuration,
+    ) -> Option<UsageSummary> {
+        let entry = self.entries.get(&cluster)?;
+        let mut aggregate = entry.own_usage;
+        for (report, received_at) in entry.child_reports.values() {
+            if now.duration_since(*received_at) <= staleness {
+                aggregate = aggregate.merge(*report);
+            }
+        }
+        Some(aggregate)
+    }
+
+    /// Routes a request on the staleness-bounded soft state: the
+    /// message-fed counterpart of [`Self::route_request`]. The request
+    /// climbs from `origin` toward the root; at every cluster it consults
+    /// only child reports that are fresh at `now`, descending into the
+    /// first admitting subtree. Counts one routing message per hop.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `origin` is unknown.
+    pub fn route_soft(
+        &mut self,
+        origin: ClusterId,
+        request: &WideAreaRequest,
+        now: SimTime,
+        staleness: SimDuration,
+    ) -> Result<Option<(ClusterId, u32)>, HierarchyError> {
+        if !self.entries.contains_key(&origin) {
+            return Err(HierarchyError::UnknownCluster(origin));
+        }
+        let fresh = |held: &Option<(UsageSummary, SimTime)>| -> Option<UsageSummary> {
+            held.as_ref().and_then(|(report, received_at)| {
+                (now.duration_since(*received_at) <= staleness).then_some(*report)
+            })
+        };
+        if self.entries[&origin].own_usage.summary.admits(request) {
+            return Ok(Some((origin, 0)));
+        }
+        let mut hops = 0u32;
+        let mut came_from: Option<ClusterId> = None;
+        let mut current = origin;
+        loop {
+            // Offer the request to this cluster's (other) subtrees first.
+            let children = self.entries[&current].children.clone();
+            for child in children {
+                if Some(child) == came_from {
+                    continue;
+                }
+                let held = fresh(&self.child_report(current, child));
+                if held.is_some_and(|r| r.summary.admits(request)) {
+                    if let Some(found) = self.descend_soft(child, request, now, staleness, hops) {
+                        return Ok(Some(found));
+                    }
+                }
+            }
+            // This cluster itself (when the request arrived from below).
+            if came_from.is_some() && self.entries[&current].own_usage.summary.admits(request) {
+                return Ok(Some((current, hops)));
+            }
+            let Some(parent) = self.entries[&current].parent else {
+                return Ok(None);
+            };
+            hops += 1;
+            self.stats.routing_messages += 1;
+            came_from = Some(current);
+            current = parent;
+        }
+    }
+
+    /// Descends into an admitting subtree on soft state. Unlike the
+    /// synchronous [`Self::descend`], an admitting report does not
+    /// guarantee a satisfying leaf (the soft state may be stale), so this
+    /// can come back empty-handed — the caller then keeps climbing.
+    fn descend_soft(
+        &mut self,
+        id: ClusterId,
+        request: &WideAreaRequest,
+        now: SimTime,
+        staleness: SimDuration,
+        hops_so_far: u32,
+    ) -> Option<(ClusterId, u32)> {
+        let mut hops = hops_so_far + 1; // the edge into `id`
+        self.stats.routing_messages += 1;
+        let mut id = id;
+        loop {
+            if self.entries[&id].own_usage.summary.admits(request) {
+                return Some((id, hops));
+            }
+            let children = self.entries[&id].children.clone();
+            let next = children.into_iter().find(|&c| {
+                self.child_report(id, c)
+                    .is_some_and(|(report, received_at)| {
+                        now.duration_since(received_at) <= staleness
+                            && report.summary.admits(request)
+                    })
+            })?;
+            hops += 1;
+            self.stats.routing_messages += 1;
+            id = next;
+        }
     }
 
     /// Routes a request from `origin`: if the local cluster satisfies it,
@@ -525,6 +918,147 @@ mod tests {
         let hit = flat.route_request(&request(5, 400, 64));
         assert!(hit.is_some());
         assert_eq!(flat.root_messages, 102);
+    }
+
+    fn usage(exporting: u32, mips: u64, ram: u64, epoch: u64) -> UsageSummary {
+        UsageSummary {
+            summary: summary(exporting, mips, ram),
+            histogram: AvailabilityHistogram::default(),
+            epoch,
+        }
+    }
+
+    #[test]
+    fn tree_paths_cross_the_lca() {
+        let h = small_tree();
+        // c1 → root → c2 → c3.
+        assert_eq!(
+            h.tree_path(ClusterId(1), ClusterId(3)).unwrap(),
+            vec![ClusterId(0), ClusterId(2), ClusterId(3)]
+                .into_iter()
+                .fold(vec![ClusterId(1)], |mut p, c| {
+                    p.push(c);
+                    p
+                })
+        );
+        assert_eq!(h.tree_path(ClusterId(3), ClusterId(3)).unwrap().len(), 1);
+        assert_eq!(h.tree_path(ClusterId(3), ClusterId(99)), None);
+    }
+
+    #[test]
+    fn stale_child_reports_are_discarded_by_epoch() {
+        let mut h = small_tree();
+        let t0 = SimTime::ZERO;
+        h.apply_child_report(ClusterId(2), ClusterId(3), usage(30, 900, 256, 5), t0)
+            .unwrap();
+        // An older epoch arriving later (out-of-order WAN delivery) is dropped.
+        h.apply_child_report(
+            ClusterId(2),
+            ClusterId(3),
+            usage(1, 100, 16, 4),
+            t0 + SimDuration::from_secs(10),
+        )
+        .unwrap();
+        let (held, _) = h.child_report(ClusterId(2), ClusterId(3)).unwrap();
+        assert_eq!(held.epoch, 5);
+        assert_eq!(held.summary.exporting_nodes, 30);
+        // Reports only land along tree edges.
+        assert_eq!(
+            h.apply_child_report(ClusterId(0), ClusterId(3), usage(1, 1, 1, 1), t0)
+                .unwrap_err(),
+            HierarchyError::NotAChild(ClusterId(3), ClusterId(0))
+        );
+    }
+
+    #[test]
+    fn reported_subtree_drops_stale_children() {
+        let mut h = small_tree();
+        let t0 = SimTime::ZERO;
+        let staleness = SimDuration::from_secs(60);
+        h.set_own_usage(ClusterId(2), usage(5, 400, 64, 1)).unwrap();
+        h.apply_child_report(ClusterId(2), ClusterId(3), usage(30, 900, 256, 1), t0)
+            .unwrap();
+        let fresh = h.reported_subtree(ClusterId(2), t0, staleness).unwrap();
+        assert_eq!(fresh.summary.exporting_nodes, 35);
+        // Past the staleness bound the child silently drops out.
+        let later = t0 + SimDuration::from_secs(120);
+        let aged = h.reported_subtree(ClusterId(2), later, staleness).unwrap();
+        assert_eq!(aged.summary.exporting_nodes, 5);
+    }
+
+    #[test]
+    fn route_soft_follows_fresh_reports() {
+        let mut h = small_tree();
+        let t0 = SimTime::ZERO;
+        let staleness = SimDuration::from_secs(60);
+        // c3 can serve; its report has propagated to c2 and (aggregated) to root.
+        h.set_own_usage(ClusterId(3), usage(50, 1000, 512, 1))
+            .unwrap();
+        h.apply_child_report(ClusterId(2), ClusterId(3), usage(50, 1000, 512, 1), t0)
+            .unwrap();
+        let agg = h.reported_subtree(ClusterId(2), t0, staleness).unwrap();
+        h.apply_child_report(ClusterId(0), ClusterId(2), agg, t0)
+            .unwrap();
+        let (target, hops) = h
+            .route_soft(ClusterId(1), &request(40, 900, 256), t0, staleness)
+            .unwrap()
+            .unwrap();
+        assert_eq!(target, ClusterId(3));
+        assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn route_soft_survives_stale_subtree() {
+        let mut h = small_tree();
+        let t0 = SimTime::ZERO;
+        let staleness = SimDuration::from_secs(60);
+        // Root once heard c2's subtree could serve, but the report has aged
+        // out; the only *fresh* capacity is c1's own. A request from c4 must
+        // climb past the stale promise and still find c1.
+        h.set_own_usage(ClusterId(1), usage(50, 1000, 512, 1))
+            .unwrap();
+        h.apply_child_report(ClusterId(0), ClusterId(2), usage(50, 1000, 512, 1), t0)
+            .unwrap();
+        h.apply_child_report(ClusterId(0), ClusterId(1), usage(50, 1000, 512, 2), t0)
+            .unwrap();
+        let later = t0 + SimDuration::from_secs(30);
+        h.apply_child_report(ClusterId(0), ClusterId(1), usage(50, 1000, 512, 3), later)
+            .unwrap();
+        let now = t0 + SimDuration::from_secs(70); // c2's report stale, c1's fresh
+        let (target, hops) = h
+            .route_soft(ClusterId(4), &request(40, 900, 256), now, staleness)
+            .unwrap()
+            .unwrap();
+        assert_eq!(target, ClusterId(1));
+        // c4 → c2 → root → c1.
+        assert_eq!(hops, 3);
+        // And with every report stale, routing comes back empty.
+        let much_later = now + SimDuration::from_secs(600);
+        assert_eq!(
+            h.route_soft(ClusterId(4), &request(40, 900, 256), much_later, staleness)
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_and_expected_idle() {
+        let mut hist = AvailabilityHistogram::default();
+        hist.observe(0.0);
+        hist.observe(0.99);
+        hist.observe(1.0); // clamps into the top bucket
+        hist.observe(0.5);
+        assert_eq!(hist.total(), 4);
+        assert_eq!(hist.0[0], 1);
+        assert_eq!(hist.0[AVAIL_BUCKETS - 1], 2);
+        assert_eq!(hist.0[4], 1);
+        let expected = hist.expected_idle();
+        assert!((expected - (0.0625 + 0.9375 * 2.0 + 0.5625)).abs() < 1e-9);
+        // Merge epochs take the minimum: an aggregate is only as fresh as
+        // its stalest contributor.
+        let merged = usage(1, 100, 16, 7).merge(usage(2, 200, 32, 3));
+        assert_eq!(merged.epoch, 3);
+        assert_eq!(merged.summary.exporting_nodes, 3);
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub mod types;
 pub use asct::{
     JobKind, JobRecord, JobRequirements, JobSpec, JobState, SchedulingPreference, TopologyRequest,
 };
-pub use federation::{FederatedJob, Federation, FederationError};
+pub use federation::{
+    FederatedPlacement, Federation, FederationBuilder, FederationError, GlobalJobId, RoutingPolicy,
+    WanStats,
+};
 pub use grid::{Grid, GridBuilder, GridConfig, GridReport, NodeSetup};
 pub use ncc::{SharingPolicy, WeeklySchedule};
 pub use scheduler::Strategy;

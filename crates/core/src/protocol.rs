@@ -15,7 +15,9 @@
 //! All payloads are CDR-marshalled and travel inside GIOP frames, so every
 //! protocol interaction has a realistic wire size.
 
-use crate::types::{JobId, NodeId, NodeStatus};
+use crate::asct::JobSpec;
+use crate::hierarchy::UsageSummary;
+use crate::types::{ClusterId, JobId, NodeId, NodeStatus};
 use integrade_orb::cdr::{CdrDecode, CdrEncode, CdrError, CdrReader, CdrWriter};
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +49,17 @@ pub const OP_STORE_CKPT: &str = "store_checkpoint";
 pub const OP_FETCH_CKPT: &str = "fetch_checkpoint";
 /// Operation name: GRM → LRM drop a part's replica after completion (oneway).
 pub const OP_PURGE_CKPT: &str = "purge_checkpoint";
+/// Operation name: GRM → parent GRM periodic subtree usage summary (oneway).
+pub const OP_FED_SUMMARY: &str = "fed_summary";
+/// Operation name: GRM → linked GRM spillover resource probe.
+pub const OP_FED_QUERY: &str = "fed_query";
+/// Operation name: origin GRM → remote GRM forward a job for execution.
+pub const OP_FED_FORWARD: &str = "fed_forward";
+/// Operation name: remote GRM → origin GRM forwarded-job admission outcome.
+pub const OP_FED_FORWARD_ACK: &str = "fed_forward_ack";
+/// Operation name: remote GRM → origin GRM periodic forwarded-job status
+/// (oneway).
+pub const OP_FED_STATUS: &str = "fed_status";
 /// Object key under which every LRM servant registers.
 pub const LRM_OBJECT_KEY: &str = "integrade/lrm";
 /// Object key under which the GRM servant registers.
@@ -758,6 +771,210 @@ impl CdrDecode for PurgeCheckpoint {
     }
 }
 
+/// GRM → parent GRM: the cluster's (subtree's) usage summary, sent every
+/// update period — the inter-cluster arm of the Information Update Protocol
+/// (\[MK02\]'s "information updates ... across a collection of clusters").
+/// The receiver holds it as staleness-bounded soft state
+/// ([`crate::hierarchy::ClusterHierarchy::apply_child_report`]); the epoch
+/// inside `usage` guards against out-of-order WAN delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedSummary {
+    /// The reporting cluster.
+    pub cluster: ClusterId,
+    /// Its subtree usage summary (resource aggregate + predicted-
+    /// availability histogram + send epoch).
+    pub usage: UsageSummary,
+}
+
+impl CdrEncode for FedSummary {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.cluster.encode(w);
+        self.usage.encode(w);
+    }
+}
+impl CdrDecode for FedSummary {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(FedSummary {
+            cluster: ClusterId::decode(r)?,
+            usage: UsageSummary::decode(r)?,
+        })
+    }
+}
+
+/// GRM → linked GRM: a spillover probe along a trader federation link —
+/// "can your offer set satisfy this?" Carries the origin and a hop budget
+/// so a probe chain terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FedQuery {
+    /// Sender-unique id matching replies to probes.
+    pub request_id: u64,
+    /// The cluster whose GRM could not satisfy the request locally.
+    pub origin: ClusterId,
+    /// Exporting nodes needed.
+    pub nodes: u32,
+    /// Minimum node speed, MIPS.
+    pub min_cpu_mips: u64,
+    /// Minimum free RAM per node, MB.
+    pub min_ram_mb: u64,
+    /// Remaining link-follow budget (decremented per hop).
+    pub hop_budget: u32,
+}
+
+impl CdrEncode for FedQuery {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.request_id.encode(w);
+        self.origin.encode(w);
+        self.nodes.encode(w);
+        self.min_cpu_mips.encode(w);
+        self.min_ram_mb.encode(w);
+        self.hop_budget.encode(w);
+    }
+}
+impl CdrDecode for FedQuery {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(FedQuery {
+            request_id: u64::decode(r)?,
+            origin: ClusterId::decode(r)?,
+            nodes: u32::decode(r)?,
+            min_cpu_mips: u64::decode(r)?,
+            min_ram_mb: u64::decode(r)?,
+            hop_budget: u32::decode(r)?,
+        })
+    }
+}
+
+/// Linked GRM → querying GRM: live match count for a [`FedQuery`] — the
+/// probed trader's current offers matching the constraint, not a stale
+/// summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FedQueryReply {
+    /// Echo of the probe's id.
+    pub request_id: u64,
+    /// The replying cluster.
+    pub cluster: ClusterId,
+    /// Exporting nodes currently matching the probe's constraint.
+    pub matches: u32,
+}
+
+impl CdrEncode for FedQueryReply {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.request_id.encode(w);
+        self.cluster.encode(w);
+        self.matches.encode(w);
+    }
+}
+impl CdrDecode for FedQueryReply {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(FedQueryReply {
+            request_id: u64::decode(r)?,
+            cluster: ClusterId::decode(r)?,
+            matches: u32::decode(r)?,
+        })
+    }
+}
+
+/// Origin GRM → remote GRM: forward a job for remote execution (the
+/// request-forwarding arm of \[MK02\]). The full [`JobSpec`] is marshalled —
+/// the forward costs what the submission actually weighs on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FedForward {
+    /// Sender-unique id matching the ack to the forward.
+    pub request_id: u64,
+    /// The submitting cluster (status flows back here).
+    pub origin: ClusterId,
+    /// The job id in the *origin's* numbering — together with `origin`
+    /// this is the job's global identity.
+    pub job: JobId,
+    /// The submission itself.
+    pub spec: JobSpec,
+}
+
+impl CdrEncode for FedForward {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.request_id.encode(w);
+        self.origin.encode(w);
+        self.job.encode(w);
+        self.spec.encode(w);
+    }
+}
+impl CdrDecode for FedForward {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(FedForward {
+            request_id: u64::decode(r)?,
+            origin: ClusterId::decode(r)?,
+            job: JobId::decode(r)?,
+            spec: JobSpec::decode(r)?,
+        })
+    }
+}
+
+/// Remote GRM → origin GRM: admission outcome of a [`FedForward`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FedForwardAck {
+    /// Echo of the forward's id.
+    pub request_id: u64,
+    /// Whether the remote GRM admitted the job.
+    pub accepted: bool,
+    /// The job id in the *executing* cluster's numbering (0 when refused).
+    pub remote_job: JobId,
+}
+
+impl CdrEncode for FedForwardAck {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.request_id.encode(w);
+        self.accepted.encode(w);
+        self.remote_job.encode(w);
+    }
+}
+impl CdrDecode for FedForwardAck {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(FedForwardAck {
+            request_id: u64::decode(r)?,
+            accepted: bool::decode(r)?,
+            remote_job: JobId::decode(r)?,
+        })
+    }
+}
+
+/// Remote GRM → origin GRM: periodic status of a forwarded job, so the
+/// submitting user's ASCT can "monitor application progress" (§4) across
+/// the WAN. Sent on the executing cluster's update cadence until the job
+/// completes; the final message has `completed == true`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedStatus {
+    /// The executing cluster.
+    pub cluster: ClusterId,
+    /// The job id in the *origin's* numbering.
+    pub job: JobId,
+    /// Parts finished so far.
+    pub parts_done: u32,
+    /// Total parts.
+    pub parts_total: u32,
+    /// Whether the job has completed remotely.
+    pub completed: bool,
+}
+
+impl CdrEncode for FedStatus {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.cluster.encode(w);
+        self.job.encode(w);
+        self.parts_done.encode(w);
+        self.parts_total.encode(w);
+        self.completed.encode(w);
+    }
+}
+impl CdrDecode for FedStatus {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(FedStatus {
+            cluster: ClusterId::decode(r)?,
+            job: JobId::decode(r)?,
+            parts_done: u32::decode(r)?,
+            parts_total: u32::decode(r)?,
+            completed: bool::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -947,6 +1164,128 @@ mod tests {
             PurgeCheckpoint::from_cdr_bytes(&pc.to_cdr_bytes()).unwrap(),
             pc
         );
+    }
+
+    #[test]
+    fn federation_messages_round_trip() {
+        use crate::asct::{JobKind, JobSpec};
+        use crate::hierarchy::{AvailabilityHistogram, ClusterSummary};
+
+        let mut histogram = AvailabilityHistogram::default();
+        histogram.observe(0.2);
+        histogram.observe(0.9);
+        let fs = FedSummary {
+            cluster: ClusterId(3),
+            usage: UsageSummary {
+                summary: ClusterSummary {
+                    nodes: 40,
+                    exporting_nodes: 25,
+                    max_cpu_mips: 1500,
+                    max_free_ram_mb: 512,
+                    max_cluster_exporting: 25,
+                },
+                histogram,
+                epoch: 9,
+            },
+        };
+        assert_eq!(FedSummary::from_cdr_bytes(&fs.to_cdr_bytes()).unwrap(), fs);
+
+        let fq = FedQuery {
+            request_id: 77,
+            origin: ClusterId(1),
+            nodes: 4,
+            min_cpu_mips: 1000,
+            min_ram_mb: 64,
+            hop_budget: 3,
+        };
+        assert_eq!(FedQuery::from_cdr_bytes(&fq.to_cdr_bytes()).unwrap(), fq);
+
+        let fr = FedQueryReply {
+            request_id: 77,
+            cluster: ClusterId(2),
+            matches: 6,
+        };
+        assert_eq!(
+            FedQueryReply::from_cdr_bytes(&fr.to_cdr_bytes()).unwrap(),
+            fr
+        );
+
+        // A forward carries the full marshalled JobSpec, every JobKind shape.
+        for kind in [
+            JobKind::Sequential { work_mips_s: 9000 },
+            JobKind::BagOfTasks {
+                task_work_mips_s: vec![100, 200, 300],
+            },
+            JobKind::Bsp {
+                procs: 4,
+                supersteps: 10,
+                work_per_superstep_mips_s: 50,
+                bytes_per_superstep: 4096,
+                checkpoint_every: 2,
+                state_bytes: 8192,
+            },
+        ] {
+            let ff = FedForward {
+                request_id: 78,
+                origin: ClusterId(1),
+                job: JobId(12),
+                spec: JobSpec {
+                    name: "wide-area".into(),
+                    kind,
+                    requirements: crate::asct::JobRequirements {
+                        platform: Some(crate::types::Platform::linux_x86()),
+                        min_ram_mb: 64,
+                        min_cpu_mips: 1000,
+                        extra_constraint: Some("free_cpu >= 0.5".into()),
+                    },
+                    preference: crate::asct::SchedulingPreference::LongestPredictedIdle,
+                    topology: None,
+                },
+            };
+            assert_eq!(FedForward::from_cdr_bytes(&ff.to_cdr_bytes()).unwrap(), ff);
+        }
+
+        let fa = FedForwardAck {
+            request_id: 78,
+            accepted: true,
+            remote_job: JobId(3),
+        };
+        assert_eq!(
+            FedForwardAck::from_cdr_bytes(&fa.to_cdr_bytes()).unwrap(),
+            fa
+        );
+
+        let st = FedStatus {
+            cluster: ClusterId(2),
+            job: JobId(12),
+            parts_done: 2,
+            parts_total: 3,
+            completed: false,
+        };
+        assert_eq!(FedStatus::from_cdr_bytes(&st.to_cdr_bytes()).unwrap(), st);
+    }
+
+    #[test]
+    fn truncated_federation_messages_rejected() {
+        let bytes = FedForward {
+            request_id: 5,
+            origin: ClusterId(1),
+            job: JobId(2),
+            spec: crate::asct::JobSpec::sequential("trunc", 100),
+        }
+        .to_cdr_bytes();
+        for cut in 1..8 {
+            assert!(
+                FedForward::from_cdr_bytes(&bytes[..bytes.len() - cut]).is_err(),
+                "decoded despite losing {cut} trailing bytes"
+            );
+        }
+        let bytes = FedSummary {
+            cluster: ClusterId(1),
+            usage: UsageSummary::default(),
+        }
+        .to_cdr_bytes();
+        assert!(FedSummary::from_cdr_bytes(&bytes[..bytes.len() - 2]).is_err());
     }
 
     #[test]

@@ -35,6 +35,17 @@ impl fmt::Display for ClusterId {
     }
 }
 
+impl CdrEncode for ClusterId {
+    fn encode(&self, w: &mut CdrWriter) {
+        self.0.encode(w);
+    }
+}
+impl CdrDecode for ClusterId {
+    fn decode(r: &mut CdrReader<'_>) -> Result<Self, CdrError> {
+        Ok(ClusterId(u32::decode(r)?))
+    }
+}
+
 /// Identifier of a submitted application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u64);

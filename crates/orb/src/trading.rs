@@ -151,6 +151,10 @@ pub enum TraderError {
     BadConstraint(ParseError),
     /// The preference string failed to parse.
     BadPreference(ParseError),
+    /// A federation link with this name already exists.
+    DuplicateLink(String),
+    /// No federation link with this name exists.
+    UnknownLink(String),
 }
 
 impl fmt::Display for TraderError {
@@ -159,11 +163,43 @@ impl fmt::Display for TraderError {
             TraderError::UnknownOffer(id) => write!(f, "unknown {id}"),
             TraderError::BadConstraint(e) => write!(f, "bad constraint: {e}"),
             TraderError::BadPreference(e) => write!(f, "bad preference: {e}"),
+            TraderError::DuplicateLink(name) => write!(f, "link '{name}' already exists"),
+            TraderError::UnknownLink(name) => write!(f, "unknown link '{name}'"),
         }
     }
 }
 
 impl std::error::Error for TraderError {}
+
+/// When a query spills over a federation link (the CORBA Trading Service's
+/// link-follow rule, reduced to the two policies InteGrade needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkFollowPolicy {
+    /// Follow only when the local offer set cannot satisfy the query — the
+    /// InteGrade federation default.
+    #[default]
+    IfNoLocal,
+    /// Never follow; the link exists for topology bookkeeping only.
+    Never,
+}
+
+/// A federation link to another trader, in the CORBA Trading Service sense:
+/// this trader's queries may be forwarded to the linked trader when the
+/// local offer set cannot satisfy them. The target is an opaque id — in
+/// InteGrade, the `ClusterId` of the linked cluster — because the linked
+/// trader lives in another cluster and is reached over the wide-area
+/// network, not through a local reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraderLink {
+    /// Link name, unique within the owning trader.
+    pub name: String,
+    /// Opaque target trader id (the linked cluster).
+    pub target: u64,
+    /// When queries follow this link.
+    pub follow: LinkFollowPolicy,
+    /// Queries forwarded over this link so far.
+    pub followed: u64,
+}
 
 /// Interned service-type id, local to one trader.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -460,6 +496,9 @@ pub struct Trader {
     num_index: BTreeMap<(TypeId, SlotId), BTreeSet<(IndexKey, OfferId)>>,
     plans: PlanCache,
     use_indexes: bool,
+    /// Federation links, in insertion order (spillover follows them in this
+    /// order, which keeps federated routing deterministic).
+    links: Vec<TraderLink>,
 }
 
 impl Trader {
@@ -476,6 +515,64 @@ impl Trader {
             num_index: BTreeMap::new(),
             plans: PlanCache::default(),
             use_indexes: true,
+            links: Vec::new(),
+        }
+    }
+
+    /// Adds a federation link to another trader. Links are followed in
+    /// insertion order when a query spills over.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a link with this name already exists.
+    pub fn add_link(
+        &mut self,
+        name: &str,
+        target: u64,
+        follow: LinkFollowPolicy,
+    ) -> Result<(), TraderError> {
+        if self.links.iter().any(|l| l.name == name) {
+            return Err(TraderError::DuplicateLink(name.to_owned()));
+        }
+        self.links.push(TraderLink {
+            name: name.to_owned(),
+            target,
+            follow,
+            followed: 0,
+        });
+        Ok(())
+    }
+
+    /// Removes a federation link by name, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no link with this name exists.
+    pub fn remove_link(&mut self, name: &str) -> Result<TraderLink, TraderError> {
+        match self.links.iter().position(|l| l.name == name) {
+            Some(i) => Ok(self.links.remove(i)),
+            None => Err(TraderError::UnknownLink(name.to_owned())),
+        }
+    }
+
+    /// The trader's federation links, in insertion (follow) order.
+    pub fn links(&self) -> &[TraderLink] {
+        &self.links
+    }
+
+    /// Records that a query was forwarded over the named link (bumped by
+    /// the federation's spillover machinery when it follows the link).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no link with this name exists.
+    pub fn record_link_followed(&mut self, name: &str) -> Result<(), TraderError> {
+        match self.links.iter_mut().find(|l| l.name == name) {
+            Some(l) => {
+                l.followed += 1;
+                Ok(())
+            }
+            None => Err(TraderError::UnknownLink(name.to_owned())),
         }
     }
 
@@ -1218,6 +1315,42 @@ mod tests {
         t.export("other::service", &node_ior(4), node_props(9999, 999, true))
             .unwrap();
         t
+    }
+
+    #[test]
+    fn federation_links_follow_insertion_order() {
+        let mut t = seeded_trader();
+        t.add_link("child-2", 2, LinkFollowPolicy::IfNoLocal)
+            .unwrap();
+        t.add_link("parent-0", 0, LinkFollowPolicy::IfNoLocal)
+            .unwrap();
+        t.add_link("mirror", 9, LinkFollowPolicy::Never).unwrap();
+        let order: Vec<u64> = t.links().iter().map(|l| l.target).collect();
+        assert_eq!(order, vec![2, 0, 9]);
+        assert_eq!(
+            t.add_link("child-2", 5, LinkFollowPolicy::IfNoLocal),
+            Err(TraderError::DuplicateLink("child-2".to_owned()))
+        );
+    }
+
+    #[test]
+    fn link_follow_stats_accumulate_and_remove_works() {
+        let mut t = seeded_trader();
+        t.add_link("up", 0, LinkFollowPolicy::IfNoLocal).unwrap();
+        t.record_link_followed("up").unwrap();
+        t.record_link_followed("up").unwrap();
+        assert_eq!(t.links()[0].followed, 2);
+        assert_eq!(
+            t.record_link_followed("down"),
+            Err(TraderError::UnknownLink("down".to_owned()))
+        );
+        let removed = t.remove_link("up").unwrap();
+        assert_eq!(removed.followed, 2);
+        assert!(t.links().is_empty());
+        assert_eq!(
+            t.remove_link("up"),
+            Err(TraderError::UnknownLink("up".to_owned()))
+        );
     }
 
     #[test]

@@ -29,13 +29,18 @@ pub mod streams {
     pub const RETRY: u64 = 0x5245_5459;
     /// The default stream of [`DetRng::new`](super::DetRng::new).
     pub const DEFAULT: u64 = 0xDA3E_39CB_94B9_5BDB;
+    /// The federation's wide-area stream (`b"FEDE"`): WAN fault decisions,
+    /// request ids for inter-cluster protocol messages. Lives beside the
+    /// member grids' streams so a federation run never perturbs any member
+    /// cluster's own deterministic draws.
+    pub const FED: u64 = 0x4645_4445;
     /// Base of the per-shard stream family (`b"SHRD"` shifted clear of the
     /// global ids). Shard `i` owns stream `SHARD_BASE | i`.
     pub const SHARD_BASE: u64 = 0x5348_5244_0000_0000;
     /// Shard indices the family reserves ids for.
     pub const MAX_SHARDS: u64 = 64;
     /// Every global (non-shard) stream id, for disjointness checks.
-    pub const GLOBALS: [u64; 3] = [GRID_WORLD, RETRY, DEFAULT];
+    pub const GLOBALS: [u64; 4] = [GRID_WORLD, RETRY, DEFAULT, FED];
 
     /// The stream id owned by shard `index`.
     ///

@@ -75,6 +75,24 @@ impl LinkSpec {
             bandwidth_bps,
         }
     }
+
+    /// Metro-area WAN tier: clusters on the same campus or city ring
+    /// (~2 ms, 1 Gbps). The default tier for federation links.
+    pub fn wan_metro() -> Self {
+        LinkSpec::wan(2, 1_000_000_000)
+    }
+
+    /// Regional WAN tier: clusters a few hundred kilometres apart
+    /// (~20 ms, 100 Mbps).
+    pub fn wan_regional() -> Self {
+        LinkSpec::wan(20, 100_000_000)
+    }
+
+    /// Intercontinental WAN tier: clusters across an ocean
+    /// (~120 ms, 10 Mbps).
+    pub fn wan_intercontinental() -> Self {
+        LinkSpec::wan(120, 10_000_000)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -17,7 +17,8 @@ use integrade::core::hierarchy::{
     ClusterHierarchy, ClusterSummary, FlatDirectory, WideAreaRequest,
 };
 use integrade::core::types::ClusterId;
-use integrade::simnet::time::SimTime;
+use integrade::simnet::time::{SimDuration, SimTime};
+use integrade::simnet::topology::LinkSpec;
 
 fn main() {
     // campus(0) — cs(1), physics(2); cs — lab-a(3), lab-b(4); physics — lab-c(5).
@@ -91,17 +92,27 @@ fn main() {
          scalability argument behind the paper's 'millions of machines'."
     );
 
-    // Finally, run it for real: a federation of live grids, each with its
-    // own GRM, executing a forwarded job end to end.
+    // Finally, run it for real: a grid of clusters, each with its own GRM,
+    // joined by linked traders over explicit WAN links, executing a
+    // forwarded job end to end with status reports flowing back.
     println!("\n== Live federation: forwarding a job between running grids ==");
     let make_grid = |n: usize| {
         let mut b = GridBuilder::new(GridConfig::builder().gupa_warmup_days(0).build());
         b.add_cluster((0..n).map(|_| NodeSetup::idle_desktop()).collect());
         b.build()
     };
-    let mut federation = Federation::new(ClusterId(0), make_grid(2));
-    federation
-        .add_member(ClusterId(1), ClusterId(0), make_grid(10))
+    let mut federation = Federation::builder()
+        .seed(42)
+        .update_period(SimDuration::from_secs(60))
+        .hop_budget(4)
+        .root(ClusterId(0), make_grid(2))
+        .child_linked(
+            ClusterId(1),
+            ClusterId(0),
+            make_grid(10),
+            LinkSpec::wan_regional(),
+        )
+        .build()
         .unwrap();
     federation.run_until(SimTime::from_secs(120)); // populate GRM views
 
@@ -112,13 +123,20 @@ fn main() {
         )
         .unwrap();
     println!(
-        "submitted at cluster0 (2 nodes) -> executing on {} after {} hop(s)",
-        placed.cluster, placed.hops
+        "submitted at cluster0 (2 nodes) -> executing on {} after {} hop(s), {} WAN bytes",
+        placed.id.cluster, placed.hops, placed.wan_bytes
     );
     federation.run_until(SimTime::from_secs(4 * 3600));
+    federation.refresh();
+    let wan = federation.wan_stats();
     println!(
-        "state: {:?}, total completed across the federation: {}",
-        federation.job_state(placed).unwrap(),
+        "state: {:?}, origin knows completion: {}, total completed: {}",
+        federation.job_state(placed.id).unwrap(),
+        federation.origin_knows_complete(placed.id),
         federation.total_completed()
+    );
+    println!(
+        "WAN traffic: {} messages, {} bytes ({} spillover queries, {} forwards, {} statuses)",
+        wan.messages, wan.bytes, wan.spillover_queries, wan.forwards, wan.status_messages
     );
 }

@@ -83,13 +83,19 @@ pub mod prelude {
         JobRecord, JobSpec, JobState, Requirement, SchedulingPreference,
     };
     pub use integrade_core::builder::{ConfigError, GridConfigBuilder};
+    pub use integrade_core::federation::{
+        FederatedPlacement, Federation, FederationBuilder, FederationError, GlobalJobId,
+        RoutingPolicy, WanStats,
+    };
     pub use integrade_core::grid::{
         Grid, GridBuilder, GridConfig, GridReport, NodeSetup, TickMode,
     };
+    pub use integrade_core::hierarchy::{ClusterHierarchy, UsageSummary, WideAreaRequest};
     pub use integrade_core::scheduler::Strategy;
-    pub use integrade_core::types::{JobId, NodeId, Platform, ResourceVector};
+    pub use integrade_core::types::{ClusterId, JobId, NodeId, Platform, ResourceVector};
     pub use integrade_obs::metrics::MetricsSnapshot;
     pub use integrade_obs::span::{Span, SpanKind, SpanOutcome, SpanTree};
     pub use integrade_simnet::faults::FaultPlan;
     pub use integrade_simnet::time::{SimDuration, SimTime};
+    pub use integrade_simnet::topology::LinkSpec;
 }
